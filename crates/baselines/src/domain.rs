@@ -1,0 +1,83 @@
+//! Column-scoped value domains shared by the token-predicting baselines
+//! (EMBDI-MC, TURL-sub): every distinct (attribute, value-key) pair is one
+//! class, and imputation restricts the argmax to the target attribute's
+//! slice.
+
+use grimp_graph::TableGraph;
+
+/// The flat class space over all attribute domains.
+pub struct ValueDomain {
+    keys: Vec<Vec<String>>,
+    offsets: Vec<usize>,
+    total: usize,
+}
+
+impl ValueDomain {
+    /// Build from a table graph's cell nodes.
+    pub fn build(graph: &TableGraph) -> Self {
+        let n_cols = graph.n_edge_types();
+        let mut keys: Vec<Vec<String>> = Vec::with_capacity(n_cols);
+        let mut offsets = Vec::with_capacity(n_cols);
+        let mut total = 0usize;
+        for j in 0..n_cols {
+            let mut col_keys: Vec<String> =
+                graph.column_cells(j).map(|(k, _)| k.to_string()).collect();
+            col_keys.sort_unstable();
+            offsets.push(total);
+            total += col_keys.len();
+            keys.push(col_keys);
+        }
+        ValueDomain { keys, offsets, total }
+    }
+
+    /// Total classes.
+    pub fn n_classes(&self) -> usize {
+        self.total
+    }
+
+    /// Class of `(col, key)`, if present.
+    pub fn class_of(&self, col: usize, key: &str) -> Option<u32> {
+        self.keys[col]
+            .binary_search_by(|k| k.as_str().cmp(key))
+            .ok()
+            .map(|i| (self.offsets[col] + i) as u32)
+    }
+
+    /// `(start, end)` class range of one column.
+    pub fn column_range(&self, col: usize) -> (usize, usize) {
+        (self.offsets[col], self.offsets[col] + self.keys[col].len())
+    }
+
+    /// Key text of a class known to lie in `col`'s range.
+    pub fn key_of(&self, col: usize, class: usize) -> &str {
+        &self.keys[col][class - self.offsets[col]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grimp_graph::GraphConfig;
+    use grimp_table::{ColumnKind, Schema, Table};
+
+    #[test]
+    fn classes_partition_by_column() {
+        let schema = Schema::from_pairs(&[
+            ("a", ColumnKind::Categorical),
+            ("b", ColumnKind::Categorical),
+        ]);
+        let t = Table::from_rows(
+            schema,
+            &[vec![Some("x"), Some("x")], vec![Some("y"), Some("z")]],
+        );
+        let g = TableGraph::build(&t, GraphConfig::default(), &[]);
+        let d = ValueDomain::build(&g);
+        assert_eq!(d.n_classes(), 4);
+        let (lo, hi) = d.column_range(0);
+        assert_eq!(hi - lo, 2);
+        // "x" exists in both columns with distinct classes
+        assert_ne!(d.class_of(0, "x"), d.class_of(1, "x"));
+        let c = d.class_of(1, "z").unwrap() as usize;
+        assert_eq!(d.key_of(1, c), "z");
+    }
+}

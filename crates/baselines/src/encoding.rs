@@ -1,0 +1,180 @@
+//! Feature encodings shared by the classical baselines.
+
+use grimp_table::{ColumnKind, Table, Value};
+
+/// A fully observed (pre-filled) feature column.
+#[derive(Clone, Debug)]
+pub enum FeatCol {
+    /// Numerical features.
+    Num(Vec<f64>),
+    /// Categorical codes with the dictionary size.
+    Cat {
+        /// Per-row codes.
+        codes: Vec<u32>,
+        /// Number of categories.
+        n_categories: usize,
+    },
+}
+
+impl FeatCol {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            FeatCol::Num(v) => v.len(),
+            FeatCol::Cat { codes, .. } => codes.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A complete (no missing entries) feature matrix used by trees, KNN and
+/// MICE. Built from a table whose missing cells have been pre-filled.
+#[derive(Clone, Debug)]
+pub struct FeatureMatrix {
+    /// One entry per table column.
+    pub cols: Vec<FeatCol>,
+    n_rows: usize,
+}
+
+impl FeatureMatrix {
+    /// Encode a table that contains no missing values.
+    ///
+    /// # Panics
+    /// Panics if the table still has `∅` cells.
+    pub fn from_complete_table(table: &Table) -> Self {
+        assert_eq!(table.n_missing(), 0, "feature matrix requires a complete table");
+        let cols = (0..table.n_columns())
+            .map(|j| match table.schema().column(j).kind {
+                ColumnKind::Numerical => FeatCol::Num(
+                    (0..table.n_rows())
+                        .map(|i| table.get(i, j).as_num().expect("complete"))
+                        .collect(),
+                ),
+                ColumnKind::Categorical => FeatCol::Cat {
+                    codes: (0..table.n_rows())
+                        .map(|i| table.get(i, j).as_cat().expect("complete"))
+                        .collect(),
+                    n_categories: table.dictionary(j).len(),
+                },
+            })
+            .collect();
+        FeatureMatrix { cols, n_rows: table.n_rows() }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Write a value back (used by iterative imputers between rounds).
+    pub fn set(&mut self, row: usize, col: usize, v: Value) {
+        match (&mut self.cols[col], v) {
+            (FeatCol::Num(vals), Value::Num(x)) => vals[row] = x,
+            (FeatCol::Cat { codes, .. }, Value::Cat(c)) => codes[row] = c,
+            (col, v) => panic!("value {v:?} does not match feature column {col:?}"),
+        }
+    }
+
+    /// Read a value.
+    pub fn get(&self, row: usize, col: usize) -> Value {
+        match &self.cols[col] {
+            FeatCol::Num(vals) => Value::Num(vals[row]),
+            FeatCol::Cat { codes, .. } => Value::Cat(codes[row]),
+        }
+    }
+}
+
+/// Fill every `∅` cell with the column mean (numerical) or mode
+/// (categorical); empty columns fall back to 0 / code 0 after interning a
+/// placeholder. Returns the filled table.
+pub fn mean_mode_fill(dirty: &Table) -> Table {
+    let mut filled = dirty.clone();
+    for j in 0..dirty.n_columns() {
+        match dirty.schema().column(j).kind {
+            ColumnKind::Numerical => {
+                let fill = dirty.mean(j).unwrap_or(0.0);
+                for i in 0..dirty.n_rows() {
+                    if dirty.is_missing(i, j) {
+                        filled.set(i, j, Value::Num(fill));
+                    }
+                }
+            }
+            ColumnKind::Categorical => {
+                let fill = match dirty.mode(j) {
+                    Some(m) => m,
+                    None => filled.intern(j, "<empty>"),
+                };
+                for i in 0..dirty.n_rows() {
+                    if dirty.is_missing(i, j) {
+                        filled.set(i, j, Value::Cat(fill));
+                    }
+                }
+            }
+        }
+    }
+    filled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grimp_table::Schema;
+
+    fn dirty() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("c", ColumnKind::Categorical),
+            ("x", ColumnKind::Numerical),
+        ]);
+        Table::from_rows(
+            schema,
+            &[
+                vec![Some("a"), Some("1.0")],
+                vec![Some("a"), None],
+                vec![None, Some("3.0")],
+                vec![Some("b"), Some("2.0")],
+            ],
+        )
+    }
+
+    #[test]
+    fn mean_mode_fill_completes_the_table() {
+        let filled = mean_mode_fill(&dirty());
+        assert_eq!(filled.n_missing(), 0);
+        assert_eq!(filled.display(2, 0), "a"); // mode
+        assert_eq!(filled.get(1, 1), Value::Num(2.0)); // mean of 1, 3, 2
+    }
+
+    #[test]
+    fn matrix_roundtrips_values() {
+        let filled = mean_mode_fill(&dirty());
+        let mut m = FeatureMatrix::from_complete_table(&filled);
+        assert_eq!(m.n_rows(), 4);
+        assert_eq!(m.get(0, 0), Value::Cat(0));
+        m.set(0, 0, Value::Cat(1));
+        assert_eq!(m.get(0, 0), Value::Cat(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "complete table")]
+    fn matrix_rejects_incomplete_tables() {
+        FeatureMatrix::from_complete_table(&dirty());
+    }
+
+    #[test]
+    fn all_null_categorical_column_gets_placeholder() {
+        let schema = Schema::from_pairs(&[("c", ColumnKind::Categorical)]);
+        let t = Table::from_rows(schema, &[vec![None], vec![None]]);
+        let filled = mean_mode_fill(&t);
+        assert_eq!(filled.n_missing(), 0);
+        assert_eq!(filled.display(0, 0), "<empty>");
+    }
+}

@@ -1,0 +1,222 @@
+//! Simple reference imputers: mode/mean and K-nearest-neighbors.
+//!
+//! Mode/mean is the floor every learned method must beat; KNN
+//! (Troyanskaya et al., 2001) is the classical neighborhood method cited in
+//! the paper's related work.
+
+use grimp_table::{ColumnKind, Imputer, Table, Value};
+
+/// Impute every `∅` with the column mode (categorical) or mean (numerical).
+#[derive(Default)]
+pub struct MeanMode;
+
+impl Imputer for MeanMode {
+    fn name(&self) -> &str {
+        "Mean/Mode"
+    }
+
+    fn impute(&mut self, dirty: &Table) -> Table {
+        crate::encoding::mean_mode_fill(dirty)
+    }
+}
+
+/// K-nearest-neighbor imputation over a mixed-type Gower-style distance:
+/// numerical dimensions contribute `|a - b| / range`, categorical dimensions
+/// contribute `0/1` mismatch, and dimensions missing in either tuple are
+/// skipped (distance is averaged over comparable dimensions only).
+pub struct KnnImputer {
+    /// Number of neighbors.
+    pub k: usize,
+}
+
+impl KnnImputer {
+    /// KNN with the given neighbor count.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        KnnImputer { k }
+    }
+
+    fn distance(
+        t: &Table,
+        ranges: &[Option<(f64, f64)>],
+        a: usize,
+        b: usize,
+    ) -> Option<f64> {
+        let mut total = 0.0;
+        let mut dims = 0usize;
+        for j in 0..t.n_columns() {
+            match (t.get(a, j), t.get(b, j)) {
+                (Value::Null, _) | (_, Value::Null) => continue,
+                (Value::Cat(x), Value::Cat(y)) => {
+                    total += if x == y { 0.0 } else { 1.0 };
+                    dims += 1;
+                }
+                (Value::Num(x), Value::Num(y)) => {
+                    let (lo, hi) = ranges[j].expect("numeric range");
+                    let span = (hi - lo).max(1e-12);
+                    total += ((x - y).abs() / span).min(1.0);
+                    dims += 1;
+                }
+                _ => unreachable!("column kinds are homogeneous"),
+            }
+        }
+        (dims > 0).then(|| total / dims as f64)
+    }
+}
+
+impl Imputer for KnnImputer {
+    fn name(&self) -> &str {
+        "KNN"
+    }
+
+    fn impute(&mut self, dirty: &Table) -> Table {
+        let n = dirty.n_rows();
+        let ranges: Vec<Option<(f64, f64)>> = (0..dirty.n_columns())
+            .map(|j| match dirty.schema().column(j).kind {
+                ColumnKind::Numerical => {
+                    let vals: Vec<f64> =
+                        (0..n).filter_map(|i| dirty.get(i, j).as_num()).collect();
+                    if vals.is_empty() {
+                        Some((0.0, 1.0))
+                    } else {
+                        let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+                        let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                        Some((lo, hi))
+                    }
+                }
+                ColumnKind::Categorical => None,
+            })
+            .collect();
+
+        let mut result = dirty.clone();
+        for (i, j) in dirty.missing_cells() {
+            // candidate donors: rows with the target observed
+            let mut dists: Vec<(f64, usize)> = (0..n)
+                .filter(|&r| r != i && !dirty.is_missing(r, j))
+                .filter_map(|r| Self::distance(dirty, &ranges, i, r).map(|d| (d, r)))
+                .collect();
+            dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+            dists.truncate(self.k);
+            if dists.is_empty() {
+                // no comparable donor: fall back to mode/mean
+                match dirty.schema().column(j).kind {
+                    ColumnKind::Categorical => {
+                        if let Some(m) = dirty.mode(j) {
+                            result.set(i, j, Value::Cat(m));
+                        }
+                    }
+                    ColumnKind::Numerical => {
+                        if let Some(m) = dirty.mean(j) {
+                            result.set(i, j, Value::Num(m));
+                        }
+                    }
+                }
+                continue;
+            }
+            match dirty.schema().column(j).kind {
+                ColumnKind::Categorical => {
+                    let mut votes: std::collections::HashMap<u32, usize> = Default::default();
+                    for &(_, r) in &dists {
+                        *votes.entry(dirty.get(r, j).as_cat().expect("observed")).or_default() +=
+                            1;
+                    }
+                    let best = votes
+                        .iter()
+                        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+                        .map(|(&c, _)| c)
+                        .expect("non-empty votes");
+                    result.set(i, j, Value::Cat(best));
+                }
+                ColumnKind::Numerical => {
+                    let mean = dists
+                        .iter()
+                        .map(|&(_, r)| dirty.get(r, j).as_num().expect("observed"))
+                        .sum::<f64>()
+                        / dists.len() as f64;
+                    result.set(i, j, Value::Num(mean));
+                }
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grimp_table::{check_imputation_contract, inject_mcar, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clustered() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("g", ColumnKind::Categorical),
+            ("v", ColumnKind::Categorical),
+            ("x", ColumnKind::Numerical),
+        ]);
+        let mut t = Table::empty(schema);
+        for i in 0..60 {
+            let c = i % 2;
+            t.push_str_row(&[
+                Some(if c == 0 { "g0" } else { "g1" }),
+                Some(if c == 0 { "v0" } else { "v1" }),
+                Some(if c == 0 { "10.0" } else { "90.0" }),
+            ]);
+        }
+        t
+    }
+
+    #[test]
+    fn mean_mode_satisfies_contract() {
+        let mut dirty = clustered();
+        inject_mcar(&mut dirty, 0.2, &mut StdRng::seed_from_u64(0));
+        let imputed = MeanMode.impute(&dirty);
+        check_imputation_contract(&dirty, &imputed).unwrap();
+    }
+
+    #[test]
+    fn knn_uses_cluster_structure() {
+        let clean = clustered();
+        let mut dirty = clean.clone();
+        let log = inject_mcar(&mut dirty, 0.15, &mut StdRng::seed_from_u64(1));
+        let mut knn = KnnImputer::new(5);
+        let imputed = knn.impute(&dirty);
+        check_imputation_contract(&dirty, &imputed).unwrap();
+        let correct = log
+            .cells
+            .iter()
+            .filter(|c| match (c.truth, imputed.get(c.row, c.col)) {
+                (Value::Num(t), Value::Num(p)) => (t - p).abs() < 20.0,
+                (t, p) => t == p,
+            })
+            .count();
+        let acc = correct as f64 / log.len() as f64;
+        assert!(acc > 0.9, "knn cluster accuracy {acc}");
+    }
+
+    #[test]
+    fn knn_beats_mode_on_clustered_categoricals() {
+        let clean = clustered();
+        let mut dirty = clean.clone();
+        let log = inject_mcar(&mut dirty, 0.2, &mut StdRng::seed_from_u64(2));
+        let knn_imp = KnnImputer::new(3).impute(&dirty);
+        let mode_imp = MeanMode.impute(&dirty);
+        let acc = |imp: &Table| {
+            log.cells
+                .iter()
+                .filter(|c| c.col < 2)
+                .filter(|c| imp.get(c.row, c.col) == c.truth)
+                .count()
+        };
+        assert!(acc(&knn_imp) >= acc(&mode_imp), "knn should not lose to mode here");
+    }
+
+    #[test]
+    fn knn_falls_back_when_no_donor_exists() {
+        let schema = Schema::from_pairs(&[("a", ColumnKind::Categorical)]);
+        let t = Table::from_rows(schema, &[vec![Some("x")], vec![None]]);
+        // row 1 has no observed dims at all → no comparable donors
+        let imputed = KnnImputer::new(3).impute(&t);
+        assert_eq!(imputed.display(1, 0), "x");
+    }
+}

@@ -1,0 +1,459 @@
+//! CART decision trees over mixed feature matrices.
+//!
+//! Classification trees minimize Gini impurity; regression trees minimize
+//! variance. Numerical features split on thresholds (quantile-capped),
+//! categorical features on equality against the most frequent categories.
+//! Built from scratch for the MissForest/FUNFOREST baselines.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::encoding::{FeatCol, FeatureMatrix};
+
+/// Maximum candidate thresholds / categories examined per feature.
+const MAX_CANDIDATES: usize = 32;
+
+/// What a tree predicts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeTarget {
+    /// Multi-class classification with the given class count.
+    Classification(usize),
+    /// Scalar regression.
+    Regression,
+}
+
+/// Labels for training.
+#[derive(Clone, Debug)]
+pub enum TreeLabels {
+    /// Class codes (must be `< n_classes`).
+    Classes(Vec<u32>),
+    /// Regression targets.
+    Values(Vec<f64>),
+}
+
+/// A split rule at an internal node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SplitRule {
+    /// `x[col] <= thr` goes left.
+    NumThreshold {
+        /// Feature column.
+        col: usize,
+        /// Threshold.
+        thr: f64,
+    },
+    /// `x[col] == code` goes left.
+    CatEquals {
+        /// Feature column.
+        col: usize,
+        /// Category code.
+        code: u32,
+    },
+}
+
+impl SplitRule {
+    fn goes_left(&self, features: &FeatureMatrix, row: usize) -> bool {
+        match *self {
+            SplitRule::NumThreshold { col, thr } => match &features.cols[col] {
+                FeatCol::Num(v) => v[row] <= thr,
+                _ => unreachable!("numeric rule on categorical column"),
+            },
+            SplitRule::CatEquals { col, code } => match &features.cols[col] {
+                FeatCol::Cat { codes, .. } => codes[row] == code,
+                _ => unreachable!("categorical rule on numeric column"),
+            },
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf { prediction: Prediction },
+    Internal { rule: SplitRule, left: usize, right: usize },
+}
+
+#[derive(Clone, Debug)]
+enum Prediction {
+    Class(u32),
+    Value(f64),
+}
+
+/// Tree construction options.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeConfig {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum samples needed to attempt a split.
+    pub min_samples_split: usize,
+    /// Features examined per split (`mtry`); `None` = all, with a given
+    /// restriction list still applying.
+    pub mtry: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: 12, min_samples_split: 4, mtry: None }
+    }
+}
+
+/// A fitted CART tree.
+#[derive(Clone, Debug)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    target: TreeTarget,
+}
+
+impl DecisionTree {
+    /// Fit a tree on the rows `sample` of `features` with `labels`
+    /// (indexed by position in `sample`). `allowed_features` restricts the
+    /// columns the tree may split on (FUNFOREST points trees at FD
+    /// attributes this way).
+    pub fn fit(
+        features: &FeatureMatrix,
+        sample: &[usize],
+        labels: &TreeLabels,
+        target: TreeTarget,
+        allowed_features: &[usize],
+        config: TreeConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(!sample.is_empty(), "cannot fit a tree on zero rows");
+        match (labels, target) {
+            (TreeLabels::Classes(c), TreeTarget::Classification(_)) => {
+                assert_eq!(c.len(), sample.len())
+            }
+            (TreeLabels::Values(v), TreeTarget::Regression) => assert_eq!(v.len(), sample.len()),
+            _ => panic!("label kind does not match tree target"),
+        }
+        let mut tree = DecisionTree { nodes: Vec::new(), target };
+        let indices: Vec<usize> = (0..sample.len()).collect();
+        tree.grow(features, sample, labels, &indices, allowed_features, config, 0, rng);
+        tree
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn grow(
+        &mut self,
+        features: &FeatureMatrix,
+        sample: &[usize],
+        labels: &TreeLabels,
+        subset: &[usize],
+        allowed: &[usize],
+        config: TreeConfig,
+        depth: usize,
+        rng: &mut impl Rng,
+    ) -> usize {
+        let node_id = self.nodes.len();
+        self.nodes.push(Node::Leaf { prediction: leaf_prediction(labels, subset, self.target) });
+        if depth >= config.max_depth
+            || subset.len() < config.min_samples_split
+            || is_pure(labels, subset)
+        {
+            return node_id;
+        }
+        // candidate feature subset
+        let mut feats: Vec<usize> = allowed.to_vec();
+        if let Some(mtry) = config.mtry {
+            if feats.len() > mtry {
+                feats.shuffle(rng);
+                feats.truncate(mtry);
+            }
+        }
+        // Zero-gain splits are allowed (as in standard CART): XOR-style
+        // interactions have zero marginal gain at the root yet perfect
+        // splits one level down. Recursion stays bounded by max_depth and
+        // strictly shrinking children.
+        let Some((rule, _gain)) = best_split(features, sample, labels, subset, &feats, self.target)
+        else {
+            return node_id;
+        };
+        let (left_subset, right_subset): (Vec<usize>, Vec<usize>) =
+            subset.iter().partition(|&&k| rule.goes_left(features, sample[k]));
+        if left_subset.is_empty() || right_subset.is_empty() {
+            return node_id;
+        }
+        let left =
+            self.grow(features, sample, labels, &left_subset, allowed, config, depth + 1, rng);
+        let right =
+            self.grow(features, sample, labels, &right_subset, allowed, config, depth + 1, rng);
+        self.nodes[node_id] = Node::Internal { rule, left, right };
+        node_id
+    }
+
+    /// Predict the class of one row (classification trees).
+    pub fn predict_class(&self, features: &FeatureMatrix, row: usize) -> u32 {
+        match self.walk(features, row) {
+            Prediction::Class(c) => *c,
+            Prediction::Value(_) => panic!("regression tree asked for a class"),
+        }
+    }
+
+    /// Predict the value of one row (regression trees).
+    pub fn predict_value(&self, features: &FeatureMatrix, row: usize) -> f64 {
+        match self.walk(features, row) {
+            Prediction::Value(v) => *v,
+            Prediction::Class(_) => panic!("classification tree asked for a value"),
+        }
+    }
+
+    fn walk(&self, features: &FeatureMatrix, row: usize) -> &Prediction {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { prediction } => return prediction,
+                Node::Internal { rule, left, right } => {
+                    node = if rule.goes_left(features, row) { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (for inspection/tests).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree depth (longest root-to-leaf path).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], id: usize) -> usize {
+            match &nodes[id] {
+                Node::Leaf { .. } => 0,
+                Node::Internal { left, right, .. } => {
+                    1 + rec(nodes, *left).max(rec(nodes, *right))
+                }
+            }
+        }
+        rec(&self.nodes, 0)
+    }
+}
+
+fn is_pure(labels: &TreeLabels, subset: &[usize]) -> bool {
+    match labels {
+        TreeLabels::Classes(c) => subset.windows(2).all(|w| c[w[0]] == c[w[1]]),
+        TreeLabels::Values(v) => subset.windows(2).all(|w| (v[w[0]] - v[w[1]]).abs() < 1e-12),
+    }
+}
+
+fn leaf_prediction(labels: &TreeLabels, subset: &[usize], target: TreeTarget) -> Prediction {
+    match (labels, target) {
+        (TreeLabels::Classes(c), TreeTarget::Classification(n_classes)) => {
+            let mut counts = vec![0usize; n_classes];
+            for &k in subset {
+                counts[c[k] as usize] += 1;
+            }
+            let best = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &n)| n)
+                .map(|(i, _)| i as u32)
+                .unwrap_or(0);
+            Prediction::Class(best)
+        }
+        (TreeLabels::Values(v), TreeTarget::Regression) => {
+            let mean = subset.iter().map(|&k| v[k]).sum::<f64>() / subset.len().max(1) as f64;
+            Prediction::Value(mean)
+        }
+        _ => unreachable!("checked at fit time"),
+    }
+}
+
+/// Impurity of a subset: Gini for classification, variance for regression.
+fn impurity(labels: &TreeLabels, subset: &[usize], target: TreeTarget) -> f64 {
+    match (labels, target) {
+        (TreeLabels::Classes(c), TreeTarget::Classification(n_classes)) => {
+            let mut counts = vec![0usize; n_classes];
+            for &k in subset {
+                counts[c[k] as usize] += 1;
+            }
+            let n = subset.len() as f64;
+            1.0 - counts.iter().map(|&k| (k as f64 / n).powi(2)).sum::<f64>()
+        }
+        (TreeLabels::Values(v), TreeTarget::Regression) => {
+            let n = subset.len() as f64;
+            let mean = subset.iter().map(|&k| v[k]).sum::<f64>() / n;
+            subset.iter().map(|&k| (v[k] - mean).powi(2)).sum::<f64>() / n
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn best_split(
+    features: &FeatureMatrix,
+    sample: &[usize],
+    labels: &TreeLabels,
+    subset: &[usize],
+    feats: &[usize],
+    target: TreeTarget,
+) -> Option<(SplitRule, f64)> {
+    let parent_impurity = impurity(labels, subset, target);
+    let n = subset.len() as f64;
+    let mut best: Option<(SplitRule, f64)> = None;
+    for &col in feats {
+        let rules: Vec<SplitRule> = match &features.cols[col] {
+            FeatCol::Num(vals) => {
+                let mut uniq: Vec<f64> = subset.iter().map(|&k| vals[sample[k]]).collect();
+                uniq.sort_by(f64::total_cmp);
+                uniq.dedup();
+                if uniq.len() < 2 {
+                    continue;
+                }
+                let step = (uniq.len() / MAX_CANDIDATES).max(1);
+                uniq.windows(2)
+                    .step_by(step)
+                    .map(|w| SplitRule::NumThreshold { col, thr: (w[0] + w[1]) / 2.0 })
+                    .collect()
+            }
+            FeatCol::Cat { codes, n_categories } => {
+                let mut counts = vec![0usize; *n_categories];
+                for &k in subset {
+                    counts[codes[sample[k]] as usize] += 1;
+                }
+                let mut present: Vec<u32> = (0..*n_categories as u32)
+                    .filter(|&c| counts[c as usize] > 0)
+                    .collect();
+                if present.len() < 2 {
+                    continue;
+                }
+                present.sort_by_key(|&c| std::cmp::Reverse(counts[c as usize]));
+                present.truncate(MAX_CANDIDATES);
+                present.into_iter().map(|code| SplitRule::CatEquals { col, code }).collect()
+            }
+        };
+        for rule in rules {
+            let (left, right): (Vec<usize>, Vec<usize>) =
+                subset.iter().partition(|&&k| rule.goes_left(features, sample[k]));
+            if left.is_empty() || right.is_empty() {
+                continue;
+            }
+            let gain = parent_impurity
+                - (left.len() as f64 / n) * impurity(labels, &left, target)
+                - (right.len() as f64 / n) * impurity(labels, &right, target);
+            if best.as_ref().map(|(_, g)| gain > *g).unwrap_or(true) {
+                best = Some((rule, gain));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grimp_table::{ColumnKind, Schema, Table};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn xor_features() -> (FeatureMatrix, Vec<u32>) {
+        // class = a XOR b over two binary categorical features
+        let schema = Schema::from_pairs(&[
+            ("a", ColumnKind::Categorical),
+            ("b", ColumnKind::Categorical),
+        ]);
+        let mut t = Table::empty(schema);
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let a = i % 2;
+            let b = (i / 2) % 2;
+            t.push_str_row(&[Some(if a == 0 { "0" } else { "1" }), Some(if b == 0 { "0" } else { "1" })]);
+            labels.push((a ^ b) as u32);
+        }
+        (FeatureMatrix::from_complete_table(&t), labels)
+    }
+
+    #[test]
+    fn classification_tree_fits_xor() {
+        let (features, labels) = xor_features();
+        let sample: Vec<usize> = (0..features.n_rows()).collect();
+        let tree = DecisionTree::fit(
+            &features,
+            &sample,
+            &TreeLabels::Classes(labels.clone()),
+            TreeTarget::Classification(2),
+            &[0, 1],
+            TreeConfig::default(),
+            &mut StdRng::seed_from_u64(0),
+        );
+        for (i, &label) in labels.iter().enumerate() {
+            assert_eq!(tree.predict_class(&features, i), label, "row {i}");
+        }
+        assert!(tree.depth() >= 2, "xor requires depth 2");
+    }
+
+    #[test]
+    fn regression_tree_fits_step_function() {
+        let schema = Schema::from_pairs(&[("x", ColumnKind::Numerical)]);
+        let mut t = Table::empty(schema);
+        let mut labels = Vec::new();
+        for i in 0..50 {
+            let x = i as f64 / 10.0;
+            t.push_str_row(&[Some(&format!("{x}"))]);
+            labels.push(if x < 2.5 { 1.0 } else { 5.0 });
+        }
+        let features = FeatureMatrix::from_complete_table(&t);
+        let sample: Vec<usize> = (0..50).collect();
+        let tree = DecisionTree::fit(
+            &features,
+            &sample,
+            &TreeLabels::Values(labels.clone()),
+            TreeTarget::Regression,
+            &[0],
+            TreeConfig::default(),
+            &mut StdRng::seed_from_u64(0),
+        );
+        for (i, &label) in labels.iter().enumerate() {
+            assert!((tree.predict_value(&features, i) - label).abs() < 1e-9, "row {i}");
+        }
+    }
+
+    #[test]
+    fn restricted_features_are_respected() {
+        let (features, labels) = xor_features();
+        let sample: Vec<usize> = (0..features.n_rows()).collect();
+        // only feature 0 allowed: xor cannot be fit, tree must be shallow
+        // and imperfect
+        let tree = DecisionTree::fit(
+            &features,
+            &sample,
+            &TreeLabels::Classes(labels.clone()),
+            TreeTarget::Classification(2),
+            &[0],
+            TreeConfig::default(),
+            &mut StdRng::seed_from_u64(0),
+        );
+        let wrong =
+            labels.iter().enumerate().filter(|(i, &l)| tree.predict_class(&features, *i) != l).count();
+        assert!(wrong > 0, "xor should not be perfectly classifiable from one feature");
+    }
+
+    #[test]
+    fn pure_subsets_become_leaves() {
+        let (features, _) = xor_features();
+        let sample: Vec<usize> = (0..features.n_rows()).collect();
+        let tree = DecisionTree::fit(
+            &features,
+            &sample,
+            &TreeLabels::Classes(vec![1; features.n_rows()]),
+            TreeTarget::Classification(2),
+            &[0, 1],
+            TreeConfig::default(),
+            &mut StdRng::seed_from_u64(0),
+        );
+        assert_eq!(tree.n_nodes(), 1, "constant labels must yield a single leaf");
+        assert_eq!(tree.predict_class(&features, 0), 1);
+    }
+
+    #[test]
+    fn max_depth_bounds_the_tree() {
+        let (features, labels) = xor_features();
+        let sample: Vec<usize> = (0..features.n_rows()).collect();
+        let tree = DecisionTree::fit(
+            &features,
+            &sample,
+            &TreeLabels::Classes(labels),
+            TreeTarget::Classification(2),
+            &[0, 1],
+            TreeConfig { max_depth: 1, ..Default::default() },
+            &mut StdRng::seed_from_u64(0),
+        );
+        assert!(tree.depth() <= 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests of the classical baselines: imputer contracts on
+//! random tables, tree/forest invariants, and encoding roundtrips.
+
+use grimp_baselines::{
+    mean_mode_fill, DecisionTree, FeatureMatrix, KnnImputer, MeanMode, MissForest,
+    MissForestConfig, TreeConfig, TreeLabels, TreeTarget,
+};
+use grimp_table::{check_imputation_contract, ColumnKind, Imputer, Schema, Table};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    let cat = prop_oneof![
+        4 => (0u32..5).prop_map(Some),
+        1 => Just(None),
+    ];
+    proptest::collection::vec((cat, proptest::option::of(-100i32..100)), 2..40).prop_map(
+        |rows| {
+            let schema = Schema::from_pairs(&[
+                ("c", ColumnKind::Categorical),
+                ("x", ColumnKind::Numerical),
+            ]);
+            let mut t = Table::empty(schema);
+            for (c, x) in rows {
+                let c = c.map(|v| format!("v{v}"));
+                let x = x.map(|v| format!("{}", v as f64 / 4.0));
+                t.push_str_row(&[c.as_deref(), x.as_deref()]);
+            }
+            t
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mean_mode_fill_is_idempotent(t in arb_table()) {
+        let once = mean_mode_fill(&t);
+        let twice = mean_mode_fill(&once);
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(once.n_missing(), 0);
+    }
+
+    #[test]
+    fn simple_imputers_satisfy_the_contract(t in arb_table()) {
+        for imputer in [&mut MeanMode as &mut dyn Imputer, &mut KnnImputer::new(3)] {
+            let imputed = imputer.impute(&t);
+            // contract holds whenever the column has at least one observed
+            // value; fully-null columns stay null for mode/mean
+            if (0..t.n_columns()).all(|j| t.column(j).n_missing() < t.n_rows()) {
+                prop_assert!(check_imputation_contract(&t, &imputed).is_ok(), "{}", imputer.name());
+            }
+        }
+    }
+
+    #[test]
+    fn missforest_satisfies_the_contract(t in arb_table()) {
+        if (0..t.n_columns()).all(|j| t.column(j).n_missing() < t.n_rows()) {
+            let mut mf = MissForest::new(MissForestConfig {
+                max_iterations: 2,
+                ..Default::default()
+            });
+            let imputed = mf.impute(&t);
+            prop_assert!(check_imputation_contract(&t, &imputed).is_ok());
+        }
+    }
+
+    #[test]
+    fn trees_never_predict_unseen_classes(labels in proptest::collection::vec(0u32..4, 10..40)) {
+        // build features aligned with labels
+        let schema = Schema::from_pairs(&[("f", ColumnKind::Numerical)]);
+        let mut t = Table::empty(schema);
+        for (i, _) in labels.iter().enumerate() {
+            t.push_str_row(&[Some(&format!("{}", i as f64))]);
+        }
+        let features = FeatureMatrix::from_complete_table(&t);
+        let sample: Vec<usize> = (0..labels.len()).collect();
+        let seen: std::collections::HashSet<u32> = labels.iter().copied().collect();
+        let tree = DecisionTree::fit(
+            &features,
+            &sample,
+            &TreeLabels::Classes(labels),
+            TreeTarget::Classification(4),
+            &[0],
+            TreeConfig::default(),
+            &mut StdRng::seed_from_u64(0),
+        );
+        for i in 0..features.n_rows() {
+            prop_assert!(seen.contains(&tree.predict_class(&features, i)));
+        }
+    }
+
+    #[test]
+    fn regression_trees_predict_within_label_range(values in proptest::collection::vec(-100f64..100.0, 10..40)) {
+        let schema = Schema::from_pairs(&[("f", ColumnKind::Numerical)]);
+        let mut t = Table::empty(schema);
+        for (i, _) in values.iter().enumerate() {
+            t.push_str_row(&[Some(&format!("{}", (i * 7 % 13) as f64))]);
+        }
+        let features = FeatureMatrix::from_complete_table(&t);
+        let sample: Vec<usize> = (0..values.len()).collect();
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let tree = DecisionTree::fit(
+            &features,
+            &sample,
+            &TreeLabels::Values(values),
+            TreeTarget::Regression,
+            &[0],
+            TreeConfig::default(),
+            &mut StdRng::seed_from_u64(1),
+        );
+        for i in 0..features.n_rows() {
+            let p = tree.predict_value(&features, i);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn tree_depth_respects_config(depth in 0usize..6) {
+        let schema = Schema::from_pairs(&[("f", ColumnKind::Numerical)]);
+        let mut t = Table::empty(schema);
+        let mut labels = Vec::new();
+        for i in 0..64usize {
+            t.push_str_row(&[Some(&format!("{}", i as f64))]);
+            labels.push((i % 2) as u32);
+        }
+        let features = FeatureMatrix::from_complete_table(&t);
+        let sample: Vec<usize> = (0..64).collect();
+        let tree = DecisionTree::fit(
+            &features,
+            &sample,
+            &TreeLabels::Classes(labels),
+            TreeTarget::Classification(2),
+            &[0],
+            TreeConfig { max_depth: depth, ..Default::default() },
+            &mut StdRng::seed_from_u64(2),
+        );
+        prop_assert!(tree.depth() <= depth);
+    }
+}

@@ -1,0 +1,133 @@
+//! **Figure 9**: training time of every method over all datasets and
+//! missingness levels.
+//!
+//! Reuses `target/experiments/fig8_accuracy.csv` when present (Figures 8
+//! and 9 come from the same runs in the paper too); otherwise reruns the
+//! grid. Reports the trends the paper highlights: GRIMP-attention among the
+//! slowest, MissForest among the fastest, GRIMP/HOLO time *decreasing* with
+//! more missingness while MissForest/DataWig train longer.
+
+use std::fs;
+
+use grimp_bench::*;
+use grimp_datasets::DatasetId;
+
+/// (dataset, algorithm, rate, seconds)
+type TimeRow = (String, String, f64, f64);
+
+fn load_from_fig8() -> Option<Vec<TimeRow>> {
+    let text = fs::read_to_string("target/experiments/fig8_accuracy.csv").ok()?;
+    let mut rows = Vec::new();
+    for line in text.lines().skip(1) {
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 6 {
+            return None;
+        }
+        rows.push((
+            parts[0].to_string(),
+            parts[1].to_string(),
+            parts[2].parse().ok()?,
+            parts[5].parse().ok()?,
+        ));
+    }
+    (!rows.is_empty()).then_some(rows)
+}
+
+fn rerun(profile: Profile) -> Vec<TimeRow> {
+    let mut rows = Vec::new();
+    for &rate in &ERROR_RATES {
+        for id in DatasetId::ALL {
+            let prepared = prepare(id, profile, 0);
+            let instance = corrupt(&prepared, rate, 1000 + (rate * 100.0) as u64);
+            for mut algo in fig8_algorithms(profile, 0) {
+                let cell = run_cell(&prepared, &instance, algo.as_mut(), rate);
+                rows.push((cell.dataset.to_string(), cell.algorithm, rate, cell.seconds));
+            }
+            eprintln!("  done {} @ {:.0}%", prepared.abbr, rate * 100.0);
+        }
+    }
+    rows
+}
+
+fn main() {
+    let profile = Profile::from_env();
+    banner("Figure 9 — training time (seconds)", profile);
+
+    let rows = match load_from_fig8() {
+        Some(rows) => {
+            println!("(reusing timings from target/experiments/fig8_accuracy.csv)\n");
+            rows
+        }
+        None => rerun(profile),
+    };
+
+    let algos: Vec<String> = {
+        let mut seen = Vec::new();
+        for (_, a, _, _) in &rows {
+            if !seen.contains(a) {
+                seen.push(a.clone());
+            }
+        }
+        seen
+    };
+
+    for &rate in &ERROR_RATES {
+        let mut table = TablePrinter::new(
+            &std::iter::once("ds").chain(algos.iter().map(|s| s.as_str())).collect::<Vec<_>>(),
+        );
+        for id in DatasetId::ALL {
+            let abbr = id.abbr();
+            let mut out = vec![abbr.to_string()];
+            for a in &algos {
+                let t = rows
+                    .iter()
+                    .find(|(d, alg, r, _)| d == abbr && alg == a && (r - rate).abs() < 1e-9)
+                    .map(|(_, _, _, t)| *t);
+                out.push(fmt_opt(t, 2));
+            }
+            table.row(out);
+        }
+        println!("-- missingness {:.0} % --", rate * 100.0);
+        println!("{}", table.render());
+    }
+
+    // Trend summary: per-method mean time at each rate.
+    println!("-- mean seconds per method (trend check) --");
+    let mut trend = TablePrinter::new(&["method", "5%", "20%", "50%", "trend"]);
+    for a in &algos {
+        let mean_at = |rate: f64| -> f64 {
+            let ts: Vec<f64> = rows
+                .iter()
+                .filter(|(_, alg, r, _)| alg == a && (r - rate).abs() < 1e-9)
+                .map(|(_, _, _, t)| *t)
+                .collect();
+            ts.iter().sum::<f64>() / ts.len().max(1) as f64
+        };
+        let (t5, t50) = (mean_at(0.05), mean_at(0.50));
+        let trend_s = if t50 < t5 * 0.95 {
+            "decreases with missingness"
+        } else if t50 > t5 * 1.05 {
+            "increases with missingness"
+        } else {
+            "flat"
+        };
+        trend.row(vec![
+            a.clone(),
+            format!("{t5:.2}"),
+            format!("{:.2}", mean_at(0.20)),
+            format!("{t50:.2}"),
+            trend_s.to_string(),
+        ]);
+    }
+    println!("{}", trend.render());
+    println!("paper: GRIMP/HOLO terminate earlier with more missing data (less viable data),");
+    println!("while MissForest/DataWig train longer in high-error configurations;");
+    println!("GRIMP-attention often slowest, MissForest always among the fastest.");
+
+    let csv_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(d, a, r, t)| vec![d.clone(), a.clone(), format!("{r:.2}"), format!("{t:.3}")])
+        .collect();
+    let path = write_csv("fig9_time", &["dataset", "algorithm", "rate", "seconds"], &csv_rows);
+    println!("\ncsv: {}", path.display());
+}

@@ -1,0 +1,90 @@
+//! **Table 1**: dataset statistics and GRIMP parameter counts.
+//!
+//! Prints, for every generated dataset: rows, columns, |C|, |N|, distinct
+//! surface values, #FDs, the §5 difficulty metrics (S_avg, K_avg, F+_avg,
+//! N+_avg) and the published parameter-count formulas (#P_s, ΣP_l, ΣP_a) —
+//! next to the paper's values where it states them.
+
+use grimp::ParamFormula;
+use grimp_bench::{banner, write_csv, Profile, TablePrinter};
+use grimp_datasets::{generate, DatasetId};
+use grimp_metrics::dataset_stats;
+
+/// Paper Table 1: (abbr, rows, cols, |C|, |N|, distinct, #FD, S, K, F+, N+).
+const PAPER: [(&str, usize, usize, usize, usize, usize, usize, f64, f64, f64, f64); 10] = [
+    ("AD", 3016, 14, 9, 5, 289, 2, 2.6, 13.3, 0.7, 2.9),
+    ("AU", 690, 15, 9, 6, 957, 0, 2.7, 24.0, 0.6, 7.5),
+    ("CO", 1473, 10, 8, 2, 65, 0, 0.0, -1.3, 0.5, 1.4),
+    ("CR", 653, 16, 10, 6, 918, 0, 2.5, 20.9, 0.6, 7.0),
+    ("FL", 1066, 13, 10, 3, 34, 0, 0.4, -1.1, 0.7, 0.9),
+    ("IM", 4529, 11, 9, 2, 9829, 0, 7.2, 220.2, 0.5, 83.2),
+    ("MM", 830, 6, 5, 1, 93, 0, 0.6, -1.2, 0.4, 1.8),
+    ("TA", 5000, 12, 5, 7, 910, 6, 2.1, 12.1, 0.5, 7.5),
+    ("TH", 470, 17, 14, 3, 255, 0, 0.3, -1.3, 0.7, 2.5),
+    ("TT", 958, 9, 9, 0, 5, 0, -0.2, -1.6, 0.4, 1.0),
+];
+
+fn main() {
+    // Table 1 always uses the full generated datasets (statistics are about
+    // the data, not the training budget).
+    banner("Table 1 — dataset statistics and GRIMP parameter counts", Profile::Full);
+    let formula = ParamFormula::default();
+
+    let mut table = TablePrinter::new(&[
+        "ds", "rows", "cols", "|C|", "|N|", "distinct", "#FD", "S_avg", "K_avg", "F+_avg",
+        "N+_avg", "#P_s", "ΣP_l", "ΣP_a",
+    ]);
+    let mut csv_rows = Vec::new();
+    for (id, paper) in DatasetId::ALL.iter().zip(PAPER.iter()) {
+        let d = generate(*id, 0);
+        let s = dataset_stats(&d.table);
+        let counts = formula.counts(s.cols);
+        let row = vec![
+            d.abbr.to_string(),
+            s.rows.to_string(),
+            s.cols.to_string(),
+            s.n_cat.to_string(),
+            s.n_num.to_string(),
+            s.distinct.to_string(),
+            d.fds.len().to_string(),
+            format!("{:.1}", s.s_avg),
+            format!("{:.1}", s.k_avg),
+            format!("{:.1}", s.f_plus_avg),
+            format!("{:.1}", s.n_plus_avg),
+            counts.p_s.to_string(),
+            counts.sigma_p_l.to_string(),
+            counts.sigma_p_a.to_string(),
+        ];
+        csv_rows.push(row.clone());
+        table.row(row);
+        // the paper's row for eyeballing the shape match
+        table.row(vec![
+            format!("({})", paper.0),
+            paper.1.to_string(),
+            paper.2.to_string(),
+            paper.3.to_string(),
+            paper.4.to_string(),
+            paper.5.to_string(),
+            paper.6.to_string(),
+            format!("{:.1}", paper.7),
+            format!("{:.1}", paper.8),
+            format!("{:.1}", paper.9),
+            format!("{:.1}", paper.10),
+            "=".into(),
+            "=".into(),
+            "=".into(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("rows in (parentheses) are the paper's published Table 1 values;");
+    println!("'=' marks parameter counts that match the published formulas exactly.");
+    let path = write_csv(
+        "tab1_stats",
+        &[
+            "dataset", "rows", "cols", "cat", "num", "distinct", "fds", "s_avg", "k_avg",
+            "f_plus", "n_plus", "p_s", "sigma_p_l", "sigma_p_a",
+        ],
+        &csv_rows,
+    );
+    println!("\ncsv: {}", path.display());
+}

@@ -1,0 +1,98 @@
+//! **Table 3**: imputation with input FDs on Adult (2 FDs) and Tax (6 FDs)
+//! at 5/20/50 % missingness: FD-REPAIR, MissForest, FUNFOREST and GRIMP-A
+//! (attention with the Weak-diagonal+FD `K` strategy).
+//!
+//! Expected shape (paper §4.3): FD-REPAIR worst (high precision, poor
+//! recall — FDs cover only some attributes); FUNFOREST improves on
+//! MissForest (up to +10 % accuracy) while converging faster; GRIMP-A best
+//! on Adult, random forests competitive on Tax at high error rates.
+
+use grimp_bench::*;
+use grimp_datasets::DatasetId;
+
+/// Paper Table 3: (ds, error %, MISF t, FUNF t, GRIMP-A t, FD acc, MISF acc,
+/// FUNF acc, GRIMP-A acc).
+const PAPER: [(&str, u32, f64, f64, f64, f64, f64, f64, f64); 6] = [
+    ("AD", 5, 13.03, 2.38, 496.60, 0.160, 0.733, 0.737, 0.766),
+    ("AD", 20, 25.70, 6.05, 551.22, 0.115, 0.727, 0.732, 0.756),
+    ("AD", 50, 22.50, 15.23, 537.90, 0.074, 0.657, 0.674, 0.693),
+    ("TA", 5, 17.47, 6.00, 1117.54, 0.386, 0.689, 0.786, 0.808),
+    ("TA", 20, 23.18, 7.62, 977.62, 0.309, 0.661, 0.757, 0.632),
+    ("TA", 50, 27.94, 16.44, 751.93, 0.194, 0.571, 0.630, 0.586),
+];
+
+fn main() {
+    let profile = Profile::from_env();
+    banner("Table 3 — imputation with input FDs (Adult, Tax)", profile);
+
+    let mut table = TablePrinter::new(&[
+        "ds", "error %", "FD acc", "MISF acc", "FUNF acc", "GRI-A acc", "MISF t", "FUNF t",
+        "GRI-A t",
+    ]);
+    let mut csv_rows = Vec::new();
+    for id in [DatasetId::Adult, DatasetId::Tax] {
+        let prepared = prepare(id, profile, 0);
+        // For FD-REPAIR, accuracy is measured only through FD + fallback;
+        // the paper computes accuracy over all injected cells — we do too.
+        for &rate in &ERROR_RATES {
+            let instance = corrupt(&prepared, rate, 4000 + (rate * 100.0) as u64);
+            let mut accs = Vec::new();
+            let mut times = Vec::new();
+            for mut algo in tab3_algorithms(profile, 0, &prepared.fds) {
+                let cell = run_cell(&prepared, &instance, algo.as_mut(), rate);
+                accs.push(cell.eval.accuracy());
+                times.push(cell.seconds);
+                csv_rows.push(vec![
+                    prepared.abbr.to_string(),
+                    cell.algorithm.clone(),
+                    format!("{rate:.2}"),
+                    fmt_opt(cell.eval.accuracy(), 4),
+                    fmt_opt(cell.eval.rmse(), 4),
+                    format!("{:.2}", cell.seconds),
+                ]);
+            }
+            table.row(vec![
+                prepared.abbr.to_string(),
+                format!("{:.0}", rate * 100.0),
+                fmt_opt(accs[0], 3),
+                fmt_opt(accs[1], 3),
+                fmt_opt(accs[2], 3),
+                fmt_opt(accs[3], 3),
+                format!("{:.2}", times[1]),
+                format!("{:.2}", times[2]),
+                format!("{:.2}", times[3]),
+            ]);
+            eprintln!("  done {} @ {:.0}%", prepared.abbr, rate * 100.0);
+        }
+    }
+    println!("{}", table.render());
+
+    println!("-- paper's Table 3 for comparison --");
+    let mut paper = TablePrinter::new(&[
+        "ds", "error %", "FD acc", "MISF acc", "FUNF acc", "GRI-A acc", "MISF t", "FUNF t",
+        "GRI-A t",
+    ]);
+    for (ds, e, t1, t2, t3, fd, misf, funf, gria) in PAPER {
+        paper.row(vec![
+            ds.to_string(),
+            e.to_string(),
+            format!("{fd:.3}"),
+            format!("{misf:.3}"),
+            format!("{funf:.3}"),
+            format!("{gria:.3}"),
+            format!("{t1:.2}"),
+            format!("{t2:.2}"),
+            format!("{t3:.2}"),
+        ]);
+    }
+    println!("{}", paper.render());
+    println!("expected shape: FD-REPAIR worst; FUNFOREST ≥ MissForest and faster;");
+    println!("GRIMP-A strongest on Adult; forests competitive on Tax at high error.");
+
+    let path = write_csv(
+        "tab3_fd",
+        &["dataset", "algorithm", "rate", "accuracy", "rmse", "seconds"],
+        &csv_rows,
+    );
+    println!("\ncsv: {}", path.display());
+}

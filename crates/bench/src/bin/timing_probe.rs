@@ -1,0 +1,22 @@
+//! Internal calibration probe (not a paper artifact): times one GRIMP cell.
+use grimp_bench::*;
+use grimp_datasets::DatasetId;
+
+fn main() {
+    let profile = Profile::from_env();
+    for id in [DatasetId::Mammogram, DatasetId::Adult] {
+        let p = prepare(id, profile, 0);
+        let inst = corrupt(&p, 0.2, 1);
+        for mut algo in fig8_algorithms(profile, 0) {
+            let cell = run_cell(&p, &inst, algo.as_mut(), 0.2);
+            println!(
+                "{:>10} {:>18} acc={} rmse={} t={:.2}s",
+                cell.dataset,
+                cell.algorithm,
+                fmt_opt(cell.eval.accuracy(), 3),
+                fmt_opt(cell.eval.rmse(), 3),
+                cell.seconds
+            );
+        }
+    }
+}

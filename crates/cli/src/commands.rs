@@ -1,0 +1,388 @@
+//! Subcommand implementations.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use grimp::{Grimp, GrimpConfig};
+use grimp_baselines::{
+    AimNetConfig, AimNetLike, DataWigConfig, DataWigLike, EmbdiMc, EmbdiMcConfig, Gain,
+    GainConfig, KnnImputer,
+    MeanMode, Mice, MiceConfig, Mida, MidaConfig, MissForest, MissForestConfig, TurlConfig,
+    TurlSub,
+};
+use grimp_datasets::{generate, DatasetId};
+use grimp_graph::FeatureSource;
+use grimp_metrics::{dataset_stats, evaluate};
+use grimp_table::csv::{read_csv, write_csv};
+use grimp_table::{
+    inject_mcar, inject_mnar, CorruptionLog, Imputer, InjectedCell, Table, Value,
+};
+
+use crate::args::{ArgError, Args};
+
+/// Any CLI failure with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError(e.0)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+grimp — relational data imputation with graph neural networks
+
+USAGE:
+    grimp <command> [args]
+
+COMMANDS:
+    impute   <dirty.csv>  [--algo NAME] [--seed N] [--paper] [-o out.csv]
+             impute every missing cell; algorithms: grimp (default),
+             grimp-e, grimp-linear, missforest, aimnet, turl, embdi-mc,
+             datawig, mice, mida, gain, knn, meanmode
+    corrupt  <clean.csv>  [--rate R] [--mechanism mcar|mnar] [--seed N]
+             [-o out.csv] [--truth truth.csv]
+             inject missing values; --truth records the blanked cells
+    evaluate --clean c.csv --dirty d.csv --imputed i.csv
+             categorical accuracy + normalized RMSE over the blanked cells
+    stats    <table.csv>
+             rows, columns, distinct values, missingness, S/K/F+/N+ metrics
+    generate <AD|AU|CO|CR|FL|IM|MM|TA|TH|TT> [--seed N] [-o out.csv]
+             emit one of the paper's synthetic evaluation datasets
+    help     show this text
+";
+
+fn load(path: &str) -> Result<Table, CliError> {
+    let file = File::open(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+    read_csv(BufReader::new(file)).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+fn save(table: &Table, path: Option<&str>, out: &mut dyn Write) -> Result<(), CliError> {
+    match path {
+        Some(path) => {
+            let file = File::create(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+            write_csv(table, BufWriter::new(file))?;
+            writeln!(out, "wrote {path}")?;
+        }
+        None => write_csv(table, out)?,
+    }
+    Ok(())
+}
+
+fn build_imputer(name: &str, seed: u64, paper: bool) -> Result<Box<dyn Imputer>, CliError> {
+    let grimp_cfg = if paper { GrimpConfig::paper() } else { GrimpConfig::fast() }.with_seed(seed);
+    Ok(match name {
+        "grimp" => Box::new(Grimp::new(grimp_cfg)),
+        "grimp-e" => Box::new(Grimp::new(grimp_cfg.with_features(FeatureSource::Embdi))),
+        "grimp-linear" => Box::new(Grimp::new(grimp_cfg.with_linear_tasks())),
+        "missforest" => Box::new(MissForest::new(MissForestConfig { seed, ..Default::default() })),
+        "aimnet" => Box::new(AimNetLike::new(AimNetConfig { seed, ..Default::default() })),
+        "turl" => Box::new(TurlSub::new(TurlConfig { seed, ..Default::default() })),
+        "embdi-mc" => Box::new(EmbdiMc::new(EmbdiMcConfig { seed, ..Default::default() })),
+        "datawig" => Box::new(DataWigLike::new(DataWigConfig { seed, ..Default::default() })),
+        "mice" => Box::new(Mice::new(MiceConfig { seed, ..Default::default() })),
+        "mida" => Box::new(Mida::new(MidaConfig { seed, ..Default::default() })),
+        "gain" => Box::new(Gain::new(GainConfig { seed, ..Default::default() })),
+        "knn" => Box::new(KnnImputer::new(5)),
+        "meanmode" => Box::new(MeanMode),
+        other => return Err(CliError(format!("unknown algorithm {other:?} (see `grimp help`)"))),
+    })
+}
+
+fn cmd_impute(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    args.check_known(&["algo", "seed", "paper", "o"])?;
+    let input = args.require_positional(0, "input CSV path")?;
+    let table = load(input)?;
+    let algo_name = args.opt("algo").unwrap_or("grimp");
+    let seed = args.opt_parse("seed", 0u64)?;
+    let mut algo = build_imputer(algo_name, seed, args.flag("paper"))?;
+    writeln!(
+        out,
+        "{}: {} rows x {} cols, {} missing cells — imputing with {}",
+        input,
+        table.n_rows(),
+        table.n_columns(),
+        table.n_missing(),
+        algo.name()
+    )?;
+    let start = std::time::Instant::now();
+    let imputed = algo.impute(&table);
+    writeln!(out, "done in {:.2}s; {} cells remain missing", start.elapsed().as_secs_f64(), imputed.n_missing())?;
+    save(&imputed, args.opt("o"), out)
+}
+
+fn cmd_corrupt(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    args.check_known(&["rate", "mechanism", "seed", "o", "truth"])?;
+    let input = args.require_positional(0, "input CSV path")?;
+    let mut table = load(input)?;
+    let rate = args.opt_parse("rate", 0.2f64)?;
+    let seed = args.opt_parse("seed", 0u64)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let log = match args.opt("mechanism").unwrap_or("mcar") {
+        "mcar" => inject_mcar(&mut table, rate, &mut rng),
+        "mnar" => inject_mnar(&mut table, rate, &mut rng),
+        other => return Err(CliError(format!("unknown mechanism {other:?} (mcar|mnar)"))),
+    };
+    writeln!(out, "blanked {} cells ({:.1}% of table)", log.len(), 100.0 * table.missing_fraction())?;
+    if let Some(truth_path) = args.opt("truth") {
+        let mut w = BufWriter::new(
+            File::create(truth_path).map_err(|e| CliError(format!("{truth_path}: {e}")))?,
+        );
+        writeln!(w, "row,col,value")?;
+        for cell in &log.cells {
+            writeln!(w, "{},{},{}", cell.row, cell.col, truth_text(&table, cell))?;
+        }
+        writeln!(out, "wrote ground truth to {truth_path}")?;
+    }
+    save(&table, args.opt("o"), out)
+}
+
+fn truth_text(table: &Table, cell: &InjectedCell) -> String {
+    match cell.truth {
+        Value::Cat(code) => table.dictionary(cell.col)[code as usize].clone(),
+        Value::Num(v) => format!("{v}"),
+        Value::Null => unreachable!("log never stores null truths"),
+    }
+}
+
+fn cmd_evaluate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    args.check_known(&["clean", "dirty", "imputed"])?;
+    let clean = load(args.opt("clean").ok_or(CliError("--clean required".into()))?)?;
+    let dirty = load(args.opt("dirty").ok_or(CliError("--dirty required".into()))?)?;
+    let imputed = load(args.opt("imputed").ok_or(CliError("--imputed required".into()))?)?;
+    if clean.n_rows() != dirty.n_rows() || clean.n_columns() != dirty.n_columns() {
+        return Err(CliError("clean and dirty tables have different shapes".into()));
+    }
+    // reconstruct the corruption log: cells missing in dirty, present in clean
+    let mut log = CorruptionLog::default();
+    for (i, j) in dirty.missing_cells() {
+        let truth = clean.get(i, j);
+        if !truth.is_null() {
+            log.cells.push(InjectedCell { row: i, col: j, truth });
+        }
+    }
+    let result = evaluate(&clean, &imputed, &log);
+    writeln!(out, "test cells: {}", log.len())?;
+    match result.accuracy() {
+        Some(a) => writeln!(out, "categorical accuracy: {a:.4} ({}/{})", result.cat_correct, result.cat_total)?,
+        None => writeln!(out, "categorical accuracy: n/a")?,
+    }
+    match result.rmse() {
+        Some(r) => writeln!(out, "numerical RMSE (column-std normalized): {r:.4}")?,
+        None => writeln!(out, "numerical RMSE: n/a")?,
+    }
+    if result.left_missing > 0 {
+        writeln!(out, "warning: {} cells left missing by the imputer", result.left_missing)?;
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    args.check_known(&[])?;
+    let input = args.require_positional(0, "input CSV path")?;
+    let table = load(input)?;
+    let s = dataset_stats(&table);
+    writeln!(out, "rows:              {}", s.rows)?;
+    writeln!(out, "columns:           {} ({} categorical, {} numerical)", s.cols, s.n_cat, s.n_num)?;
+    writeln!(out, "distinct values:   {}", s.distinct)?;
+    writeln!(out, "missing cells:     {} ({:.1}%)", table.n_missing(), 100.0 * table.missing_fraction())?;
+    writeln!(out, "S_avg (skewness):  {:.2}", s.s_avg)?;
+    writeln!(out, "K_avg (kurtosis):  {:.2}", s.k_avg)?;
+    writeln!(out, "F+_avg:            {:.2}", s.f_plus_avg)?;
+    writeln!(out, "N+_avg:            {:.2}", s.n_plus_avg)?;
+    Ok(())
+}
+
+fn cmd_generate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    args.check_known(&["seed", "o"])?;
+    let abbr = args.require_positional(0, "dataset abbreviation")?;
+    let id = DatasetId::ALL
+        .into_iter()
+        .find(|id| id.abbr().eq_ignore_ascii_case(abbr))
+        .ok_or_else(|| CliError(format!("unknown dataset {abbr:?} (AD AU CO CR FL IM MM TA TH TT)")))?;
+    let seed = args.opt_parse("seed", 0u64)?;
+    let d = generate(id, seed);
+    writeln!(out, "{}: {} rows, {} columns, {} FDs", d.name, d.table.n_rows(), d.table.n_columns(), d.fds.len())?;
+    save(&d.table, args.opt("o"), out)
+}
+
+/// Dispatch one CLI invocation; returns the process exit code.
+pub fn run(argv: &[String], out: &mut dyn Write) -> i32 {
+    let Some(command) = argv.first().map(String::as_str) else {
+        let _ = write!(out, "{USAGE}");
+        return 2;
+    };
+    let rest = &argv[1..];
+    let parse = |flags: &[&str]| Args::parse(rest, flags);
+    let result: Result<(), CliError> = (|| match command {
+        "impute" => cmd_impute(&parse(&["paper"])?, out),
+        "corrupt" => cmd_corrupt(&parse(&[])?, out),
+        "evaluate" => cmd_evaluate(&parse(&[])?, out),
+        "stats" => cmd_stats(&parse(&[])?, out),
+        "generate" => cmd_generate(&parse(&[])?, out),
+        "help" | "--help" | "-h" => {
+            write!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(CliError(format!("unknown command {other:?} (see `grimp help`)"))),
+    })();
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(args: &[&str]) -> (i32, String) {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        let code = run(&argv, &mut out);
+        (code, String::from_utf8(out).unwrap())
+    }
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("grimp-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, out) = run_str(&["help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn no_args_prints_usage_with_error_code() {
+        let (code, out) = run_str(&[]);
+        assert_eq!(code, 2);
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        let (code, out) = run_str(&["frobnicate"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown command"));
+    }
+
+    #[test]
+    fn generate_corrupt_impute_evaluate_pipeline() {
+        let dir = tmpdir();
+        let clean = dir.join("clean.csv");
+        let dirty = dir.join("dirty.csv");
+        let imputed = dir.join("imputed.csv");
+
+        let (code, out) =
+            run_str(&["generate", "MM", "--seed", "1", "-o", clean.to_str().unwrap()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("Mammogram"));
+
+        let (code, out) = run_str(&[
+            "corrupt",
+            clean.to_str().unwrap(),
+            "--rate",
+            "0.1",
+            "-o",
+            dirty.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("blanked"));
+
+        let (code, out) = run_str(&[
+            "impute",
+            dirty.to_str().unwrap(),
+            "--algo",
+            "knn",
+            "-o",
+            imputed.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("KNN"));
+
+        let (code, out) = run_str(&[
+            "evaluate",
+            "--clean",
+            clean.to_str().unwrap(),
+            "--dirty",
+            dirty.to_str().unwrap(),
+            "--imputed",
+            imputed.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("categorical accuracy"), "{out}");
+    }
+
+    #[test]
+    fn stats_reports_table_shape() {
+        let dir = tmpdir();
+        let clean = dir.join("stats.csv");
+        run_str(&["generate", "TT", "-o", clean.to_str().unwrap()]);
+        let (code, out) = run_str(&["stats", clean.to_str().unwrap()]);
+        assert_eq!(code, 0);
+        assert!(out.contains("rows:              958"), "{out}");
+        assert!(out.contains("distinct values:   5"), "{out}");
+    }
+
+    #[test]
+    fn unknown_algorithm_is_rejected() {
+        let dir = tmpdir();
+        let clean = dir.join("algo.csv");
+        run_str(&["generate", "MM", "-o", clean.to_str().unwrap()]);
+        let (code, out) = run_str(&["impute", clean.to_str().unwrap(), "--algo", "nope"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown algorithm"));
+    }
+
+    #[test]
+    fn mnar_mechanism_is_available() {
+        let dir = tmpdir();
+        let clean = dir.join("mnar-clean.csv");
+        let dirty = dir.join("mnar-dirty.csv");
+        run_str(&["generate", "TT", "-o", clean.to_str().unwrap()]);
+        let (code, out) = run_str(&[
+            "corrupt",
+            clean.to_str().unwrap(),
+            "--mechanism",
+            "mnar",
+            "--rate",
+            "0.2",
+            "-o",
+            dirty.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+    }
+
+    #[test]
+    fn missing_files_produce_clean_errors() {
+        let (code, out) = run_str(&["stats", "/nonexistent/nope.csv"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("error:"));
+    }
+}

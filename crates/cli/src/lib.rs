@@ -1,0 +1,22 @@
+//! # grimp-cli
+//!
+//! Command-line workflows over the GRIMP workspace:
+//!
+//! ```text
+//! grimp impute   dirty.csv --algo grimp -o imputed.csv
+//! grimp corrupt  clean.csv --rate 0.2 --mechanism mcar -o dirty.csv
+//! grimp evaluate --clean clean.csv --dirty dirty.csv --imputed imputed.csv
+//! grimp stats    table.csv
+//! grimp generate TA -o tax.csv
+//! ```
+//!
+//! The library half holds the testable command implementations; `main.rs`
+//! only dispatches.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::{run, CliError};

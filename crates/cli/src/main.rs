@@ -1,0 +1,9 @@
+//! `grimp` — the command-line entry point. All logic lives in the library
+//! half (`grimp_cli::run`) so it is unit-testable.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    std::process::exit(grimp_cli::run(&argv, &mut lock));
+}

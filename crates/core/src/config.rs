@@ -1,0 +1,177 @@
+//! GRIMP hyperparameters.
+
+use grimp_gnn::GnnConfig;
+use grimp_graph::{EmbdiConfig, FeatureSource, GraphConfig};
+
+/// Which task-specific head to use (paper §3.5, Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Fully connected layers only — faster, slightly less accurate.
+    Linear,
+    /// The attention structure of Fig. 6 — the paper's default.
+    Attention,
+}
+
+/// How the attention selection matrix `K` is built (paper Fig. 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KStrategy {
+    /// All columns weighted equally.
+    Diagonal,
+    /// Only the task's own column is attended.
+    TargetColumn,
+    /// Target column weighted highest, others still considered
+    /// (the paper's default).
+    WeakDiagonal,
+    /// Weak diagonal plus extra weight on columns sharing an FD with the
+    /// task's column (GRIMP-A in §4.3).
+    WeakDiagonalFd,
+}
+
+/// Loss used for categorical tasks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CategoricalLoss {
+    /// Standard softmax cross-entropy.
+    CrossEntropy,
+    /// Focal loss with the given `γ`.
+    Focal(f32),
+}
+
+/// Full configuration of a GRIMP model.
+#[derive(Clone, Debug)]
+pub struct GrimpConfig {
+    /// Pre-trained feature strategy (GRIMP-FT / GRIMP-E / random).
+    pub features: FeatureSource,
+    /// Pre-trained feature dimensionality.
+    pub feature_dim: usize,
+    /// Graph construction options.
+    pub graph: GraphConfig,
+    /// EMBDI stage options (used when `features == Embdi`).
+    pub embdi: EmbdiConfig,
+    /// GNN shape (`L_GNN` layers × `#P_GNN` units).
+    pub gnn: GnnConfig,
+    /// Hidden width of the shared merge step (`#P_Lin`).
+    pub merge_hidden: usize,
+    /// Output width of the shared layer = per-column slot width `D` of the
+    /// training vectors.
+    pub embed_dim: usize,
+    /// Task head kind.
+    pub task_kind: TaskKind,
+    /// Attention `K` strategy.
+    pub k_strategy: KStrategy,
+    /// Categorical loss.
+    pub categorical_loss: CategoricalLoss,
+    /// Maximum training epochs (paper: 300 with early termination).
+    pub max_epochs: usize,
+    /// Early-stopping patience in epochs on validation loss.
+    pub patience: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Fraction of training samples held out for validation (paper: 20 %).
+    pub validation_fraction: f64,
+    /// Optional cap on training samples per task per epoch, to bound
+    /// runtime on large tables. `None` uses everything.
+    pub max_train_samples_per_task: Option<usize>,
+    /// Seed for every stochastic component.
+    pub seed: u64,
+}
+
+impl Default for GrimpConfig {
+    fn default() -> Self {
+        GrimpConfig::paper()
+    }
+}
+
+impl GrimpConfig {
+    /// The paper's default configuration: attention tasks with a weak
+    /// diagonal `K`, 2×64 GNN, 128-wide merge, 300 epochs with early
+    /// termination.
+    pub fn paper() -> Self {
+        GrimpConfig {
+            features: FeatureSource::FastText,
+            feature_dim: 32,
+            graph: GraphConfig::default(),
+            embdi: EmbdiConfig::default(),
+            gnn: GnnConfig { layers: 2, hidden: 64, ..Default::default() },
+            merge_hidden: 128,
+            embed_dim: 64,
+            task_kind: TaskKind::Attention,
+            k_strategy: KStrategy::WeakDiagonal,
+            categorical_loss: CategoricalLoss::CrossEntropy,
+            max_epochs: 300,
+            patience: 10,
+            lr: 5e-3,
+            validation_fraction: 0.2,
+            max_train_samples_per_task: None,
+            seed: 0,
+        }
+    }
+
+    /// A reduced configuration used by the experiment harness so the full
+    /// 10-dataset × 3-missingness × many-algorithms grid finishes on one
+    /// machine. Shapes shrink but the architecture is unchanged.
+    pub fn fast() -> Self {
+        GrimpConfig {
+            feature_dim: 32,
+            gnn: GnnConfig { layers: 2, hidden: 48, ..Default::default() },
+            merge_hidden: 96,
+            embed_dim: 48,
+            max_epochs: 100,
+            patience: 10,
+            lr: 1e-2,
+            max_train_samples_per_task: Some(1200),
+            ..GrimpConfig::paper()
+        }
+    }
+
+    /// Switch to linear task heads.
+    pub fn with_linear_tasks(mut self) -> Self {
+        self.task_kind = TaskKind::Linear;
+        self
+    }
+
+    /// Switch the feature source.
+    pub fn with_features(mut self, source: FeatureSource) -> Self {
+        self.features = source;
+        self
+    }
+
+    /// Switch the `K` strategy.
+    pub fn with_k_strategy(mut self, k: KStrategy) -> Self {
+        self.k_strategy = k;
+        self
+    }
+
+    /// Set the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_published_shapes() {
+        let c = GrimpConfig::paper();
+        assert_eq!(c.gnn.layers, 2);
+        assert_eq!(c.gnn.hidden, 64);
+        assert_eq!(c.merge_hidden, 128);
+        assert_eq!(c.max_epochs, 300);
+        assert_eq!(c.task_kind, TaskKind::Attention);
+        assert_eq!(c.k_strategy, KStrategy::WeakDiagonal);
+        assert!((c.validation_fraction - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = GrimpConfig::fast()
+            .with_linear_tasks()
+            .with_k_strategy(KStrategy::Diagonal)
+            .with_seed(9);
+        assert_eq!(c.task_kind, TaskKind::Linear);
+        assert_eq!(c.k_strategy, KStrategy::Diagonal);
+        assert_eq!(c.seed, 9);
+    }
+}

@@ -1,0 +1,54 @@
+//! # grimp (grimp-core)
+//!
+//! GRIMP — **G**raph embeddings for **R**elational data **IMP**utation
+//! (Cappuzzo, Thirumuruganathan, Papotti; EDBT 2024) — reimplemented in
+//! Rust on a from-scratch autodiff/GNN stack.
+//!
+//! GRIMP imputes missing values in mixed categorical/numerical tables:
+//!
+//! 1. the table becomes a heterogeneous quasi-bipartite graph
+//!    ([`grimp_graph::TableGraph`]);
+//! 2. a heterogeneous GraphSAGE ([`grimp_gnn::HeteroSage`]) plus a two-layer
+//!    merge step (the *shared layer*) produces cell-value embeddings;
+//! 3. one *task* per attribute — multi-class classifier or regressor,
+//!    linear or attention-structured ([`Task`]) — imputes that attribute,
+//!    trained jointly under hard parameter sharing with a summed dual loss
+//!    (cross-entropy/focal + MSE) and early stopping on a 20 % validation
+//!    holdout.
+//!
+//! Training is self-supervised: every non-missing cell yields a training
+//! sample with that cell masked, so no clean data is required.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use grimp::{Grimp, GrimpConfig};
+//! use grimp_table::{csv::read_csv_str, Imputer};
+//!
+//! let dirty = read_csv_str("city,country\nParis,France\nRome,\nParis,\n").unwrap();
+//! let mut model = Grimp::new(GrimpConfig::fast().with_seed(1));
+//! let imputed = model.impute(&dirty);
+//! assert_eq!(imputed.n_missing(), 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod federated;
+pub mod inductive;
+pub mod mc;
+pub mod model;
+pub mod params;
+pub mod tasks;
+pub mod tuner;
+pub mod vectors;
+
+pub use config::{CategoricalLoss, GrimpConfig, KStrategy, TaskKind};
+pub use federated::{FederatedConfig, FederatedGrimp, FederatedReport};
+pub use inductive::TrainedGrimp;
+pub use mc::{GlobalDomain, GnnMc};
+pub use model::{Grimp, TrainReport};
+pub use params::{ParamCounts, ParamFormula};
+pub use tasks::{build_k_matrix, Task};
+pub use tuner::{default_candidates, select_config, ProbeResult, TunerConfig};
+pub use vectors::VectorBatch;

@@ -1,0 +1,484 @@
+//! The GRIMP model: shared layer (HeteroGNN + merge) and multi-task heads,
+//! trained end-to-end with the dual loss and early stopping (paper §3,
+//! Algorithm 1).
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use grimp_gnn::HeteroSage;
+use grimp_graph::{build_features, TableGraph};
+use grimp_table::{ColumnKind, Corpus, FdSet, Imputer, Normalizer, Table, Value};
+use grimp_tensor::{Adam, Mlp, Tape, Tensor, Var};
+
+use crate::config::{CategoricalLoss, GrimpConfig};
+use crate::tasks::Task;
+use crate::vectors::VectorBatch;
+
+/// Outcome of one training run.
+#[derive(Clone, Debug, Default)]
+pub struct TrainReport {
+    /// Epochs actually executed.
+    pub epochs_run: usize,
+    /// Per-epoch summed training loss.
+    pub train_losses: Vec<f32>,
+    /// Per-epoch summed validation loss.
+    pub val_losses: Vec<f32>,
+    /// Whether early stopping fired before `max_epochs`.
+    pub early_stopped: bool,
+    /// Wall-clock seconds of the whole fit+impute.
+    pub seconds: f64,
+    /// Scalar parameters actually allocated on the tape.
+    pub n_weights: usize,
+}
+
+/// The GRIMP imputer (paper §3). Construct with a config, call
+/// [`Grimp::fit_impute`] (or the [`Imputer`] trait) on a dirty table.
+pub struct Grimp {
+    config: GrimpConfig,
+    fds: FdSet,
+    last_report: Option<TrainReport>,
+}
+
+/// Per-task label storage.
+enum Labels {
+    Cat(Rc<Vec<u32>>),
+    Num(Rc<Vec<f32>>),
+}
+
+struct TaskBatch {
+    batch: VectorBatch,
+    labels: Labels,
+}
+
+impl Grimp {
+    /// A GRIMP model with no FDs.
+    pub fn new(config: GrimpConfig) -> Self {
+        Grimp { config, fds: FdSet::empty(), last_report: None }
+    }
+
+    /// A GRIMP model that exploits the given FDs in its attention `K`
+    /// matrices (GRIMP-A of §4.3; pair with
+    /// [`crate::config::KStrategy::WeakDiagonalFd`]).
+    pub fn with_fds(config: GrimpConfig, fds: FdSet) -> Self {
+        Grimp { config, fds, last_report: None }
+    }
+
+    /// The report of the most recent [`Grimp::fit_impute`] call.
+    pub fn last_report(&self) -> Option<&TrainReport> {
+        self.last_report.as_ref()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GrimpConfig {
+        &self.config
+    }
+
+    /// Train on the dirty table (self-supervised — no clean data needed) and
+    /// impute all its missing values.
+    pub fn fit_impute(&mut self, dirty: &Table) -> Table {
+        let start = Instant::now();
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Normalize numericals (paper §3.2); labels and the graph use the
+        // normalized copy, outputs are de-normalized at the end.
+        let normalizer = Normalizer::fit(dirty);
+        let mut norm = dirty.clone();
+        normalizer.apply(&mut norm);
+
+        // Training corpus and validation holdout (§3.3, §3.6).
+        let corpus = Corpus::build(&norm, cfg.validation_fraction, &mut rng);
+        let excluded: Vec<(usize, usize)> =
+            corpus.validation_flat().map(|s| (s.row, s.target_col)).collect();
+
+        // Graph without validation edges (§3.6) — test cells are already ∅.
+        let graph = TableGraph::build(&norm, cfg.graph, &excluded);
+        let features =
+            build_features(&graph, &norm, cfg.features, cfg.feature_dim, &cfg.embdi, &mut rng);
+        let feature_tensor = Tensor::from_vec(
+            graph.n_nodes(),
+            cfg.feature_dim,
+            features.node_matrix.clone(),
+        );
+
+        // Shared layer: HeteroGNN + two-linear-layer merge (§3.5).
+        let mut tape = Tape::new();
+        let gnn = HeteroSage::new(&mut tape, &graph, cfg.feature_dim, cfg.gnn, &mut rng);
+        let merge =
+            Mlp::new(&mut tape, &[cfg.gnn.hidden, cfg.merge_hidden, cfg.embed_dim], &mut rng);
+
+        // Task-specific layer: one head per attribute.
+        let n_cols = norm.n_columns();
+        let tasks: Vec<Task> = (0..n_cols)
+            .map(|j| {
+                let out_dim = match norm.schema().column(j).kind {
+                    ColumnKind::Categorical => norm.dictionary(j).len().max(1),
+                    ColumnKind::Numerical => 1,
+                };
+                let q_init = Some(attribute_q_init(&features.attribute_matrix, features.dim, n_cols, cfg.embed_dim));
+                Task::new(
+                    &mut tape,
+                    cfg.task_kind,
+                    n_cols,
+                    cfg.embed_dim,
+                    cfg.merge_hidden,
+                    out_dim,
+                    j,
+                    cfg.k_strategy,
+                    &self.fds,
+                    q_init,
+                    &mut rng,
+                )
+            })
+            .collect();
+        tape.freeze();
+        let n_weights = tape.total_param_elems();
+        let mut adam = Adam::new(cfg.lr);
+
+        // Pre-build the per-task batches (they are fixed across epochs).
+        let train_batches = build_task_batches(
+            &graph,
+            &norm,
+            &corpus.train,
+            cfg.embed_dim,
+            cfg.max_train_samples_per_task,
+            &mut rng,
+        );
+        let val_batches =
+            build_task_batches(&graph, &norm, &corpus.validation, cfg.embed_dim, None, &mut rng);
+
+        // Training loop with early stopping on validation loss.
+        let mut report = TrainReport { n_weights, ..Default::default() };
+        let mut best_val = f32::INFINITY;
+        let mut since_best = 0usize;
+        for _epoch in 0..cfg.max_epochs {
+            let x = tape.input(feature_tensor.clone());
+            let h0 = gnn.forward(&mut tape, x);
+            let h = merge.forward(&mut tape, h0);
+
+            let mut train_losses: Vec<Var> = Vec::new();
+            for (task, tb) in tasks.iter().zip(&train_batches) {
+                if let Some(tb) = tb {
+                    train_losses.push(task_loss(&mut tape, task, h, tb, cfg.categorical_loss));
+                }
+            }
+            let mut val_total = 0.0f32;
+            for (task, tb) in tasks.iter().zip(&val_batches) {
+                if let Some(tb) = tb {
+                    let l = task_loss(&mut tape, task, h, tb, cfg.categorical_loss);
+                    val_total += tape.value(l).item();
+                }
+            }
+            if train_losses.is_empty() {
+                tape.reset();
+                break;
+            }
+            let total = tape.add_n(&train_losses);
+            let train_total = tape.value(total).item();
+            tape.backward(total);
+            adam.step(&mut tape);
+            tape.reset();
+
+            report.epochs_run += 1;
+            report.train_losses.push(train_total);
+            report.val_losses.push(val_total);
+            if val_total + 1e-5 < best_val {
+                best_val = val_total;
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if since_best >= cfg.patience {
+                    report.early_stopped = true;
+                    break;
+                }
+            }
+        }
+
+        // Imputation (§3.7): one forward pass, per-column argmax /
+        // de-normalized regression.
+        let mut result = dirty.clone();
+        let x = tape.input(feature_tensor.clone());
+        let h0 = gnn.forward(&mut tape, x);
+        let h = merge.forward(&mut tape, h0);
+        for j in 0..n_cols {
+            let missing: Vec<(usize, usize)> = (0..norm.n_rows())
+                .filter(|&i| norm.is_missing(i, j))
+                .map(|i| (i, j))
+                .collect();
+            if missing.is_empty() {
+                continue;
+            }
+            let batch = VectorBatch::build(&graph, &norm, &missing, cfg.embed_dim);
+            let out = tasks[j].forward(&mut tape, h, &batch);
+            let out_t = tape.value(out).clone();
+            match norm.schema().column(j).kind {
+                ColumnKind::Categorical => {
+                    if norm.dictionary(j).is_empty() {
+                        continue; // nothing to impute with
+                    }
+                    for (s, &(i, _)) in missing.iter().enumerate() {
+                        let row = out_t.row_slice(s);
+                        let best = row
+                            .iter()
+                            .enumerate()
+                            .max_by(|a, b| a.1.total_cmp(b.1))
+                            .map(|(k, _)| k as u32)
+                            .expect("non-empty logits row");
+                        result.set(i, j, Value::Cat(best));
+                    }
+                }
+                ColumnKind::Numerical => {
+                    for (s, &(i, _)) in missing.iter().enumerate() {
+                        let z = f64::from(out_t.get(s, 0));
+                        result.set(i, j, Value::Num(normalizer.inverse(j, z)));
+                    }
+                }
+            }
+        }
+        tape.reset();
+        report.seconds = start.elapsed().as_secs_f64();
+        self.last_report = Some(report);
+        result
+    }
+}
+
+impl Imputer for Grimp {
+    fn name(&self) -> &str {
+        match (self.config.task_kind, self.config.features) {
+            (crate::config::TaskKind::Linear, _) => "GRIMP-linear",
+            (_, grimp_graph::FeatureSource::Embdi) => "GRIMP-E",
+            (_, grimp_graph::FeatureSource::FastText) => "GRIMP-FT",
+            (_, grimp_graph::FeatureSource::Random) => "GRIMP-rand",
+        }
+    }
+
+    fn impute(&mut self, dirty: &Table) -> Table {
+        self.fit_impute(dirty)
+    }
+}
+
+/// Tile/truncate pre-trained attribute vectors (`n_cols × feat_dim`) into a
+/// `n_cols × embed_dim` initialization for the attention matrix `Q`.
+fn attribute_q_init(
+    attr_matrix: &[f32],
+    feat_dim: usize,
+    n_cols: usize,
+    embed_dim: usize,
+) -> Tensor {
+    let mut q = Tensor::zeros(n_cols, embed_dim);
+    for c in 0..n_cols {
+        let src = &attr_matrix[c * feat_dim..(c + 1) * feat_dim];
+        for d in 0..embed_dim {
+            q.set(c, d, src[d % feat_dim]);
+        }
+    }
+    q
+}
+
+fn build_task_batches(
+    graph: &TableGraph,
+    table: &Table,
+    per_task: &[Vec<grimp_table::TrainingSample>],
+    dim: usize,
+    cap: Option<usize>,
+    rng: &mut StdRng,
+) -> Vec<Option<TaskBatch>> {
+    per_task
+        .iter()
+        .enumerate()
+        .map(|(j, samples)| {
+            if samples.is_empty() {
+                return None;
+            }
+            let mut samples: Vec<&grimp_table::TrainingSample> = samples.iter().collect();
+            if let Some(cap) = cap {
+                if samples.len() > cap {
+                    samples.shuffle(rng);
+                    samples.truncate(cap);
+                }
+            }
+            let positions: Vec<(usize, usize)> =
+                samples.iter().map(|s| (s.row, s.target_col)).collect();
+            let batch = VectorBatch::build(graph, table, &positions, dim);
+            let labels = match table.schema().column(j).kind {
+                ColumnKind::Categorical => Labels::Cat(Rc::new(
+                    samples
+                        .iter()
+                        .map(|s| s.label.as_cat().expect("categorical label"))
+                        .collect(),
+                )),
+                ColumnKind::Numerical => Labels::Num(Rc::new(
+                    samples
+                        .iter()
+                        .map(|s| s.label.as_num().expect("numerical label") as f32)
+                        .collect(),
+                )),
+            };
+            Some(TaskBatch { batch, labels })
+        })
+        .collect()
+}
+
+fn task_loss(
+    tape: &mut Tape,
+    task: &Task,
+    h: Var,
+    tb: &TaskBatch,
+    cat_loss: CategoricalLoss,
+) -> Var {
+    let out = task.forward(tape, h, &tb.batch);
+    match &tb.labels {
+        Labels::Cat(targets) => match cat_loss {
+            CategoricalLoss::CrossEntropy => tape.softmax_cross_entropy(out, Rc::clone(targets)),
+            CategoricalLoss::Focal(gamma) => tape.focal_loss(out, Rc::clone(targets), gamma),
+        },
+        Labels::Num(targets) => tape.mse_loss(out, Rc::clone(targets)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TaskKind;
+    use grimp_graph::FeatureSource;
+    use grimp_table::{check_imputation_contract, inject_mcar, ColumnKind, Schema};
+
+    /// A table where column `b` is a deterministic function of column `a` —
+    /// any reasonable imputer should recover blanked `b` cells.
+    fn functional_table(n: usize) -> Table {
+        let schema = Schema::from_pairs(&[
+            ("a", ColumnKind::Categorical),
+            ("b", ColumnKind::Categorical),
+            ("x", ColumnKind::Numerical),
+        ]);
+        let mut t = Table::empty(schema);
+        for i in 0..n {
+            let a = format!("a{}", i % 4);
+            let b = format!("b{}", i % 4);
+            let x = format!("{}", (i % 4) as f64 * 10.0);
+            t.push_str_row(&[Some(&a), Some(&b), Some(&x)]);
+        }
+        t
+    }
+
+    fn tiny_config(kind: TaskKind) -> GrimpConfig {
+        GrimpConfig {
+            features: FeatureSource::FastText,
+            feature_dim: 16,
+            gnn: grimp_gnn::GnnConfig { layers: 2, hidden: 16, ..Default::default() },
+            merge_hidden: 32,
+            embed_dim: 16,
+            task_kind: kind,
+            max_epochs: 80,
+            patience: 15,
+            lr: 2e-2,
+            seed: 7,
+            ..GrimpConfig::paper()
+        }
+    }
+
+    #[test]
+    fn imputation_satisfies_the_contract() {
+        let clean = functional_table(60);
+        let mut dirty = clean.clone();
+        inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(1));
+        let mut model = Grimp::new(tiny_config(TaskKind::Attention));
+        let imputed = model.fit_impute(&dirty);
+        check_imputation_contract(&dirty, &imputed).unwrap();
+    }
+
+    #[test]
+    fn learns_functional_relationship_with_attention() {
+        let clean = functional_table(80);
+        let mut dirty = clean.clone();
+        let log = inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(2));
+        let mut model = Grimp::new(tiny_config(TaskKind::Attention));
+        let imputed = model.fit_impute(&dirty);
+        // accuracy on categorical cells must beat the 25 % random baseline
+        let cat_cells: Vec<_> = log.cells.iter().filter(|c| c.col < 2).collect();
+        let correct = cat_cells
+            .iter()
+            .filter(|c| imputed.get(c.row, c.col) == c.truth)
+            .count();
+        let acc = correct as f64 / cat_cells.len().max(1) as f64;
+        assert!(acc > 0.5, "categorical accuracy too low: {acc}");
+        let report = model.last_report().unwrap();
+        assert!(report.epochs_run > 0);
+        assert_eq!(report.train_losses.len(), report.epochs_run);
+    }
+
+    #[test]
+    fn linear_tasks_also_work() {
+        let clean = functional_table(60);
+        let mut dirty = clean.clone();
+        let log = inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(3));
+        let mut model = Grimp::new(tiny_config(TaskKind::Linear));
+        let imputed = model.fit_impute(&dirty);
+        check_imputation_contract(&dirty, &imputed).unwrap();
+        let cat_cells: Vec<_> = log.cells.iter().filter(|c| c.col < 2).collect();
+        let correct =
+            cat_cells.iter().filter(|c| imputed.get(c.row, c.col) == c.truth).count();
+        assert!(correct as f64 / cat_cells.len().max(1) as f64 > 0.5);
+    }
+
+    #[test]
+    fn numerical_imputations_are_denormalized() {
+        let clean = functional_table(60);
+        let mut dirty = clean.clone();
+        inject_mcar(&mut dirty, 0.15, &mut StdRng::seed_from_u64(4));
+        let mut model = Grimp::new(tiny_config(TaskKind::Attention));
+        let imputed = model.fit_impute(&dirty);
+        // imputed numericals must be in the vicinity of the column's range
+        for i in 0..imputed.n_rows() {
+            if dirty.is_missing(i, 2) {
+                let v = imputed.get(i, 2).as_num().unwrap();
+                assert!((-30.0..60.0).contains(&v), "imputed numeric {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn focal_loss_variant_trains_and_imputes() {
+        // the paper's alternative categorical loss (§3.6): same pipeline,
+        // focal loss with γ = 2
+        let clean = functional_table(60);
+        let mut dirty = clean.clone();
+        let log = inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(8));
+        let mut cfg = tiny_config(TaskKind::Attention);
+        cfg.categorical_loss = crate::config::CategoricalLoss::Focal(2.0);
+        let mut model = Grimp::new(cfg);
+        let imputed = model.fit_impute(&dirty);
+        check_imputation_contract(&dirty, &imputed).unwrap();
+        let cat: Vec<_> = log.cells.iter().filter(|c| c.col < 2).collect();
+        let correct = cat.iter().filter(|c| imputed.get(c.row, c.col) == c.truth).count();
+        assert!(correct as f64 / cat.len().max(1) as f64 > 0.5, "focal-loss variant underperforms");
+    }
+
+    #[test]
+    fn early_stopping_fires_with_zero_patience_budget() {
+        let clean = functional_table(40);
+        let mut dirty = clean.clone();
+        inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(5));
+        let mut cfg = tiny_config(TaskKind::Linear);
+        cfg.patience = 1;
+        cfg.max_epochs = 50;
+        let mut model = Grimp::new(cfg);
+        let _ = model.fit_impute(&dirty);
+        let report = model.last_report().unwrap();
+        assert!(report.epochs_run <= 50);
+    }
+
+    #[test]
+    fn imputer_trait_names_variants() {
+        assert_eq!(Grimp::new(tiny_config(TaskKind::Attention)).name(), "GRIMP-FT");
+        assert_eq!(
+            Grimp::new(tiny_config(TaskKind::Attention).with_features(FeatureSource::Embdi)).name(),
+            "GRIMP-E"
+        );
+        assert_eq!(Grimp::new(tiny_config(TaskKind::Linear)).name(), "GRIMP-linear");
+    }
+}

@@ -1,0 +1,151 @@
+//! Training-vector batches (paper §3.3 and §3.5).
+//!
+//! A *training vector* is a tuple's row of cell embeddings with the target
+//! attribute (and every `∅` cell) masked to the zero vector. For efficiency
+//! the `N × C × D` collection `V_A` of one task is laid out as an
+//! `(N·C) × D` gather from the node-embedding matrix plus a 0/1 mask, and a
+//! `N × C` additive bias of `-1e9` keeps masked slots out of the attention
+//! softmax.
+
+use std::rc::Rc;
+
+use grimp_graph::TableGraph;
+use grimp_table::Table;
+use grimp_tensor::Tensor;
+
+/// Score bias used to exclude masked slots from attention.
+pub const MASKED_SCORE_BIAS: f32 = -1e9;
+
+/// A batch of training (or imputation) vectors for one task.
+#[derive(Clone, Debug)]
+pub struct VectorBatch {
+    /// Number of samples `N`.
+    pub n: usize,
+    /// Columns per sample `C`.
+    pub n_cols: usize,
+    /// Slot width `D`.
+    pub dim: usize,
+    /// `N·C` gather indices into the node-embedding matrix (masked slots
+    /// point at node 0 and are zeroed by `mask`).
+    pub idx: Rc<Vec<u32>>,
+    /// `(N·C) × D` multiplicative 0/1 mask.
+    pub mask: Tensor,
+    /// `N × C` additive attention-score bias (0 for live slots,
+    /// [`MASKED_SCORE_BIAS`] for masked ones).
+    pub score_bias: Tensor,
+}
+
+impl VectorBatch {
+    /// Build the batch for `samples`, each a `(row, target_col)` pair. The
+    /// slot of `target_col` is always masked; other slots are masked when
+    /// the cell is `∅` (or its value has no node, which cannot happen for
+    /// values of the same table the graph was built from).
+    pub fn build(
+        graph: &TableGraph,
+        table: &Table,
+        samples: &[(usize, usize)],
+        dim: usize,
+    ) -> Self {
+        let n = samples.len();
+        let n_cols = table.n_columns();
+        let mut idx = Vec::with_capacity(n * n_cols);
+        let mut mask = Tensor::zeros(n * n_cols, dim);
+        let mut score_bias = Tensor::zeros(n, n_cols);
+        for (s, &(row, target_col)) in samples.iter().enumerate() {
+            for c in 0..n_cols {
+                let slot = s * n_cols + c;
+                let node = if c == target_col {
+                    None
+                } else {
+                    graph.cell_node_of(table, row, c)
+                };
+                match node {
+                    Some(node) => {
+                        idx.push(node);
+                        mask.row_slice_mut(slot).fill(1.0);
+                    }
+                    None => {
+                        idx.push(0);
+                        score_bias.set(s, c, MASKED_SCORE_BIAS);
+                    }
+                }
+            }
+        }
+        VectorBatch { n, n_cols, dim, idx: Rc::new(idx), mask, score_bias }
+    }
+
+    /// True when the batch holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grimp_graph::GraphConfig;
+    use grimp_table::{ColumnKind, Schema};
+
+    fn setup() -> (Table, TableGraph) {
+        let schema = Schema::from_pairs(&[
+            ("a", ColumnKind::Categorical),
+            ("b", ColumnKind::Categorical),
+            ("c", ColumnKind::Categorical),
+        ]);
+        let t = Table::from_rows(
+            schema,
+            &[
+                vec![Some("x"), Some("p"), Some("m")],
+                vec![Some("y"), None, Some("m")],
+            ],
+        );
+        let g = TableGraph::build(&t, GraphConfig::default(), &[]);
+        (t, g)
+    }
+
+    #[test]
+    fn target_column_is_always_masked() {
+        let (t, g) = setup();
+        let b = VectorBatch::build(&g, &t, &[(0, 1)], 4);
+        assert_eq!(b.n, 1);
+        // slot of column 1 masked, others live
+        assert_eq!(b.mask.row_slice(0), &[1.0; 4]);
+        assert_eq!(b.mask.row_slice(1), &[0.0; 4]);
+        assert_eq!(b.mask.row_slice(2), &[1.0; 4]);
+        assert_eq!(b.score_bias.get(0, 1), MASKED_SCORE_BIAS);
+        assert_eq!(b.score_bias.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn null_cells_are_masked_too() {
+        let (t, g) = setup();
+        // row 1 has ∅ in column 1; target column 0
+        let b = VectorBatch::build(&g, &t, &[(1, 0)], 4);
+        assert_eq!(b.mask.row_slice(0), &[0.0; 4]); // target
+        assert_eq!(b.mask.row_slice(1), &[0.0; 4]); // null
+        assert_eq!(b.mask.row_slice(2), &[1.0; 4]); // live
+    }
+
+    #[test]
+    fn live_slots_point_at_the_right_nodes() {
+        let (t, g) = setup();
+        let b = VectorBatch::build(&g, &t, &[(0, 0)], 4);
+        let p_node = g.cell_node(1, "p").unwrap();
+        let m_node = g.cell_node(2, "m").unwrap();
+        assert_eq!(b.idx[1], p_node);
+        assert_eq!(b.idx[2], m_node);
+    }
+
+    #[test]
+    fn same_vector_for_different_targets_differs_only_in_mask() {
+        // the Fig. 5 scenario: one row, two different target columns
+        let (t, g) = setup();
+        let b0 = VectorBatch::build(&g, &t, &[(0, 0)], 4);
+        let b1 = VectorBatch::build(&g, &t, &[(0, 1)], 4);
+        // slot 2 (column c) identical in both
+        assert_eq!(b0.idx[2], b1.idx[2]);
+        assert_eq!(b0.mask.row_slice(2), b1.mask.row_slice(2));
+        // masks of the target slots differ
+        assert_ne!(b0.mask.row_slice(0), b1.mask.row_slice(0));
+    }
+}

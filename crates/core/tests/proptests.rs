@@ -1,0 +1,108 @@
+//! Property-based tests of GRIMP's core machinery: training-vector batches,
+//! K-matrix construction, and the imputation contract on random tables.
+
+use grimp::{build_k_matrix, Grimp, GrimpConfig, KStrategy, VectorBatch};
+use grimp_graph::{GraphConfig, TableGraph};
+use grimp_table::{check_imputation_contract, ColumnKind, FdSet, Imputer, Schema, Table};
+use proptest::prelude::*;
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    let cat = prop_oneof![
+        4 => (0u32..4).prop_map(Some),
+        1 => Just(None),
+    ];
+    proptest::collection::vec((cat.clone(), cat), 3..25).prop_map(|rows| {
+        let schema = Schema::from_pairs(&[
+            ("a", ColumnKind::Categorical),
+            ("b", ColumnKind::Categorical),
+        ]);
+        let mut t = Table::empty(schema);
+        for (a, b) in rows {
+            let a = a.map(|v| format!("a{v}"));
+            let b = b.map(|v| format!("b{v}"));
+            t.push_str_row(&[a.as_deref(), b.as_deref()]);
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn vector_batches_mask_consistently(t in arb_table(), dim in 2usize..16) {
+        let g = TableGraph::build(&t, GraphConfig::default(), &[]);
+        let samples: Vec<(usize, usize)> = (0..t.n_rows())
+            .flat_map(|i| (0..t.n_columns()).map(move |j| (i, j)))
+            .collect();
+        let batch = VectorBatch::build(&g, &t, &samples, dim);
+        prop_assert_eq!(batch.n, samples.len());
+        for (s, &(row, target)) in samples.iter().enumerate() {
+            for c in 0..t.n_columns() {
+                let slot = s * t.n_columns() + c;
+                let masked = batch.mask.row_slice(slot).iter().all(|&v| v == 0.0);
+                let live = batch.mask.row_slice(slot).iter().all(|&v| v == 1.0);
+                prop_assert!(masked || live, "mask rows must be all-0 or all-1");
+                let expect_masked = c == target || t.is_missing(row, c);
+                prop_assert_eq!(masked, expect_masked, "slot ({}, {})", s, c);
+                // score bias mirrors the mask
+                let biased = batch.score_bias.get(s, c) < -1e8;
+                prop_assert_eq!(biased, expect_masked);
+            }
+        }
+    }
+
+    #[test]
+    fn k_matrices_are_diagonal_and_bounded(n_cols in 1usize..12, target in 0usize..12) {
+        let target = target % n_cols;
+        for strategy in [
+            KStrategy::Diagonal,
+            KStrategy::TargetColumn,
+            KStrategy::WeakDiagonal,
+            KStrategy::WeakDiagonalFd,
+        ] {
+            let k = build_k_matrix(strategy, n_cols, target, &FdSet::empty());
+            prop_assert_eq!(k.shape(), (n_cols, n_cols));
+            for r in 0..n_cols {
+                for c in 0..n_cols {
+                    let v = k.get(r, c);
+                    if r != c {
+                        prop_assert_eq!(v, 0.0, "{:?} off-diagonal", strategy);
+                    } else {
+                        prop_assert!((0.0..=1.0).contains(&v), "{:?} weight {}", strategy, v);
+                    }
+                }
+            }
+            // the target's weight is maximal on the diagonal
+            let target_w = k.get(target, target);
+            for c in 0..n_cols {
+                prop_assert!(k.get(c, c) <= target_w + 1e-9, "{:?}", strategy);
+            }
+        }
+    }
+
+    #[test]
+    fn grimp_contract_on_random_tables(t in arb_table(), seed in 0u64..8) {
+        // only when every column has at least one observed value
+        prop_assume!((0..t.n_columns()).all(|j| t.column(j).n_missing() < t.n_rows()));
+        let cfg = GrimpConfig {
+            feature_dim: 8,
+            gnn: grimp_gnn::GnnConfig { layers: 1, hidden: 8, ..Default::default() },
+            merge_hidden: 16,
+            embed_dim: 8,
+            max_epochs: 4,
+            patience: 2,
+            ..GrimpConfig::fast()
+        }
+        .with_seed(seed);
+        let mut model = Grimp::new(cfg);
+        let imputed = model.impute(&t);
+        prop_assert!(check_imputation_contract(&t, &imputed).is_ok());
+        // categorical imputations come from the column's domain
+        for (i, j) in t.missing_cells() {
+            let v = imputed.display(i, j);
+            let prefix = if j == 0 { "a" } else { "b" };
+            prop_assert!(v.starts_with(prefix), "leaked {v} into column {j}");
+        }
+    }
+}

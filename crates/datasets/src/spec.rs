@@ -1,0 +1,449 @@
+//! Generator specifications for the ten evaluation datasets.
+//!
+//! The real UCI/IMDB/Tax files are not redistributable in this offline
+//! environment, so each dataset is regenerated synthetically to match the
+//! published Table 1 statistics: row count, column counts per kind, FD sets,
+//! and — because §5 shows these drive imputation difficulty — the
+//! value-frequency *shape* of each column (domain size and Zipf skew).
+//! See DESIGN.md §3 for the substitution rationale.
+
+/// Specification of one categorical column.
+#[derive(Clone, Copy, Debug)]
+pub struct CatSpec {
+    /// Domain size (distinct values).
+    pub domain: usize,
+    /// Zipf exponent of the value-frequency distribution
+    /// (0 = uniform, 1+ = heavily skewed).
+    pub zipf: f64,
+    /// Whether the column tracks the latent row cluster (making it
+    /// predictable from other tracking columns).
+    pub clustered: bool,
+    /// When set, the column is the conclusion of an FD whose premise is the
+    /// column at this index (within the *categorical* column list): its
+    /// value is a deterministic function of the premise value.
+    pub fd_of: Option<usize>,
+    /// Share surface value names with other columns using the same pool id
+    /// (`None` = column-private names). Lets Tic-Tac-Toe reproduce its tiny
+    /// table-wide distinct count.
+    pub shared_pool: Option<usize>,
+}
+
+impl CatSpec {
+    /// A plain clustered column.
+    pub const fn plain(domain: usize, zipf: f64) -> Self {
+        CatSpec { domain, zipf, clustered: true, fd_of: None, shared_pool: None }
+    }
+
+    /// An independent (non-clustered) column.
+    pub const fn noise(domain: usize, zipf: f64) -> Self {
+        CatSpec { domain, zipf, clustered: false, fd_of: None, shared_pool: None }
+    }
+
+    /// A column functionally determined by categorical column `premise`.
+    pub const fn fd(domain: usize, premise: usize) -> Self {
+        CatSpec { domain, zipf: 0.8, clustered: false, fd_of: Some(premise), shared_pool: None }
+    }
+}
+
+/// Specification of one numerical column.
+#[derive(Clone, Copy, Debug)]
+pub struct NumSpec {
+    /// Gaussian spread around the cluster mean.
+    pub spread: f64,
+    /// Quantization step (controls the distinct count).
+    pub step: f64,
+    /// Whether the column tracks the latent row cluster.
+    pub clustered: bool,
+}
+
+impl NumSpec {
+    /// A clustered numerical column.
+    pub const fn plain(spread: f64, step: f64) -> Self {
+        NumSpec { spread, step, clustered: true }
+    }
+}
+
+/// Full generator spec of one dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Full name.
+    pub name: &'static str,
+    /// Table 1 abbreviation.
+    pub abbr: &'static str,
+    /// Row count (as published).
+    pub rows: usize,
+    /// Latent clusters inducing inter-column correlation.
+    pub clusters: usize,
+    /// Categorical columns.
+    pub cat: Vec<CatSpec>,
+    /// Numerical columns.
+    pub num: Vec<NumSpec>,
+    /// FDs as (premise categorical index, conclusion categorical index)
+    /// pairs — must be consistent with the `fd_of` fields.
+    pub fd_pairs: Vec<(usize, usize)>,
+}
+
+impl DatasetSpec {
+    /// Total column count.
+    pub fn n_columns(&self) -> usize {
+        self.cat.len() + self.num.len()
+    }
+}
+
+/// The ten datasets of the paper's Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// UCI Adult (census income), 2 FDs.
+    Adult,
+    /// UCI Australian credit approval.
+    Australian,
+    /// UCI Contraceptive method choice.
+    Contraceptive,
+    /// UCI Credit approval.
+    Credit,
+    /// UCI Solar Flare.
+    Flare,
+    /// IMDB movies.
+    Imdb,
+    /// UCI Mammographic mass.
+    Mammogram,
+    /// Synthetic Tax (data-repair benchmark), 6 FDs.
+    Tax,
+    /// UCI Thoracic surgery.
+    Thoracic,
+    /// UCI Tic-Tac-Toe endgame.
+    TicTacToe,
+}
+
+impl DatasetId {
+    /// All ten datasets in the paper's Table 1 order.
+    pub const ALL: [DatasetId; 10] = [
+        DatasetId::Adult,
+        DatasetId::Australian,
+        DatasetId::Contraceptive,
+        DatasetId::Credit,
+        DatasetId::Flare,
+        DatasetId::Imdb,
+        DatasetId::Mammogram,
+        DatasetId::Tax,
+        DatasetId::Thoracic,
+        DatasetId::TicTacToe,
+    ];
+
+    /// The generator spec matching this dataset's Table 1 row.
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            // 3016 rows, 9 cat + 5 num, 289 distinct, 2 FDs, S≈2.6 K≈13.
+            DatasetId::Adult => DatasetSpec {
+                name: "Adult",
+                abbr: "AD",
+                rows: 3016,
+                clusters: 6,
+                cat: vec![
+                    CatSpec::plain(9, 1.2),  // workclass
+                    CatSpec::plain(16, 1.1), // education
+                    CatSpec::fd(7, 1),       // education group ← education (FD 1)
+                    CatSpec::plain(15, 1.2), // occupation
+                    CatSpec::plain(6, 1.3),  // relationship
+                    CatSpec::plain(5, 1.8),  // race
+                    CatSpec::plain(2, 0.6),  // sex
+                    CatSpec::plain(42, 2.2), // native country (head-heavy)
+                    CatSpec::fd(20, 7),      // region ← country (FD 2)
+                ],
+                num: vec![
+                    NumSpec::plain(12.0, 1.0), // age
+                    NumSpec::plain(2.5, 1.0),  // education-num
+                    NumSpec::plain(30.0, 5.0), // hours
+                    NumSpec::plain(800.0, 100.0),
+                    NumSpec::plain(400.0, 100.0),
+                ],
+                fd_pairs: vec![(1, 2), (7, 8)],
+            },
+            // 690 rows, 9 cat + 6 num, 957 distinct (mostly from numerics).
+            DatasetId::Australian => DatasetSpec {
+                name: "Australian",
+                abbr: "AU",
+                rows: 690,
+                clusters: 4,
+                cat: vec![
+                    CatSpec::plain(2, 0.5),
+                    CatSpec::plain(3, 1.0),
+                    CatSpec::plain(4, 1.2),
+                    CatSpec::plain(14, 1.5),
+                    CatSpec::plain(9, 1.4),
+                    CatSpec::plain(2, 0.8),
+                    CatSpec::plain(3, 1.1),
+                    CatSpec::plain(2, 0.4),
+                    CatSpec::plain(2, 0.7),
+                ],
+                num: vec![
+                    NumSpec::plain(11.0, 0.25),
+                    NumSpec::plain(5.0, 0.125),
+                    NumSpec::plain(4.0, 0.25),
+                    NumSpec::plain(100.0, 1.0),
+                    NumSpec::plain(1500.0, 1.0),
+                    NumSpec::plain(3.0, 0.5),
+                ],
+                fd_pairs: vec![],
+            },
+            // 1473 rows, 8 cat + 2 num, 65 distinct, flat distributions.
+            DatasetId::Contraceptive => DatasetSpec {
+                name: "Contraceptive",
+                abbr: "CO",
+                rows: 1473,
+                clusters: 3,
+                cat: vec![
+                    CatSpec::plain(4, 0.3),
+                    CatSpec::plain(4, 0.3),
+                    CatSpec::plain(2, 0.2),
+                    CatSpec::plain(2, 0.3),
+                    CatSpec::plain(4, 0.4),
+                    CatSpec::plain(4, 0.3),
+                    CatSpec::plain(2, 0.2),
+                    CatSpec::plain(3, 0.4),
+                ],
+                num: vec![NumSpec::plain(8.0, 1.0), NumSpec::plain(3.5, 1.0)],
+                fd_pairs: vec![],
+            },
+            // 653 rows, 10 cat + 6 num, 918 distinct.
+            DatasetId::Credit => DatasetSpec {
+                name: "Credit",
+                abbr: "CR",
+                rows: 653,
+                clusters: 4,
+                cat: vec![
+                    CatSpec::plain(2, 0.5),
+                    CatSpec::plain(3, 1.2),
+                    CatSpec::plain(4, 1.3),
+                    CatSpec::plain(14, 1.6),
+                    CatSpec::plain(9, 1.5),
+                    CatSpec::plain(2, 0.7),
+                    CatSpec::plain(2, 0.6),
+                    CatSpec::plain(3, 1.0),
+                    CatSpec::plain(2, 0.5),
+                    CatSpec::plain(2, 0.4),
+                ],
+                num: vec![
+                    NumSpec::plain(12.0, 0.25),
+                    NumSpec::plain(5.0, 0.125),
+                    NumSpec::plain(4.0, 0.25),
+                    NumSpec::plain(6.0, 1.0),
+                    NumSpec::plain(150.0, 1.0),
+                    NumSpec::plain(1000.0, 1.0),
+                ],
+                fd_pairs: vec![],
+            },
+            // 1066 rows, 10 cat + 3 num, 34 distinct, very flat.
+            DatasetId::Flare => DatasetSpec {
+                name: "Flare",
+                abbr: "FL",
+                rows: 1066,
+                clusters: 3,
+                cat: vec![
+                    CatSpec::plain(6, 0.8),
+                    CatSpec::plain(6, 0.9),
+                    CatSpec::plain(4, 0.7),
+                    CatSpec::plain(2, 1.5),
+                    CatSpec::plain(3, 1.8),
+                    CatSpec::plain(2, 1.2),
+                    CatSpec::plain(2, 2.0),
+                    CatSpec::plain(2, 2.2),
+                    CatSpec::plain(2, 1.6),
+                    CatSpec::plain(2, 2.5),
+                ],
+                num: vec![
+                    NumSpec::plain(0.8, 1.0),
+                    NumSpec::plain(0.5, 1.0),
+                    NumSpec::plain(0.4, 1.0),
+                ],
+                fd_pairs: vec![],
+            },
+            // 4529 rows, 9 cat + 2 num, 9829 distinct: near-unique titles
+            // and names, high N+, low F+.
+            DatasetId::Imdb => DatasetSpec {
+                name: "IMDB",
+                abbr: "IM",
+                rows: 4529,
+                clusters: 8,
+                cat: vec![
+                    CatSpec::noise(8000, 0.1), // title: almost unique
+                    CatSpec::plain(1900, 1.0), // director: head stars repeat
+                    CatSpec::plain(2600, 1.0), // lead actor
+                    CatSpec::plain(23, 1.4),    // genre
+                    CatSpec::plain(60, 1.8),    // country
+                    CatSpec::plain(40, 1.9),    // language
+                    CatSpec::plain(320, 1.5),   // studio
+                    CatSpec::plain(12, 0.9),    // rating class
+                    CatSpec::plain(95, 1.0),    // year as category
+                ],
+                num: vec![NumSpec::plain(1.2, 0.1), NumSpec::plain(45.0, 1.0)],
+                fd_pairs: vec![],
+            },
+            // 830 rows, 5 cat + 1 num, 93 distinct.
+            DatasetId::Mammogram => DatasetSpec {
+                name: "Mammogram",
+                abbr: "MM",
+                rows: 830,
+                clusters: 2,
+                cat: vec![
+                    CatSpec::plain(5, 0.9),
+                    CatSpec::plain(4, 0.8),
+                    CatSpec::plain(5, 0.7),
+                    CatSpec::plain(4, 1.1),
+                    CatSpec::plain(2, 0.4),
+                ],
+                num: vec![NumSpec::plain(14.0, 1.0)],
+                fd_pairs: vec![],
+            },
+            // 5000 rows, 5 cat + 7 num, 910 distinct, 6 FDs over 10 attrs.
+            DatasetId::Tax => DatasetSpec {
+                name: "Tax",
+                abbr: "TA",
+                rows: 5000,
+                clusters: 10,
+                cat: vec![
+                    CatSpec::plain(180, 1.4), // zip
+                    CatSpec::fd(60, 0),       // city ← zip
+                    CatSpec::fd(25, 1),       // state ← city (zip → state transitively)
+                    CatSpec::fd(50, 0),       // area code ← zip
+                    CatSpec::fd(12, 2),       // region ← state
+                ],
+                num: vec![
+                    NumSpec::plain(20000.0, 1000.0), // salary
+                    NumSpec::plain(3.0, 0.25),       // rate
+                    NumSpec::plain(1500.0, 100.0),
+                    NumSpec::plain(700.0, 100.0),
+                    NumSpec::plain(2.0, 0.5),
+                    NumSpec::plain(40.0, 1.0),
+                    NumSpec::plain(12.0, 1.0),
+                ],
+                // six FDs, all holding by the zip→city→state→region chain:
+                // zip→city, zip→state, zip→areacode, city→state,
+                // state→region, city→region.
+                fd_pairs: vec![(0, 1), (0, 2), (0, 3), (1, 2), (2, 4), (1, 4)],
+            },
+            // 470 rows, 14 cat + 3 num, 255 distinct, dominated by binary
+            // attributes with one frequent value (high F+, K≈-1.3).
+            DatasetId::Thoracic => DatasetSpec {
+                name: "Thoracic",
+                abbr: "TH",
+                rows: 470,
+                clusters: 2,
+                cat: vec![
+                    CatSpec::plain(7, 0.8),
+                    CatSpec::plain(3, 1.0),
+                    CatSpec::plain(4, 1.2),
+                    CatSpec::plain(2, 1.6),
+                    CatSpec::plain(2, 1.9),
+                    CatSpec::plain(2, 2.1),
+                    CatSpec::plain(2, 1.7),
+                    CatSpec::plain(2, 2.3),
+                    CatSpec::plain(2, 1.5),
+                    CatSpec::plain(2, 2.0),
+                    CatSpec::plain(2, 1.8),
+                    CatSpec::plain(2, 2.4),
+                    CatSpec::plain(4, 1.3),
+                    CatSpec::plain(2, 1.4),
+                ],
+                num: vec![
+                    NumSpec::plain(0.9, 0.01),
+                    NumSpec::plain(0.8, 0.01),
+                    NumSpec::plain(8.5, 1.0),
+                ],
+                fd_pairs: vec![],
+            },
+            // 958 rows, 9 cat + 0 num, 5 distinct table-wide: board columns
+            // share the x/o/b surface pool, the class column its own 2.
+            DatasetId::TicTacToe => DatasetSpec {
+                name: "Tic-Tac-Toe",
+                abbr: "TT",
+                rows: 958,
+                clusters: 2,
+                cat: {
+                    let mut cols: Vec<CatSpec> = (0..8)
+                        .map(|_| CatSpec {
+                            domain: 3,
+                            zipf: 0.25,
+                            clustered: true,
+                            fd_of: None,
+                            shared_pool: Some(0),
+                        })
+                        .collect();
+                    cols.push(CatSpec {
+                        domain: 2,
+                        zipf: 0.3,
+                        clustered: true,
+                        fd_of: None,
+                        shared_pool: Some(1),
+                    });
+                    cols
+                },
+                num: vec![],
+                fd_pairs: vec![],
+            },
+        }
+    }
+
+    /// Table 1 abbreviation.
+    pub fn abbr(self) -> &'static str {
+        self.spec().abbr
+    }
+
+    /// Full name.
+    pub fn name(self) -> &'static str {
+        self.spec().name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Column counts straight from the paper's Table 1.
+    const TABLE_1_SHAPE: [(DatasetId, usize, usize, usize, usize); 10] = [
+        (DatasetId::Adult, 3016, 14, 9, 5),
+        (DatasetId::Australian, 690, 15, 9, 6),
+        (DatasetId::Contraceptive, 1473, 10, 8, 2),
+        (DatasetId::Credit, 653, 16, 10, 6),
+        (DatasetId::Flare, 1066, 13, 10, 3),
+        (DatasetId::Imdb, 4529, 11, 9, 2),
+        (DatasetId::Mammogram, 830, 6, 5, 1),
+        (DatasetId::Tax, 5000, 12, 5, 7),
+        (DatasetId::Thoracic, 470, 17, 14, 3),
+        (DatasetId::TicTacToe, 958, 9, 9, 0),
+    ];
+
+    #[test]
+    fn specs_match_table_1_shapes() {
+        for (id, rows, cols, n_cat, n_num) in TABLE_1_SHAPE {
+            let s = id.spec();
+            assert_eq!(s.rows, rows, "{:?} rows", id);
+            assert_eq!(s.n_columns(), cols, "{:?} columns", id);
+            assert_eq!(s.cat.len(), n_cat, "{:?} categorical", id);
+            assert_eq!(s.num.len(), n_num, "{:?} numerical", id);
+        }
+    }
+
+    #[test]
+    fn fd_counts_match_table_1() {
+        assert_eq!(DatasetId::Adult.spec().fd_pairs.len(), 2);
+        assert_eq!(DatasetId::Tax.spec().fd_pairs.len(), 6);
+        for id in DatasetId::ALL {
+            if !matches!(id, DatasetId::Adult | DatasetId::Tax) {
+                assert!(id.spec().fd_pairs.is_empty(), "{id:?} should have no FDs");
+            }
+        }
+    }
+
+    #[test]
+    fn fd_of_fields_are_consistent() {
+        for id in DatasetId::ALL {
+            let s = id.spec();
+            for c in &s.cat {
+                if let Some(p) = c.fd_of {
+                    assert!(p < s.cat.len(), "{id:?} fd premise out of range");
+                }
+            }
+        }
+    }
+}

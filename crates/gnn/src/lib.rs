@@ -1,0 +1,12 @@
+//! # grimp-gnn
+//!
+//! Heterogeneous GraphSAGE message passing over the GRIMP table graph
+//! (paper §3.4–3.5, Eq. 1): one mean-aggregator sub-module per
+//! (layer, attribute) pair, summed across edge types (`γ`) and passed
+//! through ReLU (`σ`). The `W_self` term realizes the paper's self-loops.
+
+#![warn(missing_docs)]
+
+pub mod sage;
+
+pub use sage::{GnnConfig, HeteroSage, OperatorAssignment};

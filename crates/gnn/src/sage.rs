@@ -1,0 +1,512 @@
+//! Heterogeneous GraphSAGE (paper §3.5, Eq. 1).
+//!
+//! Each layer `L_k` holds one sub-module `l_{kt}` per edge type `t` (one per
+//! table attribute). A sub-module is a GraphSAGE mean-aggregator operating
+//! only on edges of its type:
+//!
+//! `z_t = h · W_self^{kt} + mean_{u ∈ N_t(v)}(h_u) · W_neigh^{kt} + b^{kt}`
+//!
+//! The per-type outputs are combined by the aggregation `γ` (summation) and
+//! passed through the nonlinearity `σ` (ReLU):
+//!
+//! `h^{(k)} = σ( Σ_t z_t )`
+//!
+//! The `W_self` term realizes the self-loops the paper adds to the graph.
+//! Weights are **not** shared across sub-modules ("allows some independence
+//! between each column").
+
+use std::rc::Rc;
+
+use rand::{Rng, SeedableRng};
+
+use grimp_graph::TableGraph;
+use grimp_tensor::{init, Adjacency, Tape, Tensor, Var};
+
+/// Hyperparameters of the heterogeneous GNN.
+#[derive(Clone, Copy, Debug)]
+pub struct GnnConfig {
+    /// Number of message-passing layers (`L_GNN`; paper default 2).
+    pub layers: usize,
+    /// Width of every layer (`#P_GNN`; paper default 64).
+    pub hidden: usize,
+    /// Optional neighbor-sampling cap: at most this many neighbors per
+    /// node per edge type are kept (uniformly sampled). This implements
+    /// the graph-pruning efficiency direction of the paper's §7 — the
+    /// original GraphSAGE neighborhood sampling — trading a little accuracy
+    /// on high-degree cell nodes for linear-in-cap aggregation cost.
+    /// `None` aggregates over the full neighborhood (the paper's default).
+    pub neighbor_cap: Option<usize>,
+    /// Which convolution operator the sub-modules use. The paper notes each
+    /// sub-module could use a different architecture ("l11 using GCN, l12
+    /// uses GraphSAGE…") but employs GraphSAGE everywhere; all three
+    /// assignments are available here.
+    pub operator: OperatorAssignment,
+}
+
+impl Default for GnnConfig {
+    fn default() -> Self {
+        GnnConfig {
+            layers: 2,
+            hidden: 64,
+            neighbor_cap: None,
+            operator: OperatorAssignment::AllSage,
+        }
+    }
+}
+
+/// How convolution operators are assigned to sub-modules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OperatorAssignment {
+    /// GraphSAGE mean aggregation everywhere (the paper's choice).
+    AllSage,
+    /// Kipf–Welling GCN (symmetric-normalized aggregation with self-loops)
+    /// everywhere.
+    AllGcn,
+    /// The paper's illustrative mix: even-indexed columns use GraphSAGE,
+    /// odd-indexed columns use GCN.
+    Alternating,
+}
+
+impl OperatorAssignment {
+    fn is_gcn(self, edge_type: usize) -> bool {
+        match self {
+            OperatorAssignment::AllSage => false,
+            OperatorAssignment::AllGcn => true,
+            OperatorAssignment::Alternating => edge_type % 2 == 1,
+        }
+    }
+}
+
+/// One sub-module `l_{kt}`: GraphSAGE mean-aggregator or GCN.
+#[derive(Clone, Debug)]
+enum Module {
+    /// `z = h·W_self + mean_N(h)·W_neigh + b`.
+    Sage { w_self: Var, w_neigh: Var, bias: Var },
+    /// `z = (Â h)·W + b` with `Â` the symmetric-normalized adjacency with
+    /// self-loops (Kipf & Welling, 2017).
+    Gcn { w: Var, bias: Var },
+}
+
+impl Module {
+    fn new_sage(tape: &mut Tape, in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Module::Sage {
+            w_self: tape.param(init::xavier_uniform(in_dim, out_dim, rng)),
+            w_neigh: tape.param(init::xavier_uniform(in_dim, out_dim, rng)),
+            bias: tape.param(Tensor::zeros(1, out_dim)),
+        }
+    }
+
+    fn new_gcn(tape: &mut Tape, in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Module::Gcn {
+            w: tape.param(init::xavier_uniform(in_dim, out_dim, rng)),
+            bias: tape.param(Tensor::zeros(1, out_dim)),
+        }
+    }
+
+    fn forward(&self, tape: &mut Tape, h: Var, adj: &TypeAdjacency) -> Var {
+        match self {
+            Module::Sage { w_self, w_neigh, bias } => {
+                let neigh = tape.scatter_mean(h, Rc::clone(&adj.mean));
+                let self_part = tape.matmul(h, *w_self);
+                let neigh_part = tape.matmul(neigh, *w_neigh);
+                let sum = tape.add(self_part, neigh_part);
+                tape.add_row_broadcast(sum, *bias)
+            }
+            Module::Gcn { w, bias } => {
+                let agg =
+                    tape.scatter_weighted(h, Rc::clone(&adj.gcn), Rc::clone(&adj.gcn_weights));
+                let z = tape.matmul(agg, *w);
+                tape.add_row_broadcast(z, *bias)
+            }
+        }
+    }
+
+    fn n_weights(&self, in_dim: usize, out_dim: usize) -> usize {
+        match self {
+            Module::Sage { .. } => 2 * in_dim * out_dim + out_dim,
+            Module::Gcn { .. } => in_dim * out_dim + out_dim,
+        }
+    }
+}
+
+/// Per-edge-type aggregation structures: the plain neighbor lists for
+/// GraphSAGE's mean, and the self-looped symmetric-normalized version for
+/// GCN.
+struct TypeAdjacency {
+    mean: Rc<Adjacency>,
+    gcn: Rc<Adjacency>,
+    gcn_weights: Rc<Vec<f32>>,
+}
+
+/// Append self-loops and compute `1/sqrt((d_i+1)(d_j+1))` edge weights.
+fn gcn_normalize(lists: &[Vec<u32>]) -> (Adjacency, Vec<f32>) {
+    let deg: Vec<usize> = lists.iter().map(Vec::len).collect();
+    let mut with_self: Vec<Vec<u32>> = Vec::with_capacity(lists.len());
+    let mut weights = Vec::new();
+    for (i, list) in lists.iter().enumerate() {
+        let mut row = list.clone();
+        row.push(i as u32); // self-loop
+        for &j in &row {
+            let dj = deg[j as usize] + 1;
+            let di = deg[i] + 1;
+            weights.push(1.0 / ((di * dj) as f32).sqrt());
+        }
+        with_self.push(row);
+    }
+    (Adjacency::from_lists(&with_self), weights)
+}
+
+/// Build per-type CSR adjacencies, optionally subsampling each node's
+/// neighbor list to `cap` entries.
+fn build_adjacencies(
+    graph: &TableGraph,
+    cap: Option<usize>,
+    rng: &mut impl Rng,
+) -> Vec<TypeAdjacency> {
+    use rand::seq::SliceRandom;
+    graph
+        .neighbor_lists()
+        .into_iter()
+        .map(|mut lists| {
+            if let Some(cap) = cap {
+                for list in &mut lists {
+                    if list.len() > cap {
+                        list.shuffle(rng);
+                        list.truncate(cap);
+                        list.sort_unstable();
+                    }
+                }
+            }
+            let (gcn, gcn_weights) = gcn_normalize(&lists);
+            TypeAdjacency {
+                mean: Rc::new(Adjacency::from_lists(&lists)),
+                gcn: Rc::new(gcn),
+                gcn_weights: Rc::new(gcn_weights),
+            }
+        })
+        .collect()
+}
+
+/// The heterogeneous GNN: `layers × edge_types` GraphSAGE sub-modules plus
+/// the per-type CSR adjacencies of one table graph.
+pub struct HeteroSage {
+    modules: Vec<Vec<Module>>,
+    adj: Vec<TypeAdjacency>,
+    in_dim: usize,
+    config: GnnConfig,
+}
+
+impl HeteroSage {
+    /// Register the GNN's parameters on `tape` and precompute the per-type
+    /// adjacencies of `graph`.
+    pub fn new(
+        tape: &mut Tape,
+        graph: &TableGraph,
+        in_dim: usize,
+        config: GnnConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(config.layers >= 1, "at least one GNN layer required");
+        let n_types = graph.n_edge_types();
+        let mut modules = Vec::with_capacity(config.layers);
+        for layer in 0..config.layers {
+            let d_in = if layer == 0 { in_dim } else { config.hidden };
+            let row: Vec<Module> = (0..n_types)
+                .map(|t| {
+                    if config.operator.is_gcn(t) {
+                        Module::new_gcn(tape, d_in, config.hidden, rng)
+                    } else {
+                        Module::new_sage(tape, d_in, config.hidden, rng)
+                    }
+                })
+                .collect();
+            modules.push(row);
+        }
+        let adj = build_adjacencies(graph, config.neighbor_cap, rng);
+        HeteroSage { modules, adj, in_dim, config }
+    }
+
+    /// Rebind the GNN to a different graph with the same number of edge
+    /// types (used when the underlying table's edges change, e.g. fresh
+    /// corruption or inductive reuse, while keeping trained weights).
+    /// Neighbor sampling (when configured) is re-drawn deterministically.
+    pub fn rebind(&mut self, graph: &TableGraph) {
+        assert_eq!(
+            graph.n_edge_types(),
+            self.modules[0].len(),
+            "graph has a different number of edge types"
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x5a9e);
+        self.adj = build_adjacencies(graph, self.config.neighbor_cap, &mut rng);
+    }
+
+    /// Message passing over all layers. `features` must be
+    /// `n_nodes × in_dim`; the result is `n_nodes × hidden`.
+    pub fn forward(&self, tape: &mut Tape, features: Var) -> Var {
+        assert_eq!(
+            tape.value(features).cols(),
+            self.in_dim,
+            "feature width does not match GNN input dim"
+        );
+        let mut h = features;
+        for row in &self.modules {
+            let per_type: Vec<Var> = row
+                .iter()
+                .zip(&self.adj)
+                .map(|(module, adj)| module.forward(tape, h, adj))
+                .collect();
+            let combined = tape.add_n(&per_type);
+            h = tape.relu(combined);
+        }
+        h
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.config.hidden
+    }
+
+    /// Configured shape.
+    pub fn config(&self) -> GnnConfig {
+        self.config
+    }
+
+    /// Number of scalar weights actually allocated (all sub-modules).
+    pub fn n_weights(&self) -> usize {
+        let mut total = 0;
+        for (layer, row) in self.modules.iter().enumerate() {
+            let d_in = if layer == 0 { self.in_dim } else { self.config.hidden };
+            total += row.iter().map(|m| m.n_weights(d_in, self.config.hidden)).sum::<usize>();
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grimp_graph::GraphConfig;
+    use grimp_table::{ColumnKind, Schema, Table};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn graph() -> (Table, TableGraph) {
+        let schema = Schema::from_pairs(&[
+            ("a", ColumnKind::Categorical),
+            ("b", ColumnKind::Categorical),
+        ]);
+        let t = Table::from_rows(
+            schema,
+            &[
+                vec![Some("x"), Some("p")],
+                vec![Some("x"), Some("q")],
+                vec![Some("y"), None],
+            ],
+        );
+        let g = TableGraph::build(&t, GraphConfig::default(), &[]);
+        (t, g)
+    }
+
+    #[test]
+    fn forward_produces_hidden_width_for_all_nodes() {
+        let (_, g) = graph();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut tape = Tape::new();
+        let sage = HeteroSage::new(&mut tape, &g, 8, GnnConfig { layers: 2, hidden: 16, ..Default::default() }, &mut rng);
+        tape.freeze();
+        let x = tape.input(Tensor::full(g.n_nodes(), 8, 0.1));
+        let h = sage.forward(&mut tape, x);
+        assert_eq!(tape.value(h).shape(), (g.n_nodes(), 16));
+        assert!(tape.value(h).all_finite());
+    }
+
+    #[test]
+    fn gradients_flow_to_every_submodule() {
+        let (_, g) = graph();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut tape = Tape::new();
+        let sage = HeteroSage::new(&mut tape, &g, 4, GnnConfig { layers: 2, hidden: 8, ..Default::default() }, &mut rng);
+        tape.freeze();
+        let x = tape.input(Tensor::full(g.n_nodes(), 4, 0.5));
+        let h = sage.forward(&mut tape, x);
+        let sq = tape.mul_elem(h, h);
+        let loss = tape.sum_all(sq);
+        tape.backward(loss);
+        let mut with_grad = 0;
+        for i in 0..tape.param_count() {
+            if tape.grad(Var::from_index(i)).is_some() {
+                with_grad += 1;
+            }
+        }
+        // 2 layers x 2 types x 3 tensors
+        assert_eq!(with_grad, 12);
+    }
+
+    #[test]
+    fn isolated_nodes_still_get_representations() {
+        // A node with no edges in some type must not produce NaNs
+        // (scatter_mean yields a zero row; the self term carries it).
+        let schema = Schema::from_pairs(&[("a", ColumnKind::Categorical)]);
+        let t = Table::from_rows(schema, &[vec![Some("x")], vec![None]]);
+        let g = TableGraph::build(&t, GraphConfig::default(), &[]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut tape = Tape::new();
+        let sage = HeteroSage::new(&mut tape, &g, 4, GnnConfig { layers: 2, hidden: 8, ..Default::default() }, &mut rng);
+        tape.freeze();
+        let x = tape.input(Tensor::full(g.n_nodes(), 4, 1.0));
+        let h = sage.forward(&mut tape, x);
+        assert!(tape.value(h).all_finite());
+    }
+
+    #[test]
+    fn neighbors_influence_each_other() {
+        // Changing a neighbor's features must change a node's output.
+        let (_, g) = graph();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut tape = Tape::new();
+        let sage = HeteroSage::new(&mut tape, &g, 4, GnnConfig { layers: 1, hidden: 8, ..Default::default() }, &mut rng);
+        tape.freeze();
+
+        let run = |tape: &mut Tape, feat: Tensor| -> Tensor {
+            let x = tape.input(feat);
+            let h = sage.forward(tape, x);
+            let out = tape.value(h).clone();
+            tape.reset();
+            out
+        };
+        let base = Tensor::full(g.n_nodes(), 4, 0.5);
+        let mut changed = base.clone();
+        // perturb the cell node shared by rows 0 and 1 (value "x" in col a)
+        let shared = g.cell_node(0, "x").unwrap() as usize;
+        for d in 0..4 {
+            changed.set(shared, d, 5.0);
+        }
+        let h_base = run(&mut tape, base);
+        let h_changed = run(&mut tape, changed);
+        // row 0 and row 1 RID outputs must differ, row 2's must not
+        // (row 2 holds value "y", not "x", and has no column-b edge).
+        let diff = |r: usize| -> f32 {
+            h_base
+                .row_slice(r)
+                .iter()
+                .zip(h_changed.row_slice(r))
+                .map(|(&a, &b)| (a - b).abs())
+                .sum()
+        };
+        assert!(diff(0) > 1e-4);
+        assert!(diff(1) > 1e-4);
+        assert!(diff(2) < 1e-6);
+    }
+
+    #[test]
+    fn neighbor_cap_bounds_every_adjacency_list() {
+        // a table where one cell value is shared by many rows → high degree
+        let schema = Schema::from_pairs(&[("a", ColumnKind::Categorical)]);
+        let rows: Vec<Vec<Option<&str>>> = (0..50).map(|_| vec![Some("hot")]).collect();
+        let t = Table::from_rows(schema, &rows);
+        let g = TableGraph::build(&t, GraphConfig::default(), &[]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut tape = Tape::new();
+        let cfg = GnnConfig { layers: 1, hidden: 8, neighbor_cap: Some(4), ..Default::default() };
+        let sage = HeteroSage::new(&mut tape, &g, 4, cfg, &mut rng);
+        tape.freeze();
+        // the hot cell node has degree 50 uncapped; forward must behave as
+        // if degree ≤ 4 — verify via the adjacency actually used
+        for adj in &sage.adj {
+            for node in 0..adj.mean.n_rows() {
+                assert!(
+                    adj.mean.degree(node) <= 4,
+                    "node {node} degree {}",
+                    adj.mean.degree(node)
+                );
+            }
+        }
+        // and the forward pass still works
+        let x = tape.input(Tensor::full(g.n_nodes(), 4, 0.5));
+        let h = sage.forward(&mut tape, x);
+        assert!(tape.value(h).all_finite());
+    }
+
+    #[test]
+    fn uncapped_config_keeps_full_neighborhoods() {
+        let schema = Schema::from_pairs(&[("a", ColumnKind::Categorical)]);
+        let rows: Vec<Vec<Option<&str>>> = (0..20).map(|_| vec![Some("hot")]).collect();
+        let t = Table::from_rows(schema, &rows);
+        let g = TableGraph::build(&t, GraphConfig::default(), &[]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut tape = Tape::new();
+        let sage = HeteroSage::new(
+            &mut tape,
+            &g,
+            4,
+            GnnConfig { layers: 1, hidden: 8, ..Default::default() },
+            &mut rng,
+        );
+        let hot = g.cell_node(0, "hot").unwrap() as usize;
+        assert_eq!(sage.adj[0].mean.degree(hot), 20);
+    }
+
+    #[test]
+    fn gcn_modules_forward_and_train() {
+        let (_, g) = graph();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut tape = Tape::new();
+        let cfg = GnnConfig {
+            layers: 2,
+            hidden: 8,
+            operator: OperatorAssignment::AllGcn,
+            ..Default::default()
+        };
+        let sage = HeteroSage::new(&mut tape, &g, 4, cfg, &mut rng);
+        tape.freeze();
+        let x = tape.input(Tensor::full(g.n_nodes(), 4, 0.5));
+        let h = sage.forward(&mut tape, x);
+        assert!(tape.value(h).all_finite());
+        let sq = tape.mul_elem(h, h);
+        let loss = tape.sum_all(sq);
+        tape.backward(loss);
+        let with_grad = (0..tape.param_count())
+            .filter(|&i| tape.grad(Var::from_index(i)).is_some())
+            .count();
+        // 2 layers x 2 types x 2 tensors (GCN has W + bias)
+        assert_eq!(with_grad, 8);
+    }
+
+    #[test]
+    fn alternating_assignment_mixes_operators() {
+        let (_, g) = graph();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut tape = Tape::new();
+        let cfg = GnnConfig {
+            layers: 1,
+            hidden: 8,
+            operator: OperatorAssignment::Alternating,
+            ..Default::default()
+        };
+        let sage = HeteroSage::new(&mut tape, &g, 4, cfg, &mut rng);
+        // column 0 = SAGE (3 tensors), column 1 = GCN (2 tensors)
+        assert_eq!(tape.total_param_elems(), sage.n_weights());
+        assert_eq!(sage.n_weights(), (2 * 4 * 8 + 8) + (4 * 8 + 8));
+    }
+
+    #[test]
+    fn gcn_normalization_weights_are_symmetric_stochasticish() {
+        // hand check: path graph 0-1 plus self loops
+        let lists = vec![vec![1u32], vec![0u32]];
+        let (adj, w) = gcn_normalize(&lists);
+        assert_eq!(adj.n_edges(), 4); // 2 edges + 2 self-loops
+        // all degrees are 1 (+1 self) → every weight = 1/2
+        assert!(w.iter().all(|&x| (x - 0.5).abs() < 1e-6), "{w:?}");
+    }
+
+    #[test]
+    fn n_weights_matches_shape_arithmetic() {
+        let (_, g) = graph();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut tape = Tape::new();
+        let sage = HeteroSage::new(&mut tape, &g, 8, GnnConfig { layers: 2, hidden: 16, ..Default::default() }, &mut rng);
+        // layer 0: 2 types x (2*8*16 + 16); layer 1: 2 types x (2*16*16 + 16)
+        assert_eq!(sage.n_weights(), 2 * (2 * 8 * 16 + 16) + 2 * (2 * 16 * 16 + 16));
+        assert_eq!(tape.total_param_elems(), sage.n_weights());
+    }
+}

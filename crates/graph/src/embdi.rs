@@ -1,0 +1,347 @@
+//! EMBDI-style local embeddings: weighted random walks over a tripartite
+//! (RID — cell — attribute) graph, trained with skip-gram negative sampling.
+//!
+//! This implements the paper's second feature-initialization strategy
+//! (§3.4, "local embeddings"), including GRIMP's extension of the EMBDI
+//! graph with **"possible imputation" edges**: for every `∅` cell
+//! `t_i[A_j]`, the RID node of `t_i` is connected to *every* value node in
+//! `Dom(A_j)`, each edge weighted by the value's frequency in `A_j`, so the
+//! walk corpus is aware that the missing cell could take any domain value
+//! (frequent values more likely).
+
+use rand::Rng;
+
+use grimp_table::Table;
+
+use crate::fasttext::l2_normalize;
+use crate::hetero::TableGraph;
+
+/// Hyperparameters of the EMBDI embedding stage.
+#[derive(Clone, Copy, Debug)]
+pub struct EmbdiConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Random walks started from every node.
+    pub walks_per_node: usize,
+    /// Steps per walk.
+    pub walk_length: usize,
+    /// Skip-gram window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Passes over the walk corpus.
+    pub epochs: usize,
+    /// Initial learning rate (linearly decayed to 10 %).
+    pub lr: f32,
+}
+
+impl Default for EmbdiConfig {
+    fn default() -> Self {
+        EmbdiConfig {
+            dim: 32,
+            walks_per_node: 8,
+            walk_length: 14,
+            window: 2,
+            negatives: 3,
+            epochs: 3,
+            lr: 0.05,
+        }
+    }
+}
+
+/// Trained EMBDI embeddings aligned to a [`TableGraph`]'s nodes plus one
+/// vector per attribute.
+#[derive(Clone, Debug)]
+pub struct EmbdiEmbeddings {
+    /// Dimensionality of every vector.
+    pub dim: usize,
+    /// One vector per graph node (RIDs then cells), row-major.
+    pub node_vectors: Vec<f32>,
+    /// One vector per attribute, row-major.
+    pub attribute_vectors: Vec<f32>,
+}
+
+impl EmbdiEmbeddings {
+    /// Embedding of graph node `n`.
+    pub fn node(&self, n: usize) -> &[f32] {
+        &self.node_vectors[n * self.dim..(n + 1) * self.dim]
+    }
+
+    /// Embedding of attribute `j`.
+    pub fn attribute(&self, j: usize) -> &[f32] {
+        &self.attribute_vectors[j * self.dim..(j + 1) * self.dim]
+    }
+}
+
+/// Weighted adjacency of the walk graph.
+struct WalkGraph {
+    /// Per node: neighbor ids and cumulative weights for sampling.
+    neighbors: Vec<Vec<u32>>,
+    cumweights: Vec<Vec<f32>>,
+}
+
+impl WalkGraph {
+    fn add_edge(&mut self, a: u32, b: u32, w: f32) {
+        self.push_half(a, b, w);
+        self.push_half(b, a, w);
+    }
+
+    fn push_half(&mut self, from: u32, to: u32, w: f32) {
+        let nb = &mut self.neighbors[from as usize];
+        let cw = &mut self.cumweights[from as usize];
+        let prev = cw.last().copied().unwrap_or(0.0);
+        nb.push(to);
+        cw.push(prev + w);
+    }
+
+    fn sample_neighbor(&self, node: u32, rng: &mut impl Rng) -> Option<u32> {
+        let cw = &self.cumweights[node as usize];
+        let total = *cw.last()?;
+        let x = rng.gen_range(0.0..total);
+        let idx = cw.partition_point(|&c| c <= x).min(cw.len() - 1);
+        Some(self.neighbors[node as usize][idx])
+    }
+}
+
+fn build_walk_graph(graph: &TableGraph, table: &Table) -> WalkGraph {
+    let n_cols = graph.n_edge_types();
+    let n_total = graph.n_nodes() + n_cols; // + attribute nodes
+    let mut wg = WalkGraph {
+        neighbors: vec![Vec::new(); n_total],
+        cumweights: vec![Vec::new(); n_total],
+    };
+    // RID — cell edges.
+    for t in 0..n_cols {
+        for &(rid, cell) in &graph.edges_of(t).pairs {
+            wg.add_edge(rid, cell, 1.0);
+        }
+    }
+    // cell — attribute edges.
+    for t in 0..n_cols {
+        let attr_node = (graph.n_nodes() + t) as u32;
+        for (_, cell) in graph.column_cells(t) {
+            wg.add_edge(cell, attr_node, 1.0);
+        }
+    }
+    // "possible imputation" edges for null cells, frequency-weighted.
+    // BTreeMap keeps edge insertion order deterministic (it feeds the
+    // cumulative-weight sampler).
+    for t in 0..n_cols {
+        // occurrence counts per cell node of this column
+        let mut freq: std::collections::BTreeMap<u32, f32> = std::collections::BTreeMap::new();
+        for &(_, cell) in &graph.edges_of(t).pairs {
+            *freq.entry(cell).or_insert(0.0) += 1.0;
+        }
+        if freq.is_empty() {
+            continue;
+        }
+        for row in 0..table.n_rows() {
+            if !table.is_missing(row, t) {
+                continue;
+            }
+            for (&cell, &f) in &freq {
+                wg.add_edge(row as u32, cell, f);
+            }
+        }
+    }
+    wg
+}
+
+/// Train EMBDI embeddings for the nodes of `graph` (built over `table`).
+pub fn train_embdi(
+    graph: &TableGraph,
+    table: &Table,
+    cfg: &EmbdiConfig,
+    rng: &mut impl Rng,
+) -> EmbdiEmbeddings {
+    let n_cols = graph.n_edge_types();
+    let n_total = graph.n_nodes() + n_cols;
+    let wg = build_walk_graph(graph, table);
+
+    // Generate the walk corpus.
+    let mut corpus: Vec<Vec<u32>> = Vec::with_capacity(n_total * cfg.walks_per_node);
+    for start in 0..n_total as u32 {
+        for _ in 0..cfg.walks_per_node {
+            let mut walk = Vec::with_capacity(cfg.walk_length);
+            let mut node = start;
+            walk.push(node);
+            for _ in 1..cfg.walk_length {
+                match wg.sample_neighbor(node, rng) {
+                    Some(next) => {
+                        node = next;
+                        walk.push(node);
+                    }
+                    None => break,
+                }
+            }
+            if walk.len() > 1 {
+                corpus.push(walk);
+            }
+        }
+    }
+
+    // SGNS. "in" vectors are the embeddings we keep; "out" vectors are the
+    // context side.
+    let dim = cfg.dim;
+    let mut vin: Vec<f32> =
+        (0..n_total * dim).map(|_| (rng.gen::<f32>() - 0.5) / dim as f32).collect();
+    let mut vout: Vec<f32> = vec![0.0; n_total * dim];
+    let total_steps = (cfg.epochs * corpus.len()).max(1);
+    let mut step = 0usize;
+    let mut grad = vec![0.0f32; dim];
+    for _epoch in 0..cfg.epochs {
+        for walk in &corpus {
+            let lr = cfg.lr * (1.0 - 0.9 * step as f32 / total_steps as f32);
+            step += 1;
+            for (pos, &center) in walk.iter().enumerate() {
+                let lo = pos.saturating_sub(cfg.window);
+                let hi = (pos + cfg.window + 1).min(walk.len());
+                for ctx_pos in lo..hi {
+                    if ctx_pos == pos {
+                        continue;
+                    }
+                    let context = walk[ctx_pos];
+                    sgns_pair(
+                        &mut vin,
+                        &mut vout,
+                        dim,
+                        center as usize,
+                        context as usize,
+                        cfg.negatives,
+                        n_total,
+                        lr,
+                        rng,
+                        &mut grad,
+                    );
+                }
+            }
+        }
+    }
+
+    // Normalize and split node/attribute vectors.
+    let mut node_vectors = vin[..graph.n_nodes() * dim].to_vec();
+    let mut attribute_vectors = vin[graph.n_nodes() * dim..].to_vec();
+    for chunk in node_vectors.chunks_mut(dim) {
+        l2_normalize(chunk);
+    }
+    for chunk in attribute_vectors.chunks_mut(dim) {
+        l2_normalize(chunk);
+    }
+    EmbdiEmbeddings { dim, node_vectors, attribute_vectors }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sgns_pair(
+    vin: &mut [f32],
+    vout: &mut [f32],
+    dim: usize,
+    center: usize,
+    context: usize,
+    negatives: usize,
+    n_total: usize,
+    lr: f32,
+    rng: &mut impl Rng,
+    grad: &mut [f32],
+) {
+    grad.iter_mut().for_each(|g| *g = 0.0);
+    let c0 = center * dim;
+    // positive pair + negatives
+    for k in 0..=negatives {
+        let (target, label) = if k == 0 {
+            (context, 1.0f32)
+        } else {
+            (rng.gen_range(0..n_total), 0.0f32)
+        };
+        let t0 = target * dim;
+        let dot: f32 = (0..dim).map(|d| vin[c0 + d] * vout[t0 + d]).sum();
+        let pred = 1.0 / (1.0 + (-dot).exp());
+        let g = (pred - label) * lr;
+        for d in 0..dim {
+            grad[d] += g * vout[t0 + d];
+            vout[t0 + d] -= g * vin[c0 + d];
+        }
+    }
+    for d in 0..dim {
+        vin[c0 + d] -= grad[d];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hetero::GraphConfig;
+    use grimp_table::{ColumnKind, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clustered_table() -> Table {
+        // Two clusters of co-occurring values.
+        let schema = Schema::from_pairs(&[
+            ("a", ColumnKind::Categorical),
+            ("b", ColumnKind::Categorical),
+        ]);
+        let mut rows = Vec::new();
+        for _ in 0..20 {
+            rows.push(vec![Some("a1"), Some("b1")]);
+            rows.push(vec![Some("a2"), Some("b2")]);
+        }
+        Table::from_rows(schema, &rows)
+    }
+
+    fn cosine(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+    }
+
+    #[test]
+    fn cooccurring_values_embed_closer_than_non_cooccurring() {
+        let t = clustered_table();
+        let g = TableGraph::build(&t, GraphConfig::default(), &[]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let emb = train_embdi(&g, &t, &EmbdiConfig::default(), &mut rng);
+        let a1 = g.cell_node(0, "a1").unwrap() as usize;
+        let b1 = g.cell_node(1, "b1").unwrap() as usize;
+        let b2 = g.cell_node(1, "b2").unwrap() as usize;
+        let same = cosine(emb.node(a1), emb.node(b1));
+        let diff = cosine(emb.node(a1), emb.node(b2));
+        assert!(same > diff, "same-cluster {same} <= cross-cluster {diff}");
+    }
+
+    #[test]
+    fn vectors_are_produced_for_all_nodes_and_attributes() {
+        let t = clustered_table();
+        let g = TableGraph::build(&t, GraphConfig::default(), &[]);
+        let emb = train_embdi(&g, &t, &EmbdiConfig::default(), &mut StdRng::seed_from_u64(0));
+        assert_eq!(emb.node_vectors.len(), g.n_nodes() * emb.dim);
+        assert_eq!(emb.attribute_vectors.len(), 2 * emb.dim);
+        assert!(emb.node_vectors.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn null_cells_get_possible_edges() {
+        let schema = Schema::from_pairs(&[
+            ("a", ColumnKind::Categorical),
+            ("b", ColumnKind::Categorical),
+        ]);
+        let t = Table::from_rows(
+            schema,
+            &[vec![Some("x"), Some("p")], vec![Some("y"), None]],
+        );
+        let g = TableGraph::build(&t, GraphConfig::default(), &[]);
+        let wg = build_walk_graph(&g, &t);
+        // RID 1 has a null in column b: it must be connected to b's only
+        // value node "p" through a possible-imputation edge (plus its own
+        // value edge in column a).
+        let p_node = g.cell_node(1, "p").unwrap();
+        assert!(wg.neighbors[1].contains(&p_node));
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let t = clustered_table();
+        let g = TableGraph::build(&t, GraphConfig::default(), &[]);
+        let cfg = EmbdiConfig { epochs: 1, ..Default::default() };
+        let a = train_embdi(&g, &t, &cfg, &mut StdRng::seed_from_u64(5));
+        let b = train_embdi(&g, &t, &cfg, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a.node_vectors, b.node_vectors);
+    }
+}

@@ -1,0 +1,306 @@
+//! The heterogeneous quasi-bipartite table graph of §3.2.
+//!
+//! Each tuple is a **RID node**; each distinct (attribute, value) pair is a
+//! **cell node** — the same surface value appearing in two attributes gets
+//! two nodes (disambiguation). RID and cell nodes are connected by a typed
+//! edge whose type is the attribute. `∅` cells contribute no edges, and the
+//! caller can exclude additional `(row, col)` cells (validation samples, per
+//! §3.6: "We remove all edges incident in the validation step from the graph
+//! representation before training").
+
+use std::collections::HashMap;
+
+use grimp_table::{Table, Value};
+
+/// What a graph node represents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeLabel {
+    /// The record-id node of tuple `row`.
+    Rid(u32),
+    /// The cell node of a distinct value within one attribute.
+    Cell {
+        /// Owning attribute index.
+        col: u32,
+        /// Canonical text of the value (numericals rounded per config).
+        text: String,
+    },
+}
+
+/// Construction options.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphConfig {
+    /// Decimal places used to canonicalize numerical values into cell-node
+    /// keys. The paper rounds reals "to a pre-defined number of decimal
+    /// places (8 places by default)"; we default to 4 to keep distinct-node
+    /// counts close to the published Table 1 scales (see DESIGN.md §8).
+    pub numeric_decimals: usize,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        GraphConfig { numeric_decimals: 4 }
+    }
+}
+
+/// One typed edge list: pairs `(rid_node, cell_node)` of one attribute.
+#[derive(Clone, Debug, Default)]
+pub struct TypedEdges {
+    /// `(rid node id, cell node id)` pairs.
+    pub pairs: Vec<(u32, u32)>,
+}
+
+/// The heterogeneous table graph.
+#[derive(Clone, Debug)]
+pub struct TableGraph {
+    n_rows: usize,
+    n_cols: usize,
+    labels: Vec<NodeLabel>,
+    /// Per column: canonical value text → cell node id.
+    cell_index: Vec<HashMap<String, u32>>,
+    /// Per column: the typed edge list.
+    edges: Vec<TypedEdges>,
+    config: GraphConfig,
+}
+
+/// Canonical text key of a non-null value.
+pub fn value_key(table: &Table, row: usize, col: usize, decimals: usize) -> Option<String> {
+    match table.get(row, col) {
+        Value::Null => None,
+        Value::Cat(_) => Some(table.display(row, col)),
+        Value::Num(v) => Some(format_rounded(v, decimals)),
+    }
+}
+
+/// Round-and-format a numerical value the way cell-node keys do.
+pub fn format_rounded(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+impl TableGraph {
+    /// Build the graph from a dirty table, excluding the given cells (in
+    /// addition to `∅` cells, which never produce edges).
+    pub fn build(table: &Table, config: GraphConfig, excluded: &[(usize, usize)]) -> Self {
+        let n_rows = table.n_rows();
+        let n_cols = table.n_columns();
+        let excluded: std::collections::HashSet<(usize, usize)> =
+            excluded.iter().copied().collect();
+        let mut labels: Vec<NodeLabel> =
+            (0..n_rows).map(|i| NodeLabel::Rid(i as u32)).collect();
+        let mut cell_index: Vec<HashMap<String, u32>> = vec![HashMap::new(); n_cols];
+        let mut edges: Vec<TypedEdges> = vec![TypedEdges::default(); n_cols];
+
+        // First, make sure every value in every attribute domain has a node,
+        // even if all its occurrences are excluded — imputation candidates
+        // must exist as nodes so they can be scored.
+        for col in 0..n_cols {
+            for row in 0..n_rows {
+                if let Some(key) = value_key(table, row, col, config.numeric_decimals) {
+                    cell_index[col].entry(key.clone()).or_insert_with(|| {
+                        let id = labels.len() as u32;
+                        labels.push(NodeLabel::Cell { col: col as u32, text: key });
+                        id
+                    });
+                }
+            }
+        }
+        // Then add the typed edges for non-excluded cells.
+        for row in 0..n_rows {
+            for col in 0..n_cols {
+                if excluded.contains(&(row, col)) {
+                    continue;
+                }
+                if let Some(key) = value_key(table, row, col, config.numeric_decimals) {
+                    let cell = cell_index[col][&key];
+                    edges[col].pairs.push((row as u32, cell));
+                }
+            }
+        }
+        TableGraph { n_rows, n_cols, labels, cell_index, edges, config }
+    }
+
+    /// Total node count (RID + cell nodes).
+    pub fn n_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of RID nodes (= table rows). RID node ids are `0..n_rids()`.
+    pub fn n_rids(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of attributes (= edge types).
+    pub fn n_edge_types(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Total number of typed edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.iter().map(|e| e.pairs.len()).sum()
+    }
+
+    /// Node label.
+    pub fn label(&self, node: usize) -> &NodeLabel {
+        &self.labels[node]
+    }
+
+    /// The cell node of a canonical value text within a column, if any.
+    pub fn cell_node(&self, col: usize, key: &str) -> Option<u32> {
+        self.cell_index[col].get(key).copied()
+    }
+
+    /// The cell node of a table cell's current value, if non-null.
+    pub fn cell_node_of(&self, table: &Table, row: usize, col: usize) -> Option<u32> {
+        value_key(table, row, col, self.config.numeric_decimals)
+            .and_then(|k| self.cell_node(col, &k))
+    }
+
+    /// All cell nodes of one attribute with their canonical texts, in
+    /// ascending node-id order. Deterministic ordering matters: consumers
+    /// sum floats over this iterator and build sampling structures from it,
+    /// so HashMap iteration order must not leak out.
+    pub fn column_cells(&self, col: usize) -> impl Iterator<Item = (&str, u32)> {
+        let mut cells: Vec<(&str, u32)> =
+            self.cell_index[col].iter().map(|(k, &v)| (k.as_str(), v)).collect();
+        cells.sort_unstable_by_key(|&(_, v)| v);
+        cells.into_iter()
+    }
+
+    /// Number of distinct cell nodes of an attribute.
+    pub fn n_column_cells(&self, col: usize) -> usize {
+        self.cell_index[col].len()
+    }
+
+    /// Typed edge list of one attribute.
+    pub fn edges_of(&self, col: usize) -> &TypedEdges {
+        &self.edges[col]
+    }
+
+    /// The construction config.
+    pub fn config(&self) -> GraphConfig {
+        self.config
+    }
+
+    /// Symmetric per-type neighbor lists over all nodes: entry `t` maps every
+    /// node to its neighbors through edges of type `t` (RID → cells of
+    /// column `t`; cell of column `t` → RIDs). The GNN turns these into CSR
+    /// adjacencies.
+    pub fn neighbor_lists(&self) -> Vec<Vec<Vec<u32>>> {
+        let n = self.n_nodes();
+        let mut per_type: Vec<Vec<Vec<u32>>> = Vec::with_capacity(self.n_cols);
+        for t in 0..self.n_cols {
+            let mut lists = vec![Vec::new(); n];
+            for &(rid, cell) in &self.edges[t].pairs {
+                lists[rid as usize].push(cell);
+                lists[cell as usize].push(rid);
+            }
+            per_type.push(lists);
+        }
+        per_type
+    }
+
+    /// Degree of a node summed over all edge types.
+    pub fn total_degree(&self, node: u32) -> usize {
+        self.edges
+            .iter()
+            .flat_map(|e| e.pairs.iter())
+            .filter(|&&(r, c)| r == node || c == node)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grimp_table::{ColumnKind, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("country", ColumnKind::Categorical),
+            ("year", ColumnKind::Numerical),
+        ]);
+        Table::from_rows(
+            schema,
+            &[
+                vec![Some("FR"), Some("2015")],
+                vec![Some("FR"), Some("2014")],
+                vec![None, Some("2015")],
+            ],
+        )
+    }
+
+    #[test]
+    fn node_layout_is_rids_then_cells() {
+        let g = TableGraph::build(&table(), GraphConfig::default(), &[]);
+        assert_eq!(g.n_rids(), 3);
+        // cells: FR (country), 2015, 2014 (year)
+        assert_eq!(g.n_nodes(), 3 + 1 + 2);
+        assert_eq!(g.label(0), &NodeLabel::Rid(0));
+        assert!(matches!(g.label(3), NodeLabel::Cell { .. }));
+    }
+
+    #[test]
+    fn null_cells_contribute_no_edges() {
+        let g = TableGraph::build(&table(), GraphConfig::default(), &[]);
+        // country edges: rows 0, 1 only; year edges: rows 0, 1, 2.
+        assert_eq!(g.edges_of(0).pairs.len(), 2);
+        assert_eq!(g.edges_of(1).pairs.len(), 3);
+        assert_eq!(g.n_edges(), 5);
+    }
+
+    #[test]
+    fn same_value_in_two_columns_gets_two_nodes() {
+        let schema = Schema::from_pairs(&[
+            ("a", ColumnKind::Categorical),
+            ("b", ColumnKind::Categorical),
+        ]);
+        let t = Table::from_rows(schema, &[vec![Some("x"), Some("x")]]);
+        let g = TableGraph::build(&t, GraphConfig::default(), &[]);
+        let na = g.cell_node(0, "x").unwrap();
+        let nb = g.cell_node(1, "x").unwrap();
+        assert_ne!(na, nb, "values must be disambiguated per attribute");
+    }
+
+    #[test]
+    fn excluded_cells_keep_nodes_but_lose_edges() {
+        let t = table();
+        let g = TableGraph::build(&t, GraphConfig::default(), &[(0, 0), (1, 0)]);
+        // FR node still exists (it is a candidate for imputation)…
+        assert!(g.cell_node(0, "FR").is_some());
+        // …but no country edges remain.
+        assert_eq!(g.edges_of(0).pairs.len(), 0);
+    }
+
+    #[test]
+    fn numeric_values_are_rounded_into_keys() {
+        let schema = Schema::from_pairs(&[("x", ColumnKind::Numerical)]);
+        let t = Table::from_rows(schema, &[vec![Some("1.00001")], vec![Some("1.00002")]]);
+        let g = TableGraph::build(&t, GraphConfig { numeric_decimals: 4 }, &[]);
+        // both round to "1.0000" → a single cell node
+        assert_eq!(g.n_column_cells(0), 1);
+        let g8 = TableGraph::build(&t, GraphConfig { numeric_decimals: 8 }, &[]);
+        assert_eq!(g8.n_column_cells(0), 2);
+    }
+
+    #[test]
+    fn neighbor_lists_are_symmetric() {
+        let g = TableGraph::build(&table(), GraphConfig::default(), &[]);
+        for lists in g.neighbor_lists() {
+            for (node, neigh) in lists.iter().enumerate() {
+                for &m in neigh {
+                    assert!(
+                        lists[m as usize].contains(&(node as u32)),
+                        "edge {node} -> {m} missing its reverse"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cell_node_of_resolves_current_values() {
+        let t = table();
+        let g = TableGraph::build(&t, GraphConfig::default(), &[]);
+        assert_eq!(g.cell_node_of(&t, 0, 0), g.cell_node(0, "FR"));
+        assert_eq!(g.cell_node_of(&t, 2, 0), None);
+    }
+}

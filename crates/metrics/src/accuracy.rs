@@ -1,0 +1,212 @@
+//! Imputation quality metrics (paper §2): categorical accuracy and
+//! numerical RMSE, measured over the injected (test) cells only.
+
+use grimp_table::{ColumnKind, CorruptionLog, Table, Value};
+
+/// Per-column evaluation detail.
+#[derive(Clone, Debug)]
+pub struct ColumnEval {
+    /// Column index.
+    pub col: usize,
+    /// Column kind.
+    pub kind: ColumnKind,
+    /// Injected cells in this column.
+    pub total: usize,
+    /// Correct categorical imputations.
+    pub correct: usize,
+    /// Sum of squared errors on the std-normalized scale (numerical).
+    pub sse: f64,
+}
+
+/// Evaluation of one imputed table against the ground truth.
+#[derive(Clone, Debug, Default)]
+pub struct EvalResult {
+    /// Categorical test cells.
+    pub cat_total: usize,
+    /// Correct categorical imputations.
+    pub cat_correct: usize,
+    /// Numerical test cells.
+    pub num_total: usize,
+    /// Summed squared error over numerical test cells, each normalized by
+    /// its clean column's standard deviation (so RMSE is comparable across
+    /// columns and datasets).
+    pub num_sse: f64,
+    /// Cells the algorithm left missing (contract violations; counted as
+    /// wrong).
+    pub left_missing: usize,
+    /// Per-column breakdown.
+    pub per_column: Vec<ColumnEval>,
+}
+
+impl EvalResult {
+    /// Categorical imputation accuracy in `[0, 1]` (`None` with no
+    /// categorical test cells).
+    pub fn accuracy(&self) -> Option<f64> {
+        (self.cat_total > 0).then(|| self.cat_correct as f64 / self.cat_total as f64)
+    }
+
+    /// Normalized RMSE over numerical test cells (`None` with none).
+    pub fn rmse(&self) -> Option<f64> {
+        (self.num_total > 0).then(|| (self.num_sse / self.num_total as f64).sqrt())
+    }
+}
+
+/// Standard deviation of a clean numerical column (≥ tiny epsilon).
+fn column_std(clean: &Table, j: usize) -> f64 {
+    let vals: Vec<f64> = (0..clean.n_rows()).filter_map(|i| clean.get(i, j).as_num()).collect();
+    if vals.is_empty() {
+        return 1.0;
+    }
+    let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+    let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+    var.sqrt().max(1e-9)
+}
+
+/// Evaluate `imputed` against the truth recorded in `log`.
+///
+/// Categorical cells compare by display string (robust to dictionary
+/// extensions made by the imputer); numerical cells contribute normalized
+/// squared error. Cells left missing count as wrong (and as the column
+/// std for numericals).
+pub fn evaluate(clean: &Table, imputed: &Table, log: &CorruptionLog) -> EvalResult {
+    let mut result = EvalResult::default();
+    let mut per_column: Vec<ColumnEval> = (0..clean.n_columns())
+        .map(|j| ColumnEval {
+            col: j,
+            kind: clean.schema().column(j).kind,
+            total: 0,
+            correct: 0,
+            sse: 0.0,
+        })
+        .collect();
+    let stds: Vec<f64> = (0..clean.n_columns())
+        .map(|j| match clean.schema().column(j).kind {
+            ColumnKind::Numerical => column_std(clean, j),
+            ColumnKind::Categorical => 1.0,
+        })
+        .collect();
+
+    for cell in &log.cells {
+        let (i, j) = (cell.row, cell.col);
+        let entry = &mut per_column[j];
+        entry.total += 1;
+        let predicted = imputed.get(i, j);
+        match (cell.truth, predicted) {
+            (Value::Cat(_), Value::Null) | (Value::Num(_), Value::Null) => {
+                result.left_missing += 1;
+                match cell.truth {
+                    Value::Cat(_) => result.cat_total += 1,
+                    Value::Num(_) => {
+                        result.num_total += 1;
+                        result.num_sse += 1.0; // one column-std of error
+                        entry.sse += 1.0;
+                    }
+                    Value::Null => unreachable!("log never stores null truths"),
+                }
+            }
+            (Value::Cat(t), Value::Cat(_)) => {
+                result.cat_total += 1;
+                // compare by surface string: imputers may extend dictionaries
+                let truth_str = &clean.dictionary(j)[t as usize];
+                if imputed.display(i, j) == *truth_str {
+                    result.cat_correct += 1;
+                    entry.correct += 1;
+                }
+            }
+            (Value::Num(t), Value::Num(p)) => {
+                result.num_total += 1;
+                let e = (t - p) / stds[j];
+                result.num_sse += e * e;
+                entry.sse += e * e;
+            }
+            (t, p) => panic!("kind mismatch at ({i}, {j}): truth {t:?}, predicted {p:?}"),
+        }
+    }
+    result.per_column = per_column;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grimp_table::{inject_mcar, ColumnKind, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Table, Table, CorruptionLog) {
+        let schema = Schema::from_pairs(&[
+            ("c", ColumnKind::Categorical),
+            ("x", ColumnKind::Numerical),
+        ]);
+        let mut clean = Table::empty(schema);
+        for i in 0..20 {
+            let c = format!("v{}", i % 2);
+            clean.push_str_row(&[Some(&c), Some(&format!("{}", i as f64))]);
+        }
+        let mut dirty = clean.clone();
+        let log = inject_mcar(&mut dirty, 0.3, &mut StdRng::seed_from_u64(0));
+        (clean, dirty, log)
+    }
+
+    #[test]
+    fn perfect_imputation_scores_one_and_zero() {
+        let (clean, _dirty, log) = setup();
+        let result = evaluate(&clean, &clean, &log);
+        assert_eq!(result.accuracy(), Some(1.0));
+        assert_eq!(result.rmse(), Some(0.0));
+        assert_eq!(result.left_missing, 0);
+    }
+
+    #[test]
+    fn left_missing_cells_count_as_wrong() {
+        let (clean, dirty, log) = setup();
+        let result = evaluate(&clean, &dirty, &log);
+        assert_eq!(result.left_missing, log.len());
+        assert_eq!(result.accuracy(), Some(0.0));
+    }
+
+    #[test]
+    fn rmse_is_normalized_by_column_std() {
+        let (clean, _dirty, log) = setup();
+        // impute every numeric with clean value + one std
+        let std = column_std(&clean, 1);
+        let mut imputed = clean.clone();
+        for c in &log.cells {
+            if c.col == 1 {
+                let t = c.truth.as_num().unwrap();
+                imputed.set(c.row, c.col, Value::Num(t + std));
+            }
+        }
+        let result = evaluate(&clean, &imputed, &log);
+        assert!((result.rmse().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_column_totals_sum_to_overall() {
+        let (clean, _dirty, log) = setup();
+        let result = evaluate(&clean, &clean, &log);
+        let total: usize = result.per_column.iter().map(|c| c.total).sum();
+        assert_eq!(total, log.len());
+    }
+
+    #[test]
+    fn dictionary_extensions_do_not_break_comparison() {
+        let (clean, dirty, log) = setup();
+        let mut imputed = dirty.clone();
+        // intern an unrelated value first, then impute correctly by string
+        imputed.intern(0, "zzz");
+        for c in &log.cells {
+            match c.truth {
+                Value::Cat(code) => {
+                    let s = clean.dictionary(0)[code as usize].clone();
+                    let code = imputed.intern(0, &s);
+                    imputed.set(c.row, c.col, Value::Cat(code));
+                }
+                Value::Num(v) => imputed.set(c.row, c.col, Value::Num(v)),
+                Value::Null => unreachable!(),
+            }
+        }
+        let result = evaluate(&clean, &imputed, &log);
+        assert_eq!(result.accuracy(), Some(1.0));
+    }
+}

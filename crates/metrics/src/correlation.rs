@@ -1,0 +1,110 @@
+//! Pearson correlation and method ranking (paper Table 4 and the
+//! "average rank 1.6" claim of §4.2).
+
+/// Pearson correlation coefficient `ρ` of two equal-length samples.
+///
+/// Returns 0 for degenerate inputs (length < 2 or zero variance).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "samples must have equal length");
+    let n = xs.len() as f64;
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx <= 1e-18 || syy <= 1e-18 {
+        0.0
+    } else {
+        sxy / (sxx.sqrt() * syy.sqrt())
+    }
+}
+
+/// Per-dataset ranks of methods from their scores (higher score = rank 1).
+/// Ties share the average of their positional ranks.
+pub fn ranks_from_scores(scores: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // positions i..=j are tied: average rank
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Average rank of each method across datasets; `scores[d][m]` is method
+/// `m`'s score on dataset `d` (higher is better).
+pub fn average_ranks(scores: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!scores.is_empty(), "need at least one dataset");
+    let n_methods = scores[0].len();
+    let mut sums = vec![0.0; n_methods];
+    for row in scores {
+        assert_eq!(row.len(), n_methods, "ragged score matrix");
+        for (s, r) in sums.iter_mut().zip(ranks_from_scores(row)) {
+            *s += r;
+        }
+    }
+    sums.iter_mut().for_each(|s| *s /= scores.len() as f64);
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_of_linear_relation_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_anticorrelated_is_minus_one() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn ranks_order_descending_scores() {
+        let r = ranks_from_scores(&[0.9, 0.5, 0.7]);
+        assert_eq!(r, vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn tied_scores_share_average_rank() {
+        let r = ranks_from_scores(&[0.5, 0.5, 0.1]);
+        assert_eq!(r, vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn average_ranks_across_datasets() {
+        let scores = vec![vec![0.9, 0.1], vec![0.2, 0.8]];
+        let avg = average_ranks(&scores);
+        assert_eq!(avg, vec![1.5, 1.5]);
+    }
+}

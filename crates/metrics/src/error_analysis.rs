@@ -1,0 +1,150 @@
+//! Rare-value error analysis (paper §5, Figures 11–12).
+//!
+//! For one attribute, group the injected test cells by their true value,
+//! sort values by descending frequency, and report each method's fraction
+//! of *wrong* imputations per value next to the expected fraction
+//! `E_v = 1 − f_v` (the paper's frequency-based error model).
+
+use grimp_table::{CorruptionLog, Table, Value};
+
+/// One row of the per-value error distribution (one value of one attribute).
+#[derive(Clone, Debug)]
+pub struct ValueErrorRow {
+    /// Surface text of the value.
+    pub value: String,
+    /// Relative frequency `f_v` of the value in the clean column.
+    pub frequency: f64,
+    /// The expected wrong fraction `E_v = 1 − f_v`.
+    pub expected_wrong: f64,
+    /// Injected test cells whose truth is this value.
+    pub n_test_cells: usize,
+    /// Per method (aligned with the input order): fraction of those cells
+    /// imputed wrongly (`None` when the value never occurs among test
+    /// cells).
+    pub wrong_fraction: Vec<Option<f64>>,
+}
+
+/// Compute the per-value error distribution of attribute `col`.
+///
+/// `methods` pairs each method name with its imputed table. Values are
+/// returned sorted by descending frequency (rare values last, as on the
+/// paper's x-axes).
+pub fn per_value_errors(
+    clean: &Table,
+    log: &CorruptionLog,
+    methods: &[(&str, &Table)],
+    col: usize,
+) -> Vec<ValueErrorRow> {
+    // frequencies over the clean column
+    let mut counts: std::collections::HashMap<String, usize> = Default::default();
+    let mut total = 0usize;
+    for i in 0..clean.n_rows() {
+        if let Value::Null = clean.get(i, col) {
+            continue;
+        }
+        *counts.entry(clean.display(i, col)).or_default() += 1;
+        total += 1;
+    }
+    let mut values: Vec<(String, usize)> = counts.into_iter().collect();
+    values.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    values
+        .into_iter()
+        .map(|(value, count)| {
+            let frequency = count as f64 / total.max(1) as f64;
+            let test_cells: Vec<&grimp_table::InjectedCell> = log
+                .cells_in_column(col)
+                .filter(|c| truth_text(clean, c) == value)
+                .collect();
+            let wrong_fraction = methods
+                .iter()
+                .map(|(_, imputed)| {
+                    if test_cells.is_empty() {
+                        return None;
+                    }
+                    let wrong = test_cells
+                        .iter()
+                        .filter(|c| imputed.display(c.row, c.col) != value)
+                        .count();
+                    Some(wrong as f64 / test_cells.len() as f64)
+                })
+                .collect();
+            ValueErrorRow {
+                value,
+                frequency,
+                expected_wrong: 1.0 - frequency,
+                n_test_cells: test_cells.len(),
+                wrong_fraction,
+            }
+        })
+        .collect()
+}
+
+fn truth_text(clean: &Table, cell: &grimp_table::InjectedCell) -> String {
+    match cell.truth {
+        Value::Cat(code) => clean.dictionary(cell.col)[code as usize].clone(),
+        Value::Num(v) => format!("{v}"),
+        Value::Null => unreachable!("log never stores null truths"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grimp_table::{inject_mcar, ColumnKind, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn skewed_table() -> Table {
+        let schema = Schema::from_pairs(&[("c", ColumnKind::Categorical)]);
+        let mut t = Table::empty(schema);
+        for i in 0..100 {
+            // "f" 90 times, "t" 10 times — the Thoracic PRE8 situation
+            t.push_str_row(&[Some(if i < 90 { "f" } else { "t" })]);
+        }
+        t
+    }
+
+    #[test]
+    fn values_sorted_by_descending_frequency() {
+        let clean = skewed_table();
+        let mut dirty = clean.clone();
+        let log = inject_mcar(&mut dirty, 0.2, &mut StdRng::seed_from_u64(0));
+        let rows = per_value_errors(&clean, &log, &[], 0);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].value, "f");
+        assert!((rows[0].frequency - 0.9).abs() < 1e-9);
+        assert!((rows[0].expected_wrong - 0.1).abs() < 1e-9);
+        assert_eq!(rows[1].value, "t");
+        assert!((rows[1].expected_wrong - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mode_imputer_fails_exactly_on_rare_values() {
+        // the paper's headline finding in miniature: a mode imputer gets
+        // every frequent value right and every rare value wrong
+        let clean = skewed_table();
+        let mut dirty = clean.clone();
+        let log = inject_mcar(&mut dirty, 0.3, &mut StdRng::seed_from_u64(1));
+        let mut mode_filled = dirty.clone();
+        for (i, j) in dirty.missing_cells() {
+            let m = dirty.mode(j).unwrap();
+            mode_filled.set(i, j, Value::Cat(m));
+        }
+        let rows = per_value_errors(&clean, &log, &[("mode", &mode_filled)], 0);
+        let f_row = rows.iter().find(|r| r.value == "f").unwrap();
+        let t_row = rows.iter().find(|r| r.value == "t").unwrap();
+        assert_eq!(f_row.wrong_fraction[0], Some(0.0));
+        if t_row.n_test_cells > 0 {
+            assert_eq!(t_row.wrong_fraction[0], Some(1.0));
+        }
+    }
+
+    #[test]
+    fn untested_values_report_none() {
+        let clean = skewed_table();
+        let log = CorruptionLog::default();
+        let rows = per_value_errors(&clean, &log, &[("x", &clean)], 0);
+        assert!(rows.iter().all(|r| r.wrong_fraction[0].is_none()));
+    }
+}

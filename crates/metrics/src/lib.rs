@@ -1,0 +1,24 @@
+//! # grimp-metrics
+//!
+//! Evaluation machinery for the GRIMP reproduction:
+//!
+//! - [`evaluate`] — categorical accuracy + normalized numerical RMSE over
+//!   injected test cells (paper §2);
+//! - [`dataset_stats`] — the Table 1 difficulty statistics (`S_avg`,
+//!   `K_avg`, `F+_avg`, `N+_avg`, distinct surface values);
+//! - [`pearson`] / [`average_ranks`] — Table 4 correlations and the §4.2
+//!   method ranking;
+//! - [`per_value_errors`] — the Figures 11–12 rare-value error analysis
+//!   with the expected-error model `E_v = 1 − f_v`.
+
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod correlation;
+pub mod error_analysis;
+pub mod stats;
+
+pub use accuracy::{evaluate, ColumnEval, EvalResult};
+pub use correlation::{average_ranks, pearson, ranks_from_scores};
+pub use error_analysis::{per_value_errors, ValueErrorRow};
+pub use stats::{dataset_stats, frequent_value_metrics, kurtosis, skewness, DatasetStats};

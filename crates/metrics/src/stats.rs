@@ -1,0 +1,217 @@
+//! Dataset difficulty statistics (paper §5, Table 1).
+//!
+//! All four metrics are computed over each column's *value-frequency
+//! distribution* (the counts of its distinct values), then averaged over
+//! columns:
+//!
+//! - `S_avg` — Fisher–Pearson coefficient of skewness,
+//! - `K_avg` — Fisher (excess) kurtosis,
+//! - `F+_avg` — fraction of rows holding *frequent* values (count above the
+//!   90 % quantile of counts in the column),
+//! - `N+_avg` — number of distinct frequent values.
+
+use std::collections::HashMap;
+
+use grimp_table::{Table, Value};
+
+/// The Table 1 statistics of one dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetStats {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Categorical columns.
+    pub n_cat: usize,
+    /// Numerical columns.
+    pub n_num: usize,
+    /// Distinct surface values over the whole table (the paper's
+    /// "Distinct").
+    pub distinct: usize,
+    /// Average skewness of column value-frequency distributions.
+    pub s_avg: f64,
+    /// Average excess kurtosis of column value-frequency distributions.
+    pub k_avg: f64,
+    /// Average fraction of rows holding frequent values.
+    pub f_plus_avg: f64,
+    /// Average count of distinct frequent values.
+    pub n_plus_avg: f64,
+}
+
+/// Value counts of one column (over non-null cells).
+fn value_counts(table: &Table, j: usize) -> Vec<usize> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for i in 0..table.n_rows() {
+        if let Value::Null = table.get(i, j) {
+            continue;
+        }
+        *counts.entry(table.display(i, j)).or_default() += 1;
+    }
+    counts.into_values().collect()
+}
+
+/// Fisher–Pearson skewness `g1 = m3 / m2^{3/2}` of a sample
+/// (0 for degenerate samples).
+pub fn skewness(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / n;
+    let m2 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    let m3 = xs.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / n;
+    if m2 <= 1e-18 {
+        0.0
+    } else {
+        m3 / m2.powf(1.5)
+    }
+}
+
+/// Fisher (excess) kurtosis `g2 = m4 / m2² − 3` of a sample
+/// (0 for degenerate samples).
+pub fn kurtosis(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / n;
+    let m2 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    let m4 = xs.iter().map(|x| (x - mean).powi(4)).sum::<f64>() / n;
+    if m2 <= 1e-18 {
+        0.0
+    } else {
+        m4 / (m2 * m2) - 3.0
+    }
+}
+
+/// The 90 % quantile (by the nearest-rank method) of a count sample.
+fn quantile_90(counts: &[usize]) -> usize {
+    let mut sorted = counts.to_vec();
+    sorted.sort_unstable();
+    let rank = ((sorted.len() as f64) * 0.9).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// `(F+, N+)` of one column: frequent values are those whose count exceeds
+/// the 90 % quantile of counts.
+pub fn frequent_value_metrics(counts: &[usize]) -> (f64, f64) {
+    if counts.is_empty() {
+        return (0.0, 0.0);
+    }
+    let threshold = quantile_90(counts);
+    let total: usize = counts.iter().sum();
+    let frequent: Vec<usize> = counts.iter().copied().filter(|&c| c > threshold).collect();
+    // With a single dominant quantile (e.g., uniform columns) nothing
+    // strictly exceeds it: fall back to values at the quantile, so a
+    // uniform binary column reports its (both) frequent values.
+    let frequent = if frequent.is_empty() {
+        counts.iter().copied().filter(|&c| c >= threshold).collect()
+    } else {
+        frequent
+    };
+    let f_plus = frequent.iter().sum::<usize>() as f64 / total.max(1) as f64;
+    let n_plus = frequent.len() as f64;
+    (f_plus, n_plus)
+}
+
+/// Compute every Table 1 statistic for a table.
+pub fn dataset_stats(table: &Table) -> DatasetStats {
+    let cols = table.n_columns();
+    let mut surface: std::collections::HashSet<String> = Default::default();
+    for j in 0..cols {
+        for i in 0..table.n_rows() {
+            if !table.is_missing(i, j) {
+                surface.insert(table.display(i, j));
+            }
+        }
+    }
+    let mut s_sum = 0.0;
+    let mut k_sum = 0.0;
+    let mut f_sum = 0.0;
+    let mut n_sum = 0.0;
+    for j in 0..cols {
+        let counts = value_counts(table, j);
+        let xs: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        s_sum += skewness(&xs);
+        k_sum += kurtosis(&xs);
+        let (f_plus, n_plus) = frequent_value_metrics(&counts);
+        f_sum += f_plus;
+        n_sum += n_plus;
+    }
+    let c = cols.max(1) as f64;
+    DatasetStats {
+        rows: table.n_rows(),
+        cols,
+        n_cat: table.schema().categorical_indices().len(),
+        n_num: table.schema().numerical_indices().len(),
+        distinct: surface.len(),
+        s_avg: s_sum / c,
+        k_avg: k_sum / c,
+        f_plus_avg: f_sum / c,
+        n_plus_avg: n_sum / c,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grimp_table::{ColumnKind, Schema};
+
+    #[test]
+    fn skewness_of_symmetric_sample_is_zero() {
+        assert!(skewness(&[1.0, 2.0, 3.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewness_sign_tracks_tail_direction() {
+        assert!(skewness(&[1.0, 1.0, 1.0, 10.0]) > 1.0);
+        assert!(skewness(&[10.0, 10.0, 10.0, 1.0]) < -1.0);
+    }
+
+    #[test]
+    fn kurtosis_of_uniform_counts_is_negative() {
+        // flat distributions have negative excess kurtosis, like the
+        // paper's Flare/Thoracic/Tic-Tac-Toe rows
+        let k = kurtosis(&[5.0, 6.0, 5.0, 6.0, 5.0, 6.0]);
+        assert!(k < 0.0, "kurtosis {k}");
+    }
+
+    #[test]
+    fn degenerate_samples_do_not_nan() {
+        assert_eq!(skewness(&[2.0, 2.0, 2.0]), 0.0);
+        assert_eq!(kurtosis(&[2.0]), 0.0);
+        assert_eq!(skewness(&[]), 0.0);
+    }
+
+    #[test]
+    fn frequent_metrics_on_skewed_column() {
+        // one dominant value out of five
+        let counts = [96, 1, 1, 1, 1];
+        let (f_plus, n_plus) = frequent_value_metrics(&counts);
+        assert!((f_plus - 0.96).abs() < 1e-9);
+        assert_eq!(n_plus, 1.0);
+    }
+
+    #[test]
+    fn stats_over_a_small_table() {
+        let schema = Schema::from_pairs(&[
+            ("c", ColumnKind::Categorical),
+            ("x", ColumnKind::Numerical),
+        ]);
+        let t = Table::from_rows(
+            schema,
+            &[
+                vec![Some("a"), Some("1")],
+                vec![Some("a"), Some("2")],
+                vec![Some("b"), Some("1")],
+            ],
+        );
+        let s = dataset_stats(&t);
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.cols, 2);
+        assert_eq!(s.n_cat, 1);
+        assert_eq!(s.n_num, 1);
+        assert_eq!(s.distinct, 4); // a, b, 1, 2
+        assert!(s.f_plus_avg > 0.0);
+    }
+}

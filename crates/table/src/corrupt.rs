@@ -1,0 +1,352 @@
+//! Error injection: MCAR missingness and typo noise.
+//!
+//! The paper's evaluation "corrupts" clean datasets by injecting missing
+//! values completely at random at 5/20/50 % and, for the noise-robustness
+//! experiment, by inserting random characters into 10 % of the cells.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::schema::ColumnKind;
+use crate::table::Table;
+use crate::value::Value;
+
+/// One injected missing value: position and the ground-truth value removed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InjectedCell {
+    /// Row index.
+    pub row: usize,
+    /// Column index.
+    pub col: usize,
+    /// The value that was removed (never `Null`).
+    pub truth: Value,
+}
+
+/// The record of one corruption run: which cells were blanked and what the
+/// ground truth was. This is the test set of every experiment.
+#[derive(Clone, Debug, Default)]
+pub struct CorruptionLog {
+    /// All injected cells in injection order.
+    pub cells: Vec<InjectedCell>,
+}
+
+impl CorruptionLog {
+    /// Number of injected missing values.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when nothing was injected.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Injected cells belonging to column `j`.
+    pub fn cells_in_column(&self, j: usize) -> impl Iterator<Item = &InjectedCell> {
+        self.cells.iter().filter(move |c| c.col == j)
+    }
+}
+
+/// Blank a fraction `p` of all cells, chosen uniformly at random over the
+/// whole table (MCAR), returning the modified table's corruption log.
+///
+/// Cells that are already `∅` are not eligible. The number of injected
+/// cells is `round(p · n_rows · n_cols)` capped by the number of eligible
+/// cells.
+pub fn inject_mcar(table: &mut Table, p: f64, rng: &mut impl Rng) -> CorruptionLog {
+    assert!((0.0..=1.0).contains(&p), "missingness proportion must be in [0, 1]");
+    let mut eligible: Vec<(usize, usize)> = Vec::new();
+    for j in 0..table.n_columns() {
+        for i in 0..table.n_rows() {
+            if !table.is_missing(i, j) {
+                eligible.push((i, j));
+            }
+        }
+    }
+    let target = ((table.n_rows() * table.n_columns()) as f64 * p).round() as usize;
+    let n = target.min(eligible.len());
+    eligible.shuffle(rng);
+    let mut log = CorruptionLog::default();
+    for &(i, j) in eligible.iter().take(n) {
+        let truth = table.get(i, j);
+        table.set(i, j, Value::Null);
+        log.cells.push(InjectedCell { row: i, col: j, truth });
+    }
+    log
+}
+
+/// Blank cells **missing-not-at-random** (MNAR): within each column, a
+/// cell's blanking probability depends on its own value — rarer values are
+/// more likely to go missing, scaled so the expected overall fraction is
+/// `p`. This is the systematic-missingness scenario the paper defers to
+/// follow-up work (§7) and that GRIMP's data-driven design is claimed to
+/// handle.
+///
+/// Mechanism: values in a column are ranked by frequency; the blanking
+/// probability of a cell is proportional to `1 + rank` (rarest values most
+/// likely to be hidden), renormalized per column to hit `p` in expectation.
+/// Numerical cells use the rank of their rounded value.
+pub fn inject_mnar(table: &mut Table, p: f64, rng: &mut impl Rng) -> CorruptionLog {
+    assert!((0.0..=1.0).contains(&p), "missingness proportion must be in [0, 1]");
+    let mut log = CorruptionLog::default();
+    for j in 0..table.n_columns() {
+        // frequency rank per surface value
+        let mut counts: std::collections::HashMap<String, usize> = Default::default();
+        for i in 0..table.n_rows() {
+            if !table.is_missing(i, j) {
+                *counts.entry(table.display(i, j)).or_default() += 1;
+            }
+        }
+        if counts.is_empty() {
+            continue;
+        }
+        let mut by_freq: Vec<(String, usize)> = counts.into_iter().collect();
+        by_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let rank: std::collections::HashMap<&str, usize> =
+            by_freq.iter().enumerate().map(|(r, (v, _))| (v.as_str(), r)).collect();
+        // per-cell weights ∝ 1 + rank, normalized to expectation p
+        let cells: Vec<(usize, f64)> = (0..table.n_rows())
+            .filter(|&i| !table.is_missing(i, j))
+            .map(|i| {
+                let r = rank[table.display(i, j).as_str()];
+                (i, 1.0 + r as f64)
+            })
+            .collect();
+        let total_w: f64 = cells.iter().map(|(_, w)| w).sum();
+        let scale = p * cells.len() as f64 / total_w.max(1e-12);
+        for (i, w) in cells {
+            if rng.gen::<f64>() < (w * scale).min(1.0) {
+                let truth = table.get(i, j);
+                table.set(i, j, Value::Null);
+                log.cells.push(InjectedCell { row: i, col: j, truth });
+            }
+        }
+    }
+    log
+}
+
+/// Blank cells **missing-at-random** (MAR): the blanking probability of
+/// column `target`'s cells depends on the value of a *different* column
+/// `driver` (cells whose driver value is in the upper frequency half are
+/// `bias` times more likely to be blanked). Other columns are untouched.
+pub fn inject_mar(
+    table: &mut Table,
+    target: usize,
+    driver: usize,
+    p: f64,
+    bias: f64,
+    rng: &mut impl Rng,
+) -> CorruptionLog {
+    assert!((0.0..=1.0).contains(&p), "missingness proportion must be in [0, 1]");
+    assert!(bias >= 1.0, "bias must be >= 1");
+    assert_ne!(target, driver, "driver must differ from target");
+    // median frequency split of the driver column
+    let mut counts: std::collections::HashMap<String, usize> = Default::default();
+    for i in 0..table.n_rows() {
+        if !table.is_missing(i, driver) {
+            *counts.entry(table.display(i, driver)).or_default() += 1;
+        }
+    }
+    let mut freqs: Vec<usize> = counts.values().copied().collect();
+    freqs.sort_unstable();
+    let median = freqs.get(freqs.len() / 2).copied().unwrap_or(0);
+    let mut log = CorruptionLog::default();
+    let cells: Vec<(usize, f64)> = (0..table.n_rows())
+        .filter(|&i| !table.is_missing(i, target))
+        .map(|i| {
+            let heavy = !table.is_missing(i, driver)
+                && counts[&table.display(i, driver)] >= median;
+            (i, if heavy { bias } else { 1.0 })
+        })
+        .collect();
+    let total_w: f64 = cells.iter().map(|(_, w)| w).sum();
+    let scale = p * cells.len() as f64 / total_w.max(1e-12);
+    for (i, w) in cells {
+        if rng.gen::<f64>() < (w * scale).min(1.0) {
+            let truth = table.get(i, target);
+            table.set(i, target, Value::Null);
+            log.cells.push(InjectedCell { row: i, col: target, truth });
+        }
+    }
+    log
+}
+
+/// Insert a random ASCII letter at a random position of a string.
+fn typo(s: &str, rng: &mut impl Rng) -> String {
+    let mut chars: Vec<char> = s.chars().collect();
+    let pos = rng.gen_range(0..=chars.len());
+    let c = (b'a' + rng.gen_range(0..26u8)) as char;
+    chars.insert(pos, c);
+    chars.into_iter().collect()
+}
+
+/// Give every categorical cell an independent probability `p` of having a
+/// random character inserted into its value (the paper's 10 %-typo noise
+/// experiment). Returns the number of cells modified.
+///
+/// Typos create *new* dictionary entries: a corrupted cell no longer matches
+/// its clean value, exactly as a typo in a real CSV would.
+pub fn inject_typos(table: &mut Table, p: f64, rng: &mut impl Rng) -> usize {
+    assert!((0.0..=1.0).contains(&p), "typo probability must be in [0, 1]");
+    let mut modified = 0;
+    let cat_cols: Vec<usize> = table
+        .schema()
+        .columns()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.kind == ColumnKind::Categorical)
+        .map(|(j, _)| j)
+        .collect();
+    for j in cat_cols {
+        for i in 0..table.n_rows() {
+            if table.is_missing(i, j) || rng.gen::<f64>() >= p {
+                continue;
+            }
+            let dirty = typo(&table.display(i, j), rng);
+            let code = table.intern(j, &dirty);
+            table.set(i, j, Value::Cat(code));
+            modified += 1;
+        }
+    }
+    modified
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table(n: usize) -> Table {
+        let schema = Schema::from_pairs(&[
+            ("c", ColumnKind::Categorical),
+            ("x", ColumnKind::Numerical),
+        ]);
+        let mut t = Table::empty(schema);
+        for i in 0..n {
+            let s = format!("v{}", i % 5);
+            t.push_str_row(&[Some(&s), Some(&format!("{i}"))]);
+        }
+        t
+    }
+
+    #[test]
+    fn mcar_injects_requested_fraction() {
+        let mut t = table(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let log = inject_mcar(&mut t, 0.2, &mut rng);
+        assert_eq!(log.len(), 40); // 200 cells * 0.2
+        assert_eq!(t.n_missing(), 40);
+    }
+
+    #[test]
+    fn mcar_log_matches_blanked_cells_and_truth() {
+        let clean = table(50);
+        let mut dirty = clean.clone();
+        let mut rng = StdRng::seed_from_u64(2);
+        let log = inject_mcar(&mut dirty, 0.1, &mut rng);
+        for cell in &log.cells {
+            assert!(dirty.is_missing(cell.row, cell.col));
+            assert_eq!(clean.get(cell.row, cell.col), cell.truth);
+            assert!(!cell.truth.is_null());
+        }
+    }
+
+    #[test]
+    fn mcar_is_deterministic_per_seed() {
+        let mut a = table(30);
+        let mut b = table(30);
+        let la = inject_mcar(&mut a, 0.3, &mut StdRng::seed_from_u64(9));
+        let lb = inject_mcar(&mut b, 0.3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(la.cells, lb.cells);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mcar_full_blanks_everything() {
+        let mut t = table(10);
+        inject_mcar(&mut t, 1.0, &mut StdRng::seed_from_u64(3));
+        assert_eq!(t.n_missing(), 20);
+    }
+
+    #[test]
+    fn typos_change_roughly_p_fraction_of_categorical_cells() {
+        let mut t = table(1000);
+        let clean = t.clone();
+        let n = inject_typos(&mut t, 0.1, &mut StdRng::seed_from_u64(4));
+        assert!((50..150).contains(&n), "modified {n} cells");
+        let changed = (0..1000).filter(|&i| t.display(i, 0) != clean.display(i, 0)).count();
+        assert_eq!(changed, n);
+        // the numerical column is untouched
+        for i in 0..1000 {
+            assert_eq!(t.get(i, 1), clean.get(i, 1));
+        }
+    }
+
+    #[test]
+    fn typo_inserts_exactly_one_char() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = typo("abc", &mut rng);
+        assert_eq!(s.chars().count(), 4);
+    }
+
+    fn skewed_table(n: usize) -> Table {
+        let schema = Schema::from_pairs(&[("c", ColumnKind::Categorical)]);
+        let mut t = Table::empty(schema);
+        for i in 0..n {
+            // value v0 85 %, v1 15 %
+            t.push_str_row(&[Some(if i % 100 < 85 { "v0" } else { "v1" })]);
+        }
+        t
+    }
+
+    #[test]
+    fn mnar_hits_rare_values_disproportionately() {
+        let clean = skewed_table(2000);
+        let mut dirty = clean.clone();
+        let log = inject_mnar(&mut dirty, 0.2, &mut StdRng::seed_from_u64(6));
+        let rare_hits =
+            log.cells.iter().filter(|c| clean.display(c.row, c.col) == "v1").count();
+        let rare_rate = rare_hits as f64 / 300.0; // 15 % of 2000 rows
+        let freq_rate = (log.len() - rare_hits) as f64 / 1700.0;
+        assert!(
+            rare_rate > 1.5 * freq_rate,
+            "MNAR must over-blank rare values: rare {rare_rate:.3} vs freq {freq_rate:.3}"
+        );
+        // overall rate near p
+        let overall = log.len() as f64 / 2000.0;
+        assert!((overall - 0.2).abs() < 0.05, "overall rate {overall}");
+    }
+
+    #[test]
+    fn mnar_log_records_truths() {
+        let clean = skewed_table(100);
+        let mut dirty = clean.clone();
+        let log = inject_mnar(&mut dirty, 0.3, &mut StdRng::seed_from_u64(7));
+        for c in &log.cells {
+            assert!(dirty.is_missing(c.row, c.col));
+            assert_eq!(clean.get(c.row, c.col), c.truth);
+        }
+    }
+
+    #[test]
+    fn mar_blanks_only_the_target_column() {
+        let mut t = table(500);
+        let clean = t.clone();
+        let log = inject_mar(&mut t, 1, 0, 0.2, 3.0, &mut StdRng::seed_from_u64(8));
+        assert!(log.cells.iter().all(|c| c.col == 1));
+        for i in 0..500 {
+            assert_eq!(t.get(i, 0), clean.get(i, 0), "driver column untouched");
+        }
+        let overall = log.len() as f64 / 500.0;
+        assert!((overall - 0.2).abs() < 0.06, "overall rate {overall}");
+    }
+
+    #[test]
+    #[should_panic(expected = "driver must differ")]
+    fn mar_rejects_self_driver() {
+        let mut t = table(10);
+        inject_mar(&mut t, 0, 0, 0.1, 2.0, &mut StdRng::seed_from_u64(9));
+    }
+}

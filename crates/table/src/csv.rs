@@ -1,0 +1,197 @@
+//! Minimal CSV reading and writing for tables.
+//!
+//! Handles the subset of RFC 4180 the experiment files need: comma
+//! separation, double-quote quoting with `""` escapes, and a configurable
+//! set of tokens treated as missing (`""`, `NULL`, `NA`, `?`).
+
+use std::io::{self, BufRead, Write};
+
+use crate::schema::{ColumnKind, ColumnMeta, Schema};
+use crate::table::Table;
+
+/// Tokens interpreted as the missing-value sentinel when loading.
+pub const NULL_TOKENS: [&str; 4] = ["", "NULL", "NA", "?"];
+
+fn is_null_token(s: &str) -> bool {
+    NULL_TOKENS.contains(&s)
+}
+
+/// Split one CSV line into fields, honoring double-quote quoting.
+pub fn split_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        if quoted {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    field.push('"');
+                }
+                '"' => quoted = false,
+                c => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => quoted = true,
+                ',' => fields.push(std::mem::take(&mut field)),
+                c => field.push(c),
+            }
+        }
+    }
+    fields.push(field);
+    fields
+}
+
+fn quote_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Read a table from CSV text with a header row, inferring column kinds:
+/// a column is numerical when every non-null cell parses as `f64`,
+/// categorical otherwise.
+pub fn read_csv(reader: impl BufRead) -> io::Result<Table> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty CSV"))??;
+    let names = split_line(&header);
+    let mut rows: Vec<Vec<Option<String>>> = Vec::new();
+    for line in lines {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_line(&line);
+        if fields.len() != names.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("row has {} fields, header has {}", fields.len(), names.len()),
+            ));
+        }
+        rows.push(
+            fields
+                .into_iter()
+                .map(|f| if is_null_token(f.trim()) { None } else { Some(f) })
+                .collect(),
+        );
+    }
+    // Infer kinds.
+    let kinds: Vec<ColumnKind> = (0..names.len())
+        .map(|j| {
+            let mut saw_value = false;
+            let all_numeric = rows.iter().all(|r| match &r[j] {
+                Some(s) => {
+                    saw_value = true;
+                    s.trim().parse::<f64>().is_ok()
+                }
+                None => true,
+            });
+            if all_numeric && saw_value {
+                ColumnKind::Numerical
+            } else {
+                ColumnKind::Categorical
+            }
+        })
+        .collect();
+    let schema = Schema::new(
+        names
+            .into_iter()
+            .zip(&kinds)
+            .map(|(name, &kind)| ColumnMeta { name, kind })
+            .collect(),
+    );
+    let mut table = Table::empty(schema);
+    for row in &rows {
+        let borrowed: Vec<Option<&str>> = row.iter().map(|c| c.as_deref()).collect();
+        table.push_str_row(&borrowed);
+    }
+    Ok(table)
+}
+
+/// Parse a table directly from an in-memory CSV string.
+pub fn read_csv_str(text: &str) -> io::Result<Table> {
+    read_csv(text.as_bytes())
+}
+
+/// Write a table as CSV with a header row; `∅` cells become empty fields.
+pub fn write_csv(table: &Table, mut writer: impl Write) -> io::Result<()> {
+    let header: Vec<String> =
+        table.schema().columns().iter().map(|c| quote_field(&c.name)).collect();
+    writeln!(writer, "{}", header.join(","))?;
+    for i in 0..table.n_rows() {
+        let row: Vec<String> = (0..table.n_columns())
+            .map(|j| {
+                if table.is_missing(i, j) {
+                    String::new()
+                } else {
+                    quote_field(&table.display(i, j))
+                }
+            })
+            .collect();
+        writeln!(writer, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Render a table as a CSV string.
+pub fn to_csv_string(table: &Table) -> String {
+    let mut buf = Vec::new();
+    write_csv(table, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("CSV output is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn roundtrip_preserves_content() {
+        let src = "a,b\nx,1\n,2\ny,\n";
+        let t = read_csv_str(src).unwrap();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.schema().column(0).kind, ColumnKind::Categorical);
+        assert_eq!(t.schema().column(1).kind, ColumnKind::Numerical);
+        assert!(t.is_missing(1, 0));
+        assert!(t.is_missing(2, 1));
+        let csv = to_csv_string(&t);
+        let t2 = read_csv_str(&csv).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let src = "name,v\n\"a,b\",1\n\"say \"\"hi\"\"\",2\n";
+        let t = read_csv_str(src).unwrap();
+        assert_eq!(t.display(0, 0), "a,b");
+        assert_eq!(t.display(1, 0), "say \"hi\"");
+        let back = to_csv_string(&t);
+        let t2 = read_csv_str(&back).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn null_tokens_are_missing() {
+        let src = "a\nNULL\nNA\n?\nok\n";
+        let t = read_csv_str(src).unwrap();
+        assert_eq!(t.n_missing(), 3);
+        assert_eq!(t.get(3, 0), Value::Cat(0));
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        assert!(read_csv_str("a,b\n1\n").is_err());
+    }
+
+    #[test]
+    fn all_null_column_defaults_to_categorical() {
+        let t = read_csv_str("a,b\n,1\n,2\n").unwrap();
+        assert_eq!(t.schema().column(0).kind, ColumnKind::Categorical);
+    }
+}

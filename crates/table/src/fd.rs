@@ -1,0 +1,191 @@
+//! Functional dependencies over table attributes.
+//!
+//! FDs are the "external information" of the paper's §4.3: `X → A` states
+//! that the values of the attribute set `X` determine the value of `A`.
+
+use crate::table::Table;
+
+/// A functional dependency `lhs → rhs`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FunctionalDependency {
+    /// Determinant attribute indices (the premise).
+    pub lhs: Vec<usize>,
+    /// Dependent attribute index (the conclusion).
+    pub rhs: usize,
+}
+
+impl FunctionalDependency {
+    /// Construct `lhs → rhs`.
+    ///
+    /// # Panics
+    /// Panics when `lhs` is empty or contains `rhs`.
+    pub fn new(lhs: Vec<usize>, rhs: usize) -> Self {
+        assert!(!lhs.is_empty(), "FD premise must be non-empty");
+        assert!(!lhs.contains(&rhs), "FD conclusion cannot appear in its premise");
+        FunctionalDependency { lhs, rhs }
+    }
+
+    /// All attributes involved (premise ∪ conclusion).
+    pub fn attributes(&self) -> Vec<usize> {
+        let mut a = self.lhs.clone();
+        a.push(self.rhs);
+        a
+    }
+
+    /// Check whether the FD holds on the non-null rows of `table`:
+    /// no two rows agreeing on `lhs` may disagree on `rhs`. Rows with a null
+    /// in any involved attribute are skipped.
+    pub fn holds_on(&self, table: &Table) -> bool {
+        self.violations(table).is_empty()
+    }
+
+    /// Pairs of row groups that violate the FD: for each `lhs` group with
+    /// more than one distinct `rhs` value, the group's row indices.
+    pub fn violations(&self, table: &Table) -> Vec<Vec<usize>> {
+        let groups = table.group_rows_by(&self.lhs);
+        let mut bad = Vec::new();
+        for rows in groups.values() {
+            let mut seen: Option<crate::value::Value> = None;
+            let mut violating = false;
+            for &i in rows {
+                let v = table.get(i, self.rhs);
+                if v.is_null() {
+                    continue;
+                }
+                match &seen {
+                    None => seen = Some(v),
+                    Some(s) if *s != v => {
+                        violating = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if violating {
+                let mut rows = rows.clone();
+                rows.sort_unstable();
+                bad.push(rows);
+            }
+        }
+        bad.sort();
+        bad
+    }
+}
+
+/// A set of FDs with helpers used by FD-aware imputers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FdSet {
+    /// The dependencies.
+    pub fds: Vec<FunctionalDependency>,
+}
+
+impl FdSet {
+    /// An empty FD set.
+    pub fn empty() -> Self {
+        FdSet::default()
+    }
+
+    /// Construct from a list of `(lhs, rhs)` pairs.
+    pub fn from_pairs(pairs: &[(&[usize], usize)]) -> Self {
+        FdSet {
+            fds: pairs
+                .iter()
+                .map(|(lhs, rhs)| FunctionalDependency::new(lhs.to_vec(), *rhs))
+                .collect(),
+        }
+    }
+
+    /// Number of FDs.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// True when no FDs are present.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// FDs whose conclusion is attribute `j`.
+    pub fn with_rhs(&self, j: usize) -> Vec<&FunctionalDependency> {
+        self.fds.iter().filter(|fd| fd.rhs == j).collect()
+    }
+
+    /// All attributes that co-occur with `j` in some FD (premise or
+    /// conclusion), excluding `j` itself. Used by the Weak-diagonal+FD
+    /// attention strategy and FUNFOREST.
+    pub fn related_attributes(&self, j: usize) -> Vec<usize> {
+        let mut related = Vec::new();
+        for fd in &self.fds {
+            let attrs = fd.attributes();
+            if attrs.contains(&j) {
+                for a in attrs {
+                    if a != j && !related.contains(&a) {
+                        related.push(a);
+                    }
+                }
+            }
+        }
+        related.sort_unstable();
+        related
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnKind, Schema};
+
+    fn table() -> Table {
+        // state -> areacode holds; state -> rate does not.
+        let schema = Schema::from_pairs(&[
+            ("state", ColumnKind::Categorical),
+            ("areacode", ColumnKind::Categorical),
+            ("rate", ColumnKind::Categorical),
+        ]);
+        Table::from_rows(
+            schema,
+            &[
+                vec![Some("RI"), Some("401"), Some("a")],
+                vec![Some("RI"), Some("401"), Some("b")],
+                vec![Some("NH"), Some("603"), Some("a")],
+                vec![Some("NH"), None, Some("a")],
+            ],
+        )
+    }
+
+    #[test]
+    fn holds_detects_satisfied_fd() {
+        let t = table();
+        assert!(FunctionalDependency::new(vec![0], 1).holds_on(&t));
+    }
+
+    #[test]
+    fn violations_found_for_broken_fd() {
+        let t = table();
+        let fd = FunctionalDependency::new(vec![0], 2);
+        let v = fd.violations(&t);
+        assert_eq!(v, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn nulls_do_not_count_as_violations() {
+        let t = table();
+        // row 3 has a null areacode — ignored.
+        assert!(FunctionalDependency::new(vec![0], 1).holds_on(&t));
+    }
+
+    #[test]
+    #[should_panic(expected = "premise must be non-empty")]
+    fn empty_premise_rejected() {
+        FunctionalDependency::new(vec![], 0);
+    }
+
+    #[test]
+    fn related_attributes_cover_premise_and_conclusion() {
+        let fds = FdSet::from_pairs(&[(&[0, 1], 2), (&[3], 0)]);
+        assert_eq!(fds.related_attributes(0), vec![1, 2, 3]);
+        assert_eq!(fds.related_attributes(2), vec![0, 1]);
+        assert_eq!(fds.related_attributes(4), Vec::<usize>::new());
+        assert_eq!(fds.with_rhs(2).len(), 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! The common interface every imputation algorithm implements.
+
+use crate::table::Table;
+
+/// An imputation algorithm `A`: given a dirty table `D` it produces the
+/// imputed table `D̃` in which every `∅` cell is replaced by a value from the
+/// corresponding attribute domain.
+///
+/// Implementations must not alter non-missing cells.
+pub trait Imputer {
+    /// Human-readable algorithm name used in experiment output.
+    fn name(&self) -> &str;
+
+    /// Impute all missing values of `dirty`, returning the filled table.
+    fn impute(&mut self, dirty: &Table) -> Table;
+}
+
+/// Assert the contract that `imputed` only differs from `dirty` at cells
+/// that were missing, and that no missing cells remain. Used in tests and
+/// debug builds of the experiment harness.
+pub fn check_imputation_contract(dirty: &Table, imputed: &Table) -> Result<(), String> {
+    if dirty.n_rows() != imputed.n_rows() || dirty.n_columns() != imputed.n_columns() {
+        return Err("imputed table has different dimensions".to_string());
+    }
+    for i in 0..dirty.n_rows() {
+        for j in 0..dirty.n_columns() {
+            let before = dirty.get(i, j);
+            let after = imputed.get(i, j);
+            if before.is_null() {
+                if after.is_null() {
+                    return Err(format!("cell ({i}, {j}) left missing"));
+                }
+            } else if before != after {
+                return Err(format!(
+                    "non-missing cell ({i}, {j}) changed from {before:?} to {after:?}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnKind, Schema};
+    use crate::value::Value;
+
+    fn tables() -> (Table, Table) {
+        let schema = Schema::from_pairs(&[("a", ColumnKind::Categorical)]);
+        let dirty = Table::from_rows(schema, &[vec![Some("x")], vec![None]]);
+        let mut imputed = dirty.clone();
+        imputed.set(1, 0, Value::Cat(0));
+        (dirty, imputed)
+    }
+
+    #[test]
+    fn contract_accepts_valid_imputation() {
+        let (dirty, imputed) = tables();
+        assert!(check_imputation_contract(&dirty, &imputed).is_ok());
+    }
+
+    #[test]
+    fn contract_rejects_remaining_nulls() {
+        let (dirty, _) = tables();
+        let err = check_imputation_contract(&dirty, &dirty).unwrap_err();
+        assert!(err.contains("left missing"));
+    }
+
+    #[test]
+    fn contract_rejects_changed_known_cells() {
+        let (dirty, mut imputed) = tables();
+        let code = imputed.intern(0, "y");
+        imputed.set(0, 0, Value::Cat(code));
+        assert!(check_imputation_contract(&dirty, &imputed).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! # grimp-table
+//!
+//! The relational substrate of the GRIMP reproduction: mixed-type
+//! (categorical + numerical) column-oriented tables with the `∅`
+//! missing-value sentinel, plus everything the paper's pipeline needs
+//! around them:
+//!
+//! - [`Schema`] / [`Table`] / [`Value`] — the data model of §2;
+//! - [`csv`] — loading/saving the experiment files;
+//! - [`Normalizer`] — z-score normalization of numerical attributes (§3.2);
+//! - [`corrupt`] — MCAR missingness injection and typo noise (§4.1–4.2);
+//! - [`Corpus`] — the self-supervised training corpus of §3.3 (Fig. 4);
+//! - [`FunctionalDependency`] / [`FdSet`] — the external information of §4.3;
+//! - [`Imputer`] — the trait every algorithm (GRIMP and all baselines)
+//!   implements.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod corrupt;
+pub mod csv;
+pub mod fd;
+pub mod imputer;
+pub mod normalize;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use corpus::{Corpus, TrainingSample};
+pub use corrupt::{inject_mar, inject_mcar, inject_mnar, inject_typos, CorruptionLog, InjectedCell};
+pub use fd::{FdSet, FunctionalDependency};
+pub use imputer::{check_imputation_contract, Imputer};
+pub use normalize::Normalizer;
+pub use schema::{ColumnKind, ColumnMeta, Schema};
+pub use table::{Column, Table};
+pub use value::Value;

@@ -1,0 +1,150 @@
+//! Z-score normalization of numerical attributes.
+//!
+//! The paper normalizes numerical values before training "so that their MSE
+//! is comparable in magnitude to the Cross Entropy loss" and de-normalizes
+//! imputed values before measuring accuracy (§3.2, §3.6).
+
+use crate::schema::ColumnKind;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Per-column mean/std recorded when normalizing, used to invert.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Normalizer {
+    /// `(mean, std)` per column; `None` for categorical columns.
+    stats: Vec<Option<(f64, f64)>>,
+}
+
+impl Normalizer {
+    /// Compute normalization statistics from the non-null values of every
+    /// numerical column. Columns with zero variance get `std = 1` so they
+    /// normalize to zero rather than NaN.
+    pub fn fit(table: &Table) -> Self {
+        let stats = (0..table.n_columns())
+            .map(|j| match table.schema().column(j).kind {
+                ColumnKind::Categorical => None,
+                ColumnKind::Numerical => {
+                    let vals: Vec<f64> = (0..table.n_rows())
+                        .filter_map(|i| table.get(i, j).as_num())
+                        .collect();
+                    if vals.is_empty() {
+                        return Some((0.0, 1.0));
+                    }
+                    let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+                    let var =
+                        vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+                    let std = if var > 0.0 { var.sqrt() } else { 1.0 };
+                    Some((mean, std))
+                }
+            })
+            .collect();
+        Normalizer { stats }
+    }
+
+    /// Normalize a raw value of column `j`.
+    pub fn forward(&self, j: usize, v: f64) -> f64 {
+        let (mean, std) = self.stats[j].expect("column is not numerical");
+        (v - mean) / std
+    }
+
+    /// De-normalize a model output of column `j`.
+    pub fn inverse(&self, j: usize, z: f64) -> f64 {
+        let (mean, std) = self.stats[j].expect("column is not numerical");
+        z * std + mean
+    }
+
+    /// Apply normalization to every numerical cell in place.
+    pub fn apply(&self, table: &mut Table) {
+        for j in 0..table.n_columns() {
+            if self.stats[j].is_none() {
+                continue;
+            }
+            for i in 0..table.n_rows() {
+                if let Value::Num(v) = table.get(i, j) {
+                    table.set(i, j, Value::Num(self.forward(j, v)));
+                }
+            }
+        }
+    }
+
+    /// Invert normalization on every numerical cell in place.
+    pub fn unapply(&self, table: &mut Table) {
+        for j in 0..table.n_columns() {
+            if self.stats[j].is_none() {
+                continue;
+            }
+            for i in 0..table.n_rows() {
+                if let Value::Num(v) = table.get(i, j) {
+                    table.set(i, j, Value::Num(self.inverse(j, v)));
+                }
+            }
+        }
+    }
+
+    /// The `(mean, std)` recorded for column `j`, if numerical.
+    pub fn column_stats(&self, j: usize) -> Option<(f64, f64)> {
+        self.stats[j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn numeric_table(vals: &[Option<f64>]) -> Table {
+        let schema = Schema::from_pairs(&[("x", ColumnKind::Numerical)]);
+        let mut t = Table::empty(schema);
+        for v in vals {
+            match v {
+                Some(v) => t.push_value_row(&[Value::Num(*v)]),
+                None => t.push_value_row(&[Value::Null]),
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn normalized_column_has_zero_mean_unit_std() {
+        let mut t = numeric_table(&[Some(1.0), Some(2.0), Some(3.0), Some(4.0)]);
+        let norm = Normalizer::fit(&t);
+        norm.apply(&mut t);
+        let vals: Vec<f64> = (0..4).map(|i| t.get(i, 0).as_num().unwrap()).collect();
+        let mean: f64 = vals.iter().sum::<f64>() / 4.0;
+        let var: f64 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_then_unapply_is_identity() {
+        let orig = numeric_table(&[Some(10.0), None, Some(-5.0), Some(0.25)]);
+        let mut t = orig.clone();
+        let norm = Normalizer::fit(&t);
+        norm.apply(&mut t);
+        norm.unapply(&mut t);
+        for i in 0..4 {
+            match (orig.get(i, 0), t.get(i, 0)) {
+                (Value::Num(a), Value::Num(b)) => assert!((a - b).abs() < 1e-9),
+                (Value::Null, Value::Null) => {}
+                other => panic!("mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn constant_column_does_not_produce_nan() {
+        let mut t = numeric_table(&[Some(5.0), Some(5.0)]);
+        let norm = Normalizer::fit(&t);
+        norm.apply(&mut t);
+        assert_eq!(t.get(0, 0), Value::Num(0.0));
+        assert_eq!(norm.inverse(0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn nulls_stay_null() {
+        let mut t = numeric_table(&[Some(1.0), None]);
+        Normalizer::fit(&t).apply(&mut t);
+        assert!(t.is_missing(1, 0));
+    }
+}

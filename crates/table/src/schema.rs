@@ -1,0 +1,139 @@
+//! Schemas of mixed-type relational tables.
+
+use std::fmt;
+
+/// The type of an attribute, following the paper's split of the schema `R`
+/// into categorical attributes `C(R)` and numerical attributes `N(R)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ColumnKind {
+    /// Discrete attribute; imputation is multi-class classification.
+    Categorical,
+    /// Real-valued attribute; imputation is regression.
+    Numerical,
+}
+
+/// Name and kind of a single attribute.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnMeta {
+    /// Attribute name.
+    pub name: String,
+    /// Categorical or numerical.
+    pub kind: ColumnKind,
+}
+
+/// An ordered list of attributes.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<ColumnMeta>,
+}
+
+impl Schema {
+    /// Build a schema from `(name, kind)` pairs.
+    pub fn new(columns: Vec<ColumnMeta>) -> Self {
+        let mut names: Vec<&str> = columns.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        assert!(names.windows(2).all(|w| w[0] != w[1]), "duplicate column name in schema");
+        Schema { columns }
+    }
+
+    /// Convenience constructor from `(name, kind)` tuples.
+    pub fn from_pairs(pairs: &[(&str, ColumnKind)]) -> Self {
+        Schema::new(
+            pairs
+                .iter()
+                .map(|(name, kind)| ColumnMeta { name: (*name).to_string(), kind: *kind })
+                .collect(),
+        )
+    }
+
+    /// Number of attributes.
+    pub fn n_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Metadata of attribute `i`.
+    pub fn column(&self, i: usize) -> &ColumnMeta {
+        &self.columns[i]
+    }
+
+    /// All attribute metadata in order.
+    pub fn columns(&self) -> &[ColumnMeta] {
+        &self.columns
+    }
+
+    /// Index of the attribute with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Indices of categorical attributes (`C(R)`).
+    pub fn categorical_indices(&self) -> Vec<usize> {
+        self.indices_of(ColumnKind::Categorical)
+    }
+
+    /// Indices of numerical attributes (`N(R)`).
+    pub fn numerical_indices(&self) -> Vec<usize> {
+        self.indices_of(ColumnKind::Numerical)
+    }
+
+    fn indices_of(&self, kind: ColumnKind) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.kind == kind)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let k = match c.kind {
+                ColumnKind::Categorical => "cat",
+                ColumnKind::Numerical => "num",
+            };
+            write!(f, "{}:{}", c.name, k)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_of_finds_columns() {
+        let s = Schema::from_pairs(&[("a", ColumnKind::Categorical), ("b", ColumnKind::Numerical)]);
+        assert_eq!(s.index_of("a"), Some(0));
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("c"), None);
+    }
+
+    #[test]
+    fn kind_partitions_are_disjoint_and_complete() {
+        let s = Schema::from_pairs(&[
+            ("a", ColumnKind::Categorical),
+            ("b", ColumnKind::Numerical),
+            ("c", ColumnKind::Categorical),
+        ]);
+        assert_eq!(s.categorical_indices(), vec![0, 2]);
+        assert_eq!(s.numerical_indices(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_names_rejected() {
+        Schema::from_pairs(&[("a", ColumnKind::Categorical), ("a", ColumnKind::Numerical)]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Schema::from_pairs(&[("x", ColumnKind::Numerical)]);
+        assert_eq!(s.to_string(), "x:num");
+    }
+}

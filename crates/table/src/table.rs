@@ -1,0 +1,450 @@
+//! Column-oriented mixed-type tables with missing values.
+
+use std::collections::HashMap;
+
+use crate::schema::{ColumnKind, Schema};
+use crate::value::Value;
+
+/// Storage for one attribute.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Column {
+    /// Dictionary-encoded categorical data; `None` is the `∅` sentinel.
+    Categorical {
+        /// Distinct values in first-seen order; codes index into this.
+        dict: Vec<String>,
+        /// Per-row dictionary codes.
+        codes: Vec<Option<u32>>,
+    },
+    /// Real-valued data; `None` is the `∅` sentinel.
+    Numerical {
+        /// Per-row values.
+        values: Vec<Option<f64>>,
+    },
+}
+
+impl Column {
+    /// Number of rows stored.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Categorical { codes, .. } => codes.len(),
+            Column::Numerical { values } => values.len(),
+        }
+    }
+
+    /// True when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of `∅` entries.
+    pub fn n_missing(&self) -> usize {
+        match self {
+            Column::Categorical { codes, .. } => codes.iter().filter(|c| c.is_none()).count(),
+            Column::Numerical { values } => values.iter().filter(|v| v.is_none()).count(),
+        }
+    }
+
+    /// Number of distinct non-null values.
+    pub fn n_distinct(&self) -> usize {
+        match self {
+            Column::Categorical { dict, codes } => {
+                let mut seen = vec![false; dict.len()];
+                for c in codes.iter().flatten() {
+                    seen[*c as usize] = true;
+                }
+                seen.iter().filter(|&&s| s).count()
+            }
+            Column::Numerical { values } => {
+                let mut v: Vec<u64> = values.iter().flatten().map(|x| x.to_bits()).collect();
+                v.sort_unstable();
+                v.dedup();
+                v.len()
+            }
+        }
+    }
+}
+
+/// A mixed-type relational table `D` with missing values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| match c.kind {
+                ColumnKind::Categorical => {
+                    Column::Categorical { dict: Vec::new(), codes: Vec::new() }
+                }
+                ColumnKind::Numerical => Column::Numerical { values: Vec::new() },
+            })
+            .collect();
+        Table { schema, columns, n_rows: 0 }
+    }
+
+    /// Build a table from string rows; `None` entries are missing. Numerical
+    /// cells are parsed as `f64`.
+    ///
+    /// # Panics
+    /// Panics on ragged rows or unparseable numerical cells.
+    pub fn from_rows(schema: Schema, rows: &[Vec<Option<&str>>]) -> Self {
+        let mut table = Table::empty(schema);
+        for row in rows {
+            table.push_str_row(row);
+        }
+        table
+    }
+
+    /// Append one row given as strings.
+    pub fn push_str_row(&mut self, row: &[Option<&str>]) {
+        assert_eq!(row.len(), self.schema.n_columns(), "ragged row");
+        for (col, cell) in self.columns.iter_mut().zip(row) {
+            match col {
+                Column::Categorical { dict, codes } => match cell {
+                    Some(s) => {
+                        let code = match dict.iter().position(|d| d == s) {
+                            Some(i) => i as u32,
+                            None => {
+                                dict.push((*s).to_string());
+                                (dict.len() - 1) as u32
+                            }
+                        };
+                        codes.push(Some(code));
+                    }
+                    None => codes.push(None),
+                },
+                Column::Numerical { values } => match cell {
+                    Some(s) => {
+                        let v: f64 = s.trim().parse().unwrap_or_else(|_| {
+                            panic!("cell {s:?} is not numeric")
+                        });
+                        values.push(Some(v));
+                    }
+                    None => values.push(None),
+                },
+            }
+        }
+        self.n_rows += 1;
+    }
+
+    /// Append one row of [`Value`]s. Categorical codes must be valid for the
+    /// column's dictionary.
+    pub fn push_value_row(&mut self, row: &[Value]) {
+        assert_eq!(row.len(), self.schema.n_columns(), "ragged row");
+        for (col, cell) in self.columns.iter_mut().zip(row) {
+            match (col, cell) {
+                (Column::Categorical { dict, codes }, Value::Cat(c)) => {
+                    assert!((*c as usize) < dict.len(), "categorical code out of dictionary");
+                    codes.push(Some(*c));
+                }
+                (Column::Categorical { codes, .. }, Value::Null) => codes.push(None),
+                (Column::Numerical { values }, Value::Num(v)) => values.push(Some(*v)),
+                (Column::Numerical { values }, Value::Null) => values.push(None),
+                (col, cell) => panic!("value {cell:?} does not match column {col:?}"),
+            }
+        }
+        self.n_rows += 1;
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows `n`.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of attributes `m`.
+    pub fn n_columns(&self) -> usize {
+        self.schema.n_columns()
+    }
+
+    /// Raw column storage for attribute `j`.
+    pub fn column(&self, j: usize) -> &Column {
+        &self.columns[j]
+    }
+
+    /// Cell value `t_i[A_j]`.
+    pub fn get(&self, i: usize, j: usize) -> Value {
+        match &self.columns[j] {
+            Column::Categorical { codes, .. } => match codes[i] {
+                Some(c) => Value::Cat(c),
+                None => Value::Null,
+            },
+            Column::Numerical { values } => match values[i] {
+                Some(v) => Value::Num(v),
+                None => Value::Null,
+            },
+        }
+    }
+
+    /// Overwrite cell `t_i[A_j]`.
+    ///
+    /// # Panics
+    /// Panics when the value kind does not match the column kind or a
+    /// categorical code is outside the dictionary.
+    pub fn set(&mut self, i: usize, j: usize, v: Value) {
+        match (&mut self.columns[j], v) {
+            (Column::Categorical { dict, codes }, Value::Cat(c)) => {
+                assert!((c as usize) < dict.len(), "categorical code out of dictionary");
+                codes[i] = Some(c);
+            }
+            (Column::Categorical { codes, .. }, Value::Null) => codes[i] = None,
+            (Column::Numerical { values }, Value::Num(x)) => values[i] = Some(x),
+            (Column::Numerical { values }, Value::Null) => values[i] = None,
+            (col, v) => panic!("value {v:?} does not match column {col:?}"),
+        }
+    }
+
+    /// True when `t_i[A_j] = ∅`.
+    pub fn is_missing(&self, i: usize, j: usize) -> bool {
+        self.get(i, j).is_null()
+    }
+
+    /// Human-readable rendering of a cell (dictionary-decoded).
+    pub fn display(&self, i: usize, j: usize) -> String {
+        match self.get(i, j) {
+            Value::Null => "∅".to_string(),
+            Value::Cat(c) => match &self.columns[j] {
+                Column::Categorical { dict, .. } => dict[c as usize].clone(),
+                _ => unreachable!(),
+            },
+            Value::Num(v) => format!("{v}"),
+        }
+    }
+
+    /// Dictionary of a categorical column.
+    ///
+    /// # Panics
+    /// Panics for numerical columns.
+    pub fn dictionary(&self, j: usize) -> &[String] {
+        match &self.columns[j] {
+            Column::Categorical { dict, .. } => dict,
+            _ => panic!("column {j} is not categorical"),
+        }
+    }
+
+    /// Register (or find) a dictionary entry in a categorical column and
+    /// return its code, without touching any rows.
+    pub fn intern(&mut self, j: usize, s: &str) -> u32 {
+        match &mut self.columns[j] {
+            Column::Categorical { dict, .. } => match dict.iter().position(|d| d == s) {
+                Some(i) => i as u32,
+                None => {
+                    dict.push(s.to_string());
+                    (dict.len() - 1) as u32
+                }
+            },
+            _ => panic!("column {j} is not categorical"),
+        }
+    }
+
+    /// Cardinality of `Dom(A_j)`: dictionary size for categorical columns,
+    /// distinct non-null values for numerical columns.
+    pub fn domain_size(&self, j: usize) -> usize {
+        match &self.columns[j] {
+            Column::Categorical { dict, .. } => dict.len(),
+            c @ Column::Numerical { .. } => c.n_distinct(),
+        }
+    }
+
+    /// Total number of `∅` cells.
+    pub fn n_missing(&self) -> usize {
+        self.columns.iter().map(Column::n_missing).sum()
+    }
+
+    /// Fraction of cells that are `∅`.
+    pub fn missing_fraction(&self) -> f64 {
+        let cells = self.n_rows * self.n_columns();
+        if cells == 0 {
+            0.0
+        } else {
+            self.n_missing() as f64 / cells as f64
+        }
+    }
+
+    /// Number of distinct non-null values over the whole table (the
+    /// "Distinct" column of the paper's Table 1).
+    pub fn n_distinct_total(&self) -> usize {
+        self.columns.iter().map(Column::n_distinct).sum()
+    }
+
+    /// Frequency of each dictionary code among non-null cells of a
+    /// categorical column.
+    pub fn category_counts(&self, j: usize) -> Vec<usize> {
+        match &self.columns[j] {
+            Column::Categorical { dict, codes } => {
+                let mut counts = vec![0usize; dict.len()];
+                for c in codes.iter().flatten() {
+                    counts[*c as usize] += 1;
+                }
+                counts
+            }
+            _ => panic!("column {j} is not categorical"),
+        }
+    }
+
+    /// Most frequent dictionary code of a categorical column (ties broken by
+    /// lowest code), or `None` if every cell is null.
+    pub fn mode(&self, j: usize) -> Option<u32> {
+        let counts = self.category_counts(j);
+        counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Mean of the non-null values of a numerical column, or `None` if all
+    /// values are null.
+    pub fn mean(&self, j: usize) -> Option<f64> {
+        match &self.columns[j] {
+            Column::Numerical { values } => {
+                let (sum, n) = values
+                    .iter()
+                    .flatten()
+                    .fold((0.0, 0usize), |(s, n), &v| (s + v, n + 1));
+                (n > 0).then(|| sum / n as f64)
+            }
+            _ => panic!("column {j} is not numerical"),
+        }
+    }
+
+    /// Positions `(i, j)` of every `∅` cell.
+    pub fn missing_cells(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for j in 0..self.n_columns() {
+            for i in 0..self.n_rows {
+                if self.is_missing(i, j) {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Group rows by their (non-null) values on `cols`; rows with a null in
+    /// any of `cols` are skipped. Used by FD-based repair.
+    pub fn group_rows_by(&self, cols: &[usize]) -> HashMap<Vec<u64>, Vec<usize>> {
+        let mut groups: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();
+        'rows: for i in 0..self.n_rows {
+            let mut key = Vec::with_capacity(cols.len());
+            for &j in cols {
+                match self.get(i, j) {
+                    Value::Null => continue 'rows,
+                    Value::Cat(c) => key.push(u64::from(c)),
+                    Value::Num(v) => key.push(v.to_bits()),
+                }
+            }
+            groups.entry(key).or_default().push(i);
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("country", ColumnKind::Categorical),
+            ("year", ColumnKind::Numerical),
+        ]);
+        Table::from_rows(
+            schema,
+            &[
+                vec![Some("FR"), Some("2015")],
+                vec![None, Some("2014")],
+                vec![Some("FR"), None],
+                vec![Some("IT"), Some("2015")],
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = sample();
+        assert_eq!(t.n_rows(), 4);
+        assert_eq!(t.n_columns(), 2);
+        assert_eq!(t.get(0, 0), Value::Cat(0));
+        assert_eq!(t.get(1, 0), Value::Null);
+        assert_eq!(t.get(0, 1), Value::Num(2015.0));
+        assert_eq!(t.display(3, 0), "IT");
+        assert_eq!(t.display(1, 0), "∅");
+    }
+
+    #[test]
+    fn missing_accounting() {
+        let t = sample();
+        assert_eq!(t.n_missing(), 2);
+        assert_eq!(t.missing_cells(), vec![(1, 0), (2, 1)]);
+        assert!((t.missing_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_and_domain() {
+        let t = sample();
+        assert_eq!(t.domain_size(0), 2); // FR, IT
+        assert_eq!(t.domain_size(1), 2); // 2015, 2014
+        assert_eq!(t.n_distinct_total(), 4);
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut t = sample();
+        t.set(1, 0, Value::Cat(1));
+        assert_eq!(t.display(1, 0), "IT");
+        t.set(2, 1, Value::Num(2020.0));
+        assert_eq!(t.get(2, 1), Value::Num(2020.0));
+        t.set(0, 0, Value::Null);
+        assert!(t.is_missing(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match column")]
+    fn set_rejects_kind_mismatch() {
+        let mut t = sample();
+        t.set(0, 0, Value::Num(1.0));
+    }
+
+    #[test]
+    fn mode_and_mean() {
+        let t = sample();
+        assert_eq!(t.mode(0), Some(0)); // FR appears twice
+        let mean = t.mean(1).unwrap();
+        assert!((mean - (2015.0 + 2014.0 + 2015.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_rows_skips_nulls() {
+        let t = sample();
+        let groups = t.group_rows_by(&[0]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[&vec![0u64]], vec![0, 2]);
+        assert_eq!(groups[&vec![1u64]], vec![3]);
+    }
+
+    #[test]
+    fn intern_reuses_existing_codes() {
+        let mut t = sample();
+        assert_eq!(t.intern(0, "FR"), 0);
+        assert_eq!(t.intern(0, "DE"), 2);
+        assert_eq!(t.dictionary(0), &["FR", "IT", "DE"]);
+    }
+
+    #[test]
+    fn category_counts_ignore_nulls() {
+        let t = sample();
+        assert_eq!(t.category_counts(0), vec![2, 1]);
+    }
+}

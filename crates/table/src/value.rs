@@ -1,0 +1,61 @@
+//! Cell values of a mixed-type table.
+
+use std::fmt;
+
+/// A single cell value. Categorical values are dictionary codes into the
+/// owning column's dictionary; the sentinel `Null` is the paper's `∅`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Value {
+    /// The missing-value sentinel `∅`.
+    Null,
+    /// Dictionary code of a categorical value within its column.
+    Cat(u32),
+    /// A numerical value.
+    Num(f64),
+}
+
+impl Value {
+    /// True for the `∅` sentinel.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The categorical code, if this is a categorical value.
+    pub fn as_cat(&self) -> Option<u32> {
+        match self {
+            Value::Cat(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The numerical value, if this is a numerical value.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "∅"),
+            Value::Cat(c) => write!(f, "#{c}"),
+            Value::Num(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Cat(3).as_cat(), Some(3));
+        assert_eq!(Value::Cat(3).as_num(), None);
+        assert_eq!(Value::Num(1.5).as_num(), Some(1.5));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the relational substrate.
+
+use grimp_table::csv::{read_csv_str, to_csv_string};
+use grimp_table::{inject_mcar, ColumnKind, Corpus, Normalizer, Schema, Table, Value};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy for small random mixed tables.
+fn arb_table() -> impl Strategy<Value = Table> {
+    let cell = prop_oneof![
+        3 => (0u32..5).prop_map(Some),
+        1 => Just(None),
+    ];
+    let num = prop_oneof![
+        3 => (-100i32..100).prop_map(|v| Some(v as f64 / 4.0)),
+        1 => Just(None),
+    ];
+    (proptest::collection::vec((cell, num), 1..40)).prop_map(|rows| {
+        let schema =
+            Schema::from_pairs(&[("c", ColumnKind::Categorical), ("x", ColumnKind::Numerical)]);
+        let mut t = Table::empty(schema);
+        for (c, x) in rows {
+            let cs = c.map(|v| format!("v{v}"));
+            let xs = x.map(|v| format!("{v}"));
+            t.push_str_row(&[cs.as_deref(), xs.as_deref()]);
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csv_roundtrip_is_identity(t in arb_table()) {
+        let csv = to_csv_string(&t);
+        let back = read_csv_str(&csv).unwrap();
+        prop_assert_eq!(back.n_rows(), t.n_rows());
+        for i in 0..t.n_rows() {
+            for j in 0..t.n_columns() {
+                match (t.get(i, j), back.get(i, j)) {
+                    (Value::Null, Value::Null) => {}
+                    (Value::Num(a), Value::Num(b)) => prop_assert!((a - b).abs() < 1e-9),
+                    _ => prop_assert_eq!(t.display(i, j), back.display(i, j)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalizer_roundtrips(t in arb_table()) {
+        let mut w = t.clone();
+        let norm = Normalizer::fit(&w);
+        norm.apply(&mut w);
+        // all normalized values are finite
+        for i in 0..w.n_rows() {
+            if let Value::Num(v) = w.get(i, 1) {
+                prop_assert!(v.is_finite());
+            }
+        }
+        norm.unapply(&mut w);
+        for i in 0..t.n_rows() {
+            match (t.get(i, 1), w.get(i, 1)) {
+                (Value::Num(a), Value::Num(b)) => prop_assert!((a - b).abs() < 1e-6),
+                (Value::Null, Value::Null) => {}
+                other => prop_assert!(false, "mismatch {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn mcar_preserves_non_injected_cells(t in arb_table(), p in 0.0f64..0.9, seed in 0u64..100) {
+        let mut dirty = t.clone();
+        let log = inject_mcar(&mut dirty, p, &mut StdRng::seed_from_u64(seed));
+        let injected: std::collections::HashSet<(usize, usize)> =
+            log.cells.iter().map(|c| (c.row, c.col)).collect();
+        prop_assert_eq!(injected.len(), log.cells.len(), "no duplicate injections");
+        for i in 0..t.n_rows() {
+            for j in 0..t.n_columns() {
+                if injected.contains(&(i, j)) {
+                    prop_assert!(dirty.is_missing(i, j));
+                } else {
+                    prop_assert_eq!(t.get(i, j), dirty.get(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_counts_match_non_missing_cells(t in arb_table(), seed in 0u64..100) {
+        let c = Corpus::build(&t, 0.2, &mut StdRng::seed_from_u64(seed));
+        let non_missing = t.n_rows() * t.n_columns() - t.n_missing();
+        prop_assert_eq!(c.n_train() + c.n_validation(), non_missing);
+        // samples are routed to the bucket matching their target column
+        for (j, bucket) in c.train.iter().enumerate() {
+            for s in bucket {
+                prop_assert_eq!(s.target_col, j);
+                prop_assert_eq!(s.label, t.get(s.row, j));
+            }
+        }
+    }
+
+    #[test]
+    fn missing_fraction_matches_requested_p(t in arb_table(), p in 0.0f64..=0.5) {
+        // On a table with no pre-existing nulls, injection hits the target
+        // count exactly (rounded).
+        let schema = Schema::from_pairs(&[("c", ColumnKind::Categorical)]);
+        let rows: Vec<Vec<Option<&str>>> = (0..t.n_rows().max(1)).map(|_| vec![Some("x")]).collect();
+        let mut clean = Table::from_rows(schema, &rows);
+        let cells = clean.n_rows() * clean.n_columns();
+        let log = inject_mcar(&mut clean, p, &mut StdRng::seed_from_u64(0));
+        prop_assert_eq!(log.len(), ((cells as f64) * p).round() as usize);
+    }
+}

@@ -1,0 +1,69 @@
+//! Weight initialization schemes.
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rows, cols, -a, a, rng)
+}
+
+/// Uniform initialization in `[lo, hi)`.
+pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Standard normal initialization scaled by `std`.
+pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut impl Rng) -> Tensor {
+    // Box-Muller transform; rand's distributions module is avoided to keep
+    // the dependency surface minimal.
+    let n = rows * cols;
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = xavier_uniform(64, 64, &mut rng);
+        let a = (6.0 / 128.0f32).sqrt();
+        assert!(t.as_slice().iter().all(|&v| v > -a && v < a));
+    }
+
+    #[test]
+    fn normal_has_roughly_requested_spread() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = normal(100, 100, 0.5, &mut rng);
+        let mean: f32 = t.sum() / t.len() as f32;
+        let var: f32 = t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn init_is_deterministic_for_a_fixed_seed() {
+        let a = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(42));
+        let b = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,1018 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] is an arena of [`Node`]s. Model parameters are registered
+//! first ([`Tape::param`]), the boundary is sealed with [`Tape::freeze`], and
+//! every training step then appends ephemeral forward nodes, calls
+//! [`Tape::backward`] on the scalar loss, lets the optimizer consume the
+//! parameter gradients, and finally calls [`Tape::reset`] which truncates the
+//! arena back to the parameters. This keeps allocations stable across epochs
+//! and avoids any closure-based backward machinery: each op's backward rule
+//! is a match arm over [`Op`].
+
+use std::rc::Rc;
+
+use crate::adjacency::Adjacency;
+use crate::tensor::Tensor;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    #[inline]
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Handle for the node at position `i` on its tape. Only meaningful for
+    /// indices below [`Tape::param_count`] (used by optimizers to walk the
+    /// parameter section).
+    #[inline]
+    pub fn from_index(i: usize) -> Var {
+        Var(u32::try_from(i).expect("tape node index fits u32"))
+    }
+}
+
+/// The operation that produced a node; encodes the backward rule.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Leaf node: parameter (grads tracked) or constant input.
+    Leaf,
+    /// `A · B`.
+    MatMul(Var, Var),
+    /// Elementwise `A + B` of identical shapes.
+    Add(Var, Var),
+    /// `A + b` where `b` is a `1 × cols` row broadcast over the rows of `A`.
+    AddRowBroadcast(Var, Var),
+    /// Elementwise `A - B`.
+    Sub(Var, Var),
+    /// Elementwise Hadamard product.
+    MulElem(Var, Var),
+    /// `k · A`.
+    Scale(Var, f32),
+    /// Elementwise sum of several identically shaped inputs.
+    AddN(Vec<Var>),
+    /// Rectified linear unit.
+    Relu(Var),
+    /// Hyperbolic tangent.
+    Tanh(Var),
+    /// Logistic sigmoid.
+    Sigmoid(Var),
+    /// `out[i] = a[idx[i]]` row gather (embedding lookup).
+    GatherRows(Var, Rc<Vec<u32>>),
+    /// `out[i] = mean of a[j] over j ∈ adj(i)`; zero row when degree 0.
+    ScatterMean(Var, Rc<Adjacency>),
+    /// `out[i] = Σ_j w[e] · a[j]` over edges `e = (i, j)` of the adjacency,
+    /// with one constant weight per CSR target entry (GCN-style normalized
+    /// aggregation).
+    ScatterWeighted(Var, Rc<Adjacency>, Rc<Vec<f32>>),
+    /// Horizontal concatenation of matrices with equal row counts.
+    ConcatCols(Vec<Var>),
+    /// Column slice `a[:, start..end]`.
+    SliceCols(Var, usize, usize),
+    /// Shape reinterpretation (data order unchanged).
+    Reshape(Var),
+    /// Sum of all elements, producing a `1 × 1` tensor.
+    SumAll(Var),
+    /// Mean of all elements, producing a `1 × 1` tensor.
+    MeanAll(Var),
+    /// Row-wise softmax.
+    RowSoftmax(Var),
+    /// `out[n] = Σ_c alpha[n, c] · v[n·C + c, :]` — batched attention
+    /// read-out over blocks of `C` rows.
+    BlockWeightedSum { v: Var, alpha: Var },
+    /// Mean softmax cross-entropy over rows of logits against class indices.
+    SoftmaxCrossEntropy { logits: Var, targets: Rc<Vec<u32>> },
+    /// Mean focal loss `-(1 - p_t)^γ · log p_t` over rows of logits.
+    FocalLoss { logits: Var, targets: Rc<Vec<u32>>, gamma: f32 },
+    /// Mean squared error of an `N × 1` prediction column against targets.
+    MseLoss { pred: Var, targets: Rc<Vec<f32>> },
+}
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+    needs_grad: bool,
+}
+
+/// Reverse-mode autodiff tape.
+pub struct Tape {
+    nodes: Vec<Node>,
+    frozen_at: Option<u32>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Tape { nodes: Vec::new(), frozen_at: None }
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, needs_grad: bool) -> Var {
+        debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
+        let id = u32::try_from(self.nodes.len()).expect("tape node count fits u32");
+        self.nodes.push(Node { value, grad: None, op, needs_grad });
+        Var(id)
+    }
+
+    fn needs(&self, v: Var) -> bool {
+        self.nodes[v.idx()].needs_grad
+    }
+
+    fn any_needs(&self, vars: &[Var]) -> bool {
+        vars.iter().any(|&v| self.needs(v))
+    }
+
+    /// Register a trainable parameter. Must be called before [`Tape::freeze`].
+    ///
+    /// # Panics
+    /// Panics if the tape is already frozen.
+    pub fn param(&mut self, value: Tensor) -> Var {
+        assert!(self.frozen_at.is_none(), "cannot add parameters to a frozen tape");
+        self.push(value, Op::Leaf, true)
+    }
+
+    /// Seal the parameter section; later [`Tape::reset`] calls truncate here.
+    pub fn freeze(&mut self) {
+        assert!(self.frozen_at.is_none(), "tape already frozen");
+        self.frozen_at = Some(self.nodes.len() as u32);
+    }
+
+    /// Number of registered parameters (valid after [`Tape::freeze`]).
+    pub fn param_count(&self) -> usize {
+        self.frozen_at.map(|b| b as usize).unwrap_or(self.nodes.len())
+    }
+
+    /// Total number of f32 values across all parameters.
+    pub fn total_param_elems(&self) -> usize {
+        (0..self.param_count()).map(|i| self.nodes[i].value.len()).sum()
+    }
+
+    /// Drop all ephemeral nodes and clear parameter gradients.
+    pub fn reset(&mut self) {
+        let boundary = self.frozen_at.expect("reset requires a frozen tape") as usize;
+        self.nodes.truncate(boundary);
+        for node in &mut self.nodes {
+            node.grad = None;
+        }
+    }
+
+    /// Add a constant (non-differentiable) input tensor.
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, false)
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.idx()].value
+    }
+
+    /// Mutable value of a node (used by optimizers to update parameters).
+    pub fn value_mut(&mut self, v: Var) -> &mut Tensor {
+        &mut self.nodes[v.idx()].value
+    }
+
+    /// Gradient accumulated for a node by the latest [`Tape::backward`].
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.idx()].grad.as_ref()
+    }
+
+    // ---- forward ops ------------------------------------------------------
+
+    /// `a · b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        let ng = self.any_needs(&[a, b]);
+        self.push(value, Op::MatMul(a, b), ng)
+    }
+
+    /// Elementwise `a + b`.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.value(a).shape(), self.value(b).shape(), "add shape mismatch");
+        let mut value = self.value(a).clone();
+        value.add_assign(self.value(b));
+        let ng = self.any_needs(&[a, b]);
+        self.push(value, Op::Add(a, b), ng)
+    }
+
+    /// `a + bias` broadcasting the `1 × cols` bias row over `a`'s rows.
+    pub fn add_row_broadcast(&mut self, a: Var, bias: Var) -> Var {
+        let (rows, cols) = self.value(a).shape();
+        assert_eq!(self.value(bias).shape(), (1, cols), "bias must be 1 x cols");
+        let mut value = self.value(a).clone();
+        {
+            let b = self.value(bias).as_slice().to_vec();
+            for r in 0..rows {
+                for (o, &bv) in value.row_slice_mut(r).iter_mut().zip(&b) {
+                    *o += bv;
+                }
+            }
+        }
+        let ng = self.any_needs(&[a, bias]);
+        self.push(value, Op::AddRowBroadcast(a, bias), ng)
+    }
+
+    /// Elementwise `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.value(a).shape(), self.value(b).shape(), "sub shape mismatch");
+        let mut value = self.value(a).clone();
+        value.add_scaled(self.value(b), -1.0);
+        let ng = self.any_needs(&[a, b]);
+        self.push(value, Op::Sub(a, b), ng)
+    }
+
+    /// Elementwise Hadamard product.
+    pub fn mul_elem(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.value(a).shape(), self.value(b).shape(), "mul shape mismatch");
+        let bv = self.value(b).as_slice().to_vec();
+        let mut value = self.value(a).clone();
+        for (x, b) in value.as_mut_slice().iter_mut().zip(bv) {
+            *x *= b;
+        }
+        let ng = self.any_needs(&[a, b]);
+        self.push(value, Op::MulElem(a, b), ng)
+    }
+
+    /// `k · a`.
+    pub fn scale(&mut self, a: Var, k: f32) -> Var {
+        let value = self.value(a).map(|v| v * k);
+        let ng = self.needs(a);
+        self.push(value, Op::Scale(a, k), ng)
+    }
+
+    /// Elementwise sum of identically shaped inputs.
+    ///
+    /// # Panics
+    /// Panics on an empty input list or mismatched shapes.
+    pub fn add_n(&mut self, vars: &[Var]) -> Var {
+        assert!(!vars.is_empty(), "add_n requires at least one input");
+        let mut value = self.value(vars[0]).clone();
+        for &v in &vars[1..] {
+            value.add_assign(self.value(v));
+        }
+        let ng = self.any_needs(vars);
+        self.push(value, Op::AddN(vars.to_vec()), ng)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| v.max(0.0));
+        let ng = self.needs(a);
+        self.push(value, Op::Relu(a), ng)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::tanh);
+        let ng = self.needs(a);
+        self.push(value, Op::Tanh(a), ng)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| 1.0 / (1.0 + (-v).exp()));
+        let ng = self.needs(a);
+        self.push(value, Op::Sigmoid(a), ng)
+    }
+
+    /// Row gather: `out[i] = a[idx[i]]`.
+    pub fn gather_rows(&mut self, a: Var, idx: Rc<Vec<u32>>) -> Var {
+        let src = self.value(a);
+        let cols = src.cols();
+        let mut value = Tensor::zeros(idx.len(), cols);
+        for (i, &j) in idx.iter().enumerate() {
+            value.row_slice_mut(i).copy_from_slice(src.row_slice(j as usize));
+        }
+        let ng = self.needs(a);
+        self.push(value, Op::GatherRows(a, idx), ng)
+    }
+
+    /// Neighborhood mean: `out[i] = mean_{j ∈ adj(i)} a[j]`, zero when
+    /// `adj(i)` is empty.
+    pub fn scatter_mean(&mut self, a: Var, adj: Rc<Adjacency>) -> Var {
+        let src = self.value(a);
+        assert!(
+            adj.max_target_bound() <= src.rows(),
+            "adjacency references row beyond input ({} > {})",
+            adj.max_target_bound(),
+            src.rows()
+        );
+        let cols = src.cols();
+        let mut value = Tensor::zeros(adj.n_rows(), cols);
+        for i in 0..adj.n_rows() {
+            let neigh = adj.neighbors(i);
+            if neigh.is_empty() {
+                continue;
+            }
+            let inv = 1.0 / neigh.len() as f32;
+            let out_row = value.row_slice_mut(i);
+            for &j in neigh {
+                for (o, &v) in out_row.iter_mut().zip(src.row_slice(j as usize)) {
+                    *o += v * inv;
+                }
+            }
+        }
+        let ng = self.needs(a);
+        self.push(value, Op::ScatterMean(a, adj), ng)
+    }
+
+    /// Weighted neighborhood sum: `out[i] = Σ w[e] · a[j]` over the
+    /// adjacency's edges `(i, j)`, with `weights` aligned to the CSR target
+    /// array (one weight per stored edge). The weights are constants (no
+    /// gradient), which is exactly what GCN's fixed symmetric normalization
+    /// needs.
+    ///
+    /// # Panics
+    /// Panics when `weights.len() != adj.n_edges()`.
+    pub fn scatter_weighted(
+        &mut self,
+        a: Var,
+        adj: Rc<Adjacency>,
+        weights: Rc<Vec<f32>>,
+    ) -> Var {
+        let src = self.value(a);
+        assert_eq!(weights.len(), adj.n_edges(), "one weight per adjacency edge");
+        assert!(
+            adj.max_target_bound() <= src.rows(),
+            "adjacency references row beyond input"
+        );
+        let cols = src.cols();
+        let mut value = Tensor::zeros(adj.n_rows(), cols);
+        let mut e = 0usize;
+        for i in 0..adj.n_rows() {
+            let out_row = value.row_slice_mut(i);
+            for &j in adj.neighbors(i) {
+                let w = weights[e];
+                e += 1;
+                if w == 0.0 {
+                    continue;
+                }
+                for (o, &v) in out_row.iter_mut().zip(src.row_slice(j as usize)) {
+                    *o += w * v;
+                }
+            }
+        }
+        let ng = self.needs(a);
+        self.push(value, Op::ScatterWeighted(a, adj, weights), ng)
+    }
+
+    /// Horizontal concatenation.
+    pub fn concat_cols(&mut self, vars: &[Var]) -> Var {
+        assert!(!vars.is_empty(), "concat_cols requires at least one input");
+        let rows = self.value(vars[0]).rows();
+        let total_cols: usize = vars.iter().map(|&v| self.value(v).cols()).sum();
+        let mut value = Tensor::zeros(rows, total_cols);
+        let mut offset = 0;
+        for &v in vars {
+            let t = self.value(v);
+            assert_eq!(t.rows(), rows, "concat_cols row mismatch");
+            let c = t.cols();
+            for r in 0..rows {
+                value.row_slice_mut(r)[offset..offset + c].copy_from_slice(t.row_slice(r));
+            }
+            offset += c;
+        }
+        let ng = self.any_needs(vars);
+        self.push(value, Op::ConcatCols(vars.to_vec()), ng)
+    }
+
+    /// Column slice `a[:, start..end]`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let src = self.value(a);
+        assert!(start <= end && end <= src.cols(), "slice out of bounds");
+        let rows = src.rows();
+        let mut value = Tensor::zeros(rows, end - start);
+        for r in 0..rows {
+            value.row_slice_mut(r).copy_from_slice(&src.row_slice(r)[start..end]);
+        }
+        let ng = self.needs(a);
+        self.push(value, Op::SliceCols(a, start, end), ng)
+    }
+
+    /// Shape reinterpretation preserving element order.
+    pub fn reshape(&mut self, a: Var, rows: usize, cols: usize) -> Var {
+        let value = self.value(a).reshaped(rows, cols);
+        let ng = self.needs(a);
+        self.push(value, Op::Reshape(a), ng)
+    }
+
+    /// Sum of all elements as a `1 × 1` tensor.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let value = Tensor::scalar(self.value(a).sum());
+        let ng = self.needs(a);
+        self.push(value, Op::SumAll(a), ng)
+    }
+
+    /// Mean of all elements as a `1 × 1` tensor.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let t = self.value(a);
+        let value = Tensor::scalar(t.sum() / t.len() as f32);
+        let ng = self.needs(a);
+        self.push(value, Op::MeanAll(a), ng)
+    }
+
+    /// Row-wise numerically stable softmax.
+    pub fn row_softmax(&mut self, a: Var) -> Var {
+        let value = softmax_rows(self.value(a));
+        let ng = self.needs(a);
+        self.push(value, Op::RowSoftmax(a), ng)
+    }
+
+    /// Batched attention read-out: with `v` of shape `(N·C) × D` and `alpha`
+    /// of shape `N × C`, produces `out` of shape `N × D` with
+    /// `out[n] = Σ_c alpha[n, c] · v[n·C + c, :]`.
+    pub fn block_weighted_sum(&mut self, v: Var, alpha: Var) -> Var {
+        let (n, c) = self.value(alpha).shape();
+        let (vc_rows, d) = self.value(v).shape();
+        assert_eq!(vc_rows, n * c, "v rows must equal alpha rows x cols");
+        let mut value = Tensor::zeros(n, d);
+        {
+            let vt = self.value(v);
+            let at = self.value(alpha);
+            for ni in 0..n {
+                let out_row = value.row_slice_mut(ni);
+                for ci in 0..c {
+                    let w = at.get(ni, ci);
+                    if w == 0.0 {
+                        continue;
+                    }
+                    for (o, &x) in out_row.iter_mut().zip(vt.row_slice(ni * c + ci)) {
+                        *o += w * x;
+                    }
+                }
+            }
+        }
+        let ng = self.any_needs(&[v, alpha]);
+        self.push(value, Op::BlockWeightedSum { v, alpha }, ng)
+    }
+
+    /// Mean softmax cross-entropy of `logits` (`N × K`) against class
+    /// indices `targets` (`len N`, each `< K`).
+    pub fn softmax_cross_entropy(&mut self, logits: Var, targets: Rc<Vec<u32>>) -> Var {
+        let lt = self.value(logits);
+        assert_eq!(lt.rows(), targets.len(), "one target per logits row");
+        let probs = softmax_rows(lt);
+        let mut loss = 0.0f64;
+        for (i, &t) in targets.iter().enumerate() {
+            let p = probs.get(i, t as usize).max(1e-12);
+            loss -= f64::from(p.ln());
+        }
+        let value = Tensor::scalar((loss / targets.len() as f64) as f32);
+        let ng = self.needs(logits);
+        self.push(value, Op::SoftmaxCrossEntropy { logits, targets }, ng)
+    }
+
+    /// Mean focal loss `-(1 - p_t)^γ log p_t` against class indices.
+    pub fn focal_loss(&mut self, logits: Var, targets: Rc<Vec<u32>>, gamma: f32) -> Var {
+        let lt = self.value(logits);
+        assert_eq!(lt.rows(), targets.len(), "one target per logits row");
+        let probs = softmax_rows(lt);
+        let mut loss = 0.0f64;
+        for (i, &t) in targets.iter().enumerate() {
+            let p = probs.get(i, t as usize).clamp(1e-12, 1.0);
+            loss -= f64::from((1.0 - p).powf(gamma) * p.ln());
+        }
+        let value = Tensor::scalar((loss / targets.len() as f64) as f32);
+        let ng = self.needs(logits);
+        self.push(value, Op::FocalLoss { logits, targets, gamma }, ng)
+    }
+
+    /// Mean squared error of an `N × 1` prediction column against targets.
+    pub fn mse_loss(&mut self, pred: Var, targets: Rc<Vec<f32>>) -> Var {
+        let pt = self.value(pred);
+        assert_eq!(pt.shape(), (targets.len(), 1), "pred must be N x 1");
+        let mut loss = 0.0f64;
+        for (i, &t) in targets.iter().enumerate() {
+            let d = f64::from(pt.get(i, 0) - t);
+            loss += d * d;
+        }
+        let value = Tensor::scalar((loss / targets.len().max(1) as f64) as f32);
+        let ng = self.needs(pred);
+        self.push(value, Op::MseLoss { pred, targets }, ng)
+    }
+
+    // ---- backward ---------------------------------------------------------
+
+    fn accumulate(&mut self, v: Var, delta: Tensor) {
+        if !self.needs(v) {
+            return;
+        }
+        let node = &mut self.nodes[v.idx()];
+        match &mut node.grad {
+            Some(g) => g.add_assign(&delta),
+            None => node.grad = Some(delta),
+        }
+    }
+
+    /// Run reverse-mode differentiation from the scalar node `loss`.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1 × 1`.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(self.value(loss).shape(), (1, 1), "backward requires a scalar loss");
+        self.nodes[loss.idx()].grad = Some(Tensor::scalar(1.0));
+        for i in (0..self.nodes.len()).rev() {
+            if self.nodes[i].grad.is_none() || !self.nodes[i].needs_grad {
+                continue;
+            }
+            let grad = self.nodes[i].grad.clone().expect("just checked");
+            let op = self.nodes[i].op.clone();
+            self.backprop_one(Var(i as u32), &grad, &op);
+        }
+    }
+
+    fn backprop_one(&mut self, out: Var, grad: &Tensor, op: &Op) {
+        match op {
+            Op::Leaf => {}
+            Op::MatMul(a, b) => {
+                if self.needs(*a) {
+                    let da = grad.matmul_nt(self.value(*b));
+                    self.accumulate(*a, da);
+                }
+                if self.needs(*b) {
+                    let db = self.value(*a).matmul_tn(grad);
+                    self.accumulate(*b, db);
+                }
+            }
+            Op::Add(a, b) => {
+                self.accumulate(*a, grad.clone());
+                self.accumulate(*b, grad.clone());
+            }
+            Op::AddRowBroadcast(a, bias) => {
+                self.accumulate(*a, grad.clone());
+                if self.needs(*bias) {
+                    let cols = grad.cols();
+                    let mut db = Tensor::zeros(1, cols);
+                    for r in 0..grad.rows() {
+                        for (o, &g) in db.as_mut_slice().iter_mut().zip(grad.row_slice(r)) {
+                            *o += g;
+                        }
+                    }
+                    self.accumulate(*bias, db);
+                }
+            }
+            Op::Sub(a, b) => {
+                self.accumulate(*a, grad.clone());
+                self.accumulate(*b, grad.map(|v| -v));
+            }
+            Op::MulElem(a, b) => {
+                if self.needs(*a) {
+                    let mut da = grad.clone();
+                    let bv = self.value(*b).as_slice().to_vec();
+                    for (g, b) in da.as_mut_slice().iter_mut().zip(bv) {
+                        *g *= b;
+                    }
+                    self.accumulate(*a, da);
+                }
+                if self.needs(*b) {
+                    let mut db = grad.clone();
+                    let av = self.value(*a).as_slice().to_vec();
+                    for (g, a) in db.as_mut_slice().iter_mut().zip(av) {
+                        *g *= a;
+                    }
+                    self.accumulate(*b, db);
+                }
+            }
+            Op::Scale(a, k) => {
+                let k = *k;
+                self.accumulate(*a, grad.map(|v| v * k));
+            }
+            Op::AddN(vars) => {
+                for &v in vars {
+                    self.accumulate(v, grad.clone());
+                }
+            }
+            Op::Relu(a) => {
+                let mask: Vec<f32> =
+                    self.value(out).as_slice().iter().map(|&v| if v > 0.0 { 1.0 } else { 0.0 }).collect();
+                let mut da = grad.clone();
+                for (g, m) in da.as_mut_slice().iter_mut().zip(mask) {
+                    *g *= m;
+                }
+                self.accumulate(*a, da);
+            }
+            Op::Tanh(a) => {
+                let outv = self.value(out).as_slice().to_vec();
+                let mut da = grad.clone();
+                for (g, o) in da.as_mut_slice().iter_mut().zip(outv) {
+                    *g *= 1.0 - o * o;
+                }
+                self.accumulate(*a, da);
+            }
+            Op::Sigmoid(a) => {
+                let outv = self.value(out).as_slice().to_vec();
+                let mut da = grad.clone();
+                for (g, o) in da.as_mut_slice().iter_mut().zip(outv) {
+                    *g *= o * (1.0 - o);
+                }
+                self.accumulate(*a, da);
+            }
+            Op::GatherRows(a, idx) => {
+                if self.needs(*a) {
+                    let (rows, cols) = self.value(*a).shape();
+                    let mut da = Tensor::zeros(rows, cols);
+                    for (i, &j) in idx.iter().enumerate() {
+                        let dst = da.row_slice_mut(j as usize);
+                        for (o, &g) in dst.iter_mut().zip(grad.row_slice(i)) {
+                            *o += g;
+                        }
+                    }
+                    self.accumulate(*a, da);
+                }
+            }
+            Op::ScatterMean(a, adj) => {
+                if self.needs(*a) {
+                    let (rows, cols) = self.value(*a).shape();
+                    let mut da = Tensor::zeros(rows, cols);
+                    for i in 0..adj.n_rows() {
+                        let neigh = adj.neighbors(i);
+                        if neigh.is_empty() {
+                            continue;
+                        }
+                        let inv = 1.0 / neigh.len() as f32;
+                        for &j in neigh {
+                            let dst = da.row_slice_mut(j as usize);
+                            for (o, &g) in dst.iter_mut().zip(grad.row_slice(i)) {
+                                *o += g * inv;
+                            }
+                        }
+                    }
+                    self.accumulate(*a, da);
+                }
+            }
+            Op::ScatterWeighted(a, adj, weights) => {
+                if self.needs(*a) {
+                    let (rows, cols) = self.value(*a).shape();
+                    let mut da = Tensor::zeros(rows, cols);
+                    let mut e = 0usize;
+                    for i in 0..adj.n_rows() {
+                        for &j in adj.neighbors(i) {
+                            let w = weights[e];
+                            e += 1;
+                            if w == 0.0 {
+                                continue;
+                            }
+                            let dst = da.row_slice_mut(j as usize);
+                            for (o, &g) in dst.iter_mut().zip(grad.row_slice(i)) {
+                                *o += w * g;
+                            }
+                        }
+                    }
+                    self.accumulate(*a, da);
+                }
+            }
+            Op::ConcatCols(vars) => {
+                let mut offset = 0;
+                for &v in vars {
+                    let c = self.value(v).cols();
+                    if self.needs(v) {
+                        let rows = grad.rows();
+                        let mut dv = Tensor::zeros(rows, c);
+                        for r in 0..rows {
+                            dv.row_slice_mut(r).copy_from_slice(&grad.row_slice(r)[offset..offset + c]);
+                        }
+                        self.accumulate(v, dv);
+                    }
+                    offset += c;
+                }
+            }
+            Op::SliceCols(a, start, _end) => {
+                if self.needs(*a) {
+                    let (rows, cols) = self.value(*a).shape();
+                    let mut da = Tensor::zeros(rows, cols);
+                    for r in 0..rows {
+                        let g = grad.row_slice(r);
+                        da.row_slice_mut(r)[*start..*start + g.len()].copy_from_slice(g);
+                    }
+                    self.accumulate(*a, da);
+                }
+            }
+            Op::Reshape(a) => {
+                if self.needs(*a) {
+                    let (rows, cols) = self.value(*a).shape();
+                    self.accumulate(*a, grad.reshaped(rows, cols));
+                }
+            }
+            Op::SumAll(a) => {
+                let g = grad.item();
+                let (rows, cols) = self.value(*a).shape();
+                self.accumulate(*a, Tensor::full(rows, cols, g));
+            }
+            Op::MeanAll(a) => {
+                let (rows, cols) = self.value(*a).shape();
+                let g = grad.item() / (rows * cols) as f32;
+                self.accumulate(*a, Tensor::full(rows, cols, g));
+            }
+            Op::RowSoftmax(a) => {
+                if self.needs(*a) {
+                    let outv = self.value(out).clone();
+                    let mut da = Tensor::zeros(outv.rows(), outv.cols());
+                    for r in 0..outv.rows() {
+                        let s = outv.row_slice(r);
+                        let g = grad.row_slice(r);
+                        let dot: f32 = s.iter().zip(g).map(|(&si, &gi)| si * gi).sum();
+                        for ((o, &si), &gi) in da.row_slice_mut(r).iter_mut().zip(s).zip(g) {
+                            *o = si * (gi - dot);
+                        }
+                    }
+                    self.accumulate(*a, da);
+                }
+            }
+            Op::BlockWeightedSum { v, alpha } => {
+                let (n, c) = self.value(*alpha).shape();
+                let d = self.value(*v).cols();
+                if self.needs(*v) {
+                    let at = self.value(*alpha).clone();
+                    let mut dv = Tensor::zeros(n * c, d);
+                    for ni in 0..n {
+                        let g = grad.row_slice(ni);
+                        for ci in 0..c {
+                            let w = at.get(ni, ci);
+                            if w == 0.0 {
+                                continue;
+                            }
+                            for (o, &gi) in dv.row_slice_mut(ni * c + ci).iter_mut().zip(g) {
+                                *o += w * gi;
+                            }
+                        }
+                    }
+                    self.accumulate(*v, dv);
+                }
+                if self.needs(*alpha) {
+                    let vt = self.value(*v).clone();
+                    let mut dalpha = Tensor::zeros(n, c);
+                    for ni in 0..n {
+                        let g = grad.row_slice(ni);
+                        for ci in 0..c {
+                            let dot: f32 =
+                                vt.row_slice(ni * c + ci).iter().zip(g).map(|(&x, &gi)| x * gi).sum();
+                            dalpha.set(ni, ci, dot);
+                        }
+                    }
+                    self.accumulate(*alpha, dalpha);
+                }
+            }
+            Op::SoftmaxCrossEntropy { logits, targets } => {
+                if self.needs(*logits) {
+                    let probs = softmax_rows(self.value(*logits));
+                    let n = targets.len() as f32;
+                    let scale = grad.item() / n;
+                    let mut dl = probs;
+                    for (i, &t) in targets.iter().enumerate() {
+                        let row = dl.row_slice_mut(i);
+                        row[t as usize] -= 1.0;
+                        for g in row.iter_mut() {
+                            *g *= scale;
+                        }
+                    }
+                    self.accumulate(*logits, dl);
+                }
+            }
+            Op::FocalLoss { logits, targets, gamma } => {
+                if self.needs(*logits) {
+                    let probs = softmax_rows(self.value(*logits));
+                    let n = targets.len() as f32;
+                    let scale = grad.item() / n;
+                    let gamma = *gamma;
+                    let mut dl = Tensor::zeros(probs.rows(), probs.cols());
+                    for (i, &t) in targets.iter().enumerate() {
+                        let t = t as usize;
+                        let p_row = probs.row_slice(i);
+                        let pt = p_row[t].clamp(1e-12, 1.0 - 1e-7);
+                        // dL/dp_t for L = -(1-p)^g ln p
+                        let dl_dpt = gamma * (1.0 - pt).powf(gamma - 1.0) * pt.ln()
+                            - (1.0 - pt).powf(gamma) / pt;
+                        let out_row = dl.row_slice_mut(i);
+                        for (k, (&pk, o)) in p_row.iter().zip(out_row.iter_mut()).enumerate() {
+                            let dpt_dzk = if k == t { pt * (1.0 - pt) } else { -pt * pk };
+                            *o = scale * dl_dpt * dpt_dzk;
+                        }
+                    }
+                    self.accumulate(*logits, dl);
+                }
+            }
+            Op::MseLoss { pred, targets } => {
+                if self.needs(*pred) {
+                    let n = targets.len().max(1) as f32;
+                    let scale = 2.0 * grad.item() / n;
+                    let pt = self.value(*pred).clone();
+                    let mut dp = Tensor::zeros(pt.rows(), 1);
+                    for (i, &t) in targets.iter().enumerate() {
+                        dp.set(i, 0, scale * (pt.get(i, 0) - t));
+                    }
+                    self.accumulate(*pred, dp);
+                }
+            }
+        }
+    }
+}
+
+/// Numerically stable row-wise softmax of a tensor.
+pub fn softmax_rows(t: &Tensor) -> Tensor {
+    let mut out = t.clone();
+    for r in 0..t.rows() {
+        let row = out.row_slice_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rc_idx(v: Vec<u32>) -> Rc<Vec<u32>> {
+        Rc::new(v)
+    }
+
+    #[test]
+    fn matmul_backward_matches_hand_derivation() {
+        let mut tape = Tape::new();
+        let a = tape.param(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = tape.param(Tensor::from_vec(2, 1, vec![5.0, 6.0]));
+        tape.freeze();
+        let c = tape.matmul(a, b);
+        let loss = tape.sum_all(c);
+        tape.backward(loss);
+        // d(sum(A·b))/dA = 1 · bᵀ per row; /db = colsum over A rows.
+        assert_eq!(tape.grad(a).unwrap().as_slice(), &[5.0, 6.0, 5.0, 6.0]);
+        assert_eq!(tape.grad(b).unwrap().as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn relu_masks_negative_gradients() {
+        let mut tape = Tape::new();
+        let a = tape.param(Tensor::from_vec(1, 3, vec![-1.0, 0.0, 2.0]));
+        tape.freeze();
+        let r = tape.relu(a);
+        let loss = tape.sum_all(r);
+        tape.backward(loss);
+        assert_eq!(tape.grad(a).unwrap().as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn gather_rows_scatters_gradient_back() {
+        let mut tape = Tape::new();
+        let a = tape.param(Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        tape.freeze();
+        let g = tape.gather_rows(a, rc_idx(vec![2, 0, 2]));
+        let loss = tape.sum_all(g);
+        tape.backward(loss);
+        assert_eq!(tape.grad(a).unwrap().as_slice(), &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn scatter_mean_forward_and_backward() {
+        let mut tape = Tape::new();
+        let a = tape.param(Tensor::from_vec(3, 1, vec![3.0, 6.0, 9.0]));
+        tape.freeze();
+        let adj = Rc::new(Adjacency::from_lists(&[vec![1, 2], vec![], vec![0]]));
+        let m = tape.scatter_mean(a, adj);
+        assert_eq!(tape.value(m).as_slice(), &[7.5, 0.0, 3.0]);
+        let loss = tape.sum_all(m);
+        tape.backward(loss);
+        assert_eq!(tape.grad(a).unwrap().as_slice(), &[1.0, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn scatter_weighted_forward_and_backward() {
+        let mut tape = Tape::new();
+        let a = tape.param(Tensor::from_vec(3, 1, vec![2.0, 4.0, 8.0]));
+        tape.freeze();
+        let adj = Rc::new(Adjacency::from_lists(&[vec![1, 2], vec![], vec![0]]));
+        let w = Rc::new(vec![0.5, 0.25, 2.0]);
+        let out = tape.scatter_weighted(a, adj, w);
+        // out[0] = 0.5*4 + 0.25*8 = 4; out[1] = 0; out[2] = 2*2 = 4
+        assert_eq!(tape.value(out).as_slice(), &[4.0, 0.0, 4.0]);
+        let loss = tape.sum_all(out);
+        tape.backward(loss);
+        // d a[0] = 2 (via out[2]); d a[1] = 0.5; d a[2] = 0.25
+        assert_eq!(tape.grad(a).unwrap().as_slice(), &[2.0, 0.5, 0.25]);
+    }
+
+    #[test]
+    fn scatter_weighted_with_unit_weights_matches_sum() {
+        let mut tape = Tape::new();
+        let a = tape.input(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let adj = Rc::new(Adjacency::from_lists(&[vec![0, 1]]));
+        let out = tape.scatter_weighted(a, adj, Rc::new(vec![1.0, 1.0]));
+        assert_eq!(tape.value(out).as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn softmax_cross_entropy_matches_manual_value() {
+        let mut tape = Tape::new();
+        let logits = tape.param(Tensor::from_vec(1, 2, vec![0.0, 0.0]));
+        tape.freeze();
+        let loss = tape.softmax_cross_entropy(logits, rc_idx(vec![1]));
+        assert!((tape.value(loss).item() - 0.5f32.ln().abs()).abs() < 1e-6);
+        tape.backward(loss);
+        let g = tape.grad(logits).unwrap();
+        assert!((g.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((g.get(0, 1) + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn focal_loss_reduces_to_ce_at_gamma_zero() {
+        let make = |gamma: Option<f32>| {
+            let mut tape = Tape::new();
+            let logits = tape.param(Tensor::from_vec(2, 3, vec![0.3, -0.1, 0.7, 1.0, 0.0, -1.0]));
+            tape.freeze();
+            let t = rc_idx(vec![2, 0]);
+            let loss = match gamma {
+                Some(g) => tape.focal_loss(logits, t, g),
+                None => tape.softmax_cross_entropy(logits, t),
+            };
+            tape.backward(loss);
+            (tape.value(loss).item(), tape.grad(logits).unwrap().clone())
+        };
+        let (l_focal, g_focal) = make(Some(0.0));
+        let (l_ce, g_ce) = make(None);
+        assert!((l_focal - l_ce).abs() < 1e-5);
+        for (a, b) in g_focal.as_slice().iter().zip(g_ce.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mse_loss_value_and_gradient() {
+        let mut tape = Tape::new();
+        let pred = tape.param(Tensor::from_vec(2, 1, vec![1.0, 3.0]));
+        tape.freeze();
+        let loss = tape.mse_loss(pred, Rc::new(vec![0.0, 1.0]));
+        assert!((tape.value(loss).item() - 2.5).abs() < 1e-6);
+        tape.backward(loss);
+        assert_eq!(tape.grad(pred).unwrap().as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn block_weighted_sum_selects_blocks() {
+        let mut tape = Tape::new();
+        // 2 samples, 2 columns, dim 2
+        let v = tape.param(Tensor::from_vec(4, 2, vec![1., 0., 0., 1., 2., 2., 3., 3.]));
+        let alpha = tape.param(Tensor::from_vec(2, 2, vec![1.0, 0.0, 0.5, 0.5]));
+        tape.freeze();
+        let out = tape.block_weighted_sum(v, alpha);
+        assert_eq!(tape.value(out).as_slice(), &[1.0, 0.0, 2.5, 2.5]);
+        let loss = tape.sum_all(out);
+        tape.backward(loss);
+        assert_eq!(tape.grad(alpha).unwrap().as_slice(), &[1.0, 1.0, 4.0, 6.0]);
+        assert_eq!(tape.grad(v).unwrap().as_slice(), &[1.0, 1.0, 0.0, 0.0, 0.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn reset_truncates_to_parameters() {
+        let mut tape = Tape::new();
+        let a = tape.param(Tensor::scalar(2.0));
+        tape.freeze();
+        let b = tape.scale(a, 3.0);
+        let loss = tape.sum_all(b);
+        tape.backward(loss);
+        assert!(tape.grad(a).is_some());
+        tape.reset();
+        assert!(tape.grad(a).is_none());
+        assert_eq!(tape.param_count(), 1);
+        // the tape is usable again after reset
+        let c = tape.scale(a, 5.0);
+        assert_eq!(tape.value(c).item(), 10.0);
+    }
+
+    #[test]
+    fn row_softmax_rows_sum_to_one() {
+        let mut tape = Tape::new();
+        let a = tape.input(Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]));
+        let s = tape.row_softmax(a);
+        for r in 0..2 {
+            let sum: f32 = tape.value(s).row_slice(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn constant_inputs_receive_no_gradient() {
+        let mut tape = Tape::new();
+        let p = tape.param(Tensor::scalar(1.0));
+        tape.freeze();
+        let c = tape.input(Tensor::scalar(4.0));
+        let prod = tape.mul_elem(p, c);
+        let loss = tape.sum_all(prod);
+        tape.backward(loss);
+        assert_eq!(tape.grad(p).unwrap().item(), 4.0);
+        assert!(tape.grad(c).is_none());
+    }
+}

@@ -1,0 +1,20 @@
+#!/bin/bash
+# Runs every experiment binary across two parallel queues (2-core host),
+# teeing logs to target/experiments/logs/.
+set -u
+mkdir -p target/experiments/logs
+run() {
+  for bin in "$@"; do
+    echo "=== $bin start $(date +%H:%M:%S) ==="
+    ./target/release/$bin > target/experiments/logs/$bin.log 2>&1
+    echo "=== $bin exit=$? $(date +%H:%M:%S) ==="
+  done
+}
+# Queue A: the big grid, then its dependents.
+run fig8_accuracy fig9_time fig11_12_error_analysis &
+A=$!
+# Queue B: everything else.
+run tab1_stats tab2_attention_linear fig10_ablation tab3_fd tab4_correlation noise_robustness &
+B=$!
+wait $A $B
+echo CAMPAIGN_DONE

@@ -1,0 +1,10 @@
+#!/bin/bash
+# Extension experiments (ablations + MNAR): run after run_experiments.sh.
+set -u
+mkdir -p target/experiments/logs
+for bin in ablation_kstrategy ablation_features ablation_pruning ablation_operator mnar_robustness; do
+  echo "=== $bin start $(date +%H:%M:%S) ==="
+  ./target/release/$bin > target/experiments/logs/$bin.log 2>&1
+  echo "=== $bin exit=$? $(date +%H:%M:%S) ==="
+done
+echo EXTENSIONS_DONE
