@@ -72,12 +72,7 @@ impl AimNetLike {
 
     /// Attention-pooled context: `alpha = softmax(1·attn + mask_bias)`,
     /// `ctx = Σ_c alpha_c · emb(cell_c)`.
-    fn head_forward(
-        tape: &mut Tape,
-        emb: Var,
-        head: &ColumnHead,
-        batch: &VectorBatch,
-    ) -> Var {
+    fn head_forward(tape: &mut Tape, emb: Var, head: &ColumnHead, batch: &VectorBatch) -> Var {
         let v = tape.gather_rows(emb, Rc::clone(&batch.idx));
         let mask = tape.input(batch.mask.clone());
         let v = tape.mul_elem(v, mask);
@@ -141,10 +136,16 @@ impl Imputer for AimNetLike {
                 let batch = VectorBatch::build(&graph, &norm, &positions, cfg.dim);
                 let labels = match norm.schema().column(j).kind {
                     ColumnKind::Categorical => L::Cat(Rc::new(
-                        samples.iter().map(|s| s.label.as_cat().expect("cat")).collect(),
+                        samples
+                            .iter()
+                            .map(|s| s.label.as_cat().expect("cat"))
+                            .collect(),
                     )),
                     ColumnKind::Numerical => L::Num(Rc::new(
-                        samples.iter().map(|s| s.label.as_num().expect("num") as f32).collect(),
+                        samples
+                            .iter()
+                            .map(|s| s.label.as_num().expect("num") as f32)
+                            .collect(),
                     )),
                 };
                 Some((batch, labels))
@@ -156,7 +157,9 @@ impl Imputer for AimNetLike {
         for _ in 0..cfg.epochs {
             let mut losses = Vec::new();
             for (head, entry) in heads.iter().zip(&batches) {
-                let Some((batch, labels)) = entry else { continue };
+                let Some((batch, labels)) = entry else {
+                    continue;
+                };
                 let out = Self::head_forward(&mut tape, emb, head, batch);
                 let loss = match labels {
                     L::Cat(t) => tape.softmax_cross_entropy(out, Rc::clone(t)),
@@ -186,7 +189,7 @@ impl Imputer for AimNetLike {
 
         // Imputation.
         let mut result = dirty.clone();
-        for j in 0..n_cols {
+        for (j, head) in heads.iter().enumerate() {
             let missing: Vec<(usize, usize)> = (0..norm.n_rows())
                 .filter(|&i| norm.is_missing(i, j))
                 .map(|i| (i, j))
@@ -195,7 +198,7 @@ impl Imputer for AimNetLike {
                 continue;
             }
             let batch = VectorBatch::build(&graph, &norm, &missing, cfg.dim);
-            let out = Self::head_forward(&mut tape, emb, &heads[j], &batch);
+            let out = Self::head_forward(&mut tape, emb, head, &batch);
             let out_t = tape.value(out).clone();
             match norm.schema().column(j).kind {
                 ColumnKind::Categorical => {
@@ -256,7 +259,10 @@ mod tests {
         let imputed = m.impute(&dirty);
         check_imputation_contract(&dirty, &imputed).unwrap();
         let cat: Vec<_> = log.cells.iter().filter(|c| c.col < 2).collect();
-        let correct = cat.iter().filter(|c| imputed.get(c.row, c.col) == c.truth).count();
+        let correct = cat
+            .iter()
+            .filter(|c| imputed.get(c.row, c.col) == c.truth)
+            .count();
         let acc = correct as f64 / cat.len().max(1) as f64;
         assert!(acc > 0.6, "aimnet accuracy {acc}");
     }

@@ -32,7 +32,13 @@ pub struct DataWigConfig {
 
 impl Default for DataWigConfig {
     fn default() -> Self {
-        DataWigConfig { ngram_dim: 16, hidden: 32, epochs: 80, lr: 0.02, seed: 0 }
+        DataWigConfig {
+            ngram_dim: 16,
+            hidden: 32,
+            epochs: 80,
+            lr: 0.02,
+            seed: 0,
+        }
     }
 }
 
@@ -91,13 +97,15 @@ impl Imputer for DataWigLike {
 
         // One fully independent model per attribute with missing values.
         for j in 0..n_cols {
-            let missing: Vec<usize> =
-                (0..dirty.n_rows()).filter(|&i| dirty.is_missing(i, j)).collect();
+            let missing: Vec<usize> = (0..dirty.n_rows())
+                .filter(|&i| dirty.is_missing(i, j))
+                .collect();
             if missing.is_empty() {
                 continue;
             }
-            let observed: Vec<usize> =
-                (0..dirty.n_rows()).filter(|&i| !dirty.is_missing(i, j)).collect();
+            let observed: Vec<usize> = (0..dirty.n_rows())
+                .filter(|&i| !dirty.is_missing(i, j))
+                .collect();
             if observed.is_empty() {
                 continue;
             }
@@ -118,11 +126,13 @@ impl Imputer for DataWigLike {
                 ColumnKind::Categorical => {
                     let n_classes = dirty.dictionary(j).len().max(1);
                     let labels: Rc<Vec<u32>> = Rc::new(
-                        observed.iter().map(|&i| dirty.get(i, j).as_cat().expect("cat")).collect(),
+                        observed
+                            .iter()
+                            .map(|&i| dirty.get(i, j).as_cat().expect("cat"))
+                            .collect(),
                     );
                     let mut tape = Tape::new();
-                    let model =
-                        Mlp::new(&mut tape, &[feat_width, cfg.hidden, n_classes], &mut rng);
+                    let model = Mlp::new(&mut tape, &[feat_width, cfg.hidden, n_classes], &mut rng);
                     tape.freeze();
                     let mut adam = Adam::new(cfg.lr);
                     for _ in 0..cfg.epochs {
@@ -152,9 +162,7 @@ impl Imputer for DataWigLike {
                         observed
                             .iter()
                             .map(|&i| {
-                                normalizer
-                                    .forward(j, dirty.get(i, j).as_num().expect("num"))
-                                    as f32
+                                normalizer.forward(j, dirty.get(i, j).as_num().expect("num")) as f32
                             })
                             .collect(),
                     );
@@ -214,7 +222,10 @@ mod tests {
         let imputed = m.impute(&dirty);
         check_imputation_contract(&dirty, &imputed).unwrap();
         let cat: Vec<_> = log.cells.iter().filter(|c| c.col < 2).collect();
-        let correct = cat.iter().filter(|c| imputed.get(c.row, c.col) == c.truth).count();
+        let correct = cat
+            .iter()
+            .filter(|c| imputed.get(c.row, c.col) == c.truth)
+            .count();
         let acc = correct as f64 / cat.len().max(1) as f64;
         assert!(acc > 0.6, "datawig accuracy {acc}");
     }

@@ -27,7 +27,11 @@ impl ValueDomain {
             total += col_keys.len();
             keys.push(col_keys);
         }
-        ValueDomain { keys, offsets, total }
+        ValueDomain {
+            keys,
+            offsets,
+            total,
+        }
     }
 
     /// Total classes.

@@ -120,7 +120,9 @@ impl Imputer for EmbdiMc {
                 let key =
                     grimp_graph::value_key(&norm, s.row, s.target_col, cfg.graph.numeric_decimals)
                         .expect("labels are non-null");
-                let Some(class) = domain.class_of(s.target_col, &key) else { continue };
+                let Some(class) = domain.class_of(s.target_col, &key) else {
+                    continue;
+                };
                 Self::context_vec(&graph, &emb, &norm, s.row, s.target_col, &mut buf);
                 xs.extend_from_slice(&buf);
                 labels.push(class);
@@ -163,8 +165,9 @@ impl Imputer for EmbdiMc {
                     continue;
                 }
                 let row = out.row_slice(s);
-                let best =
-                    (lo..hi).max_by(|&a, &b| row[a].total_cmp(&row[b])).expect("non-empty");
+                let best = (lo..hi)
+                    .max_by(|&a, &b| row[a].total_cmp(&row[b]))
+                    .expect("non-empty");
                 let key = domain.key_of(j, best);
                 match norm.schema().column(j).kind {
                     ColumnKind::Categorical => {
@@ -214,9 +217,13 @@ mod tests {
         let correct = log
             .cells
             .iter()
-            .filter(|c| imputed.display(c.row, c.col) == {
-                let Value::Cat(code) = c.truth else { unreachable!() };
-                clean.dictionary(c.col)[code as usize].clone()
+            .filter(|c| {
+                imputed.display(c.row, c.col) == {
+                    let Value::Cat(code) = c.truth else {
+                        unreachable!()
+                    };
+                    clean.dictionary(c.col)[code as usize].clone()
+                }
             })
             .count();
         assert!(
@@ -235,7 +242,10 @@ mod tests {
         let imputed = m.impute(&dirty);
         for (i, j) in dirty.missing_cells() {
             let v = imputed.display(i, j);
-            assert!(v.starts_with(if j == 0 { "a" } else { "b" }), "leak: {v} in col {j}");
+            assert!(
+                v.starts_with(if j == 0 { "a" } else { "b" }),
+                "leak: {v} in col {j}"
+            );
         }
     }
 }

@@ -46,7 +46,11 @@ impl FeatureMatrix {
     /// # Panics
     /// Panics if the table still has `∅` cells.
     pub fn from_complete_table(table: &Table) -> Self {
-        assert_eq!(table.n_missing(), 0, "feature matrix requires a complete table");
+        assert_eq!(
+            table.n_missing(),
+            0,
+            "feature matrix requires a complete table"
+        );
         let cols = (0..table.n_columns())
             .map(|j| match table.schema().column(j).kind {
                 ColumnKind::Numerical => FeatCol::Num(
@@ -62,7 +66,10 @@ impl FeatureMatrix {
                 },
             })
             .collect();
-        FeatureMatrix { cols, n_rows: table.n_rows() }
+        FeatureMatrix {
+            cols,
+            n_rows: table.n_rows(),
+        }
     }
 
     /// Number of rows.
@@ -130,10 +137,8 @@ mod tests {
     use grimp_table::Schema;
 
     fn dirty() -> Table {
-        let schema = Schema::from_pairs(&[
-            ("c", ColumnKind::Categorical),
-            ("x", ColumnKind::Numerical),
-        ]);
+        let schema =
+            Schema::from_pairs(&[("c", ColumnKind::Categorical), ("x", ColumnKind::Numerical)]);
         Table::from_rows(
             schema,
             &[

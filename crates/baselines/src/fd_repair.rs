@@ -21,7 +21,10 @@ pub struct FdRepair {
 impl FdRepair {
     /// Build from an FD set.
     pub fn new(fds: FdSet) -> Self {
-        FdRepair { fds, last_fd_imputations: 0 }
+        FdRepair {
+            fds,
+            last_fd_imputations: 0,
+        }
     }
 }
 

@@ -21,7 +21,11 @@ pub struct ForestConfig {
 
 impl Default for ForestConfig {
     fn default() -> Self {
-        ForestConfig { n_trees: 12, tree: TreeConfig::default(), fd_budget: 0.0 }
+        ForestConfig {
+            n_trees: 12,
+            tree: TreeConfig::default(),
+            fd_budget: 0.0,
+        }
     }
 }
 
@@ -62,7 +66,9 @@ impl RandomForest {
         for t in 0..config.n_trees {
             // Position-based bootstrap (with replacement) so label lookup
             // stays O(1).
-            let positions: Vec<usize> = (0..rows.len()).map(|_| rng.gen_range(0..rows.len())).collect();
+            let positions: Vec<usize> = (0..rows.len())
+                .map(|_| rng.gen_range(0..rows.len()))
+                .collect();
             let sample: Vec<usize> = positions.iter().map(|&p| rows[p]).collect();
             let boot_labels = match labels {
                 TreeLabels::Classes(c) => {
@@ -72,8 +78,15 @@ impl RandomForest {
                     TreeLabels::Values(positions.iter().map(|&p| v[p]).collect())
                 }
             };
-            let feats = if t < n_fd_trees { fd_features } else { allowed_features };
-            let tree_cfg = TreeConfig { mtry: Some(mtry.min(feats.len().max(1))), ..config.tree };
+            let feats = if t < n_fd_trees {
+                fd_features
+            } else {
+                allowed_features
+            };
+            let tree_cfg = TreeConfig {
+                mtry: Some(mtry.min(feats.len().max(1))),
+                ..config.tree
+            };
             trees.push(DecisionTree::fit(
                 features,
                 &sample,
@@ -105,7 +118,10 @@ impl RandomForest {
     /// Mean over trees (regression forests).
     pub fn predict_value(&self, features: &FeatureMatrix, row: usize) -> f64 {
         assert!(matches!(self.target, TreeTarget::Regression));
-        self.trees.iter().map(|t| t.predict_value(features, row)).sum::<f64>()
+        self.trees
+            .iter()
+            .map(|t| t.predict_value(features, row))
+            .sum::<f64>()
             / self.trees.len().max(1) as f64
     }
 
@@ -172,13 +188,19 @@ mod tests {
             TreeTarget::Classification(3),
             &[0], // non-FD trees see only noise
             &[1], // FD trees see the signal
-            ForestConfig { fd_budget: 0.5, ..Default::default() },
+            ForestConfig {
+                fd_budget: 0.5,
+                ..Default::default()
+            },
             &mut StdRng::seed_from_u64(0),
         );
         let correct = (0..100)
             .filter(|&i| forest.predict_class(&features, i, 3) == labels[i])
             .count();
-        assert!(correct > 50, "fd trees should lift accuracy, got {correct}/100");
+        assert!(
+            correct > 50,
+            "fd trees should lift accuracy, got {correct}/100"
+        );
     }
 
     #[test]

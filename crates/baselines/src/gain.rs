@@ -45,7 +45,14 @@ pub struct GainConfig {
 
 impl Default for GainConfig {
     fn default() -> Self {
-        GainConfig { iterations: 300, alpha: 10.0, hint_rate: 0.9, hidden: None, lr: 0.01, seed: 0 }
+        GainConfig {
+            iterations: 300,
+            alpha: 10.0,
+            hint_rate: 0.9,
+            hidden: None,
+            lr: 0.01,
+            seed: 0,
+        }
     }
 }
 
@@ -80,7 +87,10 @@ impl Gain {
                     let mut codes: Vec<u32> = (0..counts.len() as u32).collect();
                     codes.sort_by_key(|&c| std::cmp::Reverse(counts[c as usize]));
                     codes.truncate(MAX_ONE_HOT);
-                    slots.push(Slot::Cat { offset: width, codes: codes.clone() });
+                    slots.push(Slot::Cat {
+                        offset: width,
+                        codes: codes.clone(),
+                    });
                     width += codes.len().max(1);
                 }
             }
@@ -267,7 +277,9 @@ impl Imputer for Gain {
                     }
                     let best = (0..codes.len())
                         .max_by(|&a, &b| {
-                            completed.get(i, offset + a).total_cmp(&completed.get(i, offset + b))
+                            completed
+                                .get(i, offset + a)
+                                .total_cmp(&completed.get(i, offset + b))
                         })
                         .expect("non-empty block");
                     result.set(i, j, Value::Cat(codes[best]));
@@ -308,7 +320,10 @@ mod tests {
         let imputed = g.impute(&dirty);
         check_imputation_contract(&dirty, &imputed).unwrap();
         let cat: Vec<_> = log.cells.iter().filter(|c| c.col < 2).collect();
-        let correct = cat.iter().filter(|c| imputed.get(c.row, c.col) == c.truth).count();
+        let correct = cat
+            .iter()
+            .filter(|c| imputed.get(c.row, c.col) == c.truth)
+            .count();
         let acc = correct as f64 / cat.len().max(1) as f64;
         // must clearly beat the 1/3 chance floor. GANs are the weakest
         // family here by design — the paper's §1 observes exactly this
@@ -326,7 +341,10 @@ mod tests {
         let clean = functional_table(60);
         let mut dirty = clean.clone();
         inject_mcar(&mut dirty, 0.2, &mut StdRng::seed_from_u64(2));
-        let mut g = Gain::new(GainConfig { iterations: 40, ..Default::default() });
+        let mut g = Gain::new(GainConfig {
+            iterations: 40,
+            ..Default::default()
+        });
         let imputed = g.impute(&dirty);
         for (i, j) in dirty.missing_cells() {
             if j < 2 {
@@ -342,7 +360,11 @@ mod tests {
         let clean = functional_table(40);
         let mut dirty = clean.clone();
         inject_mcar(&mut dirty, 0.15, &mut StdRng::seed_from_u64(3));
-        let cfg = GainConfig { iterations: 20, seed: 5, ..Default::default() };
+        let cfg = GainConfig {
+            iterations: 20,
+            seed: 5,
+            ..Default::default()
+        };
         let a = Gain::new(cfg).impute(&dirty);
         let b = Gain::new(cfg).impute(&dirty);
         assert_eq!(a, b);

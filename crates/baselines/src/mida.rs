@@ -9,7 +9,6 @@
 //! — argmax over a column's one-hot block for categoricals, de-normalized
 //! value for numericals.
 
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -37,7 +36,13 @@ pub struct MidaConfig {
 
 impl Default for MidaConfig {
     fn default() -> Self {
-        MidaConfig { overcomplete: 8, epochs: 120, dropout: 0.5, lr: 0.01, seed: 0 }
+        MidaConfig {
+            overcomplete: 8,
+            epochs: 120,
+            dropout: 0.5,
+            lr: 0.01,
+            seed: 0,
+        }
     }
 }
 
@@ -74,7 +79,10 @@ impl Mida {
                     let mut codes: Vec<u32> = (0..counts.len() as u32).collect();
                     codes.sort_by_key(|&c| std::cmp::Reverse(counts[c as usize]));
                     codes.truncate(MAX_ONE_HOT);
-                    slots.push(Slot::Cat { offset: width, codes: codes.clone() });
+                    slots.push(Slot::Cat {
+                        offset: width,
+                        codes: codes.clone(),
+                    });
                     width += codes.len().max(1);
                 }
             }
@@ -185,7 +193,9 @@ impl Imputer for Mida {
                     }
                     let best = (0..codes.len())
                         .max_by(|&a, &b| {
-                            recon.get(i, offset + a).total_cmp(&recon.get(i, offset + b))
+                            recon
+                                .get(i, offset + a)
+                                .total_cmp(&recon.get(i, offset + b))
                         })
                         .expect("non-empty block");
                     result.set(i, j, Value::Cat(codes[best]));
@@ -226,7 +236,10 @@ mod tests {
         let imputed = m.impute(&dirty);
         check_imputation_contract(&dirty, &imputed).unwrap();
         let cat: Vec<_> = log.cells.iter().filter(|c| c.col < 2).collect();
-        let correct = cat.iter().filter(|c| imputed.get(c.row, c.col) == c.truth).count();
+        let correct = cat
+            .iter()
+            .filter(|c| imputed.get(c.row, c.col) == c.truth)
+            .count();
         let acc = correct as f64 / cat.len().max(1) as f64;
         assert!(acc > 0.5, "mida accuracy {acc}");
     }
@@ -261,10 +274,16 @@ mod tests {
         ]);
         let mut t = Table::empty(schema);
         for i in 0..80 {
-            t.push_str_row(&[Some(&format!("v{}", i % 40)), Some(if i % 2 == 0 { "x" } else { "y" })]);
+            t.push_str_row(&[
+                Some(&format!("v{}", i % 40)),
+                Some(if i % 2 == 0 { "x" } else { "y" }),
+            ]);
         }
         t.set(3, 0, Value::Null);
-        let mut m = Mida::new(MidaConfig { epochs: 30, ..Default::default() });
+        let mut m = Mida::new(MidaConfig {
+            epochs: 30,
+            ..Default::default()
+        });
         let imputed = m.impute(&t);
         // the imputation must come from the frequency-capped block
         assert!(imputed.display(3, 0).starts_with('v'));

@@ -33,7 +33,11 @@ pub struct MissForestConfig {
 
 impl Default for MissForestConfig {
     fn default() -> Self {
-        MissForestConfig { forest: ForestConfig::default(), max_iterations: 6, seed: 0 }
+        MissForestConfig {
+            forest: ForestConfig::default(),
+            max_iterations: 6,
+            seed: 0,
+        }
     }
 }
 
@@ -52,7 +56,12 @@ impl MissForest {
     pub fn new(config: MissForestConfig) -> Self {
         let mut config = config;
         config.forest.fd_budget = 0.0;
-        MissForest { config, fds: FdSet::empty(), name: "MissForest", last_iterations: 0 }
+        MissForest {
+            config,
+            fds: FdSet::empty(),
+            name: "MissForest",
+            last_iterations: 0,
+        }
     }
 
     /// FUNFOREST: MissForest with `fd_budget` of each column's trees
@@ -61,7 +70,12 @@ impl MissForest {
         if config.forest.fd_budget <= 0.0 {
             config.forest.fd_budget = 0.5; // the paper's empirical best
         }
-        MissForest { config, fds, name: "FunForest", last_iterations: 0 }
+        MissForest {
+            config,
+            fds,
+            name: "FunForest",
+            last_iterations: 0,
+        }
     }
 
     fn impute_inner(&mut self, dirty: &Table) -> Table {
@@ -74,10 +88,18 @@ impl MissForest {
         let mut order: Vec<usize> = (0..n_cols).collect();
         order.sort_by_key(|&j| dirty.column(j).n_missing());
         let missing_rows: Vec<Vec<usize>> = (0..n_cols)
-            .map(|j| (0..dirty.n_rows()).filter(|&i| dirty.is_missing(i, j)).collect())
+            .map(|j| {
+                (0..dirty.n_rows())
+                    .filter(|&i| dirty.is_missing(i, j))
+                    .collect()
+            })
             .collect();
         let observed_rows: Vec<Vec<usize>> = (0..n_cols)
-            .map(|j| (0..dirty.n_rows()).filter(|&i| !dirty.is_missing(i, j)).collect())
+            .map(|j| {
+                (0..dirty.n_rows())
+                    .filter(|&i| !dirty.is_missing(i, j))
+                    .collect()
+            })
             .collect();
 
         let mut prev_diff = f64::INFINITY;
@@ -245,7 +267,10 @@ mod tests {
         let imputed = mf.impute(&dirty);
         check_imputation_contract(&dirty, &imputed).unwrap();
         let cat: Vec<_> = log.cells.iter().filter(|c| c.col < 2).collect();
-        let correct = cat.iter().filter(|c| imputed.get(c.row, c.col) == c.truth).count();
+        let correct = cat
+            .iter()
+            .filter(|c| imputed.get(c.row, c.col) == c.truth)
+            .count();
         let acc = correct as f64 / cat.len().max(1) as f64;
         assert!(acc > 0.8, "MissForest accuracy {acc}");
         assert!(mf.last_iterations >= 1);
@@ -283,20 +308,18 @@ mod tests {
         let imputed = ff.impute(&dirty);
         check_imputation_contract(&dirty, &imputed).unwrap();
         let cat: Vec<_> = log.cells.iter().filter(|c| c.col < 2).collect();
-        let correct = cat.iter().filter(|c| imputed.get(c.row, c.col) == c.truth).count();
+        let correct = cat
+            .iter()
+            .filter(|c| imputed.get(c.row, c.col) == c.truth)
+            .count();
         assert!(correct as f64 / cat.len().max(1) as f64 > 0.8);
     }
 
     #[test]
     fn fully_missing_column_is_left_at_initial_fill() {
-        let schema = Schema::from_pairs(&[
-            ("a", ColumnKind::Categorical),
-            ("x", ColumnKind::Numerical),
-        ]);
-        let t = Table::from_rows(
-            schema,
-            &[vec![Some("p"), None], vec![Some("q"), None]],
-        );
+        let schema =
+            Schema::from_pairs(&[("a", ColumnKind::Categorical), ("x", ColumnKind::Numerical)]);
+        let t = Table::from_rows(schema, &[vec![Some("p"), None], vec![Some("q"), None]]);
         let mut mf = MissForest::new(MissForestConfig::default());
         let imputed = mf.impute(&t);
         // no observed rows for x: falls back to mean fill (0.0)

@@ -36,15 +36,10 @@ impl KnnImputer {
         KnnImputer { k }
     }
 
-    fn distance(
-        t: &Table,
-        ranges: &[Option<(f64, f64)>],
-        a: usize,
-        b: usize,
-    ) -> Option<f64> {
+    fn distance(t: &Table, ranges: &[Option<(f64, f64)>], a: usize, b: usize) -> Option<f64> {
         let mut total = 0.0;
         let mut dims = 0usize;
-        for j in 0..t.n_columns() {
+        for (j, range) in ranges.iter().enumerate() {
             match (t.get(a, j), t.get(b, j)) {
                 (Value::Null, _) | (_, Value::Null) => continue,
                 (Value::Cat(x), Value::Cat(y)) => {
@@ -52,7 +47,7 @@ impl KnnImputer {
                     dims += 1;
                 }
                 (Value::Num(x), Value::Num(y)) => {
-                    let (lo, hi) = ranges[j].expect("numeric range");
+                    let (lo, hi) = range.expect("numeric range");
                     let span = (hi - lo).max(1e-12);
                     total += ((x - y).abs() / span).min(1.0);
                     dims += 1;
@@ -74,8 +69,7 @@ impl Imputer for KnnImputer {
         let ranges: Vec<Option<(f64, f64)>> = (0..dirty.n_columns())
             .map(|j| match dirty.schema().column(j).kind {
                 ColumnKind::Numerical => {
-                    let vals: Vec<f64> =
-                        (0..n).filter_map(|i| dirty.get(i, j).as_num()).collect();
+                    let vals: Vec<f64> = (0..n).filter_map(|i| dirty.get(i, j).as_num()).collect();
                     if vals.is_empty() {
                         Some((0.0, 1.0))
                     } else {
@@ -117,8 +111,9 @@ impl Imputer for KnnImputer {
                 ColumnKind::Categorical => {
                     let mut votes: std::collections::HashMap<u32, usize> = Default::default();
                     for &(_, r) in &dists {
-                        *votes.entry(dirty.get(r, j).as_cat().expect("observed")).or_default() +=
-                            1;
+                        *votes
+                            .entry(dirty.get(r, j).as_cat().expect("observed"))
+                            .or_default() += 1;
                     }
                     let best = votes
                         .iter()
@@ -208,7 +203,10 @@ mod tests {
                 .filter(|c| imp.get(c.row, c.col) == c.truth)
                 .count()
         };
-        assert!(acc(&knn_imp) >= acc(&mode_imp), "knn should not lose to mode here");
+        assert!(
+            acc(&knn_imp) >= acc(&mode_imp),
+            "knn should not lose to mode here"
+        );
     }
 
     #[test]

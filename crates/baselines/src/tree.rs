@@ -67,8 +67,14 @@ impl SplitRule {
 
 #[derive(Clone, Debug)]
 enum Node {
-    Leaf { prediction: Prediction },
-    Internal { rule: SplitRule, left: usize, right: usize },
+    Leaf {
+        prediction: Prediction,
+    },
+    Internal {
+        rule: SplitRule,
+        left: usize,
+        right: usize,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -91,7 +97,11 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        TreeConfig { max_depth: 12, min_samples_split: 4, mtry: None }
+        TreeConfig {
+            max_depth: 12,
+            min_samples_split: 4,
+            mtry: None,
+        }
     }
 }
 
@@ -124,9 +134,21 @@ impl DecisionTree {
             (TreeLabels::Values(v), TreeTarget::Regression) => assert_eq!(v.len(), sample.len()),
             _ => panic!("label kind does not match tree target"),
         }
-        let mut tree = DecisionTree { nodes: Vec::new(), target };
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            target,
+        };
         let indices: Vec<usize> = (0..sample.len()).collect();
-        tree.grow(features, sample, labels, &indices, allowed_features, config, 0, rng);
+        tree.grow(
+            features,
+            sample,
+            labels,
+            &indices,
+            allowed_features,
+            config,
+            0,
+            rng,
+        );
         tree
     }
 
@@ -143,7 +165,9 @@ impl DecisionTree {
         rng: &mut impl Rng,
     ) -> usize {
         let node_id = self.nodes.len();
-        self.nodes.push(Node::Leaf { prediction: leaf_prediction(labels, subset, self.target) });
+        self.nodes.push(Node::Leaf {
+            prediction: leaf_prediction(labels, subset, self.target),
+        });
         if depth >= config.max_depth
             || subset.len() < config.min_samples_split
             || is_pure(labels, subset)
@@ -166,15 +190,32 @@ impl DecisionTree {
         else {
             return node_id;
         };
-        let (left_subset, right_subset): (Vec<usize>, Vec<usize>) =
-            subset.iter().partition(|&&k| rule.goes_left(features, sample[k]));
+        let (left_subset, right_subset): (Vec<usize>, Vec<usize>) = subset
+            .iter()
+            .partition(|&&k| rule.goes_left(features, sample[k]));
         if left_subset.is_empty() || right_subset.is_empty() {
             return node_id;
         }
-        let left =
-            self.grow(features, sample, labels, &left_subset, allowed, config, depth + 1, rng);
-        let right =
-            self.grow(features, sample, labels, &right_subset, allowed, config, depth + 1, rng);
+        let left = self.grow(
+            features,
+            sample,
+            labels,
+            &left_subset,
+            allowed,
+            config,
+            depth + 1,
+            rng,
+        );
+        let right = self.grow(
+            features,
+            sample,
+            labels,
+            &right_subset,
+            allowed,
+            config,
+            depth + 1,
+            rng,
+        );
         self.nodes[node_id] = Node::Internal { rule, left, right };
         node_id
     }
@@ -201,7 +242,11 @@ impl DecisionTree {
             match &self.nodes[node] {
                 Node::Leaf { prediction } => return prediction,
                 Node::Internal { rule, left, right } => {
-                    node = if rule.goes_left(features, row) { *left } else { *right };
+                    node = if rule.goes_left(features, row) {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -217,9 +262,7 @@ impl DecisionTree {
         fn rec(nodes: &[Node], id: usize) -> usize {
             match &nodes[id] {
                 Node::Leaf { .. } => 0,
-                Node::Internal { left, right, .. } => {
-                    1 + rec(nodes, *left).max(rec(nodes, *right))
-                }
+                Node::Internal { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
             }
         }
         rec(&self.nodes, 0)
@@ -299,10 +342,16 @@ fn best_split(
                 let step = (uniq.len() / MAX_CANDIDATES).max(1);
                 uniq.windows(2)
                     .step_by(step)
-                    .map(|w| SplitRule::NumThreshold { col, thr: (w[0] + w[1]) / 2.0 })
+                    .map(|w| SplitRule::NumThreshold {
+                        col,
+                        thr: (w[0] + w[1]) / 2.0,
+                    })
                     .collect()
             }
-            FeatCol::Cat { codes, n_categories } => {
+            FeatCol::Cat {
+                codes,
+                n_categories,
+            } => {
                 let mut counts = vec![0usize; *n_categories];
                 for &k in subset {
                     counts[codes[sample[k]] as usize] += 1;
@@ -315,12 +364,16 @@ fn best_split(
                 }
                 present.sort_by_key(|&c| std::cmp::Reverse(counts[c as usize]));
                 present.truncate(MAX_CANDIDATES);
-                present.into_iter().map(|code| SplitRule::CatEquals { col, code }).collect()
+                present
+                    .into_iter()
+                    .map(|code| SplitRule::CatEquals { col, code })
+                    .collect()
             }
         };
         for rule in rules {
-            let (left, right): (Vec<usize>, Vec<usize>) =
-                subset.iter().partition(|&&k| rule.goes_left(features, sample[k]));
+            let (left, right): (Vec<usize>, Vec<usize>) = subset
+                .iter()
+                .partition(|&&k| rule.goes_left(features, sample[k]));
             if left.is_empty() || right.is_empty() {
                 continue;
             }
@@ -353,7 +406,10 @@ mod tests {
         for i in 0..40 {
             let a = i % 2;
             let b = (i / 2) % 2;
-            t.push_str_row(&[Some(if a == 0 { "0" } else { "1" }), Some(if b == 0 { "0" } else { "1" })]);
+            t.push_str_row(&[
+                Some(if a == 0 { "0" } else { "1" }),
+                Some(if b == 0 { "0" } else { "1" }),
+            ]);
             labels.push((a ^ b) as u32);
         }
         (FeatureMatrix::from_complete_table(&t), labels)
@@ -400,7 +456,10 @@ mod tests {
             &mut StdRng::seed_from_u64(0),
         );
         for (i, &label) in labels.iter().enumerate() {
-            assert!((tree.predict_value(&features, i) - label).abs() < 1e-9, "row {i}");
+            assert!(
+                (tree.predict_value(&features, i) - label).abs() < 1e-9,
+                "row {i}"
+            );
         }
     }
 
@@ -419,9 +478,15 @@ mod tests {
             TreeConfig::default(),
             &mut StdRng::seed_from_u64(0),
         );
-        let wrong =
-            labels.iter().enumerate().filter(|(i, &l)| tree.predict_class(&features, *i) != l).count();
-        assert!(wrong > 0, "xor should not be perfectly classifiable from one feature");
+        let wrong = labels
+            .iter()
+            .enumerate()
+            .filter(|(i, &l)| tree.predict_class(&features, *i) != l)
+            .count();
+        assert!(
+            wrong > 0,
+            "xor should not be perfectly classifiable from one feature"
+        );
     }
 
     #[test]
@@ -437,7 +502,11 @@ mod tests {
             TreeConfig::default(),
             &mut StdRng::seed_from_u64(0),
         );
-        assert_eq!(tree.n_nodes(), 1, "constant labels must yield a single leaf");
+        assert_eq!(
+            tree.n_nodes(),
+            1,
+            "constant labels must yield a single leaf"
+        );
         assert_eq!(tree.predict_class(&features, 0), 1);
     }
 
@@ -451,7 +520,10 @@ mod tests {
             &TreeLabels::Classes(labels),
             TreeTarget::Classification(2),
             &[0, 1],
-            TreeConfig { max_depth: 1, ..Default::default() },
+            TreeConfig {
+                max_depth: 1,
+                ..Default::default()
+            },
             &mut StdRng::seed_from_u64(0),
         );
         assert!(tree.depth() <= 1);

@@ -40,7 +40,13 @@ pub struct TurlConfig {
 
 impl Default for TurlConfig {
     fn default() -> Self {
-        TurlConfig { dim: 32, epochs: 100, lr: 0.02, graph: GraphConfig::default(), seed: 0 }
+        TurlConfig {
+            dim: 32,
+            epochs: 100,
+            lr: 0.02,
+            graph: GraphConfig::default(),
+            seed: 0,
+        }
     }
 }
 
@@ -101,7 +107,11 @@ impl Imputer for TurlSub {
         let mut tape = Tape::new();
         let emb = tape.param(init::normal(graph.n_nodes(), cfg.dim, 0.1, &mut rng));
         let query = Dense::new(&mut tape, cfg.dim, 1, &mut rng);
-        let classifier = Mlp::new(&mut tape, &[cfg.dim, cfg.dim * 2, domain.n_classes()], &mut rng);
+        let classifier = Mlp::new(
+            &mut tape,
+            &[cfg.dim, cfg.dim * 2, domain.n_classes()],
+            &mut rng,
+        );
         tape.freeze();
         let mut adam = Adam::new(cfg.lr);
 
@@ -145,8 +155,9 @@ impl Imputer for TurlSub {
                     continue;
                 }
                 let row = out.row_slice(s);
-                let best =
-                    (lo..hi).max_by(|&a, &b| row[a].total_cmp(&row[b])).expect("non-empty");
+                let best = (lo..hi)
+                    .max_by(|&a, &b| row[a].total_cmp(&row[b]))
+                    .expect("non-empty");
                 let key = domain.key_of(j, best);
                 match norm.schema().column(j).kind {
                     ColumnKind::Categorical => {
@@ -196,7 +207,9 @@ mod tests {
             .cells
             .iter()
             .filter(|c| {
-                let Value::Cat(code) = c.truth else { unreachable!() };
+                let Value::Cat(code) = c.truth else {
+                    unreachable!()
+                };
                 imputed.display(c.row, c.col) == clean.dictionary(c.col)[code as usize]
             })
             .count();
@@ -208,13 +221,14 @@ mod tests {
     fn numeric_predictions_are_tokens_from_the_observed_domain() {
         // the key TURL weakness: numerical outputs can only be values seen
         // in the column
-        let schema = Schema::from_pairs(&[
-            ("c", ColumnKind::Categorical),
-            ("x", ColumnKind::Numerical),
-        ]);
+        let schema =
+            Schema::from_pairs(&[("c", ColumnKind::Categorical), ("x", ColumnKind::Numerical)]);
         let mut t = Table::empty(schema);
         for i in 0..40 {
-            t.push_str_row(&[Some(if i % 2 == 0 { "even" } else { "odd" }), Some(&format!("{}", (i % 2) as f64))]);
+            t.push_str_row(&[
+                Some(if i % 2 == 0 { "even" } else { "odd" }),
+                Some(&format!("{}", (i % 2) as f64)),
+            ]);
         }
         let mut dirty = t.clone();
         inject_mcar(&mut dirty, 0.15, &mut StdRng::seed_from_u64(2));

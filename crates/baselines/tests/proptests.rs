@@ -15,21 +15,17 @@ fn arb_table() -> impl Strategy<Value = Table> {
         4 => (0u32..5).prop_map(Some),
         1 => Just(None),
     ];
-    proptest::collection::vec((cat, proptest::option::of(-100i32..100)), 2..40).prop_map(
-        |rows| {
-            let schema = Schema::from_pairs(&[
-                ("c", ColumnKind::Categorical),
-                ("x", ColumnKind::Numerical),
-            ]);
-            let mut t = Table::empty(schema);
-            for (c, x) in rows {
-                let c = c.map(|v| format!("v{v}"));
-                let x = x.map(|v| format!("{}", v as f64 / 4.0));
-                t.push_str_row(&[c.as_deref(), x.as_deref()]);
-            }
-            t
-        },
-    )
+    proptest::collection::vec((cat, proptest::option::of(-100i32..100)), 2..40).prop_map(|rows| {
+        let schema =
+            Schema::from_pairs(&[("c", ColumnKind::Categorical), ("x", ColumnKind::Numerical)]);
+        let mut t = Table::empty(schema);
+        for (c, x) in rows {
+            let c = c.map(|v| format!("v{v}"));
+            let x = x.map(|v| format!("{}", v as f64 / 4.0));
+            t.push_str_row(&[c.as_deref(), x.as_deref()]);
+        }
+        t
+    })
 }
 
 proptest! {

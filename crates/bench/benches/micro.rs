@@ -13,7 +13,7 @@ use grimp_datasets::DatasetId;
 use grimp_gnn::{GnnConfig, HeteroSage};
 use grimp_graph::{build_features, EmbdiConfig, FeatureSource, GraphConfig, TableGraph};
 use grimp_table::FdSet;
-use grimp_tensor::{Tape, Tensor};
+use grimp_tensor::{Adjacency, Tape, Tensor};
 
 fn bench_tensor_kernels(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
@@ -22,8 +22,33 @@ fn bench_tensor_kernels(c: &mut Criterion) {
     c.bench_function("tensor/matmul_256", |bench| {
         bench.iter(|| std::hint::black_box(a.matmul(&b)))
     });
+    c.bench_function("tensor/matmul_256_ref", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul_ref(&b)))
+    });
+    c.bench_function("tensor/matmul_tn_256", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul_tn(&b)))
+    });
+    c.bench_function("tensor/matmul_tn_256_ref", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul_tn_ref(&b)))
+    });
     c.bench_function("tensor/softmax_rows_256", |bench| {
         bench.iter(|| std::hint::black_box(grimp_tensor::softmax_rows(&a)))
+    });
+
+    // Scatter-mean over a pseudo-random adjacency shaped like the cell→row
+    // aggregation of a mid-sized table: 512 source rows, 64 dims, ~8
+    // neighbors per output row.
+    let src = grimp_tensor::init::xavier_uniform(512, 64, &mut rng);
+    let lists: Vec<Vec<u32>> = (0..512u32)
+        .map(|i| (0..8).map(|k| (i * 37 + k * 131 + 17) % 512).collect())
+        .collect();
+    let adj = Adjacency::from_lists(&lists);
+    let mut out = Tensor::zeros(512, 64);
+    c.bench_function("tensor/scatter_mean_512x64", |bench| {
+        bench.iter(|| {
+            grimp_tensor::scatter_mean_into(&src, &adj, &mut out);
+            std::hint::black_box(out.get(0, 0))
+        })
     });
 }
 
@@ -32,7 +57,11 @@ fn bench_graph_construction(c: &mut Criterion) {
     let instance = corrupt(&prepared, 0.20, 1);
     c.bench_function("graph/build_adult_700", |bench| {
         bench.iter(|| {
-            std::hint::black_box(TableGraph::build(&instance.dirty, GraphConfig::default(), &[]))
+            std::hint::black_box(TableGraph::build(
+                &instance.dirty,
+                GraphConfig::default(),
+                &[],
+            ))
         })
     });
 }
@@ -67,7 +96,17 @@ fn bench_gnn(c: &mut Criterion) {
     let graph = TableGraph::build(&instance.dirty, GraphConfig::default(), &[]);
     let mut rng = StdRng::seed_from_u64(0);
     let mut tape = Tape::new();
-    let sage = HeteroSage::new(&mut tape, &graph, 24, GnnConfig { layers: 2, hidden: 32, ..Default::default() }, &mut rng);
+    let sage = HeteroSage::new(
+        &mut tape,
+        &graph,
+        24,
+        GnnConfig {
+            layers: 2,
+            hidden: 32,
+            ..Default::default()
+        },
+        &mut rng,
+    );
     tape.freeze();
     let features = Tensor::full(graph.n_nodes(), 24, 0.1);
     c.bench_function("gnn/forward_backward_mammogram", |bench| {
@@ -125,8 +164,7 @@ fn bench_forest(c: &mut Criterion) {
     let filled = grimp_baselines::mean_mode_fill(&prepared.clean);
     let features = grimp_baselines::FeatureMatrix::from_complete_table(&filled);
     let rows: Vec<usize> = (0..features.n_rows()).collect();
-    let labels =
-        TreeLabels::Classes((0..features.n_rows()).map(|i| (i % 3) as u32).collect());
+    let labels = TreeLabels::Classes((0..features.n_rows()).map(|i| (i % 3) as u32).collect());
     c.bench_function("forest/fit_mammogram_12trees", |bench| {
         bench.iter_batched(
             || StdRng::seed_from_u64(5),

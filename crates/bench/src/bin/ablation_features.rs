@@ -15,12 +15,23 @@ use grimp_table::Imputer;
 
 fn main() {
     let profile = Profile::from_env();
-    banner("Ablation — pre-trained feature sources (rand / FT / EMBDI)", profile);
+    banner(
+        "Ablation — pre-trained feature sources (rand / FT / EMBDI)",
+        profile,
+    );
 
-    let sources =
-        [FeatureSource::Random, FeatureSource::FastText, FeatureSource::Embdi];
-    let datasets =
-        [DatasetId::Mammogram, DatasetId::Flare, DatasetId::Contraceptive, DatasetId::Adult, DatasetId::TicTacToe];
+    let sources = [
+        FeatureSource::Random,
+        FeatureSource::FastText,
+        FeatureSource::Embdi,
+    ];
+    let datasets = [
+        DatasetId::Mammogram,
+        DatasetId::Flare,
+        DatasetId::Contraceptive,
+        DatasetId::Adult,
+        DatasetId::TicTacToe,
+    ];
     let mut table = TablePrinter::new(&["ds", "rand", "ft", "embdi"]);
     let mut csv_rows = Vec::new();
     let mut sums = [0.0f64; 3];

@@ -10,7 +10,10 @@ use grimp_table::Imputer;
 
 fn main() {
     let profile = Profile::from_env();
-    banner("Ablation — attention K-matrix strategies (Fig. 7 variants)", profile);
+    banner(
+        "Ablation — attention K-matrix strategies (Fig. 7 variants)",
+        profile,
+    );
 
     let strategies = [
         ("Diagonal", KStrategy::Diagonal),
@@ -25,7 +28,10 @@ fn main() {
         for &rate in &[0.20] {
             let instance = corrupt(&prepared, rate, 8000);
             for (name, strategy) in strategies {
-                let cfg = profile.grimp_config().with_seed(0).with_k_strategy(strategy);
+                let cfg = profile
+                    .grimp_config()
+                    .with_seed(0)
+                    .with_k_strategy(strategy);
                 let mut model = Grimp::with_fds(cfg, prepared.fds.clone());
                 let cell = run_cell(&prepared, &instance, &mut model as &mut dyn Imputer, rate);
                 table.row(vec![

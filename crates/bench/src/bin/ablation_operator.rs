@@ -11,7 +11,10 @@ use grimp_table::Imputer;
 
 fn main() {
     let profile = Profile::from_env();
-    banner("Ablation — GNN operator per sub-module (SAGE / GCN / mixed)", profile);
+    banner(
+        "Ablation — GNN operator per sub-module (SAGE / GCN / mixed)",
+        profile,
+    );
 
     let operators = [
         ("all-SAGE", OperatorAssignment::AllSage),
@@ -20,7 +23,11 @@ fn main() {
     ];
     let mut table = TablePrinter::new(&["ds", "operator", "accuracy", "rmse", "seconds"]);
     let mut csv_rows = Vec::new();
-    for id in [DatasetId::Mammogram, DatasetId::Contraceptive, DatasetId::Flare] {
+    for id in [
+        DatasetId::Mammogram,
+        DatasetId::Contraceptive,
+        DatasetId::Flare,
+    ] {
         let prepared = prepare(id, profile, 0);
         let instance = corrupt(&prepared, 0.20, 8400);
         for (name, op) in operators {

@@ -10,10 +10,17 @@ use grimp_table::Imputer;
 
 fn main() {
     let profile = Profile::from_env();
-    banner("Ablation — GraphSAGE neighbor-sampling cap (graph pruning)", profile);
+    banner(
+        "Ablation — GraphSAGE neighbor-sampling cap (graph pruning)",
+        profile,
+    );
 
-    let caps: [(&str, Option<usize>); 4] =
-        [("full", None), ("cap 16", Some(16)), ("cap 8", Some(8)), ("cap 3", Some(3))];
+    let caps: [(&str, Option<usize>); 4] = [
+        ("full", None),
+        ("cap 16", Some(16)),
+        ("cap 8", Some(8)),
+        ("cap 3", Some(3)),
+    ];
     let mut table = TablePrinter::new(&["ds", "cap", "accuracy", "rmse", "seconds"]);
     let mut csv_rows = Vec::new();
     for id in [DatasetId::Adult, DatasetId::TicTacToe] {

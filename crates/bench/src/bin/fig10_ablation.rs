@@ -10,10 +10,15 @@ use grimp_datasets::DatasetId;
 
 fn main() {
     let profile = Profile::from_env();
-    banner("Figure 10 — ablation (GRIMP-MT vs GNN-MC vs EmbDI-MC)", profile);
+    banner(
+        "Figure 10 — ablation (GRIMP-MT vs GNN-MC vs EmbDI-MC)",
+        profile,
+    );
 
-    let variant_names: Vec<String> =
-        fig10_algorithms(profile, 0).iter().map(|(n, _)| n.clone()).collect();
+    let variant_names: Vec<String> = fig10_algorithms(profile, 0)
+        .iter()
+        .map(|(n, _)| n.clone())
+        .collect();
     let mut csv_rows = Vec::new();
     let mut sums = vec![0.0f64; variant_names.len()];
     let mut counts = vec![0usize; variant_names.len()];
@@ -47,14 +52,20 @@ fn main() {
             table.row(row);
             eprintln!("  done {} @ {:.0}%", prepared.abbr, rate * 100.0);
         }
-        println!("-- missingness {:.0} % -- categorical accuracy", rate * 100.0);
+        println!(
+            "-- missingness {:.0} % -- categorical accuracy",
+            rate * 100.0
+        );
         println!("{}", table.render());
     }
 
     println!("-- overall averages --");
     let mut avg = TablePrinter::new(&["variant", "mean accuracy"]);
     for (v, name) in variant_names.iter().enumerate() {
-        avg.row(vec![name.clone(), format!("{:.3}", sums[v] / counts[v].max(1) as f64)]);
+        avg.row(vec![
+            name.clone(),
+            format!("{:.3}", sums[v] / counts[v].max(1) as f64),
+        ]);
     }
     println!("{}", avg.render());
     println!("paper: each disabled module costs accuracy (GRIMP-MT > GNN-MC > EmbDI-MC).");

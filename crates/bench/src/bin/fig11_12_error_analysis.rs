@@ -19,7 +19,10 @@ use grimp_table::{Imputer, Table};
 
 fn main() {
     let profile = Profile::from_env();
-    banner("Figures 11–12 — per-value wrong-imputation distributions", profile);
+    banner(
+        "Figures 11–12 — per-value wrong-imputation distributions",
+        profile,
+    );
 
     let mut csv_rows = Vec::new();
     for (figure, id) in [(11, DatasetId::Thoracic), (12, DatasetId::Contraceptive)] {
@@ -33,8 +36,14 @@ fn main() {
         let roster: Vec<Box<dyn Imputer>> = vec![
             Box::new(Grimp::new(profile.grimp_config().with_seed(0))),
             Box::new(MissForest::new(MissForestConfig::default())),
-            Box::new(AimNetLike::new(AimNetConfig { epochs, ..Default::default() })),
-            Box::new(DataWigLike::new(DataWigConfig { epochs, ..Default::default() })),
+            Box::new(AimNetLike::new(AimNetConfig {
+                epochs,
+                ..Default::default()
+            })),
+            Box::new(DataWigLike::new(DataWigConfig {
+                epochs,
+                ..Default::default()
+            })),
         ];
         for mut algo in roster {
             let imputed = algo.impute(&instance.dirty);
@@ -96,8 +105,15 @@ fn main() {
     println!("right (rare values), across ALL methods, tracking expected = 1 - f_v.");
 
     let header: Vec<&str> = vec![
-        "dataset", "column", "value", "frequency", "expected_wrong", "grimp", "missforest",
-        "aimnet", "datawig",
+        "dataset",
+        "column",
+        "value",
+        "frequency",
+        "expected_wrong",
+        "grimp",
+        "missforest",
+        "aimnet",
+        "datawig",
     ];
     let path = write_csv("fig11_12_error_analysis", &header, &csv_rows);
     println!("\ncsv: {}", path.display());

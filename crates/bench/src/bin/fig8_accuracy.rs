@@ -13,11 +13,16 @@ use grimp_metrics::average_ranks;
 
 fn main() {
     let profile = Profile::from_env();
-    banner("Figure 8 — imputation accuracy vs baselines (+ Figure 9 timing data)", profile);
+    banner(
+        "Figure 8 — imputation accuracy vs baselines (+ Figure 9 timing data)",
+        profile,
+    );
 
     let mut all_cells: Vec<CellResult> = Vec::new();
-    let algo_names: Vec<String> =
-        fig8_algorithms(profile, 0).iter().map(|a| a.name().to_string()).collect();
+    let algo_names: Vec<String> = fig8_algorithms(profile, 0)
+        .iter()
+        .map(|a| a.name().to_string())
+        .collect();
 
     for &rate in &ERROR_RATES {
         let mut table = TablePrinter::new(
@@ -39,7 +44,11 @@ fn main() {
                 all_cells.push(cell);
             }
             table.row(row);
-            eprintln!("  done {abbr} @ {rate:.0}%", abbr = prepared.abbr, rate = rate * 100.0);
+            eprintln!(
+                "  done {abbr} @ {rate:.0}%",
+                abbr = prepared.abbr,
+                rate = rate * 100.0
+            );
         }
         println!("-- missingness {:.0} % --  accuracy (rmse)", rate * 100.0);
         println!("{}", table.render());
@@ -59,7 +68,9 @@ fn main() {
                     all_cells
                         .iter()
                         .find(|c| {
-                            c.dataset == abbr && &c.algorithm == name && (c.rate - 0.05).abs() < 1e-9
+                            c.dataset == abbr
+                                && &c.algorithm == name
+                                && (c.rate - 0.05).abs() < 1e-9
                         })
                         .and_then(|c| c.eval.accuracy())
                         .unwrap_or(0.0)
@@ -104,7 +115,14 @@ fn main() {
         .collect();
     let path = write_csv(
         "fig8_accuracy",
-        &["dataset", "algorithm", "rate", "accuracy", "rmse", "seconds"],
+        &[
+            "dataset",
+            "algorithm",
+            "rate",
+            "accuracy",
+            "rmse",
+            "seconds",
+        ],
         &csv_rows,
     );
     println!("\ncsv: {}", path.display());

@@ -73,7 +73,9 @@ fn main() {
 
     for &rate in &ERROR_RATES {
         let mut table = TablePrinter::new(
-            &std::iter::once("ds").chain(algos.iter().map(|s| s.as_str())).collect::<Vec<_>>(),
+            &std::iter::once("ds")
+                .chain(algos.iter().map(|s| s.as_str()))
+                .collect::<Vec<_>>(),
         );
         for id in DatasetId::ALL {
             let abbr = id.abbr();
@@ -128,6 +130,10 @@ fn main() {
         .iter()
         .map(|(d, a, r, t)| vec![d.clone(), a.clone(), format!("{r:.2}"), format!("{t:.3}")])
         .collect();
-    let path = write_csv("fig9_time", &["dataset", "algorithm", "rate", "seconds"], &csv_rows);
+    let path = write_csv(
+        "fig9_time",
+        &["dataset", "algorithm", "rate", "seconds"],
+        &csv_rows,
+    );
     println!("\ncsv: {}", path.display());
 }

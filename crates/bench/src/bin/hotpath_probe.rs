@@ -1,0 +1,153 @@
+//! Hot-path benchmark probe: times GRIMP `fit_impute` on a 250-row Mammogram
+//! instance with the optimized training hot path vs the legacy
+//! pre-optimization path (reference GEMM kernels, fresh allocation per
+//! ephemeral tensor, per-epoch feature clone) and writes `BENCH_hotpath.json`
+//! in the working directory.
+//!
+//! Fully deterministic: fixed dataset seed, fixed corruption seed, fixed
+//! model seed, early stopping disabled so both modes run the same epochs.
+//!
+//! ```bash
+//! cargo run --release -p grimp-bench --bin hotpath_probe
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+
+use grimp::{Grimp, GrimpConfig, TaskKind};
+use grimp_bench::{corrupt, prepare, Profile};
+use grimp_datasets::DatasetId;
+use grimp_gnn::GnnConfig;
+use grimp_graph::FeatureSource;
+use grimp_table::{Schema, Table, Value};
+
+const ROWS: usize = 250;
+const RATE: f64 = 0.2;
+const REPS: usize = 5;
+const EPOCHS: usize = 60;
+
+/// First `n` rows of a table, dictionaries re-interned to stay minimal.
+fn head(table: &Table, n: usize) -> Table {
+    let schema: Schema = table.schema().clone();
+    let mut out = Table::empty(schema);
+    for i in 0..n.min(table.n_rows()) {
+        let row: Vec<Value> = (0..table.n_columns())
+            .map(|j| match table.get(i, j) {
+                Value::Cat(_) => Value::Cat(out.intern(j, &table.display(i, j))),
+                v => v,
+            })
+            .collect();
+        out.push_value_row(&row);
+    }
+    out
+}
+
+fn probe_config(legacy: bool) -> GrimpConfig {
+    GrimpConfig {
+        features: FeatureSource::FastText,
+        feature_dim: 32,
+        gnn: GnnConfig {
+            layers: 2,
+            hidden: 32,
+            ..Default::default()
+        },
+        merge_hidden: 64,
+        embed_dim: 32,
+        task_kind: TaskKind::Attention,
+        max_epochs: EPOCHS,
+        patience: EPOCHS, // never early-stop: both modes run identical epochs
+        lr: 2e-2,
+        seed: 7,
+        legacy_hot_path: legacy,
+        ..GrimpConfig::paper()
+    }
+}
+
+#[derive(Clone)]
+struct ModeResult {
+    seconds: f64,
+    forward_s: f64,
+    backward_s: f64,
+    optim_s: f64,
+    epochs_run: usize,
+    first_epoch_allocs: u64,
+    allocs_after_epoch1: u64,
+}
+
+fn run_mode(dirty: &Table, legacy: bool) -> ModeResult {
+    let mut best: Option<ModeResult> = None;
+    for _ in 0..REPS {
+        let mut model = Grimp::new(probe_config(legacy));
+        let _ = model.fit_impute(dirty);
+        let report = model.last_report().expect("fit_impute sets a report");
+        let result = ModeResult {
+            seconds: report.seconds,
+            forward_s: report.forward_s,
+            backward_s: report.backward_s,
+            optim_s: report.optim_s,
+            epochs_run: report.epochs_run,
+            first_epoch_allocs: report.epoch_allocs.first().copied().unwrap_or(0),
+            allocs_after_epoch1: report.epoch_allocs.iter().skip(1).sum(),
+        };
+        if best.as_ref().is_none_or(|b| result.seconds < b.seconds) {
+            best = Some(result);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+fn mode_json(out: &mut String, label: &str, r: &ModeResult) {
+    let _ = write!(
+        out,
+        "  \"{label}\": {{\n    \"seconds\": {:.6},\n    \"forward_s\": {:.6},\n    \
+         \"backward_s\": {:.6},\n    \"optim_s\": {:.6},\n    \"epochs_run\": {},\n    \
+         \"first_epoch_allocs\": {},\n    \"allocs_after_epoch1\": {}\n  }}",
+        r.seconds,
+        r.forward_s,
+        r.backward_s,
+        r.optim_s,
+        r.epochs_run,
+        r.first_epoch_allocs,
+        r.allocs_after_epoch1
+    );
+}
+
+fn main() {
+    let prepared = prepare(DatasetId::Mammogram, Profile::Standard, 0);
+    let clean = head(&prepared.clean, ROWS);
+    let capped = grimp_bench::Prepared { clean, ..prepared };
+    let instance = corrupt(&capped, RATE, 1);
+
+    let fast = run_mode(&instance.dirty, false);
+    let legacy = run_mode(&instance.dirty, true);
+    let speedup = legacy.seconds / fast.seconds;
+
+    let mut json = String::from("{\n");
+    let _ = write!(
+        json,
+        "  \"dataset\": \"mammogram\",\n  \"rows\": {ROWS},\n  \
+         \"corruption_rate\": {RATE},\n  \"reps\": {REPS},\n  \
+         \"config\": {{\"feature_dim\": 32, \"gnn_hidden\": 32, \"gnn_layers\": 2, \
+         \"merge_hidden\": 64, \"embed_dim\": 32, \"max_epochs\": {EPOCHS}, \
+         \"lr\": 0.02, \"seed\": 7}},\n"
+    );
+    mode_json(&mut json, "fast", &fast);
+    json.push_str(",\n");
+    mode_json(&mut json, "legacy", &legacy);
+    let _ = write!(json, ",\n  \"speedup\": {speedup:.3}\n}}\n");
+    fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+
+    println!(
+        "fast   : {:.3}s (fwd {:.3} bwd {:.3} opt {:.3}), allocs after epoch 1: {}",
+        fast.seconds, fast.forward_s, fast.backward_s, fast.optim_s, fast.allocs_after_epoch1
+    );
+    println!(
+        "legacy : {:.3}s (fwd {:.3} bwd {:.3} opt {:.3}), allocs after epoch 1: {}",
+        legacy.seconds,
+        legacy.forward_s,
+        legacy.backward_s,
+        legacy.optim_s,
+        legacy.allocs_after_epoch1
+    );
+    println!("speedup: {speedup:.2}x over {} epochs", fast.epochs_run);
+}

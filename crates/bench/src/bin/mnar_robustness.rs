@@ -17,10 +17,12 @@ use rand::SeedableRng;
 
 fn main() {
     let profile = Profile::from_env();
-    banner("MNAR robustness — systematic vs random missingness @20%", profile);
+    banner(
+        "MNAR robustness — systematic vs random missingness @20%",
+        profile,
+    );
 
-    let mut table =
-        TablePrinter::new(&["ds", "method", "acc MCAR", "acc MNAR", "delta"]);
+    let mut table = TablePrinter::new(&["ds", "method", "acc MCAR", "acc MNAR", "delta"]);
     let mut csv_rows = Vec::new();
     for id in [DatasetId::Thoracic, DatasetId::Flare, DatasetId::Mammogram] {
         let prepared = prepare(id, profile, 0);

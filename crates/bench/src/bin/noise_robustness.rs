@@ -26,7 +26,12 @@ fn main() {
         // clean arm: 5 % MCAR on the original table
         let clean_instance = corrupt(&prepared, 0.05, 7000);
         let mut model = Grimp::new(profile.grimp_config().with_seed(0));
-        let clean_cell = run_cell(&prepared, &clean_instance, &mut model as &mut dyn Imputer, 0.05);
+        let clean_cell = run_cell(
+            &prepared,
+            &clean_instance,
+            &mut model as &mut dyn Imputer,
+            0.05,
+        );
         let acc_clean = clean_cell.eval.accuracy().unwrap_or(0.0);
 
         // noisy arm: typos first (ground truth for injected cells is still
@@ -35,12 +40,20 @@ fn main() {
         // table)
         let mut noisy = prepared.clean.clone();
         inject_typos(&mut noisy, 0.10, &mut StdRng::seed_from_u64(7100));
-        let noisy_prepared =
-            Prepared { id: prepared.id, abbr: prepared.abbr, clean: noisy, fds: prepared.fds.clone() };
+        let noisy_prepared = Prepared {
+            id: prepared.id,
+            abbr: prepared.abbr,
+            clean: noisy,
+            fds: prepared.fds.clone(),
+        };
         let noisy_instance = corrupt(&noisy_prepared, 0.05, 7000);
         let mut model = Grimp::new(profile.grimp_config().with_seed(0));
-        let noisy_cell =
-            run_cell(&noisy_prepared, &noisy_instance, &mut model as &mut dyn Imputer, 0.05);
+        let noisy_cell = run_cell(
+            &noisy_prepared,
+            &noisy_instance,
+            &mut model as &mut dyn Imputer,
+            0.05,
+        );
         let acc_noisy = noisy_cell.eval.accuracy().unwrap_or(0.0);
 
         let delta = acc_clean - acc_noisy;

@@ -10,8 +10,23 @@ use grimp_bench::{banner, write_csv, Profile, TablePrinter};
 use grimp_datasets::{generate, DatasetId};
 use grimp_metrics::dataset_stats;
 
-/// Paper Table 1: (abbr, rows, cols, |C|, |N|, distinct, #FD, S, K, F+, N+).
-const PAPER: [(&str, usize, usize, usize, usize, usize, usize, f64, f64, f64, f64); 10] = [
+/// One published Table 1 row: (abbr, rows, cols, |C|, |N|, distinct, #FD,
+/// S, K, F+, N+).
+type PaperRow = (
+    &'static str,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    f64,
+    f64,
+    f64,
+    f64,
+);
+
+const PAPER: [PaperRow; 10] = [
     ("AD", 3016, 14, 9, 5, 289, 2, 2.6, 13.3, 0.7, 2.9),
     ("AU", 690, 15, 9, 6, 957, 0, 2.7, 24.0, 0.6, 7.5),
     ("CO", 1473, 10, 8, 2, 65, 0, 0.0, -1.3, 0.5, 1.4),
@@ -27,7 +42,10 @@ const PAPER: [(&str, usize, usize, usize, usize, usize, usize, f64, f64, f64, f6
 fn main() {
     // Table 1 always uses the full generated datasets (statistics are about
     // the data, not the training budget).
-    banner("Table 1 — dataset statistics and GRIMP parameter counts", Profile::Full);
+    banner(
+        "Table 1 — dataset statistics and GRIMP parameter counts",
+        Profile::Full,
+    );
     let formula = ParamFormula::default();
 
     let mut table = TablePrinter::new(&[
@@ -81,8 +99,20 @@ fn main() {
     let path = write_csv(
         "tab1_stats",
         &[
-            "dataset", "rows", "cols", "cat", "num", "distinct", "fds", "s_avg", "k_avg",
-            "f_plus", "n_plus", "p_s", "sigma_p_l", "sigma_p_a",
+            "dataset",
+            "rows",
+            "cols",
+            "cat",
+            "num",
+            "distinct",
+            "fds",
+            "s_avg",
+            "k_avg",
+            "f_plus",
+            "n_plus",
+            "p_s",
+            "sigma_p_l",
+            "sigma_p_a",
         ],
         &csv_rows,
     );

@@ -24,8 +24,14 @@ fn main() {
         (50, "Linear", 0.618, 27),
     ];
 
-    let mut table =
-        TablePrinter::new(&["error %", "strategy", "accuracy", "time (s)", "paper acc", "paper t"]);
+    let mut table = TablePrinter::new(&[
+        "error %",
+        "strategy",
+        "accuracy",
+        "time (s)",
+        "paper acc",
+        "paper t",
+    ]);
     let mut csv_rows = Vec::new();
     for &rate in &ERROR_RATES {
         for kind in [TaskKind::Attention, TaskKind::Linear] {
@@ -73,7 +79,10 @@ fn main() {
     }
     println!("{}", table.render());
     println!("expected shape: attention > linear accuracy at every level, linear much faster.");
-    let path =
-        write_csv("tab2_attention_linear", &["rate", "strategy", "accuracy", "seconds"], &csv_rows);
+    let path = write_csv(
+        "tab2_attention_linear",
+        &["rate", "strategy", "accuracy", "seconds"],
+        &csv_rows,
+    );
     println!("\ncsv: {}", path.display());
 }

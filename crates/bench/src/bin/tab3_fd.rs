@@ -10,9 +10,11 @@
 use grimp_bench::*;
 use grimp_datasets::DatasetId;
 
-/// Paper Table 3: (ds, error %, MISF t, FUNF t, GRIMP-A t, FD acc, MISF acc,
-/// FUNF acc, GRIMP-A acc).
-const PAPER: [(&str, u32, f64, f64, f64, f64, f64, f64, f64); 6] = [
+/// One published Table 3 row: (ds, error %, MISF t, FUNF t, GRIMP-A t,
+/// FD acc, MISF acc, FUNF acc, GRIMP-A acc).
+type PaperRow = (&'static str, u32, f64, f64, f64, f64, f64, f64, f64);
+
+const PAPER: [PaperRow; 6] = [
     ("AD", 5, 13.03, 2.38, 496.60, 0.160, 0.733, 0.737, 0.766),
     ("AD", 20, 25.70, 6.05, 551.22, 0.115, 0.727, 0.732, 0.756),
     ("AD", 50, 22.50, 15.23, 537.90, 0.074, 0.657, 0.674, 0.693),
@@ -26,7 +28,14 @@ fn main() {
     banner("Table 3 — imputation with input FDs (Adult, Tax)", profile);
 
     let mut table = TablePrinter::new(&[
-        "ds", "error %", "FD acc", "MISF acc", "FUNF acc", "GRI-A acc", "MISF t", "FUNF t",
+        "ds",
+        "error %",
+        "FD acc",
+        "MISF acc",
+        "FUNF acc",
+        "GRI-A acc",
+        "MISF t",
+        "FUNF t",
         "GRI-A t",
     ]);
     let mut csv_rows = Vec::new();
@@ -69,7 +78,14 @@ fn main() {
 
     println!("-- paper's Table 3 for comparison --");
     let mut paper = TablePrinter::new(&[
-        "ds", "error %", "FD acc", "MISF acc", "FUNF acc", "GRI-A acc", "MISF t", "FUNF t",
+        "ds",
+        "error %",
+        "FD acc",
+        "MISF acc",
+        "FUNF acc",
+        "GRI-A acc",
+        "MISF t",
+        "FUNF t",
         "GRI-A t",
     ]);
     for (ds, e, t1, t2, t3, fd, misf, funf, gria) in PAPER {
@@ -91,7 +107,14 @@ fn main() {
 
     let path = write_csv(
         "tab3_fd",
-        &["dataset", "algorithm", "rate", "accuracy", "rmse", "seconds"],
+        &[
+            "dataset",
+            "algorithm",
+            "rate",
+            "accuracy",
+            "rmse",
+            "seconds",
+        ],
         &csv_rows,
     );
     println!("\ncsv: {}", path.display());

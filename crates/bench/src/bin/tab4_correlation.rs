@@ -15,7 +15,10 @@ use grimp_table::Imputer;
 
 fn main() {
     let profile = Profile::from_env();
-    banner("Table 4 — difficulty metrics vs GRIMP accuracy @50%", profile);
+    banner(
+        "Table 4 — difficulty metrics vs GRIMP accuracy @50%",
+        profile,
+    );
 
     let mut s = Vec::new();
     let mut k = Vec::new();
@@ -54,7 +57,12 @@ fn main() {
         ("F+_avg", pearson(&f_plus, &acc)),
         ("N+_avg", pearson(&n_plus, &acc)),
     ];
-    let paper = [("S_avg", -0.467), ("K_avg", -0.655), ("F+_avg", 0.536), ("N+_avg", -0.660)];
+    let paper = [
+        ("S_avg", -0.467),
+        ("K_avg", -0.655),
+        ("F+_avg", 0.536),
+        ("N+_avg", -0.660),
+    ];
     let mut table = TablePrinter::new(&["metric", "ρ (measured)", "ρ (paper)"]);
     let mut csv_rows = Vec::new();
     for ((name, measured), (_, published)) in rho.iter().zip(paper.iter()) {
@@ -63,10 +71,18 @@ fn main() {
             format!("{measured:+.3}"),
             format!("{published:+.3}"),
         ]);
-        csv_rows.push(vec![name.to_string(), format!("{measured:.4}"), format!("{published:.4}")]);
+        csv_rows.push(vec![
+            name.to_string(),
+            format!("{measured:.4}"),
+            format!("{published:.4}"),
+        ]);
     }
     println!("{}", table.render());
     println!("expected shape: negative for S/K/N+, positive for F+.");
-    let path = write_csv("tab4_correlation", &["metric", "rho_measured", "rho_paper"], &csv_rows);
+    let path = write_csv(
+        "tab4_correlation",
+        &["metric", "rho_measured", "rho_paper"],
+        &csv_rows,
+    );
     println!("\ncsv: {}", path.display());
 }

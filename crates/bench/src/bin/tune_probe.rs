@@ -10,9 +10,39 @@ fn main() {
     let profile = Profile::Standard;
     let variants: Vec<(&str, GrimpConfig)> = vec![
         ("fast-base", GrimpConfig::fast()),
-        ("ep120-p10", GrimpConfig { max_epochs: 120, patience: 10, ..GrimpConfig::fast() }),
-        ("lr5e3-ep150", GrimpConfig { lr: 5e-3, max_epochs: 150, patience: 12, ..GrimpConfig::fast() }),
-        ("wide", GrimpConfig { feature_dim: 32, gnn: grimp_gnn::GnnConfig { layers: 2, hidden: 48, ..Default::default() }, embed_dim: 48, merge_hidden: 96, max_epochs: 100, patience: 10, ..GrimpConfig::fast() }),
+        (
+            "ep120-p10",
+            GrimpConfig {
+                max_epochs: 120,
+                patience: 10,
+                ..GrimpConfig::fast()
+            },
+        ),
+        (
+            "lr5e3-ep150",
+            GrimpConfig {
+                lr: 5e-3,
+                max_epochs: 150,
+                patience: 12,
+                ..GrimpConfig::fast()
+            },
+        ),
+        (
+            "wide",
+            GrimpConfig {
+                feature_dim: 32,
+                gnn: grimp_gnn::GnnConfig {
+                    layers: 2,
+                    hidden: 48,
+                    ..Default::default()
+                },
+                embed_dim: 48,
+                merge_hidden: 96,
+                max_epochs: 100,
+                patience: 10,
+                ..GrimpConfig::fast()
+            },
+        ),
     ];
     for id in [DatasetId::Mammogram, DatasetId::Adult, DatasetId::Flare] {
         let p = prepare(id, profile, 0);
@@ -21,19 +51,42 @@ fn main() {
             let mut m = Grimp::new(cfg.clone().with_seed(0));
             let cell = run_cell(&p, &inst, &mut m as &mut dyn Imputer, 0.2);
             let rep = m.last_report().unwrap();
-            println!("{:>3} {:>12} acc={} rmse={} t={:.1}s epochs={} stopped={}",
-                cell.dataset, name, fmt_opt(cell.eval.accuracy(),3), fmt_opt(cell.eval.rmse(),3),
-                cell.seconds, rep.epochs_run, rep.early_stopped);
+            println!(
+                "{:>3} {:>12} acc={} rmse={} t={:.1}s epochs={} stopped={}",
+                cell.dataset,
+                name,
+                fmt_opt(cell.eval.accuracy(), 3),
+                fmt_opt(cell.eval.rmse(), 3),
+                cell.seconds,
+                rep.epochs_run,
+                rep.early_stopped
+            );
         }
         // EMBDI richer walks
-        let mut cfg = GrimpConfig { max_epochs: 120, patience: 10, ..GrimpConfig::fast() }
-            .with_features(FeatureSource::Embdi).with_seed(0);
-        cfg.embdi = EmbdiConfig { walks_per_node: 8, walk_length: 14, epochs: 3, ..Default::default() };
+        let mut cfg = GrimpConfig {
+            max_epochs: 120,
+            patience: 10,
+            ..GrimpConfig::fast()
+        }
+        .with_features(FeatureSource::Embdi)
+        .with_seed(0);
+        cfg.embdi = EmbdiConfig {
+            walks_per_node: 8,
+            walk_length: 14,
+            epochs: 3,
+            ..Default::default()
+        };
         let mut m = Grimp::new(cfg);
         let cell = run_cell(&p, &inst, &mut m as &mut dyn Imputer, 0.2);
         let rep = m.last_report().unwrap();
-        println!("{:>3} {:>12} acc={} rmse={} t={:.1}s epochs={}",
-            cell.dataset, "embdi-rich", fmt_opt(cell.eval.accuracy(),3), fmt_opt(cell.eval.rmse(),3),
-            cell.seconds, rep.epochs_run);
+        println!(
+            "{:>3} {:>12} acc={} rmse={} t={:.1}s epochs={}",
+            cell.dataset,
+            "embdi-rich",
+            fmt_opt(cell.eval.accuracy(), 3),
+            fmt_opt(cell.eval.rmse(), 3),
+            cell.seconds,
+            rep.epochs_run
+        );
     }
 }

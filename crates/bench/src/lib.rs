@@ -32,10 +32,9 @@ use rand::SeedableRng;
 
 use grimp::{GnnMc, Grimp, GrimpConfig, KStrategy};
 use grimp_baselines::{
-    AimNetConfig, AimNetLike, DataWigConfig, DataWigLike, EmbdiMc, EmbdiMcConfig, FdRepair,
-    Gain, GainConfig, KnnImputer, MeanMode, Mice, MiceConfig, Mida, MidaConfig, MissForest,
-    MissForestConfig,
-    TurlConfig, TurlSub,
+    AimNetConfig, AimNetLike, DataWigConfig, DataWigLike, EmbdiMc, EmbdiMcConfig, FdRepair, Gain,
+    GainConfig, KnnImputer, MeanMode, Mice, MiceConfig, Mida, MidaConfig, MissForest,
+    MissForestConfig, TurlConfig, TurlSub,
 };
 use grimp_datasets::{generate, Dataset, DatasetId};
 use grimp_graph::FeatureSource;
@@ -80,7 +79,11 @@ impl Profile {
         match self {
             Profile::Quick => GrimpConfig {
                 feature_dim: 16,
-                gnn: grimp_gnn::GnnConfig { layers: 2, hidden: 16, ..Default::default() },
+                gnn: grimp_gnn::GnnConfig {
+                    layers: 2,
+                    hidden: 16,
+                    ..Default::default()
+                },
                 merge_hidden: 32,
                 embed_dim: 16,
                 max_epochs: 15,
@@ -88,7 +91,10 @@ impl Profile {
                 max_train_samples_per_task: Some(300),
                 ..GrimpConfig::fast()
             },
-            Profile::Standard => GrimpConfig { max_epochs: 80, ..GrimpConfig::fast() },
+            Profile::Standard => GrimpConfig {
+                max_epochs: 80,
+                ..GrimpConfig::fast()
+            },
             Profile::Full => GrimpConfig::paper(),
         }
     }
@@ -126,12 +132,19 @@ pub struct Prepared {
 
 /// Generate and row-cap a dataset for the given profile.
 pub fn prepare(id: DatasetId, profile: Profile, seed: u64) -> Prepared {
-    let Dataset { abbr, table, fds, .. } = generate(id, seed);
+    let Dataset {
+        abbr, table, fds, ..
+    } = generate(id, seed);
     let clean = match profile.row_cap() {
         Some(cap) if cap < table.n_rows() => truncate_rows(&table, cap),
         _ => table,
     };
-    Prepared { id, abbr, clean, fds }
+    Prepared {
+        id,
+        abbr,
+        clean,
+        fds,
+    }
 }
 
 fn truncate_rows(table: &Table, cap: usize) -> Table {
@@ -174,13 +187,34 @@ pub fn fig8_algorithms(profile: Profile, seed: u64) -> Vec<Box<dyn Imputer>> {
     let epochs = profile.baseline_epochs();
     let base = profile.grimp_config().with_seed(seed);
     vec![
-        Box::new(Grimp::new(base.clone().with_features(FeatureSource::FastText))),
+        Box::new(Grimp::new(
+            base.clone().with_features(FeatureSource::FastText),
+        )),
         Box::new(Grimp::new(base.with_features(FeatureSource::Embdi))),
-        Box::new(MissForest::new(MissForestConfig { seed, ..Default::default() })),
-        Box::new(AimNetLike::new(AimNetConfig { epochs, seed, ..Default::default() })),
-        Box::new(TurlSub::new(TurlConfig { epochs, seed, ..Default::default() })),
-        Box::new(EmbdiMc::new(EmbdiMcConfig { epochs, seed, ..Default::default() })),
-        Box::new(DataWigLike::new(DataWigConfig { epochs, seed, ..Default::default() })),
+        Box::new(MissForest::new(MissForestConfig {
+            seed,
+            ..Default::default()
+        })),
+        Box::new(AimNetLike::new(AimNetConfig {
+            epochs,
+            seed,
+            ..Default::default()
+        })),
+        Box::new(TurlSub::new(TurlConfig {
+            epochs,
+            seed,
+            ..Default::default()
+        })),
+        Box::new(EmbdiMc::new(EmbdiMcConfig {
+            epochs,
+            seed,
+            ..Default::default()
+        })),
+        Box::new(DataWigLike::new(DataWigConfig {
+            epochs,
+            seed,
+            ..Default::default()
+        })),
     ]
 }
 
@@ -190,21 +224,38 @@ pub fn reference_algorithms(seed: u64) -> Vec<Box<dyn Imputer>> {
     vec![
         Box::new(MeanMode),
         Box::new(KnnImputer::new(5)),
-        Box::new(Mice::new(MiceConfig { seed, ..Default::default() })),
-        Box::new(Mida::new(MidaConfig { seed, ..Default::default() })),
-        Box::new(Gain::new(GainConfig { seed, ..Default::default() })),
+        Box::new(Mice::new(MiceConfig {
+            seed,
+            ..Default::default()
+        })),
+        Box::new(Mida::new(MidaConfig {
+            seed,
+            ..Default::default()
+        })),
+        Box::new(Gain::new(GainConfig {
+            seed,
+            ..Default::default()
+        })),
     ]
 }
 
 /// The Table 3 roster: FD-REPAIR, MissForest, FUNFOREST, GRIMP-A.
 pub fn tab3_algorithms(profile: Profile, seed: u64, fds: &FdSet) -> Vec<Box<dyn Imputer>> {
-    let grimp_a =
-        profile.grimp_config().with_seed(seed).with_k_strategy(KStrategy::WeakDiagonalFd);
+    let grimp_a = profile
+        .grimp_config()
+        .with_seed(seed)
+        .with_k_strategy(KStrategy::WeakDiagonalFd);
     vec![
         Box::new(FdRepair::new(fds.clone())),
-        Box::new(MissForest::new(MissForestConfig { seed, ..Default::default() })),
+        Box::new(MissForest::new(MissForestConfig {
+            seed,
+            ..Default::default()
+        })),
         Box::new(MissForest::funforest(
-            MissForestConfig { seed, ..Default::default() },
+            MissForestConfig {
+                seed,
+                ..Default::default()
+            },
             fds.clone(),
         )),
         Box::new(Grimp::with_fds(grimp_a, fds.clone())),
@@ -213,14 +264,24 @@ pub fn tab3_algorithms(profile: Profile, seed: u64, fds: &FdSet) -> Vec<Box<dyn 
 
 /// The Fig. 10 ablation roster: GRIMP-MT (full), GNN-MC, EmbDI-MC.
 pub fn fig10_algorithms(profile: Profile, seed: u64) -> Vec<(String, Box<dyn Imputer>)> {
-    let base = profile.grimp_config().with_seed(seed).with_features(FeatureSource::Embdi);
+    let base = profile
+        .grimp_config()
+        .with_seed(seed)
+        .with_features(FeatureSource::Embdi);
     let epochs = profile.baseline_epochs();
     vec![
-        ("GRIMP-MT".to_string(), Box::new(Grimp::new(base.clone())) as Box<dyn Imputer>),
+        (
+            "GRIMP-MT".to_string(),
+            Box::new(Grimp::new(base.clone())) as Box<dyn Imputer>,
+        ),
         ("GNN-MC".to_string(), Box::new(GnnMc::new(base))),
         (
             "EmbDI-MC".to_string(),
-            Box::new(EmbdiMc::new(EmbdiMcConfig { epochs, seed, ..Default::default() })),
+            Box::new(EmbdiMc::new(EmbdiMcConfig {
+                epochs,
+                seed,
+                ..Default::default()
+            })),
         ),
     ]
 }
@@ -269,7 +330,10 @@ pub struct TablePrinter {
 impl TablePrinter {
     /// New table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        TablePrinter { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TablePrinter {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append one row (must match the header width).

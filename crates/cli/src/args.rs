@@ -62,7 +62,8 @@ impl Args {
 
     /// Required positional argument `i`.
     pub fn require_positional(&self, i: usize, what: &str) -> Result<&str, ArgError> {
-        self.positional(i).ok_or_else(|| ArgError(format!("missing {what}")))
+        self.positional(i)
+            .ok_or_else(|| ArgError(format!("missing {what}")))
     }
 
     /// Number of positional arguments.
@@ -111,8 +112,11 @@ mod tests {
 
     #[test]
     fn parses_positionals_options_and_flags() {
-        let a = Args::parse(&raw(&["in.csv", "--rate", "0.2", "--quiet", "--out=o.csv"]), &["quiet"])
-            .unwrap();
+        let a = Args::parse(
+            &raw(&["in.csv", "--rate", "0.2", "--quiet", "--out=o.csv"]),
+            &["quiet"],
+        )
+        .unwrap();
         assert_eq!(a.positional(0), Some("in.csv"));
         assert_eq!(a.opt("rate"), Some("0.2"));
         assert_eq!(a.opt("out"), Some("o.csv"));

@@ -8,18 +8,15 @@ use rand::SeedableRng;
 
 use grimp::{Grimp, GrimpConfig};
 use grimp_baselines::{
-    AimNetConfig, AimNetLike, DataWigConfig, DataWigLike, EmbdiMc, EmbdiMcConfig, Gain,
-    GainConfig, KnnImputer,
-    MeanMode, Mice, MiceConfig, Mida, MidaConfig, MissForest, MissForestConfig, TurlConfig,
-    TurlSub,
+    AimNetConfig, AimNetLike, DataWigConfig, DataWigLike, EmbdiMc, EmbdiMcConfig, Gain, GainConfig,
+    KnnImputer, MeanMode, Mice, MiceConfig, Mida, MidaConfig, MissForest, MissForestConfig,
+    TurlConfig, TurlSub,
 };
 use grimp_datasets::{generate, DatasetId};
 use grimp_graph::FeatureSource;
 use grimp_metrics::{dataset_stats, evaluate};
 use grimp_table::csv::{read_csv, write_csv};
-use grimp_table::{
-    inject_mcar, inject_mnar, CorruptionLog, Imputer, InjectedCell, Table, Value,
-};
+use grimp_table::{inject_mcar, inject_mnar, CorruptionLog, Imputer, InjectedCell, Table, Value};
 
 use crate::args::{ArgError, Args};
 
@@ -89,22 +86,55 @@ fn save(table: &Table, path: Option<&str>, out: &mut dyn Write) -> Result<(), Cl
 }
 
 fn build_imputer(name: &str, seed: u64, paper: bool) -> Result<Box<dyn Imputer>, CliError> {
-    let grimp_cfg = if paper { GrimpConfig::paper() } else { GrimpConfig::fast() }.with_seed(seed);
+    let grimp_cfg = if paper {
+        GrimpConfig::paper()
+    } else {
+        GrimpConfig::fast()
+    }
+    .with_seed(seed);
     Ok(match name {
         "grimp" => Box::new(Grimp::new(grimp_cfg)),
         "grimp-e" => Box::new(Grimp::new(grimp_cfg.with_features(FeatureSource::Embdi))),
         "grimp-linear" => Box::new(Grimp::new(grimp_cfg.with_linear_tasks())),
-        "missforest" => Box::new(MissForest::new(MissForestConfig { seed, ..Default::default() })),
-        "aimnet" => Box::new(AimNetLike::new(AimNetConfig { seed, ..Default::default() })),
-        "turl" => Box::new(TurlSub::new(TurlConfig { seed, ..Default::default() })),
-        "embdi-mc" => Box::new(EmbdiMc::new(EmbdiMcConfig { seed, ..Default::default() })),
-        "datawig" => Box::new(DataWigLike::new(DataWigConfig { seed, ..Default::default() })),
-        "mice" => Box::new(Mice::new(MiceConfig { seed, ..Default::default() })),
-        "mida" => Box::new(Mida::new(MidaConfig { seed, ..Default::default() })),
-        "gain" => Box::new(Gain::new(GainConfig { seed, ..Default::default() })),
+        "missforest" => Box::new(MissForest::new(MissForestConfig {
+            seed,
+            ..Default::default()
+        })),
+        "aimnet" => Box::new(AimNetLike::new(AimNetConfig {
+            seed,
+            ..Default::default()
+        })),
+        "turl" => Box::new(TurlSub::new(TurlConfig {
+            seed,
+            ..Default::default()
+        })),
+        "embdi-mc" => Box::new(EmbdiMc::new(EmbdiMcConfig {
+            seed,
+            ..Default::default()
+        })),
+        "datawig" => Box::new(DataWigLike::new(DataWigConfig {
+            seed,
+            ..Default::default()
+        })),
+        "mice" => Box::new(Mice::new(MiceConfig {
+            seed,
+            ..Default::default()
+        })),
+        "mida" => Box::new(Mida::new(MidaConfig {
+            seed,
+            ..Default::default()
+        })),
+        "gain" => Box::new(Gain::new(GainConfig {
+            seed,
+            ..Default::default()
+        })),
         "knn" => Box::new(KnnImputer::new(5)),
         "meanmode" => Box::new(MeanMode),
-        other => return Err(CliError(format!("unknown algorithm {other:?} (see `grimp help`)"))),
+        other => {
+            return Err(CliError(format!(
+                "unknown algorithm {other:?} (see `grimp help`)"
+            )))
+        }
     })
 }
 
@@ -126,7 +156,12 @@ fn cmd_impute(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     )?;
     let start = std::time::Instant::now();
     let imputed = algo.impute(&table);
-    writeln!(out, "done in {:.2}s; {} cells remain missing", start.elapsed().as_secs_f64(), imputed.n_missing())?;
+    writeln!(
+        out,
+        "done in {:.2}s; {} cells remain missing",
+        start.elapsed().as_secs_f64(),
+        imputed.n_missing()
+    )?;
     save(&imputed, args.opt("o"), out)
 }
 
@@ -142,7 +177,12 @@ fn cmd_corrupt(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "mnar" => inject_mnar(&mut table, rate, &mut rng),
         other => return Err(CliError(format!("unknown mechanism {other:?} (mcar|mnar)"))),
     };
-    writeln!(out, "blanked {} cells ({:.1}% of table)", log.len(), 100.0 * table.missing_fraction())?;
+    writeln!(
+        out,
+        "blanked {} cells ({:.1}% of table)",
+        log.len(),
+        100.0 * table.missing_fraction()
+    )?;
     if let Some(truth_path) = args.opt("truth") {
         let mut w = BufWriter::new(
             File::create(truth_path).map_err(|e| CliError(format!("{truth_path}: {e}")))?,
@@ -166,24 +206,43 @@ fn truth_text(table: &Table, cell: &InjectedCell) -> String {
 
 fn cmd_evaluate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     args.check_known(&["clean", "dirty", "imputed"])?;
-    let clean = load(args.opt("clean").ok_or(CliError("--clean required".into()))?)?;
-    let dirty = load(args.opt("dirty").ok_or(CliError("--dirty required".into()))?)?;
-    let imputed = load(args.opt("imputed").ok_or(CliError("--imputed required".into()))?)?;
+    let clean = load(
+        args.opt("clean")
+            .ok_or(CliError("--clean required".into()))?,
+    )?;
+    let dirty = load(
+        args.opt("dirty")
+            .ok_or(CliError("--dirty required".into()))?,
+    )?;
+    let imputed = load(
+        args.opt("imputed")
+            .ok_or(CliError("--imputed required".into()))?,
+    )?;
     if clean.n_rows() != dirty.n_rows() || clean.n_columns() != dirty.n_columns() {
-        return Err(CliError("clean and dirty tables have different shapes".into()));
+        return Err(CliError(
+            "clean and dirty tables have different shapes".into(),
+        ));
     }
     // reconstruct the corruption log: cells missing in dirty, present in clean
     let mut log = CorruptionLog::default();
     for (i, j) in dirty.missing_cells() {
         let truth = clean.get(i, j);
         if !truth.is_null() {
-            log.cells.push(InjectedCell { row: i, col: j, truth });
+            log.cells.push(InjectedCell {
+                row: i,
+                col: j,
+                truth,
+            });
         }
     }
     let result = evaluate(&clean, &imputed, &log);
     writeln!(out, "test cells: {}", log.len())?;
     match result.accuracy() {
-        Some(a) => writeln!(out, "categorical accuracy: {a:.4} ({}/{})", result.cat_correct, result.cat_total)?,
+        Some(a) => writeln!(
+            out,
+            "categorical accuracy: {a:.4} ({}/{})",
+            result.cat_correct, result.cat_total
+        )?,
         None => writeln!(out, "categorical accuracy: n/a")?,
     }
     match result.rmse() {
@@ -191,7 +250,11 @@ fn cmd_evaluate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         None => writeln!(out, "numerical RMSE: n/a")?,
     }
     if result.left_missing > 0 {
-        writeln!(out, "warning: {} cells left missing by the imputer", result.left_missing)?;
+        writeln!(
+            out,
+            "warning: {} cells left missing by the imputer",
+            result.left_missing
+        )?;
     }
     Ok(())
 }
@@ -202,9 +265,18 @@ fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let table = load(input)?;
     let s = dataset_stats(&table);
     writeln!(out, "rows:              {}", s.rows)?;
-    writeln!(out, "columns:           {} ({} categorical, {} numerical)", s.cols, s.n_cat, s.n_num)?;
+    writeln!(
+        out,
+        "columns:           {} ({} categorical, {} numerical)",
+        s.cols, s.n_cat, s.n_num
+    )?;
     writeln!(out, "distinct values:   {}", s.distinct)?;
-    writeln!(out, "missing cells:     {} ({:.1}%)", table.n_missing(), 100.0 * table.missing_fraction())?;
+    writeln!(
+        out,
+        "missing cells:     {} ({:.1}%)",
+        table.n_missing(),
+        100.0 * table.missing_fraction()
+    )?;
     writeln!(out, "S_avg (skewness):  {:.2}", s.s_avg)?;
     writeln!(out, "K_avg (kurtosis):  {:.2}", s.k_avg)?;
     writeln!(out, "F+_avg:            {:.2}", s.f_plus_avg)?;
@@ -218,10 +290,21 @@ fn cmd_generate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let id = DatasetId::ALL
         .into_iter()
         .find(|id| id.abbr().eq_ignore_ascii_case(abbr))
-        .ok_or_else(|| CliError(format!("unknown dataset {abbr:?} (AD AU CO CR FL IM MM TA TH TT)")))?;
+        .ok_or_else(|| {
+            CliError(format!(
+                "unknown dataset {abbr:?} (AD AU CO CR FL IM MM TA TH TT)"
+            ))
+        })?;
     let seed = args.opt_parse("seed", 0u64)?;
     let d = generate(id, seed);
-    writeln!(out, "{}: {} rows, {} columns, {} FDs", d.name, d.table.n_rows(), d.table.n_columns(), d.fds.len())?;
+    writeln!(
+        out,
+        "{}: {} rows, {} columns, {} FDs",
+        d.name,
+        d.table.n_rows(),
+        d.table.n_columns(),
+        d.fds.len()
+    )?;
     save(&d.table, args.opt("o"), out)
 }
 
@@ -243,7 +326,9 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> i32 {
             write!(out, "{USAGE}")?;
             Ok(())
         }
-        other => Err(CliError(format!("unknown command {other:?} (see `grimp help`)"))),
+        other => Err(CliError(format!(
+            "unknown command {other:?} (see `grimp help`)"
+        ))),
     })();
     match result {
         Ok(()) => 0,
@@ -299,8 +384,14 @@ mod tests {
         let dirty = dir.join("dirty.csv");
         let imputed = dir.join("imputed.csv");
 
-        let (code, out) =
-            run_str(&["generate", "MM", "--seed", "1", "-o", clean.to_str().unwrap()]);
+        let (code, out) = run_str(&[
+            "generate",
+            "MM",
+            "--seed",
+            "1",
+            "-o",
+            clean.to_str().unwrap(),
+        ]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("Mammogram"));
 

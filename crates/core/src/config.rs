@@ -73,6 +73,11 @@ pub struct GrimpConfig {
     pub max_train_samples_per_task: Option<usize>,
     /// Seed for every stochastic component.
     pub seed: u64,
+    /// Run the pre-optimization training hot path (reference GEMM kernels,
+    /// fresh allocation per ephemeral tensor, per-epoch feature clone).
+    /// Only useful as a benchmarking baseline; results are numerically
+    /// equivalent.
+    pub legacy_hot_path: bool,
 }
 
 impl Default for GrimpConfig {
@@ -91,7 +96,11 @@ impl GrimpConfig {
             feature_dim: 32,
             graph: GraphConfig::default(),
             embdi: EmbdiConfig::default(),
-            gnn: GnnConfig { layers: 2, hidden: 64, ..Default::default() },
+            gnn: GnnConfig {
+                layers: 2,
+                hidden: 64,
+                ..Default::default()
+            },
             merge_hidden: 128,
             embed_dim: 64,
             task_kind: TaskKind::Attention,
@@ -103,6 +112,7 @@ impl GrimpConfig {
             validation_fraction: 0.2,
             max_train_samples_per_task: None,
             seed: 0,
+            legacy_hot_path: false,
         }
     }
 
@@ -112,7 +122,11 @@ impl GrimpConfig {
     pub fn fast() -> Self {
         GrimpConfig {
             feature_dim: 32,
-            gnn: GnnConfig { layers: 2, hidden: 48, ..Default::default() },
+            gnn: GnnConfig {
+                layers: 2,
+                hidden: 48,
+                ..Default::default()
+            },
             merge_hidden: 96,
             embed_dim: 48,
             max_epochs: 100,

@@ -45,7 +45,12 @@ pub struct FederatedConfig {
 
 impl Default for FederatedConfig {
     fn default() -> Self {
-        FederatedConfig { parties: 3, rounds: 8, local_epochs: 5, base: GrimpConfig::fast() }
+        FederatedConfig {
+            parties: 3,
+            rounds: 8,
+            local_epochs: 5,
+            base: GrimpConfig::fast(),
+        }
     }
 }
 
@@ -105,7 +110,11 @@ impl FederatedGrimp {
     /// A federated coordinator without FDs.
     pub fn new(config: FederatedConfig) -> Self {
         assert!(config.parties >= 2, "federation needs at least two parties");
-        FederatedGrimp { config, fds: FdSet::empty(), last_report: None }
+        FederatedGrimp {
+            config,
+            fds: FdSet::empty(),
+            last_report: None,
+        }
     }
 
     /// The report of the most recent run.
@@ -130,16 +139,21 @@ impl FederatedGrimp {
             let rows: Vec<usize> = (p..norm.n_rows()).step_by(cfg.parties).collect();
             let mut shard = empty_with_dictionaries(&norm);
             for &i in &rows {
-                let row: Vec<Value> =
-                    (0..norm.n_columns()).map(|j| norm.get(i, j)).collect();
+                let row: Vec<Value> = (0..norm.n_columns()).map(|j| norm.get(i, j)).collect();
                 shard.push_value_row(&row);
             }
             // identical seeds → identical initial weights on every party
             let mut rng = StdRng::seed_from_u64(base.seed);
             let corpus = Corpus::build(&shard, 0.0, &mut rng);
             let graph = TableGraph::build(&shard, base.graph, &[]);
-            let features =
-                build_features(&graph, &shard, base.features, base.feature_dim, &base.embdi, &mut rng);
+            let features = build_features(
+                &graph,
+                &shard,
+                base.features,
+                base.feature_dim,
+                &base.embdi,
+                &mut rng,
+            );
             let feature_tensor = Tensor::from_vec(
                 graph.n_nodes(),
                 base.feature_dim,
@@ -187,7 +201,10 @@ impl FederatedGrimp {
                     let batch = VectorBatch::build(&graph, &shard, &positions, base.embed_dim);
                     let labels = match shard.schema().column(j).kind {
                         ColumnKind::Categorical => Labels::Cat(Rc::new(
-                            samples.iter().map(|s| s.label.as_cat().expect("cat")).collect(),
+                            samples
+                                .iter()
+                                .map(|s| s.label.as_cat().expect("cat"))
+                                .collect(),
                         )),
                         ColumnKind::Numerical => Labels::Num(Rc::new(
                             samples
@@ -267,7 +284,9 @@ impl Party {
         let h = self.merge.forward(&mut self.tape, h0);
         let mut losses = Vec::new();
         for (task, entry) in self.tasks.iter().zip(&self.batches) {
-            let Some((batch, labels)) = entry else { continue };
+            let Some((batch, labels)) = entry else {
+                continue;
+            };
             let out = task.forward(&mut self.tape, h, batch);
             let loss = match labels {
                 Labels::Cat(t) => match base.categorical_loss {
@@ -381,7 +400,11 @@ mod tests {
             local_epochs: 4,
             base: GrimpConfig {
                 feature_dim: 8,
-                gnn: grimp_gnn::GnnConfig { layers: 1, hidden: 8, ..Default::default() },
+                gnn: grimp_gnn::GnnConfig {
+                    layers: 1,
+                    hidden: 8,
+                    ..Default::default()
+                },
                 merge_hidden: 16,
                 embed_dim: 8,
                 lr: 2e-2,
@@ -421,7 +444,7 @@ mod tests {
     fn shards_partition_all_rows() {
         let clean = functional_table(20);
         let cfg = fed_config();
-        let mut seen = vec![false; 20];
+        let mut seen = [false; 20];
         for p in 0..cfg.parties {
             for i in (p..20).step_by(cfg.parties) {
                 assert!(!seen[i], "row {i} in two shards");
@@ -435,7 +458,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two parties")]
     fn single_party_is_rejected() {
-        FederatedGrimp::new(FederatedConfig { parties: 1, ..fed_config() });
+        FederatedGrimp::new(FederatedConfig {
+            parties: 1,
+            ..fed_config()
+        });
     }
 
     #[test]

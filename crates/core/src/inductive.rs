@@ -68,12 +68,17 @@ impl TrainedGrimp {
         normalizer.apply(&mut norm);
 
         let corpus = Corpus::build(&norm, config.validation_fraction, &mut rng);
-        let excluded: Vec<(usize, usize)> =
-            corpus.validation_flat().map(|s| (s.row, s.target_col)).collect();
+        let excluded: Vec<(usize, usize)> = corpus
+            .validation_flat()
+            .map(|s| (s.row, s.target_col))
+            .collect();
         let graph = TableGraph::build(&norm, config.graph, &excluded);
         let features = fasttext_features(&graph, config.feature_dim, ft_seed);
-        let feature_tensor =
-            Tensor::from_vec(graph.n_nodes(), config.feature_dim, features.node_matrix.clone());
+        let feature_tensor = Tensor::from_vec(
+            graph.n_nodes(),
+            config.feature_dim,
+            features.node_matrix.clone(),
+        );
 
         let n_cols = norm.n_columns();
         let mut tape = Tape::new();
@@ -137,7 +142,10 @@ impl TrainedGrimp {
                     let batch = VectorBatch::build(&graph, &norm, &positions, config.embed_dim);
                     let labels = match norm.schema().column(j).kind {
                         ColumnKind::Categorical => L::Cat(Rc::new(
-                            samples.iter().map(|s| s.label.as_cat().expect("cat")).collect(),
+                            samples
+                                .iter()
+                                .map(|s| s.label.as_cat().expect("cat"))
+                                .collect(),
                         )),
                         ColumnKind::Numerical => L::Num(Rc::new(
                             samples
@@ -153,7 +161,10 @@ impl TrainedGrimp {
         let train_batches = build(&corpus.train, config.max_train_samples_per_task, &mut rng);
         let val_batches = build(&corpus.validation, None, &mut rng);
 
-        let mut report = TrainReport { n_weights, ..Default::default() };
+        let mut report = TrainReport {
+            n_weights,
+            ..Default::default()
+        };
         let mut best_val = f32::INFINITY;
         let mut since_best = 0usize;
         for _epoch in 0..config.max_epochs {
@@ -162,7 +173,9 @@ impl TrainedGrimp {
             let h = merge.forward(&mut tape, h0);
             let mut losses = Vec::new();
             for (task, entry) in tasks.iter().zip(&train_batches) {
-                let Some((batch, labels)) = entry else { continue };
+                let Some((batch, labels)) = entry else {
+                    continue;
+                };
                 let out = task.forward(&mut tape, h, batch);
                 let loss = match labels {
                     L::Cat(t) => match config.categorical_loss {
@@ -177,7 +190,9 @@ impl TrainedGrimp {
             }
             let mut val_total = 0.0f32;
             for (task, entry) in tasks.iter().zip(&val_batches) {
-                let Some((batch, labels)) = entry else { continue };
+                let Some((batch, labels)) = entry else {
+                    continue;
+                };
                 let out = task.forward(&mut tape, h, batch);
                 let loss = match labels {
                     L::Cat(t) => tape.softmax_cross_entropy(out, Rc::clone(t)),
@@ -250,14 +265,21 @@ impl TrainedGrimp {
         table: &Table,
         max_samples: usize,
     ) -> Vec<Option<Vec<f32>>> {
-        assert_eq!(table.schema(), &self.schema, "schema must match the training schema");
+        assert_eq!(
+            table.schema(),
+            &self.schema,
+            "schema must match the training schema"
+        );
         let mut norm = table.clone();
         self.normalizer.apply(&mut norm);
         let graph = TableGraph::build(&norm, self.config.graph, &[]);
         self.gnn.rebind(&graph);
         let features = fasttext_features(&graph, self.config.feature_dim, self.ft_seed);
-        let feature_tensor =
-            Tensor::from_vec(graph.n_nodes(), self.config.feature_dim, features.node_matrix);
+        let feature_tensor = Tensor::from_vec(
+            graph.n_nodes(),
+            self.config.feature_dim,
+            features.node_matrix,
+        );
         let x = self.tape.input(feature_tensor);
         let h0 = self.gnn.forward(&mut self.tape, x);
         let h = self.merge.forward(&mut self.tape, h0);
@@ -299,22 +321,31 @@ impl TrainedGrimp {
     /// # Panics
     /// Panics when the table's schema differs from the training schema.
     pub fn impute_table(&mut self, table: &Table) -> Table {
-        assert_eq!(table.schema(), &self.schema, "schema must match the training schema");
+        assert_eq!(
+            table.schema(),
+            &self.schema,
+            "schema must match the training schema"
+        );
         let mut norm = table.clone();
         self.normalizer.apply(&mut norm);
         let graph = TableGraph::build(&norm, self.config.graph, &[]);
         self.gnn.rebind(&graph);
         let features = fasttext_features(&graph, self.config.feature_dim, self.ft_seed);
-        let feature_tensor =
-            Tensor::from_vec(graph.n_nodes(), self.config.feature_dim, features.node_matrix);
+        let feature_tensor = Tensor::from_vec(
+            graph.n_nodes(),
+            self.config.feature_dim,
+            features.node_matrix,
+        );
 
         let mut result = table.clone();
         let x = self.tape.input(feature_tensor);
         let h0 = self.gnn.forward(&mut self.tape, x);
         let h = self.merge.forward(&mut self.tape, h0);
         for j in 0..norm.n_columns() {
-            let missing: Vec<(usize, usize)> =
-                (0..norm.n_rows()).filter(|&i| norm.is_missing(i, j)).map(|i| (i, j)).collect();
+            let missing: Vec<(usize, usize)> = (0..norm.n_rows())
+                .filter(|&i| norm.is_missing(i, j))
+                .map(|i| (i, j))
+                .collect();
             if missing.is_empty() {
                 continue;
             }
@@ -385,7 +416,11 @@ mod tests {
     fn cfg() -> GrimpConfig {
         GrimpConfig {
             feature_dim: 16,
-            gnn: grimp_gnn::GnnConfig { layers: 2, hidden: 16, ..Default::default() },
+            gnn: grimp_gnn::GnnConfig {
+                layers: 2,
+                hidden: 16,
+                ..Default::default()
+            },
             merge_hidden: 32,
             embed_dim: 16,
             max_epochs: 60,
@@ -406,7 +441,10 @@ mod tests {
         let imputed = model.impute_table(&dirty);
         check_imputation_contract(&dirty, &imputed).unwrap();
         let cat: Vec<_> = log.cells.iter().filter(|c| c.col < 2).collect();
-        let correct = cat.iter().filter(|c| imputed.get(c.row, c.col) == c.truth).count();
+        let correct = cat
+            .iter()
+            .filter(|c| imputed.get(c.row, c.col) == c.truth)
+            .count();
         assert!(correct as f64 / cat.len().max(1) as f64 > 0.5);
     }
 
@@ -458,7 +496,11 @@ mod tests {
             let p = profile.as_ref().expect("attention tasks");
             let sum: f32 = p.iter().sum();
             assert!((sum - 1.0).abs() < 1e-3, "task {j} attention sums to {sum}");
-            assert!(p[j] < 0.05, "task {j} attends to its own masked slot: {}", p[j]);
+            assert!(
+                p[j] < 0.05,
+                "task {j} attends to its own masked slot: {}",
+                p[j]
+            );
         }
     }
 

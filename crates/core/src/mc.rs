@@ -47,7 +47,11 @@ impl GlobalDomain {
             total += col_keys.len();
             keys.push(col_keys);
         }
-        GlobalDomain { keys, offsets, total }
+        GlobalDomain {
+            keys,
+            offsets,
+            total,
+        }
     }
 
     /// Total number of global classes.
@@ -84,7 +88,10 @@ impl GnnMc {
     /// A GNN-MC model. Only the shared-layer fields of the config are used
     /// (task kind / K strategy do not apply).
     pub fn new(config: GrimpConfig) -> Self {
-        GnnMc { config, last_report: None }
+        GnnMc {
+            config,
+            last_report: None,
+        }
     }
 
     /// The report of the most recent run.
@@ -103,23 +110,41 @@ impl GnnMc {
         normalizer.apply(&mut norm);
 
         let corpus = Corpus::build(&norm, cfg.validation_fraction, &mut rng);
-        let excluded: Vec<(usize, usize)> =
-            corpus.validation_flat().map(|s| (s.row, s.target_col)).collect();
+        let excluded: Vec<(usize, usize)> = corpus
+            .validation_flat()
+            .map(|s| (s.row, s.target_col))
+            .collect();
         let graph = TableGraph::build(&norm, cfg.graph, &excluded);
         let domain = GlobalDomain::build(&graph);
-        let features =
-            build_features(&graph, &norm, cfg.features, cfg.feature_dim, &cfg.embdi, &mut rng);
-        let feature_tensor =
-            Tensor::from_vec(graph.n_nodes(), cfg.feature_dim, features.node_matrix.clone());
+        let features = build_features(
+            &graph,
+            &norm,
+            cfg.features,
+            cfg.feature_dim,
+            &cfg.embdi,
+            &mut rng,
+        );
+        let feature_tensor = Tensor::from_vec(
+            graph.n_nodes(),
+            cfg.feature_dim,
+            features.node_matrix.clone(),
+        );
 
         let n_cols = norm.n_columns();
         let mut tape = Tape::new();
         let gnn = HeteroSage::new(&mut tape, &graph, cfg.feature_dim, cfg.gnn, &mut rng);
-        let merge =
-            Mlp::new(&mut tape, &[cfg.gnn.hidden, cfg.merge_hidden, cfg.embed_dim], &mut rng);
+        let merge = Mlp::new(
+            &mut tape,
+            &[cfg.gnn.hidden, cfg.merge_hidden, cfg.embed_dim],
+            &mut rng,
+        );
         let classifier = Mlp::new(
             &mut tape,
-            &[n_cols * cfg.embed_dim, cfg.merge_hidden, domain.n_classes().max(1)],
+            &[
+                n_cols * cfg.embed_dim,
+                cfg.merge_hidden,
+                domain.n_classes().max(1),
+            ],
             &mut rng,
         );
         tape.freeze();
@@ -160,7 +185,10 @@ impl GnnMc {
         let train_labels = Rc::new(train_labels);
         let val_labels = Rc::new(val_labels);
 
-        let mut report = TrainReport { n_weights, ..Default::default() };
+        let mut report = TrainReport {
+            n_weights,
+            ..Default::default()
+        };
         let mut best_val = f32::INFINITY;
         let mut since_best = 0usize;
         if !train_batch.is_empty() && domain.n_classes() > 0 {
@@ -271,7 +299,11 @@ mod tests {
         GrimpConfig {
             features: FeatureSource::FastText,
             feature_dim: 16,
-            gnn: grimp_gnn::GnnConfig { layers: 2, hidden: 16, ..Default::default() },
+            gnn: grimp_gnn::GnnConfig {
+                layers: 2,
+                hidden: 16,
+                ..Default::default()
+            },
             merge_hidden: 32,
             embed_dim: 16,
             max_epochs: 60,
@@ -342,7 +374,10 @@ mod tests {
         let imputed = model.fit_impute(&dirty);
         for (i, j) in dirty.missing_cells() {
             let v = imputed.display(i, j);
-            assert!(v.starts_with(if j == 0 { "a" } else { "b" }), "leaked value {v} into col {j}");
+            assert!(
+                v.starts_with(if j == 0 { "a" } else { "b" }),
+                "leaked value {v} into col {j}"
+            );
         }
     }
 }

@@ -31,6 +31,15 @@ pub struct TrainReport {
     pub early_stopped: bool,
     /// Wall-clock seconds of the whole fit+impute.
     pub seconds: f64,
+    /// Wall-clock seconds spent in forward passes (training epochs only).
+    pub forward_s: f64,
+    /// Wall-clock seconds spent in backward passes.
+    pub backward_s: f64,
+    /// Wall-clock seconds spent in the optimizer step plus tape reset.
+    pub optim_s: f64,
+    /// Per-epoch workspace allocation counts (tape buffer-pool misses that
+    /// epoch). With the optimized hot path every entry after the first is 0.
+    pub epoch_allocs: Vec<u64>,
     /// Scalar parameters actually allocated on the tape.
     pub n_weights: usize,
 }
@@ -57,14 +66,22 @@ struct TaskBatch {
 impl Grimp {
     /// A GRIMP model with no FDs.
     pub fn new(config: GrimpConfig) -> Self {
-        Grimp { config, fds: FdSet::empty(), last_report: None }
+        Grimp {
+            config,
+            fds: FdSet::empty(),
+            last_report: None,
+        }
     }
 
     /// A GRIMP model that exploits the given FDs in its attention `K`
     /// matrices (GRIMP-A of §4.3; pair with
     /// [`crate::config::KStrategy::WeakDiagonalFd`]).
     pub fn with_fds(config: GrimpConfig, fds: FdSet) -> Self {
-        Grimp { config, fds, last_report: None }
+        Grimp {
+            config,
+            fds,
+            last_report: None,
+        }
     }
 
     /// The report of the most recent [`Grimp::fit_impute`] call.
@@ -92,24 +109,33 @@ impl Grimp {
 
         // Training corpus and validation holdout (§3.3, §3.6).
         let corpus = Corpus::build(&norm, cfg.validation_fraction, &mut rng);
-        let excluded: Vec<(usize, usize)> =
-            corpus.validation_flat().map(|s| (s.row, s.target_col)).collect();
+        let excluded: Vec<(usize, usize)> = corpus
+            .validation_flat()
+            .map(|s| (s.row, s.target_col))
+            .collect();
 
         // Graph without validation edges (§3.6) — test cells are already ∅.
         let graph = TableGraph::build(&norm, cfg.graph, &excluded);
-        let features =
-            build_features(&graph, &norm, cfg.features, cfg.feature_dim, &cfg.embdi, &mut rng);
-        let feature_tensor = Tensor::from_vec(
-            graph.n_nodes(),
+        let features = build_features(
+            &graph,
+            &norm,
+            cfg.features,
             cfg.feature_dim,
-            features.node_matrix.clone(),
+            &cfg.embdi,
+            &mut rng,
         );
+        let feature_tensor =
+            Tensor::from_vec(graph.n_nodes(), cfg.feature_dim, features.node_matrix);
 
         // Shared layer: HeteroGNN + two-linear-layer merge (§3.5).
         let mut tape = Tape::new();
+        tape.set_legacy_mode(cfg.legacy_hot_path);
         let gnn = HeteroSage::new(&mut tape, &graph, cfg.feature_dim, cfg.gnn, &mut rng);
-        let merge =
-            Mlp::new(&mut tape, &[cfg.gnn.hidden, cfg.merge_hidden, cfg.embed_dim], &mut rng);
+        let merge = Mlp::new(
+            &mut tape,
+            &[cfg.gnn.hidden, cfg.merge_hidden, cfg.embed_dim],
+            &mut rng,
+        );
 
         // Task-specific layer: one head per attribute.
         let n_cols = norm.n_columns();
@@ -119,7 +145,12 @@ impl Grimp {
                     ColumnKind::Categorical => norm.dictionary(j).len().max(1),
                     ColumnKind::Numerical => 1,
                 };
-                let q_init = Some(attribute_q_init(&features.attribute_matrix, features.dim, n_cols, cfg.embed_dim));
+                let q_init = Some(attribute_q_init(
+                    &features.attribute_matrix,
+                    features.dim,
+                    n_cols,
+                    cfg.embed_dim,
+                ));
                 Task::new(
                     &mut tape,
                     cfg.task_kind,
@@ -135,6 +166,12 @@ impl Grimp {
                 )
             })
             .collect();
+        // Optimized hot path: register the node features once as a
+        // persistent input that survives every reset. The legacy path keeps
+        // the tensor around and re-clones it onto the tape each epoch.
+        let mut feature_tensor = Some(feature_tensor);
+        let persistent_x = (!cfg.legacy_hot_path)
+            .then(|| tape.input(feature_tensor.take().expect("features not yet consumed")));
         tape.freeze();
         let n_weights = tape.total_param_elems();
         let mut adam = Adam::new(cfg.lr);
@@ -148,19 +185,39 @@ impl Grimp {
             cfg.max_train_samples_per_task,
             &mut rng,
         );
-        let val_batches =
-            build_task_batches(&graph, &norm, &corpus.validation, cfg.embed_dim, None, &mut rng);
+        let val_batches = build_task_batches(
+            &graph,
+            &norm,
+            &corpus.validation,
+            cfg.embed_dim,
+            None,
+            &mut rng,
+        );
 
         // Training loop with early stopping on validation loss.
-        let mut report = TrainReport { n_weights, ..Default::default() };
+        let mut report = TrainReport {
+            n_weights,
+            ..Default::default()
+        };
         let mut best_val = f32::INFINITY;
         let mut since_best = 0usize;
+        let mut train_losses: Vec<Var> = Vec::new();
         for _epoch in 0..cfg.max_epochs {
-            let x = tape.input(feature_tensor.clone());
+            let misses_before = tape.workspace_stats().misses;
+            let forward_start = Instant::now();
+            let x = match persistent_x {
+                Some(x) => x,
+                None => tape.input(
+                    feature_tensor
+                        .as_ref()
+                        .expect("legacy path keeps features")
+                        .clone(),
+                ),
+            };
             let h0 = gnn.forward(&mut tape, x);
             let h = merge.forward(&mut tape, h0);
 
-            let mut train_losses: Vec<Var> = Vec::new();
+            train_losses.clear();
             for (task, tb) in tasks.iter().zip(&train_batches) {
                 if let Some(tb) = tb {
                     train_losses.push(task_loss(&mut tape, task, h, tb, cfg.categorical_loss));
@@ -179,9 +236,19 @@ impl Grimp {
             }
             let total = tape.add_n(&train_losses);
             let train_total = tape.value(total).item();
+            report.forward_s += forward_start.elapsed().as_secs_f64();
+
+            let backward_start = Instant::now();
             tape.backward(total);
+            report.backward_s += backward_start.elapsed().as_secs_f64();
+
+            let optim_start = Instant::now();
             adam.step(&mut tape);
             tape.reset();
+            report.optim_s += optim_start.elapsed().as_secs_f64();
+            report
+                .epoch_allocs
+                .push(tape.workspace_stats().misses - misses_before);
 
             report.epochs_run += 1;
             report.train_losses.push(train_total);
@@ -201,10 +268,13 @@ impl Grimp {
         // Imputation (§3.7): one forward pass, per-column argmax /
         // de-normalized regression.
         let mut result = dirty.clone();
-        let x = tape.input(feature_tensor.clone());
+        let x = match persistent_x {
+            Some(x) => x,
+            None => tape.input(feature_tensor.take().expect("legacy path keeps features")),
+        };
         let h0 = gnn.forward(&mut tape, x);
         let h = merge.forward(&mut tape, h0);
-        for j in 0..n_cols {
+        for (j, task) in tasks.iter().enumerate() {
             let missing: Vec<(usize, usize)> = (0..norm.n_rows())
                 .filter(|&i| norm.is_missing(i, j))
                 .map(|i| (i, j))
@@ -213,7 +283,7 @@ impl Grimp {
                 continue;
             }
             let batch = VectorBatch::build(&graph, &norm, &missing, cfg.embed_dim);
-            let out = tasks[j].forward(&mut tape, h, &batch);
+            let out = task.forward(&mut tape, h, &batch);
             let out_t = tape.value(out).clone();
             match norm.schema().column(j).kind {
                 ColumnKind::Categorical => {
@@ -369,7 +439,11 @@ mod tests {
         GrimpConfig {
             features: FeatureSource::FastText,
             feature_dim: 16,
-            gnn: grimp_gnn::GnnConfig { layers: 2, hidden: 16, ..Default::default() },
+            gnn: grimp_gnn::GnnConfig {
+                layers: 2,
+                hidden: 16,
+                ..Default::default()
+            },
             merge_hidden: 32,
             embed_dim: 16,
             task_kind: kind,
@@ -420,8 +494,10 @@ mod tests {
         let imputed = model.fit_impute(&dirty);
         check_imputation_contract(&dirty, &imputed).unwrap();
         let cat_cells: Vec<_> = log.cells.iter().filter(|c| c.col < 2).collect();
-        let correct =
-            cat_cells.iter().filter(|c| imputed.get(c.row, c.col) == c.truth).count();
+        let correct = cat_cells
+            .iter()
+            .filter(|c| imputed.get(c.row, c.col) == c.truth)
+            .count();
         assert!(correct as f64 / cat_cells.len().max(1) as f64 > 0.5);
     }
 
@@ -436,7 +512,10 @@ mod tests {
         for i in 0..imputed.n_rows() {
             if dirty.is_missing(i, 2) {
                 let v = imputed.get(i, 2).as_num().unwrap();
-                assert!((-30.0..60.0).contains(&v), "imputed numeric {v} out of range");
+                assert!(
+                    (-30.0..60.0).contains(&v),
+                    "imputed numeric {v} out of range"
+                );
             }
         }
     }
@@ -454,8 +533,14 @@ mod tests {
         let imputed = model.fit_impute(&dirty);
         check_imputation_contract(&dirty, &imputed).unwrap();
         let cat: Vec<_> = log.cells.iter().filter(|c| c.col < 2).collect();
-        let correct = cat.iter().filter(|c| imputed.get(c.row, c.col) == c.truth).count();
-        assert!(correct as f64 / cat.len().max(1) as f64 > 0.5, "focal-loss variant underperforms");
+        let correct = cat
+            .iter()
+            .filter(|c| imputed.get(c.row, c.col) == c.truth)
+            .count();
+        assert!(
+            correct as f64 / cat.len().max(1) as f64 > 0.5,
+            "focal-loss variant underperforms"
+        );
     }
 
     #[test]
@@ -474,11 +559,17 @@ mod tests {
 
     #[test]
     fn imputer_trait_names_variants() {
-        assert_eq!(Grimp::new(tiny_config(TaskKind::Attention)).name(), "GRIMP-FT");
+        assert_eq!(
+            Grimp::new(tiny_config(TaskKind::Attention)).name(),
+            "GRIMP-FT"
+        );
         assert_eq!(
             Grimp::new(tiny_config(TaskKind::Attention).with_features(FeatureSource::Embdi)).name(),
             "GRIMP-E"
         );
-        assert_eq!(Grimp::new(tiny_config(TaskKind::Linear)).name(), "GRIMP-linear");
+        assert_eq!(
+            Grimp::new(tiny_config(TaskKind::Linear)).name(),
+            "GRIMP-linear"
+        );
     }
 }

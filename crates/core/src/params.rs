@@ -30,7 +30,13 @@ pub struct ParamFormula {
 
 impl Default for ParamFormula {
     fn default() -> Self {
-        ParamFormula { l_gnn: 2, l_shared: 2, l_lin: 2, p_gnn: 64, p_lin: 128 }
+        ParamFormula {
+            l_gnn: 2,
+            l_shared: 2,
+            l_lin: 2,
+            p_gnn: 64,
+            p_lin: 128,
+        }
     }
 }
 
@@ -53,7 +59,11 @@ impl ParamFormula {
         let sigma_p_l = p_s + c * self.p_lin * self.l_lin;
         let p_w = self.p_lin * c;
         let sigma_p_a = p_s + c * c * c + c * c + 2 * p_w;
-        ParamCounts { p_s, sigma_p_l, sigma_p_a }
+        ParamCounts {
+            p_s,
+            sigma_p_l,
+            sigma_p_a,
+        }
     }
 }
 

@@ -22,12 +22,7 @@ pub use crate::config::TaskKind;
 
 /// Build the diagonal selection matrix `K` (`C × C`) for one task
 /// (paper Fig. 7).
-pub fn build_k_matrix(
-    strategy: KStrategy,
-    n_cols: usize,
-    target: usize,
-    fds: &FdSet,
-) -> Tensor {
+pub fn build_k_matrix(strategy: KStrategy, n_cols: usize, target: usize, fds: &FdSet) -> Tensor {
     let mut k = Tensor::zeros(n_cols, n_cols);
     match strategy {
         KStrategy::Diagonal => {
@@ -98,9 +93,9 @@ impl Task {
         rng: &mut impl Rng,
     ) -> Self {
         match kind {
-            TaskKind::Linear => {
-                Task::Linear { mlp: Mlp::new(tape, &[n_cols * dim, hidden, out_dim], rng) }
-            }
+            TaskKind::Linear => Task::Linear {
+                mlp: Mlp::new(tape, &[n_cols * dim, hidden, out_dim], rng),
+            },
             TaskKind::Attention => {
                 let q = match q_init {
                     Some(t) => {
@@ -122,7 +117,9 @@ impl Task {
     /// `None` for linear tasks. Used for introspection: high weight on a
     /// column means the task relies on it (e.g., an FD premise).
     pub fn attention_alpha(&self, tape: &mut Tape, h: Var, batch: &VectorBatch) -> Option<Var> {
-        let Task::Attention { q, k, .. } = self else { return None };
+        let Task::Attention { q, k, .. } = self else {
+            return None;
+        };
         let v = tape.gather_rows(h, Rc::clone(&batch.idx));
         let mask = tape.input(batch.mask.clone());
         let v = tape.mul_elem(v, mask);

@@ -37,7 +37,10 @@ pub struct TunerConfig {
 
 impl Default for TunerConfig {
     fn default() -> Self {
-        TunerConfig { probe_epochs: 25, probe_patience: 6 }
+        TunerConfig {
+            probe_epochs: 25,
+            probe_patience: 6,
+        }
     }
 }
 
@@ -53,7 +56,10 @@ pub fn select_config(
     candidates: &[(String, GrimpConfig)],
     tuner: TunerConfig,
 ) -> (GrimpConfig, Vec<ProbeResult>) {
-    assert!(!candidates.is_empty(), "need at least one candidate configuration");
+    assert!(
+        !candidates.is_empty(),
+        "need at least one candidate configuration"
+    );
     let mut results: Vec<(usize, ProbeResult)> = Vec::with_capacity(candidates.len());
     for (i, (name, config)) in candidates.iter().enumerate() {
         let probe_cfg = GrimpConfig {
@@ -64,7 +70,11 @@ pub fn select_config(
         let mut model = Grimp::with_fds(probe_cfg, fds.clone());
         let _ = model.fit_impute(dirty);
         let report = model.last_report().expect("probe fit ran");
-        let val_loss = report.val_losses.iter().copied().fold(f32::INFINITY, f32::min);
+        let val_loss = report
+            .val_losses
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min);
         results.push((
             i,
             ProbeResult {
@@ -84,9 +94,28 @@ pub fn select_config(
 /// attention vs linear heads and two learning rates.
 pub fn default_candidates(base: &GrimpConfig) -> Vec<(String, GrimpConfig)> {
     vec![
-        ("attention-lr1e2".into(), GrimpConfig { lr: 1e-2, ..base.clone() }),
-        ("attention-lr3e3".into(), GrimpConfig { lr: 3e-3, ..base.clone() }),
-        ("linear-lr1e2".into(), GrimpConfig { lr: 1e-2, ..base.clone() }.with_linear_tasks()),
+        (
+            "attention-lr1e2".into(),
+            GrimpConfig {
+                lr: 1e-2,
+                ..base.clone()
+            },
+        ),
+        (
+            "attention-lr3e3".into(),
+            GrimpConfig {
+                lr: 3e-3,
+                ..base.clone()
+            },
+        ),
+        (
+            "linear-lr1e2".into(),
+            GrimpConfig {
+                lr: 1e-2,
+                ..base.clone()
+            }
+            .with_linear_tasks(),
+        ),
     ]
 }
 
@@ -114,7 +143,11 @@ mod tests {
     fn base() -> GrimpConfig {
         GrimpConfig {
             feature_dim: 8,
-            gnn: grimp_gnn::GnnConfig { layers: 1, hidden: 8, ..Default::default() },
+            gnn: grimp_gnn::GnnConfig {
+                layers: 1,
+                hidden: 8,
+                ..Default::default()
+            },
             merge_hidden: 16,
             embed_dim: 8,
             seed: 0,
@@ -131,14 +164,19 @@ mod tests {
             &dirty,
             &FdSet::empty(),
             &candidates,
-            TunerConfig { probe_epochs: 8, probe_patience: 4 },
+            TunerConfig {
+                probe_epochs: 8,
+                probe_patience: 4,
+            },
         );
         assert_eq!(results.len(), 3);
         // results sorted ascending by val loss
         assert!(results.windows(2).all(|w| w[0].val_loss <= w[1].val_loss));
         // best config keeps its own (non-probe) epoch budget
         assert_eq!(best.max_epochs, base().max_epochs);
-        assert!(results.iter().all(|r| r.epochs_run > 0 && r.epochs_run <= 8));
+        assert!(results
+            .iter()
+            .all(|r| r.epochs_run > 0 && r.epochs_run <= 8));
     }
 
     #[test]

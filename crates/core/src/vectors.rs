@@ -71,7 +71,14 @@ impl VectorBatch {
                 }
             }
         }
-        VectorBatch { n, n_cols, dim, idx: Rc::new(idx), mask, score_bias }
+        VectorBatch {
+            n,
+            n_cols,
+            dim,
+            idx: Rc::new(idx),
+            mask,
+            score_bias,
+        }
     }
 
     /// True when the batch holds no samples.

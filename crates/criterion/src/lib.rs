@@ -1,0 +1,175 @@
+//! Vendored, dependency-free stand-in for the subset of the `criterion`
+//! 0.5 API that the GRIMP workspace's micro-benchmarks use.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! ships this shim as a path dependency under the same crate name. It
+//! implements warm-up + timed measurement with median/mean reporting — no
+//! statistical regression analysis, plots, or baselines. Measurement
+//! budget per benchmark is tunable via `CRITERION_SHIM_MS` (default 300).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How per-iteration setup cost is amortized in `iter_batched`.
+/// All variants behave identically in this shim (setup is always excluded
+/// from timing; batches are of size one).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per batch upstream.
+    SmallInput,
+    /// Large inputs: few iterations per batch upstream.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            budget,
+        }
+    }
+
+    /// Measure `routine` repeatedly until the time budget is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a few unrecorded runs.
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+        }
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline || self.samples.len() < 10 {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+            if self.samples.len() >= 100_000 {
+                break;
+            }
+        }
+    }
+
+    /// Measure `routine` on inputs produced by `setup`; setup time is
+    /// excluded from the recorded samples.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..3 {
+            std::hint::black_box(routine(setup()));
+        }
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline || self.samples.len() < 10 {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+            if self.samples.len() >= 100_000 {
+                break;
+            }
+        }
+    }
+}
+
+/// Benchmark driver: runs registered functions and prints their timings.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_SHIM_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark and print `id  time: [median mean]`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.budget);
+        f(&mut bencher);
+        let mut sorted = bencher.samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{id:<40} time: [median {} mean {}]  ({} samples)",
+            fmt_duration(median),
+            fmt_duration(mean),
+            sorted.len()
+        );
+        self
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Group benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        std::env::set_var("CRITERION_SHIM_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("shim/self_test", |b| b.iter(|| 1 + 1));
+        c.bench_function("shim/batched_self_test", |b| {
+            b.iter_batched(|| 21, |x| x * 2, BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(fmt_duration(Duration::from_nanos(10)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(10)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(10)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(10)).contains("s"));
+    }
+}

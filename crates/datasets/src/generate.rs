@@ -83,16 +83,27 @@ pub fn generate(id: DatasetId, seed: u64) -> Dataset {
             .map(|&(lhs, rhs)| FunctionalDependency::new(vec![lhs], rhs))
             .collect(),
     };
-    Dataset { name: spec.name, abbr: spec.abbr, table, fds }
+    Dataset {
+        name: spec.name,
+        abbr: spec.abbr,
+        table,
+        fds,
+    }
 }
 
 fn generate_table(spec: &DatasetSpec, rng: &mut StdRng) -> Table {
     let mut columns: Vec<ColumnMeta> = Vec::with_capacity(spec.n_columns());
     for (j, _) in spec.cat.iter().enumerate() {
-        columns.push(ColumnMeta { name: format!("cat{j}"), kind: ColumnKind::Categorical });
+        columns.push(ColumnMeta {
+            name: format!("cat{j}"),
+            kind: ColumnKind::Categorical,
+        });
     }
     for (j, _) in spec.num.iter().enumerate() {
-        columns.push(ColumnMeta { name: format!("num{j}"), kind: ColumnKind::Numerical });
+        columns.push(ColumnMeta {
+            name: format!("num{j}"),
+            kind: ColumnKind::Numerical,
+        });
     }
     let schema = Schema::new(columns);
     let mut table = Table::empty(schema);
@@ -147,7 +158,11 @@ fn generate_table(spec: &DatasetSpec, rng: &mut StdRng) -> Table {
 fn sample_numeric(spec: &NumSpec, cluster: usize, n_clusters: usize, rng: &mut impl Rng) -> f64 {
     let center = if spec.clustered {
         // spread cluster means across ±2 spreads
-        let t = if n_clusters > 1 { cluster as f64 / (n_clusters - 1) as f64 } else { 0.5 };
+        let t = if n_clusters > 1 {
+            cluster as f64 / (n_clusters - 1) as f64
+        } else {
+            0.5
+        };
         (t - 0.5) * 4.0 * spec.spread
     } else {
         0.0
@@ -230,7 +245,10 @@ mod tests {
         for _ in 0..10_000 {
             counts[zipf_sample(10, 1.5, &mut rng)] += 1;
         }
-        assert!(counts[0] > counts[9] * 5, "rank 0 must dominate: {counts:?}");
+        assert!(
+            counts[0] > counts[9] * 5,
+            "rank 0 must dominate: {counts:?}"
+        );
     }
 
     #[test]

@@ -31,17 +31,35 @@ pub struct CatSpec {
 impl CatSpec {
     /// A plain clustered column.
     pub const fn plain(domain: usize, zipf: f64) -> Self {
-        CatSpec { domain, zipf, clustered: true, fd_of: None, shared_pool: None }
+        CatSpec {
+            domain,
+            zipf,
+            clustered: true,
+            fd_of: None,
+            shared_pool: None,
+        }
     }
 
     /// An independent (non-clustered) column.
     pub const fn noise(domain: usize, zipf: f64) -> Self {
-        CatSpec { domain, zipf, clustered: false, fd_of: None, shared_pool: None }
+        CatSpec {
+            domain,
+            zipf,
+            clustered: false,
+            fd_of: None,
+            shared_pool: None,
+        }
     }
 
     /// A column functionally determined by categorical column `premise`.
     pub const fn fd(domain: usize, premise: usize) -> Self {
-        CatSpec { domain, zipf: 0.8, clustered: false, fd_of: Some(premise), shared_pool: None }
+        CatSpec {
+            domain,
+            zipf: 0.8,
+            clustered: false,
+            fd_of: Some(premise),
+            shared_pool: None,
+        }
     }
 }
 
@@ -59,7 +77,11 @@ pub struct NumSpec {
 impl NumSpec {
     /// A clustered numerical column.
     pub const fn plain(spread: f64, step: f64) -> Self {
-        NumSpec { spread, step, clustered: true }
+        NumSpec {
+            spread,
+            step,
+            clustered: true,
+        }
     }
 }
 
@@ -269,12 +291,12 @@ impl DatasetId {
                     CatSpec::noise(8000, 0.1), // title: almost unique
                     CatSpec::plain(1900, 1.0), // director: head stars repeat
                     CatSpec::plain(2600, 1.0), // lead actor
-                    CatSpec::plain(23, 1.4),    // genre
-                    CatSpec::plain(60, 1.8),    // country
-                    CatSpec::plain(40, 1.9),    // language
-                    CatSpec::plain(320, 1.5),   // studio
-                    CatSpec::plain(12, 0.9),    // rating class
-                    CatSpec::plain(95, 1.0),    // year as category
+                    CatSpec::plain(23, 1.4),   // genre
+                    CatSpec::plain(60, 1.8),   // country
+                    CatSpec::plain(40, 1.9),   // language
+                    CatSpec::plain(320, 1.5),  // studio
+                    CatSpec::plain(12, 0.9),   // rating class
+                    CatSpec::plain(95, 1.0),   // year as category
                 ],
                 num: vec![NumSpec::plain(1.2, 0.1), NumSpec::plain(45.0, 1.0)],
                 fd_pairs: vec![],

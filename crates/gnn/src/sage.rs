@@ -81,7 +81,11 @@ impl OperatorAssignment {
 #[derive(Clone, Debug)]
 enum Module {
     /// `z = h·W_self + mean_N(h)·W_neigh + b`.
-    Sage { w_self: Var, w_neigh: Var, bias: Var },
+    Sage {
+        w_self: Var,
+        w_neigh: Var,
+        bias: Var,
+    },
     /// `z = (Â h)·W + b` with `Â` the symmetric-normalized adjacency with
     /// self-loops (Kipf & Welling, 2017).
     Gcn { w: Var, bias: Var },
@@ -105,7 +109,11 @@ impl Module {
 
     fn forward(&self, tape: &mut Tape, h: Var, adj: &TypeAdjacency) -> Var {
         match self {
-            Module::Sage { w_self, w_neigh, bias } => {
+            Module::Sage {
+                w_self,
+                w_neigh,
+                bias,
+            } => {
                 let neigh = tape.scatter_mean(h, Rc::clone(&adj.mean));
                 let self_part = tape.matmul(h, *w_self);
                 let neigh_part = tape.matmul(neigh, *w_neigh);
@@ -223,7 +231,12 @@ impl HeteroSage {
             modules.push(row);
         }
         let adj = build_adjacencies(graph, config.neighbor_cap, rng);
-        HeteroSage { modules, adj, in_dim, config }
+        HeteroSage {
+            modules,
+            adj,
+            in_dim,
+            config,
+        }
     }
 
     /// Rebind the GNN to a different graph with the same number of edge
@@ -275,8 +288,15 @@ impl HeteroSage {
     pub fn n_weights(&self) -> usize {
         let mut total = 0;
         for (layer, row) in self.modules.iter().enumerate() {
-            let d_in = if layer == 0 { self.in_dim } else { self.config.hidden };
-            total += row.iter().map(|m| m.n_weights(d_in, self.config.hidden)).sum::<usize>();
+            let d_in = if layer == 0 {
+                self.in_dim
+            } else {
+                self.config.hidden
+            };
+            total += row
+                .iter()
+                .map(|m| m.n_weights(d_in, self.config.hidden))
+                .sum::<usize>();
         }
         total
     }
@@ -312,7 +332,17 @@ mod tests {
         let (_, g) = graph();
         let mut rng = StdRng::seed_from_u64(0);
         let mut tape = Tape::new();
-        let sage = HeteroSage::new(&mut tape, &g, 8, GnnConfig { layers: 2, hidden: 16, ..Default::default() }, &mut rng);
+        let sage = HeteroSage::new(
+            &mut tape,
+            &g,
+            8,
+            GnnConfig {
+                layers: 2,
+                hidden: 16,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         tape.freeze();
         let x = tape.input(Tensor::full(g.n_nodes(), 8, 0.1));
         let h = sage.forward(&mut tape, x);
@@ -325,7 +355,17 @@ mod tests {
         let (_, g) = graph();
         let mut rng = StdRng::seed_from_u64(1);
         let mut tape = Tape::new();
-        let sage = HeteroSage::new(&mut tape, &g, 4, GnnConfig { layers: 2, hidden: 8, ..Default::default() }, &mut rng);
+        let sage = HeteroSage::new(
+            &mut tape,
+            &g,
+            4,
+            GnnConfig {
+                layers: 2,
+                hidden: 8,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         tape.freeze();
         let x = tape.input(Tensor::full(g.n_nodes(), 4, 0.5));
         let h = sage.forward(&mut tape, x);
@@ -351,7 +391,17 @@ mod tests {
         let g = TableGraph::build(&t, GraphConfig::default(), &[]);
         let mut rng = StdRng::seed_from_u64(2);
         let mut tape = Tape::new();
-        let sage = HeteroSage::new(&mut tape, &g, 4, GnnConfig { layers: 2, hidden: 8, ..Default::default() }, &mut rng);
+        let sage = HeteroSage::new(
+            &mut tape,
+            &g,
+            4,
+            GnnConfig {
+                layers: 2,
+                hidden: 8,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         tape.freeze();
         let x = tape.input(Tensor::full(g.n_nodes(), 4, 1.0));
         let h = sage.forward(&mut tape, x);
@@ -364,7 +414,17 @@ mod tests {
         let (_, g) = graph();
         let mut rng = StdRng::seed_from_u64(3);
         let mut tape = Tape::new();
-        let sage = HeteroSage::new(&mut tape, &g, 4, GnnConfig { layers: 1, hidden: 8, ..Default::default() }, &mut rng);
+        let sage = HeteroSage::new(
+            &mut tape,
+            &g,
+            4,
+            GnnConfig {
+                layers: 1,
+                hidden: 8,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         tape.freeze();
 
         let run = |tape: &mut Tape, feat: Tensor| -> Tensor {
@@ -407,7 +467,12 @@ mod tests {
         let g = TableGraph::build(&t, GraphConfig::default(), &[]);
         let mut rng = StdRng::seed_from_u64(5);
         let mut tape = Tape::new();
-        let cfg = GnnConfig { layers: 1, hidden: 8, neighbor_cap: Some(4), ..Default::default() };
+        let cfg = GnnConfig {
+            layers: 1,
+            hidden: 8,
+            neighbor_cap: Some(4),
+            ..Default::default()
+        };
         let sage = HeteroSage::new(&mut tape, &g, 4, cfg, &mut rng);
         tape.freeze();
         // the hot cell node has degree 50 uncapped; forward must behave as
@@ -439,7 +504,11 @@ mod tests {
             &mut tape,
             &g,
             4,
-            GnnConfig { layers: 1, hidden: 8, ..Default::default() },
+            GnnConfig {
+                layers: 1,
+                hidden: 8,
+                ..Default::default()
+            },
             &mut rng,
         );
         let hot = g.cell_node(0, "hot").unwrap() as usize;
@@ -495,7 +564,7 @@ mod tests {
         let lists = vec![vec![1u32], vec![0u32]];
         let (adj, w) = gcn_normalize(&lists);
         assert_eq!(adj.n_edges(), 4); // 2 edges + 2 self-loops
-        // all degrees are 1 (+1 self) → every weight = 1/2
+                                      // all degrees are 1 (+1 self) → every weight = 1/2
         assert!(w.iter().all(|&x| (x - 0.5).abs() < 1e-6), "{w:?}");
     }
 
@@ -504,9 +573,22 @@ mod tests {
         let (_, g) = graph();
         let mut rng = StdRng::seed_from_u64(4);
         let mut tape = Tape::new();
-        let sage = HeteroSage::new(&mut tape, &g, 8, GnnConfig { layers: 2, hidden: 16, ..Default::default() }, &mut rng);
+        let sage = HeteroSage::new(
+            &mut tape,
+            &g,
+            8,
+            GnnConfig {
+                layers: 2,
+                hidden: 16,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         // layer 0: 2 types x (2*8*16 + 16); layer 1: 2 types x (2*16*16 + 16)
-        assert_eq!(sage.n_weights(), 2 * (2 * 8 * 16 + 16) + 2 * (2 * 16 * 16 + 16));
+        assert_eq!(
+            sage.n_weights(),
+            2 * (2 * 8 * 16 + 16) + 2 * (2 * 16 * 16 + 16)
+        );
         assert_eq!(tape.total_param_elems(), sage.n_weights());
     }
 }

@@ -13,17 +13,10 @@ use rand::SeedableRng;
 /// rows 0 and 1 share value "x"; row 2 is disconnected from them.
 fn shared_value_table() -> Table {
     let schema = Schema::from_pairs(&[("a", ColumnKind::Categorical)]);
-    Table::from_rows(
-        schema,
-        &[vec![Some("x")], vec![Some("x")], vec![Some("z")]],
-    )
+    Table::from_rows(schema, &[vec![Some("x")], vec![Some("x")], vec![Some("z")]])
 }
 
-fn run_forward(
-    sage: &HeteroSage,
-    tape: &mut Tape,
-    features: Tensor,
-) -> Tensor {
+fn run_forward(sage: &HeteroSage, tape: &mut Tape, features: Tensor) -> Tensor {
     let x = tape.input(features);
     let h = sage.forward(tape, x);
     let out = tape.value(h).clone();
@@ -41,7 +34,11 @@ fn two_layers_propagate_between_rows_sharing_a_value() {
         &mut tape,
         &g,
         4,
-        GnnConfig { layers: 2, hidden: 8, ..Default::default() },
+        GnnConfig {
+            layers: 2,
+            hidden: 8,
+            ..Default::default()
+        },
         &mut rng,
     );
     tape.freeze();
@@ -56,7 +53,12 @@ fn two_layers_propagate_between_rows_sharing_a_value() {
     let h_pert = run_forward(&sage, &mut tape, perturbed);
 
     let delta = |r: usize| -> f32 {
-        h_base.row_slice(r).iter().zip(h_pert.row_slice(r)).map(|(&a, &b)| (a - b).abs()).sum()
+        h_base
+            .row_slice(r)
+            .iter()
+            .zip(h_pert.row_slice(r))
+            .map(|(&a, &b)| (a - b).abs())
+            .sum()
     };
     // 2 hops: RID1 → cell "x" → RID0. RID0 must feel the change.
     assert!(delta(0) > 1e-5, "2-hop neighbor unaffected: {}", delta(0));
@@ -75,7 +77,11 @@ fn one_layer_does_not_reach_two_hops() {
         &mut tape,
         &g,
         4,
-        GnnConfig { layers: 1, hidden: 8, ..Default::default() },
+        GnnConfig {
+            layers: 1,
+            hidden: 8,
+            ..Default::default()
+        },
         &mut rng,
     );
     tape.freeze();
@@ -95,7 +101,10 @@ fn one_layer_does_not_reach_two_hops() {
     // One layer aggregates only the *input* features of direct neighbors:
     // RID0's neighbor is the cell node "x", whose input features do not
     // depend on RID1, so RID1's perturbation cannot reach RID0 in one hop.
-    assert!(delta_r0 < 1e-6, "1-layer model leaked 2-hop information: {delta_r0}");
+    assert!(
+        delta_r0 < 1e-6,
+        "1-layer model leaked 2-hop information: {delta_r0}"
+    );
 }
 
 #[test]
@@ -108,7 +117,11 @@ fn rebind_preserves_weights_across_graphs() {
         &mut tape,
         &g1,
         4,
-        GnnConfig { layers: 2, hidden: 8, ..Default::default() },
+        GnnConfig {
+            layers: 2,
+            hidden: 8,
+            ..Default::default()
+        },
         &mut rng,
     );
     tape.freeze();
@@ -117,7 +130,12 @@ fn rebind_preserves_weights_across_graphs() {
     // a different table with the same schema
     let t2 = Table::from_rows(
         Schema::from_pairs(&[("a", ColumnKind::Categorical)]),
-        &[vec![Some("p")], vec![Some("p")], vec![Some("p")], vec![Some("q")]],
+        &[
+            vec![Some("p")],
+            vec![Some("p")],
+            vec![Some("p")],
+            vec![Some("q")],
+        ],
     );
     let g2 = TableGraph::build(&t2, GraphConfig::default(), &[]);
     sage.rebind(&g2);
@@ -128,5 +146,8 @@ fn rebind_preserves_weights_across_graphs() {
     // rebinding back reproduces the original outputs exactly
     sage.rebind(&g1);
     let h1_again = run_forward(&sage, &mut tape, Tensor::full(g1.n_nodes(), 4, 0.5));
-    assert_eq!(h1, h1_again, "rebind must be weight-preserving and deterministic");
+    assert_eq!(
+        h1, h1_again,
+        "rebind must be weight-preserving and deterministic"
+    );
 }

@@ -183,8 +183,9 @@ pub fn train_embdi(
     // SGNS. "in" vectors are the embeddings we keep; "out" vectors are the
     // context side.
     let dim = cfg.dim;
-    let mut vin: Vec<f32> =
-        (0..n_total * dim).map(|_| (rng.gen::<f32>() - 0.5) / dim as f32).collect();
+    let mut vin: Vec<f32> = (0..n_total * dim)
+        .map(|_| (rng.gen::<f32>() - 0.5) / dim as f32)
+        .collect();
     let mut vout: Vec<f32> = vec![0.0; n_total * dim];
     let total_steps = (cfg.epochs * corpus.len()).max(1);
     let mut step = 0usize;
@@ -196,11 +197,10 @@ pub fn train_embdi(
             for (pos, &center) in walk.iter().enumerate() {
                 let lo = pos.saturating_sub(cfg.window);
                 let hi = (pos + cfg.window + 1).min(walk.len());
-                for ctx_pos in lo..hi {
+                for (ctx_pos, &context) in walk.iter().enumerate().take(hi).skip(lo) {
                     if ctx_pos == pos {
                         continue;
                     }
-                    let context = walk[ctx_pos];
                     sgns_pair(
                         &mut vin,
                         &mut vout,
@@ -227,7 +227,11 @@ pub fn train_embdi(
     for chunk in attribute_vectors.chunks_mut(dim) {
         l2_normalize(chunk);
     }
-    EmbdiEmbeddings { dim, node_vectors, attribute_vectors }
+    EmbdiEmbeddings {
+        dim,
+        node_vectors,
+        attribute_vectors,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -310,7 +314,12 @@ mod tests {
     fn vectors_are_produced_for_all_nodes_and_attributes() {
         let t = clustered_table();
         let g = TableGraph::build(&t, GraphConfig::default(), &[]);
-        let emb = train_embdi(&g, &t, &EmbdiConfig::default(), &mut StdRng::seed_from_u64(0));
+        let emb = train_embdi(
+            &g,
+            &t,
+            &EmbdiConfig::default(),
+            &mut StdRng::seed_from_u64(0),
+        );
         assert_eq!(emb.node_vectors.len(), g.n_nodes() * emb.dim);
         assert_eq!(emb.attribute_vectors.len(), 2 * emb.dim);
         assert!(emb.node_vectors.iter().all(|v| v.is_finite()));
@@ -322,10 +331,7 @@ mod tests {
             ("a", ColumnKind::Categorical),
             ("b", ColumnKind::Categorical),
         ]);
-        let t = Table::from_rows(
-            schema,
-            &[vec![Some("x"), Some("p")], vec![Some("y"), None]],
-        );
+        let t = Table::from_rows(schema, &[vec![Some("x"), Some("p")], vec![Some("y"), None]]);
         let g = TableGraph::build(&t, GraphConfig::default(), &[]);
         let wg = build_walk_graph(&g, &t);
         // RID 1 has a null in column b: it must be connected to b's only
@@ -339,7 +345,10 @@ mod tests {
     fn training_is_deterministic_per_seed() {
         let t = clustered_table();
         let g = TableGraph::build(&t, GraphConfig::default(), &[]);
-        let cfg = EmbdiConfig { epochs: 1, ..Default::default() };
+        let cfg = EmbdiConfig {
+            epochs: 1,
+            ..Default::default()
+        };
         let a = train_embdi(&g, &t, &cfg, &mut StdRng::seed_from_u64(5));
         let b = train_embdi(&g, &t, &cfg, &mut StdRng::seed_from_u64(5));
         assert_eq!(a.node_vectors, b.node_vectors);

@@ -93,7 +93,11 @@ fn random_features(graph: &TableGraph, dim: usize, rng: &mut impl Rng) -> NodeFe
         l2_normalize(chunk);
     }
     let attribute_matrix = average_attribute_vectors(graph, dim, &node_matrix);
-    NodeFeatures { dim, node_matrix, attribute_matrix }
+    NodeFeatures {
+        dim,
+        node_matrix,
+        attribute_matrix,
+    }
 }
 
 /// FastText-substitute features with an explicit seed. Unlike
@@ -130,7 +134,11 @@ pub fn fasttext_features(graph: &TableGraph, dim: usize, seed: u64) -> NodeFeatu
         l2_normalize(chunk);
     }
     let attribute_matrix = average_attribute_vectors(graph, dim, &node_matrix);
-    NodeFeatures { dim, node_matrix, attribute_matrix }
+    NodeFeatures {
+        dim,
+        node_matrix,
+        attribute_matrix,
+    }
 }
 
 /// Attribute vector = mean of the attribute's cell-node vectors.
@@ -165,10 +173,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn table() -> Table {
-        let schema = Schema::from_pairs(&[
-            ("c", ColumnKind::Categorical),
-            ("x", ColumnKind::Numerical),
-        ]);
+        let schema =
+            Schema::from_pairs(&[("c", ColumnKind::Categorical), ("x", ColumnKind::Numerical)]);
         Table::from_rows(
             schema,
             &[
@@ -183,7 +189,11 @@ mod tests {
     fn all_sources_produce_full_feature_sets() {
         let t = table();
         let g = TableGraph::build(&t, GraphConfig::default(), &[]);
-        for source in [FeatureSource::Random, FeatureSource::FastText, FeatureSource::Embdi] {
+        for source in [
+            FeatureSource::Random,
+            FeatureSource::FastText,
+            FeatureSource::Embdi,
+        ] {
             let mut rng = StdRng::seed_from_u64(3);
             let f = build_features(&g, &t, source, 16, &EmbdiConfig::default(), &mut rng);
             assert_eq!(f.dim, 16);

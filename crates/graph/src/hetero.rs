@@ -38,7 +38,9 @@ pub struct GraphConfig {
 
 impl Default for GraphConfig {
     fn default() -> Self {
-        GraphConfig { numeric_decimals: 4 }
+        GraphConfig {
+            numeric_decimals: 4,
+        }
     }
 }
 
@@ -84,20 +86,22 @@ impl TableGraph {
         let n_cols = table.n_columns();
         let excluded: std::collections::HashSet<(usize, usize)> =
             excluded.iter().copied().collect();
-        let mut labels: Vec<NodeLabel> =
-            (0..n_rows).map(|i| NodeLabel::Rid(i as u32)).collect();
+        let mut labels: Vec<NodeLabel> = (0..n_rows).map(|i| NodeLabel::Rid(i as u32)).collect();
         let mut cell_index: Vec<HashMap<String, u32>> = vec![HashMap::new(); n_cols];
         let mut edges: Vec<TypedEdges> = vec![TypedEdges::default(); n_cols];
 
         // First, make sure every value in every attribute domain has a node,
         // even if all its occurrences are excluded — imputation candidates
         // must exist as nodes so they can be scored.
-        for col in 0..n_cols {
+        for (col, index) in cell_index.iter_mut().enumerate() {
             for row in 0..n_rows {
                 if let Some(key) = value_key(table, row, col, config.numeric_decimals) {
-                    cell_index[col].entry(key.clone()).or_insert_with(|| {
+                    index.entry(key.clone()).or_insert_with(|| {
                         let id = labels.len() as u32;
-                        labels.push(NodeLabel::Cell { col: col as u32, text: key });
+                        labels.push(NodeLabel::Cell {
+                            col: col as u32,
+                            text: key,
+                        });
                         id
                     });
                 }
@@ -115,7 +119,14 @@ impl TableGraph {
                 }
             }
         }
-        TableGraph { n_rows, n_cols, labels, cell_index, edges, config }
+        TableGraph {
+            n_rows,
+            n_cols,
+            labels,
+            cell_index,
+            edges,
+            config,
+        }
     }
 
     /// Total node count (RID + cell nodes).
@@ -159,8 +170,10 @@ impl TableGraph {
     /// sum floats over this iterator and build sampling structures from it,
     /// so HashMap iteration order must not leak out.
     pub fn column_cells(&self, col: usize) -> impl Iterator<Item = (&str, u32)> {
-        let mut cells: Vec<(&str, u32)> =
-            self.cell_index[col].iter().map(|(k, &v)| (k.as_str(), v)).collect();
+        let mut cells: Vec<(&str, u32)> = self.cell_index[col]
+            .iter()
+            .map(|(k, &v)| (k.as_str(), v))
+            .collect();
         cells.sort_unstable_by_key(|&(_, v)| v);
         cells.into_iter()
     }
@@ -274,10 +287,22 @@ mod tests {
     fn numeric_values_are_rounded_into_keys() {
         let schema = Schema::from_pairs(&[("x", ColumnKind::Numerical)]);
         let t = Table::from_rows(schema, &[vec![Some("1.00001")], vec![Some("1.00002")]]);
-        let g = TableGraph::build(&t, GraphConfig { numeric_decimals: 4 }, &[]);
+        let g = TableGraph::build(
+            &t,
+            GraphConfig {
+                numeric_decimals: 4,
+            },
+            &[],
+        );
         // both round to "1.0000" → a single cell node
         assert_eq!(g.n_column_cells(0), 1);
-        let g8 = TableGraph::build(&t, GraphConfig { numeric_decimals: 8 }, &[]);
+        let g8 = TableGraph::build(
+            &t,
+            GraphConfig {
+                numeric_decimals: 8,
+            },
+            &[],
+        );
         assert_eq!(g8.n_column_cells(0), 2);
     }
 

@@ -1,9 +1,7 @@
 //! Property-based tests of the graph substrate: structural invariants of
 //! the heterogeneous table graph and of the embedding generators.
 
-use grimp_graph::{
-    train_embdi, EmbdiConfig, FastTextLike, GraphConfig, NodeLabel, TableGraph,
-};
+use grimp_graph::{train_embdi, EmbdiConfig, FastTextLike, GraphConfig, NodeLabel, TableGraph};
 use grimp_table::{ColumnKind, Schema, Table};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -14,22 +12,25 @@ fn arb_table() -> impl Strategy<Value = Table> {
         4 => (0u32..6).prop_map(Some),
         1 => Just(None),
     ];
-    proptest::collection::vec((cell.clone(), cell, proptest::option::of(-50i32..50)), 1..30)
-        .prop_map(|rows| {
-            let schema = Schema::from_pairs(&[
-                ("a", ColumnKind::Categorical),
-                ("b", ColumnKind::Categorical),
-                ("x", ColumnKind::Numerical),
-            ]);
-            let mut t = Table::empty(schema);
-            for (a, b, x) in rows {
-                let a = a.map(|v| format!("a{v}"));
-                let b = b.map(|v| format!("b{v}"));
-                let x = x.map(|v| format!("{}", v as f64 / 2.0));
-                t.push_str_row(&[a.as_deref(), b.as_deref(), x.as_deref()]);
-            }
-            t
-        })
+    proptest::collection::vec(
+        (cell.clone(), cell, proptest::option::of(-50i32..50)),
+        1..30,
+    )
+    .prop_map(|rows| {
+        let schema = Schema::from_pairs(&[
+            ("a", ColumnKind::Categorical),
+            ("b", ColumnKind::Categorical),
+            ("x", ColumnKind::Numerical),
+        ]);
+        let mut t = Table::empty(schema);
+        for (a, b, x) in rows {
+            let a = a.map(|v| format!("a{v}"));
+            let b = b.map(|v| format!("b{v}"));
+            let x = x.map(|v| format!("{}", v as f64 / 2.0));
+            t.push_str_row(&[a.as_deref(), b.as_deref(), x.as_deref()]);
+        }
+        t
+    })
 }
 
 proptest! {

@@ -53,7 +53,9 @@ impl EvalResult {
 
 /// Standard deviation of a clean numerical column (≥ tiny epsilon).
 fn column_std(clean: &Table, j: usize) -> f64 {
-    let vals: Vec<f64> = (0..clean.n_rows()).filter_map(|i| clean.get(i, j).as_num()).collect();
+    let vals: Vec<f64> = (0..clean.n_rows())
+        .filter_map(|i| clean.get(i, j).as_num())
+        .collect();
     if vals.is_empty() {
         return 1.0;
     }
@@ -134,10 +136,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup() -> (Table, Table, CorruptionLog) {
-        let schema = Schema::from_pairs(&[
-            ("c", ColumnKind::Categorical),
-            ("x", ColumnKind::Numerical),
-        ]);
+        let schema =
+            Schema::from_pairs(&[("c", ColumnKind::Categorical), ("x", ColumnKind::Numerical)]);
         let mut clean = Table::empty(schema);
         for i in 0..20 {
             let c = format!("v{}", i % 2);

@@ -194,10 +194,8 @@ mod tests {
 
     #[test]
     fn stats_over_a_small_table() {
-        let schema = Schema::from_pairs(&[
-            ("c", ColumnKind::Categorical),
-            ("x", ColumnKind::Numerical),
-        ]);
+        let schema =
+            Schema::from_pairs(&[("c", ColumnKind::Categorical), ("x", ColumnKind::Numerical)]);
         let t = Table::from_rows(
             schema,
             &[

@@ -1,0 +1,152 @@
+//! Vendored, dependency-free stand-in for the subset of the `proptest` 1.x
+//! API that the GRIMP workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! this shim as a path dependency under the same crate name. It implements
+//! random-input property testing with deterministic per-test seeds:
+//!
+//! - [`Strategy`] with `prop_map`, tuple composition, numeric ranges, and a
+//!   tiny `[class]{m,n}`-style string pattern generator;
+//! - [`collection::vec`], [`option::of`], [`strategy::Just`],
+//!   `prop_oneof!` (weighted unions);
+//! - the [`proptest!`] macro with `#![proptest_config(...)]`,
+//!   `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`.
+//!
+//! Unlike upstream proptest there is **no shrinking**: a failing case
+//! panics immediately with its case number and seed, which is enough to
+//! reproduce it (seeds are a pure function of test name and case index).
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::{SizeBounds, Strategy, VecStrategy};
+
+    /// A strategy for vectors whose length is drawn from `size` (an exact
+    /// `usize` or a `Range<usize>`) and whose elements come from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeBounds>) -> VecStrategy<S> {
+        let bounds = size.into();
+        VecStrategy { elem, bounds }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// A strategy producing `Some` (three times in four) or `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// The glob import used by every property-test module.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// Declare property tests: each function runs its body for
+/// `ProptestConfig::cases` deterministic pseudo-random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_item! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_item! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_item {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut executed = 0u32;
+            let mut attempts = 0u32;
+            while executed < config.cases && attempts < config.cases.saturating_mul(8).max(64) {
+                let case_seed =
+                    $crate::test_runner::case_seed(concat!(module_path!(), "::", stringify!($name)), attempts);
+                attempts += 1;
+                let mut rng = $crate::test_runner::TestRng::from_seed(case_seed);
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::Rejected> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    Ok(()) => executed += 1,
+                    Err($crate::test_runner::Rejected) => {} // prop_assume filtered the case
+                }
+            }
+            assert!(
+                executed >= config.cases.min(1),
+                "prop_assume! rejected every generated input"
+            );
+        }
+        $crate::__proptest_item! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skip the current case when its input does not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// A weighted union of strategies producing the same value type:
+/// `prop_oneof![3 => strat_a, 1 => strat_b]` (weights optional).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::rc_strategy($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}

@@ -48,7 +48,11 @@ impl Corpus {
             for j in 0..table.n_columns() {
                 let v = table.get(i, j);
                 if !v.is_null() {
-                    all.push(TrainingSample { row: i, target_col: j, label: v });
+                    all.push(TrainingSample {
+                        row: i,
+                        target_col: j,
+                        label: v,
+                    });
                 }
             }
         }

@@ -54,7 +54,10 @@ impl CorruptionLog {
 /// cells is `round(p · n_rows · n_cols)` capped by the number of eligible
 /// cells.
 pub fn inject_mcar(table: &mut Table, p: f64, rng: &mut impl Rng) -> CorruptionLog {
-    assert!((0.0..=1.0).contains(&p), "missingness proportion must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "missingness proportion must be in [0, 1]"
+    );
     let mut eligible: Vec<(usize, usize)> = Vec::new();
     for j in 0..table.n_columns() {
         for i in 0..table.n_rows() {
@@ -70,7 +73,11 @@ pub fn inject_mcar(table: &mut Table, p: f64, rng: &mut impl Rng) -> CorruptionL
     for &(i, j) in eligible.iter().take(n) {
         let truth = table.get(i, j);
         table.set(i, j, Value::Null);
-        log.cells.push(InjectedCell { row: i, col: j, truth });
+        log.cells.push(InjectedCell {
+            row: i,
+            col: j,
+            truth,
+        });
     }
     log
 }
@@ -87,7 +94,10 @@ pub fn inject_mcar(table: &mut Table, p: f64, rng: &mut impl Rng) -> CorruptionL
 /// likely to be hidden), renormalized per column to hit `p` in expectation.
 /// Numerical cells use the rank of their rounded value.
 pub fn inject_mnar(table: &mut Table, p: f64, rng: &mut impl Rng) -> CorruptionLog {
-    assert!((0.0..=1.0).contains(&p), "missingness proportion must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "missingness proportion must be in [0, 1]"
+    );
     let mut log = CorruptionLog::default();
     for j in 0..table.n_columns() {
         // frequency rank per surface value
@@ -102,8 +112,11 @@ pub fn inject_mnar(table: &mut Table, p: f64, rng: &mut impl Rng) -> CorruptionL
         }
         let mut by_freq: Vec<(String, usize)> = counts.into_iter().collect();
         by_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        let rank: std::collections::HashMap<&str, usize> =
-            by_freq.iter().enumerate().map(|(r, (v, _))| (v.as_str(), r)).collect();
+        let rank: std::collections::HashMap<&str, usize> = by_freq
+            .iter()
+            .enumerate()
+            .map(|(r, (v, _))| (v.as_str(), r))
+            .collect();
         // per-cell weights ∝ 1 + rank, normalized to expectation p
         let cells: Vec<(usize, f64)> = (0..table.n_rows())
             .filter(|&i| !table.is_missing(i, j))
@@ -118,7 +131,11 @@ pub fn inject_mnar(table: &mut Table, p: f64, rng: &mut impl Rng) -> CorruptionL
             if rng.gen::<f64>() < (w * scale).min(1.0) {
                 let truth = table.get(i, j);
                 table.set(i, j, Value::Null);
-                log.cells.push(InjectedCell { row: i, col: j, truth });
+                log.cells.push(InjectedCell {
+                    row: i,
+                    col: j,
+                    truth,
+                });
             }
         }
     }
@@ -137,7 +154,10 @@ pub fn inject_mar(
     bias: f64,
     rng: &mut impl Rng,
 ) -> CorruptionLog {
-    assert!((0.0..=1.0).contains(&p), "missingness proportion must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "missingness proportion must be in [0, 1]"
+    );
     assert!(bias >= 1.0, "bias must be >= 1");
     assert_ne!(target, driver, "driver must differ from target");
     // median frequency split of the driver column
@@ -154,8 +174,7 @@ pub fn inject_mar(
     let cells: Vec<(usize, f64)> = (0..table.n_rows())
         .filter(|&i| !table.is_missing(i, target))
         .map(|i| {
-            let heavy = !table.is_missing(i, driver)
-                && counts[&table.display(i, driver)] >= median;
+            let heavy = !table.is_missing(i, driver) && counts[&table.display(i, driver)] >= median;
             (i, if heavy { bias } else { 1.0 })
         })
         .collect();
@@ -165,7 +184,11 @@ pub fn inject_mar(
         if rng.gen::<f64>() < (w * scale).min(1.0) {
             let truth = table.get(i, target);
             table.set(i, target, Value::Null);
-            log.cells.push(InjectedCell { row: i, col: target, truth });
+            log.cells.push(InjectedCell {
+                row: i,
+                col: target,
+                truth,
+            });
         }
     }
     log
@@ -187,7 +210,10 @@ fn typo(s: &str, rng: &mut impl Rng) -> String {
 /// Typos create *new* dictionary entries: a corrupted cell no longer matches
 /// its clean value, exactly as a typo in a real CSV would.
 pub fn inject_typos(table: &mut Table, p: f64, rng: &mut impl Rng) -> usize {
-    assert!((0.0..=1.0).contains(&p), "typo probability must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "typo probability must be in [0, 1]"
+    );
     let mut modified = 0;
     let cat_cols: Vec<usize> = table
         .schema()
@@ -219,10 +245,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn table(n: usize) -> Table {
-        let schema = Schema::from_pairs(&[
-            ("c", ColumnKind::Categorical),
-            ("x", ColumnKind::Numerical),
-        ]);
+        let schema =
+            Schema::from_pairs(&[("c", ColumnKind::Categorical), ("x", ColumnKind::Numerical)]);
         let mut t = Table::empty(schema);
         for i in 0..n {
             let s = format!("v{}", i % 5);
@@ -276,7 +300,9 @@ mod tests {
         let clean = t.clone();
         let n = inject_typos(&mut t, 0.1, &mut StdRng::seed_from_u64(4));
         assert!((50..150).contains(&n), "modified {n} cells");
-        let changed = (0..1000).filter(|&i| t.display(i, 0) != clean.display(i, 0)).count();
+        let changed = (0..1000)
+            .filter(|&i| t.display(i, 0) != clean.display(i, 0))
+            .count();
         assert_eq!(changed, n);
         // the numerical column is untouched
         for i in 0..1000 {
@@ -306,8 +332,11 @@ mod tests {
         let clean = skewed_table(2000);
         let mut dirty = clean.clone();
         let log = inject_mnar(&mut dirty, 0.2, &mut StdRng::seed_from_u64(6));
-        let rare_hits =
-            log.cells.iter().filter(|c| clean.display(c.row, c.col) == "v1").count();
+        let rare_hits = log
+            .cells
+            .iter()
+            .filter(|c| clean.display(c.row, c.col) == "v1")
+            .count();
         let rare_rate = rare_hits as f64 / 300.0; // 15 % of 2000 rows
         let freq_rate = (log.len() - rare_hits) as f64 / 1700.0;
         assert!(

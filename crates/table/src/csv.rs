@@ -71,13 +71,23 @@ pub fn read_csv(reader: impl BufRead) -> io::Result<Table> {
         if fields.len() != names.len() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("row has {} fields, header has {}", fields.len(), names.len()),
+                format!(
+                    "row has {} fields, header has {}",
+                    fields.len(),
+                    names.len()
+                ),
             ));
         }
         rows.push(
             fields
                 .into_iter()
-                .map(|f| if is_null_token(f.trim()) { None } else { Some(f) })
+                .map(|f| {
+                    if is_null_token(f.trim()) {
+                        None
+                    } else {
+                        Some(f)
+                    }
+                })
                 .collect(),
         );
     }
@@ -121,8 +131,12 @@ pub fn read_csv_str(text: &str) -> io::Result<Table> {
 
 /// Write a table as CSV with a header row; `∅` cells become empty fields.
 pub fn write_csv(table: &Table, mut writer: impl Write) -> io::Result<()> {
-    let header: Vec<String> =
-        table.schema().columns().iter().map(|c| quote_field(&c.name)).collect();
+    let header: Vec<String> = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| quote_field(&c.name))
+        .collect();
     writeln!(writer, "{}", header.join(","))?;
     for i in 0..table.n_rows() {
         let row: Vec<String> = (0..table.n_columns())

@@ -21,7 +21,10 @@ impl FunctionalDependency {
     /// Panics when `lhs` is empty or contains `rhs`.
     pub fn new(lhs: Vec<usize>, rhs: usize) -> Self {
         assert!(!lhs.is_empty(), "FD premise must be non-empty");
-        assert!(!lhs.contains(&rhs), "FD conclusion cannot appear in its premise");
+        assert!(
+            !lhs.contains(&rhs),
+            "FD conclusion cannot appear in its premise"
+        );
         FunctionalDependency { lhs, rhs }
     }
 

@@ -27,7 +27,9 @@ pub mod table;
 pub mod value;
 
 pub use corpus::{Corpus, TrainingSample};
-pub use corrupt::{inject_mar, inject_mcar, inject_mnar, inject_typos, CorruptionLog, InjectedCell};
+pub use corrupt::{
+    inject_mar, inject_mcar, inject_mnar, inject_typos, CorruptionLog, InjectedCell,
+};
 pub use fd::{FdSet, FunctionalDependency};
 pub use imputer::{check_imputation_contract, Imputer};
 pub use normalize::Normalizer;

@@ -31,8 +31,8 @@ impl Normalizer {
                         return Some((0.0, 1.0));
                     }
                     let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-                    let var =
-                        vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+                    let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                        / vals.len() as f64;
                     let std = if var > 0.0 { var.sqrt() } else { 1.0 };
                     Some((mean, std))
                 }

@@ -32,7 +32,10 @@ impl Schema {
     pub fn new(columns: Vec<ColumnMeta>) -> Self {
         let mut names: Vec<&str> = columns.iter().map(|c| c.name.as_str()).collect();
         names.sort_unstable();
-        assert!(names.windows(2).all(|w| w[0] != w[1]), "duplicate column name in schema");
+        assert!(
+            names.windows(2).all(|w| w[0] != w[1]),
+            "duplicate column name in schema"
+        );
         Schema { columns }
     }
 
@@ -41,7 +44,10 @@ impl Schema {
         Schema::new(
             pairs
                 .iter()
-                .map(|(name, kind)| ColumnMeta { name: (*name).to_string(), kind: *kind })
+                .map(|(name, kind)| ColumnMeta {
+                    name: (*name).to_string(),
+                    kind: *kind,
+                })
                 .collect(),
         )
     }

@@ -79,13 +79,18 @@ impl Table {
             .columns()
             .iter()
             .map(|c| match c.kind {
-                ColumnKind::Categorical => {
-                    Column::Categorical { dict: Vec::new(), codes: Vec::new() }
-                }
+                ColumnKind::Categorical => Column::Categorical {
+                    dict: Vec::new(),
+                    codes: Vec::new(),
+                },
                 ColumnKind::Numerical => Column::Numerical { values: Vec::new() },
             })
             .collect();
-        Table { schema, columns, n_rows: 0 }
+        Table {
+            schema,
+            columns,
+            n_rows: 0,
+        }
     }
 
     /// Build a table from string rows; `None` entries are missing. Numerical
@@ -121,9 +126,10 @@ impl Table {
                 },
                 Column::Numerical { values } => match cell {
                     Some(s) => {
-                        let v: f64 = s.trim().parse().unwrap_or_else(|_| {
-                            panic!("cell {s:?} is not numeric")
-                        });
+                        let v: f64 = s
+                            .trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("cell {s:?} is not numeric"));
                         values.push(Some(v));
                     }
                     None => values.push(None),
@@ -140,7 +146,10 @@ impl Table {
         for (col, cell) in self.columns.iter_mut().zip(row) {
             match (col, cell) {
                 (Column::Categorical { dict, codes }, Value::Cat(c)) => {
-                    assert!((*c as usize) < dict.len(), "categorical code out of dictionary");
+                    assert!(
+                        (*c as usize) < dict.len(),
+                        "categorical code out of dictionary"
+                    );
                     codes.push(Some(*c));
                 }
                 (Column::Categorical { codes, .. }, Value::Null) => codes.push(None),
@@ -194,7 +203,10 @@ impl Table {
     pub fn set(&mut self, i: usize, j: usize, v: Value) {
         match (&mut self.columns[j], v) {
             (Column::Categorical { dict, codes }, Value::Cat(c)) => {
-                assert!((c as usize) < dict.len(), "categorical code out of dictionary");
+                assert!(
+                    (c as usize) < dict.len(),
+                    "categorical code out of dictionary"
+                );
                 codes[i] = Some(c);
             }
             (Column::Categorical { codes, .. }, Value::Null) => codes[i] = None,

@@ -21,7 +21,11 @@ impl Adjacency {
         offsets.push(0u32);
         for list in lists {
             targets.extend_from_slice(list);
-            targets.len().try_into().map(|t| offsets.push(t)).expect("edge count fits u32");
+            targets
+                .len()
+                .try_into()
+                .map(|t| offsets.push(t))
+                .expect("edge count fits u32");
         }
         Adjacency { offsets, targets }
     }
@@ -32,9 +36,19 @@ impl Adjacency {
     /// Panics if `offsets` is empty, not monotone, or does not end at
     /// `targets.len()`.
     pub fn from_raw(offsets: Vec<u32>, targets: Vec<u32>) -> Self {
-        assert!(!offsets.is_empty(), "offsets must contain at least one entry");
-        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be monotone");
-        assert_eq!(*offsets.last().unwrap() as usize, targets.len(), "offsets must end at targets.len()");
+        assert!(
+            !offsets.is_empty(),
+            "offsets must contain at least one entry"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
+        assert_eq!(
+            *offsets.last().unwrap() as usize,
+            targets.len(),
+            "offsets must end at targets.len()"
+        );
         Adjacency { offsets, targets }
     }
 
@@ -64,7 +78,11 @@ impl Adjacency {
 
     /// Largest referenced input row plus one, or 0 with no edges.
     pub fn max_target_bound(&self) -> usize {
-        self.targets.iter().map(|&t| t as usize + 1).max().unwrap_or(0)
+        self.targets
+            .iter()
+            .map(|&t| t as usize + 1)
+            .max()
+            .unwrap_or(0)
     }
 }
 

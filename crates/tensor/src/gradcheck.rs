@@ -45,12 +45,10 @@ pub fn check_gradients(
     let analytic: Vec<Tensor> = vars
         .iter()
         .map(|&v| {
-            tape.grad(v)
-                .cloned()
-                .unwrap_or_else(|| {
-                    let (r, c) = tape.value(v).shape();
-                    Tensor::zeros(r, c)
-                })
+            tape.grad(v).cloned().unwrap_or_else(|| {
+                let (r, c) = tape.value(v).shape();
+                Tensor::zeros(r, c)
+            })
         })
         .collect();
 
@@ -62,8 +60,11 @@ pub fn check_gradients(
         tape.value(loss).item()
     };
 
-    let mut report =
-        GradCheckReport { max_rel_err: 0.0, worst: (0, 0), worst_pair: (0.0, 0.0) };
+    let mut report = GradCheckReport {
+        max_rel_err: 0.0,
+        worst: (0, 0),
+        worst_pair: (0.0, 0.0),
+    };
     let mut work: Vec<Tensor> = params.to_vec();
     for (pi, param) in params.iter().enumerate() {
         for ei in 0..param.len() {
@@ -120,7 +121,13 @@ mod tests {
 
     #[test]
     fn gradcheck_softmax_ce() {
-        let params = vec![t(3, 4, &[0.1, 0.3, -0.2, 0.4, 0.0, -0.5, 0.2, 0.1, 0.9, -0.1, 0.3, 0.2])];
+        let params = vec![t(
+            3,
+            4,
+            &[
+                0.1, 0.3, -0.2, 0.4, 0.0, -0.5, 0.2, 0.1, 0.9, -0.1, 0.3, 0.2,
+            ],
+        )];
         let targets = Rc::new(vec![2u32, 0, 3]);
         let rep = check_gradients(
             &params,
@@ -143,10 +150,34 @@ mod tests {
     }
 
     #[test]
+    fn gradcheck_focal_loss_near_saturation() {
+        // Row 0 is confidently correct (p_t ≈ 0.9997): the focal factor is
+        // tiny but still differentiable. Row 1 is confidently wrong
+        // (p_t ≈ 9e-4): gradients are steep. Together they exercise both
+        // clamp-adjacent regions with the clamp shared between the forward
+        // and backward passes — a mismatch shows up as a finite-difference
+        // disagreement here.
+        let params = vec![t(2, 2, &[4.0, -4.0, 3.5, -3.5])];
+        let targets = Rc::new(vec![0u32, 1]);
+        let rep = check_gradients(
+            &params,
+            move |tape, vars| tape.focal_loss(vars[0], targets.clone(), 2.0),
+            EPS,
+        );
+        assert!(rep.passes(TOL), "{rep:?}");
+    }
+
+    #[test]
     fn gradcheck_attention_path() {
         // Mirrors the attention-task wiring: scores → softmax → weighted sum.
         let params = vec![
-            t(4, 3, &[0.1, 0.2, 0.3, -0.1, 0.4, 0.0, 0.5, -0.2, 0.3, 0.2, 0.2, -0.4]),
+            t(
+                4,
+                3,
+                &[
+                    0.1, 0.2, 0.3, -0.1, 0.4, 0.0, 0.5, -0.2, 0.3, 0.2, 0.2, -0.4,
+                ],
+            ),
             t(1, 3, &[0.3, -0.5, 0.2]),
         ];
         let rep = check_gradients(

@@ -55,7 +55,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let t = normal(100, 100, 0.5, &mut rng);
         let mean: f32 = t.sum() / t.len() as f32;
-        let var: f32 = t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        let var: f32 = t
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
     }

@@ -43,10 +43,15 @@ mod nn;
 mod optim;
 mod tape;
 mod tensor;
+mod workspace;
 
 pub use adjacency::Adjacency;
 pub use gradcheck::{check_gradients, GradCheckReport};
 pub use nn::{Dense, Mlp};
 pub use optim::{Adam, Sgd};
-pub use tape::{softmax_rows, Tape, Var};
+pub use tape::{
+    block_weighted_sum_into, scatter_mean_into, scatter_weighted_into, softmax_rows,
+    softmax_rows_in_place, Tape, Var,
+};
 pub use tensor::Tensor;
+pub use workspace::{Workspace, WorkspaceStats};

@@ -20,12 +20,21 @@ impl Dense {
     pub fn new(tape: &mut Tape, in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
         let w = tape.param(xavier_uniform(in_dim, out_dim, rng));
         let b = tape.param(Tensor::zeros(1, out_dim));
-        Dense { w, b, in_dim, out_dim }
+        Dense {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Apply the layer to a batch `x` of shape `N × in_dim`.
     pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
-        debug_assert_eq!(tape.value(x).cols(), self.in_dim, "Dense input width mismatch");
+        debug_assert_eq!(
+            tape.value(x).cols(),
+            self.in_dim,
+            "Dense input width mismatch"
+        );
         let xw = tape.matmul(x, self.w);
         tape.add_row_broadcast(xw, self.b)
     }
@@ -64,7 +73,10 @@ impl Mlp {
     /// # Panics
     /// Panics when fewer than two widths are given.
     pub fn new(tape: &mut Tape, widths: &[usize], rng: &mut impl Rng) -> Self {
-        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .map(|w| Dense::new(tape, w[0], w[1], rng))

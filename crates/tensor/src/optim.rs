@@ -23,13 +23,16 @@ impl Sgd {
         let clip = self.clip;
         let lr = self.lr;
         for i in 0..tape.param_count() {
-            let v = Var::from_index(i);
-            let Some(g) = tape.grad(v) else { continue };
-            let mut g = g.clone();
-            if let Some(c) = clip {
-                g = g.map(|x| x.clamp(-c, c));
+            let (g, value) = tape.grad_and_value_mut(Var::from_index(i));
+            let Some(g) = g else { continue };
+            match clip {
+                Some(c) => {
+                    for (x, &gi) in value.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                        *x -= lr * gi.clamp(-c, c);
+                    }
+                }
+                None => value.add_scaled(g, -lr),
             }
-            tape.value_mut(v).add_scaled(&g, -lr);
         }
     }
 }
@@ -53,7 +56,15 @@ pub struct Adam {
 impl Adam {
     /// Adam with standard betas `(0.9, 0.999)` and `eps = 1e-8`.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Apply one update to every parameter that received a gradient.
@@ -69,39 +80,46 @@ impl Adam {
     /// (and that received a gradient). Used for alternating optimization —
     /// e.g. GAN training, where generator and discriminator parameters are
     /// registered contiguously and updated in turns.
+    ///
+    /// Moment buffers start as empty placeholders and materialize the first
+    /// time a parameter receives a gradient, so persistent constant inputs
+    /// in the frozen section never cost moment storage. The update itself is
+    /// one fused pass — no gradient clone, no intermediate buffers.
     pub fn step_range(&mut self, tape: &mut Tape, range: std::ops::Range<usize>) {
         let n = tape.param_count();
         if self.m.is_empty() {
-            for i in 0..n {
-                let (r, c) = tape.value(Var::from_index(i)).shape();
-                self.m.push(Tensor::zeros(r, c));
-                self.v.push(Tensor::zeros(r, c));
-            }
+            self.m = (0..n).map(|_| Tensor::zeros(0, 0)).collect();
+            self.v = (0..n).map(|_| Tensor::zeros(0, 0)).collect();
         }
-        assert_eq!(self.m.len(), n, "optimizer state does not match tape parameters");
+        assert_eq!(
+            self.m.len(),
+            n,
+            "optimizer state does not match tape parameters"
+        );
         self.t += 1;
         let b1 = self.beta1;
         let b2 = self.beta2;
         let bc1 = 1.0 - b1.powi(self.t as i32);
         let bc2 = 1.0 - b2.powi(self.t as i32);
         for i in range.start..range.end.min(n) {
-            let var = Var::from_index(i);
-            let Some(g) = tape.grad(var) else { continue };
-            let g = g.clone();
+            let (g, value) = tape.grad_and_value_mut(Var::from_index(i));
+            let Some(g) = g else { continue };
             let m = &mut self.m[i];
             let v = &mut self.v[i];
-            for ((mi, vi), &gi) in
-                m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()).zip(g.as_slice())
+            if m.is_empty() && !g.is_empty() {
+                *m = Tensor::zeros(g.rows(), g.cols());
+                *v = Tensor::zeros(g.rows(), g.cols());
+            }
+            for ((x, &gi), (mi, vi)) in value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(g.as_slice())
+                .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()))
             {
                 *mi = b1 * *mi + (1.0 - b1) * gi;
                 *vi = b2 * *vi + (1.0 - b2) * gi * gi;
-            }
-            let value = tape.value_mut(var);
-            for ((x, &mi), &vi) in
-                value.as_mut_slice().iter_mut().zip(m.as_slice()).zip(v.as_slice())
-            {
-                let m_hat = mi / bc1;
-                let v_hat = vi / bc2;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
                 *x -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
             }
         }
@@ -141,7 +159,11 @@ mod tests {
             adam.step(&mut tape);
             tape.reset();
         }
-        assert!(tape.value(x).item().abs() < 1e-2, "x = {}", tape.value(x).item());
+        assert!(
+            tape.value(x).item().abs() < 1e-2,
+            "x = {}",
+            tape.value(x).item()
+        );
     }
 
     #[test]
@@ -165,7 +187,10 @@ mod tests {
         let mut tape = Tape::new();
         let x = tape.param(Tensor::scalar(1000.0));
         tape.freeze();
-        let sgd = Sgd { lr: 1.0, clip: Some(1.0) };
+        let sgd = Sgd {
+            lr: 1.0,
+            clip: Some(1.0),
+        };
         let sq = tape.mul_elem(x, x);
         let loss = tape.sum_all(sq);
         tape.backward(loss);

@@ -8,11 +8,30 @@
 //! arena back to the parameters. This keeps allocations stable across epochs
 //! and avoids any closure-based backward machinery: each op's backward rule
 //! is a match arm over [`Op`].
+//!
+//! ## The hot-path workspace
+//!
+//! Every ephemeral tensor — forward values, gradients, backward temporaries —
+//! is drawn from an epoch-persistent [`crate::Workspace`] and returned to it
+//! by [`Tape::reset`]. Because consecutive epochs replay the same computation
+//! over the same shapes, the second and later epochs run entirely out of the
+//! free lists: zero heap allocation in steady state, observable through
+//! [`Tape::workspace_stats`].
 
 use std::rc::Rc;
 
 use crate::adjacency::Adjacency;
 use crate::tensor::Tensor;
+use crate::workspace::{Workspace, WorkspaceStats};
+
+/// Probability clamp used by the focal loss in **both** the forward and the
+/// backward pass. The lower bound guards `ln(0)` and division by zero; the
+/// upper bound keeps `1 - p_t` away from exact zero so a saturated correct
+/// prediction still yields a tiny positive loss and a finite gradient instead
+/// of a forward loss of exactly zero that the (clamped) backward pass would
+/// contradict.
+const FOCAL_P_MIN: f32 = 1e-12;
+const FOCAL_P_MAX: f32 = 1.0 - 1e-7;
 
 /// Handle to a node on a [`Tape`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -34,7 +53,7 @@ impl Var {
 }
 
 /// The operation that produced a node; encodes the backward rule.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 enum Op {
     /// Leaf node: parameter (grads tracked) or constant input.
     Leaf,
@@ -84,7 +103,11 @@ enum Op {
     /// Mean softmax cross-entropy over rows of logits against class indices.
     SoftmaxCrossEntropy { logits: Var, targets: Rc<Vec<u32>> },
     /// Mean focal loss `-(1 - p_t)^γ · log p_t` over rows of logits.
-    FocalLoss { logits: Var, targets: Rc<Vec<u32>>, gamma: f32 },
+    FocalLoss {
+        logits: Var,
+        targets: Rc<Vec<u32>>,
+        gamma: f32,
+    },
     /// Mean squared error of an `N × 1` prediction column against targets.
     MseLoss { pred: Var, targets: Rc<Vec<f32>> },
 }
@@ -100,6 +123,12 @@ struct Node {
 pub struct Tape {
     nodes: Vec<Node>,
     frozen_at: Option<u32>,
+    ws: Workspace,
+    /// Recycled `Vec<Var>` backing stores for [`Op::AddN`]/[`Op::ConcatCols`].
+    var_lists: Vec<Vec<Var>>,
+    /// Pre-optimization behavior: allocate fresh per op, reference GEMM
+    /// kernels, no buffer recycling. Kept for honest speedup baselines.
+    legacy: bool,
 }
 
 impl Default for Tape {
@@ -111,13 +140,46 @@ impl Default for Tape {
 impl Tape {
     /// An empty tape.
     pub fn new() -> Self {
-        Tape { nodes: Vec::new(), frozen_at: None }
+        Tape {
+            nodes: Vec::new(),
+            frozen_at: None,
+            ws: Workspace::new(),
+            var_lists: Vec::new(),
+            legacy: false,
+        }
+    }
+
+    /// Switch between the optimized hot path (default) and the legacy
+    /// pre-optimization behavior (reference GEMM kernels, fresh allocation
+    /// per ephemeral tensor). Must be called before any node is pushed.
+    ///
+    /// # Panics
+    /// Panics if the tape already holds nodes.
+    pub fn set_legacy_mode(&mut self, on: bool) {
+        assert!(
+            self.nodes.is_empty(),
+            "set_legacy_mode requires an empty tape"
+        );
+        self.legacy = on;
+        self.ws.set_recycling(!on);
+    }
+
+    /// Allocation counters of the internal buffer workspace. After the first
+    /// epoch of a shape-stable training loop the miss counter stops moving —
+    /// the property the hot-path tests and the benchmark probe assert.
+    pub fn workspace_stats(&self) -> WorkspaceStats {
+        self.ws.stats()
     }
 
     fn push(&mut self, value: Tensor, op: Op, needs_grad: bool) -> Var {
         debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
         let id = u32::try_from(self.nodes.len()).expect("tape node count fits u32");
-        self.nodes.push(Node { value, grad: None, op, needs_grad });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            needs_grad,
+        });
         Var(id)
     }
 
@@ -129,12 +191,50 @@ impl Tape {
         vars.iter().any(|&v| self.needs(v))
     }
 
+    /// A workspace copy of a node's value.
+    fn ws_copy(&mut self, v: Var) -> Tensor {
+        self.ws.copy_of(&self.nodes[v.idx()].value)
+    }
+
+    /// A workspace tensor holding `f` applied elementwise to a node's value.
+    fn ws_map(&mut self, v: Var, f: impl Fn(f32) -> f32) -> Tensor {
+        let (rows, cols) = self.nodes[v.idx()].value.shape();
+        let mut out = self.ws.raw(rows, cols);
+        for (o, &x) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.nodes[v.idx()].value.as_slice())
+        {
+            *o = f(x);
+        }
+        out
+    }
+
+    /// A `1 × 1` workspace tensor holding `v`.
+    fn ws_scalar(&mut self, v: f32) -> Tensor {
+        let mut out = self.ws.raw(1, 1);
+        out.as_mut_slice()[0] = v;
+        out
+    }
+
+    /// A recycled `Vec<Var>` pre-filled with `src` (for [`Op::AddN`] and
+    /// [`Op::ConcatCols`], whose var lists would otherwise allocate each
+    /// epoch).
+    fn take_var_list(&mut self, src: &[Var]) -> Vec<Var> {
+        let mut list = self.var_lists.pop().unwrap_or_default();
+        list.extend_from_slice(src);
+        list
+    }
+
     /// Register a trainable parameter. Must be called before [`Tape::freeze`].
     ///
     /// # Panics
     /// Panics if the tape is already frozen.
     pub fn param(&mut self, value: Tensor) -> Var {
-        assert!(self.frozen_at.is_none(), "cannot add parameters to a frozen tape");
+        assert!(
+            self.frozen_at.is_none(),
+            "cannot add parameters to a frozen tape"
+        );
         self.push(value, Op::Leaf, true)
     }
 
@@ -144,26 +244,52 @@ impl Tape {
         self.frozen_at = Some(self.nodes.len() as u32);
     }
 
-    /// Number of registered parameters (valid after [`Tape::freeze`]).
+    /// Number of nodes in the persistent (pre-freeze) section. These survive
+    /// [`Tape::reset`]; optimizers walk this range and skip entries without a
+    /// gradient, so persistent constant inputs registered before freezing are
+    /// harmless here.
     pub fn param_count(&self) -> usize {
-        self.frozen_at.map(|b| b as usize).unwrap_or(self.nodes.len())
+        self.frozen_at
+            .map(|b| b as usize)
+            .unwrap_or(self.nodes.len())
     }
 
-    /// Total number of f32 values across all parameters.
+    /// Total number of f32 values across all trainable parameters
+    /// (persistent constant inputs are excluded).
     pub fn total_param_elems(&self) -> usize {
-        (0..self.param_count()).map(|i| self.nodes[i].value.len()).sum()
+        self.nodes[..self.param_count()]
+            .iter()
+            .filter(|n| n.needs_grad)
+            .map(|n| n.value.len())
+            .sum()
     }
 
-    /// Drop all ephemeral nodes and clear parameter gradients.
+    /// Drop all ephemeral nodes and clear parameter gradients. Ephemeral
+    /// values, gradients and op var-lists are recycled into the workspace for
+    /// the next epoch.
     pub fn reset(&mut self) {
         let boundary = self.frozen_at.expect("reset requires a frozen tape") as usize;
-        self.nodes.truncate(boundary);
-        for node in &mut self.nodes {
-            node.grad = None;
+        while self.nodes.len() > boundary {
+            let node = self.nodes.pop().expect("length checked above");
+            self.ws.release(node.value);
+            if let Some(g) = node.grad {
+                self.ws.release(g);
+            }
+            if let Op::AddN(mut list) | Op::ConcatCols(mut list) = node.op {
+                list.clear();
+                self.var_lists.push(list);
+            }
+        }
+        for node in &mut self.nodes[..boundary] {
+            if let Some(g) = node.grad.take() {
+                self.ws.release(g);
+            }
         }
     }
 
-    /// Add a constant (non-differentiable) input tensor.
+    /// Add a constant (non-differentiable) input tensor. Registered before
+    /// [`Tape::freeze`], the input is persistent: it survives [`Tape::reset`]
+    /// and can be reused across epochs without cloning.
     pub fn input(&mut self, value: Tensor) -> Var {
         self.push(value, Op::Leaf, false)
     }
@@ -183,19 +309,39 @@ impl Tape {
         self.nodes[v.idx()].grad.as_ref()
     }
 
+    /// Split borrow of a node's gradient (shared) and value (mutable), so an
+    /// optimizer can apply an update in one pass without cloning the
+    /// gradient.
+    pub fn grad_and_value_mut(&mut self, v: Var) -> (Option<&Tensor>, &mut Tensor) {
+        let node = &mut self.nodes[v.idx()];
+        (node.grad.as_ref(), &mut node.value)
+    }
+
     // ---- forward ops ------------------------------------------------------
 
     /// `a · b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).matmul(self.value(b));
+        let value = if self.legacy {
+            self.value(a).matmul_ref(self.value(b))
+        } else {
+            let (m, _) = self.nodes[a.idx()].value.shape();
+            let n = self.nodes[b.idx()].value.cols();
+            let mut out = self.ws.raw(m, n);
+            self.value(a).matmul_into(self.value(b), &mut out);
+            out
+        };
         let ng = self.any_needs(&[a, b]);
         self.push(value, Op::MatMul(a, b), ng)
     }
 
     /// Elementwise `a + b`.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        assert_eq!(self.value(a).shape(), self.value(b).shape(), "add shape mismatch");
-        let mut value = self.value(a).clone();
+        assert_eq!(
+            self.value(a).shape(),
+            self.value(b).shape(),
+            "add shape mismatch"
+        );
+        let mut value = self.ws_copy(a);
         value.add_assign(self.value(b));
         let ng = self.any_needs(&[a, b]);
         self.push(value, Op::Add(a, b), ng)
@@ -205,13 +351,11 @@ impl Tape {
     pub fn add_row_broadcast(&mut self, a: Var, bias: Var) -> Var {
         let (rows, cols) = self.value(a).shape();
         assert_eq!(self.value(bias).shape(), (1, cols), "bias must be 1 x cols");
-        let mut value = self.value(a).clone();
-        {
-            let b = self.value(bias).as_slice().to_vec();
-            for r in 0..rows {
-                for (o, &bv) in value.row_slice_mut(r).iter_mut().zip(&b) {
-                    *o += bv;
-                }
+        let mut value = self.ws_copy(a);
+        let b = self.nodes[bias.idx()].value.as_slice();
+        for r in 0..rows {
+            for (o, &bv) in value.row_slice_mut(r).iter_mut().zip(b) {
+                *o += bv;
             }
         }
         let ng = self.any_needs(&[a, bias]);
@@ -220,8 +364,12 @@ impl Tape {
 
     /// Elementwise `a - b`.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        assert_eq!(self.value(a).shape(), self.value(b).shape(), "sub shape mismatch");
-        let mut value = self.value(a).clone();
+        assert_eq!(
+            self.value(a).shape(),
+            self.value(b).shape(),
+            "sub shape mismatch"
+        );
+        let mut value = self.ws_copy(a);
         value.add_scaled(self.value(b), -1.0);
         let ng = self.any_needs(&[a, b]);
         self.push(value, Op::Sub(a, b), ng)
@@ -229,11 +377,18 @@ impl Tape {
 
     /// Elementwise Hadamard product.
     pub fn mul_elem(&mut self, a: Var, b: Var) -> Var {
-        assert_eq!(self.value(a).shape(), self.value(b).shape(), "mul shape mismatch");
-        let bv = self.value(b).as_slice().to_vec();
-        let mut value = self.value(a).clone();
-        for (x, b) in value.as_mut_slice().iter_mut().zip(bv) {
-            *x *= b;
+        assert_eq!(
+            self.value(a).shape(),
+            self.value(b).shape(),
+            "mul shape mismatch"
+        );
+        let mut value = self.ws_copy(a);
+        for (x, &bv) in value
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.nodes[b.idx()].value.as_slice())
+        {
+            *x *= bv;
         }
         let ng = self.any_needs(&[a, b]);
         self.push(value, Op::MulElem(a, b), ng)
@@ -241,7 +396,7 @@ impl Tape {
 
     /// `k · a`.
     pub fn scale(&mut self, a: Var, k: f32) -> Var {
-        let value = self.value(a).map(|v| v * k);
+        let value = self.ws_map(a, |v| v * k);
         let ng = self.needs(a);
         self.push(value, Op::Scale(a, k), ng)
     }
@@ -252,42 +407,45 @@ impl Tape {
     /// Panics on an empty input list or mismatched shapes.
     pub fn add_n(&mut self, vars: &[Var]) -> Var {
         assert!(!vars.is_empty(), "add_n requires at least one input");
-        let mut value = self.value(vars[0]).clone();
+        let mut value = self.ws_copy(vars[0]);
         for &v in &vars[1..] {
             value.add_assign(self.value(v));
         }
         let ng = self.any_needs(vars);
-        self.push(value, Op::AddN(vars.to_vec()), ng)
+        let list = self.take_var_list(vars);
+        self.push(value, Op::AddN(list), ng)
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(|v| v.max(0.0));
+        let value = self.ws_map(a, |v| v.max(0.0));
         let ng = self.needs(a);
         self.push(value, Op::Relu(a), ng)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(f32::tanh);
+        let value = self.ws_map(a, f32::tanh);
         let ng = self.needs(a);
         self.push(value, Op::Tanh(a), ng)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(|v| 1.0 / (1.0 + (-v).exp()));
+        let value = self.ws_map(a, |v| 1.0 / (1.0 + (-v).exp()));
         let ng = self.needs(a);
         self.push(value, Op::Sigmoid(a), ng)
     }
 
     /// Row gather: `out[i] = a[idx[i]]`.
     pub fn gather_rows(&mut self, a: Var, idx: Rc<Vec<u32>>) -> Var {
-        let src = self.value(a);
-        let cols = src.cols();
-        let mut value = Tensor::zeros(idx.len(), cols);
+        let cols = self.nodes[a.idx()].value.cols();
+        let mut value = self.ws.raw(idx.len(), cols);
+        let src = &self.nodes[a.idx()].value;
         for (i, &j) in idx.iter().enumerate() {
-            value.row_slice_mut(i).copy_from_slice(src.row_slice(j as usize));
+            value
+                .row_slice_mut(i)
+                .copy_from_slice(src.row_slice(j as usize));
         }
         let ng = self.needs(a);
         self.push(value, Op::GatherRows(a, idx), ng)
@@ -304,20 +462,8 @@ impl Tape {
             src.rows()
         );
         let cols = src.cols();
-        let mut value = Tensor::zeros(adj.n_rows(), cols);
-        for i in 0..adj.n_rows() {
-            let neigh = adj.neighbors(i);
-            if neigh.is_empty() {
-                continue;
-            }
-            let inv = 1.0 / neigh.len() as f32;
-            let out_row = value.row_slice_mut(i);
-            for &j in neigh {
-                for (o, &v) in out_row.iter_mut().zip(src.row_slice(j as usize)) {
-                    *o += v * inv;
-                }
-            }
-        }
+        let mut value = self.ws.raw(adj.n_rows(), cols);
+        scatter_mean_into(&self.nodes[a.idx()].value, &adj, &mut value);
         let ng = self.needs(a);
         self.push(value, Op::ScatterMean(a, adj), ng)
     }
@@ -330,34 +476,20 @@ impl Tape {
     ///
     /// # Panics
     /// Panics when `weights.len() != adj.n_edges()`.
-    pub fn scatter_weighted(
-        &mut self,
-        a: Var,
-        adj: Rc<Adjacency>,
-        weights: Rc<Vec<f32>>,
-    ) -> Var {
+    pub fn scatter_weighted(&mut self, a: Var, adj: Rc<Adjacency>, weights: Rc<Vec<f32>>) -> Var {
         let src = self.value(a);
-        assert_eq!(weights.len(), adj.n_edges(), "one weight per adjacency edge");
+        assert_eq!(
+            weights.len(),
+            adj.n_edges(),
+            "one weight per adjacency edge"
+        );
         assert!(
             adj.max_target_bound() <= src.rows(),
             "adjacency references row beyond input"
         );
         let cols = src.cols();
-        let mut value = Tensor::zeros(adj.n_rows(), cols);
-        let mut e = 0usize;
-        for i in 0..adj.n_rows() {
-            let out_row = value.row_slice_mut(i);
-            for &j in adj.neighbors(i) {
-                let w = weights[e];
-                e += 1;
-                if w == 0.0 {
-                    continue;
-                }
-                for (o, &v) in out_row.iter_mut().zip(src.row_slice(j as usize)) {
-                    *o += w * v;
-                }
-            }
-        }
+        let mut value = self.ws.raw(adj.n_rows(), cols);
+        scatter_weighted_into(&self.nodes[a.idx()].value, &adj, &weights, &mut value);
         let ng = self.needs(a);
         self.push(value, Op::ScatterWeighted(a, adj, weights), ng)
     }
@@ -367,10 +499,10 @@ impl Tape {
         assert!(!vars.is_empty(), "concat_cols requires at least one input");
         let rows = self.value(vars[0]).rows();
         let total_cols: usize = vars.iter().map(|&v| self.value(v).cols()).sum();
-        let mut value = Tensor::zeros(rows, total_cols);
+        let mut value = self.ws.raw(rows, total_cols);
         let mut offset = 0;
         for &v in vars {
-            let t = self.value(v);
+            let t = &self.nodes[v.idx()].value;
             assert_eq!(t.rows(), rows, "concat_cols row mismatch");
             let c = t.cols();
             for r in 0..rows {
@@ -379,17 +511,20 @@ impl Tape {
             offset += c;
         }
         let ng = self.any_needs(vars);
-        self.push(value, Op::ConcatCols(vars.to_vec()), ng)
+        let list = self.take_var_list(vars);
+        self.push(value, Op::ConcatCols(list), ng)
     }
 
     /// Column slice `a[:, start..end]`.
     pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
-        let src = self.value(a);
-        assert!(start <= end && end <= src.cols(), "slice out of bounds");
-        let rows = src.rows();
-        let mut value = Tensor::zeros(rows, end - start);
+        let (rows, src_cols) = self.nodes[a.idx()].value.shape();
+        assert!(start <= end && end <= src_cols, "slice out of bounds");
+        let mut value = self.ws.raw(rows, end - start);
+        let src = &self.nodes[a.idx()].value;
         for r in 0..rows {
-            value.row_slice_mut(r).copy_from_slice(&src.row_slice(r)[start..end]);
+            value
+                .row_slice_mut(r)
+                .copy_from_slice(&src.row_slice(r)[start..end]);
         }
         let ng = self.needs(a);
         self.push(value, Op::SliceCols(a, start, end), ng)
@@ -397,14 +532,15 @@ impl Tape {
 
     /// Shape reinterpretation preserving element order.
     pub fn reshape(&mut self, a: Var, rows: usize, cols: usize) -> Var {
-        let value = self.value(a).reshaped(rows, cols);
+        let value = self.ws_copy(a).into_reshaped(rows, cols);
         let ng = self.needs(a);
         self.push(value, Op::Reshape(a), ng)
     }
 
     /// Sum of all elements as a `1 × 1` tensor.
     pub fn sum_all(&mut self, a: Var) -> Var {
-        let value = Tensor::scalar(self.value(a).sum());
+        let s = self.value(a).sum();
+        let value = self.ws_scalar(s);
         let ng = self.needs(a);
         self.push(value, Op::SumAll(a), ng)
     }
@@ -412,14 +548,16 @@ impl Tape {
     /// Mean of all elements as a `1 × 1` tensor.
     pub fn mean_all(&mut self, a: Var) -> Var {
         let t = self.value(a);
-        let value = Tensor::scalar(t.sum() / t.len() as f32);
+        let m = t.sum() / t.len() as f32;
+        let value = self.ws_scalar(m);
         let ng = self.needs(a);
         self.push(value, Op::MeanAll(a), ng)
     }
 
     /// Row-wise numerically stable softmax.
     pub fn row_softmax(&mut self, a: Var) -> Var {
-        let value = softmax_rows(self.value(a));
+        let mut value = self.ws_copy(a);
+        softmax_rows_in_place(&mut value);
         let ng = self.needs(a);
         self.push(value, Op::RowSoftmax(a), ng)
     }
@@ -431,56 +569,54 @@ impl Tape {
         let (n, c) = self.value(alpha).shape();
         let (vc_rows, d) = self.value(v).shape();
         assert_eq!(vc_rows, n * c, "v rows must equal alpha rows x cols");
-        let mut value = Tensor::zeros(n, d);
-        {
-            let vt = self.value(v);
-            let at = self.value(alpha);
-            for ni in 0..n {
-                let out_row = value.row_slice_mut(ni);
-                for ci in 0..c {
-                    let w = at.get(ni, ci);
-                    if w == 0.0 {
-                        continue;
-                    }
-                    for (o, &x) in out_row.iter_mut().zip(vt.row_slice(ni * c + ci)) {
-                        *o += w * x;
-                    }
-                }
-            }
-        }
+        let mut value = self.ws.raw(n, d);
+        block_weighted_sum_into(
+            &self.nodes[v.idx()].value,
+            &self.nodes[alpha.idx()].value,
+            &mut value,
+        );
         let ng = self.any_needs(&[v, alpha]);
         self.push(value, Op::BlockWeightedSum { v, alpha }, ng)
     }
 
     /// Mean softmax cross-entropy of `logits` (`N × K`) against class
-    /// indices `targets` (`len N`, each `< K`).
+    /// indices `targets` (`len N`, each `< K`). The forward pass streams
+    /// per-row max/sum-exp and never materializes the probability matrix.
     pub fn softmax_cross_entropy(&mut self, logits: Var, targets: Rc<Vec<u32>>) -> Var {
-        let lt = self.value(logits);
+        let lt = &self.nodes[logits.idx()].value;
         assert_eq!(lt.rows(), targets.len(), "one target per logits row");
-        let probs = softmax_rows(lt);
         let mut loss = 0.0f64;
         for (i, &t) in targets.iter().enumerate() {
-            let p = probs.get(i, t as usize).max(1e-12);
+            let p = streamed_softmax_prob(lt.row_slice(i), t as usize).max(1e-12);
             loss -= f64::from(p.ln());
         }
-        let value = Tensor::scalar((loss / targets.len() as f64) as f32);
+        let value = self.ws_scalar((loss / targets.len() as f64) as f32);
         let ng = self.needs(logits);
         self.push(value, Op::SoftmaxCrossEntropy { logits, targets }, ng)
     }
 
-    /// Mean focal loss `-(1 - p_t)^γ log p_t` against class indices.
+    /// Mean focal loss `-(1 - p_t)^γ log p_t` against class indices, with
+    /// `p_t` clamped to the same range the backward pass uses.
     pub fn focal_loss(&mut self, logits: Var, targets: Rc<Vec<u32>>, gamma: f32) -> Var {
-        let lt = self.value(logits);
+        let lt = &self.nodes[logits.idx()].value;
         assert_eq!(lt.rows(), targets.len(), "one target per logits row");
-        let probs = softmax_rows(lt);
         let mut loss = 0.0f64;
         for (i, &t) in targets.iter().enumerate() {
-            let p = probs.get(i, t as usize).clamp(1e-12, 1.0);
+            let p =
+                streamed_softmax_prob(lt.row_slice(i), t as usize).clamp(FOCAL_P_MIN, FOCAL_P_MAX);
             loss -= f64::from((1.0 - p).powf(gamma) * p.ln());
         }
-        let value = Tensor::scalar((loss / targets.len() as f64) as f32);
+        let value = self.ws_scalar((loss / targets.len() as f64) as f32);
         let ng = self.needs(logits);
-        self.push(value, Op::FocalLoss { logits, targets, gamma }, ng)
+        self.push(
+            value,
+            Op::FocalLoss {
+                logits,
+                targets,
+                gamma,
+            },
+            ng,
+        )
     }
 
     /// Mean squared error of an `N × 1` prediction column against targets.
@@ -492,7 +628,7 @@ impl Tape {
             let d = f64::from(pt.get(i, 0) - t);
             loss += d * d;
         }
-        let value = Tensor::scalar((loss / targets.len().max(1) as f64) as f32);
+        let value = self.ws_scalar((loss / targets.len().max(1) as f64) as f32);
         let ng = self.needs(pred);
         self.push(value, Op::MseLoss { pred, targets }, ng)
     }
@@ -501,11 +637,15 @@ impl Tape {
 
     fn accumulate(&mut self, v: Var, delta: Tensor) {
         if !self.needs(v) {
+            self.ws.release(delta);
             return;
         }
         let node = &mut self.nodes[v.idx()];
         match &mut node.grad {
-            Some(g) => g.add_assign(&delta),
+            Some(g) => {
+                g.add_assign(&delta);
+                self.ws.release(delta);
+            }
             None => node.grad = Some(delta),
         }
     }
@@ -515,15 +655,36 @@ impl Tape {
     /// # Panics
     /// Panics if `loss` is not `1 × 1`.
     pub fn backward(&mut self, loss: Var) {
-        assert_eq!(self.value(loss).shape(), (1, 1), "backward requires a scalar loss");
-        self.nodes[loss.idx()].grad = Some(Tensor::scalar(1.0));
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward requires a scalar loss"
+        );
+        let seed = self.ws_scalar(1.0);
+        if let Some(old) = self.nodes[loss.idx()].grad.replace(seed) {
+            self.ws.release(old);
+        }
         for i in (0..self.nodes.len()).rev() {
-            if self.nodes[i].grad.is_none() || !self.nodes[i].needs_grad {
+            if !self.nodes[i].needs_grad || self.nodes[i].grad.is_none() {
                 continue;
             }
-            let grad = self.nodes[i].grad.clone().expect("just checked");
-            let op = self.nodes[i].op.clone();
+            if self.legacy {
+                // The pre-optimization sweep cloned the node's gradient
+                // before dispatching; keep that cost in the baseline.
+                let grad = self.nodes[i].grad.clone().expect("presence checked above");
+                let op = std::mem::replace(&mut self.nodes[i].op, Op::Leaf);
+                self.backprop_one(Var(i as u32), &grad, &op);
+                self.nodes[i].op = op;
+                continue;
+            }
+            // Detach the gradient and op so the backward arm can borrow the
+            // rest of the tape freely without cloning either; both are
+            // restored below so `Tape::grad` keeps working after backward.
+            let grad = self.nodes[i].grad.take().expect("presence checked above");
+            let op = std::mem::replace(&mut self.nodes[i].op, Op::Leaf);
             self.backprop_one(Var(i as u32), &grad, &op);
+            self.nodes[i].grad = Some(grad);
+            self.nodes[i].op = op;
         }
     }
 
@@ -532,23 +693,44 @@ impl Tape {
             Op::Leaf => {}
             Op::MatMul(a, b) => {
                 if self.needs(*a) {
-                    let da = grad.matmul_nt(self.value(*b));
+                    let da = if self.legacy {
+                        grad.matmul_nt_ref(&self.nodes[b.idx()].value)
+                    } else {
+                        let mut da = self.ws.raw(grad.rows(), self.nodes[b.idx()].value.rows());
+                        grad.matmul_nt_into(&self.nodes[b.idx()].value, &mut da);
+                        da
+                    };
                     self.accumulate(*a, da);
                 }
                 if self.needs(*b) {
-                    let db = self.value(*a).matmul_tn(grad);
+                    let db = if self.legacy {
+                        self.nodes[a.idx()].value.matmul_tn_ref(grad)
+                    } else {
+                        let mut db = self.ws.raw(self.nodes[a.idx()].value.cols(), grad.cols());
+                        self.nodes[a.idx()].value.matmul_tn_into(grad, &mut db);
+                        db
+                    };
                     self.accumulate(*b, db);
                 }
             }
             Op::Add(a, b) => {
-                self.accumulate(*a, grad.clone());
-                self.accumulate(*b, grad.clone());
+                if self.needs(*a) {
+                    let da = self.ws.copy_of(grad);
+                    self.accumulate(*a, da);
+                }
+                if self.needs(*b) {
+                    let db = self.ws.copy_of(grad);
+                    self.accumulate(*b, db);
+                }
             }
             Op::AddRowBroadcast(a, bias) => {
-                self.accumulate(*a, grad.clone());
+                if self.needs(*a) {
+                    let da = self.ws.copy_of(grad);
+                    self.accumulate(*a, da);
+                }
                 if self.needs(*bias) {
                     let cols = grad.cols();
-                    let mut db = Tensor::zeros(1, cols);
+                    let mut db = self.ws.zeroed(1, cols);
                     for r in 0..grad.rows() {
                         for (o, &g) in db.as_mut_slice().iter_mut().zip(grad.row_slice(r)) {
                             *o += g;
@@ -558,65 +740,119 @@ impl Tape {
                 }
             }
             Op::Sub(a, b) => {
-                self.accumulate(*a, grad.clone());
-                self.accumulate(*b, grad.map(|v| -v));
+                if self.needs(*a) {
+                    let da = self.ws.copy_of(grad);
+                    self.accumulate(*a, da);
+                }
+                if self.needs(*b) {
+                    let mut db = self.ws.copy_of(grad);
+                    for g in db.as_mut_slice() {
+                        *g = -*g;
+                    }
+                    self.accumulate(*b, db);
+                }
             }
             Op::MulElem(a, b) => {
                 if self.needs(*a) {
-                    let mut da = grad.clone();
-                    let bv = self.value(*b).as_slice().to_vec();
-                    for (g, b) in da.as_mut_slice().iter_mut().zip(bv) {
-                        *g *= b;
+                    let mut da = self.ws.copy_of(grad);
+                    if self.legacy {
+                        // The pre-optimization rule snapshotted the operand
+                        // with `to_vec()`; keep that cost in the baseline.
+                        let bv = self.nodes[b.idx()].value.as_slice().to_vec();
+                        for (g, &bv) in da.as_mut_slice().iter_mut().zip(&bv) {
+                            *g *= bv;
+                        }
+                    } else {
+                        for (g, &bv) in da
+                            .as_mut_slice()
+                            .iter_mut()
+                            .zip(self.nodes[b.idx()].value.as_slice())
+                        {
+                            *g *= bv;
+                        }
                     }
                     self.accumulate(*a, da);
                 }
                 if self.needs(*b) {
-                    let mut db = grad.clone();
-                    let av = self.value(*a).as_slice().to_vec();
-                    for (g, a) in db.as_mut_slice().iter_mut().zip(av) {
-                        *g *= a;
+                    let mut db = self.ws.copy_of(grad);
+                    if self.legacy {
+                        let av = self.nodes[a.idx()].value.as_slice().to_vec();
+                        for (g, &av) in db.as_mut_slice().iter_mut().zip(&av) {
+                            *g *= av;
+                        }
+                    } else {
+                        for (g, &av) in db
+                            .as_mut_slice()
+                            .iter_mut()
+                            .zip(self.nodes[a.idx()].value.as_slice())
+                        {
+                            *g *= av;
+                        }
                     }
                     self.accumulate(*b, db);
                 }
             }
             Op::Scale(a, k) => {
-                let k = *k;
-                self.accumulate(*a, grad.map(|v| v * k));
+                if self.needs(*a) {
+                    let k = *k;
+                    let mut da = self.ws.copy_of(grad);
+                    for g in da.as_mut_slice() {
+                        *g *= k;
+                    }
+                    self.accumulate(*a, da);
+                }
             }
             Op::AddN(vars) => {
                 for &v in vars {
-                    self.accumulate(v, grad.clone());
+                    if self.needs(v) {
+                        let dv = self.ws.copy_of(grad);
+                        self.accumulate(v, dv);
+                    }
                 }
             }
             Op::Relu(a) => {
-                let mask: Vec<f32> =
-                    self.value(out).as_slice().iter().map(|&v| if v > 0.0 { 1.0 } else { 0.0 }).collect();
-                let mut da = grad.clone();
-                for (g, m) in da.as_mut_slice().iter_mut().zip(mask) {
-                    *g *= m;
+                if self.needs(*a) {
+                    let mut da = self.ws.copy_of(grad);
+                    for (g, &o) in da
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(self.nodes[out.idx()].value.as_slice())
+                    {
+                        *g *= if o > 0.0 { 1.0 } else { 0.0 };
+                    }
+                    self.accumulate(*a, da);
                 }
-                self.accumulate(*a, da);
             }
             Op::Tanh(a) => {
-                let outv = self.value(out).as_slice().to_vec();
-                let mut da = grad.clone();
-                for (g, o) in da.as_mut_slice().iter_mut().zip(outv) {
-                    *g *= 1.0 - o * o;
+                if self.needs(*a) {
+                    let mut da = self.ws.copy_of(grad);
+                    for (g, &o) in da
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(self.nodes[out.idx()].value.as_slice())
+                    {
+                        *g *= 1.0 - o * o;
+                    }
+                    self.accumulate(*a, da);
                 }
-                self.accumulate(*a, da);
             }
             Op::Sigmoid(a) => {
-                let outv = self.value(out).as_slice().to_vec();
-                let mut da = grad.clone();
-                for (g, o) in da.as_mut_slice().iter_mut().zip(outv) {
-                    *g *= o * (1.0 - o);
+                if self.needs(*a) {
+                    let mut da = self.ws.copy_of(grad);
+                    for (g, &o) in da
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(self.nodes[out.idx()].value.as_slice())
+                    {
+                        *g *= o * (1.0 - o);
+                    }
+                    self.accumulate(*a, da);
                 }
-                self.accumulate(*a, da);
             }
             Op::GatherRows(a, idx) => {
                 if self.needs(*a) {
-                    let (rows, cols) = self.value(*a).shape();
-                    let mut da = Tensor::zeros(rows, cols);
+                    let (rows, cols) = self.nodes[a.idx()].value.shape();
+                    let mut da = self.ws.zeroed(rows, cols);
                     for (i, &j) in idx.iter().enumerate() {
                         let dst = da.row_slice_mut(j as usize);
                         for (o, &g) in dst.iter_mut().zip(grad.row_slice(i)) {
@@ -628,8 +864,8 @@ impl Tape {
             }
             Op::ScatterMean(a, adj) => {
                 if self.needs(*a) {
-                    let (rows, cols) = self.value(*a).shape();
-                    let mut da = Tensor::zeros(rows, cols);
+                    let (rows, cols) = self.nodes[a.idx()].value.shape();
+                    let mut da = self.ws.zeroed(rows, cols);
                     for i in 0..adj.n_rows() {
                         let neigh = adj.neighbors(i);
                         if neigh.is_empty() {
@@ -648,16 +884,13 @@ impl Tape {
             }
             Op::ScatterWeighted(a, adj, weights) => {
                 if self.needs(*a) {
-                    let (rows, cols) = self.value(*a).shape();
-                    let mut da = Tensor::zeros(rows, cols);
+                    let (rows, cols) = self.nodes[a.idx()].value.shape();
+                    let mut da = self.ws.zeroed(rows, cols);
                     let mut e = 0usize;
                     for i in 0..adj.n_rows() {
                         for &j in adj.neighbors(i) {
                             let w = weights[e];
                             e += 1;
-                            if w == 0.0 {
-                                continue;
-                            }
                             let dst = da.row_slice_mut(j as usize);
                             for (o, &g) in dst.iter_mut().zip(grad.row_slice(i)) {
                                 *o += w * g;
@@ -670,12 +903,13 @@ impl Tape {
             Op::ConcatCols(vars) => {
                 let mut offset = 0;
                 for &v in vars {
-                    let c = self.value(v).cols();
+                    let c = self.nodes[v.idx()].value.cols();
                     if self.needs(v) {
                         let rows = grad.rows();
-                        let mut dv = Tensor::zeros(rows, c);
+                        let mut dv = self.ws.raw(rows, c);
                         for r in 0..rows {
-                            dv.row_slice_mut(r).copy_from_slice(&grad.row_slice(r)[offset..offset + c]);
+                            dv.row_slice_mut(r)
+                                .copy_from_slice(&grad.row_slice(r)[offset..offset + c]);
                         }
                         self.accumulate(v, dv);
                     }
@@ -684,8 +918,8 @@ impl Tape {
             }
             Op::SliceCols(a, start, _end) => {
                 if self.needs(*a) {
-                    let (rows, cols) = self.value(*a).shape();
-                    let mut da = Tensor::zeros(rows, cols);
+                    let (rows, cols) = self.nodes[a.idx()].value.shape();
+                    let mut da = self.ws.zeroed(rows, cols);
                     for r in 0..rows {
                         let g = grad.row_slice(r);
                         da.row_slice_mut(r)[*start..*start + g.len()].copy_from_slice(g);
@@ -695,25 +929,35 @@ impl Tape {
             }
             Op::Reshape(a) => {
                 if self.needs(*a) {
-                    let (rows, cols) = self.value(*a).shape();
-                    self.accumulate(*a, grad.reshaped(rows, cols));
+                    let (rows, cols) = self.nodes[a.idx()].value.shape();
+                    let da = self.ws.copy_of(grad).into_reshaped(rows, cols);
+                    self.accumulate(*a, da);
                 }
             }
             Op::SumAll(a) => {
-                let g = grad.item();
-                let (rows, cols) = self.value(*a).shape();
-                self.accumulate(*a, Tensor::full(rows, cols, g));
+                if self.needs(*a) {
+                    let g = grad.item();
+                    let (rows, cols) = self.nodes[a.idx()].value.shape();
+                    let mut da = self.ws.raw(rows, cols);
+                    da.as_mut_slice().fill(g);
+                    self.accumulate(*a, da);
+                }
             }
             Op::MeanAll(a) => {
-                let (rows, cols) = self.value(*a).shape();
-                let g = grad.item() / (rows * cols) as f32;
-                self.accumulate(*a, Tensor::full(rows, cols, g));
+                if self.needs(*a) {
+                    let (rows, cols) = self.nodes[a.idx()].value.shape();
+                    let g = grad.item() / (rows * cols) as f32;
+                    let mut da = self.ws.raw(rows, cols);
+                    da.as_mut_slice().fill(g);
+                    self.accumulate(*a, da);
+                }
             }
             Op::RowSoftmax(a) => {
                 if self.needs(*a) {
-                    let outv = self.value(out).clone();
-                    let mut da = Tensor::zeros(outv.rows(), outv.cols());
-                    for r in 0..outv.rows() {
+                    let (rows, cols) = self.nodes[out.idx()].value.shape();
+                    let mut da = self.ws.raw(rows, cols);
+                    let outv = &self.nodes[out.idx()].value;
+                    for r in 0..rows {
                         let s = outv.row_slice(r);
                         let g = grad.row_slice(r);
                         let dot: f32 = s.iter().zip(g).map(|(&si, &gi)| si * gi).sum();
@@ -725,33 +969,37 @@ impl Tape {
                 }
             }
             Op::BlockWeightedSum { v, alpha } => {
-                let (n, c) = self.value(*alpha).shape();
-                let d = self.value(*v).cols();
+                let (n, c) = self.nodes[alpha.idx()].value.shape();
+                let d = self.nodes[v.idx()].value.cols();
                 if self.needs(*v) {
-                    let at = self.value(*alpha).clone();
-                    let mut dv = Tensor::zeros(n * c, d);
+                    // Every row n·C + c is written by exactly one (n, c)
+                    // pair, so the buffer is fully overwritten — and the
+                    // weight is applied unconditionally (no zero-skip).
+                    let mut dv = self.ws.raw(n * c, d);
+                    let at = &self.nodes[alpha.idx()].value;
                     for ni in 0..n {
                         let g = grad.row_slice(ni);
                         for ci in 0..c {
                             let w = at.get(ni, ci);
-                            if w == 0.0 {
-                                continue;
-                            }
                             for (o, &gi) in dv.row_slice_mut(ni * c + ci).iter_mut().zip(g) {
-                                *o += w * gi;
+                                *o = w * gi;
                             }
                         }
                     }
                     self.accumulate(*v, dv);
                 }
                 if self.needs(*alpha) {
-                    let vt = self.value(*v).clone();
-                    let mut dalpha = Tensor::zeros(n, c);
+                    let mut dalpha = self.ws.raw(n, c);
+                    let vt = &self.nodes[v.idx()].value;
                     for ni in 0..n {
                         let g = grad.row_slice(ni);
                         for ci in 0..c {
-                            let dot: f32 =
-                                vt.row_slice(ni * c + ci).iter().zip(g).map(|(&x, &gi)| x * gi).sum();
+                            let dot: f32 = vt
+                                .row_slice(ni * c + ci)
+                                .iter()
+                                .zip(g)
+                                .map(|(&x, &gi)| x * gi)
+                                .sum();
                             dalpha.set(ni, ci, dot);
                         }
                     }
@@ -760,10 +1008,10 @@ impl Tape {
             }
             Op::SoftmaxCrossEntropy { logits, targets } => {
                 if self.needs(*logits) {
-                    let probs = softmax_rows(self.value(*logits));
+                    let mut dl = self.ws_copy(*logits);
+                    softmax_rows_in_place(&mut dl);
                     let n = targets.len() as f32;
                     let scale = grad.item() / n;
-                    let mut dl = probs;
                     for (i, &t) in targets.iter().enumerate() {
                         let row = dl.row_slice_mut(i);
                         row[t as usize] -= 1.0;
@@ -774,22 +1022,26 @@ impl Tape {
                     self.accumulate(*logits, dl);
                 }
             }
-            Op::FocalLoss { logits, targets, gamma } => {
+            Op::FocalLoss {
+                logits,
+                targets,
+                gamma,
+            } => {
                 if self.needs(*logits) {
-                    let probs = softmax_rows(self.value(*logits));
+                    let mut dl = self.ws_copy(*logits);
+                    softmax_rows_in_place(&mut dl);
                     let n = targets.len() as f32;
                     let scale = grad.item() / n;
                     let gamma = *gamma;
-                    let mut dl = Tensor::zeros(probs.rows(), probs.cols());
                     for (i, &t) in targets.iter().enumerate() {
                         let t = t as usize;
-                        let p_row = probs.row_slice(i);
-                        let pt = p_row[t].clamp(1e-12, 1.0 - 1e-7);
+                        let row = dl.row_slice_mut(i);
+                        let pt = row[t].clamp(FOCAL_P_MIN, FOCAL_P_MAX);
                         // dL/dp_t for L = -(1-p)^g ln p
                         let dl_dpt = gamma * (1.0 - pt).powf(gamma - 1.0) * pt.ln()
                             - (1.0 - pt).powf(gamma) / pt;
-                        let out_row = dl.row_slice_mut(i);
-                        for (k, (&pk, o)) in p_row.iter().zip(out_row.iter_mut()).enumerate() {
+                        for (k, o) in row.iter_mut().enumerate() {
+                            let pk = *o;
                             let dpt_dzk = if k == t { pt * (1.0 - pt) } else { -pt * pk };
                             *o = scale * dl_dpt * dpt_dzk;
                         }
@@ -801,8 +1053,8 @@ impl Tape {
                 if self.needs(*pred) {
                     let n = targets.len().max(1) as f32;
                     let scale = 2.0 * grad.item() / n;
-                    let pt = self.value(*pred).clone();
-                    let mut dp = Tensor::zeros(pt.rows(), 1);
+                    let mut dp = self.ws.raw(targets.len(), 1);
+                    let pt = &self.nodes[pred.idx()].value;
                     for (i, &t) in targets.iter().enumerate() {
                         dp.set(i, 0, scale * (pt.get(i, 0) - t));
                     }
@@ -813,11 +1065,23 @@ impl Tape {
     }
 }
 
-/// Numerically stable row-wise softmax of a tensor.
-pub fn softmax_rows(t: &Tensor) -> Tensor {
-    let mut out = t.clone();
+/// Softmax probability of class `t` for one logits row, streaming the
+/// max/sum-exp without materializing the probability vector. The summation
+/// order matches [`softmax_rows_in_place`] exactly, so the result is
+/// bit-identical to reading the materialized probability.
+fn streamed_softmax_prob(row: &[f32], t: usize) -> f32 {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for &z in row {
+        sum += (z - max).exp();
+    }
+    (row[t] - max).exp() * (1.0 / sum)
+}
+
+/// Numerically stable row-wise softmax, in place.
+pub fn softmax_rows_in_place(t: &mut Tensor) {
     for r in 0..t.rows() {
-        let row = out.row_slice_mut(r);
+        let row = t.row_slice_mut(r);
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0;
         for v in row.iter_mut() {
@@ -829,7 +1093,81 @@ pub fn softmax_rows(t: &Tensor) -> Tensor {
             *v *= inv;
         }
     }
+}
+
+/// Numerically stable row-wise softmax of a tensor.
+pub fn softmax_rows(t: &Tensor) -> Tensor {
+    let mut out = t.clone();
+    softmax_rows_in_place(&mut out);
     out
+}
+
+/// Neighborhood mean into a preallocated output: `out[i] = mean of a[j] over
+/// j ∈ adj(i)`, a zero row when `adj(i)` is empty. Every element of `out` is
+/// overwritten; `out` must be `adj.n_rows() × a.cols()`.
+pub fn scatter_mean_into(a: &Tensor, adj: &Adjacency, out: &mut Tensor) {
+    debug_assert_eq!(out.shape(), (adj.n_rows(), a.cols()));
+    for i in 0..adj.n_rows() {
+        let neigh = adj.neighbors(i);
+        let out_row = out.row_slice_mut(i);
+        out_row.fill(0.0);
+        if neigh.is_empty() {
+            continue;
+        }
+        let inv = 1.0 / neigh.len() as f32;
+        for &j in neigh {
+            for (o, &v) in out_row.iter_mut().zip(a.row_slice(j as usize)) {
+                *o += v * inv;
+            }
+        }
+    }
+}
+
+/// Weighted neighborhood sum into a preallocated output: `out[i] = Σ w[e] ·
+/// a[j]` over the adjacency's edges `(i, j)` with one weight per CSR entry.
+/// Weights are applied unconditionally — a zero weight multiplies rather
+/// than skips, so a NaN in a zero-weighted source row propagates instead of
+/// being silently masked. Every element of `out` is overwritten.
+pub fn scatter_weighted_into(a: &Tensor, adj: &Adjacency, weights: &[f32], out: &mut Tensor) {
+    debug_assert_eq!(
+        weights.len(),
+        adj.n_edges(),
+        "one weight per adjacency edge"
+    );
+    debug_assert_eq!(out.shape(), (adj.n_rows(), a.cols()));
+    let mut e = 0usize;
+    for i in 0..adj.n_rows() {
+        let out_row = out.row_slice_mut(i);
+        out_row.fill(0.0);
+        for &j in adj.neighbors(i) {
+            let w = weights[e];
+            e += 1;
+            for (o, &v) in out_row.iter_mut().zip(a.row_slice(j as usize)) {
+                *o += w * v;
+            }
+        }
+    }
+}
+
+/// Batched attention read-out into a preallocated output: with `v` of shape
+/// `(N·C) × D` and `alpha` of shape `N × C`, writes `out[n] = Σ_c alpha[n, c]
+/// · v[n·C + c, :]`. Like [`scatter_weighted_into`], zero attention weights
+/// multiply rather than skip, so NaN payloads under a zero weight surface.
+/// Every element of `out` is overwritten; `out` must be `N × D`.
+pub fn block_weighted_sum_into(v: &Tensor, alpha: &Tensor, out: &mut Tensor) {
+    let (n, c) = alpha.shape();
+    debug_assert_eq!(v.rows(), n * c, "v rows must equal alpha rows x cols");
+    debug_assert_eq!(out.shape(), (n, v.cols()));
+    for ni in 0..n {
+        let out_row = out.row_slice_mut(ni);
+        out_row.fill(0.0);
+        for ci in 0..c {
+            let w = alpha.get(ni, ci);
+            for (o, &x) in out_row.iter_mut().zip(v.row_slice(ni * c + ci)) {
+                *o += w * x;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -873,7 +1211,10 @@ mod tests {
         let g = tape.gather_rows(a, rc_idx(vec![2, 0, 2]));
         let loss = tape.sum_all(g);
         tape.backward(loss);
-        assert_eq!(tape.grad(a).unwrap().as_slice(), &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+        assert_eq!(
+            tape.grad(a).unwrap().as_slice(),
+            &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]
+        );
     }
 
     #[test]
@@ -950,6 +1291,30 @@ mod tests {
     }
 
     #[test]
+    fn focal_loss_is_positive_at_saturated_logits() {
+        // A perfectly confident, correct prediction: p_t rounds to 1.0 in
+        // f32. Without the shared upper clamp the forward loss would be
+        // exactly 0 while the backward pass (which clamps) reports a
+        // non-zero gradient; with one clamp in both places the loss is the
+        // tiny positive value the gradient integrates to.
+        let mut tape = Tape::new();
+        let logits = tape.param(Tensor::from_vec(1, 2, vec![20.0, -20.0]));
+        tape.freeze();
+        let loss = tape.focal_loss(logits, rc_idx(vec![0]), 2.0);
+        let l = tape.value(loss).item();
+        let p = FOCAL_P_MAX;
+        let expected = -(1.0 - p).powi(2) * p.ln();
+        assert!(l > 0.0, "saturated focal loss must stay positive, got {l}");
+        assert!(
+            (l - expected).abs() <= expected * 1e-3,
+            "got {l}, expected {expected}"
+        );
+        tape.backward(loss);
+        let g = tape.grad(logits).unwrap();
+        assert!(g.all_finite(), "saturated focal gradient must be finite");
+    }
+
+    #[test]
     fn mse_loss_value_and_gradient() {
         let mut tape = Tape::new();
         let pred = tape.param(Tensor::from_vec(2, 1, vec![1.0, 3.0]));
@@ -972,7 +1337,10 @@ mod tests {
         let loss = tape.sum_all(out);
         tape.backward(loss);
         assert_eq!(tape.grad(alpha).unwrap().as_slice(), &[1.0, 1.0, 4.0, 6.0]);
-        assert_eq!(tape.grad(v).unwrap().as_slice(), &[1.0, 1.0, 0.0, 0.0, 0.5, 0.5, 0.5, 0.5]);
+        assert_eq!(
+            tape.grad(v).unwrap().as_slice(),
+            &[1.0, 1.0, 0.0, 0.0, 0.5, 0.5, 0.5, 0.5]
+        );
     }
 
     #[test]
@@ -1014,5 +1382,58 @@ mod tests {
         tape.backward(loss);
         assert_eq!(tape.grad(p).unwrap().item(), 4.0);
         assert!(tape.grad(c).is_none());
+    }
+
+    /// One full train step over a small graph: identical epochs after the
+    /// first must run entirely out of the workspace free lists.
+    fn train_epoch(tape: &mut Tape, w: Var, x: Var) {
+        let adj = Rc::new(Adjacency::from_lists(&[vec![1, 2], vec![0], vec![0, 1]]));
+        let h = tape.matmul(x, w);
+        let agg = tape.scatter_mean(h, adj);
+        let act = tape.relu(agg);
+        let cat = tape.concat_cols(&[h, act]);
+        let merged = tape.add_n(&[cat, cat]);
+        let loss = tape.mean_all(merged);
+        tape.backward(loss);
+        tape.reset();
+    }
+
+    #[test]
+    fn workspace_misses_stop_growing_after_first_epoch() {
+        let mut tape = Tape::new();
+        let w = tape.param(Tensor::from_vec(2, 2, vec![0.1, -0.2, 0.3, 0.4]));
+        let x = tape.input(Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        tape.freeze();
+        train_epoch(&mut tape, w, x);
+        let after_first = tape.workspace_stats().misses;
+        assert!(after_first > 0, "first epoch must populate the free lists");
+        for _ in 0..5 {
+            train_epoch(&mut tape, w, x);
+        }
+        assert_eq!(
+            tape.workspace_stats().misses,
+            after_first,
+            "later epochs must be allocation-free"
+        );
+    }
+
+    #[test]
+    fn legacy_mode_matches_fast_path_gradients() {
+        let run = |legacy: bool| {
+            let mut tape = Tape::new();
+            tape.set_legacy_mode(legacy);
+            let w = tape.param(Tensor::from_vec(2, 2, vec![0.5, -0.25, 0.125, 1.0]));
+            let x = tape.input(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+            tape.freeze();
+            let h = tape.matmul(x, w);
+            let loss = tape.sum_all(h);
+            tape.backward(loss);
+            tape.grad(w).unwrap().clone()
+        };
+        let fast = run(false);
+        let legacy = run(true);
+        for (a, b) in fast.as_slice().iter().zip(legacy.as_slice()) {
+            assert!((a - b).abs() < 1e-5, "fast {a} vs legacy {b}");
+        }
     }
 }

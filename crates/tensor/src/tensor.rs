@@ -21,12 +21,20 @@ pub struct Tensor {
 impl Tensor {
     /// A `rows × cols` tensor filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A `rows × cols` tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Tensor { rows, cols, data: vec![value; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// A tensor wrapping an existing row-major buffer.
@@ -136,8 +144,27 @@ impl Tensor {
 
     /// Reinterpret the buffer with a new shape of identical element count.
     pub fn reshaped(&self, rows: usize, cols: usize) -> Tensor {
-        assert_eq!(rows * cols, self.len(), "reshape must preserve element count");
-        Tensor { rows, cols, data: self.data.clone() }
+        self.clone().into_reshaped(rows, cols)
+    }
+
+    /// Reinterpret this tensor's own buffer with a new shape — zero-copy.
+    pub fn into_reshaped(self, rows: usize, cols: usize) -> Tensor {
+        assert_eq!(
+            rows * cols,
+            self.len(),
+            "reshape must preserve element count"
+        );
+        Tensor {
+            rows,
+            cols,
+            data: self.data,
+        }
+    }
+
+    /// Consume the tensor, yielding its row-major buffer (used by the tape
+    /// workspace to recycle allocations across epochs).
+    pub fn into_raw(self) -> Vec<f32> {
+        self.data
     }
 
     /// Fill every element with zero, keeping the allocation.
@@ -147,11 +174,114 @@ impl Tensor {
 
     /// Matrix product `self · rhs`.
     ///
-    /// Uses an ikj loop order so the inner loop walks both operands
-    /// sequentially; at GRIMP's scales (≤ a few thousand rows, ≤ 256 columns)
+    /// The kernel is an ikj loop with the k dimension blocked four wide, so
+    /// the inner loop streams both operands sequentially with four
+    /// independent multiply-adds per output element and no data-dependent
+    /// branches. At GRIMP's scales (≤ a few thousand rows, ≤ 256 columns)
     /// this is within a small factor of a tuned BLAS and keeps the crate
     /// dependency-free.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `self · rhs` written into `out`, overwriting its contents. Allocation
+    /// free: the training hot path pairs this with a recycled output buffer.
+    ///
+    /// # Panics
+    /// Panics on operand or output shape mismatch.
+    pub fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols),
+            "matmul output shape mismatch"
+        );
+        gemm_blocked(
+            &self.data,
+            &rhs.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &mut out.data,
+        );
+    }
+
+    /// Matrix product `selfᵀ · rhs` without materializing the transpose.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, rhs.cols);
+        self.matmul_tn_into(rhs, &mut out);
+        out
+    }
+
+    /// `selfᵀ · rhs` written into `out`, overwriting its contents.
+    ///
+    /// # Panics
+    /// Panics on operand or output shape mismatch.
+    pub fn matmul_tn_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_tn shape mismatch: ({}x{})ᵀ · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.cols, rhs.cols),
+            "matmul_tn output shape mismatch"
+        );
+        gemm_tn_blocked(
+            &self.data,
+            &rhs.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &mut out.data,
+        );
+    }
+
+    /// Matrix product `self · rhsᵀ` without materializing the transpose.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, rhs.rows);
+        self.matmul_nt_into(rhs, &mut out);
+        out
+    }
+
+    /// `self · rhsᵀ` written into `out`, overwriting its contents.
+    ///
+    /// # Panics
+    /// Panics on operand or output shape mismatch.
+    pub fn matmul_nt_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt shape mismatch: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.rows),
+            "matmul_nt output shape mismatch"
+        );
+        gemm_nt_blocked(
+            &self.data,
+            &rhs.data,
+            self.rows,
+            self.cols,
+            rhs.rows,
+            &mut out.data,
+        );
+    }
+
+    /// The pre-optimization `matmul` kernel (ikj order with a per-element
+    /// zero skip). Retained for the legacy benchmarking mode and for
+    /// differential tests against the blocked kernel; note the zero skip
+    /// suppresses NaN propagation from zero-masked positions, which the
+    /// blocked kernel deliberately does not.
+    pub fn matmul_ref(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} · {}x{}",
@@ -175,8 +305,8 @@ impl Tensor {
         out
     }
 
-    /// Matrix product `selfᵀ · rhs` without materializing the transpose.
-    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+    /// The pre-optimization `matmul_tn` kernel (see [`Tensor::matmul_ref`]).
+    pub fn matmul_tn_ref(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(
             self.rows, rhs.rows,
             "matmul_tn shape mismatch: ({}x{})ᵀ · {}x{}",
@@ -200,8 +330,8 @@ impl Tensor {
         out
     }
 
-    /// Matrix product `self · rhsᵀ` without materializing the transpose.
-    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+    /// The pre-optimization `matmul_nt` kernel (see [`Tensor::matmul_ref`]).
+    pub fn matmul_nt_ref(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_nt shape mismatch: {}x{} · ({}x{})ᵀ",
@@ -273,6 +403,185 @@ impl Tensor {
     /// True when every element is finite.
     pub fn all_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+/// `out = a · b` with `a` being `m × k`, `b` being `k × n`. The k dimension
+/// is blocked four wide: each pass over an output row folds four rank-1
+/// updates into one sweep, giving four independent multiply-adds per element
+/// and no data-dependent branches (a zero in `a` contributes `0 · x`, so NaN
+/// and infinity propagate as IEEE arithmetic dictates).
+fn gemm_blocked(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let a0 = a_row[kk];
+            let a1 = a_row[kk + 1];
+            let a2 = a_row[kk + 2];
+            let a3 = a_row[kk + 3];
+            let (b0, rest) = b[kk * n..].split_at(n);
+            let (b1, rest) = rest.split_at(n);
+            let (b2, rest) = rest.split_at(n);
+            let b3 = &rest[..n];
+            for ((((o, &x0), &x1), &x2), &x3) in out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+            {
+                *o += a0 * x0 + a1 * x1 + a2 * x2 + a3 * x3;
+            }
+            kk += 4;
+        }
+        for kr in kk..k {
+            let av = a_row[kr];
+            let b_row = &b[kr * n..(kr + 1) * n];
+            for (o, &x) in out_row.iter_mut().zip(b_row) {
+                *o += av * x;
+            }
+        }
+    }
+}
+
+/// `out = aᵀ · b` with `a` being `r × c` (so `out` is `c × n`). Mirrors
+/// [`gemm_blocked`]'s four-wide k blocking over the shared row dimension; the
+/// accumulation order per output element is identical to running
+/// `gemm_blocked` on an explicitly transposed `a`, so the two agree
+/// bit-for-bit.
+fn gemm_tn_blocked(a: &[f32], b: &[f32], r: usize, c: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), r * c);
+    debug_assert_eq!(b.len(), r * n);
+    debug_assert_eq!(out.len(), c * n);
+    out.fill(0.0);
+    let mut kk = 0;
+    while kk + 4 <= r {
+        let (a0, rest) = a[kk * c..].split_at(c);
+        let (a1, rest) = rest.split_at(c);
+        let (a2, rest) = rest.split_at(c);
+        let a3 = &rest[..c];
+        let (b0, rest) = b[kk * n..].split_at(n);
+        let (b1, rest) = rest.split_at(n);
+        let (b2, rest) = rest.split_at(n);
+        let b3 = &rest[..n];
+        for i in 0..c {
+            let x0 = a0[i];
+            let x1 = a1[i];
+            let x2 = a2[i];
+            let x3 = a3[i];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for ((((o, &y0), &y1), &y2), &y3) in out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+            {
+                *o += x0 * y0 + x1 * y1 + x2 * y2 + x3 * y3;
+            }
+        }
+        kk += 4;
+    }
+    for kr in kk..r {
+        let a_row = &a[kr * c..(kr + 1) * c];
+        let b_row = &b[kr * n..(kr + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &y) in out_row.iter_mut().zip(b_row) {
+                *o += av * y;
+            }
+        }
+    }
+}
+
+/// `out = a · bᵀ` with `a` being `m × c`, `b` being `p × c` (so `out` is
+/// `m × p`): row-by-row dot products, each unrolled into four independent
+/// accumulators over the shared column dimension.
+fn gemm_nt_blocked(a: &[f32], b: &[f32], m: usize, c: usize, p: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * c);
+    debug_assert_eq!(b.len(), p * c);
+    debug_assert_eq!(out.len(), m * p);
+    // The training hot path calls this almost exclusively with a small
+    // right-hand side (a layer's weight matrix, ≤ 64×64): transposing it
+    // into a stack scratch once turns every inner loop into the same
+    // contiguous multiply-add sweep as [`gemm_blocked`], which the compiler
+    // vectorizes far better than strided dot products.
+    const SCRATCH: usize = 4096;
+    if c * p <= SCRATCH {
+        let mut bt = [0.0f32; SCRATCH];
+        let bt = &mut bt[..c * p];
+        for (j, b_row) in b.chunks_exact(c).enumerate() {
+            for (l, &v) in b_row.iter().enumerate() {
+                bt[l * p + j] = v;
+            }
+        }
+        gemm_blocked(a, bt, m, c, p, out);
+        return;
+    }
+    for i in 0..m {
+        let a_row = &a[i * c..(i + 1) * c];
+        let out_row = &mut out[i * p..(i + 1) * p];
+        // Four output columns per pass: each load of an `a` chunk feeds four
+        // dot products, so the kernel is bound by multiply-adds rather than
+        // reloads of `a_row`. Every dot keeps the same four-accumulator
+        // shape as the scalar tail below, so the result is identical to
+        // computing each element on its own.
+        let mut j = 0;
+        while j + 4 <= p {
+            let b0 = &b[j * c..(j + 1) * c];
+            let b1 = &b[(j + 1) * c..(j + 2) * c];
+            let b2 = &b[(j + 2) * c..(j + 3) * c];
+            let b3 = &b[(j + 3) * c..(j + 4) * c];
+            let mut acc0 = [0.0f32; 4];
+            let mut acc1 = [0.0f32; 4];
+            let mut acc2 = [0.0f32; 4];
+            let mut acc3 = [0.0f32; 4];
+            let ca = a_row.chunks_exact(4);
+            let ra = ca.remainder();
+            for ((((xa, xb0), xb1), xb2), xb3) in ca
+                .zip(b0.chunks_exact(4))
+                .zip(b1.chunks_exact(4))
+                .zip(b2.chunks_exact(4))
+                .zip(b3.chunks_exact(4))
+            {
+                for l in 0..4 {
+                    acc0[l] += xa[l] * xb0[l];
+                    acc1[l] += xa[l] * xb1[l];
+                    acc2[l] += xa[l] * xb2[l];
+                    acc3[l] += xa[l] * xb3[l];
+                }
+            }
+            let base = a_row.len() - ra.len();
+            let mut d0 = (acc0[0] + acc0[1]) + (acc0[2] + acc0[3]);
+            let mut d1 = (acc1[0] + acc1[1]) + (acc1[2] + acc1[3]);
+            let mut d2 = (acc2[0] + acc2[1]) + (acc2[2] + acc2[3]);
+            let mut d3 = (acc3[0] + acc3[1]) + (acc3[2] + acc3[3]);
+            for (l, &xa) in ra.iter().enumerate() {
+                d0 += xa * b0[base + l];
+                d1 += xa * b1[base + l];
+                d2 += xa * b2[base + l];
+                d3 += xa * b3[base + l];
+            }
+            out_row[j] = d0;
+            out_row[j + 1] = d1;
+            out_row[j + 2] = d2;
+            out_row[j + 3] = d3;
+            j += 4;
+        }
+        for (j, o) in out_row.iter_mut().enumerate().skip(j) {
+            let b_row = &b[j * c..(j + 1) * c];
+            let mut acc = [0.0f32; 4];
+            let ca = a_row.chunks_exact(4);
+            let cb = b_row.chunks_exact(4);
+            let (ra, rb) = (ca.remainder(), cb.remainder());
+            for (xa, xb) in ca.zip(cb) {
+                acc[0] += xa[0] * xb[0];
+                acc[1] += xa[1] * xb[1];
+                acc[2] += xa[2] * xb[2];
+                acc[3] += xa[3] * xb[3];
+            }
+            let mut dot = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+            for (&xa, &xb) in ra.iter().zip(rb) {
+                dot += xa * xb;
+            }
+            *o = dot;
+        }
     }
 }
 
@@ -356,5 +665,87 @@ mod tests {
     #[test]
     fn scalar_item_roundtrip() {
         assert_eq!(Tensor::scalar(3.25).item(), 3.25);
+    }
+
+    #[test]
+    fn into_reshaped_moves_without_copy() {
+        let t = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let ptr = t.as_slice().as_ptr();
+        let r = t.into_reshaped(3, 2);
+        assert_eq!(r.shape(), (3, 2));
+        assert_eq!(r.as_slice().as_ptr(), ptr, "reshape must reuse the buffer");
+    }
+
+    /// Pseudo-random but deterministic fill with zeros sprinkled in, so the
+    /// differential tests cover the positions where the reference kernel's
+    /// zero skip used to fire.
+    fn varied(rows: usize, cols: usize, seed: u32) -> Tensor {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
+        let data = (0..rows * cols)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                if state.is_multiple_of(5) {
+                    0.0
+                } else {
+                    ((state >> 8) % 2000) as f32 / 1000.0 - 1.0
+                }
+            })
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= 1e-4 * x.abs().max(1.0), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_kernels_match_reference_over_odd_shapes() {
+        // dims straddle the 4-wide block boundary on purpose
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (7, 9, 2), (8, 8, 8), (5, 13, 6)] {
+            let a = varied(m, k, (m * 100 + k) as u32);
+            let b = varied(k, n, (k * 100 + n) as u32);
+            assert_close(&a.matmul(&b), &a.matmul_ref(&b));
+            let at = varied(k, m, (m + n) as u32);
+            assert_close(&at.matmul_tn(&b), &at.matmul_tn_ref(&b));
+            let bt = varied(n, k, (n * 7 + k) as u32);
+            assert_close(&a.matmul_nt(&bt), &a.matmul_nt_ref(&bt));
+        }
+    }
+
+    #[test]
+    fn matmul_into_matches_allocating_path_on_stale_buffer() {
+        let a = varied(6, 10, 1);
+        let b = varied(10, 3, 2);
+        let mut out = Tensor::full(6, 3, f32::NAN); // stale contents must not leak
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    // The reference kernels skipped multiplications where the left factor is
+    // zero, which silently swallowed NaN sitting in the matching position of
+    // the other operand. The blocked kernels must let IEEE arithmetic speak.
+    #[test]
+    fn matmul_propagates_nan_through_zero_masked_positions() {
+        let a = Tensor::from_vec(1, 2, vec![0.0, 1.0]);
+        let mut b = Tensor::from_vec(2, 1, vec![f32::NAN, 2.0]);
+        assert!(
+            a.matmul(&b).get(0, 0).is_nan(),
+            "0 · NaN must poison the output"
+        );
+        // the reference kernel documents the old masking behavior
+        assert_eq!(a.matmul_ref(&b).get(0, 0), 2.0);
+        b.set(0, 0, 3.0);
+        assert_eq!(a.matmul(&b).get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn matmul_tn_propagates_nan_through_zero_masked_positions() {
+        let a = Tensor::from_vec(2, 1, vec![0.0, 1.0]);
+        let b = Tensor::from_vec(2, 1, vec![f32::NAN, 2.0]);
+        assert!(a.matmul_tn(&b).get(0, 0).is_nan());
+        assert_eq!(a.matmul_tn_ref(&b).get(0, 0), 2.0);
     }
 }

@@ -1,0 +1,189 @@
+//! Epoch-persistent buffer recycling for the training hot path.
+//!
+//! Every ephemeral tensor a [`crate::Tape`] produces during one epoch —
+//! forward values, gradients, backward temporaries — is returned here by
+//! `Tape::reset` instead of being freed. Buffers are parked in free lists
+//! keyed by element count, so the next epoch (which replays the same
+//! computation over the same shapes) acquires every buffer as a hit and the
+//! steady state performs no heap allocation at all. The hit/miss counters
+//! make that property observable and testable.
+
+use std::collections::HashMap;
+
+use crate::tensor::Tensor;
+
+/// Allocation counters of a [`Workspace`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Acquisitions served from a free list (no allocation).
+    pub hits: u64,
+    /// Acquisitions that had to allocate a fresh buffer.
+    pub misses: u64,
+    /// Buffers currently parked in the free lists.
+    pub resident: usize,
+    /// Total `f32` elements parked in the free lists.
+    pub resident_elems: usize,
+}
+
+/// Cap on parked buffers per size class. A shape-stable epoch never comes
+/// close (its working set is bounded by the live tensors of one step), but
+/// callers that allocate fresh inputs every epoch would otherwise grow the
+/// free lists without bound over a long training run.
+const MAX_PER_CLASS: usize = 256;
+
+/// Free lists of `f32` buffers keyed by element count.
+#[derive(Debug)]
+pub struct Workspace {
+    free: HashMap<usize, Vec<Vec<f32>>>,
+    hits: u64,
+    misses: u64,
+    recycling: bool,
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workspace {
+    /// An empty workspace with recycling enabled.
+    pub fn new() -> Self {
+        Workspace {
+            free: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            recycling: true,
+        }
+    }
+
+    /// Toggle recycling. When off, every acquisition allocates fresh and
+    /// [`Workspace::release`] drops its buffer — the pre-optimization
+    /// allocation behavior, retained for the legacy benchmarking mode.
+    pub fn set_recycling(&mut self, on: bool) {
+        self.recycling = on;
+        if !on {
+            self.free.clear();
+        }
+    }
+
+    fn take(&mut self, len: usize) -> Option<Vec<f32>> {
+        self.free.get_mut(&len).and_then(Vec::pop)
+    }
+
+    /// A `rows × cols` tensor with unspecified contents (stale data from a
+    /// previous life). The caller must overwrite every element.
+    pub fn raw(&mut self, rows: usize, cols: usize) -> Tensor {
+        let len = rows * cols;
+        if len == 0 {
+            return Tensor::zeros(rows, cols); // zero-length Vec: no allocation
+        }
+        match self.take(len) {
+            Some(buf) => {
+                self.hits += 1;
+                Tensor::from_vec(rows, cols, buf)
+            }
+            None => {
+                self.misses += 1;
+                Tensor::zeros(rows, cols)
+            }
+        }
+    }
+
+    /// A `rows × cols` tensor with every element zeroed.
+    pub fn zeroed(&mut self, rows: usize, cols: usize) -> Tensor {
+        let mut t = self.raw(rows, cols);
+        t.as_mut_slice().fill(0.0);
+        t
+    }
+
+    /// A recycled copy of `src`.
+    pub fn copy_of(&mut self, src: &Tensor) -> Tensor {
+        let mut t = self.raw(src.rows(), src.cols());
+        t.as_mut_slice().copy_from_slice(src.as_slice());
+        t
+    }
+
+    /// Park a tensor's buffer for reuse by a same-sized acquisition.
+    pub fn release(&mut self, t: Tensor) {
+        if !self.recycling || t.is_empty() {
+            return;
+        }
+        let buf = t.into_raw();
+        let list = self.free.entry(buf.len()).or_default();
+        if list.len() < MAX_PER_CLASS {
+            list.push(buf);
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> WorkspaceStats {
+        let (mut resident, mut resident_elems) = (0usize, 0usize);
+        for bufs in self.free.values() {
+            resident += bufs.len();
+            resident_elems += bufs.iter().map(Vec::len).sum::<usize>();
+        }
+        WorkspaceStats {
+            hits: self.hits,
+            misses: self.misses,
+            resident,
+            resident_elems,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_acquisition_of_a_shape_is_a_hit() {
+        let mut ws = Workspace::new();
+        let t = ws.zeroed(3, 4);
+        assert_eq!(ws.stats().misses, 1);
+        ws.release(t);
+        assert_eq!(ws.stats().resident, 1);
+        let t2 = ws.zeroed(3, 4);
+        assert_eq!(t2.shape(), (3, 4));
+        assert!(t2.as_slice().iter().all(|&v| v == 0.0));
+        let s = ws.stats();
+        assert_eq!((s.hits, s.misses, s.resident), (1, 1, 0));
+    }
+
+    #[test]
+    fn buffers_are_shared_across_shapes_of_equal_len() {
+        let mut ws = Workspace::new();
+        let t = ws.raw(2, 6);
+        ws.release(t);
+        let _t2 = ws.raw(4, 3); // 12 elements either way
+        assert_eq!(ws.stats().hits, 1);
+    }
+
+    #[test]
+    fn recycling_off_always_allocates_and_drops() {
+        let mut ws = Workspace::new();
+        ws.set_recycling(false);
+        let t = ws.zeroed(2, 2);
+        ws.release(t);
+        assert_eq!(ws.stats().resident, 0);
+        let _t = ws.zeroed(2, 2);
+        assert_eq!(ws.stats().misses, 2);
+    }
+
+    #[test]
+    fn copy_of_duplicates_contents() {
+        let mut ws = Workspace::new();
+        let src = Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let dup = ws.copy_of(&src);
+        assert_eq!(dup, src);
+    }
+
+    #[test]
+    fn zero_length_tensors_bypass_the_free_lists() {
+        let mut ws = Workspace::new();
+        let t = ws.raw(0, 5);
+        ws.release(t);
+        let s = ws.stats();
+        assert_eq!((s.hits, s.misses, s.resident), (0, 0, 0));
+    }
+}

@@ -24,7 +24,9 @@ fn main() {
     let id = DatasetId::ALL
         .into_iter()
         .find(|id| id.abbr() == abbr)
-        .unwrap_or_else(|| panic!("unknown dataset {abbr}; use one of AD AU CO CR FL IM MM TA TH TT"));
+        .unwrap_or_else(|| {
+            panic!("unknown dataset {abbr}; use one of AD AU CO CR FL IM MM TA TH TT")
+        });
 
     let dataset = generate(id, 0);
     let clean = head(&dataset.table, 600);
@@ -40,7 +42,9 @@ fn main() {
 
     let cfg = GrimpConfig::fast().with_seed(0);
     let roster: Vec<Box<dyn Imputer>> = vec![
-        Box::new(Grimp::new(cfg.clone().with_features(FeatureSource::FastText))),
+        Box::new(Grimp::new(
+            cfg.clone().with_features(FeatureSource::FastText),
+        )),
         Box::new(Grimp::new(cfg.clone().with_features(FeatureSource::Embdi))),
         Box::new(Grimp::new(cfg.clone().with_linear_tasks())),
         Box::new(GnnMc::new(cfg)),
@@ -65,13 +69,17 @@ fn main() {
     }
     scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
 
-    println!("\n{:<18} {:>9} {:>7} {:>8}", "algorithm", "accuracy", "rmse", "seconds");
+    println!(
+        "\n{:<18} {:>9} {:>7} {:>8}",
+        "algorithm", "accuracy", "rmse", "seconds"
+    );
     println!("{}", "-".repeat(46));
     for (name, acc, rmse, secs) in scored {
         println!(
             "{name:<18} {:>9} {:>7} {secs:>7.1}s",
             acc.map(|a| format!("{a:.3}")).unwrap_or_else(|| "-".into()),
-            rmse.map(|r| format!("{r:.3}")).unwrap_or_else(|| "-".into()),
+            rmse.map(|r| format!("{r:.3}"))
+                .unwrap_or_else(|| "-".into()),
         );
     }
 }

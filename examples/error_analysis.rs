@@ -46,7 +46,11 @@ fn main() {
 
     let mut dirty = clean.clone();
     let log = inject_mcar(&mut dirty, 0.30, &mut StdRng::seed_from_u64(1));
-    println!("{} rows, {} injected missing cells\n", clean.n_rows(), log.len());
+    println!(
+        "{} rows, {} injected missing cells\n",
+        clean.n_rows(),
+        log.len()
+    );
 
     let mut results: Vec<(String, Table)> = Vec::new();
     let roster: Vec<Box<dyn Imputer>> = vec![
@@ -71,7 +75,10 @@ fn main() {
         }
         println!();
         for row in per_value_errors(&clean, &log, &refs, col) {
-            print!("{:<8} {:>6.2} {:>9.2}", row.value, row.frequency, row.expected_wrong);
+            print!(
+                "{:<8} {:>6.2} {:>9.2}",
+                row.value, row.frequency, row.expected_wrong
+            );
             for w in &row.wrong_fraction {
                 match w {
                     Some(w) => print!(" {w:>12.2}"),

@@ -21,10 +21,17 @@ fn main() {
     // A row-capped Tax dataset keeps the example snappy.
     let tax = generate(DatasetId::Tax, 0);
     let clean = head(&tax.table, 500);
-    println!("Tax-like dataset: {} rows, {} FDs declared", clean.n_rows(), tax.fds.len());
+    println!(
+        "Tax-like dataset: {} rows, {} FDs declared",
+        clean.n_rows(),
+        tax.fds.len()
+    );
     for fd in &tax.fds.fds {
-        let lhs: Vec<&str> =
-            fd.lhs.iter().map(|&j| clean.schema().column(j).name.as_str()).collect();
+        let lhs: Vec<&str> = fd
+            .lhs
+            .iter()
+            .map(|&j| clean.schema().column(j).name.as_str())
+            .collect();
         println!(
             "  {} -> {}   (holds: {})",
             lhs.join(", "),
@@ -37,15 +44,23 @@ fn main() {
     let log = inject_mcar(&mut dirty, 0.20, &mut StdRng::seed_from_u64(1));
     println!("\ninjected {} missing cells (20% MCAR)\n", log.len());
 
-    let grimp_a_cfg = GrimpConfig::fast().with_seed(0).with_k_strategy(KStrategy::WeakDiagonalFd);
+    let grimp_a_cfg = GrimpConfig::fast()
+        .with_seed(0)
+        .with_k_strategy(KStrategy::WeakDiagonalFd);
     let algorithms: Vec<Box<dyn Imputer>> = vec![
         Box::new(FdRepair::new(tax.fds.clone())),
         Box::new(MissForest::new(MissForestConfig::default())),
-        Box::new(MissForest::funforest(MissForestConfig::default(), tax.fds.clone())),
+        Box::new(MissForest::funforest(
+            MissForestConfig::default(),
+            tax.fds.clone(),
+        )),
         Box::new(Grimp::with_fds(grimp_a_cfg, tax.fds.clone())),
     ];
 
-    println!("{:<18} {:>9} {:>7} {:>9}", "algorithm", "accuracy", "rmse", "seconds");
+    println!(
+        "{:<18} {:>9} {:>7} {:>9}",
+        "algorithm", "accuracy", "rmse", "seconds"
+    );
     for mut algo in algorithms {
         let start = std::time::Instant::now();
         let imputed = algo.impute(&dirty);
@@ -54,7 +69,9 @@ fn main() {
         println!(
             "{:<18} {:>9} {:>7} {:>8.1}s",
             algo.name(),
-            eval.accuracy().map(|a| format!("{a:.3}")).unwrap_or_default(),
+            eval.accuracy()
+                .map(|a| format!("{a:.3}"))
+                .unwrap_or_default(),
             eval.rmse().map(|r| format!("{r:.3}")).unwrap_or_default(),
             secs
         );

@@ -47,7 +47,9 @@ fn main() {
 
     // centralized reference: one model sees the whole table
     let mut central = Grimp::new(base.clone());
-    let central_acc = evaluate(&clean, &central.impute(&dirty), &log).accuracy().unwrap();
+    let central_acc = evaluate(&clean, &central.impute(&dirty), &log)
+        .accuracy()
+        .unwrap();
 
     // federated: 8 rounds x 5 local epochs, weights-only exchange
     let mut fed = FederatedGrimp::new(FederatedConfig {

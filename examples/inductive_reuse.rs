@@ -12,7 +12,7 @@
 use grimp::{default_candidates, select_config, GrimpConfig, TrainedGrimp, TunerConfig};
 use grimp_datasets::{generate, DatasetId};
 use grimp_metrics::evaluate;
-use grimp_table::{inject_mcar, FdSet, Schema, Table, Value};
+use grimp_table::{inject_mcar, Schema, Table, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -45,11 +45,17 @@ fn main() {
         &train_dirty,
         &tax.fds,
         &default_candidates(&base),
-        TunerConfig { probe_epochs: 12, probe_patience: 4 },
+        TunerConfig {
+            probe_epochs: 12,
+            probe_patience: 4,
+        },
     );
     println!("tuner probes (lower val loss is better):");
     for p in &probes {
-        println!("  {:<18} val_loss={:.3} ({} epochs, {:.1}s)", p.name, p.val_loss, p.epochs_run, p.seconds);
+        println!(
+            "  {:<18} val_loss={:.3} ({} epochs, {:.1}s)",
+            p.name, p.val_loss, p.epochs_run, p.seconds
+        );
     }
     println!("selected: lr={}, {:?} tasks\n", best.lr, best.task_kind);
 
@@ -64,8 +70,12 @@ fn main() {
     // 3. attention introspection: where does each task look?
     println!("attention profile (rows = imputed attribute, columns = attended attribute):");
     let profiles = model.attention_profile(&train_dirty, 100);
-    let names: Vec<&str> =
-        train_clean.schema().columns().iter().map(|c| c.name.as_str()).collect();
+    let names: Vec<&str> = train_clean
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
     print!("{:<8}", "");
     for n in &names {
         print!("{n:>7}");
@@ -91,7 +101,9 @@ fn main() {
     let eval = evaluate(&deploy_clean, &imputed, &log);
     println!(
         "\nunseen-tuple imputation: accuracy={} rmse={} over {} test cells",
-        eval.accuracy().map(|a| format!("{a:.3}")).unwrap_or_default(),
+        eval.accuracy()
+            .map(|a| format!("{a:.3}"))
+            .unwrap_or_default(),
         eval.rmse().map(|r| format!("{r:.3}")).unwrap_or_default(),
         log.len()
     );

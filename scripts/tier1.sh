@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green, in the order that fails
+# fastest. Run from the repository root:
+#
+#   ./scripts/tier1.sh
+#
+# Also regenerates BENCH_hotpath.json (fixed seeds, deterministic) so the
+# hot-path speedup claim stays backed by a fresh measurement.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> hotpath probe (writes BENCH_hotpath.json)"
+cargo run --release -p grimp-bench --bin hotpath_probe
+
+echo "tier1: all green"

@@ -8,7 +8,11 @@ use grimp_table::{ColumnKind, Imputer, Schema, Table, Value};
 fn tiny_grimp() -> Grimp {
     Grimp::new(GrimpConfig {
         feature_dim: 8,
-        gnn: grimp_gnn::GnnConfig { layers: 1, hidden: 8, ..Default::default() },
+        gnn: grimp_gnn::GnnConfig {
+            layers: 1,
+            hidden: 8,
+            ..Default::default()
+        },
         merge_hidden: 16,
         embed_dim: 8,
         max_epochs: 5,
@@ -20,8 +24,15 @@ fn tiny_grimp() -> Grimp {
 fn roster() -> Vec<Box<dyn Imputer>> {
     vec![
         Box::new(tiny_grimp()),
-        Box::new(MissForest::new(MissForestConfig { max_iterations: 2, ..Default::default() })),
-        Box::new(Mice::new(MiceConfig { rounds: 1, epochs: 10, ..Default::default() })),
+        Box::new(MissForest::new(MissForestConfig {
+            max_iterations: 2,
+            ..Default::default()
+        })),
+        Box::new(Mice::new(MiceConfig {
+            rounds: 1,
+            epochs: 10,
+            ..Default::default()
+        })),
         Box::new(KnnImputer::new(3)),
         Box::new(MeanMode),
     ]
@@ -30,10 +41,8 @@ fn roster() -> Vec<Box<dyn Imputer>> {
 /// A table with no missing values passes through every imputer unchanged.
 #[test]
 fn clean_tables_pass_through_unchanged() {
-    let schema = Schema::from_pairs(&[
-        ("c", ColumnKind::Categorical),
-        ("x", ColumnKind::Numerical),
-    ]);
+    let schema =
+        Schema::from_pairs(&[("c", ColumnKind::Categorical), ("x", ColumnKind::Numerical)]);
     let t = Table::from_rows(
         schema,
         &[vec![Some("a"), Some("1.0")], vec![Some("b"), Some("2.0")]],
@@ -43,7 +52,12 @@ fn clean_tables_pass_through_unchanged() {
         assert_eq!(out.n_rows(), t.n_rows(), "{}", algo.name());
         for i in 0..t.n_rows() {
             for j in 0..t.n_columns() {
-                assert_eq!(out.get(i, j), t.get(i, j), "{} changed a clean cell", algo.name());
+                assert_eq!(
+                    out.get(i, j),
+                    t.get(i, j),
+                    "{} changed a clean cell",
+                    algo.name()
+                );
             }
         }
     }
@@ -89,10 +103,8 @@ fn constant_columns_are_trivially_imputed() {
 /// Numerical columns with identical values must not produce NaNs anywhere.
 #[test]
 fn zero_variance_numericals_stay_finite() {
-    let schema = Schema::from_pairs(&[
-        ("c", ColumnKind::Categorical),
-        ("x", ColumnKind::Numerical),
-    ]);
+    let schema =
+        Schema::from_pairs(&[("c", ColumnKind::Categorical), ("x", ColumnKind::Numerical)]);
     let mut t = Table::empty(schema);
     for i in 0..20 {
         t.push_str_row(&[Some(if i % 2 == 0 { "a" } else { "b" }), Some("5.0")]);
@@ -102,7 +114,11 @@ fn zero_variance_numericals_stay_finite() {
         let out = algo.impute(&t);
         if let Value::Num(v) = out.get(4, 1) {
             assert!(v.is_finite(), "{} produced {v}", algo.name());
-            assert!((v - 5.0).abs() < 1.0, "{} far from the constant: {v}", algo.name());
+            assert!(
+                (v - 5.0).abs() < 1.0,
+                "{} far from the constant: {v}",
+                algo.name()
+            );
         }
     }
 }
@@ -136,7 +152,10 @@ fn unique_valued_columns_are_handled() {
     ]);
     let mut t = Table::empty(schema);
     for i in 0..30 {
-        t.push_str_row(&[Some(&format!("row-{i}")), Some(if i % 2 == 0 { "x" } else { "y" })]);
+        t.push_str_row(&[
+            Some(&format!("row-{i}")),
+            Some(if i % 2 == 0 { "x" } else { "y" }),
+        ]);
     }
     t.set(5, 0, Value::Null);
     t.set(11, 1, Value::Null);
@@ -162,7 +181,10 @@ fn single_kind_tables_work() {
     assert!(out.get(3, 1).as_num().unwrap().is_finite());
 
     // categorical-only
-    let schema = Schema::from_pairs(&[("a", ColumnKind::Categorical), ("b", ColumnKind::Categorical)]);
+    let schema = Schema::from_pairs(&[
+        ("a", ColumnKind::Categorical),
+        ("b", ColumnKind::Categorical),
+    ]);
     let mut t = Table::empty(schema);
     for i in 0..30 {
         let v = format!("v{}", i % 3);

@@ -30,7 +30,11 @@ fn head(table: &Table, n: usize) -> Table {
 fn small_config() -> GrimpConfig {
     GrimpConfig {
         feature_dim: 16,
-        gnn: grimp_gnn::GnnConfig { layers: 2, hidden: 16, ..Default::default() },
+        gnn: grimp_gnn::GnnConfig {
+            layers: 2,
+            hidden: 16,
+            ..Default::default()
+        },
         merge_hidden: 32,
         embed_dim: 16,
         max_epochs: 40,
@@ -50,15 +54,34 @@ fn all_imputers_run_the_full_pipeline() {
 
     let roster: Vec<Box<dyn Imputer>> = vec![
         Box::new(Grimp::new(small_config().with_seed(0))),
-        Box::new(Grimp::new(small_config().with_seed(0).with_features(FeatureSource::Embdi))),
+        Box::new(Grimp::new(
+            small_config()
+                .with_seed(0)
+                .with_features(FeatureSource::Embdi),
+        )),
         Box::new(Grimp::new(small_config().with_seed(0).with_linear_tasks())),
         Box::new(GnnMc::new(small_config().with_seed(0))),
         Box::new(MissForest::new(MissForestConfig::default())),
-        Box::new(AimNetLike::new(AimNetConfig { epochs: 40, ..Default::default() })),
-        Box::new(TurlSub::new(TurlConfig { epochs: 40, ..Default::default() })),
-        Box::new(EmbdiMc::new(EmbdiMcConfig { epochs: 40, ..Default::default() })),
-        Box::new(DataWigLike::new(DataWigConfig { epochs: 40, ..Default::default() })),
-        Box::new(Mice::new(MiceConfig { epochs: 40, ..Default::default() })),
+        Box::new(AimNetLike::new(AimNetConfig {
+            epochs: 40,
+            ..Default::default()
+        })),
+        Box::new(TurlSub::new(TurlConfig {
+            epochs: 40,
+            ..Default::default()
+        })),
+        Box::new(EmbdiMc::new(EmbdiMcConfig {
+            epochs: 40,
+            ..Default::default()
+        })),
+        Box::new(DataWigLike::new(DataWigConfig {
+            epochs: 40,
+            ..Default::default()
+        })),
+        Box::new(Mice::new(MiceConfig {
+            epochs: 40,
+            ..Default::default()
+        })),
         Box::new(KnnImputer::new(5)),
         Box::new(MeanMode),
     ];
@@ -72,7 +95,11 @@ fn all_imputers_run_the_full_pipeline() {
         // should clear 0.30 on this clustered table.
         assert!(acc > 0.30, "{} accuracy too low: {acc}", algo.name());
         let rmse = eval.rmse().expect("numerical cells exist");
-        assert!(rmse.is_finite() && rmse < 3.0, "{} rmse out of range: {rmse}", algo.name());
+        assert!(
+            rmse.is_finite() && rmse < 3.0,
+            "{} rmse out of range: {rmse}",
+            algo.name()
+        );
     }
 }
 
@@ -85,8 +112,12 @@ fn grimp_beats_the_mode_floor() {
     let log = inject_mcar(&mut dirty, 0.20, &mut StdRng::seed_from_u64(2));
 
     let mut grimp = Grimp::new(small_config().with_seed(1));
-    let grimp_acc = evaluate(&clean, &grimp.impute(&dirty), &log).accuracy().unwrap();
-    let mode_acc = evaluate(&clean, &MeanMode.impute(&dirty), &log).accuracy().unwrap();
+    let grimp_acc = evaluate(&clean, &grimp.impute(&dirty), &log)
+        .accuracy()
+        .unwrap();
+    let mode_acc = evaluate(&clean, &MeanMode.impute(&dirty), &log)
+        .accuracy()
+        .unwrap();
     assert!(
         grimp_acc >= mode_acc,
         "GRIMP ({grimp_acc:.3}) must not lose to mode fill ({mode_acc:.3})"
@@ -106,7 +137,10 @@ fn pipeline_survives_fifty_percent_missingness() {
     let imputed = grimp.impute(&dirty);
     check_imputation_contract(&dirty, &imputed).unwrap();
     let eval = evaluate(&clean, &imputed, &log);
-    assert!(eval.accuracy().unwrap() > 0.2, "degenerate output at 50% missingness");
+    assert!(
+        eval.accuracy().unwrap() > 0.2,
+        "degenerate output at 50% missingness"
+    );
 }
 
 /// Multiple missing values in the same row (the Fig. 5 scenario) are
@@ -144,7 +178,15 @@ fn imputation_is_deterministic_per_seed() {
     let b = Grimp::new(small_config().with_seed(9)).impute(&dirty);
     assert_eq!(a, b, "GRIMP must be deterministic per seed");
 
-    let a = MissForest::new(MissForestConfig { seed: 9, ..Default::default() }).impute(&dirty);
-    let b = MissForest::new(MissForestConfig { seed: 9, ..Default::default() }).impute(&dirty);
+    let a = MissForest::new(MissForestConfig {
+        seed: 9,
+        ..Default::default()
+    })
+    .impute(&dirty);
+    let b = MissForest::new(MissForestConfig {
+        seed: 9,
+        ..Default::default()
+    })
+    .impute(&dirty);
     assert_eq!(a, b, "MissForest must be deterministic per seed");
 }

@@ -29,7 +29,12 @@ fn generated_tax_fds_hold_and_survive_truncation() {
     assert_eq!(tax.fds.len(), 6);
     let small = head(&tax.table, 400);
     for fd in &tax.fds.fds {
-        assert!(fd.holds_on(&small), "FD {:?} -> {} broken by truncation", fd.lhs, fd.rhs);
+        assert!(
+            fd.holds_on(&small),
+            "FD {:?} -> {} broken by truncation",
+            fd.lhs,
+            fd.rhs
+        );
     }
 }
 
@@ -67,7 +72,10 @@ fn fd_repair_is_precise_on_fd_covered_cells() {
     }
     assert!(covered > 5, "test needs FD-covered cells, got {covered}");
     let precision = correct as f64 / covered as f64;
-    assert!(precision > 0.9, "FD repair precision {precision} on covered cells");
+    assert!(
+        precision > 0.9,
+        "FD repair precision {precision} on covered cells"
+    );
 }
 
 #[test]
@@ -77,7 +85,10 @@ fn funforest_matches_or_beats_missforest_on_fd_columns() {
     let mut dirty = clean.clone();
     let log = inject_mcar(&mut dirty, 0.20, &mut StdRng::seed_from_u64(2));
 
-    let cfg = MissForestConfig { seed: 0, ..Default::default() };
+    let cfg = MissForestConfig {
+        seed: 0,
+        ..Default::default()
+    };
     let plain = MissForest::new(cfg).impute(&dirty);
     let fdful = MissForest::funforest(cfg, tax.fds.clone()).impute(&dirty);
 
@@ -99,7 +110,11 @@ fn grimp_a_consumes_fds_and_imputes_conclusions() {
 
     let cfg = GrimpConfig {
         feature_dim: 16,
-        gnn: grimp_gnn::GnnConfig { layers: 2, hidden: 16, ..Default::default() },
+        gnn: grimp_gnn::GnnConfig {
+            layers: 2,
+            hidden: 16,
+            ..Default::default()
+        },
         merge_hidden: 32,
         embed_dim: 16,
         max_epochs: 50,
@@ -116,7 +131,11 @@ fn grimp_a_consumes_fds_and_imputes_conclusions() {
     let conclusion_cols: Vec<usize> = tax.fds.fds.iter().map(|fd| fd.rhs).collect();
     let mut total = 0;
     let mut correct = 0;
-    for cell in log.cells.iter().filter(|c| conclusion_cols.contains(&c.col)) {
+    for cell in log
+        .cells
+        .iter()
+        .filter(|c| conclusion_cols.contains(&c.col))
+    {
         if let Value::Cat(_) = cell.truth {
             total += 1;
             if imputed.display(cell.row, cell.col) == clean.display(cell.row, cell.col) {
@@ -126,6 +145,9 @@ fn grimp_a_consumes_fds_and_imputes_conclusions() {
     }
     assert!(total > 0);
     let acc = correct as f64 / total as f64;
-    assert!(acc > 0.3, "GRIMP-A accuracy on FD conclusions too low: {acc:.3}");
+    assert!(
+        acc > 0.3,
+        "GRIMP-A accuracy on FD conclusions too low: {acc:.3}"
+    );
     assert!(eval.accuracy().unwrap() > 0.3);
 }

@@ -27,7 +27,11 @@ fn head(table: &Table, n: usize) -> Table {
 fn small_config() -> GrimpConfig {
     GrimpConfig {
         feature_dim: 16,
-        gnn: grimp_gnn::GnnConfig { layers: 2, hidden: 16, ..Default::default() },
+        gnn: grimp_gnn::GnnConfig {
+            layers: 2,
+            hidden: 16,
+            ..Default::default()
+        },
         merge_hidden: 32,
         embed_dim: 16,
         max_epochs: 40,
@@ -51,8 +55,9 @@ fn training_corpus_counts_match_fig4() {
         }
     }
     for (i, &k) in per_row.iter().enumerate() {
-        let non_missing =
-            (0..dirty.n_columns()).filter(|&j| !dirty.is_missing(i, j)).count();
+        let non_missing = (0..dirty.n_columns())
+            .filter(|&j| !dirty.is_missing(i, j))
+            .count();
         assert_eq!(k, non_missing, "row {i}");
         assert!(k <= dirty.n_columns());
     }
@@ -121,7 +126,10 @@ fn error_analysis_shape_holds() {
     // increasing toward the rare value
     let freq_wrong = rows[0].wrong_fraction[0].unwrap_or(0.0);
     let rare_wrong = rows[1].wrong_fraction[0].unwrap_or(1.0);
-    assert!(freq_wrong <= rare_wrong, "shape violated: {freq_wrong} > {rare_wrong}");
+    assert!(
+        freq_wrong <= rare_wrong,
+        "shape violated: {freq_wrong} > {rare_wrong}"
+    );
     // and E_v ordering matches
     assert!(rows[0].expected_wrong <= rows[1].expected_wrong);
 }
@@ -133,7 +141,10 @@ fn difficulty_ordering_matches_the_paper() {
     let imdb = dataset_stats(&generate(DatasetId::Imdb, 0).table);
     let flare = dataset_stats(&generate(DatasetId::Flare, 0).table);
     let ttt = dataset_stats(&generate(DatasetId::TicTacToe, 0).table);
-    assert!(imdb.k_avg > flare.k_avg, "IMDB must have heavier tails than Flare");
+    assert!(
+        imdb.k_avg > flare.k_avg,
+        "IMDB must have heavier tails than Flare"
+    );
     assert!(imdb.n_plus_avg > flare.n_plus_avg);
     assert!(ttt.k_avg < 0.0, "Tic-Tac-Toe is flat");
     assert!(imdb.distinct > 10 * ttt.distinct);
@@ -149,9 +160,7 @@ fn no_clean_subset_is_required() {
     for i in 0..dirty.n_rows() {
         dirty.set(i, i % dirty.n_columns(), Value::Null);
     }
-    assert!((0..dirty.n_rows()).all(|i| {
-        (0..dirty.n_columns()).any(|j| dirty.is_missing(i, j))
-    }));
+    assert!((0..dirty.n_rows()).all(|i| { (0..dirty.n_columns()).any(|j| dirty.is_missing(i, j)) }));
     let mut model = Grimp::new(small_config().with_seed(5));
     let imputed = model.impute(&dirty);
     assert_eq!(imputed.n_missing(), 0);
