@@ -72,6 +72,12 @@ struct ModeResult {
     epochs_run: usize,
     first_epoch_allocs: u64,
     allocs_after_epoch1: u64,
+    grad_norm_final: f64,
+    grad_norm_max: f64,
+    clip_activations: usize,
+    anomalies_detected: usize,
+    recoveries: usize,
+    checkpoint_bytes: usize,
 }
 
 fn run_mode(dirty: &Table, legacy: bool) -> ModeResult {
@@ -88,6 +94,12 @@ fn run_mode(dirty: &Table, legacy: bool) -> ModeResult {
             epochs_run: report.epochs_run,
             first_epoch_allocs: report.epoch_allocs.first().copied().unwrap_or(0),
             allocs_after_epoch1: report.epoch_allocs.iter().skip(1).sum(),
+            grad_norm_final: report.grad_norms.last().copied().unwrap_or(0.0),
+            grad_norm_max: report.grad_norms.iter().copied().fold(0.0, f64::max),
+            clip_activations: report.clip_activations,
+            anomalies_detected: report.anomalies_detected(),
+            recoveries: report.recoveries,
+            checkpoint_bytes: report.checkpoint_bytes,
         };
         if best.as_ref().is_none_or(|b| result.seconds < b.seconds) {
             best = Some(result);
@@ -101,14 +113,23 @@ fn mode_json(out: &mut String, label: &str, r: &ModeResult) {
         out,
         "  \"{label}\": {{\n    \"seconds\": {:.6},\n    \"forward_s\": {:.6},\n    \
          \"backward_s\": {:.6},\n    \"optim_s\": {:.6},\n    \"epochs_run\": {},\n    \
-         \"first_epoch_allocs\": {},\n    \"allocs_after_epoch1\": {}\n  }}",
+         \"first_epoch_allocs\": {},\n    \"allocs_after_epoch1\": {},\n    \
+         \"grad_norm_final\": {:.6},\n    \"grad_norm_max\": {:.6},\n    \
+         \"clip_activations\": {},\n    \"anomalies_detected\": {},\n    \
+         \"recoveries\": {},\n    \"checkpoint_bytes\": {}\n  }}",
         r.seconds,
         r.forward_s,
         r.backward_s,
         r.optim_s,
         r.epochs_run,
         r.first_epoch_allocs,
-        r.allocs_after_epoch1
+        r.allocs_after_epoch1,
+        r.grad_norm_final,
+        r.grad_norm_max,
+        r.clip_activations,
+        r.anomalies_detected,
+        r.recoveries,
+        r.checkpoint_bytes
     );
 }
 
@@ -150,4 +171,12 @@ fn main() {
         legacy.allocs_after_epoch1
     );
     println!("speedup: {speedup:.2}x over {} epochs", fast.epochs_run);
+    println!(
+        "guards : grad norm final {:.3} / max {:.3}, {} clips, {} anomalies, {} recoveries",
+        fast.grad_norm_final,
+        fast.grad_norm_max,
+        fast.clip_activations,
+        fast.anomalies_detected,
+        fast.recoveries
+    );
 }

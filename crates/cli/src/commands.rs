@@ -53,9 +53,13 @@ USAGE:
 
 COMMANDS:
     impute   <dirty.csv>  [--algo NAME] [--seed N] [--paper] [-o out.csv]
+             [--checkpoint-dir DIR] [--resume]
              impute every missing cell; algorithms: grimp (default),
              grimp-e, grimp-linear, missforest, aimnet, turl, embdi-mc,
              datawig, mice, mida, gain, knn, meanmode
+             --checkpoint-dir writes a training checkpoint there every
+             epoch (grimp variants only); --resume continues from it
+             after an interrupted run
     corrupt  <clean.csv>  [--rate R] [--mechanism mcar|mnar] [--seed N]
              [-o out.csv] [--truth truth.csv]
              inject missing values; --truth records the blanked cells
@@ -85,13 +89,29 @@ fn save(table: &Table, path: Option<&str>, out: &mut dyn Write) -> Result<(), Cl
     Ok(())
 }
 
-fn build_imputer(name: &str, seed: u64, paper: bool) -> Result<Box<dyn Imputer>, CliError> {
-    let grimp_cfg = if paper {
+fn build_imputer(
+    name: &str,
+    seed: u64,
+    paper: bool,
+    checkpoint_dir: Option<&str>,
+    resume: bool,
+) -> Result<Box<dyn Imputer>, CliError> {
+    let mut grimp_cfg = if paper {
         GrimpConfig::paper()
     } else {
         GrimpConfig::fast()
     }
     .with_seed(seed);
+    if let Some(dir) = checkpoint_dir {
+        grimp_cfg = grimp_cfg.with_checkpoint_dir(dir).with_resume(resume);
+    } else if resume {
+        return Err(CliError("--resume requires --checkpoint-dir DIR".into()));
+    }
+    if checkpoint_dir.is_some() && !name.starts_with("grimp") {
+        return Err(CliError(format!(
+            "--checkpoint-dir is only supported by the grimp variants, not {name:?}"
+        )));
+    }
     Ok(match name {
         "grimp" => Box::new(Grimp::new(grimp_cfg)),
         "grimp-e" => Box::new(Grimp::new(grimp_cfg.with_features(FeatureSource::Embdi))),
@@ -139,12 +159,18 @@ fn build_imputer(name: &str, seed: u64, paper: bool) -> Result<Box<dyn Imputer>,
 }
 
 fn cmd_impute(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
-    args.check_known(&["algo", "seed", "paper", "o"])?;
+    args.check_known(&["algo", "seed", "paper", "o", "checkpoint-dir", "resume"])?;
     let input = args.require_positional(0, "input CSV path")?;
     let table = load(input)?;
     let algo_name = args.opt("algo").unwrap_or("grimp");
     let seed = args.opt_parse("seed", 0u64)?;
-    let mut algo = build_imputer(algo_name, seed, args.flag("paper"))?;
+    let mut algo = build_imputer(
+        algo_name,
+        seed,
+        args.flag("paper"),
+        args.opt("checkpoint-dir"),
+        args.flag("resume"),
+    )?;
     writeln!(
         out,
         "{}: {} rows x {} cols, {} missing cells — imputing with {}",
@@ -317,7 +343,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> i32 {
     let rest = &argv[1..];
     let parse = |flags: &[&str]| Args::parse(rest, flags);
     let result: Result<(), CliError> = (|| match command {
-        "impute" => cmd_impute(&parse(&["paper"])?, out),
+        "impute" => cmd_impute(&parse(&["paper", "resume"])?, out),
         "corrupt" => cmd_corrupt(&parse(&[])?, out),
         "evaluate" => cmd_evaluate(&parse(&[])?, out),
         "stats" => cmd_stats(&parse(&[])?, out),
@@ -475,5 +501,73 @@ mod tests {
         let (code, out) = run_str(&["stats", "/nonexistent/nope.csv"]);
         assert_eq!(code, 1);
         assert!(out.contains("error:"));
+    }
+
+    #[test]
+    fn impute_writes_a_checkpoint_and_resumes_from_it() {
+        let dir = tmpdir();
+        let dirty = dir.join("ckpt-dirty.csv");
+        let ckpt_dir = dir.join("ckpt");
+        std::fs::write(
+            &dirty,
+            "city,country\nParis,France\nRome,Italy\nParis,\nRome,\nParis,France\nRome,Italy\n",
+        )
+        .unwrap();
+
+        let (code, out) = run_str(&[
+            "impute",
+            dirty.to_str().unwrap(),
+            "--algo",
+            "grimp",
+            "--checkpoint-dir",
+            ckpt_dir.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let ckpt_file = ckpt_dir.join(grimp::CHECKPOINT_FILE);
+        assert!(ckpt_file.exists(), "no checkpoint at {ckpt_file:?}");
+
+        // a second run may resume from the finished checkpoint and must
+        // still impute every cell
+        let (code, out) = run_str(&[
+            "impute",
+            dirty.to_str().unwrap(),
+            "--algo",
+            "grimp",
+            "--checkpoint-dir",
+            ckpt_dir.to_str().unwrap(),
+            "--resume",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("0 cells remain missing"), "{out}");
+    }
+
+    #[test]
+    fn resume_without_checkpoint_dir_is_rejected() {
+        let dir = tmpdir();
+        let dirty = dir.join("resume-only.csv");
+        std::fs::write(&dirty, "a,b\nx,1\ny,\n").unwrap();
+        let (code, out) = run_str(&["impute", dirty.to_str().unwrap(), "--resume"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("--resume requires --checkpoint-dir"), "{out}");
+    }
+
+    #[test]
+    fn checkpoint_dir_is_rejected_for_non_grimp_algorithms() {
+        let dir = tmpdir();
+        let dirty = dir.join("ckpt-knn.csv");
+        std::fs::write(&dirty, "a,b\nx,1\ny,\n").unwrap();
+        let (code, out) = run_str(&[
+            "impute",
+            dirty.to_str().unwrap(),
+            "--algo",
+            "knn",
+            "--checkpoint-dir",
+            dir.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 1);
+        assert!(
+            out.contains("only supported by the grimp variants"),
+            "{out}"
+        );
     }
 }

@@ -1,0 +1,255 @@
+//! Versioned binary training checkpoints for [`crate::Grimp::fit_impute`].
+//!
+//! A [`TrainCheckpoint`] captures everything the training loop needs to
+//! resume bit-exactly after a kill: the epoch counter, current learning rate
+//! and recovery count, the early-stopping bookkeeping, the RNG state, every
+//! trainable tape parameter, the Adam moments, and the best-validation
+//! parameter snapshot.
+//!
+//! ## On-disk format (version 1)
+//!
+//! All integers and floats are little-endian; floats are stored as raw bit
+//! patterns so non-finite sentinels (`best_val` starts at `+inf`) round-trip
+//! bit-exactly.
+//!
+//! | field        | encoding                                     |
+//! |--------------|----------------------------------------------|
+//! | magic        | 8 raw bytes `"GRIMPCKP"`                     |
+//! | version      | `u32` (currently 1)                          |
+//! | epoch        | `u64`                                        |
+//! | lr           | `f32` bits                                   |
+//! | recoveries   | `u32`                                        |
+//! | best_val     | `f32` bits                                   |
+//! | since_best   | `u64`                                        |
+//! | rng          | 4 × `u64` (xoshiro256** state)               |
+//! | params       | tensor list (`u64` count, then tensors)      |
+//! | adam         | `u32` step counter + two tensor lists        |
+//! | best_params  | `u8` flag, then a tensor list when 1         |
+//!
+//! A tensor is `u64` rows, `u64` cols, then row-major `f32` bits. Decoding
+//! never panics: wrong magic, unknown versions, truncation, and corrupt
+//! length prefixes all surface as a typed
+//! [`CheckpointError`](grimp_tensor::CheckpointError).
+
+use std::path::Path;
+
+use grimp_tensor::checkpoint::{ByteReader, ByteWriter, CheckpointError};
+use grimp_tensor::{AdamState, Tensor};
+
+/// Magic header identifying a GRIMP training checkpoint.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"GRIMPCKP";
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+/// File name used inside a `--checkpoint-dir`.
+pub const CHECKPOINT_FILE: &str = "grimp.ckpt";
+
+/// A complete, resumable snapshot of the training loop.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrainCheckpoint {
+    /// Number of completed epochs.
+    pub epoch: u64,
+    /// Learning rate in effect (halved by each divergence recovery).
+    pub lr: f32,
+    /// Divergence recoveries consumed so far.
+    pub recoveries: u32,
+    /// Best validation loss seen (`+inf` until the first epoch).
+    pub best_val: f32,
+    /// Epochs since `best_val` improved (early-stopping counter).
+    pub since_best: u64,
+    /// RNG state at capture time.
+    pub rng: [u64; 4],
+    /// Every trainable tape parameter, in registration order.
+    pub params: Vec<Tensor>,
+    /// Adam optimizer state.
+    pub adam: AdamState,
+    /// Parameters at the best-validation epoch, when one exists.
+    pub best_params: Option<Vec<Tensor>>,
+}
+
+impl TrainCheckpoint {
+    /// Serialize to the version-1 binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.raw(CHECKPOINT_MAGIC);
+        w.u32(CHECKPOINT_VERSION);
+        w.u64(self.epoch);
+        w.f32(self.lr);
+        w.u32(self.recoveries);
+        w.f32(self.best_val);
+        w.u64(self.since_best);
+        for s in self.rng {
+            w.u64(s);
+        }
+        w.tensor_list(&self.params);
+        w.adam_state(&self.adam);
+        match &self.best_params {
+            Some(ps) => {
+                w.u8(1);
+                w.tensor_list(ps);
+            }
+            None => w.u8(0),
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a checkpoint previously produced by
+    /// [`TrainCheckpoint::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = ByteReader::new(bytes);
+        if r.raw(CHECKPOINT_MAGIC.len(), "magic header")? != &CHECKPOINT_MAGIC[..] {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = r.u32("format version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let epoch = r.u64("epoch")?;
+        let lr = r.f32("learning rate")?;
+        let recoveries = r.u32("recovery count")?;
+        let best_val = r.f32("best validation loss")?;
+        let since_best = r.u64("early-stopping counter")?;
+        let mut rng = [0u64; 4];
+        for s in &mut rng {
+            *s = r.u64("rng state")?;
+        }
+        let params = r.tensor_list("parameters")?;
+        let adam = r.adam_state()?;
+        let best_params = match r.u8("best-params flag")? {
+            0 => None,
+            1 => Some(r.tensor_list("best parameters")?),
+            other => {
+                return Err(CheckpointError::Corrupt(format!(
+                    "best-params flag must be 0 or 1, got {other}"
+                )))
+            }
+        };
+        if r.remaining() != 0 {
+            return Err(CheckpointError::Corrupt(format!(
+                "{} trailing bytes after checkpoint payload",
+                r.remaining()
+            )));
+        }
+        Ok(TrainCheckpoint {
+            epoch,
+            lr,
+            recoveries,
+            best_val,
+            since_best,
+            rng,
+            params,
+            adam,
+            best_params,
+        })
+    }
+
+    /// Write atomically to `path` (via a sibling temp file + rename, so a
+    /// kill mid-write never leaves a truncated checkpoint behind). Returns
+    /// the number of bytes written.
+    pub fn save(&self, path: &Path) -> Result<usize, CheckpointError> {
+        let bytes = self.to_bytes();
+        let tmp = path.with_extension("ckpt.tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(bytes.len())
+    }
+
+    /// Read and decode the checkpoint at `path`.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrainCheckpoint {
+        TrainCheckpoint {
+            epoch: 12,
+            lr: 5e-3,
+            recoveries: 1,
+            best_val: 0.75,
+            since_best: 3,
+            rng: [1, 2, 3, u64::MAX],
+            params: vec![
+                Tensor::from_vec(2, 2, vec![0.1, -0.2, 0.3, -0.4]),
+                Tensor::scalar(9.0),
+            ],
+            adam: AdamState {
+                t: 12,
+                m: vec![Tensor::from_vec(2, 2, vec![0.0; 4]), Tensor::zeros(0, 0)],
+                v: vec![Tensor::from_vec(2, 2, vec![1.0; 4]), Tensor::zeros(0, 0)],
+            },
+            best_params: Some(vec![
+                Tensor::from_vec(2, 2, vec![0.5; 4]),
+                Tensor::scalar(8.0),
+            ]),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let ck = sample();
+        let back = TrainCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn infinity_best_val_roundtrips() {
+        let mut ck = sample();
+        ck.best_val = f32::INFINITY;
+        ck.best_params = None;
+        let back = TrainCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(back.best_val, f32::INFINITY);
+        assert!(back.best_params.is_none());
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            TrainCheckpoint::from_bytes(&bytes),
+            Err(CheckpointError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            TrainCheckpoint::from_bytes(&bytes),
+            Err(CheckpointError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncation_and_trailing_garbage_are_rejected() {
+        let bytes = sample().to_bytes();
+        let mut short = bytes.clone();
+        short.truncate(bytes.len() - 1);
+        assert!(matches!(
+            TrainCheckpoint::from_bytes(&short),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        let mut long = bytes;
+        long.push(0);
+        assert!(matches!(
+            TrainCheckpoint::from_bytes(&long),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn save_and_load_via_disk() {
+        let dir = std::env::temp_dir().join("grimp-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(CHECKPOINT_FILE);
+        let ck = sample();
+        let n = ck.save(&path).unwrap();
+        assert_eq!(n, ck.to_bytes().len());
+        assert_eq!(TrainCheckpoint::load(&path).unwrap(), ck);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -78,6 +78,32 @@ pub struct GrimpConfig {
     /// Only useful as a benchmarking baseline; results are numerically
     /// equivalent.
     pub legacy_hot_path: bool,
+    /// Global gradient-norm clip threshold. When the L2 norm over all
+    /// parameter gradients exceeds it, every gradient is scaled by
+    /// `max / norm` before the optimizer step. `None` disables clipping
+    /// (the finiteness guard still runs). The default is high enough that a
+    /// healthy run is numerically unchanged.
+    pub max_grad_norm: Option<f32>,
+    /// Divergence-recovery budget: how many times a detected anomaly may
+    /// roll training back to the last good epoch (halving the learning rate
+    /// each time) before the run degrades to the mode/mean baseline.
+    pub max_recoveries: usize,
+    /// Write a disk checkpoint every this many completed epochs (only when
+    /// [`GrimpConfig::checkpoint_dir`] is set). Values below 1 behave as 1.
+    pub checkpoint_every: usize,
+    /// Directory for the training checkpoint file. `None` keeps
+    /// checkpointing purely in memory (rollback still works; resume does
+    /// not).
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Resume from the checkpoint in [`GrimpConfig::checkpoint_dir`] when
+    /// one exists. An unreadable or corrupt checkpoint is reported in the
+    /// [`crate::TrainReport`] and training restarts from scratch.
+    pub resume: bool,
+    /// Deterministic fault injection for robustness tests: corrupt a chosen
+    /// gradient or parameter at a chosen epoch. Compiled only for unit tests
+    /// and behind the `fault-injection` cargo feature.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fault_injection: Option<crate::fault::FaultPlan>,
 }
 
 impl Default for GrimpConfig {
@@ -113,6 +139,13 @@ impl GrimpConfig {
             max_train_samples_per_task: None,
             seed: 0,
             legacy_hot_path: false,
+            max_grad_norm: Some(1e4),
+            max_recoveries: 2,
+            checkpoint_every: 1,
+            checkpoint_dir: None,
+            resume: false,
+            #[cfg(any(test, feature = "fault-injection"))]
+            fault_injection: None,
         }
     }
 
@@ -160,6 +193,19 @@ impl GrimpConfig {
         self.seed = seed;
         self
     }
+
+    /// Enable disk checkpointing into `dir` (written every
+    /// [`GrimpConfig::checkpoint_every`] epochs).
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Resume from an existing checkpoint in the checkpoint dir.
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +222,30 @@ mod tests {
         assert_eq!(c.task_kind, TaskKind::Attention);
         assert_eq!(c.k_strategy, KStrategy::WeakDiagonal);
         assert!((c.validation_fraction - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn robustness_defaults_leave_healthy_runs_unchanged() {
+        let c = GrimpConfig::paper();
+        assert_eq!(c.max_recoveries, 2);
+        assert_eq!(c.checkpoint_every, 1);
+        assert!(c.checkpoint_dir.is_none());
+        assert!(!c.resume);
+        // the default clip threshold must sit far above healthy grad norms
+        assert!(c.max_grad_norm.unwrap() >= 1e3);
+        assert!(c.fault_injection.is_none());
+    }
+
+    #[test]
+    fn checkpoint_builders_compose() {
+        let c = GrimpConfig::fast()
+            .with_checkpoint_dir("/tmp/ck")
+            .with_resume(true);
+        assert_eq!(
+            c.checkpoint_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/ck"))
+        );
+        assert!(c.resume);
     }
 
     #[test]

@@ -32,8 +32,11 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod checkpoint;
 pub mod config;
+pub mod fault;
 pub mod federated;
 pub mod inductive;
 pub mod mc;
@@ -43,11 +46,15 @@ pub mod tasks;
 pub mod tuner;
 pub mod vectors;
 
+pub use checkpoint::{TrainCheckpoint, CHECKPOINT_FILE, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use config::{CategoricalLoss, GrimpConfig, KStrategy, TaskKind};
+pub use fault::TrainAnomaly;
+#[cfg(any(test, feature = "fault-injection"))]
+pub use fault::{FaultKind, FaultPlan};
 pub use federated::{FederatedConfig, FederatedGrimp, FederatedReport};
 pub use inductive::TrainedGrimp;
 pub use mc::{GlobalDomain, GnnMc};
-pub use model::{Grimp, TrainReport};
+pub use model::{Grimp, TrainReport, TrainState};
 pub use params::{ParamCounts, ParamFormula};
 pub use tasks::{build_k_matrix, Task};
 pub use tuner::{default_candidates, select_config, ProbeResult, TunerConfig};

@@ -1,6 +1,14 @@
 //! The GRIMP model: shared layer (HeteroGNN + merge) and multi-task heads,
 //! trained end-to-end with the dual loss and early stopping (paper §3,
 //! Algorithm 1).
+//!
+//! The training loop is fault-tolerant: a per-epoch divergence guard checks
+//! loss, gradient, and parameter finiteness (plus global gradient-norm
+//! clipping), every good epoch is snapshotted in memory (and optionally to
+//! disk as a versioned [`TrainCheckpoint`]), and a detected anomaly rolls
+//! back to the last good epoch with a halved learning rate. When the
+//! recovery budget is exhausted the run degrades to the mode/mean baseline
+//! so the imputation contract still holds.
 
 use std::rc::Rc;
 use std::time::Instant;
@@ -12,16 +20,21 @@ use rand::SeedableRng;
 use grimp_gnn::HeteroSage;
 use grimp_graph::{build_features, TableGraph};
 use grimp_table::{ColumnKind, Corpus, FdSet, Imputer, Normalizer, Table, Value};
-use grimp_tensor::{Adam, Mlp, Tape, Tensor, Var};
+use grimp_tensor::{Adam, AdamState, Mlp, Tape, Tensor, Var};
 
+use crate::checkpoint::{TrainCheckpoint, CHECKPOINT_FILE};
 use crate::config::{CategoricalLoss, GrimpConfig};
+use crate::fault::TrainAnomaly;
+#[cfg(any(test, feature = "fault-injection"))]
+use crate::fault::{FaultKind, FaultPlan};
 use crate::tasks::Task;
 use crate::vectors::VectorBatch;
 
 /// Outcome of one training run.
 #[derive(Clone, Debug, Default)]
 pub struct TrainReport {
-    /// Epochs actually executed.
+    /// Epochs actually executed (in this process — excludes epochs replayed
+    /// from a resumed checkpoint).
     pub epochs_run: usize,
     /// Per-epoch summed training loss.
     pub train_losses: Vec<f32>,
@@ -42,6 +55,69 @@ pub struct TrainReport {
     pub epoch_allocs: Vec<u64>,
     /// Scalar parameters actually allocated on the tape.
     pub n_weights: usize,
+    /// Global L2 gradient norm per completed epoch.
+    pub grad_norms: Vec<f64>,
+    /// Number of epochs on which gradient clipping rescaled the gradients.
+    pub clip_activations: usize,
+    /// Divergences detected by the per-epoch guard, in detection order.
+    pub anomalies: Vec<TrainAnomaly>,
+    /// Rollback recoveries consumed by this run.
+    pub recoveries: usize,
+    /// Serialized size of the final training checkpoint, in bytes.
+    pub checkpoint_bytes: usize,
+    /// Whether the run exhausted `max_recoveries` and fell back to the
+    /// mode/mean baseline imputer.
+    pub degraded_to_baseline: bool,
+    /// Epoch count restored from a disk checkpoint, when resuming.
+    pub resumed_from_epoch: Option<usize>,
+    /// Non-fatal checkpoint I/O problems (failed resume or write). Training
+    /// continues; the messages are surfaced here for observability.
+    pub io_errors: Vec<String>,
+}
+
+impl TrainReport {
+    /// Number of anomalies the divergence guard detected.
+    pub fn anomalies_detected(&self) -> usize {
+        self.anomalies.len()
+    }
+}
+
+/// Resumable cursor of the training loop: everything a checkpoint must
+/// capture, beyond tensors, to continue bit-exactly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrainState {
+    /// Completed epochs.
+    pub epoch: usize,
+    /// Learning rate in effect (halved by each divergence recovery).
+    pub lr: f32,
+    /// Best validation loss seen so far (`+inf` before the first epoch).
+    pub best_val: f32,
+    /// Epochs since `best_val` last improved (early-stopping counter).
+    pub since_best: usize,
+    /// Divergence recoveries consumed so far.
+    pub recoveries: usize,
+}
+
+impl TrainState {
+    /// Fresh state at epoch 0 with the configured learning rate.
+    pub fn new(lr: f32) -> Self {
+        TrainState {
+            epoch: 0,
+            lr,
+            best_val: f32::INFINITY,
+            since_best: 0,
+            recoveries: 0,
+        }
+    }
+}
+
+/// In-memory rollback point: the training state plus parameter and
+/// optimizer tensors as of the last good epoch. Buffers are reused across
+/// epochs, so re-capturing allocates nothing in steady state.
+struct Snapshot {
+    state: TrainState,
+    params: Vec<Tensor>,
+    adam: AdamState,
 }
 
 /// The GRIMP imputer (paper §3). Construct with a config, call
@@ -194,15 +270,70 @@ impl Grimp {
             &mut rng,
         );
 
-        // Training loop with early stopping on validation loss.
+        // Training loop with early stopping on validation loss, wrapped in
+        // the divergence guard + rollback/recovery machinery.
         let mut report = TrainReport {
             n_weights,
             ..Default::default()
         };
-        let mut best_val = f32::INFINITY;
-        let mut since_best = 0usize;
+        let mut state = TrainState::new(cfg.lr);
+        let mut best_params: Option<Vec<Tensor>> = None;
+
+        // Resume from a disk checkpoint when asked to. A missing file starts
+        // a fresh run; an unreadable or mismatched one is reported and also
+        // starts fresh — resume must never panic.
+        let ckpt_path = cfg.checkpoint_dir.as_ref().map(|d| d.join(CHECKPOINT_FILE));
+        if let Some(dir) = &cfg.checkpoint_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                report.io_errors.push(format!(
+                    "cannot create checkpoint dir {}: {e}",
+                    dir.display()
+                ));
+            }
+        }
+        if cfg.resume {
+            if let Some(path) = ckpt_path.as_ref().filter(|p| p.exists()) {
+                match TrainCheckpoint::load(path) {
+                    Ok(ck) if snapshot_shapes_match(&tape, &ck.params) => {
+                        tape.restore_param_values(&ck.params);
+                        adam.import_state(&ck.adam);
+                        rng = StdRng::from_state(ck.rng);
+                        state = TrainState {
+                            epoch: ck.epoch as usize,
+                            lr: ck.lr,
+                            best_val: ck.best_val,
+                            since_best: ck.since_best as usize,
+                            recoveries: ck.recoveries as usize,
+                        };
+                        best_params = ck.best_params;
+                        report.resumed_from_epoch = Some(state.epoch);
+                    }
+                    Ok(_) => report.io_errors.push(format!(
+                        "checkpoint at {} does not match this model's parameter shapes; \
+                         restarting from scratch",
+                        path.display()
+                    )),
+                    Err(e) => report.io_errors.push(format!(
+                        "failed to resume from {}: {e}; restarting from scratch",
+                        path.display()
+                    )),
+                }
+            }
+        }
+        #[cfg(any(test, feature = "fault-injection"))]
+        let fault_plan = cfg.fault_injection;
+        #[cfg(any(test, feature = "fault-injection"))]
+        let mut injected = 0usize;
+
+        let mut last_good = Snapshot {
+            state,
+            params: tape.snapshot_param_values(),
+            adam: adam.export_state(),
+        };
+        let mut degraded = false;
+        let checkpoint_every = cfg.checkpoint_every.max(1);
         let mut train_losses: Vec<Var> = Vec::new();
-        for _epoch in 0..cfg.max_epochs {
+        while state.epoch < cfg.max_epochs && state.since_best < cfg.patience {
             let misses_before = tape.workspace_stats().misses;
             let forward_start = Instant::now();
             let x = match persistent_x {
@@ -238,82 +369,307 @@ impl Grimp {
             let train_total = tape.value(total).item();
             report.forward_s += forward_start.elapsed().as_secs_f64();
 
-            let backward_start = Instant::now();
-            tape.backward(total);
-            report.backward_s += backward_start.elapsed().as_secs_f64();
+            // Divergence guard: loss finiteness after the forward pass,
+            // gradient finiteness (via the global norm) after backward,
+            // parameter finiteness after the optimizer step.
+            let mut anomaly: Option<TrainAnomaly> = None;
+            let mut grad_norm = 0.0f64;
+            if !train_total.is_finite() || !val_total.is_finite() {
+                anomaly = Some(TrainAnomaly::NonFiniteLoss {
+                    epoch: state.epoch,
+                    train: train_total,
+                    val: val_total,
+                });
+            } else {
+                let backward_start = Instant::now();
+                tape.backward(total);
+                report.backward_s += backward_start.elapsed().as_secs_f64();
 
-            let optim_start = Instant::now();
-            adam.step(&mut tape);
+                #[cfg(any(test, feature = "fault-injection"))]
+                inject_gradient_fault(&mut tape, fault_plan.as_ref(), state.epoch, &mut injected);
+
+                grad_norm = tape.global_grad_norm();
+                if !grad_norm.is_finite() {
+                    anomaly = Some(TrainAnomaly::NonFiniteGradient {
+                        epoch: state.epoch,
+                        norm: grad_norm,
+                    });
+                } else {
+                    if let Some(max) = cfg.max_grad_norm {
+                        if grad_norm > f64::from(max) {
+                            tape.scale_param_grads((f64::from(max) / grad_norm) as f32);
+                            report.clip_activations += 1;
+                        }
+                    }
+                    let optim_start = Instant::now();
+                    adam.lr = state.lr;
+                    adam.step(&mut tape);
+                    report.optim_s += optim_start.elapsed().as_secs_f64();
+
+                    #[cfg(any(test, feature = "fault-injection"))]
+                    inject_parameter_fault(
+                        &mut tape,
+                        fault_plan.as_ref(),
+                        state.epoch,
+                        &mut injected,
+                    );
+
+                    if !tape.params_all_finite() {
+                        anomaly = Some(TrainAnomaly::NonFiniteParameter { epoch: state.epoch });
+                    }
+                }
+            }
+            let reset_start = Instant::now();
             tape.reset();
-            report.optim_s += optim_start.elapsed().as_secs_f64();
+            report.optim_s += reset_start.elapsed().as_secs_f64();
+
+            if let Some(a) = anomaly {
+                // Recovery policy: roll back to the last good epoch, halve
+                // the learning rate, and retry — up to `max_recoveries`
+                // times, after which the run degrades to the baseline.
+                report.anomalies.push(a);
+                tape.restore_param_values(&last_good.params);
+                adam.import_state(&last_good.adam);
+                let mut st = last_good.state;
+                st.lr *= 0.5;
+                st.recoveries += 1;
+                state = st;
+                last_good.state = st;
+                report.recoveries = st.recoveries;
+                if st.recoveries > cfg.max_recoveries {
+                    degraded = true;
+                    break;
+                }
+                continue;
+            }
+
             report
                 .epoch_allocs
                 .push(tape.workspace_stats().misses - misses_before);
-
             report.epochs_run += 1;
             report.train_losses.push(train_total);
             report.val_losses.push(val_total);
-            if val_total + 1e-5 < best_val {
-                best_val = val_total;
-                since_best = 0;
+            report.grad_norms.push(grad_norm);
+            state.epoch += 1;
+            if val_total + 1e-5 < state.best_val {
+                state.best_val = val_total;
+                state.since_best = 0;
+                // explicit best-validation checkpoint: imputation runs from
+                // these parameters, not from wherever training stopped
+                tape.snapshot_param_values_into(best_params.get_or_insert_with(Vec::new));
             } else {
-                since_best += 1;
-                if since_best >= cfg.patience {
-                    report.early_stopped = true;
-                    break;
+                state.since_best += 1;
+            }
+            last_good.state = state;
+            tape.snapshot_param_values_into(&mut last_good.params);
+            adam.export_state_into(&mut last_good.adam);
+
+            if let Some(path) = &ckpt_path {
+                if state.epoch.is_multiple_of(checkpoint_every) {
+                    match build_checkpoint(&tape, &adam, &state, &rng, &best_params).save(path) {
+                        Ok(n) => report.checkpoint_bytes = n,
+                        Err(e) => report
+                            .io_errors
+                            .push(format!("checkpoint write failed: {e}")),
+                    }
                 }
+            }
+        }
+        report.early_stopped = state.since_best >= cfg.patience;
+        report.recoveries = state.recoveries;
+
+        // Final checkpoint, so resuming a finished run is a no-op. Skipped
+        // when degraded: the surviving state is the rolled-back one and the
+        // caller should restart, not resume, such a run.
+        if !degraded {
+            let ck = build_checkpoint(&tape, &adam, &state, &rng, &best_params);
+            match &ckpt_path {
+                Some(path) => match ck.save(path) {
+                    Ok(n) => report.checkpoint_bytes = n,
+                    Err(e) => report
+                        .io_errors
+                        .push(format!("checkpoint write failed: {e}")),
+                },
+                None => report.checkpoint_bytes = ck.to_bytes().len(),
             }
         }
 
-        // Imputation (§3.7): one forward pass, per-column argmax /
-        // de-normalized regression.
-        let mut result = dirty.clone();
-        let x = match persistent_x {
-            Some(x) => x,
-            None => tape.input(feature_tensor.take().expect("legacy path keeps features")),
+        // Imputation (§3.7): one forward pass from the best-validation
+        // parameters, per-column argmax / de-normalized regression. A
+        // degraded run falls back to mode/mean — every missing cell still
+        // gets a value even though the GNN died.
+        let result = if degraded {
+            report.degraded_to_baseline = true;
+            baseline_fill(dirty)
+        } else {
+            if let Some(best) = &best_params {
+                tape.restore_param_values(best);
+            }
+            let mut result = dirty.clone();
+            let x = match persistent_x {
+                Some(x) => x,
+                None => tape.input(feature_tensor.take().expect("legacy path keeps features")),
+            };
+            let h0 = gnn.forward(&mut tape, x);
+            let h = merge.forward(&mut tape, h0);
+            for (j, task) in tasks.iter().enumerate() {
+                let missing: Vec<(usize, usize)> = (0..norm.n_rows())
+                    .filter(|&i| norm.is_missing(i, j))
+                    .map(|i| (i, j))
+                    .collect();
+                if missing.is_empty() {
+                    continue;
+                }
+                let batch = VectorBatch::build(&graph, &norm, &missing, cfg.embed_dim);
+                let out = task.forward(&mut tape, h, &batch);
+                let out_t = tape.value(out).clone();
+                match norm.schema().column(j).kind {
+                    ColumnKind::Categorical => {
+                        if norm.dictionary(j).is_empty() {
+                            continue; // nothing to impute with
+                        }
+                        for (s, &(i, _)) in missing.iter().enumerate() {
+                            let row = out_t.row_slice(s);
+                            let best = row
+                                .iter()
+                                .enumerate()
+                                .max_by(|a, b| a.1.total_cmp(b.1))
+                                .map(|(k, _)| k as u32)
+                                .expect("non-empty logits row");
+                            result.set(i, j, Value::Cat(best));
+                        }
+                    }
+                    ColumnKind::Numerical => {
+                        for (s, &(i, _)) in missing.iter().enumerate() {
+                            let z = f64::from(out_t.get(s, 0));
+                            result.set(i, j, Value::Num(normalizer.inverse(j, z)));
+                        }
+                    }
+                }
+            }
+            tape.reset();
+            result
         };
-        let h0 = gnn.forward(&mut tape, x);
-        let h = merge.forward(&mut tape, h0);
-        for (j, task) in tasks.iter().enumerate() {
-            let missing: Vec<(usize, usize)> = (0..norm.n_rows())
-                .filter(|&i| norm.is_missing(i, j))
-                .map(|i| (i, j))
-                .collect();
-            if missing.is_empty() {
-                continue;
-            }
-            let batch = VectorBatch::build(&graph, &norm, &missing, cfg.embed_dim);
-            let out = task.forward(&mut tape, h, &batch);
-            let out_t = tape.value(out).clone();
-            match norm.schema().column(j).kind {
-                ColumnKind::Categorical => {
-                    if norm.dictionary(j).is_empty() {
-                        continue; // nothing to impute with
-                    }
-                    for (s, &(i, _)) in missing.iter().enumerate() {
-                        let row = out_t.row_slice(s);
-                        let best = row
-                            .iter()
-                            .enumerate()
-                            .max_by(|a, b| a.1.total_cmp(b.1))
-                            .map(|(k, _)| k as u32)
-                            .expect("non-empty logits row");
-                        result.set(i, j, Value::Cat(best));
-                    }
-                }
-                ColumnKind::Numerical => {
-                    for (s, &(i, _)) in missing.iter().enumerate() {
-                        let z = f64::from(out_t.get(s, 0));
-                        result.set(i, j, Value::Num(normalizer.inverse(j, z)));
-                    }
-                }
-            }
-        }
-        tape.reset();
         report.seconds = start.elapsed().as_secs_f64();
         self.last_report = Some(report);
         result
     }
+}
+
+/// `true` when a checkpoint's parameter tensors line up one-to-one, shape
+/// for shape, with the tape's trainable parameters.
+fn snapshot_shapes_match(tape: &Tape, params: &[Tensor]) -> bool {
+    let current = tape.snapshot_param_values();
+    current.len() == params.len()
+        && current
+            .iter()
+            .zip(params)
+            .all(|(a, b)| a.shape() == b.shape())
+}
+
+/// Assemble a serializable checkpoint from the live training objects.
+fn build_checkpoint(
+    tape: &Tape,
+    adam: &Adam,
+    state: &TrainState,
+    rng: &StdRng,
+    best_params: &Option<Vec<Tensor>>,
+) -> TrainCheckpoint {
+    TrainCheckpoint {
+        epoch: state.epoch as u64,
+        lr: state.lr,
+        recoveries: state.recoveries as u32,
+        best_val: state.best_val,
+        since_best: state.since_best as u64,
+        rng: rng.state(),
+        params: tape.snapshot_param_values(),
+        adam: adam.export_state(),
+        best_params: best_params.clone(),
+    }
+}
+
+/// Mode/mean fallback used when divergence recovery is exhausted: every
+/// missing categorical gets its column mode, every missing numerical its
+/// column mean (0 when the whole column is missing). Categorical columns
+/// with an empty dictionary are skipped, exactly like the GNN path.
+fn baseline_fill(dirty: &Table) -> Table {
+    let mut result = dirty.clone();
+    for (i, j) in dirty.missing_cells() {
+        match dirty.schema().column(j).kind {
+            ColumnKind::Categorical => {
+                if let Some(m) = dirty.mode(j) {
+                    result.set(i, j, Value::Cat(m));
+                }
+            }
+            ColumnKind::Numerical => {
+                result.set(i, j, Value::Num(dirty.mean(j).unwrap_or(0.0)));
+            }
+        }
+    }
+    result
+}
+
+/// Corrupt one gradient element with `NaN` when the fault plan says this is
+/// the epoch (and the injection budget is not yet spent).
+#[cfg(any(test, feature = "fault-injection"))]
+fn inject_gradient_fault(
+    tape: &mut Tape,
+    plan: Option<&FaultPlan>,
+    epoch: usize,
+    injected: &mut usize,
+) {
+    if !fault_due(plan, FaultKind::GradNan, epoch, injected) {
+        return;
+    }
+    for i in 0..tape.param_count() {
+        let v = Var::from_index(i);
+        if !tape.is_trainable(v) {
+            continue;
+        }
+        if let Some(first) = tape.grad_mut(v).and_then(|g| g.as_mut_slice().first_mut()) {
+            *first = f32::NAN;
+            return;
+        }
+    }
+}
+
+/// Corrupt one parameter element with `NaN` (post-optimizer-step fault).
+#[cfg(any(test, feature = "fault-injection"))]
+fn inject_parameter_fault(
+    tape: &mut Tape,
+    plan: Option<&FaultPlan>,
+    epoch: usize,
+    injected: &mut usize,
+) {
+    if !fault_due(plan, FaultKind::ParamNan, epoch, injected) {
+        return;
+    }
+    for i in 0..tape.param_count() {
+        let v = Var::from_index(i);
+        if !tape.is_trainable(v) {
+            continue;
+        }
+        if let Some(first) = tape.value_mut(v).as_mut_slice().first_mut() {
+            *first = f32::NAN;
+            return;
+        }
+    }
+}
+
+/// Whether a fault of `kind` fires this epoch; consumes injection budget.
+#[cfg(any(test, feature = "fault-injection"))]
+fn fault_due(
+    plan: Option<&FaultPlan>,
+    kind: FaultKind,
+    epoch: usize,
+    injected: &mut usize,
+) -> bool {
+    let Some(plan) = plan else { return false };
+    if plan.kind != kind || plan.at_epoch != epoch || *injected >= plan.times {
+        return false;
+    }
+    *injected += 1;
+    true
 }
 
 impl Imputer for Grimp {
@@ -555,6 +911,224 @@ mod tests {
         let _ = model.fit_impute(&dirty);
         let report = model.last_report().unwrap();
         assert!(report.epochs_run <= 50);
+    }
+
+    /// Accuracy of `imputed` on the categorical cells of an injection log.
+    fn cat_accuracy(log: &grimp_table::CorruptionLog, imputed: &Table) -> f64 {
+        let cat: Vec<_> = log.cells.iter().filter(|c| c.col < 2).collect();
+        let correct = cat
+            .iter()
+            .filter(|c| imputed.get(c.row, c.col) == c.truth)
+            .count();
+        correct as f64 / cat.len().max(1) as f64
+    }
+
+    #[test]
+    fn injected_nan_gradient_is_detected_rolled_back_and_converges() {
+        let clean = functional_table(80);
+        let mut dirty = clean.clone();
+        let log = inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(2));
+        let mut cfg = tiny_config(TaskKind::Attention);
+        cfg.fault_injection = Some(crate::fault::FaultPlan {
+            at_epoch: 3,
+            times: 1,
+            kind: crate::fault::FaultKind::GradNan,
+        });
+        let mut model = Grimp::new(cfg);
+        let imputed = model.fit_impute(&dirty);
+        check_imputation_contract(&dirty, &imputed).unwrap();
+        let report = model.last_report().unwrap();
+        assert_eq!(report.anomalies_detected(), 1, "{:?}", report.anomalies);
+        assert!(matches!(
+            report.anomalies[0],
+            crate::fault::TrainAnomaly::NonFiniteGradient { epoch: 3, .. }
+        ));
+        assert_eq!(report.recoveries, 1);
+        assert!(!report.degraded_to_baseline);
+        // the recovered run must still reach clean-run accuracy tolerance
+        let acc = cat_accuracy(&log, &imputed);
+        assert!(acc > 0.5, "post-recovery accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn injected_nan_parameter_is_detected_and_recovered() {
+        let clean = functional_table(60);
+        let mut dirty = clean.clone();
+        inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(4));
+        let mut cfg = tiny_config(TaskKind::Attention);
+        cfg.fault_injection = Some(crate::fault::FaultPlan {
+            at_epoch: 2,
+            times: 1,
+            kind: crate::fault::FaultKind::ParamNan,
+        });
+        let mut model = Grimp::new(cfg);
+        let imputed = model.fit_impute(&dirty);
+        check_imputation_contract(&dirty, &imputed).unwrap();
+        let report = model.last_report().unwrap();
+        assert!(matches!(
+            report.anomalies[0],
+            crate::fault::TrainAnomaly::NonFiniteParameter { epoch: 2 }
+        ));
+        assert_eq!(report.recoveries, 1);
+        assert!(!report.degraded_to_baseline);
+    }
+
+    #[test]
+    fn exhausted_recoveries_degrade_to_baseline_and_still_impute_every_cell() {
+        let clean = functional_table(60);
+        let mut dirty = clean.clone();
+        inject_mcar(&mut dirty, 0.15, &mut StdRng::seed_from_u64(6));
+        let mut cfg = tiny_config(TaskKind::Attention);
+        cfg.max_recoveries = 2;
+        cfg.fault_injection = Some(crate::fault::FaultPlan {
+            at_epoch: 1,
+            times: usize::MAX, // every retry is re-poisoned
+            kind: crate::fault::FaultKind::ParamNan,
+        });
+        let mut model = Grimp::new(cfg);
+        let imputed = model.fit_impute(&dirty);
+        let report = model.last_report().unwrap();
+        assert!(report.degraded_to_baseline);
+        assert_eq!(report.recoveries, 3, "budget of 2 plus the final straw");
+        assert_eq!(report.anomalies_detected(), 3);
+        // graceful degradation contract: imputed differs only at missing
+        // cells and no imputable cell is left missing
+        check_imputation_contract(&dirty, &imputed).unwrap();
+        assert_eq!(imputed.n_missing(), 0, "baseline must fill every cell");
+    }
+
+    #[test]
+    fn recovery_halves_the_learning_rate_each_time() {
+        let clean = functional_table(40);
+        let mut dirty = clean.clone();
+        inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(9));
+        let mut cfg = tiny_config(TaskKind::Linear);
+        cfg.max_epochs = 10;
+        cfg.max_recoveries = 5;
+        cfg.fault_injection = Some(crate::fault::FaultPlan {
+            at_epoch: 0,
+            times: 2,
+            kind: crate::fault::FaultKind::GradNan,
+        });
+        let mut model = Grimp::new(cfg);
+        let _ = model.fit_impute(&dirty);
+        let report = model.last_report().unwrap();
+        assert_eq!(report.recoveries, 2);
+        assert_eq!(report.anomalies_detected(), 2);
+        assert!(!report.degraded_to_baseline);
+        assert!(report.epochs_run > 0, "training resumed after recovery");
+    }
+
+    #[test]
+    fn gradient_clipping_activates_and_training_still_imputes() {
+        let clean = functional_table(60);
+        let mut dirty = clean.clone();
+        inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(5));
+        let mut cfg = tiny_config(TaskKind::Attention);
+        cfg.max_grad_norm = Some(1e-3); // absurdly tight: clips every epoch
+        let mut model = Grimp::new(cfg);
+        let imputed = model.fit_impute(&dirty);
+        check_imputation_contract(&dirty, &imputed).unwrap();
+        let report = model.last_report().unwrap();
+        assert!(report.clip_activations > 0);
+        assert_eq!(report.clip_activations, report.epochs_run);
+        assert!(report.grad_norms.iter().all(|n| n.is_finite()));
+        assert_eq!(report.grad_norms.len(), report.epochs_run);
+    }
+
+    #[test]
+    fn healthy_runs_report_grad_norms_and_no_anomalies() {
+        let clean = functional_table(60);
+        let mut dirty = clean.clone();
+        inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(1));
+        let mut model = Grimp::new(tiny_config(TaskKind::Attention));
+        let _ = model.fit_impute(&dirty);
+        let report = model.last_report().unwrap();
+        assert_eq!(report.anomalies_detected(), 0);
+        assert_eq!(report.recoveries, 0);
+        assert_eq!(report.clip_activations, 0, "default threshold never fires");
+        assert_eq!(report.grad_norms.len(), report.epochs_run);
+        assert!(
+            report.checkpoint_bytes > 0,
+            "size is reported even w/o disk"
+        );
+        assert!(!report.degraded_to_baseline);
+    }
+
+    #[test]
+    fn interrupted_run_resumes_bit_identically() {
+        let clean = functional_table(60);
+        let mut dirty = clean.clone();
+        inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(3));
+        let dir = std::env::temp_dir().join("grimp-resume-unit");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut cfg = tiny_config(TaskKind::Attention);
+        cfg.max_epochs = 30;
+        cfg.patience = 30;
+
+        // uninterrupted reference
+        let reference = Grimp::new(cfg.clone()).fit_impute(&dirty);
+
+        // phase 1: "killed" after 11 epochs, checkpointing to disk
+        let mut phase1 = cfg.clone();
+        phase1.max_epochs = 11;
+        phase1.checkpoint_dir = Some(dir.clone());
+        let _ = Grimp::new(phase1).fit_impute(&dirty);
+
+        // phase 2: resume and finish
+        let mut phase2 = cfg.clone();
+        phase2.checkpoint_dir = Some(dir.clone());
+        phase2.resume = true;
+        let mut model = Grimp::new(phase2);
+        let resumed = model.fit_impute(&dirty);
+        let report = model.last_report().unwrap();
+        assert_eq!(report.resumed_from_epoch, Some(11));
+        assert_eq!(report.epochs_run, 30 - 11);
+
+        assert_tables_bit_identical(&reference, &resumed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_reported_and_training_restarts() {
+        let clean = functional_table(40);
+        let mut dirty = clean.clone();
+        inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(7));
+        let dir = std::env::temp_dir().join("grimp-corrupt-ckpt-unit");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(crate::checkpoint::CHECKPOINT_FILE), b"garbage").unwrap();
+
+        let mut cfg = tiny_config(TaskKind::Linear);
+        cfg.max_epochs = 5;
+        cfg.checkpoint_dir = Some(dir.clone());
+        cfg.resume = true;
+        let mut model = Grimp::new(cfg);
+        let imputed = model.fit_impute(&dirty);
+        check_imputation_contract(&dirty, &imputed).unwrap();
+        let report = model.last_report().unwrap();
+        assert!(report.resumed_from_epoch.is_none());
+        assert_eq!(report.io_errors.len(), 1, "{:?}", report.io_errors);
+        assert!(report.epochs_run > 0, "training restarted from scratch");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Cell-by-cell bit-exact comparison (numericals via `f64::to_bits`).
+    fn assert_tables_bit_identical(a: &Table, b: &Table) {
+        assert_eq!(a.n_rows(), b.n_rows());
+        assert_eq!(a.n_columns(), b.n_columns());
+        for i in 0..a.n_rows() {
+            for j in 0..a.n_columns() {
+                match (a.get(i, j), b.get(i, j)) {
+                    (Value::Num(x), Value::Num(y)) => {
+                        assert_eq!(x.to_bits(), y.to_bits(), "cell ({i}, {j}): {x} vs {y}")
+                    }
+                    (x, y) => assert_eq!(x, y, "cell ({i}, {j})"),
+                }
+            }
+        }
     }
 
     #[test]

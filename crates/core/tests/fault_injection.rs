@@ -1,0 +1,93 @@
+//! End-to-end fault-injection suite, compiled only with
+//! `--features fault-injection`. Exercises the external surface of the
+//! harness — `GrimpConfig::fault_injection`, `FaultPlan`, `FaultKind`,
+//! `TrainAnomaly` — the way an outside robustness test would, proving the
+//! feature gate actually exports everything needed.
+#![cfg(feature = "fault-injection")]
+
+use grimp::{FaultKind, FaultPlan, Grimp, GrimpConfig, TaskKind, TrainAnomaly};
+use grimp_graph::FeatureSource;
+use grimp_table::{inject_mcar, ColumnKind, Schema, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn training_table(rows: usize) -> Table {
+    let schema = Schema::from_pairs(&[
+        ("k", ColumnKind::Categorical),
+        ("v", ColumnKind::Categorical),
+        ("x", ColumnKind::Numerical),
+    ]);
+    let mut t = Table::empty(schema);
+    for i in 0..rows {
+        let k = format!("k{}", i % 4);
+        let v = format!("v{}", i % 4);
+        let x = format!("{}", (i % 4) as f64 * 10.0);
+        t.push_str_row(&[Some(&k), Some(&v), Some(&x)]);
+    }
+    t
+}
+
+fn tiny_config() -> GrimpConfig {
+    GrimpConfig {
+        features: FeatureSource::FastText,
+        feature_dim: 8,
+        gnn: grimp_gnn::GnnConfig {
+            layers: 2,
+            hidden: 8,
+            ..Default::default()
+        },
+        merge_hidden: 16,
+        embed_dim: 8,
+        task_kind: TaskKind::Linear,
+        max_epochs: 20,
+        patience: 20,
+        lr: 2e-2,
+        seed: 11,
+        ..GrimpConfig::paper()
+    }
+}
+
+#[test]
+fn feature_gated_gradient_fault_is_detected_and_recovered() {
+    let mut dirty = training_table(40);
+    inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(5));
+
+    let mut cfg = tiny_config();
+    cfg.fault_injection = Some(FaultPlan {
+        at_epoch: 4,
+        times: 1,
+        kind: FaultKind::GradNan,
+    });
+    let mut model = Grimp::new(cfg);
+    let imputed = model.fit_impute(&dirty);
+    let report = model.last_report().expect("fit_impute sets a report");
+
+    assert_eq!(report.recoveries, 1);
+    assert!(matches!(
+        report.anomalies.as_slice(),
+        [TrainAnomaly::NonFiniteGradient { epoch: 4, .. }]
+    ));
+    assert!(!report.degraded_to_baseline);
+    assert_eq!(imputed.n_missing(), 0);
+}
+
+#[test]
+fn feature_gated_exhaustion_degrades_but_still_imputes() {
+    let mut dirty = training_table(40);
+    inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(6));
+
+    let mut cfg = tiny_config();
+    cfg.max_recoveries = 1;
+    cfg.fault_injection = Some(FaultPlan {
+        at_epoch: 2,
+        times: usize::MAX,
+        kind: FaultKind::ParamNan,
+    });
+    let mut model = Grimp::new(cfg);
+    let imputed = model.fit_impute(&dirty);
+    let report = model.last_report().expect("fit_impute sets a report");
+
+    assert!(report.degraded_to_baseline);
+    assert_eq!(report.recoveries, 2);
+    assert_eq!(imputed.n_missing(), 0, "degraded run must fill every cell");
+}

@@ -52,31 +52,49 @@ fn quote_field(s: &str) -> String {
     }
 }
 
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
 /// Read a table from CSV text with a header row, inferring column kinds:
 /// a column is numerical when every non-null cell parses as `f64`,
 /// categorical otherwise.
+///
+/// Malformed input — an empty stream, invalid UTF-8, ragged rows, or
+/// duplicate header names — is reported as an
+/// [`io::ErrorKind::InvalidData`] error naming the offending line; this
+/// function never panics on bad data.
 pub fn read_csv(reader: impl BufRead) -> io::Result<Table> {
     let mut lines = reader.lines();
     let header = lines
         .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty CSV"))??;
+        .ok_or_else(|| bad_data("empty CSV: expected a header row"))?
+        .map_err(|e| utf8_context(e, 1))?;
     let names = split_line(&header);
+    {
+        let mut sorted: Vec<&str> = names.iter().map(String::as_str).collect();
+        sorted.sort_unstable();
+        if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
+            return Err(bad_data(format!(
+                "duplicate column name {:?} in header",
+                w[0]
+            )));
+        }
+    }
     let mut rows: Vec<Vec<Option<String>>> = Vec::new();
-    for line in lines {
-        let line = line?;
+    for (idx, line) in lines.enumerate() {
+        let line_no = idx + 2; // 1-based, after the header
+        let line = line.map_err(|e| utf8_context(e, line_no))?;
         if line.is_empty() {
             continue;
         }
         let fields = split_line(&line);
         if fields.len() != names.len() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "row has {} fields, header has {}",
-                    fields.len(),
-                    names.len()
-                ),
-            ));
+            return Err(bad_data(format!(
+                "line {line_no}: row has {} fields, header has {}",
+                fields.len(),
+                names.len()
+            )));
         }
         rows.push(
             fields
@@ -119,9 +137,20 @@ pub fn read_csv(reader: impl BufRead) -> io::Result<Table> {
     let mut table = Table::empty(schema);
     for row in &rows {
         let borrowed: Vec<Option<&str>> = row.iter().map(|c| c.as_deref()).collect();
-        table.push_str_row(&borrowed);
+        table
+            .try_push_str_row(&borrowed)
+            .map_err(|e| bad_data(e.to_string()))?;
     }
     Ok(table)
+}
+
+/// Attach a line number to the UTF-8/io errors `BufRead::lines` produces.
+fn utf8_context(e: io::Error, line_no: usize) -> io::Error {
+    if e.kind() == io::ErrorKind::InvalidData {
+        bad_data(format!("line {line_no}: input is not valid UTF-8"))
+    } else {
+        e
+    }
 }
 
 /// Parse a table directly from an in-memory CSV string.
@@ -156,8 +185,8 @@ pub fn write_csv(table: &Table, mut writer: impl Write) -> io::Result<()> {
 /// Render a table as a CSV string.
 pub fn to_csv_string(table: &Table) -> String {
     let mut buf = Vec::new();
-    write_csv(table, &mut buf).expect("writing to a Vec cannot fail");
-    String::from_utf8(buf).expect("CSV output is UTF-8")
+    write_csv(table, &mut buf).expect("invariant: writing to a Vec<u8> cannot fail");
+    String::from_utf8(buf).expect("invariant: write_csv emits only UTF-8")
 }
 
 #[cfg(test)]
@@ -199,8 +228,47 @@ mod tests {
     }
 
     #[test]
-    fn ragged_rows_are_rejected() {
-        assert!(read_csv_str("a,b\n1\n").is_err());
+    fn ragged_rows_are_rejected_with_line_number() {
+        let e = read_csv_str("a,b\n1,2\n3\n").unwrap_err();
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+        let msg = e.to_string();
+        assert!(msg.contains("line 3"), "missing line number: {msg}");
+        assert!(msg.contains("1 fields"), "missing field count: {msg}");
+    }
+
+    #[test]
+    fn empty_input_is_a_descriptive_error() {
+        let e = read_csv_str("").unwrap_err();
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("header"));
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_descriptive_error() {
+        // invalid in the header (line 1)
+        let e = read_csv(&[0xFF, 0xFE, b'\n'][..]).unwrap_err();
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("line 1"));
+        // invalid in a data row (line 2)
+        let mut bytes = b"a,b\n".to_vec();
+        bytes.extend_from_slice(&[b'x', 0x80, b',', b'1', b'\n']);
+        let e = read_csv(&bytes[..]).unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+        assert!(e.to_string().contains("UTF-8"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_header_names_are_rejected_not_panicked() {
+        let e = read_csv_str("a,a\n1,2\n").unwrap_err();
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("duplicate column name"));
+    }
+
+    #[test]
+    fn header_only_input_yields_an_empty_table() {
+        let t = read_csv_str("a,b\n").unwrap();
+        assert_eq!(t.n_rows(), 0);
+        assert_eq!(t.n_columns(), 2);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Typed errors for fallible table mutation.
+//!
+//! The panicking mutators ([`crate::Table::push_str_row`],
+//! [`crate::Table::push_value_row`], [`crate::Table::set`]) delegate to
+//! `try_*` twins that return these errors instead; code handling
+//! user-controlled data (the CSV reader, CLI entry points) uses the `try_*`
+//! forms so malformed input surfaces as a descriptive `Err`, never a panic.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::schema::ColumnKind;
+
+/// Why a row or cell could not be written to a [`crate::Table`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TableError {
+    /// The row's cell count disagrees with the schema.
+    RaggedRow {
+        /// Columns in the schema.
+        expected: usize,
+        /// Cells in the offending row.
+        got: usize,
+    },
+    /// A cell destined for a numerical column failed to parse as `f64`.
+    NotNumeric {
+        /// Column index.
+        column: usize,
+        /// The offending cell text.
+        cell: String,
+    },
+    /// A [`crate::Value`] variant does not match the column's kind.
+    KindMismatch {
+        /// Column index.
+        column: usize,
+        /// The column's declared kind.
+        kind: ColumnKind,
+        /// Debug rendering of the offending value.
+        value: String,
+    },
+    /// A categorical code points outside the column's dictionary.
+    CodeOutOfDictionary {
+        /// Column index.
+        column: usize,
+        /// The offending code.
+        code: u32,
+        /// Dictionary size of the column.
+        dict_len: usize,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::RaggedRow { expected, got } => {
+                write!(
+                    f,
+                    "row has {got} cells but the schema has {expected} columns"
+                )
+            }
+            TableError::NotNumeric { column, cell } => {
+                write!(
+                    f,
+                    "cell {cell:?} in numerical column {column} is not numeric"
+                )
+            }
+            TableError::KindMismatch {
+                column,
+                kind,
+                value,
+            } => write!(
+                f,
+                "value {value} does not match column {column} (kind {kind:?})"
+            ),
+            TableError::CodeOutOfDictionary {
+                column,
+                code,
+                dict_len,
+            } => write!(
+                f,
+                "categorical code {code} is outside the dictionary of column {column} \
+                 (size {dict_len})"
+            ),
+        }
+    }
+}
+
+impl Error for TableError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        let e = TableError::RaggedRow {
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("2 cells"));
+        let e = TableError::NotNumeric {
+            column: 1,
+            cell: "abc".into(),
+        };
+        assert!(e.to_string().contains("abc"));
+        let e = TableError::KindMismatch {
+            column: 0,
+            kind: ColumnKind::Categorical,
+            value: "Num(1.0)".into(),
+        };
+        assert!(e.to_string().contains("does not match column"));
+        let e = TableError::CodeOutOfDictionary {
+            column: 2,
+            code: 9,
+            dict_len: 3,
+        };
+        assert!(e.to_string().contains("dictionary"));
+    }
+}

@@ -15,10 +15,12 @@
 //!   implements.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod corpus;
 pub mod corrupt;
 pub mod csv;
+pub mod error;
 pub mod fd;
 pub mod imputer;
 pub mod normalize;
@@ -30,6 +32,7 @@ pub use corpus::{Corpus, TrainingSample};
 pub use corrupt::{
     inject_mar, inject_mcar, inject_mnar, inject_typos, CorruptionLog, InjectedCell,
 };
+pub use error::TableError;
 pub use fd::{FdSet, FunctionalDependency};
 pub use imputer::{check_imputation_contract, Imputer};
 pub use normalize::Normalizer;

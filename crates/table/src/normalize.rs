@@ -43,13 +43,15 @@ impl Normalizer {
 
     /// Normalize a raw value of column `j`.
     pub fn forward(&self, j: usize, v: f64) -> f64 {
-        let (mean, std) = self.stats[j].expect("column is not numerical");
+        let (mean, std) =
+            self.stats[j].expect("invariant: forward() is only called for numerical columns");
         (v - mean) / std
     }
 
     /// De-normalize a model output of column `j`.
     pub fn inverse(&self, j: usize, z: f64) -> f64 {
-        let (mean, std) = self.stats[j].expect("column is not numerical");
+        let (mean, std) =
+            self.stats[j].expect("invariant: inverse() is only called for numerical columns");
         z * std + mean
     }
 

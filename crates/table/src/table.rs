@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use crate::error::TableError;
 use crate::schema::{ColumnKind, Schema};
 use crate::value::Value;
 
@@ -107,9 +108,43 @@ impl Table {
     }
 
     /// Append one row given as strings.
+    ///
+    /// # Panics
+    /// Panics on ragged rows or unparseable numerical cells; use
+    /// [`Table::try_push_str_row`] when the row comes from untrusted input.
     pub fn push_str_row(&mut self, row: &[Option<&str>]) {
-        assert_eq!(row.len(), self.schema.n_columns(), "ragged row");
-        for (col, cell) in self.columns.iter_mut().zip(row) {
+        self.try_push_str_row(row)
+            .unwrap_or_else(|e| panic!("push_str_row: {e}"));
+    }
+
+    /// Append one row given as strings, reporting malformed input as an
+    /// error. On `Err` the table is unchanged.
+    pub fn try_push_str_row(&mut self, row: &[Option<&str>]) -> Result<(), TableError> {
+        if row.len() != self.schema.n_columns() {
+            return Err(TableError::RaggedRow {
+                expected: self.schema.n_columns(),
+                got: row.len(),
+            });
+        }
+        // Validate every numerical cell before mutating anything so a failed
+        // push cannot leave the table with a half-written row.
+        let mut parsed: Vec<Option<f64>> = Vec::new();
+        for (j, (col, cell)) in self.columns.iter().zip(row).enumerate() {
+            if let (Column::Numerical { .. }, Some(s)) = (col, cell) {
+                match s.trim().parse::<f64>() {
+                    Ok(v) => parsed.push(Some(v)),
+                    Err(_) => {
+                        return Err(TableError::NotNumeric {
+                            column: j,
+                            cell: (*s).to_string(),
+                        })
+                    }
+                }
+            } else {
+                parsed.push(None);
+            }
+        }
+        for ((col, cell), pre) in self.columns.iter_mut().zip(row).zip(parsed) {
             match col {
                 Column::Categorical { dict, codes } => match cell {
                     Some(s) => {
@@ -124,41 +159,47 @@ impl Table {
                     }
                     None => codes.push(None),
                 },
-                Column::Numerical { values } => match cell {
-                    Some(s) => {
-                        let v: f64 = s
-                            .trim()
-                            .parse()
-                            .unwrap_or_else(|_| panic!("cell {s:?} is not numeric"));
-                        values.push(Some(v));
-                    }
-                    None => values.push(None),
-                },
+                Column::Numerical { values } => values.push(pre),
             }
         }
         self.n_rows += 1;
+        Ok(())
     }
 
     /// Append one row of [`Value`]s. Categorical codes must be valid for the
     /// column's dictionary.
+    ///
+    /// # Panics
+    /// Panics on ragged rows, kind mismatches, or out-of-dictionary codes;
+    /// use [`Table::try_push_value_row`] for untrusted input.
     pub fn push_value_row(&mut self, row: &[Value]) {
-        assert_eq!(row.len(), self.schema.n_columns(), "ragged row");
+        self.try_push_value_row(row)
+            .unwrap_or_else(|e| panic!("push_value_row: {e}"));
+    }
+
+    /// Append one row of [`Value`]s, reporting malformed input as an error.
+    /// On `Err` the table is unchanged.
+    pub fn try_push_value_row(&mut self, row: &[Value]) -> Result<(), TableError> {
+        if row.len() != self.schema.n_columns() {
+            return Err(TableError::RaggedRow {
+                expected: self.schema.n_columns(),
+                got: row.len(),
+            });
+        }
+        for (j, (col, cell)) in self.columns.iter().zip(row).enumerate() {
+            check_cell(col, *cell, j)?;
+        }
         for (col, cell) in self.columns.iter_mut().zip(row) {
             match (col, cell) {
-                (Column::Categorical { dict, codes }, Value::Cat(c)) => {
-                    assert!(
-                        (*c as usize) < dict.len(),
-                        "categorical code out of dictionary"
-                    );
-                    codes.push(Some(*c));
-                }
+                (Column::Categorical { codes, .. }, Value::Cat(c)) => codes.push(Some(*c)),
                 (Column::Categorical { codes, .. }, Value::Null) => codes.push(None),
                 (Column::Numerical { values }, Value::Num(v)) => values.push(Some(*v)),
                 (Column::Numerical { values }, Value::Null) => values.push(None),
-                (col, cell) => panic!("value {cell:?} does not match column {col:?}"),
+                _ => unreachable!("check_cell validated every (column, value) pair"),
             }
         }
         self.n_rows += 1;
+        Ok(())
     }
 
     /// The table's schema.
@@ -199,21 +240,24 @@ impl Table {
     ///
     /// # Panics
     /// Panics when the value kind does not match the column kind or a
-    /// categorical code is outside the dictionary.
+    /// categorical code is outside the dictionary; use [`Table::try_set`]
+    /// for untrusted input.
     pub fn set(&mut self, i: usize, j: usize, v: Value) {
+        self.try_set(i, j, v).unwrap_or_else(|e| panic!("set: {e}"));
+    }
+
+    /// Overwrite cell `t_i[A_j]`, reporting kind mismatches and
+    /// out-of-dictionary codes as errors. On `Err` the table is unchanged.
+    pub fn try_set(&mut self, i: usize, j: usize, v: Value) -> Result<(), TableError> {
+        check_cell(&self.columns[j], v, j)?;
         match (&mut self.columns[j], v) {
-            (Column::Categorical { dict, codes }, Value::Cat(c)) => {
-                assert!(
-                    (c as usize) < dict.len(),
-                    "categorical code out of dictionary"
-                );
-                codes[i] = Some(c);
-            }
+            (Column::Categorical { codes, .. }, Value::Cat(c)) => codes[i] = Some(c),
             (Column::Categorical { codes, .. }, Value::Null) => codes[i] = None,
             (Column::Numerical { values }, Value::Num(x)) => values[i] = Some(x),
             (Column::Numerical { values }, Value::Null) => values[i] = None,
-            (col, v) => panic!("value {v:?} does not match column {col:?}"),
+            _ => unreachable!("check_cell validated the (column, value) pair"),
         }
+        Ok(())
     }
 
     /// True when `t_i[A_j] = ∅`.
@@ -227,7 +271,7 @@ impl Table {
             Value::Null => "∅".to_string(),
             Value::Cat(c) => match &self.columns[j] {
                 Column::Categorical { dict, .. } => dict[c as usize].clone(),
-                _ => unreachable!(),
+                _ => unreachable!("invariant: Value::Cat only stored in categorical columns"),
             },
             Value::Num(v) => format!("{v}"),
         }
@@ -240,7 +284,9 @@ impl Table {
     pub fn dictionary(&self, j: usize) -> &[String] {
         match &self.columns[j] {
             Column::Categorical { dict, .. } => dict,
-            _ => panic!("column {j} is not categorical"),
+            _ => panic!(
+                "invariant: dictionary() requires a categorical column, column {j} is numerical"
+            ),
         }
     }
 
@@ -255,7 +301,9 @@ impl Table {
                     (dict.len() - 1) as u32
                 }
             },
-            _ => panic!("column {j} is not categorical"),
+            _ => {
+                panic!("invariant: intern() requires a categorical column, column {j} is numerical")
+            }
         }
     }
 
@@ -300,7 +348,9 @@ impl Table {
                 }
                 counts
             }
-            _ => panic!("column {j} is not categorical"),
+            _ => panic!(
+                "invariant: category_counts() requires a categorical column, column {j} is numerical"
+            ),
         }
     }
 
@@ -327,7 +377,7 @@ impl Table {
                     .fold((0.0, 0usize), |(s, n), &v| (s + v, n + 1));
                 (n > 0).then(|| sum / n as f64)
             }
-            _ => panic!("column {j} is not numerical"),
+            _ => panic!("invariant: mean() requires a numerical column, column {j} is categorical"),
         }
     }
 
@@ -360,6 +410,33 @@ impl Table {
             groups.entry(key).or_default().push(i);
         }
         groups
+    }
+}
+
+/// Validate that `v` can be stored in column `j` with storage `col`.
+fn check_cell(col: &Column, v: Value, j: usize) -> Result<(), TableError> {
+    match (col, v) {
+        (Column::Categorical { dict, .. }, Value::Cat(c)) => {
+            if (c as usize) < dict.len() {
+                Ok(())
+            } else {
+                Err(TableError::CodeOutOfDictionary {
+                    column: j,
+                    code: c,
+                    dict_len: dict.len(),
+                })
+            }
+        }
+        (Column::Categorical { .. } | Column::Numerical { .. }, Value::Null)
+        | (Column::Numerical { .. }, Value::Num(_)) => Ok(()),
+        (col, v) => Err(TableError::KindMismatch {
+            column: j,
+            kind: match col {
+                Column::Categorical { .. } => ColumnKind::Categorical,
+                Column::Numerical { .. } => ColumnKind::Numerical,
+            },
+            value: format!("{v:?}"),
+        }),
     }
 }
 
@@ -458,5 +535,60 @@ mod tests {
     fn category_counts_ignore_nulls() {
         let t = sample();
         assert_eq!(t.category_counts(0), vec![2, 1]);
+    }
+
+    #[test]
+    fn try_push_str_row_rejects_ragged_and_non_numeric() {
+        let mut t = sample();
+        let before = t.clone();
+        let e = t.try_push_str_row(&[Some("FR")]).unwrap_err();
+        assert_eq!(
+            e,
+            TableError::RaggedRow {
+                expected: 2,
+                got: 1
+            }
+        );
+        let e = t
+            .try_push_str_row(&[Some("FR"), Some("not-a-year")])
+            .unwrap_err();
+        assert!(matches!(e, TableError::NotNumeric { column: 1, .. }));
+        // failed pushes must leave the table untouched, including dictionaries
+        assert_eq!(t, before);
+        t.try_push_str_row(&[Some("DE"), Some("1999")]).unwrap();
+        assert_eq!(t.n_rows(), 5);
+        assert_eq!(t.display(4, 0), "DE");
+    }
+
+    #[test]
+    fn try_push_value_row_rejects_bad_codes_and_kinds() {
+        let mut t = sample();
+        let before = t.clone();
+        let e = t
+            .try_push_value_row(&[Value::Cat(99), Value::Num(1.0)])
+            .unwrap_err();
+        assert!(matches!(
+            e,
+            TableError::CodeOutOfDictionary { code: 99, .. }
+        ));
+        let e = t
+            .try_push_value_row(&[Value::Num(1.0), Value::Num(1.0)])
+            .unwrap_err();
+        assert!(matches!(e, TableError::KindMismatch { column: 0, .. }));
+        assert_eq!(t, before);
+        t.try_push_value_row(&[Value::Cat(1), Value::Null]).unwrap();
+        assert_eq!(t.display(4, 0), "IT");
+    }
+
+    #[test]
+    fn try_set_reports_instead_of_panicking() {
+        let mut t = sample();
+        let e = t.try_set(0, 0, Value::Num(1.0)).unwrap_err();
+        assert!(e.to_string().contains("does not match column"));
+        let e = t.try_set(0, 0, Value::Cat(7)).unwrap_err();
+        assert!(matches!(e, TableError::CodeOutOfDictionary { .. }));
+        assert_eq!(t.get(0, 0), Value::Cat(0));
+        t.try_set(0, 0, Value::Cat(1)).unwrap();
+        assert_eq!(t.display(0, 0), "IT");
     }
 }

@@ -1,0 +1,346 @@
+//! Hand-rolled, dependency-free binary serialization for training state.
+//!
+//! The GRIMP workspace ships no serde; checkpoints are encoded with an
+//! explicit little-endian byte codec instead. [`ByteWriter`] appends
+//! fixed-width scalars, tensors (`rows`, `cols`, then row-major `f32` data)
+//! and length-prefixed tensor lists; [`ByteReader`] decodes the same layout
+//! and returns a typed [`CheckpointError`] — never a panic — on truncated or
+//! corrupt input. Every length prefix is validated against the bytes
+//! actually remaining before anything is allocated, so a corrupted prefix
+//! cannot trigger an absurd allocation.
+//!
+//! Higher layers (the `grimp` core crate) compose these primitives into a
+//! versioned checkpoint file with a magic header.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::optim::AdamState;
+use crate::tensor::Tensor;
+
+/// Why a checkpoint could not be read or written.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with the expected magic bytes — not a
+    /// checkpoint, or one written by something else entirely.
+    BadMagic,
+    /// The file is a checkpoint, but from an unknown format version.
+    UnsupportedVersion(u32),
+    /// Structurally invalid payload (truncated, bad length prefix, ...).
+    Corrupt(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a GRIMP checkpoint (bad magic header)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint format version {v}")
+            }
+            CheckpointError::Corrupt(why) => write!(f, "corrupt checkpoint: {why}"),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Little-endian append-only encoder.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append raw bytes verbatim (used for magic headers).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f32` as its little-endian bit pattern (NaN/Inf safe —
+    /// checkpoints must round-trip non-finite sentinels like `f32::INFINITY`
+    /// bit-exactly).
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Append a tensor: `rows: u64`, `cols: u64`, then row-major data.
+    pub fn tensor(&mut self, t: &Tensor) {
+        self.u64(t.rows() as u64);
+        self.u64(t.cols() as u64);
+        for &x in t.as_slice() {
+            self.f32(x);
+        }
+    }
+
+    /// Append a length-prefixed tensor list.
+    pub fn tensor_list(&mut self, ts: &[Tensor]) {
+        self.u64(ts.len() as u64);
+        for t in ts {
+            self.tensor(t);
+        }
+    }
+
+    /// Append Adam optimizer state: step counter plus both moment lists.
+    pub fn adam_state(&mut self, s: &AdamState) {
+        self.u32(s.t);
+        self.tensor_list(&s.m);
+        self.tensor_list(&s.v);
+    }
+}
+
+/// Little-endian sequential decoder over a byte slice.
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        ByteReader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CheckpointError> {
+        if self.remaining() < n {
+            return Err(CheckpointError::Corrupt(format!(
+                "truncated while reading {what}: need {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Consume raw bytes (used for magic headers).
+    pub fn raw(&mut self, n: usize, what: &str) -> Result<&'a [u8], CheckpointError> {
+        self.take(n, what)
+    }
+
+    /// Decode a `u8`.
+    pub fn u8(&mut self, what: &str) -> Result<u8, CheckpointError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Decode a little-endian `u32`.
+    pub fn u32(&mut self, what: &str) -> Result<u32, CheckpointError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Decode a little-endian `u64`.
+    pub fn u64(&mut self, what: &str) -> Result<u64, CheckpointError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Decode a `u64` that must fit `usize` and describe no more data than
+    /// remains in the buffer (each counted unit being ≥ `unit` bytes).
+    fn checked_len(&mut self, unit: usize, what: &str) -> Result<usize, CheckpointError> {
+        let raw = self.u64(what)?;
+        let n = usize::try_from(raw)
+            .map_err(|_| CheckpointError::Corrupt(format!("{what} count {raw} overflows usize")))?;
+        if n.checked_mul(unit)
+            .is_none_or(|bytes| bytes > self.remaining())
+        {
+            return Err(CheckpointError::Corrupt(format!(
+                "{what} count {n} exceeds remaining payload ({} bytes)",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Decode an `f32` from its bit pattern.
+    pub fn f32(&mut self, what: &str) -> Result<f32, CheckpointError> {
+        Ok(f32::from_bits(self.u32(what)?))
+    }
+
+    /// Decode a tensor written by [`ByteWriter::tensor`].
+    pub fn tensor(&mut self, what: &str) -> Result<Tensor, CheckpointError> {
+        let rows = self.checked_len(1, what)?;
+        let cols = self.checked_len(1, what)?;
+        let len = rows.checked_mul(cols).ok_or_else(|| {
+            CheckpointError::Corrupt(format!("{what} shape {rows}x{cols} overflows"))
+        })?;
+        if len
+            .checked_mul(4)
+            .is_none_or(|bytes| bytes > self.remaining())
+        {
+            return Err(CheckpointError::Corrupt(format!(
+                "{what} shape {rows}x{cols} exceeds remaining payload"
+            )));
+        }
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(self.f32(what)?);
+        }
+        Ok(Tensor::from_vec(rows, cols, data))
+    }
+
+    /// Decode a tensor list written by [`ByteWriter::tensor_list`].
+    pub fn tensor_list(&mut self, what: &str) -> Result<Vec<Tensor>, CheckpointError> {
+        // each tensor costs at least its 16-byte shape header
+        let n = self.checked_len(16, what)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.tensor(what)?);
+        }
+        Ok(out)
+    }
+
+    /// Decode Adam state written by [`ByteWriter::adam_state`].
+    pub fn adam_state(&mut self) -> Result<AdamState, CheckpointError> {
+        let t = self.u32("adam step counter")?;
+        let m = self.tensor_list("adam first moments")?;
+        let v = self.tensor_list("adam second moments")?;
+        if m.len() != v.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "adam moment lists disagree: {} first vs {} second",
+                m.len(),
+                v.len()
+            )));
+        }
+        Ok(AdamState { t, m, v })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip_is_bit_exact() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.f32(f32::NAN);
+        w.f32(f32::INFINITY);
+        w.f32(-0.0);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("c").unwrap(), u64::MAX - 1);
+        assert_eq!(r.f32("d").unwrap().to_bits(), f32::NAN.to_bits());
+        assert_eq!(r.f32("e").unwrap(), f32::INFINITY);
+        assert_eq!(r.f32("f").unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn tensor_list_roundtrip() {
+        let ts = vec![
+            Tensor::from_vec(2, 3, vec![1.0, -2.0, 3.5, 0.0, 1e-30, 7.0]),
+            Tensor::zeros(0, 0),
+            Tensor::scalar(42.0),
+        ];
+        let mut w = ByteWriter::new();
+        w.tensor_list(&ts);
+        let bytes = w.into_bytes();
+        let back = ByteReader::new(&bytes).tensor_list("ts").unwrap();
+        assert_eq!(back, ts);
+    }
+
+    #[test]
+    fn adam_state_roundtrip() {
+        let s = AdamState {
+            t: 17,
+            m: vec![Tensor::scalar(0.5), Tensor::zeros(0, 0)],
+            v: vec![Tensor::scalar(0.25), Tensor::zeros(0, 0)],
+        };
+        let mut w = ByteWriter::new();
+        w.adam_state(&s);
+        let bytes = w.into_bytes();
+        assert_eq!(ByteReader::new(&bytes).adam_state().unwrap(), s);
+    }
+
+    #[test]
+    fn truncated_payload_is_a_typed_error() {
+        let mut w = ByteWriter::new();
+        w.tensor(&Tensor::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]));
+        let mut bytes = w.into_bytes();
+        bytes.truncate(bytes.len() - 3);
+        let err = ByteReader::new(&bytes).tensor("t").unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected_before_allocating() {
+        let mut w = ByteWriter::new();
+        w.u64(u64::MAX / 2); // claimed tensor count
+        let bytes = w.into_bytes();
+        let err = ByteReader::new(&bytes).tensor_list("ts").unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn mismatched_adam_moment_lists_are_rejected() {
+        let mut w = ByteWriter::new();
+        w.u32(1);
+        w.tensor_list(&[Tensor::scalar(1.0)]);
+        w.tensor_list(&[]);
+        let bytes = w.into_bytes();
+        let err = ByteReader::new(&bytes).adam_state().unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt(_)), "{err}");
+    }
+}

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod adjacency;
+pub mod checkpoint;
 pub mod gradcheck;
 pub mod init;
 mod nn;
@@ -46,9 +47,10 @@ mod tensor;
 mod workspace;
 
 pub use adjacency::Adjacency;
+pub use checkpoint::{ByteReader, ByteWriter, CheckpointError};
 pub use gradcheck::{check_gradients, GradCheckReport};
 pub use nn::{Dense, Mlp};
-pub use optim::{Adam, Sgd};
+pub use optim::{Adam, AdamState, Sgd};
 pub use tape::{
     block_weighted_sum_into, scatter_mean_into, scatter_weighted_into, softmax_rows,
     softmax_rows_in_place, Tape, Var,

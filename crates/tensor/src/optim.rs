@@ -37,6 +37,20 @@ impl Sgd {
     }
 }
 
+/// A serializable snapshot of an [`Adam`] optimizer's mutable state: the
+/// step counter and both moment vectors. Learning rate and betas are config,
+/// not state, and live in [`Adam`]'s public fields.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AdamState {
+    /// Bias-correction step counter.
+    pub t: u32,
+    /// First-moment estimates, one per tape parameter (possibly empty
+    /// placeholders for parameters that never received a gradient).
+    pub m: Vec<Tensor>,
+    /// Second-moment estimates, aligned with `m`.
+    pub v: Vec<Tensor>,
+}
+
 /// Adam optimizer (Kingma & Ba, 2015) with bias correction.
 #[derive(Clone, Debug)]
 pub struct Adam {
@@ -65,6 +79,34 @@ impl Adam {
             m: Vec::new(),
             v: Vec::new(),
         }
+    }
+
+    /// A copy of the mutable optimizer state, for checkpointing.
+    pub fn export_state(&self) -> AdamState {
+        AdamState {
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Re-capture the mutable state into an existing [`AdamState`] without
+    /// allocating when shapes are unchanged (the steady state of a training
+    /// loop; lazily materialized moments fall back to a clone once).
+    pub fn export_state_into(&self, out: &mut AdamState) {
+        out.t = self.t;
+        copy_tensors_into(&mut out.m, &self.m);
+        copy_tensors_into(&mut out.v, &self.v);
+    }
+
+    /// Restore mutable state captured by [`Adam::export_state`]. The next
+    /// [`Adam::step`] continues bit-exactly from the checkpointed trajectory.
+    pub fn import_state(&mut self, state: &AdamState) {
+        self.t = state.t;
+        self.m.clear();
+        self.m.extend(state.m.iter().cloned());
+        self.v.clear();
+        self.v.extend(state.v.iter().cloned());
     }
 
     /// Apply one update to every parameter that received a gradient.
@@ -126,6 +168,22 @@ impl Adam {
     }
 }
 
+/// Overwrite `dst` with copies of `src`, reusing `dst`'s buffers whenever
+/// the matching tensor already has the right shape.
+fn copy_tensors_into(dst: &mut Vec<Tensor>, src: &[Tensor]) {
+    dst.truncate(src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        if d.shape() == s.shape() {
+            d.as_mut_slice().copy_from_slice(s.as_slice());
+        } else {
+            *d = s.clone();
+        }
+    }
+    for s in &src[dst.len()..] {
+        dst.push(s.clone());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +238,55 @@ mod tests {
         tape.reset();
         assert!(tape.value(a).item() < 5.0, "a must move");
         assert_eq!(tape.value(b).item(), 5.0, "b must stay frozen");
+    }
+
+    #[test]
+    fn adam_state_roundtrip_resumes_bit_exactly() {
+        let run = |interrupt_at: Option<usize>| -> Vec<f32> {
+            let mut tape = Tape::new();
+            let x = tape.param(Tensor::from_vec(1, 2, vec![5.0, -3.0]));
+            tape.freeze();
+            let mut adam = Adam::new(0.1);
+            for step in 0..20 {
+                if interrupt_at == Some(step) {
+                    // simulate a kill/resume: serialize state into a fresh
+                    // optimizer and continue with it
+                    let state = adam.export_state();
+                    let mut fresh = Adam::new(0.1);
+                    fresh.import_state(&state);
+                    adam = fresh;
+                }
+                let sq = tape.mul_elem(x, x);
+                let loss = tape.sum_all(sq);
+                tape.backward(loss);
+                adam.step(&mut tape);
+                tape.reset();
+            }
+            tape.value(x).as_slice().to_vec()
+        };
+        let uninterrupted = run(None);
+        let resumed = run(Some(7));
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&uninterrupted), bits(&resumed));
+    }
+
+    #[test]
+    fn export_state_into_reuses_buffers() {
+        let mut tape = Tape::new();
+        let x = tape.param(Tensor::from_vec(1, 2, vec![5.0, -3.0]));
+        tape.freeze();
+        let mut adam = Adam::new(0.1);
+        let mut state = AdamState::default();
+        for _ in 0..3 {
+            let sq = tape.mul_elem(x, x);
+            let loss = tape.sum_all(sq);
+            tape.backward(loss);
+            adam.step(&mut tape);
+            tape.reset();
+            adam.export_state_into(&mut state);
+        }
+        assert_eq!(state, adam.export_state());
+        assert_eq!(state.t, 3);
     }
 
     #[test]

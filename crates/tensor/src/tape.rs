@@ -304,9 +304,132 @@ impl Tape {
         &mut self.nodes[v.idx()].value
     }
 
+    /// Whether a node is a trainable parameter (as opposed to a persistent
+    /// constant input or an ephemeral forward node).
+    pub fn is_trainable(&self, v: Var) -> bool {
+        self.nodes[v.idx()].needs_grad
+    }
+
+    // ---- robustness / fault-tolerance primitives --------------------------
+
+    /// Global L2 norm over every parameter gradient produced by the latest
+    /// [`Tape::backward`]. Accumulates in `f64` so the squared sum does not
+    /// overflow `f32`. Returns `0.0` when no parameter has a gradient; the
+    /// result is non-finite if and only if some gradient element is.
+    pub fn global_grad_norm(&self) -> f64 {
+        let mut sq = 0.0f64;
+        for node in &self.nodes[..self.param_count()] {
+            if !node.needs_grad {
+                continue;
+            }
+            if let Some(g) = &node.grad {
+                for &x in g.as_slice() {
+                    let x = f64::from(x);
+                    sq += x * x;
+                }
+            }
+        }
+        sq.sqrt()
+    }
+
+    /// Multiply every parameter gradient by `factor` in place — the second
+    /// half of global-norm clipping (`factor = max_norm / norm`).
+    pub fn scale_param_grads(&mut self, factor: f32) {
+        let boundary = self.param_count();
+        for node in &mut self.nodes[..boundary] {
+            if !node.needs_grad {
+                continue;
+            }
+            if let Some(g) = &mut node.grad {
+                for x in g.as_mut_slice() {
+                    *x *= factor;
+                }
+            }
+        }
+    }
+
+    /// `true` when every trainable parameter value is finite — the post-step
+    /// divergence check.
+    pub fn params_all_finite(&self) -> bool {
+        self.nodes[..self.param_count()]
+            .iter()
+            .filter(|n| n.needs_grad)
+            .all(|n| n.value.all_finite())
+    }
+
+    /// Copies of every trainable parameter value, in registration order —
+    /// the payload of a training checkpoint.
+    pub fn snapshot_param_values(&self) -> Vec<Tensor> {
+        self.nodes[..self.param_count()]
+            .iter()
+            .filter(|n| n.needs_grad)
+            .map(|n| n.value.clone())
+            .collect()
+    }
+
+    /// Re-capture trainable parameter values into an existing snapshot
+    /// without allocating (buffers are reused when shapes match). An empty
+    /// `out` is filled as by [`Tape::snapshot_param_values`].
+    pub fn snapshot_param_values_into(&self, out: &mut Vec<Tensor>) {
+        if out.is_empty() {
+            *out = self.snapshot_param_values();
+            return;
+        }
+        let mut it = out.iter_mut();
+        for node in self.nodes[..self.param_count()]
+            .iter()
+            .filter(|n| n.needs_grad)
+        {
+            let dst = it
+                .next()
+                .expect("invariant: snapshot length matches trainable parameter count");
+            if dst.shape() == node.value.shape() {
+                dst.as_mut_slice().copy_from_slice(node.value.as_slice());
+            } else {
+                *dst = node.value.clone();
+            }
+        }
+        assert!(
+            it.next().is_none(),
+            "invariant: snapshot length matches trainable parameter count"
+        );
+    }
+
+    /// Overwrite every trainable parameter with values from a snapshot taken
+    /// by [`Tape::snapshot_param_values`] on an identically shaped tape.
+    ///
+    /// # Panics
+    /// Panics when the snapshot's tensor count or shapes do not match.
+    pub fn restore_param_values(&mut self, snapshot: &[Tensor]) {
+        let boundary = self.frozen_at.map_or(self.nodes.len(), |b| b as usize);
+        let mut it = snapshot.iter();
+        for node in self.nodes[..boundary].iter_mut().filter(|n| n.needs_grad) {
+            let src = it
+                .next()
+                .expect("invariant: snapshot length matches trainable parameter count");
+            assert_eq!(
+                src.shape(),
+                node.value.shape(),
+                "invariant: snapshot shapes match tape parameters"
+            );
+            node.value.as_mut_slice().copy_from_slice(src.as_slice());
+        }
+        assert!(
+            it.next().is_none(),
+            "invariant: snapshot length matches trainable parameter count"
+        );
+    }
+
     /// Gradient accumulated for a node by the latest [`Tape::backward`].
     pub fn grad(&self, v: Var) -> Option<&Tensor> {
         self.nodes[v.idx()].grad.as_ref()
+    }
+
+    /// Mutable gradient of a node, when the latest [`Tape::backward`]
+    /// produced one (used by the fault-injection harness to corrupt a
+    /// gradient in place).
+    pub fn grad_mut(&mut self, v: Var) -> Option<&mut Tensor> {
+        self.nodes[v.idx()].grad.as_mut()
     }
 
     /// Split borrow of a node's gradient (shared) and value (mutable), so an
@@ -1190,6 +1313,76 @@ mod tests {
         // d(sum(A·b))/dA = 1 · bᵀ per row; /db = colsum over A rows.
         assert_eq!(tape.grad(a).unwrap().as_slice(), &[5.0, 6.0, 5.0, 6.0]);
         assert_eq!(tape.grad(b).unwrap().as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn global_grad_norm_matches_hand_computation() {
+        let mut tape = Tape::new();
+        let a = tape.param(Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = tape.param(Tensor::scalar(3.0));
+        tape.freeze();
+        assert_eq!(tape.global_grad_norm(), 0.0, "no grads before backward");
+        let s = tape.sum_all(a);
+        let p = tape.mul_elem(b, b);
+        let ps = tape.sum_all(p);
+        let loss = tape.add(s, ps);
+        tape.backward(loss);
+        // d/da = [1, 1], d/db = 2·3 = 6 → norm = sqrt(1 + 1 + 36)
+        let expect = 38.0f64.sqrt();
+        assert!((tape.global_grad_norm() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_param_grads_rescales_every_gradient() {
+        let mut tape = Tape::new();
+        let a = tape.param(Tensor::from_vec(1, 2, vec![4.0, 5.0]));
+        tape.freeze();
+        let loss = tape.sum_all(a);
+        tape.backward(loss);
+        tape.scale_param_grads(0.5);
+        assert_eq!(tape.grad(a).unwrap().as_slice(), &[0.5, 0.5]);
+        assert!((tape.global_grad_norm() - 0.5f64.hypot(0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn params_all_finite_detects_a_poisoned_parameter() {
+        let mut tape = Tape::new();
+        let a = tape.param(Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        tape.freeze();
+        assert!(tape.params_all_finite());
+        tape.value_mut(a).as_mut_slice()[1] = f32::NAN;
+        assert!(!tape.params_all_finite());
+    }
+
+    #[test]
+    fn param_snapshot_roundtrip_is_bit_exact() {
+        let mut tape = Tape::new();
+        let a = tape.param(Tensor::from_vec(1, 2, vec![0.1, 0.2]));
+        let _x = tape.input(Tensor::from_vec(1, 3, vec![9.0, 9.0, 9.0]));
+        let b = tape.param(Tensor::scalar(0.3));
+        tape.freeze();
+        let snap = tape.snapshot_param_values();
+        assert_eq!(snap.len(), 2, "inputs are excluded from snapshots");
+        tape.value_mut(a).as_mut_slice()[0] = 77.0;
+        tape.value_mut(b).as_mut_slice()[0] = 88.0;
+        tape.restore_param_values(&snap);
+        assert_eq!(tape.value(a).as_slice(), &[0.1, 0.2]);
+        assert_eq!(tape.value(b).item(), 0.3);
+        // re-capture into the same buffers without reallocating
+        let mut again = snap;
+        tape.value_mut(a).as_mut_slice()[0] = -1.5;
+        tape.snapshot_param_values_into(&mut again);
+        assert_eq!(again[0].as_slice(), &[-1.5, 0.2]);
+    }
+
+    #[test]
+    fn is_trainable_distinguishes_params_from_inputs() {
+        let mut tape = Tape::new();
+        let p = tape.param(Tensor::scalar(1.0));
+        let x = tape.input(Tensor::scalar(2.0));
+        tape.freeze();
+        assert!(tape.is_trainable(p));
+        assert!(!tape.is_trainable(x));
     }
 
     #[test]

@@ -21,6 +21,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> cargo test -q -p grimp-core --features fault-injection (fault-injection suite)"
+cargo test -q -p grimp-core --features fault-injection
+
 echo "==> hotpath probe (writes BENCH_hotpath.json)"
 cargo run --release -p grimp-bench --bin hotpath_probe
 
