@@ -4,6 +4,11 @@
 //! ephemeral tensor, per-epoch feature clone) and writes `BENCH_hotpath.json`
 //! in the working directory.
 //!
+//! Also measures the observability layer: the default (`NullSink`) path must
+//! stay within 2% of the previously recorded fast time — instrumentation is
+//! free when no sink is attached — and a fully traced (`MemorySink`) rep is
+//! timed and cross-checked against `TrainReport::from_events`.
+//!
 //! Fully deterministic: fixed dataset seed, fixed corruption seed, fixed
 //! model seed, early stopping disabled so both modes run the same epochs.
 //!
@@ -14,11 +19,12 @@
 use std::fmt::Write as _;
 use std::fs;
 
-use grimp::{Grimp, GrimpConfig, TaskKind};
+use grimp::{Grimp, GrimpConfig, Pipeline, TaskKind, TrainReport};
 use grimp_bench::{corrupt, prepare, Profile};
 use grimp_datasets::DatasetId;
 use grimp_gnn::GnnConfig;
 use grimp_graph::FeatureSource;
+use grimp_obs::{json, MemorySink};
 use grimp_table::{Schema, Table, Value};
 
 const ROWS: usize = 250;
@@ -80,32 +86,75 @@ struct ModeResult {
     checkpoint_bytes: usize,
 }
 
+fn mode_result(report: &TrainReport) -> ModeResult {
+    let allocs = report.epoch_allocs();
+    let norms = report.grad_norms();
+    ModeResult {
+        seconds: report.seconds,
+        forward_s: report.forward_s,
+        backward_s: report.backward_s,
+        optim_s: report.optim_s,
+        epochs_run: report.epochs_run,
+        first_epoch_allocs: allocs.first().copied().unwrap_or(0),
+        allocs_after_epoch1: allocs.iter().skip(1).sum(),
+        grad_norm_final: norms.last().copied().unwrap_or(0.0),
+        grad_norm_max: norms.iter().copied().fold(0.0, f64::max),
+        clip_activations: report.clip_activations,
+        anomalies_detected: report.anomalies_detected(),
+        recoveries: report.recoveries,
+        checkpoint_bytes: report.checkpoint_bytes,
+    }
+}
+
 fn run_mode(dirty: &Table, legacy: bool) -> ModeResult {
     let mut best: Option<ModeResult> = None;
     for _ in 0..REPS {
         let mut model = Grimp::new(probe_config(legacy));
         let _ = model.fit_impute(dirty);
         let report = model.last_report().expect("fit_impute sets a report");
-        let result = ModeResult {
-            seconds: report.seconds,
-            forward_s: report.forward_s,
-            backward_s: report.backward_s,
-            optim_s: report.optim_s,
-            epochs_run: report.epochs_run,
-            first_epoch_allocs: report.epoch_allocs.first().copied().unwrap_or(0),
-            allocs_after_epoch1: report.epoch_allocs.iter().skip(1).sum(),
-            grad_norm_final: report.grad_norms.last().copied().unwrap_or(0.0),
-            grad_norm_max: report.grad_norms.iter().copied().fold(0.0, f64::max),
-            clip_activations: report.clip_activations,
-            anomalies_detected: report.anomalies_detected(),
-            recoveries: report.recoveries,
-            checkpoint_bytes: report.checkpoint_bytes,
-        };
+        let result = mode_result(report);
         if best.as_ref().is_none_or(|b| result.seconds < b.seconds) {
             best = Some(result);
         }
     }
     best.expect("at least one rep")
+}
+
+/// Best-of-REPS fully traced run (every event recorded in a `MemorySink`),
+/// cross-checked against the event-stream replay. Returns the mode result
+/// plus the event count of one run.
+fn run_traced(dirty: &Table) -> (ModeResult, usize) {
+    let pipeline = Pipeline::new(probe_config(false)).expect("probe config is valid");
+    let mut best: Option<ModeResult> = None;
+    let mut events = 0usize;
+    for _ in 0..REPS {
+        let mut sink = MemorySink::new();
+        let fitted = pipeline.fit_traced(dirty, &mut sink);
+        let report = fitted.report();
+        let replayed = TrainReport::from_events(sink.events());
+        assert_eq!(
+            replayed.train_losses(),
+            report.train_losses(),
+            "event-stream replay diverged from the live report"
+        );
+        assert_eq!(replayed.epochs_run, report.epochs_run);
+        events = sink.len();
+        let result = mode_result(report);
+        if best.as_ref().is_none_or(|b| result.seconds < b.seconds) {
+            best = Some(result);
+        }
+    }
+    (best.expect("at least one rep"), events)
+}
+
+/// `fast.seconds` from a previously written BENCH_hotpath.json, if any.
+fn previous_fast_seconds() -> Option<f64> {
+    let text = fs::read_to_string("BENCH_hotpath.json").ok()?;
+    json::parse(&text)
+        .ok()?
+        .get("fast")?
+        .get("seconds")?
+        .as_f64()
 }
 
 fn mode_json(out: &mut String, label: &str, r: &ModeResult) {
@@ -139,9 +188,13 @@ fn main() {
     let capped = grimp_bench::Prepared { clean, ..prepared };
     let instance = corrupt(&capped, RATE, 1);
 
+    let baseline_fast_seconds = previous_fast_seconds();
     let fast = run_mode(&instance.dirty, false);
     let legacy = run_mode(&instance.dirty, true);
+    let (traced, trace_events) = run_traced(&instance.dirty);
     let speedup = legacy.seconds / fast.seconds;
+    let null_sink_overhead = baseline_fast_seconds.map(|b| (fast.seconds - b) / b);
+    let trace_overhead = (traced.seconds - fast.seconds) / fast.seconds;
 
     let mut json = String::from("{\n");
     let _ = write!(
@@ -155,6 +208,24 @@ fn main() {
     mode_json(&mut json, "fast", &fast);
     json.push_str(",\n");
     mode_json(&mut json, "legacy", &legacy);
+    json.push_str(",\n");
+    mode_json(&mut json, "traced", &traced);
+    let _ = write!(json, ",\n  \"trace_events\": {trace_events}");
+    let _ = write!(json, ",\n  \"trace_overhead\": {trace_overhead:.4}");
+    match baseline_fast_seconds {
+        Some(b) => {
+            let _ = write!(json, ",\n  \"baseline_fast_seconds\": {b:.6}");
+            let _ = write!(
+                json,
+                ",\n  \"null_sink_overhead\": {:.4}",
+                null_sink_overhead.unwrap_or(0.0)
+            );
+        }
+        None => {
+            json.push_str(",\n  \"baseline_fast_seconds\": null");
+            json.push_str(",\n  \"null_sink_overhead\": null");
+        }
+    }
     let _ = write!(json, ",\n  \"speedup\": {speedup:.3}\n}}\n");
     fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
 
@@ -171,6 +242,25 @@ fn main() {
         legacy.allocs_after_epoch1
     );
     println!("speedup: {speedup:.2}x over {} epochs", fast.epochs_run);
+    println!(
+        "traced : {:.3}s with {} events recorded ({:+.1}% vs null sink)",
+        traced.seconds,
+        trace_events,
+        100.0 * trace_overhead
+    );
+    if let (Some(b), Some(overhead)) = (baseline_fast_seconds, null_sink_overhead) {
+        println!(
+            "nullsink overhead vs recorded baseline {b:.3}s: {:+.2}%",
+            100.0 * overhead
+        );
+        assert!(
+            overhead < 0.02,
+            "NullSink instrumentation overhead {:.2}% exceeds the 2% budget \
+             (baseline {b:.3}s, now {:.3}s)",
+            100.0 * overhead,
+            fast.seconds
+        );
+    }
     println!(
         "guards : grad norm final {:.3} / max {:.3}, {} clips, {} anomalies, {} recoveries",
         fast.grad_norm_final,

@@ -6,7 +6,7 @@ use std::io::{BufReader, BufWriter, Write};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use grimp::{Grimp, GrimpConfig};
+use grimp::{GrimpConfig, GrimpConfigBuilder, Pipeline, TaskKind};
 use grimp_baselines::{
     AimNetConfig, AimNetLike, DataWigConfig, DataWigLike, EmbdiMc, EmbdiMcConfig, Gain, GainConfig,
     KnnImputer, MeanMode, Mice, MiceConfig, Mida, MidaConfig, MissForest, MissForestConfig,
@@ -15,6 +15,7 @@ use grimp_baselines::{
 use grimp_datasets::{generate, DatasetId};
 use grimp_graph::FeatureSource;
 use grimp_metrics::{dataset_stats, evaluate};
+use grimp_obs::{EventKind, EventSink, FanoutSink, JsonlSink, MemorySink, NullSink};
 use grimp_table::csv::{read_csv, write_csv};
 use grimp_table::{inject_mcar, inject_mnar, CorruptionLog, Imputer, InjectedCell, Table, Value};
 
@@ -53,13 +54,17 @@ USAGE:
 
 COMMANDS:
     impute   <dirty.csv>  [--algo NAME] [--seed N] [--paper] [-o out.csv]
-             [--checkpoint-dir DIR] [--resume]
+             [--checkpoint-dir DIR] [--resume] [--trace-out FILE]
+             [--metrics]
              impute every missing cell; algorithms: grimp (default),
              grimp-e, grimp-linear, missforest, aimnet, turl, embdi-mc,
              datawig, mice, mida, gain, knn, meanmode
              --checkpoint-dir writes a training checkpoint there every
              epoch (grimp variants only); --resume continues from it
              after an interrupted run
+             --trace-out streams the structured training/imputation
+             event trace as JSON Lines to FILE (grimp variants only);
+             --metrics prints a per-phase timing and loss summary
     corrupt  <clean.csv>  [--rate R] [--mechanism mcar|mnar] [--seed N]
              [-o out.csv] [--truth truth.csv]
              inject missing values; --truth records the blanked cells
@@ -89,33 +94,8 @@ fn save(table: &Table, path: Option<&str>, out: &mut dyn Write) -> Result<(), Cl
     Ok(())
 }
 
-fn build_imputer(
-    name: &str,
-    seed: u64,
-    paper: bool,
-    checkpoint_dir: Option<&str>,
-    resume: bool,
-) -> Result<Box<dyn Imputer>, CliError> {
-    let mut grimp_cfg = if paper {
-        GrimpConfig::paper()
-    } else {
-        GrimpConfig::fast()
-    }
-    .with_seed(seed);
-    if let Some(dir) = checkpoint_dir {
-        grimp_cfg = grimp_cfg.with_checkpoint_dir(dir).with_resume(resume);
-    } else if resume {
-        return Err(CliError("--resume requires --checkpoint-dir DIR".into()));
-    }
-    if checkpoint_dir.is_some() && !name.starts_with("grimp") {
-        return Err(CliError(format!(
-            "--checkpoint-dir is only supported by the grimp variants, not {name:?}"
-        )));
-    }
+fn build_baseline(name: &str, seed: u64) -> Result<Box<dyn Imputer>, CliError> {
     Ok(match name {
-        "grimp" => Box::new(Grimp::new(grimp_cfg)),
-        "grimp-e" => Box::new(Grimp::new(grimp_cfg.with_features(FeatureSource::Embdi))),
-        "grimp-linear" => Box::new(Grimp::new(grimp_cfg.with_linear_tasks())),
         "missforest" => Box::new(MissForest::new(MissForestConfig {
             seed,
             ..Default::default()
@@ -158,19 +138,154 @@ fn build_imputer(
     })
 }
 
+/// Build a validated [`Pipeline`] for one of the grimp variants from the
+/// CLI options, via the typed config builder.
+fn build_pipeline(name: &str, seed: u64, args: &Args) -> Result<Pipeline, CliError> {
+    let base = if args.flag("paper") {
+        GrimpConfig::paper()
+    } else {
+        GrimpConfig::fast()
+    };
+    let mut builder = GrimpConfigBuilder::from_config(base).seed(seed);
+    builder = match name {
+        "grimp" => builder,
+        "grimp-e" => builder.features(FeatureSource::Embdi),
+        "grimp-linear" => builder.task_kind(TaskKind::Linear),
+        other => {
+            return Err(CliError(format!(
+                "unknown algorithm {other:?} (see `grimp help`)"
+            )))
+        }
+    };
+    if let Some(dir) = args.opt("checkpoint-dir") {
+        builder = builder.checkpoint_dir(dir);
+    }
+    builder = builder.resume(args.flag("resume"));
+    let config = builder.build().map_err(|e| CliError(e.to_string()))?;
+    Pipeline::new(config).map_err(|e| CliError(e.to_string()))
+}
+
+/// Print the `--metrics` summary derived from the recorded event stream.
+fn write_metrics(sink: &MemorySink, out: &mut dyn Write) -> Result<(), CliError> {
+    use grimp_obs::names;
+    writeln!(out, "trace: {} events", sink.len())?;
+    let phases = [
+        ("graph build", names::GRAPH_BUILD),
+        ("feature init", names::FEATURE_INIT),
+        ("model build", names::MODEL_BUILD),
+        ("batch build", names::BATCH_BUILD),
+        ("forward", names::FORWARD),
+        ("backward", names::BACKWARD),
+        ("optimizer", names::OPTIM),
+        ("checkpointing", names::CHECKPOINT_SAVE),
+        ("imputation", names::IMPUTE),
+    ];
+    for (label, name) in phases {
+        let n = sink.count_of(EventKind::SpanExit, name);
+        if n > 0 {
+            writeln!(out, "  {label:<14} {:>9.4}s  x{n}", sink.span_seconds(name))?;
+        }
+    }
+    let epochs = sink.count_of(EventKind::SpanExit, names::EPOCH);
+    writeln!(out, "epochs: {epochs}")?;
+    let train = sink.metric_values(names::TRAIN_LOSS);
+    let val = sink.metric_values(names::VAL_LOSS);
+    if let (Some(t), Some(v)) = (train.last(), val.last()) {
+        writeln!(out, "  final train loss {t:.4}, val loss {v:.4}")?;
+    }
+    let imputed: f64 = sink
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::Counter && e.name == names::IMPUTED_CELLS)
+        .map(|e| e.value)
+        .sum();
+    writeln!(out, "imputed cells: {imputed}")?;
+    Ok(())
+}
+
+/// The grimp-variant impute path: Pipeline + event sinks.
+fn impute_grimp(
+    name: &str,
+    seed: u64,
+    args: &Args,
+    table: &Table,
+    out: &mut dyn Write,
+) -> Result<Table, CliError> {
+    let pipeline = build_pipeline(name, seed, args)?;
+    let mut memory = MemorySink::new();
+    let mut jsonl = match args.opt("trace-out") {
+        Some(path) => Some(JsonlSink::create(path).map_err(|e| CliError(format!("{path}: {e}")))?),
+        None => None,
+    };
+    let mut null = NullSink;
+    let want_metrics = args.flag("metrics");
+    let want_trace = jsonl.is_some();
+    let mut fan = FanoutSink::new();
+    if want_metrics {
+        fan.add(&mut memory);
+    }
+    if let Some(sink) = jsonl.as_mut() {
+        fan.add(sink);
+    }
+    let sink: &mut dyn EventSink = if want_metrics || want_trace {
+        &mut fan
+    } else {
+        &mut null
+    };
+    let mut fitted = pipeline.fit_traced(table, sink);
+    let imputed = fitted.impute_traced(table, sink);
+    drop(fan);
+    if let Some(sink) = jsonl {
+        let path = args.opt("trace-out").unwrap_or_default();
+        let written = sink.events_written();
+        sink.into_inner()
+            .map_err(|e| CliError(format!("{path}: {e}")))?;
+        writeln!(out, "wrote {written} trace events to {path}")?;
+    }
+    if want_metrics {
+        write_metrics(&memory, out)?;
+    }
+    Ok(imputed)
+}
+
 fn cmd_impute(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
-    args.check_known(&["algo", "seed", "paper", "o", "checkpoint-dir", "resume"])?;
+    args.check_known(&[
+        "algo",
+        "seed",
+        "paper",
+        "o",
+        "checkpoint-dir",
+        "resume",
+        "trace-out",
+        "metrics",
+    ])?;
     let input = args.require_positional(0, "input CSV path")?;
     let table = load(input)?;
     let algo_name = args.opt("algo").unwrap_or("grimp");
     let seed = args.opt_parse("seed", 0u64)?;
-    let mut algo = build_imputer(
-        algo_name,
-        seed,
-        args.flag("paper"),
-        args.opt("checkpoint-dir"),
-        args.flag("resume"),
-    )?;
+    let is_grimp = algo_name.starts_with("grimp");
+    if !is_grimp {
+        if args.flag("resume") && args.opt("checkpoint-dir").is_none() {
+            return Err(CliError("--resume requires --checkpoint-dir DIR".into()));
+        }
+        for flag in ["checkpoint-dir", "trace-out"] {
+            if args.opt(flag).is_some() {
+                return Err(CliError(format!(
+                    "--{flag} is only supported by the grimp variants, not {algo_name:?}"
+                )));
+            }
+        }
+        if args.flag("metrics") {
+            return Err(CliError(format!(
+                "--metrics is only supported by the grimp variants, not {algo_name:?}"
+            )));
+        }
+    }
+    let display_name = if is_grimp {
+        build_pipeline(algo_name, seed, args)?.name().to_string()
+    } else {
+        build_baseline(algo_name, seed)?.name().to_string()
+    };
     writeln!(
         out,
         "{}: {} rows x {} cols, {} missing cells — imputing with {}",
@@ -178,10 +293,14 @@ fn cmd_impute(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         table.n_rows(),
         table.n_columns(),
         table.n_missing(),
-        algo.name()
+        display_name
     )?;
     let start = std::time::Instant::now();
-    let imputed = algo.impute(&table);
+    let imputed = if is_grimp {
+        impute_grimp(algo_name, seed, args, &table, out)?
+    } else {
+        build_baseline(algo_name, seed)?.impute(&table)
+    };
     writeln!(
         out,
         "done in {:.2}s; {} cells remain missing",
@@ -343,7 +462,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> i32 {
     let rest = &argv[1..];
     let parse = |flags: &[&str]| Args::parse(rest, flags);
     let result: Result<(), CliError> = (|| match command {
-        "impute" => cmd_impute(&parse(&["paper", "resume"])?, out),
+        "impute" => cmd_impute(&parse(&["paper", "resume", "metrics"])?, out),
         "corrupt" => cmd_corrupt(&parse(&[])?, out),
         "evaluate" => cmd_evaluate(&parse(&[])?, out),
         "stats" => cmd_stats(&parse(&[])?, out),
@@ -549,6 +668,64 @@ mod tests {
         let (code, out) = run_str(&["impute", dirty.to_str().unwrap(), "--resume"]);
         assert_eq!(code, 1);
         assert!(out.contains("--resume requires --checkpoint-dir"), "{out}");
+    }
+
+    #[test]
+    fn impute_streams_a_parseable_jsonl_trace_and_metrics_summary() {
+        let dir = tmpdir();
+        let dirty = dir.join("trace-dirty.csv");
+        let trace = dir.join("trace.jsonl");
+        std::fs::write(
+            &dirty,
+            "city,country\nParis,France\nRome,Italy\nParis,\nRome,\nParis,France\nRome,Italy\n",
+        )
+        .unwrap();
+
+        let (code, out) = run_str(&[
+            "impute",
+            dirty.to_str().unwrap(),
+            "--algo",
+            "grimp",
+            "--seed",
+            "3",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("trace events to"), "{out}");
+        assert!(out.contains("epochs:"), "{out}");
+        assert!(out.contains("imputed cells:"), "{out}");
+
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let mut saw_epoch = false;
+        for line in text.lines() {
+            let v = grimp_obs::json::parse(line).expect("trace line parses");
+            if v.get("name").and_then(grimp_obs::json::Json::as_str) == Some("epoch") {
+                saw_epoch = true;
+            }
+        }
+        assert!(saw_epoch, "trace has no epoch events");
+    }
+
+    #[test]
+    fn trace_out_is_rejected_for_non_grimp_algorithms() {
+        let dir = tmpdir();
+        let dirty = dir.join("trace-knn.csv");
+        std::fs::write(&dirty, "a,b\nx,1\ny,\n").unwrap();
+        let (code, out) = run_str(&[
+            "impute",
+            dirty.to_str().unwrap(),
+            "--algo",
+            "knn",
+            "--trace-out",
+            "/tmp/never.jsonl",
+        ]);
+        assert_eq!(code, 1);
+        assert!(
+            out.contains("--trace-out is only supported by the grimp variants"),
+            "{out}"
+        );
     }
 
     #[test]

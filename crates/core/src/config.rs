@@ -206,6 +206,261 @@ impl GrimpConfig {
         self.resume = resume;
         self
     }
+
+    /// A checked builder seeded from [`GrimpConfig::paper`]. Unlike the
+    /// `with_*` shortcuts, [`GrimpConfigBuilder::build`] validates field
+    /// ranges *and* cross-field consistency (e.g. resume without a
+    /// checkpoint dir), returning a [`ConfigError`] instead of failing
+    /// deep inside training.
+    pub fn builder() -> GrimpConfigBuilder {
+        GrimpConfigBuilder {
+            config: GrimpConfig::paper(),
+        }
+    }
+
+    /// Check the configuration for values that would make training panic,
+    /// loop forever, or silently do nothing. [`crate::Pipeline::new`] and
+    /// [`GrimpConfigBuilder::build`] run this for you.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.resume && self.checkpoint_dir.is_none() {
+            return Err(ConfigError::ResumeWithoutCheckpointDir);
+        }
+        for (name, dim) in [
+            ("feature_dim", self.feature_dim),
+            ("gnn.hidden", self.gnn.hidden),
+            ("gnn.layers", self.gnn.layers),
+            ("merge_hidden", self.merge_hidden),
+            ("embed_dim", self.embed_dim),
+        ] {
+            if dim == 0 {
+                return Err(ConfigError::ZeroDim(name));
+            }
+        }
+        if !(self.lr.is_finite() && self.lr > 0.0) {
+            return Err(ConfigError::NonPositiveLearningRate(self.lr));
+        }
+        if !(self.validation_fraction.is_finite() && (0.0..1.0).contains(&self.validation_fraction))
+        {
+            return Err(ConfigError::InvalidValidationFraction(
+                self.validation_fraction,
+            ));
+        }
+        if self.max_epochs == 0 {
+            return Err(ConfigError::ZeroEpochs);
+        }
+        if self.patience == 0 {
+            return Err(ConfigError::ZeroPatience);
+        }
+        if let Some(max) = self.max_grad_norm {
+            if !(max.is_finite() && max > 0.0) {
+                return Err(ConfigError::InvalidGradClip(max));
+            }
+        }
+        if self.max_train_samples_per_task == Some(0) {
+            return Err(ConfigError::ZeroSampleCap);
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`GrimpConfigBuilder`] (or [`GrimpConfig::validate`]) rejected a
+/// configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `resume` is set but there is no `checkpoint_dir` to resume from.
+    ResumeWithoutCheckpointDir,
+    /// A layer dimension is zero (the field name says which).
+    ZeroDim(&'static str),
+    /// The learning rate is zero, negative, or non-finite.
+    NonPositiveLearningRate(f32),
+    /// The validation fraction is outside `[0, 1)` or non-finite.
+    InvalidValidationFraction(f64),
+    /// `max_epochs` is zero — training would never run.
+    ZeroEpochs,
+    /// `patience` is zero — training would stop before the first epoch.
+    ZeroPatience,
+    /// The gradient-clip threshold is zero, negative, or non-finite.
+    InvalidGradClip(f32),
+    /// The per-task sample cap is zero — every task batch would be empty.
+    ZeroSampleCap,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ResumeWithoutCheckpointDir => {
+                write!(f, "--resume requires --checkpoint-dir DIR")
+            }
+            ConfigError::ZeroDim(name) => write!(f, "{name} must be at least 1"),
+            ConfigError::NonPositiveLearningRate(lr) => {
+                write!(f, "learning rate must be finite and positive, got {lr}")
+            }
+            ConfigError::InvalidValidationFraction(v) => {
+                write!(f, "validation fraction must be in [0, 1), got {v}")
+            }
+            ConfigError::ZeroEpochs => write!(f, "max_epochs must be at least 1"),
+            ConfigError::ZeroPatience => write!(f, "patience must be at least 1"),
+            ConfigError::InvalidGradClip(v) => {
+                write!(f, "max_grad_norm must be finite and positive, got {v}")
+            }
+            ConfigError::ZeroSampleCap => {
+                write!(f, "max_train_samples_per_task must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Typed, validating builder for [`GrimpConfig`] (start from
+/// [`GrimpConfig::builder`]).
+///
+/// ```
+/// use grimp::GrimpConfig;
+/// let config = GrimpConfig::builder()
+///     .seed(7)
+///     .max_epochs(50)
+///     .learning_rate(1e-2)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(config.seed, 7);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GrimpConfigBuilder {
+    config: GrimpConfig,
+}
+
+impl GrimpConfigBuilder {
+    /// Start from an existing configuration instead of the paper defaults.
+    pub fn from_config(config: GrimpConfig) -> Self {
+        GrimpConfigBuilder { config }
+    }
+
+    /// Pre-trained feature strategy.
+    pub fn features(mut self, source: FeatureSource) -> Self {
+        self.config.features = source;
+        self
+    }
+
+    /// Pre-trained feature dimensionality.
+    pub fn feature_dim(mut self, dim: usize) -> Self {
+        self.config.feature_dim = dim;
+        self
+    }
+
+    /// GNN shape.
+    pub fn gnn(mut self, gnn: GnnConfig) -> Self {
+        self.config.gnn = gnn;
+        self
+    }
+
+    /// Hidden width of the shared merge step.
+    pub fn merge_hidden(mut self, width: usize) -> Self {
+        self.config.merge_hidden = width;
+        self
+    }
+
+    /// Per-column slot width `D` of the training vectors.
+    pub fn embed_dim(mut self, dim: usize) -> Self {
+        self.config.embed_dim = dim;
+        self
+    }
+
+    /// Task head kind.
+    pub fn task_kind(mut self, kind: TaskKind) -> Self {
+        self.config.task_kind = kind;
+        self
+    }
+
+    /// Attention `K` strategy.
+    pub fn k_strategy(mut self, k: KStrategy) -> Self {
+        self.config.k_strategy = k;
+        self
+    }
+
+    /// Categorical loss.
+    pub fn categorical_loss(mut self, loss: CategoricalLoss) -> Self {
+        self.config.categorical_loss = loss;
+        self
+    }
+
+    /// Maximum training epochs.
+    pub fn max_epochs(mut self, epochs: usize) -> Self {
+        self.config.max_epochs = epochs;
+        self
+    }
+
+    /// Early-stopping patience in epochs.
+    pub fn patience(mut self, patience: usize) -> Self {
+        self.config.patience = patience;
+        self
+    }
+
+    /// Adam learning rate.
+    pub fn learning_rate(mut self, lr: f32) -> Self {
+        self.config.lr = lr;
+        self
+    }
+
+    /// Validation holdout fraction.
+    pub fn validation_fraction(mut self, fraction: f64) -> Self {
+        self.config.validation_fraction = fraction;
+        self
+    }
+
+    /// Cap on training samples per task per epoch.
+    pub fn max_train_samples_per_task(mut self, cap: Option<usize>) -> Self {
+        self.config.max_train_samples_per_task = cap;
+        self
+    }
+
+    /// Seed for every stochastic component.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Run the pre-optimization (benchmark-baseline) training hot path.
+    pub fn legacy_hot_path(mut self, legacy: bool) -> Self {
+        self.config.legacy_hot_path = legacy;
+        self
+    }
+
+    /// Global gradient-norm clip threshold (`None` disables clipping).
+    pub fn max_grad_norm(mut self, max: Option<f32>) -> Self {
+        self.config.max_grad_norm = max;
+        self
+    }
+
+    /// Divergence-recovery budget.
+    pub fn max_recoveries(mut self, budget: usize) -> Self {
+        self.config.max_recoveries = budget;
+        self
+    }
+
+    /// Disk-checkpoint cadence in completed epochs.
+    pub fn checkpoint_every(mut self, every: usize) -> Self {
+        self.config.checkpoint_every = every;
+        self
+    }
+
+    /// Directory for the training checkpoint file.
+    pub fn checkpoint_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.config.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Resume from an existing checkpoint in the checkpoint dir.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.config.resume = resume;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<GrimpConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +501,90 @@ mod tests {
             Some(std::path::Path::new("/tmp/ck"))
         );
         assert!(c.resume);
+    }
+
+    #[test]
+    fn builder_accepts_a_sane_config_and_applies_setters() {
+        let c = GrimpConfig::builder()
+            .seed(9)
+            .task_kind(TaskKind::Linear)
+            .k_strategy(KStrategy::Diagonal)
+            .max_epochs(40)
+            .learning_rate(1e-2)
+            .checkpoint_dir("/tmp/ck")
+            .resume(true)
+            .build()
+            .unwrap();
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.task_kind, TaskKind::Linear);
+        assert_eq!(c.k_strategy, KStrategy::Diagonal);
+        assert_eq!(c.max_epochs, 40);
+        assert!(c.resume);
+    }
+
+    #[test]
+    fn builder_rejects_resume_without_checkpoint_dir() {
+        let err = GrimpConfig::builder().resume(true).build().unwrap_err();
+        assert_eq!(err, ConfigError::ResumeWithoutCheckpointDir);
+        assert!(err.to_string().contains("--checkpoint-dir"));
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_values() {
+        assert_eq!(
+            GrimpConfig::builder().embed_dim(0).build().unwrap_err(),
+            ConfigError::ZeroDim("embed_dim")
+        );
+        assert!(matches!(
+            GrimpConfig::builder().learning_rate(0.0).build(),
+            Err(ConfigError::NonPositiveLearningRate(_))
+        ));
+        assert!(matches!(
+            GrimpConfig::builder().learning_rate(f32::NAN).build(),
+            Err(ConfigError::NonPositiveLearningRate(_))
+        ));
+        assert!(matches!(
+            GrimpConfig::builder().validation_fraction(1.0).build(),
+            Err(ConfigError::InvalidValidationFraction(_))
+        ));
+        assert_eq!(
+            GrimpConfig::builder().max_epochs(0).build().unwrap_err(),
+            ConfigError::ZeroEpochs
+        );
+        assert_eq!(
+            GrimpConfig::builder().patience(0).build().unwrap_err(),
+            ConfigError::ZeroPatience
+        );
+        assert!(matches!(
+            GrimpConfig::builder()
+                .max_grad_norm(Some(-1.0))
+                .build()
+                .unwrap_err(),
+            ConfigError::InvalidGradClip(_)
+        ));
+        assert_eq!(
+            GrimpConfig::builder()
+                .max_train_samples_per_task(Some(0))
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroSampleCap
+        );
+    }
+
+    #[test]
+    fn from_config_builder_keeps_the_seed_config() {
+        let c = GrimpConfigBuilder::from_config(GrimpConfig::fast())
+            .seed(3)
+            .build()
+            .unwrap();
+        assert_eq!(c.max_epochs, GrimpConfig::fast().max_epochs);
+        assert_eq!(c.seed, 3);
+    }
+
+    #[test]
+    fn default_configs_validate() {
+        GrimpConfig::paper().validate().unwrap();
+        GrimpConfig::fast().validate().unwrap();
     }
 
     #[test]

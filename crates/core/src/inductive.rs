@@ -28,7 +28,7 @@ use grimp_table::{ColumnKind, Corpus, FdSet, Normalizer, Schema, Table, Value};
 use grimp_tensor::{Adam, Mlp, Tape, Tensor};
 
 use crate::config::{CategoricalLoss, GrimpConfig};
-use crate::model::TrainReport;
+use crate::report::TrainReport;
 use crate::tasks::Task;
 use crate::vectors::VectorBatch;
 
@@ -209,9 +209,12 @@ impl TrainedGrimp {
             tape.backward(total);
             adam.step(&mut tape);
             tape.reset();
-            report.epochs_run += 1;
-            report.train_losses.push(train_total);
-            report.val_losses.push(val_total);
+            report.push_epoch(crate::report::EpochStats {
+                epoch: report.epochs.len(),
+                train_loss: train_total,
+                val_loss: val_total,
+                ..Default::default()
+            });
             if val_total + 1e-5 < best_val {
                 best_val = val_total;
                 since_best = 0;

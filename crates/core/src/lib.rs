@@ -42,20 +42,26 @@ pub mod inductive;
 pub mod mc;
 pub mod model;
 pub mod params;
+pub mod pipeline;
+pub mod report;
 pub mod tasks;
 pub mod tuner;
 pub mod vectors;
 
 pub use checkpoint::{TrainCheckpoint, CHECKPOINT_FILE, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
-pub use config::{CategoricalLoss, GrimpConfig, KStrategy, TaskKind};
+pub use config::{
+    CategoricalLoss, ConfigError, GrimpConfig, GrimpConfigBuilder, KStrategy, TaskKind,
+};
 pub use fault::TrainAnomaly;
 #[cfg(any(test, feature = "fault-injection"))]
 pub use fault::{FaultKind, FaultPlan};
 pub use federated::{FederatedConfig, FederatedGrimp, FederatedReport};
 pub use inductive::TrainedGrimp;
 pub use mc::{GlobalDomain, GnnMc};
-pub use model::{Grimp, TrainReport, TrainState};
+pub use model::{FittedModel, Grimp, TrainState};
 pub use params::{ParamCounts, ParamFormula};
+pub use pipeline::Pipeline;
+pub use report::{EpochStats, TrainReport};
 pub use tasks::{build_k_matrix, Task};
 pub use tuner::{default_candidates, select_config, ProbeResult, TunerConfig};
 pub use vectors::VectorBatch;

@@ -19,7 +19,7 @@ use grimp_table::{ColumnKind, Corpus, Imputer, Normalizer, Table, Value};
 use grimp_tensor::{Adam, Mlp, Tape, Tensor};
 
 use crate::config::GrimpConfig;
-use crate::model::TrainReport;
+use crate::report::TrainReport;
 use crate::vectors::VectorBatch;
 
 /// Global label space: one class per (attribute, value-key) pair.
@@ -211,9 +211,12 @@ impl GnnMc {
                 adam.step(&mut tape);
                 tape.reset();
 
-                report.epochs_run += 1;
-                report.train_losses.push(train_total);
-                report.val_losses.push(val_total);
+                report.push_epoch(crate::report::EpochStats {
+                    epoch: report.epochs.len(),
+                    train_loss: train_total,
+                    val_loss: val_total,
+                    ..Default::default()
+                });
                 if val_total + 1e-5 < best_val {
                     best_val = val_total;
                     since_best = 0;

@@ -9,16 +9,28 @@
 //! back to the last good epoch with a halved learning rate. When the
 //! recovery budget is exhausted the run degrades to the mode/mean baseline
 //! so the imputation contract still holds.
+//!
+//! Every phase of a run — graph build, feature init, each epoch's
+//! forward/backward/optim sub-phases, per-task losses, checkpoints,
+//! recovery, imputation — emits structured events into a
+//! [`grimp_obs::EventSink`] (see [`grimp_obs::names`] for the vocabulary).
+//! With the default [`NullSink`] the instrumentation compiles down to a
+//! branch on a `None`: no clock reads, no allocations. The
+//! [`crate::report::TrainReport`] aggregates are the *same* measured
+//! numbers that go into the trace, so
+//! [`TrainReport::from_events`](crate::report::TrainReport::from_events)
+//! on a recorded stream reproduces them bit-for-bit.
 
 use std::rc::Rc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use grimp_gnn::HeteroSage;
-use grimp_graph::{build_features, TableGraph};
+use grimp_graph::{build_features, fasttext_features, FeatureSource, TableGraph};
+use grimp_obs::{names, EventSink, NullSink, Trace};
 use grimp_table::{ColumnKind, Corpus, FdSet, Imputer, Normalizer, Table, Value};
 use grimp_tensor::{Adam, AdamState, Mlp, Tape, Tensor, Var};
 
@@ -27,60 +39,9 @@ use crate::config::{CategoricalLoss, GrimpConfig};
 use crate::fault::TrainAnomaly;
 #[cfg(any(test, feature = "fault-injection"))]
 use crate::fault::{FaultKind, FaultPlan};
+use crate::report::{EpochStats, TrainReport};
 use crate::tasks::Task;
 use crate::vectors::VectorBatch;
-
-/// Outcome of one training run.
-#[derive(Clone, Debug, Default)]
-pub struct TrainReport {
-    /// Epochs actually executed (in this process — excludes epochs replayed
-    /// from a resumed checkpoint).
-    pub epochs_run: usize,
-    /// Per-epoch summed training loss.
-    pub train_losses: Vec<f32>,
-    /// Per-epoch summed validation loss.
-    pub val_losses: Vec<f32>,
-    /// Whether early stopping fired before `max_epochs`.
-    pub early_stopped: bool,
-    /// Wall-clock seconds of the whole fit+impute.
-    pub seconds: f64,
-    /// Wall-clock seconds spent in forward passes (training epochs only).
-    pub forward_s: f64,
-    /// Wall-clock seconds spent in backward passes.
-    pub backward_s: f64,
-    /// Wall-clock seconds spent in the optimizer step plus tape reset.
-    pub optim_s: f64,
-    /// Per-epoch workspace allocation counts (tape buffer-pool misses that
-    /// epoch). With the optimized hot path every entry after the first is 0.
-    pub epoch_allocs: Vec<u64>,
-    /// Scalar parameters actually allocated on the tape.
-    pub n_weights: usize,
-    /// Global L2 gradient norm per completed epoch.
-    pub grad_norms: Vec<f64>,
-    /// Number of epochs on which gradient clipping rescaled the gradients.
-    pub clip_activations: usize,
-    /// Divergences detected by the per-epoch guard, in detection order.
-    pub anomalies: Vec<TrainAnomaly>,
-    /// Rollback recoveries consumed by this run.
-    pub recoveries: usize,
-    /// Serialized size of the final training checkpoint, in bytes.
-    pub checkpoint_bytes: usize,
-    /// Whether the run exhausted `max_recoveries` and fell back to the
-    /// mode/mean baseline imputer.
-    pub degraded_to_baseline: bool,
-    /// Epoch count restored from a disk checkpoint, when resuming.
-    pub resumed_from_epoch: Option<usize>,
-    /// Non-fatal checkpoint I/O problems (failed resume or write). Training
-    /// continues; the messages are surfaced here for observability.
-    pub io_errors: Vec<String>,
-}
-
-impl TrainReport {
-    /// Number of anomalies the divergence guard detected.
-    pub fn anomalies_detected(&self) -> usize {
-        self.anomalies.len()
-    }
-}
 
 /// Resumable cursor of the training loop: everything a checkpoint must
 /// capture, beyond tensors, to continue bit-exactly.
@@ -122,6 +83,10 @@ struct Snapshot {
 
 /// The GRIMP imputer (paper §3). Construct with a config, call
 /// [`Grimp::fit_impute`] (or the [`Imputer`] trait) on a dirty table.
+///
+/// For a fit-once/impute-many handle (including imputing *unseen* tables
+/// with the inductive FastText features), use [`crate::Pipeline`], which
+/// returns a [`FittedModel`].
 pub struct Grimp {
     config: GrimpConfig,
     fds: FdSet,
@@ -173,386 +138,729 @@ impl Grimp {
     /// Train on the dirty table (self-supervised — no clean data needed) and
     /// impute all its missing values.
     pub fn fit_impute(&mut self, dirty: &Table) -> Table {
+        let mut sink = NullSink;
+        self.fit_impute_traced(dirty, &mut sink)
+    }
+
+    /// [`Grimp::fit_impute`] with structured events streamed into `sink`.
+    pub fn fit_impute_traced(&mut self, dirty: &Table, sink: &mut dyn EventSink) -> Table {
+        let mut fitted = fit_model(&self.config, &self.fds, dirty, sink);
+        let result = fitted.impute_traced(dirty, sink);
+        self.last_report = Some(fitted.report().clone());
+        result
+    }
+}
+
+/// Variant name shown in experiment output (paper §4.3 naming).
+pub(crate) fn variant_name(config: &GrimpConfig) -> &'static str {
+    match (config.task_kind, config.features) {
+        (crate::config::TaskKind::Linear, _) => "GRIMP-linear",
+        (_, FeatureSource::Embdi) => "GRIMP-E",
+        (_, FeatureSource::FastText) => "GRIMP-FT",
+        (_, FeatureSource::Random) => "GRIMP-rand",
+    }
+}
+
+/// A trained GRIMP model, ready to impute: the fitted graph/tape/heads plus
+/// everything needed to run inference again — on the training table or
+/// (with FastText features) on schema-compatible unseen tables.
+///
+/// Produced by [`crate::Pipeline::fit`]; [`Grimp::fit_impute`] is a thin
+/// fit-then-impute wrapper over the same machinery.
+pub struct FittedModel {
+    config: GrimpConfig,
+    normalizer: Normalizer,
+    /// Normalized copy of the training table.
+    norm: Table,
+    /// The original dirty training table (detects transductive imputes).
+    train_dirty: Table,
+    graph: TableGraph,
+    tape: Tape,
+    gnn: HeteroSage,
+    merge: Mlp,
+    tasks: Vec<Task>,
+    persistent_x: Option<Var>,
+    /// Legacy hot path keeps the feature tensor to re-clone per pass.
+    feature_tensor: Option<Tensor>,
+    best_params: Option<Vec<Tensor>>,
+    degraded: bool,
+    /// Training-table dictionaries, for mapping predictions into unseen
+    /// tables' dictionaries (empty vec for numerical columns).
+    dictionaries: Vec<Vec<String>>,
+    /// Seed of the inductive FastText features (None for other sources).
+    ft_seed: Option<u64>,
+    /// The GNN is currently bound to a foreign graph and must rebind
+    /// before imputing the training table again.
+    needs_rebind: bool,
+    report: TrainReport,
+}
+
+impl FittedModel {
+    /// The training report. [`TrainReport::seconds`] accumulates the time
+    /// of every [`FittedModel::impute`] call made through this model.
+    pub fn report(&self) -> &TrainReport {
+        &self.report
+    }
+
+    /// The configuration the model was fitted with.
+    pub fn config(&self) -> &GrimpConfig {
+        &self.config
+    }
+
+    /// Whether training exhausted its recovery budget and imputation runs
+    /// the mode/mean baseline instead of the GNN.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Impute all missing values of `table`.
+    ///
+    /// Passing the training table back runs the transductive path of the
+    /// paper (one forward pass over the fitted graph). Any *other* table
+    /// with the same schema takes the inductive path: its graph is rebuilt,
+    /// the seed-deterministic FastText features are recomputed, and the
+    /// trained weights are reused.
+    ///
+    /// # Panics
+    /// Panics on an unseen table when the schema differs from the training
+    /// schema or the model was not fitted with
+    /// [`FeatureSource::FastText`] (EMBDI and random features are
+    /// transductive — they cannot embed unseen values).
+    pub fn impute(&mut self, table: &Table) -> Table {
+        let mut sink = NullSink;
+        self.impute_traced(table, &mut sink)
+    }
+
+    /// [`FittedModel::impute`] with structured events streamed into `sink`.
+    pub fn impute_traced(&mut self, table: &Table, sink: &mut dyn EventSink) -> Table {
+        let mut trace = Trace::new(sink);
         let start = Instant::now();
-        let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-
-        // Normalize numericals (paper §3.2); labels and the graph use the
-        // normalized copy, outputs are de-normalized at the end.
-        let normalizer = Normalizer::fit(dirty);
-        let mut norm = dirty.clone();
-        normalizer.apply(&mut norm);
-
-        // Training corpus and validation holdout (§3.3, §3.6).
-        let corpus = Corpus::build(&norm, cfg.validation_fraction, &mut rng);
-        let excluded: Vec<(usize, usize)> = corpus
-            .validation_flat()
-            .map(|s| (s.row, s.target_col))
-            .collect();
-
-        // Graph without validation edges (§3.6) — test cells are already ∅.
-        let graph = TableGraph::build(&norm, cfg.graph, &excluded);
-        let features = build_features(
-            &graph,
-            &norm,
-            cfg.features,
-            cfg.feature_dim,
-            &cfg.embdi,
-            &mut rng,
-        );
-        let feature_tensor =
-            Tensor::from_vec(graph.n_nodes(), cfg.feature_dim, features.node_matrix);
-
-        // Shared layer: HeteroGNN + two-linear-layer merge (§3.5).
-        let mut tape = Tape::new();
-        tape.set_legacy_mode(cfg.legacy_hot_path);
-        let gnn = HeteroSage::new(&mut tape, &graph, cfg.feature_dim, cfg.gnn, &mut rng);
-        let merge = Mlp::new(
-            &mut tape,
-            &[cfg.gnn.hidden, cfg.merge_hidden, cfg.embed_dim],
-            &mut rng,
-        );
-
-        // Task-specific layer: one head per attribute.
-        let n_cols = norm.n_columns();
-        let tasks: Vec<Task> = (0..n_cols)
-            .map(|j| {
-                let out_dim = match norm.schema().column(j).kind {
-                    ColumnKind::Categorical => norm.dictionary(j).len().max(1),
-                    ColumnKind::Numerical => 1,
-                };
-                let q_init = Some(attribute_q_init(
-                    &features.attribute_matrix,
-                    features.dim,
-                    n_cols,
-                    cfg.embed_dim,
-                ));
-                Task::new(
-                    &mut tape,
-                    cfg.task_kind,
-                    n_cols,
-                    cfg.embed_dim,
-                    cfg.merge_hidden,
-                    out_dim,
-                    j,
-                    cfg.k_strategy,
-                    &self.fds,
-                    q_init,
-                    &mut rng,
-                )
-            })
-            .collect();
-        // Optimized hot path: register the node features once as a
-        // persistent input that survives every reset. The legacy path keeps
-        // the tensor around and re-clones it onto the tape each epoch.
-        let mut feature_tensor = Some(feature_tensor);
-        let persistent_x = (!cfg.legacy_hot_path)
-            .then(|| tape.input(feature_tensor.take().expect("features not yet consumed")));
-        tape.freeze();
-        let n_weights = tape.total_param_elems();
-        let mut adam = Adam::new(cfg.lr);
-
-        // Pre-build the per-task batches (they are fixed across epochs).
-        let train_batches = build_task_batches(
-            &graph,
-            &norm,
-            &corpus.train,
-            cfg.embed_dim,
-            cfg.max_train_samples_per_task,
-            &mut rng,
-        );
-        let val_batches = build_task_batches(
-            &graph,
-            &norm,
-            &corpus.validation,
-            cfg.embed_dim,
-            None,
-            &mut rng,
-        );
-
-        // Training loop with early stopping on validation loss, wrapped in
-        // the divergence guard + rollback/recovery machinery.
-        let mut report = TrainReport {
-            n_weights,
-            ..Default::default()
+        let span = trace.enter(names::IMPUTE, 0);
+        let result = if self.degraded {
+            baseline_fill(table)
+        } else if *table == self.train_dirty {
+            self.impute_training_table(&mut trace)
+        } else {
+            self.impute_unseen_table(table, &mut trace)
         };
-        let mut state = TrainState::new(cfg.lr);
-        let mut best_params: Option<Vec<Tensor>> = None;
+        let dt = start.elapsed().as_secs_f64();
+        self.report.seconds += dt;
+        trace.exit_with(names::IMPUTE, 0, span, dt);
+        let _ = trace.flush();
+        result
+    }
 
-        // Resume from a disk checkpoint when asked to. A missing file starts
-        // a fresh run; an unreadable or mismatched one is reported and also
-        // starts fresh — resume must never panic.
-        let ckpt_path = cfg.checkpoint_dir.as_ref().map(|d| d.join(CHECKPOINT_FILE));
-        if let Some(dir) = &cfg.checkpoint_dir {
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                report.io_errors.push(format!(
-                    "cannot create checkpoint dir {}: {e}",
-                    dir.display()
-                ));
-            }
+    /// Transductive imputation (§3.7): one forward pass from the
+    /// best-validation parameters over the fitted graph, per-column
+    /// argmax / de-normalized regression.
+    fn impute_training_table(&mut self, trace: &mut Trace<'_>) -> Table {
+        if self.needs_rebind {
+            self.gnn.rebind(&self.graph);
+            self.needs_rebind = false;
         }
-        if cfg.resume {
-            if let Some(path) = ckpt_path.as_ref().filter(|p| p.exists()) {
-                match TrainCheckpoint::load(path) {
-                    Ok(ck) if snapshot_shapes_match(&tape, &ck.params) => {
-                        tape.restore_param_values(&ck.params);
-                        adam.import_state(&ck.adam);
-                        rng = StdRng::from_state(ck.rng);
-                        state = TrainState {
-                            epoch: ck.epoch as usize,
-                            lr: ck.lr,
-                            best_val: ck.best_val,
-                            since_best: ck.since_best as usize,
-                            recoveries: ck.recoveries as usize,
-                        };
-                        best_params = ck.best_params;
-                        report.resumed_from_epoch = Some(state.epoch);
+        if let Some(best) = &self.best_params {
+            self.tape.restore_param_values(best);
+        }
+        let mut result = self.train_dirty.clone();
+        let x = match self.persistent_x {
+            Some(x) => x,
+            None => self.tape.input(
+                self.feature_tensor
+                    .as_ref()
+                    .expect("legacy path keeps features")
+                    .clone(),
+            ),
+        };
+        let h0 = self.gnn.forward(&mut self.tape, x);
+        let h = self.merge.forward(&mut self.tape, h0);
+        for (j, task) in self.tasks.iter().enumerate() {
+            let missing: Vec<(usize, usize)> = (0..self.norm.n_rows())
+                .filter(|&i| self.norm.is_missing(i, j))
+                .map(|i| (i, j))
+                .collect();
+            if missing.is_empty() {
+                continue;
+            }
+            let batch =
+                VectorBatch::build(&self.graph, &self.norm, &missing, self.config.embed_dim);
+            let out = task.forward(&mut self.tape, h, &batch);
+            let out_t = self.tape.value(out).clone();
+            match self.norm.schema().column(j).kind {
+                ColumnKind::Categorical => {
+                    if self.norm.dictionary(j).is_empty() {
+                        continue; // nothing to impute with
                     }
-                    Ok(_) => report.io_errors.push(format!(
+                    for (s, &(i, _)) in missing.iter().enumerate() {
+                        let row = out_t.row_slice(s);
+                        let best = row
+                            .iter()
+                            .enumerate()
+                            .max_by(|a, b| a.1.total_cmp(b.1))
+                            .map(|(k, _)| k as u32)
+                            .expect("non-empty logits row");
+                        result.set(i, j, Value::Cat(best));
+                    }
+                }
+                ColumnKind::Numerical => {
+                    for (s, &(i, _)) in missing.iter().enumerate() {
+                        let z = f64::from(out_t.get(s, 0));
+                        result.set(i, j, Value::Num(self.normalizer.inverse(j, z)));
+                    }
+                }
+            }
+            trace.counter(names::IMPUTED_CELLS, j as u64, missing.len() as u64);
+        }
+        self.tape.reset();
+        result
+    }
+
+    /// Inductive imputation: rebuild the graph for the unseen table,
+    /// recompute the seed-deterministic FastText features, rebind the GNN
+    /// adjacency, and map categorical predictions through the training
+    /// dictionaries into the new table's dictionaries.
+    fn impute_unseen_table(&mut self, table: &Table, trace: &mut Trace<'_>) -> Table {
+        assert_eq!(
+            table.schema(),
+            self.train_dirty.schema(),
+            "schema must match the training schema"
+        );
+        let ft_seed = self.ft_seed.expect(
+            "imputing an unseen table requires FeatureSource::FastText \
+             (EMBDI and random features are transductive)",
+        );
+        if let Some(best) = &self.best_params {
+            self.tape.restore_param_values(best);
+        }
+        let mut norm = table.clone();
+        self.normalizer.apply(&mut norm);
+        let graph = TableGraph::build_traced(&norm, self.config.graph, &[], trace);
+        self.gnn.rebind(&graph);
+        self.needs_rebind = true;
+        let features = fasttext_features(&graph, self.config.feature_dim, ft_seed);
+        let feature_tensor = Tensor::from_vec(
+            graph.n_nodes(),
+            self.config.feature_dim,
+            features.node_matrix,
+        );
+        let mut result = table.clone();
+        let x = self.tape.input(feature_tensor);
+        let h0 = self.gnn.forward(&mut self.tape, x);
+        let h = self.merge.forward(&mut self.tape, h0);
+        for (j, task) in self.tasks.iter().enumerate() {
+            let missing: Vec<(usize, usize)> = (0..norm.n_rows())
+                .filter(|&i| norm.is_missing(i, j))
+                .map(|i| (i, j))
+                .collect();
+            if missing.is_empty() {
+                continue;
+            }
+            let batch = VectorBatch::build(&graph, &norm, &missing, self.config.embed_dim);
+            let out = task.forward(&mut self.tape, h, &batch);
+            let out_t = self.tape.value(out).clone();
+            match norm.schema().column(j).kind {
+                ColumnKind::Categorical => {
+                    if self.dictionaries[j].is_empty() {
+                        continue;
+                    }
+                    for (s, &(i, _)) in missing.iter().enumerate() {
+                        let best = out_t
+                            .row_slice(s)
+                            .iter()
+                            .enumerate()
+                            .max_by(|a, b| a.1.total_cmp(b.1))
+                            .map(|(k, _)| k)
+                            .expect("non-empty logits row");
+                        let label = &self.dictionaries[j][best];
+                        let code = result.intern(j, label);
+                        result.set(i, j, Value::Cat(code));
+                    }
+                }
+                ColumnKind::Numerical => {
+                    for (s, &(i, _)) in missing.iter().enumerate() {
+                        let z = f64::from(out_t.get(s, 0));
+                        result.set(i, j, Value::Num(self.normalizer.inverse(j, z)));
+                    }
+                }
+            }
+            trace.counter(names::IMPUTED_CELLS, j as u64, missing.len() as u64);
+        }
+        self.tape.reset();
+        result
+    }
+}
+
+/// Stable code of an anomaly kind, used as the `anomaly` counter value.
+fn anomaly_code(a: &TrainAnomaly) -> u64 {
+    match a {
+        TrainAnomaly::NonFiniteLoss { .. } => 0,
+        TrainAnomaly::NonFiniteGradient { .. } => 1,
+        TrainAnomaly::NonFiniteParameter { .. } => 2,
+    }
+}
+
+/// Train a GRIMP model on the dirty table, emitting structured events into
+/// `sink`, and return the fitted inference handle.
+///
+/// This is the engine behind both [`crate::Pipeline::fit`] and
+/// [`Grimp::fit_impute`].
+pub(crate) fn fit_model(
+    config: &GrimpConfig,
+    fds: &FdSet,
+    dirty: &Table,
+    sink: &mut dyn EventSink,
+) -> FittedModel {
+    let fit_start = Instant::now();
+    let mut trace = Trace::new(sink);
+    let fit_span = trace.enter(names::FIT, 0);
+    let cfg = config;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Normalize numericals (paper §3.2); labels and the graph use the
+    // normalized copy, outputs are de-normalized at the end.
+    let normalizer = Normalizer::fit(dirty);
+    let mut norm = dirty.clone();
+    normalizer.apply(&mut norm);
+
+    // Training corpus and validation holdout (§3.3, §3.6).
+    let corpus = Corpus::build(&norm, cfg.validation_fraction, &mut rng);
+    let excluded: Vec<(usize, usize)> = corpus
+        .validation_flat()
+        .map(|s| (s.row, s.target_col))
+        .collect();
+
+    // Graph without validation edges (§3.6) — test cells are already ∅.
+    let graph = TableGraph::build_traced(&norm, cfg.graph, &excluded, &mut trace);
+
+    // Feature init. The FastText arm captures its seed so the fitted model
+    // can recompute identical features on unseen tables; drawing exactly
+    // one u64 keeps the RNG stream identical to `build_features`.
+    let feat_span = trace.enter(names::FEATURE_INIT, 0);
+    let (features, ft_seed) = match cfg.features {
+        FeatureSource::FastText => {
+            let seed: u64 = rng.gen();
+            (fasttext_features(&graph, cfg.feature_dim, seed), Some(seed))
+        }
+        source => (
+            build_features(&graph, &norm, source, cfg.feature_dim, &cfg.embdi, &mut rng),
+            None,
+        ),
+    };
+    trace.counter(names::FEATURE_DIM, 0, features.dim as u64);
+    trace.exit(names::FEATURE_INIT, 0, feat_span);
+    let feature_tensor = Tensor::from_vec(graph.n_nodes(), cfg.feature_dim, features.node_matrix);
+
+    // Shared layer: HeteroGNN + two-linear-layer merge (§3.5), then one
+    // task head per attribute.
+    let model_span = trace.enter(names::MODEL_BUILD, 0);
+    let mut tape = Tape::new();
+    tape.set_legacy_mode(cfg.legacy_hot_path);
+    let gnn = HeteroSage::new(&mut tape, &graph, cfg.feature_dim, cfg.gnn, &mut rng);
+    let merge = Mlp::new(
+        &mut tape,
+        &[cfg.gnn.hidden, cfg.merge_hidden, cfg.embed_dim],
+        &mut rng,
+    );
+    let n_cols = norm.n_columns();
+    let tasks: Vec<Task> = (0..n_cols)
+        .map(|j| {
+            let out_dim = match norm.schema().column(j).kind {
+                ColumnKind::Categorical => norm.dictionary(j).len().max(1),
+                ColumnKind::Numerical => 1,
+            };
+            let q_init = Some(attribute_q_init(
+                &features.attribute_matrix,
+                features.dim,
+                n_cols,
+                cfg.embed_dim,
+            ));
+            Task::new(
+                &mut tape,
+                cfg.task_kind,
+                n_cols,
+                cfg.embed_dim,
+                cfg.merge_hidden,
+                out_dim,
+                j,
+                cfg.k_strategy,
+                fds,
+                q_init,
+                &mut rng,
+            )
+        })
+        .collect();
+    // Optimized hot path: register the node features once as a persistent
+    // input that survives every reset. The legacy path keeps the tensor
+    // around and re-clones it onto the tape each epoch.
+    let mut feature_tensor = Some(feature_tensor);
+    let persistent_x = (!cfg.legacy_hot_path)
+        .then(|| tape.input(feature_tensor.take().expect("features not yet consumed")));
+    tape.freeze();
+    let n_weights = tape.total_param_elems();
+    trace.counter(names::N_WEIGHTS, 0, n_weights as u64);
+    trace.exit(names::MODEL_BUILD, 0, model_span);
+    let mut adam = Adam::new(cfg.lr);
+
+    // Pre-build the per-task batches (they are fixed across epochs).
+    let batch_span = trace.enter(names::BATCH_BUILD, 0);
+    let train_batches = build_task_batches(
+        &graph,
+        &norm,
+        &corpus.train,
+        cfg.embed_dim,
+        cfg.max_train_samples_per_task,
+        &mut rng,
+    );
+    let val_batches = build_task_batches(
+        &graph,
+        &norm,
+        &corpus.validation,
+        cfg.embed_dim,
+        None,
+        &mut rng,
+    );
+    trace.exit(names::BATCH_BUILD, 0, batch_span);
+
+    // Training loop with early stopping on validation loss, wrapped in
+    // the divergence guard + rollback/recovery machinery.
+    let mut report = TrainReport {
+        n_weights,
+        ..Default::default()
+    };
+    let mut state = TrainState::new(cfg.lr);
+    let mut best_params: Option<Vec<Tensor>> = None;
+
+    // Resume from a disk checkpoint when asked to. A missing file starts
+    // a fresh run; an unreadable or mismatched one is reported and also
+    // starts fresh — resume must never panic.
+    let ckpt_path = cfg.checkpoint_dir.as_ref().map(|d| d.join(CHECKPOINT_FILE));
+    if let Some(dir) = &cfg.checkpoint_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            report.io_errors.push(format!(
+                "cannot create checkpoint dir {}: {e}",
+                dir.display()
+            ));
+            trace.counter(names::IO_ERROR, report.io_errors.len() as u64, 1);
+        }
+    }
+    if cfg.resume {
+        if let Some(path) = ckpt_path.as_ref().filter(|p| p.exists()) {
+            match TrainCheckpoint::load(path) {
+                Ok(ck) if snapshot_shapes_match(&tape, &ck.params) => {
+                    tape.restore_param_values(&ck.params);
+                    adam.import_state(&ck.adam);
+                    rng = StdRng::from_state(ck.rng);
+                    state = TrainState {
+                        epoch: ck.epoch as usize,
+                        lr: ck.lr,
+                        best_val: ck.best_val,
+                        since_best: ck.since_best as usize,
+                        recoveries: ck.recoveries as usize,
+                    };
+                    best_params = ck.best_params;
+                    report.resumed_from_epoch = Some(state.epoch);
+                    trace.counter(names::RESUME, state.epoch as u64, 1);
+                }
+                Ok(_) => {
+                    report.io_errors.push(format!(
                         "checkpoint at {} does not match this model's parameter shapes; \
                          restarting from scratch",
                         path.display()
-                    )),
-                    Err(e) => report.io_errors.push(format!(
+                    ));
+                    trace.counter(names::IO_ERROR, report.io_errors.len() as u64, 1);
+                }
+                Err(e) => {
+                    report.io_errors.push(format!(
                         "failed to resume from {}: {e}; restarting from scratch",
                         path.display()
-                    )),
+                    ));
+                    trace.counter(names::IO_ERROR, report.io_errors.len() as u64, 1);
                 }
             }
         }
-        #[cfg(any(test, feature = "fault-injection"))]
-        let fault_plan = cfg.fault_injection;
-        #[cfg(any(test, feature = "fault-injection"))]
-        let mut injected = 0usize;
+    }
+    #[cfg(any(test, feature = "fault-injection"))]
+    let fault_plan = cfg.fault_injection;
+    #[cfg(any(test, feature = "fault-injection"))]
+    let mut injected = 0usize;
 
-        let mut last_good = Snapshot {
-            state,
-            params: tape.snapshot_param_values(),
-            adam: adam.export_state(),
+    let mut last_good = Snapshot {
+        state,
+        params: tape.snapshot_param_values(),
+        adam: adam.export_state(),
+    };
+    let mut degraded = false;
+    let checkpoint_every = cfg.checkpoint_every.max(1);
+    let mut train_losses: Vec<Var> = Vec::new();
+    while state.epoch < cfg.max_epochs && state.since_best < cfg.patience {
+        let epoch_idx = state.epoch as u64;
+        let misses_before = tape.workspace_stats().misses;
+        let epoch_start = Instant::now();
+        let epoch_span = trace.enter(names::EPOCH, epoch_idx);
+        let forward_start = Instant::now();
+        let fwd_span = trace.enter(names::FORWARD, epoch_idx);
+        let x = match persistent_x {
+            Some(x) => x,
+            None => tape.input(
+                feature_tensor
+                    .as_ref()
+                    .expect("legacy path keeps features")
+                    .clone(),
+            ),
         };
-        let mut degraded = false;
-        let checkpoint_every = cfg.checkpoint_every.max(1);
-        let mut train_losses: Vec<Var> = Vec::new();
-        while state.epoch < cfg.max_epochs && state.since_best < cfg.patience {
-            let misses_before = tape.workspace_stats().misses;
-            let forward_start = Instant::now();
-            let x = match persistent_x {
-                Some(x) => x,
-                None => tape.input(
-                    feature_tensor
-                        .as_ref()
-                        .expect("legacy path keeps features")
-                        .clone(),
-                ),
-            };
-            let h0 = gnn.forward(&mut tape, x);
-            let h = merge.forward(&mut tape, h0);
+        let h0 = gnn.forward(&mut tape, x);
+        let h = merge.forward(&mut tape, h0);
 
-            train_losses.clear();
-            for (task, tb) in tasks.iter().zip(&train_batches) {
-                if let Some(tb) = tb {
-                    train_losses.push(task_loss(&mut tape, task, h, tb, cfg.categorical_loss));
+        train_losses.clear();
+        for (j, (task, tb)) in tasks.iter().zip(&train_batches).enumerate() {
+            if let Some(tb) = tb {
+                let l = task_loss(&mut tape, task, h, tb, cfg.categorical_loss);
+                if trace.is_enabled() {
+                    trace.metric(names::TASK_LOSS, j as u64, f64::from(tape.value(l).item()));
                 }
+                train_losses.push(l);
             }
-            let mut val_total = 0.0f32;
-            for (task, tb) in tasks.iter().zip(&val_batches) {
-                if let Some(tb) = tb {
-                    let l = task_loss(&mut tape, task, h, tb, cfg.categorical_loss);
-                    val_total += tape.value(l).item();
-                }
+        }
+        let mut val_total = 0.0f32;
+        for (task, tb) in tasks.iter().zip(&val_batches) {
+            if let Some(tb) = tb {
+                let l = task_loss(&mut tape, task, h, tb, cfg.categorical_loss);
+                val_total += tape.value(l).item();
             }
-            if train_losses.is_empty() {
-                tape.reset();
-                break;
-            }
-            let total = tape.add_n(&train_losses);
-            let train_total = tape.value(total).item();
-            report.forward_s += forward_start.elapsed().as_secs_f64();
+        }
+        if train_losses.is_empty() {
+            tape.reset();
+            // Nothing trainable: the attempt produced no epoch. Close the
+            // span as a rollback so trace consumers discard it too.
+            trace.exit_with(
+                names::EPOCH_ROLLBACK,
+                epoch_idx,
+                epoch_span,
+                epoch_start.elapsed().as_secs_f64(),
+            );
+            drop(fwd_span);
+            break;
+        }
+        let total = tape.add_n(&train_losses);
+        let train_total = tape.value(total).item();
+        let fwd_dt = forward_start.elapsed().as_secs_f64();
+        report.forward_s += fwd_dt;
+        trace.exit_with(names::FORWARD, epoch_idx, fwd_span, fwd_dt);
 
-            // Divergence guard: loss finiteness after the forward pass,
-            // gradient finiteness (via the global norm) after backward,
-            // parameter finiteness after the optimizer step.
-            let mut anomaly: Option<TrainAnomaly> = None;
-            let mut grad_norm = 0.0f64;
-            if !train_total.is_finite() || !val_total.is_finite() {
-                anomaly = Some(TrainAnomaly::NonFiniteLoss {
+        // Divergence guard: loss finiteness after the forward pass,
+        // gradient finiteness (via the global norm) after backward,
+        // parameter finiteness after the optimizer step.
+        let mut anomaly: Option<TrainAnomaly> = None;
+        let mut grad_norm = 0.0f64;
+        let mut bwd_dt = 0.0f64;
+        let mut opt_dt = 0.0f64;
+        if !train_total.is_finite() || !val_total.is_finite() {
+            anomaly = Some(TrainAnomaly::NonFiniteLoss {
+                epoch: state.epoch,
+                train: train_total,
+                val: val_total,
+            });
+        } else {
+            let backward_start = Instant::now();
+            let bwd_span = trace.enter(names::BACKWARD, epoch_idx);
+            tape.backward(total);
+            bwd_dt = backward_start.elapsed().as_secs_f64();
+            report.backward_s += bwd_dt;
+            trace.exit_with(names::BACKWARD, epoch_idx, bwd_span, bwd_dt);
+            if trace.is_enabled() {
+                trace.counter(
+                    names::TAPE_BACKWARD_NODES,
+                    epoch_idx,
+                    tape.last_backward_stats().nodes_visited,
+                );
+            }
+
+            #[cfg(any(test, feature = "fault-injection"))]
+            inject_gradient_fault(&mut tape, fault_plan.as_ref(), state.epoch, &mut injected);
+
+            grad_norm = tape.global_grad_norm();
+            if !grad_norm.is_finite() {
+                anomaly = Some(TrainAnomaly::NonFiniteGradient {
                     epoch: state.epoch,
-                    train: train_total,
-                    val: val_total,
+                    norm: grad_norm,
                 });
             } else {
-                let backward_start = Instant::now();
-                tape.backward(total);
-                report.backward_s += backward_start.elapsed().as_secs_f64();
+                if let Some(max) = cfg.max_grad_norm {
+                    if grad_norm > f64::from(max) {
+                        tape.scale_param_grads((f64::from(max) / grad_norm) as f32);
+                        report.clip_activations += 1;
+                        trace.counter(names::GRAD_CLIP, epoch_idx, 1);
+                    }
+                }
+                let optim_start = Instant::now();
+                let opt_span = trace.enter(names::OPTIM, epoch_idx);
+                adam.lr = state.lr;
+                adam.step(&mut tape);
+                opt_dt = optim_start.elapsed().as_secs_f64();
+                report.optim_s += opt_dt;
+                trace.exit_with(names::OPTIM, epoch_idx, opt_span, opt_dt);
 
                 #[cfg(any(test, feature = "fault-injection"))]
-                inject_gradient_fault(&mut tape, fault_plan.as_ref(), state.epoch, &mut injected);
+                inject_parameter_fault(&mut tape, fault_plan.as_ref(), state.epoch, &mut injected);
 
-                grad_norm = tape.global_grad_norm();
-                if !grad_norm.is_finite() {
-                    anomaly = Some(TrainAnomaly::NonFiniteGradient {
-                        epoch: state.epoch,
-                        norm: grad_norm,
-                    });
-                } else {
-                    if let Some(max) = cfg.max_grad_norm {
-                        if grad_norm > f64::from(max) {
-                            tape.scale_param_grads((f64::from(max) / grad_norm) as f32);
-                            report.clip_activations += 1;
-                        }
-                    }
-                    let optim_start = Instant::now();
-                    adam.lr = state.lr;
-                    adam.step(&mut tape);
-                    report.optim_s += optim_start.elapsed().as_secs_f64();
-
-                    #[cfg(any(test, feature = "fault-injection"))]
-                    inject_parameter_fault(
-                        &mut tape,
-                        fault_plan.as_ref(),
-                        state.epoch,
-                        &mut injected,
-                    );
-
-                    if !tape.params_all_finite() {
-                        anomaly = Some(TrainAnomaly::NonFiniteParameter { epoch: state.epoch });
-                    }
-                }
-            }
-            let reset_start = Instant::now();
-            tape.reset();
-            report.optim_s += reset_start.elapsed().as_secs_f64();
-
-            if let Some(a) = anomaly {
-                // Recovery policy: roll back to the last good epoch, halve
-                // the learning rate, and retry — up to `max_recoveries`
-                // times, after which the run degrades to the baseline.
-                report.anomalies.push(a);
-                tape.restore_param_values(&last_good.params);
-                adam.import_state(&last_good.adam);
-                let mut st = last_good.state;
-                st.lr *= 0.5;
-                st.recoveries += 1;
-                state = st;
-                last_good.state = st;
-                report.recoveries = st.recoveries;
-                if st.recoveries > cfg.max_recoveries {
-                    degraded = true;
-                    break;
-                }
-                continue;
-            }
-
-            report
-                .epoch_allocs
-                .push(tape.workspace_stats().misses - misses_before);
-            report.epochs_run += 1;
-            report.train_losses.push(train_total);
-            report.val_losses.push(val_total);
-            report.grad_norms.push(grad_norm);
-            state.epoch += 1;
-            if val_total + 1e-5 < state.best_val {
-                state.best_val = val_total;
-                state.since_best = 0;
-                // explicit best-validation checkpoint: imputation runs from
-                // these parameters, not from wherever training stopped
-                tape.snapshot_param_values_into(best_params.get_or_insert_with(Vec::new));
-            } else {
-                state.since_best += 1;
-            }
-            last_good.state = state;
-            tape.snapshot_param_values_into(&mut last_good.params);
-            adam.export_state_into(&mut last_good.adam);
-
-            if let Some(path) = &ckpt_path {
-                if state.epoch.is_multiple_of(checkpoint_every) {
-                    match build_checkpoint(&tape, &adam, &state, &rng, &best_params).save(path) {
-                        Ok(n) => report.checkpoint_bytes = n,
-                        Err(e) => report
-                            .io_errors
-                            .push(format!("checkpoint write failed: {e}")),
-                    }
+                if !tape.params_all_finite() {
+                    anomaly = Some(TrainAnomaly::NonFiniteParameter { epoch: state.epoch });
                 }
             }
         }
-        report.early_stopped = state.since_best >= cfg.patience;
-        report.recoveries = state.recoveries;
+        let reset_start = Instant::now();
+        let reset_span = trace.enter(names::TAPE_RESET, epoch_idx);
+        tape.reset();
+        let reset_dt = reset_start.elapsed().as_secs_f64();
+        report.optim_s += reset_dt;
+        trace.exit_with(names::TAPE_RESET, epoch_idx, reset_span, reset_dt);
 
-        // Final checkpoint, so resuming a finished run is a no-op. Skipped
-        // when degraded: the surviving state is the rolled-back one and the
-        // caller should restart, not resume, such a run.
-        if !degraded {
-            let ck = build_checkpoint(&tape, &adam, &state, &rng, &best_params);
-            match &ckpt_path {
-                Some(path) => match ck.save(path) {
-                    Ok(n) => report.checkpoint_bytes = n,
-                    Err(e) => report
-                        .io_errors
-                        .push(format!("checkpoint write failed: {e}")),
-                },
-                None => report.checkpoint_bytes = ck.to_bytes().len(),
+        if let Some(a) = anomaly {
+            // Recovery policy: roll back to the last good epoch, halve
+            // the learning rate, and retry — up to `max_recoveries`
+            // times, after which the run degrades to the baseline.
+            trace.counter(names::ANOMALY, epoch_idx, anomaly_code(&a));
+            report.anomalies.push(a);
+            tape.restore_param_values(&last_good.params);
+            adam.import_state(&last_good.adam);
+            let mut st = last_good.state;
+            st.lr *= 0.5;
+            st.recoveries += 1;
+            state = st;
+            last_good.state = st;
+            report.recoveries = st.recoveries;
+            trace.counter(names::RECOVERY, epoch_idx, st.recoveries as u64);
+            trace.metric(names::LR, epoch_idx, f64::from(st.lr));
+            trace.exit_with(
+                names::EPOCH_ROLLBACK,
+                epoch_idx,
+                epoch_span,
+                epoch_start.elapsed().as_secs_f64(),
+            );
+            if st.recoveries > cfg.max_recoveries {
+                degraded = true;
+                trace.counter(names::DEGRADED, epoch_idx, 1);
+                break;
             }
+            continue;
         }
 
-        // Imputation (§3.7): one forward pass from the best-validation
-        // parameters, per-column argmax / de-normalized regression. A
-        // degraded run falls back to mode/mean — every missing cell still
-        // gets a value even though the GNN died.
-        let result = if degraded {
-            report.degraded_to_baseline = true;
-            baseline_fill(dirty)
-        } else {
-            if let Some(best) = &best_params {
-                tape.restore_param_values(best);
-            }
-            let mut result = dirty.clone();
-            let x = match persistent_x {
-                Some(x) => x,
-                None => tape.input(feature_tensor.take().expect("legacy path keeps features")),
-            };
-            let h0 = gnn.forward(&mut tape, x);
-            let h = merge.forward(&mut tape, h0);
-            for (j, task) in tasks.iter().enumerate() {
-                let missing: Vec<(usize, usize)> = (0..norm.n_rows())
-                    .filter(|&i| norm.is_missing(i, j))
-                    .map(|i| (i, j))
-                    .collect();
-                if missing.is_empty() {
-                    continue;
-                }
-                let batch = VectorBatch::build(&graph, &norm, &missing, cfg.embed_dim);
-                let out = task.forward(&mut tape, h, &batch);
-                let out_t = tape.value(out).clone();
-                match norm.schema().column(j).kind {
-                    ColumnKind::Categorical => {
-                        if norm.dictionary(j).is_empty() {
-                            continue; // nothing to impute with
-                        }
-                        for (s, &(i, _)) in missing.iter().enumerate() {
-                            let row = out_t.row_slice(s);
-                            let best = row
-                                .iter()
-                                .enumerate()
-                                .max_by(|a, b| a.1.total_cmp(b.1))
-                                .map(|(k, _)| k as u32)
-                                .expect("non-empty logits row");
-                            result.set(i, j, Value::Cat(best));
-                        }
-                    }
-                    ColumnKind::Numerical => {
-                        for (s, &(i, _)) in missing.iter().enumerate() {
-                            let z = f64::from(out_t.get(s, 0));
-                            result.set(i, j, Value::Num(normalizer.inverse(j, z)));
-                        }
-                    }
-                }
-            }
-            tape.reset();
-            result
+        let allocs = tape.workspace_stats().misses - misses_before;
+        let mut stats = EpochStats {
+            epoch: state.epoch,
+            train_loss: train_total,
+            val_loss: val_total,
+            grad_norm,
+            allocs,
+            seconds: 0.0,
+            forward_s: fwd_dt,
+            backward_s: bwd_dt,
+            optim_s: opt_dt + reset_dt,
         };
-        report.seconds = start.elapsed().as_secs_f64();
-        self.last_report = Some(report);
-        result
+        state.epoch += 1;
+        if val_total + 1e-5 < state.best_val {
+            state.best_val = val_total;
+            state.since_best = 0;
+            // explicit best-validation checkpoint: imputation runs from
+            // these parameters, not from wherever training stopped
+            tape.snapshot_param_values_into(best_params.get_or_insert_with(Vec::new));
+        } else {
+            state.since_best += 1;
+        }
+        last_good.state = state;
+        tape.snapshot_param_values_into(&mut last_good.params);
+        adam.export_state_into(&mut last_good.adam);
+
+        if let Some(path) = &ckpt_path {
+            if state.epoch.is_multiple_of(checkpoint_every) {
+                let ck_span = trace.enter(names::CHECKPOINT_SAVE, epoch_idx);
+                match build_checkpoint(&tape, &adam, &state, &rng, &best_params).save(path) {
+                    Ok(n) => {
+                        report.checkpoint_bytes = n;
+                        trace.counter(names::CHECKPOINT_BYTES, epoch_idx, n as u64);
+                    }
+                    Err(e) => {
+                        report
+                            .io_errors
+                            .push(format!("checkpoint write failed: {e}"));
+                        trace.counter(names::IO_ERROR, report.io_errors.len() as u64, 1);
+                    }
+                }
+                trace.exit(names::CHECKPOINT_SAVE, epoch_idx, ck_span);
+            }
+        }
+        let epoch_dt = epoch_start.elapsed().as_secs_f64();
+        stats.seconds = epoch_dt;
+        trace.metric(names::TRAIN_LOSS, epoch_idx, f64::from(train_total));
+        trace.metric(names::VAL_LOSS, epoch_idx, f64::from(val_total));
+        trace.metric(names::GRAD_NORM, epoch_idx, grad_norm);
+        trace.counter(names::EPOCH_ALLOCS, epoch_idx, allocs);
+        trace.exit_with(names::EPOCH, epoch_idx, epoch_span, epoch_dt);
+        report.push_epoch(stats);
+    }
+    report.early_stopped = state.since_best >= cfg.patience;
+    if report.early_stopped {
+        trace.counter(names::EARLY_STOP, state.epoch as u64, 1);
+    }
+    report.recoveries = state.recoveries;
+    report.degraded_to_baseline = degraded;
+
+    // Final checkpoint, so resuming a finished run is a no-op. Skipped
+    // when degraded: the surviving state is the rolled-back one and the
+    // caller should restart, not resume, such a run.
+    if !degraded {
+        let ck_span = trace.enter(names::CHECKPOINT_SAVE, state.epoch as u64);
+        let ck = build_checkpoint(&tape, &adam, &state, &rng, &best_params);
+        match &ckpt_path {
+            Some(path) => match ck.save(path) {
+                Ok(n) => report.checkpoint_bytes = n,
+                Err(e) => {
+                    report
+                        .io_errors
+                        .push(format!("checkpoint write failed: {e}"));
+                    trace.counter(names::IO_ERROR, report.io_errors.len() as u64, 1);
+                }
+            },
+            None => report.checkpoint_bytes = ck.to_bytes().len(),
+        }
+        if report.checkpoint_bytes > 0 {
+            trace.counter(
+                names::CHECKPOINT_BYTES,
+                state.epoch as u64,
+                report.checkpoint_bytes as u64,
+            );
+        }
+        trace.exit(names::CHECKPOINT_SAVE, state.epoch as u64, ck_span);
+    }
+
+    let fit_dt = fit_start.elapsed().as_secs_f64();
+    report.seconds = fit_dt;
+    trace.exit_with(names::FIT, 0, fit_span, fit_dt);
+    let _ = trace.flush();
+
+    let dictionaries: Vec<Vec<String>> = (0..n_cols)
+        .map(|j| match norm.schema().column(j).kind {
+            ColumnKind::Categorical => norm.dictionary(j).to_vec(),
+            ColumnKind::Numerical => Vec::new(),
+        })
+        .collect();
+    FittedModel {
+        config: cfg.clone(),
+        normalizer,
+        norm,
+        train_dirty: dirty.clone(),
+        graph,
+        tape,
+        gnn,
+        merge,
+        tasks,
+        persistent_x,
+        feature_tensor,
+        best_params,
+        degraded,
+        dictionaries,
+        ft_seed,
+        needs_rebind: false,
+        report,
     }
 }
 
@@ -674,12 +982,7 @@ fn fault_due(
 
 impl Imputer for Grimp {
     fn name(&self) -> &str {
-        match (self.config.task_kind, self.config.features) {
-            (crate::config::TaskKind::Linear, _) => "GRIMP-linear",
-            (_, grimp_graph::FeatureSource::Embdi) => "GRIMP-E",
-            (_, grimp_graph::FeatureSource::FastText) => "GRIMP-FT",
-            (_, grimp_graph::FeatureSource::Random) => "GRIMP-rand",
-        }
+        variant_name(&self.config)
     }
 
     fn impute(&mut self, dirty: &Table) -> Table {
@@ -838,7 +1141,8 @@ mod tests {
         assert!(acc > 0.5, "categorical accuracy too low: {acc}");
         let report = model.last_report().unwrap();
         assert!(report.epochs_run > 0);
-        assert_eq!(report.train_losses.len(), report.epochs_run);
+        assert_eq!(report.train_losses().len(), report.epochs_run);
+        assert_eq!(report.epochs.len(), report.epochs_run);
     }
 
     #[test]
@@ -1032,8 +1336,8 @@ mod tests {
         let report = model.last_report().unwrap();
         assert!(report.clip_activations > 0);
         assert_eq!(report.clip_activations, report.epochs_run);
-        assert!(report.grad_norms.iter().all(|n| n.is_finite()));
-        assert_eq!(report.grad_norms.len(), report.epochs_run);
+        assert!(report.grad_norms().iter().all(|n| n.is_finite()));
+        assert_eq!(report.grad_norms().len(), report.epochs_run);
     }
 
     #[test]
@@ -1047,7 +1351,7 @@ mod tests {
         assert_eq!(report.anomalies_detected(), 0);
         assert_eq!(report.recoveries, 0);
         assert_eq!(report.clip_activations, 0, "default threshold never fires");
-        assert_eq!(report.grad_norms.len(), report.epochs_run);
+        assert_eq!(report.grad_norms().len(), report.epochs_run);
         assert!(
             report.checkpoint_bytes > 0,
             "size is reported even w/o disk"
@@ -1145,5 +1449,44 @@ mod tests {
             Grimp::new(tiny_config(TaskKind::Linear)).name(),
             "GRIMP-linear"
         );
+    }
+
+    #[test]
+    fn fitted_model_imputes_the_training_table_like_fit_impute() {
+        let clean = functional_table(60);
+        let mut dirty = clean.clone();
+        inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(11));
+        let cfg = tiny_config(TaskKind::Attention);
+        let reference = Grimp::new(cfg.clone()).fit_impute(&dirty);
+        let mut sink = NullSink;
+        let mut fitted = fit_model(&cfg, &FdSet::empty(), &dirty, &mut sink);
+        let via_pipeline = fitted.impute(&dirty);
+        assert_tables_bit_identical(&reference, &via_pipeline);
+        // a second impute of the same table is stable
+        let again = fitted.impute(&dirty);
+        assert_tables_bit_identical(&reference, &again);
+    }
+
+    #[test]
+    fn fitted_model_imputes_unseen_tables_inductively() {
+        let clean = functional_table(80);
+        let mut dirty = clean.clone();
+        inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(12));
+        let cfg = tiny_config(TaskKind::Attention);
+        let mut sink = NullSink;
+        let mut fitted = fit_model(&cfg, &FdSet::empty(), &dirty, &mut sink);
+
+        // an unseen table over the same schema and value domain
+        let unseen_clean = functional_table(40);
+        let mut unseen = unseen_clean.clone();
+        let log = inject_mcar(&mut unseen, 0.15, &mut StdRng::seed_from_u64(13));
+        let imputed = fitted.impute(&unseen);
+        check_imputation_contract(&unseen, &imputed).unwrap();
+        let acc = cat_accuracy(&log, &imputed);
+        assert!(acc > 0.5, "inductive accuracy too low: {acc}");
+
+        // and the model can go back to its training table afterwards
+        let back = fitted.impute(&dirty);
+        check_imputation_contract(&dirty, &back).unwrap();
     }
 }

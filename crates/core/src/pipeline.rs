@@ -1,0 +1,167 @@
+//! The high-level imputation pipeline: validated configuration in, fitted
+//! model out.
+//!
+//! [`Pipeline`] is the front door of the crate for fit-once/impute-many
+//! use. It validates the configuration up front (returning a
+//! [`ConfigError`] instead of panicking mid-training), and
+//! [`Pipeline::fit`] returns a [`FittedModel`] that can impute the
+//! training table (transductive, paper §3.7) or — with FastText features —
+//! schema-compatible unseen tables (inductive).
+//!
+//! ```
+//! use grimp::{GrimpConfig, Pipeline};
+//! use grimp_table::{ColumnKind, Schema, Table};
+//!
+//! let schema = Schema::from_pairs(&[("a", ColumnKind::Categorical)]);
+//! let dirty = Table::from_rows(
+//!     schema,
+//!     &[vec![Some("x")], vec![Some("x")], vec![None]],
+//! );
+//! let config = GrimpConfig::builder()
+//!     .max_epochs(3)
+//!     .seed(1)
+//!     .build()
+//!     .expect("valid config");
+//! let mut fitted = Pipeline::new(config).expect("validated").fit(&dirty);
+//! let imputed = fitted.impute(&dirty);
+//! assert_eq!(imputed.n_missing(), 0);
+//! ```
+
+use grimp_obs::{EventSink, NullSink};
+use grimp_table::{FdSet, Table};
+
+use crate::config::{ConfigError, GrimpConfig};
+use crate::model::{fit_model, variant_name, FittedModel};
+
+/// A validated, ready-to-fit GRIMP pipeline.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    config: GrimpConfig,
+    fds: FdSet,
+}
+
+impl Pipeline {
+    /// Build a pipeline after validating `config` (see
+    /// [`GrimpConfig::validate`] for the checks).
+    pub fn new(config: GrimpConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Pipeline {
+            config,
+            fds: FdSet::empty(),
+        })
+    }
+
+    /// Attach functional dependencies, exploited by the attention `K`
+    /// matrices under
+    /// [`KStrategy::WeakDiagonalFd`](crate::config::KStrategy::WeakDiagonalFd).
+    pub fn with_fds(mut self, fds: FdSet) -> Self {
+        self.fds = fds;
+        self
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &GrimpConfig {
+        &self.config
+    }
+
+    /// The GRIMP variant name this pipeline trains (paper §4.3 naming).
+    pub fn name(&self) -> &'static str {
+        variant_name(&self.config)
+    }
+
+    /// Train on the dirty table (self-supervised) and return the fitted
+    /// inference handle.
+    pub fn fit(&self, dirty: &Table) -> FittedModel {
+        let mut sink = NullSink;
+        self.fit_traced(dirty, &mut sink)
+    }
+
+    /// [`Pipeline::fit`] with structured events streamed into `sink` (see
+    /// [`grimp_obs::names`] for the vocabulary).
+    pub fn fit_traced(&self, dirty: &Table, sink: &mut dyn EventSink) -> FittedModel {
+        fit_model(&self.config, &self.fds, dirty, sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grimp_table::{check_imputation_contract, inject_mcar, ColumnKind, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_table(n: usize) -> Table {
+        let schema = Schema::from_pairs(&[
+            ("a", ColumnKind::Categorical),
+            ("b", ColumnKind::Categorical),
+        ]);
+        let mut t = Table::empty(schema);
+        for i in 0..n {
+            let a = format!("a{}", i % 3);
+            let b = format!("b{}", i % 3);
+            t.push_str_row(&[Some(&a), Some(&b)]);
+        }
+        t
+    }
+
+    fn quick_config() -> GrimpConfig {
+        GrimpConfig::builder()
+            .feature_dim(8)
+            .gnn(grimp_gnn::GnnConfig {
+                layers: 2,
+                hidden: 8,
+                ..Default::default()
+            })
+            .merge_hidden(16)
+            .embed_dim(8)
+            .max_epochs(15)
+            .patience(15)
+            .learning_rate(2e-2)
+            .seed(5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pipeline_rejects_invalid_configs_up_front() {
+        let bad = GrimpConfig {
+            resume: true,
+            ..GrimpConfig::fast()
+        };
+        assert_eq!(
+            Pipeline::new(bad).unwrap_err(),
+            ConfigError::ResumeWithoutCheckpointDir
+        );
+    }
+
+    #[test]
+    fn pipeline_names_the_variant() {
+        let p = Pipeline::new(GrimpConfig::fast()).unwrap();
+        assert_eq!(p.name(), "GRIMP-FT");
+        let p = Pipeline::new(GrimpConfig::fast().with_linear_tasks()).unwrap();
+        assert_eq!(p.name(), "GRIMP-linear");
+    }
+
+    #[test]
+    fn fit_then_impute_fills_every_missing_cell() {
+        let mut dirty = small_table(45);
+        inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(2));
+        let pipeline = Pipeline::new(quick_config()).unwrap();
+        let mut fitted = pipeline.fit(&dirty);
+        assert!(!fitted.is_degraded());
+        assert!(fitted.report().epochs_run > 0);
+        let imputed = fitted.impute(&dirty);
+        check_imputation_contract(&dirty, &imputed).unwrap();
+        assert_eq!(imputed.n_missing(), 0);
+    }
+
+    #[test]
+    fn report_seconds_accumulate_over_imputes() {
+        let mut dirty = small_table(30);
+        inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(3));
+        let mut fitted = Pipeline::new(quick_config()).unwrap().fit(&dirty);
+        let after_fit = fitted.report().seconds;
+        let _ = fitted.impute(&dirty);
+        assert!(fitted.report().seconds > after_fit);
+    }
+}

@@ -1,0 +1,317 @@
+//! Training reports: a thin run summary ([`TrainReport`]) plus per-epoch
+//! [`EpochStats`], both derivable from a recorded observability event
+//! stream via [`TrainReport::from_events`].
+//!
+//! Historically `TrainReport` was a grab-bag of parallel per-epoch vectors
+//! (`train_losses`, `val_losses`, `grad_norms`, `epoch_allocs`) that grew
+//! a field per PR. Those fields are gone: per-epoch data now lives in one
+//! `Vec<EpochStats>`, and the old names survive as accessor methods so
+//! benches and experiment code keep reading the same numbers.
+
+use grimp_obs::{Event, EventKind};
+
+use crate::fault::TrainAnomaly;
+
+/// Everything measured about one *completed* training epoch. Epoch
+/// attempts undone by the divergence guard's rollback are not recorded
+/// here (their time still counts in the [`TrainReport`] phase totals).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EpochStats {
+    /// Epoch number (resumes continue the count from the checkpoint).
+    pub epoch: usize,
+    /// Summed training loss over all tasks.
+    pub train_loss: f32,
+    /// Summed validation loss over all tasks.
+    pub val_loss: f32,
+    /// Global L2 gradient norm before clipping.
+    pub grad_norm: f64,
+    /// Workspace allocation misses during the epoch. With the optimized
+    /// hot path every epoch after the first reports 0.
+    pub allocs: u64,
+    /// Wall-clock seconds of the whole epoch.
+    pub seconds: f64,
+    /// Seconds in the forward passes (training + validation).
+    pub forward_s: f64,
+    /// Seconds in the backward pass.
+    pub backward_s: f64,
+    /// Seconds in the optimizer step plus tape reset.
+    pub optim_s: f64,
+}
+
+/// Outcome of one training run: a run summary plus per-epoch stats.
+///
+/// The report is equivalently computable from a recorded event stream —
+/// [`TrainReport::from_events`] on the events of a run reproduces the
+/// aggregate fields bit-for-bit (free-text payloads such as I/O error
+/// messages carry placeholders, since events hold no strings).
+#[derive(Clone, Debug, Default)]
+pub struct TrainReport {
+    /// Epochs actually executed (in this process — excludes epochs replayed
+    /// from a resumed checkpoint).
+    pub epochs_run: usize,
+    /// Per-epoch statistics for every completed epoch, in order.
+    pub epochs: Vec<EpochStats>,
+    /// Whether early stopping fired before `max_epochs`.
+    pub early_stopped: bool,
+    /// Wall-clock seconds of training, plus every imputation pass made
+    /// through the same fitted model.
+    pub seconds: f64,
+    /// Seconds in forward passes, including rolled-back epoch attempts.
+    pub forward_s: f64,
+    /// Seconds in backward passes, including rolled-back epoch attempts.
+    pub backward_s: f64,
+    /// Seconds in optimizer steps plus tape resets, including rolled-back
+    /// epoch attempts.
+    pub optim_s: f64,
+    /// Scalar parameters actually allocated on the tape.
+    pub n_weights: usize,
+    /// Number of epochs on which gradient clipping rescaled the gradients.
+    pub clip_activations: usize,
+    /// Divergences detected by the per-epoch guard, in detection order.
+    pub anomalies: Vec<TrainAnomaly>,
+    /// Rollback recoveries consumed by this run.
+    pub recoveries: usize,
+    /// Serialized size of the final training checkpoint, in bytes.
+    pub checkpoint_bytes: usize,
+    /// Whether the run exhausted `max_recoveries` and fell back to the
+    /// mode/mean baseline imputer.
+    pub degraded_to_baseline: bool,
+    /// Epoch count restored from a disk checkpoint, when resuming.
+    pub resumed_from_epoch: Option<usize>,
+    /// Non-fatal checkpoint I/O problems (failed resume or write). Training
+    /// continues; the messages are surfaced here for observability.
+    pub io_errors: Vec<String>,
+}
+
+impl TrainReport {
+    /// Number of anomalies the divergence guard detected.
+    pub fn anomalies_detected(&self) -> usize {
+        self.anomalies.len()
+    }
+
+    /// Per-epoch summed training loss (accessor over [`TrainReport::epochs`];
+    /// replaces the former `train_losses` field).
+    pub fn train_losses(&self) -> Vec<f32> {
+        self.epochs.iter().map(|e| e.train_loss).collect()
+    }
+
+    /// Per-epoch summed validation loss (replaces the former `val_losses`
+    /// field).
+    pub fn val_losses(&self) -> Vec<f32> {
+        self.epochs.iter().map(|e| e.val_loss).collect()
+    }
+
+    /// Global L2 gradient norm per completed epoch (replaces the former
+    /// `grad_norms` field).
+    pub fn grad_norms(&self) -> Vec<f64> {
+        self.epochs.iter().map(|e| e.grad_norm).collect()
+    }
+
+    /// Per-epoch workspace allocation counts (replaces the former
+    /// `epoch_allocs` field). With the optimized hot path every entry after
+    /// the first is 0.
+    pub fn epoch_allocs(&self) -> Vec<u64> {
+        self.epochs.iter().map(|e| e.allocs).collect()
+    }
+
+    /// Append the stats of one completed epoch and bump `epochs_run`.
+    pub fn push_epoch(&mut self, stats: EpochStats) {
+        self.epochs.push(stats);
+        self.epochs_run += 1;
+    }
+
+    /// Reconstruct a report from a recorded event stream (see
+    /// [`grimp_obs::names`] for the event vocabulary).
+    ///
+    /// The scan mirrors the emission protocol of the training loop:
+    /// forward/backward/optim span exits accumulate into both the run
+    /// totals and a pending-attempt buffer; an `epoch` span exit commits
+    /// the pending attempt as a completed [`EpochStats`]; an
+    /// `epoch_rollback` span exit discards it. Aggregates come out
+    /// bit-identical to the live report because the trace carries the very
+    /// same measured values, summed in the same order. String payloads
+    /// (I/O error messages, anomaly loss values) are not recorded in
+    /// events, so those fields hold placeholders.
+    pub fn from_events(events: &[Event]) -> TrainReport {
+        use grimp_obs::names;
+
+        let mut report = TrainReport::default();
+        let mut pending = EpochStats::default();
+        let mut att_forward = 0.0f64;
+        let mut att_backward = 0.0f64;
+        let mut att_optim = 0.0f64;
+        for e in events {
+            match (e.kind, e.name) {
+                (EventKind::SpanExit, names::FORWARD) => {
+                    report.forward_s += e.value;
+                    att_forward += e.value;
+                }
+                (EventKind::SpanExit, names::BACKWARD) => {
+                    report.backward_s += e.value;
+                    att_backward += e.value;
+                }
+                (EventKind::SpanExit, names::OPTIM) | (EventKind::SpanExit, names::TAPE_RESET) => {
+                    report.optim_s += e.value;
+                    att_optim += e.value;
+                }
+                (EventKind::Metric, names::TRAIN_LOSS) => pending.train_loss = e.value as f32,
+                (EventKind::Metric, names::VAL_LOSS) => pending.val_loss = e.value as f32,
+                (EventKind::Metric, names::GRAD_NORM) => pending.grad_norm = e.value,
+                (EventKind::Counter, names::EPOCH_ALLOCS) => pending.allocs = e.value as u64,
+                (EventKind::SpanExit, names::EPOCH) => {
+                    pending.epoch = e.index as usize;
+                    pending.seconds = e.value;
+                    pending.forward_s = att_forward;
+                    pending.backward_s = att_backward;
+                    pending.optim_s = att_optim;
+                    report.push_epoch(pending);
+                    pending = EpochStats::default();
+                    (att_forward, att_backward, att_optim) = (0.0, 0.0, 0.0);
+                }
+                (EventKind::SpanExit, names::EPOCH_ROLLBACK) => {
+                    pending = EpochStats::default();
+                    (att_forward, att_backward, att_optim) = (0.0, 0.0, 0.0);
+                }
+                (EventKind::Counter, names::ANOMALY) => {
+                    let epoch = e.index as usize;
+                    report.anomalies.push(match e.value as u32 {
+                        0 => TrainAnomaly::NonFiniteLoss {
+                            epoch,
+                            train: f32::NAN,
+                            val: f32::NAN,
+                        },
+                        1 => TrainAnomaly::NonFiniteGradient {
+                            epoch,
+                            norm: f64::NAN,
+                        },
+                        _ => TrainAnomaly::NonFiniteParameter { epoch },
+                    });
+                }
+                (EventKind::Counter, names::RECOVERY) => report.recoveries = e.value as usize,
+                (EventKind::Counter, names::GRAD_CLIP) => report.clip_activations += 1,
+                (EventKind::Counter, names::N_WEIGHTS) => report.n_weights = e.value as usize,
+                (EventKind::Counter, names::CHECKPOINT_BYTES) => {
+                    report.checkpoint_bytes = e.value as usize
+                }
+                (EventKind::Counter, names::RESUME) => {
+                    report.resumed_from_epoch = Some(e.index as usize)
+                }
+                (EventKind::Counter, names::IO_ERROR) => report
+                    .io_errors
+                    .push("io error (message in the live report only)".to_string()),
+                (EventKind::Counter, names::EARLY_STOP) => report.early_stopped = true,
+                (EventKind::Counter, names::DEGRADED) => report.degraded_to_baseline = true,
+                // `seconds` accumulates in encounter order — the fit span
+                // exits before any impute span, matching the live order of
+                // assignment (fit sets `seconds`, each imputation adds).
+                (EventKind::SpanExit, names::FIT) | (EventKind::SpanExit, names::IMPUTE) => {
+                    report.seconds += e.value
+                }
+                _ => {}
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grimp_obs::{names, MemorySink, Trace};
+
+    #[test]
+    fn accessors_project_the_epoch_stats() {
+        let mut report = TrainReport::default();
+        report.push_epoch(EpochStats {
+            epoch: 0,
+            train_loss: 2.0,
+            val_loss: 1.5,
+            grad_norm: 0.25,
+            allocs: 100,
+            ..Default::default()
+        });
+        report.push_epoch(EpochStats {
+            epoch: 1,
+            train_loss: 1.0,
+            val_loss: 0.75,
+            grad_norm: 0.125,
+            allocs: 0,
+            ..Default::default()
+        });
+        assert_eq!(report.epochs_run, 2);
+        assert_eq!(report.train_losses(), vec![2.0, 1.0]);
+        assert_eq!(report.val_losses(), vec![1.5, 0.75]);
+        assert_eq!(report.grad_norms(), vec![0.25, 0.125]);
+        assert_eq!(report.epoch_allocs(), vec![100, 0]);
+    }
+
+    #[test]
+    fn from_events_reconstructs_epochs_and_discards_rollbacks() {
+        let mut sink = MemorySink::new();
+        {
+            let mut trace = Trace::new(&mut sink);
+            let fit = trace.enter(names::FIT, 0);
+            trace.counter(names::N_WEIGHTS, 0, 500);
+
+            // A rolled-back attempt at epoch 0.
+            let ep = trace.enter(names::EPOCH, 0);
+            let f = trace.enter(names::FORWARD, 0);
+            trace.exit_with(names::FORWARD, 0, f, 0.5);
+            let r = trace.enter(names::TAPE_RESET, 0);
+            trace.exit_with(names::TAPE_RESET, 0, r, 0.01);
+            trace.counter(names::ANOMALY, 0, 0);
+            trace.counter(names::RECOVERY, 0, 1);
+            trace.exit_with(names::EPOCH_ROLLBACK, 0, ep, 0.6);
+
+            // A completed retry of epoch 0.
+            let ep = trace.enter(names::EPOCH, 0);
+            let f = trace.enter(names::FORWARD, 0);
+            trace.exit_with(names::FORWARD, 0, f, 0.25);
+            let b = trace.enter(names::BACKWARD, 0);
+            trace.exit_with(names::BACKWARD, 0, b, 0.125);
+            let o = trace.enter(names::OPTIM, 0);
+            trace.exit_with(names::OPTIM, 0, o, 0.0625);
+            let r = trace.enter(names::TAPE_RESET, 0);
+            trace.exit_with(names::TAPE_RESET, 0, r, 0.03125);
+            trace.metric(names::TRAIN_LOSS, 0, 2.5);
+            trace.metric(names::VAL_LOSS, 0, 1.25);
+            trace.metric(names::GRAD_NORM, 0, 0.5);
+            trace.counter(names::EPOCH_ALLOCS, 0, 7);
+            trace.exit_with(names::EPOCH, 0, ep, 0.5);
+
+            trace.counter(names::EARLY_STOP, 1, 1);
+            trace.counter(names::CHECKPOINT_BYTES, 0, 4096);
+            trace.exit_with(names::FIT, 0, fit, 2.0);
+            let imp = trace.enter(names::IMPUTE, 0);
+            trace.exit_with(names::IMPUTE, 0, imp, 0.25);
+        }
+        let report = TrainReport::from_events(sink.events());
+        assert_eq!(report.epochs_run, 1);
+        assert_eq!(report.epochs.len(), 1);
+        let e = report.epochs[0];
+        assert_eq!(e.epoch, 0);
+        assert_eq!(e.train_loss, 2.5);
+        assert_eq!(e.val_loss, 1.25);
+        assert_eq!(e.grad_norm, 0.5);
+        assert_eq!(e.allocs, 7);
+        assert_eq!(e.seconds, 0.5);
+        assert_eq!(e.forward_s, 0.25, "rollback forward time not attributed");
+        assert_eq!(e.backward_s, 0.125);
+        assert_eq!(e.optim_s, 0.0625 + 0.03125);
+        // Run totals DO include the rolled-back attempt.
+        assert_eq!(report.forward_s, 0.5 + 0.25);
+        assert_eq!(report.optim_s, 0.01 + 0.0625 + 0.03125);
+        assert_eq!(report.anomalies_detected(), 1);
+        assert!(matches!(
+            report.anomalies[0],
+            TrainAnomaly::NonFiniteLoss { epoch: 0, .. }
+        ));
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(report.n_weights, 500);
+        assert_eq!(report.checkpoint_bytes, 4096);
+        assert!(report.early_stopped);
+        assert_eq!(report.seconds, 0.25 + 2.0);
+        assert!(!report.degraded_to_baseline);
+        assert!(report.resumed_from_epoch.is_none());
+    }
+}

@@ -71,9 +71,8 @@ pub fn select_config(
         let _ = model.fit_impute(dirty);
         let report = model.last_report().expect("probe fit ran");
         let val_loss = report
-            .val_losses
-            .iter()
-            .copied()
+            .val_losses()
+            .into_iter()
             .fold(f32::INFINITY, f32::min);
         results.push((
             i,

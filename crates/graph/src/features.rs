@@ -86,6 +86,25 @@ pub fn build_features(
     }
 }
 
+/// [`build_features`] wrapped in a [`grimp_obs::names::FEATURE_INIT`] span,
+/// also emitting the feature dimensionality as a counter.
+pub fn build_features_traced(
+    graph: &TableGraph,
+    table: &Table,
+    source: FeatureSource,
+    dim: usize,
+    embdi_cfg: &EmbdiConfig,
+    rng: &mut impl Rng,
+    trace: &mut grimp_obs::Trace<'_>,
+) -> NodeFeatures {
+    use grimp_obs::names;
+    let span = trace.enter(names::FEATURE_INIT, 0);
+    let features = build_features(graph, table, source, dim, embdi_cfg, rng);
+    trace.counter(names::FEATURE_DIM, 0, features.dim as u64);
+    trace.exit(names::FEATURE_INIT, 0, span);
+    features
+}
+
 fn random_features(graph: &TableGraph, dim: usize, rng: &mut impl Rng) -> NodeFeatures {
     let n = graph.n_nodes();
     let mut node_matrix: Vec<f32> = (0..n * dim).map(|_| rng.gen::<f32>() - 0.5).collect();

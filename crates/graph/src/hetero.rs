@@ -129,6 +129,23 @@ impl TableGraph {
         }
     }
 
+    /// [`TableGraph::build`] wrapped in a [`grimp_obs::names::GRAPH_BUILD`]
+    /// span, also emitting node/edge counters into the trace.
+    pub fn build_traced(
+        table: &Table,
+        config: GraphConfig,
+        excluded: &[(usize, usize)],
+        trace: &mut grimp_obs::Trace<'_>,
+    ) -> Self {
+        use grimp_obs::names;
+        let span = trace.enter(names::GRAPH_BUILD, 0);
+        let graph = Self::build(table, config, excluded);
+        trace.counter(names::GRAPH_NODES, 0, graph.n_nodes() as u64);
+        trace.counter(names::GRAPH_EDGES, 0, graph.n_edges() as u64);
+        trace.exit(names::GRAPH_BUILD, 0, span);
+        graph
+    }
+
     /// Total node count (RID + cell nodes).
     pub fn n_nodes(&self) -> usize {
         self.labels.len()

@@ -22,5 +22,7 @@ pub mod hetero;
 
 pub use embdi::{train_embdi, EmbdiConfig, EmbdiEmbeddings};
 pub use fasttext::FastTextLike;
-pub use features::{build_features, fasttext_features, FeatureSource, NodeFeatures};
+pub use features::{
+    build_features, build_features_traced, fasttext_features, FeatureSource, NodeFeatures,
+};
 pub use hetero::{format_rounded, value_key, GraphConfig, NodeLabel, TableGraph, TypedEdges};

@@ -1,0 +1,394 @@
+//! # grimp-obs
+//!
+//! Dependency-free structured observability for the GRIMP stack.
+//!
+//! The model of this crate is a flat, allocation-free **event stream**:
+//! every instrumented phase of a run (graph build, feature init, each
+//! training epoch and its forward/backward/optim sub-phases, per-task
+//! losses, checkpoint I/O, recovery, imputation) emits [`Event`]s into an
+//! [`EventSink`]. Three primitives cover everything:
+//!
+//! - **spans** — paired [`EventKind::SpanEnter`]/[`EventKind::SpanExit`]
+//!   events carrying monotonic nanosecond timestamps; the exit event's
+//!   `value` is the span duration in seconds;
+//! - **counters** — monotone integral facts (`epoch_allocs`,
+//!   `checkpoint_bytes`, `graph_nodes`);
+//! - **metrics** — floating-point observations (`train_loss`, `grad_norm`,
+//!   per-task losses), with [`Histogram`] available for aggregation.
+//!
+//! Sinks:
+//!
+//! - [`NullSink`] — reports itself disabled, so a [`Trace`] built on it
+//!   performs **no clock reads, no virtual calls, and no allocations** in
+//!   the hot path (verified by a counting-global-allocator test);
+//! - [`MemorySink`] — buffers events in memory for tests and aggregation;
+//! - [`JsonlSink`] — streams events as JSON Lines to any writer, using the
+//!   hand-rolled serializer in [`json`] (parseable back with
+//!   [`json::parse`]);
+//! - [`FanoutSink`] — tees one stream into several sinks.
+//!
+//! Events carry `&'static str` names and plain numbers only — no `String`
+//! payloads — so recording an event never allocates. The canonical names
+//! used by the GRIMP pipeline live in [`names`].
+
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+
+pub mod histogram;
+pub mod json;
+mod sink;
+
+pub use histogram::Histogram;
+pub use sink::{FanoutSink, JsonlSink, MemorySink};
+
+use std::time::Instant;
+
+/// The four event primitives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A phase began. `t_ns` is the enter time.
+    SpanEnter,
+    /// A phase ended. `value` is the phase duration in **seconds**.
+    SpanExit,
+    /// An integral fact; `value` holds it (exactly, below 2^53).
+    Counter,
+    /// A floating-point observation.
+    Metric,
+}
+
+impl EventKind {
+    /// Stable lowercase label used in the JSONL encoding.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::SpanEnter => "span_enter",
+            EventKind::SpanExit => "span_exit",
+            EventKind::Counter => "counter",
+            EventKind::Metric => "metric",
+        }
+    }
+
+    /// Inverse of [`EventKind::label`].
+    pub fn from_label(label: &str) -> Option<EventKind> {
+        Some(match label {
+            "span_enter" => EventKind::SpanEnter,
+            "span_exit" => EventKind::SpanExit,
+            "counter" => EventKind::Counter,
+            "metric" => EventKind::Metric,
+            _ => return None,
+        })
+    }
+}
+
+/// One observation. `Copy`, no heap payload: recording never allocates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Event {
+    /// Monotonic nanoseconds since the owning [`Trace`]'s origin.
+    pub t_ns: u64,
+    /// Which primitive this is.
+    pub kind: EventKind,
+    /// Static event name (see [`names`] for the pipeline's vocabulary).
+    pub name: &'static str,
+    /// Discriminator within a name: epoch number, task id, … (0 if unused).
+    pub index: u64,
+    /// Kind-dependent payload: span duration in seconds for
+    /// [`EventKind::SpanExit`], the count for [`EventKind::Counter`], the
+    /// observation for [`EventKind::Metric`], 0.0 for enters.
+    pub value: f64,
+}
+
+/// Receiver of an event stream.
+pub trait EventSink {
+    /// Whether recording does anything. A [`Trace`] built on a disabled
+    /// sink short-circuits before reading clocks or dispatching events.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record one event.
+    fn record(&mut self, event: Event);
+
+    /// Flush any buffered output, surfacing deferred I/O errors.
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The zero-overhead sink: discards everything and reports itself
+/// disabled, letting instrumented code compile out the clock reads.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: Event) {}
+}
+
+/// Token returned by [`Trace::enter`], consumed by [`Trace::exit`].
+#[derive(Debug)]
+#[must_use = "a span must be closed with Trace::exit or Trace::exit_with"]
+pub struct Span {
+    start_ns: u64,
+}
+
+/// Borrowed emission handle: a sink plus a monotonic clock origin.
+///
+/// Construction checks [`EventSink::enabled`] once; on a disabled sink
+/// every method is a branch on a `None` and nothing else — no time reads,
+/// no virtual dispatch, no allocation.
+pub struct Trace<'a> {
+    sink: Option<&'a mut dyn EventSink>,
+    origin: Instant,
+}
+
+impl<'a> Trace<'a> {
+    /// A trace emitting into `sink` (no-op if the sink is disabled).
+    pub fn new(sink: &'a mut dyn EventSink) -> Trace<'a> {
+        let enabled = sink.enabled();
+        Trace {
+            sink: if enabled { Some(sink) } else { None },
+            origin: Instant::now(),
+        }
+    }
+
+    /// A trace that records nothing (cheaper than `Trace::new(&mut NullSink)`
+    /// only in that it needs no sink to borrow).
+    pub fn disabled() -> Trace<'static> {
+        Trace {
+            sink: None,
+            origin: Instant::now(),
+        }
+    }
+
+    /// Whether events are being recorded. Use to skip *computing* expensive
+    /// observations, not just emitting them.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    fn now_ns(origin: Instant) -> u64 {
+        u64::try_from(origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Open a span. Emits [`EventKind::SpanEnter`] now.
+    pub fn enter(&mut self, name: &'static str, index: u64) -> Span {
+        match &mut self.sink {
+            Some(sink) => {
+                let t_ns = Self::now_ns(self.origin);
+                sink.record(Event {
+                    t_ns,
+                    kind: EventKind::SpanEnter,
+                    name,
+                    index,
+                    value: 0.0,
+                });
+                Span { start_ns: t_ns }
+            }
+            None => Span { start_ns: 0 },
+        }
+    }
+
+    /// Close a span, deriving the duration from the trace clock.
+    pub fn exit(&mut self, name: &'static str, index: u64, span: Span) {
+        if self.sink.is_some() {
+            let seconds = (Self::now_ns(self.origin) - span.start_ns) as f64 * 1e-9;
+            self.exit_with(name, index, span, seconds);
+        }
+    }
+
+    /// Close a span with an externally measured duration, so callers that
+    /// already time a phase (e.g. for a report) emit the *same* number
+    /// into the trace instead of a slightly different second measurement.
+    pub fn exit_with(&mut self, name: &'static str, index: u64, span: Span, seconds: f64) {
+        let _ = span;
+        if let Some(sink) = &mut self.sink {
+            sink.record(Event {
+                t_ns: Self::now_ns(self.origin),
+                kind: EventKind::SpanExit,
+                name,
+                index,
+                value: seconds,
+            });
+        }
+    }
+
+    /// Record an integral fact.
+    pub fn counter(&mut self, name: &'static str, index: u64, value: u64) {
+        if let Some(sink) = &mut self.sink {
+            sink.record(Event {
+                t_ns: Self::now_ns(self.origin),
+                kind: EventKind::Counter,
+                name,
+                index,
+                value: value as f64,
+            });
+        }
+    }
+
+    /// Record a floating-point observation.
+    pub fn metric(&mut self, name: &'static str, index: u64, value: f64) {
+        if let Some(sink) = &mut self.sink {
+            sink.record(Event {
+                t_ns: Self::now_ns(self.origin),
+                kind: EventKind::Metric,
+                name,
+                index,
+                value,
+            });
+        }
+    }
+
+    /// Flush the underlying sink.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        match &mut self.sink {
+            Some(sink) => sink.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Canonical event names emitted by the GRIMP pipeline. Indices: `epoch`
+/// events use the epoch number, `task_*` events the task (column) id.
+pub mod names {
+    /// Whole training phase (graph + features + epochs), excludes imputation.
+    pub const FIT: &str = "fit";
+    /// Table-to-graph construction ([`SpanExit` value][crate::EventKind] in seconds).
+    pub const GRAPH_BUILD: &str = "graph_build";
+    /// Number of graph nodes (counter, emitted after the build span).
+    pub const GRAPH_NODES: &str = "graph_nodes";
+    /// Number of graph edges across all typed edge sets (counter).
+    pub const GRAPH_EDGES: &str = "graph_edges";
+    /// Feature-initialization phase (random / hashed-n-gram / EMBDI).
+    pub const FEATURE_INIT: &str = "feature_init";
+    /// Feature dimensionality (counter).
+    pub const FEATURE_DIM: &str = "feature_dim";
+    /// Model construction: tape, GNN, merge MLP, task heads.
+    pub const MODEL_BUILD: &str = "model_build";
+    /// Trainable scalar parameters on the tape (counter).
+    pub const N_WEIGHTS: &str = "n_weights";
+    /// Per-task batch construction.
+    pub const BATCH_BUILD: &str = "batch_build";
+    /// One completed training epoch (index = epoch number). Epochs undone
+    /// by divergence rollback close with [`EPOCH_ROLLBACK`] instead.
+    pub const EPOCH: &str = "epoch";
+    /// An epoch attempt that was rolled back by the divergence guard.
+    pub const EPOCH_ROLLBACK: &str = "epoch_rollback";
+    /// Forward passes of one epoch (training + validation).
+    pub const FORWARD: &str = "forward";
+    /// Backward pass of one epoch.
+    pub const BACKWARD: &str = "backward";
+    /// Optimizer step (clipping + Adam) of one epoch.
+    pub const OPTIM: &str = "optim";
+    /// End-of-epoch tape reset.
+    pub const TAPE_RESET: &str = "tape_reset";
+    /// Summed training loss of one epoch (metric, index = epoch).
+    pub const TRAIN_LOSS: &str = "train_loss";
+    /// Summed validation loss of one epoch (metric, index = epoch).
+    pub const VAL_LOSS: &str = "val_loss";
+    /// One task's training loss (metric, index = task id, once per epoch).
+    pub const TASK_LOSS: &str = "task_loss";
+    /// Global L2 gradient norm of one epoch (metric, index = epoch).
+    pub const GRAD_NORM: &str = "grad_norm";
+    /// Tape nodes visited by the backward sweep (counter, index = epoch).
+    pub const TAPE_BACKWARD_NODES: &str = "tape_backward_nodes";
+    /// Workspace allocation misses of one completed epoch (counter).
+    pub const EPOCH_ALLOCS: &str = "epoch_allocs";
+    /// Gradient clipping fired (counter, index = epoch, value = 1).
+    pub const GRAD_CLIP: &str = "grad_clip";
+    /// Divergence anomaly detected (counter, index = epoch, value =
+    /// anomaly kind code: 0 loss, 1 gradient, 2 parameter).
+    pub const ANOMALY: &str = "anomaly";
+    /// Rollback recovery consumed (counter, value = recoveries so far).
+    pub const RECOVERY: &str = "recovery";
+    /// Learning rate in effect after a recovery (metric).
+    pub const LR: &str = "lr";
+    /// Disk checkpoint write (span, index = epoch).
+    pub const CHECKPOINT_SAVE: &str = "checkpoint_save";
+    /// Serialized checkpoint size (counter, value = bytes).
+    pub const CHECKPOINT_BYTES: &str = "checkpoint_bytes";
+    /// Training resumed from a disk checkpoint (counter, index = epoch).
+    pub const RESUME: &str = "resume";
+    /// Non-fatal checkpoint I/O problem (counter; message in the report).
+    pub const IO_ERROR: &str = "io_error";
+    /// Early stopping fired (counter, index = epoch).
+    pub const EARLY_STOP: &str = "early_stop";
+    /// Recovery budget exhausted; run degraded to the baseline imputer.
+    pub const DEGRADED: &str = "degraded";
+    /// Whole imputation/inference phase (span).
+    pub const IMPUTE: &str = "impute";
+    /// Missing cells filled for one task (counter, index = task id).
+    pub const IMPUTED_CELLS: &str = "imputed_cells";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels_roundtrip() {
+        for kind in [
+            EventKind::SpanEnter,
+            EventKind::SpanExit,
+            EventKind::Counter,
+            EventKind::Metric,
+        ] {
+            assert_eq!(EventKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(EventKind::from_label("nope"), None);
+    }
+
+    #[test]
+    fn null_sink_is_disabled_and_trace_skips_it() {
+        let mut sink = NullSink;
+        assert!(!sink.enabled());
+        let mut trace = Trace::new(&mut sink);
+        assert!(!trace.is_enabled());
+        let span = trace.enter(names::EPOCH, 0);
+        trace.metric(names::TRAIN_LOSS, 0, 1.0);
+        trace.counter(names::EPOCH_ALLOCS, 0, 3);
+        trace.exit(names::EPOCH, 0, span);
+        trace.flush().expect("null flush");
+    }
+
+    #[test]
+    fn memory_sink_records_spans_counters_and_metrics() {
+        let mut sink = MemorySink::new();
+        {
+            let mut trace = Trace::new(&mut sink);
+            assert!(trace.is_enabled());
+            let span = trace.enter(names::EPOCH, 7);
+            trace.metric(names::TRAIN_LOSS, 7, 0.25);
+            trace.counter(names::EPOCH_ALLOCS, 7, 42);
+            trace.exit(names::EPOCH, 7, span);
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].kind, EventKind::SpanEnter);
+        assert_eq!(events[3].kind, EventKind::SpanExit);
+        assert_eq!(events[3].name, names::EPOCH);
+        assert_eq!(events[3].index, 7);
+        assert!(events[3].value >= 0.0);
+        assert!(events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+        assert_eq!(events[1].value, 0.25);
+        assert_eq!(events[2].value, 42.0);
+    }
+
+    #[test]
+    fn exit_with_preserves_the_caller_measurement() {
+        let mut sink = MemorySink::new();
+        let mut trace = Trace::new(&mut sink);
+        let span = trace.enter(names::FORWARD, 0);
+        trace.exit_with(names::FORWARD, 0, span, 0.125);
+        assert_eq!(sink.events()[1].value, 0.125);
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut trace = Trace::disabled();
+        let span = trace.enter(names::FIT, 0);
+        trace.exit(names::FIT, 0, span);
+        assert!(!trace.is_enabled());
+    }
+}

@@ -1,0 +1,323 @@
+//! The concrete sinks: in-memory buffering, JSONL streaming, fan-out.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::histogram::Histogram;
+use crate::{json, Event, EventKind, EventSink};
+
+/// Buffers every event in memory. The sink for tests and for computing
+/// aggregations (event signatures, per-span histograms) after a run.
+#[derive(Clone, Debug, Default)]
+pub struct MemorySink {
+    events: Vec<Event>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// An empty sink with pre-reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        MemorySink {
+            events: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Every recorded event, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// How many events match `kind` and `name`.
+    pub fn count_of(&self, kind: EventKind, name: &str) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind == kind && e.name == name)
+            .count()
+    }
+
+    /// Values of every [`EventKind::Metric`] event named `name`, in order.
+    pub fn metric_values(&self, name: &str) -> Vec<f64> {
+        self.events
+            .iter()
+            .filter(|e| e.kind == EventKind::Metric && e.name == name)
+            .map(|e| e.value)
+            .collect()
+    }
+
+    /// Sum of the durations (seconds) of every closed span named `name`.
+    pub fn span_seconds(&self, name: &str) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanExit && e.name == name)
+            .map(|e| e.value)
+            .sum()
+    }
+
+    /// Histogram of the durations (nanoseconds) of spans named `name`.
+    pub fn span_histogram(&self, name: &str) -> Histogram {
+        let mut h = Histogram::new();
+        for e in &self.events {
+            if e.kind == EventKind::SpanExit && e.name == name {
+                h.record((e.value * 1e9).max(0.0) as u64);
+            }
+        }
+        h
+    }
+
+    /// The timestamp-free shape of the stream: `(kind, name, index)` per
+    /// event. Two identically-seeded runs must produce equal signatures
+    /// even though their wall-clock timings differ.
+    pub fn signature(&self) -> Vec<(EventKind, &'static str, u64)> {
+        self.events
+            .iter()
+            .map(|e| (e.kind, e.name, e.index))
+            .collect()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn record(&mut self, event: Event) {
+        self.events.push(event);
+    }
+}
+
+/// Streams events as JSON Lines — one object per event — through any
+/// writer, typically a buffered file. Uses the hand-rolled serializer in
+/// [`json`]; the output parses back with [`json::parse`].
+///
+/// I/O errors are deferred: `record` is infallible (required by the sink
+/// contract), the first error is stored and surfaced by
+/// [`EventSink::flush`].
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    written: u64,
+    deferred_error: Option<io::Error>,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Create (truncate) a trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Stream into an arbitrary writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            written: 0,
+            deferred_error: None,
+        }
+    }
+
+    /// Events successfully serialized so far.
+    pub fn events_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> EventSink for JsonlSink<W> {
+    fn record(&mut self, event: Event) {
+        if self.deferred_error.is_some() {
+            return;
+        }
+        let mut line = String::with_capacity(96);
+        json::write_event(&mut line, &event);
+        line.push('\n');
+        match self.writer.write_all(line.as_bytes()) {
+            Ok(()) => self.written += 1,
+            Err(e) => self.deferred_error = Some(e),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.deferred_error.take() {
+            return Err(e);
+        }
+        self.writer.flush()
+    }
+}
+
+/// Duplicates one event stream into several sinks (e.g. a `JsonlSink`
+/// trace file plus a `MemorySink` for a `--metrics` summary).
+#[derive(Default)]
+pub struct FanoutSink<'a> {
+    sinks: Vec<&'a mut dyn EventSink>,
+}
+
+impl<'a> FanoutSink<'a> {
+    /// An empty fan-out (disabled until a sink is added).
+    pub fn new() -> Self {
+        FanoutSink { sinks: Vec::new() }
+    }
+
+    /// Add a downstream sink.
+    pub fn add(&mut self, sink: &'a mut dyn EventSink) -> &mut Self {
+        self.sinks.push(sink);
+        self
+    }
+}
+
+impl EventSink for FanoutSink<'_> {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn record(&mut self, event: Event) {
+        for sink in &mut self.sinks {
+            if sink.enabled() {
+                sink.record(event);
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        let mut first_err = None;
+        for sink in &mut self.sinks {
+            if let Err(e) = sink.flush() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{names, NullSink, Trace};
+
+    fn sample_events(trace: &mut Trace<'_>) {
+        let fit = trace.enter(names::FIT, 0);
+        let ep = trace.enter(names::EPOCH, 0);
+        trace.metric(names::TRAIN_LOSS, 0, 1.5);
+        trace.counter(names::EPOCH_ALLOCS, 0, 10);
+        trace.exit_with(names::EPOCH, 0, ep, 0.002);
+        trace.exit_with(names::FIT, 0, fit, 0.004);
+    }
+
+    #[test]
+    fn jsonl_lines_parse_with_the_hand_rolled_reader() {
+        let mut sink = JsonlSink::new(Vec::new());
+        {
+            let mut trace = Trace::new(&mut sink);
+            sample_events(&mut trace);
+        }
+        assert_eq!(sink.events_written(), 6);
+        let buf = sink.into_inner().expect("no io errors");
+        let text = String::from_utf8(buf).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6);
+        for line in &lines {
+            let v = json::parse(line).expect("line parses");
+            assert!(v.get("t").and_then(json::Json::as_u64).is_some(), "{line}");
+            let kind = v.get("kind").and_then(json::Json::as_str).expect("kind");
+            assert!(EventKind::from_label(kind).is_some(), "{line}");
+            assert!(v.get("name").and_then(json::Json::as_str).is_some());
+            assert!(v.get("i").and_then(json::Json::as_u64).is_some());
+            assert!(v.get("v").and_then(json::Json::as_f64).is_some());
+        }
+        let last = json::parse(lines[5]).expect("parses");
+        assert_eq!(last.get("name").and_then(json::Json::as_str), Some("fit"));
+        assert_eq!(last.get("v").and_then(json::Json::as_f64), Some(0.004));
+    }
+
+    #[test]
+    fn memory_sink_aggregations() {
+        let mut sink = MemorySink::new();
+        {
+            let mut trace = Trace::new(&mut sink);
+            sample_events(&mut trace);
+        }
+        assert_eq!(sink.len(), 6);
+        assert_eq!(sink.count_of(EventKind::SpanExit, names::EPOCH), 1);
+        assert_eq!(sink.metric_values(names::TRAIN_LOSS), vec![1.5]);
+        assert_eq!(sink.span_seconds(names::EPOCH), 0.002);
+        let h = sink.span_histogram(names::EPOCH);
+        assert_eq!(h.count(), 1);
+        let sig = sink.signature();
+        assert_eq!(sig[0], (EventKind::SpanEnter, names::FIT, 0));
+        assert_eq!(sig[5], (EventKind::SpanExit, names::FIT, 0));
+    }
+
+    #[test]
+    fn fanout_tees_into_every_enabled_sink() {
+        let mut mem_a = MemorySink::new();
+        let mut mem_b = MemorySink::new();
+        let mut null = NullSink;
+        let mut fan = FanoutSink::new();
+        fan.add(&mut mem_a).add(&mut null).add(&mut mem_b);
+        assert!(fan.enabled());
+        {
+            let mut trace = Trace::new(&mut fan);
+            sample_events(&mut trace);
+        }
+        assert_eq!(mem_a.len(), 6);
+        assert_eq!(mem_b.len(), 6);
+        assert_eq!(mem_a.signature(), mem_b.signature());
+    }
+
+    #[test]
+    fn fanout_of_only_null_sinks_is_disabled() {
+        let mut a = NullSink;
+        let mut b = NullSink;
+        let mut fan = FanoutSink::new();
+        fan.add(&mut a).add(&mut b);
+        assert!(!fan.enabled());
+        let trace = Trace::new(&mut fan);
+        assert!(!trace.is_enabled());
+    }
+
+    #[test]
+    fn jsonl_defers_io_errors_to_flush() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Broken);
+        sink.record(Event {
+            t_ns: 0,
+            kind: EventKind::Counter,
+            name: "x",
+            index: 0,
+            value: 1.0,
+        });
+        assert_eq!(sink.events_written(), 0);
+        assert!(sink.flush().is_err());
+    }
+}

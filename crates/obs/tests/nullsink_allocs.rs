@@ -1,0 +1,104 @@
+//! Proof that tracing through a `NullSink` is allocation-free: a hot
+//! loop exercising every trace primitive (spans, counters, metrics)
+//! against a disabled sink must perform zero heap allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use grimp_obs::{names, MemorySink, NullSink, Trace};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn trace_heavy_loop(trace: &mut Trace<'_>, epochs: u64) -> f64 {
+    // The same mix of primitives the training loop emits per epoch.
+    let mut acc = 0.0f64;
+    for epoch in 0..epochs {
+        let ep = trace.enter(names::EPOCH, epoch);
+        let fwd = trace.enter(names::FORWARD, epoch);
+        trace.exit(names::FORWARD, epoch, fwd);
+        let bwd = trace.enter(names::BACKWARD, epoch);
+        trace.exit(names::BACKWARD, epoch, bwd);
+        trace.metric(names::TRAIN_LOSS, epoch, 1.0 / (epoch + 1) as f64);
+        trace.metric(names::GRAD_NORM, epoch, 0.5);
+        trace.counter(names::EPOCH_ALLOCS, epoch, 0);
+        for task in 0..4u64 {
+            trace.metric(names::TASK_LOSS, task, 0.25);
+        }
+        trace.exit(names::EPOCH, epoch, ep);
+        acc += (epoch as f64).sqrt();
+    }
+    acc
+}
+
+#[test]
+fn null_sink_tracing_performs_zero_heap_allocations() {
+    let mut sink = NullSink;
+    let mut trace = Trace::new(&mut sink);
+    assert!(!trace.is_enabled());
+
+    // Warm up once so any lazy runtime setup is excluded.
+    std::hint::black_box(trace_heavy_loop(&mut trace, 10));
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let out = trace_heavy_loop(&mut trace, 1000);
+    let after = ALLOCS.load(Ordering::SeqCst);
+    std::hint::black_box(out);
+
+    assert_eq!(
+        after - before,
+        0,
+        "NullSink tracing must not allocate on the hot path"
+    );
+}
+
+#[test]
+fn disabled_trace_constructor_performs_zero_heap_allocations() {
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..100 {
+        let mut sink = NullSink;
+        let mut trace = Trace::new(&mut sink);
+        std::hint::black_box(trace_heavy_loop(&mut trace, 1));
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "constructing a disabled Trace must not allocate"
+    );
+}
+
+#[test]
+fn memory_sink_does_allocate_which_validates_the_counter() {
+    // Sanity check that the counting allocator actually observes the
+    // allocations an enabled sink performs.
+    let mut sink = MemorySink::new();
+    let before = ALLOCS.load(Ordering::SeqCst);
+    {
+        let mut trace = Trace::new(&mut sink);
+        std::hint::black_box(trace_heavy_loop(&mut trace, 100));
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert!(after > before, "MemorySink growth should be counted");
+    assert!(!sink.is_empty());
+}

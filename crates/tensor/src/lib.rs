@@ -53,7 +53,7 @@ pub use nn::{Dense, Mlp};
 pub use optim::{Adam, AdamState, Sgd};
 pub use tape::{
     block_weighted_sum_into, scatter_mean_into, scatter_weighted_into, softmax_rows,
-    softmax_rows_in_place, Tape, Var,
+    softmax_rows_in_place, BackwardStats, Tape, Var,
 };
 pub use tensor::Tensor;
 pub use workspace::{Workspace, WorkspaceStats};

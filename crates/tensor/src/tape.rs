@@ -119,6 +119,18 @@ struct Node {
     needs_grad: bool,
 }
 
+/// Timing and work counters for the most recent [`Tape::backward`] call.
+/// Cheap to maintain (two clock reads and one counter per sweep) so they
+/// are always on; observability layers read them after each backward pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BackwardStats {
+    /// Nodes whose gradients were actually propagated (nodes without a
+    /// gradient or not requiring one are skipped and not counted).
+    pub nodes_visited: u64,
+    /// Wall-clock duration of the reverse sweep, in seconds.
+    pub seconds: f64,
+}
+
 /// Reverse-mode autodiff tape.
 pub struct Tape {
     nodes: Vec<Node>,
@@ -129,6 +141,8 @@ pub struct Tape {
     /// Pre-optimization behavior: allocate fresh per op, reference GEMM
     /// kernels, no buffer recycling. Kept for honest speedup baselines.
     legacy: bool,
+    /// Counters of the most recent backward sweep.
+    last_backward: BackwardStats,
 }
 
 impl Default for Tape {
@@ -146,7 +160,13 @@ impl Tape {
             ws: Workspace::new(),
             var_lists: Vec::new(),
             legacy: false,
+            last_backward: BackwardStats::default(),
         }
+    }
+
+    /// Work counters of the most recent [`Tape::backward`] call.
+    pub fn last_backward_stats(&self) -> BackwardStats {
+        self.last_backward
     }
 
     /// Switch between the optimized hot path (default) and the legacy
@@ -783,6 +803,8 @@ impl Tape {
             (1, 1),
             "backward requires a scalar loss"
         );
+        let started = std::time::Instant::now();
+        let mut visited = 0u64;
         let seed = self.ws_scalar(1.0);
         if let Some(old) = self.nodes[loss.idx()].grad.replace(seed) {
             self.ws.release(old);
@@ -791,6 +813,7 @@ impl Tape {
             if !self.nodes[i].needs_grad || self.nodes[i].grad.is_none() {
                 continue;
             }
+            visited += 1;
             if self.legacy {
                 // The pre-optimization sweep cloned the node's gradient
                 // before dispatching; keep that cost in the baseline.
@@ -809,6 +832,10 @@ impl Tape {
             self.nodes[i].grad = Some(grad);
             self.nodes[i].op = op;
         }
+        self.last_backward = BackwardStats {
+            nodes_visited: visited,
+            seconds: started.elapsed().as_secs_f64(),
+        };
     }
 
     fn backprop_one(&mut self, out: Var, grad: &Tensor, op: &Op) {

@@ -4,9 +4,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use grimp::{Grimp, GrimpConfig};
+use grimp::{GrimpConfig, Pipeline};
+use grimp_obs::{EventKind, MemorySink};
 use grimp_table::csv::{read_csv_str, to_csv_string};
-use grimp_table::Imputer;
 
 fn main() {
     // A dirty table: empty fields are missing values. Column `city`
@@ -41,14 +41,36 @@ fn main() {
         100.0 * dirty.missing_fraction()
     );
 
-    // GRIMP is self-supervised: it trains on the dirty table itself.
-    let mut model = Grimp::new(GrimpConfig::fast().with_seed(42));
+    // GRIMP is self-supervised: it trains on the dirty table itself. The
+    // builder validates the configuration; the Pipeline separates the fit
+    // from (possibly many) imputations; the sink records a structured
+    // trace of everything the run did.
+    let config = grimp::GrimpConfigBuilder::from_config(GrimpConfig::fast())
+        .seed(42)
+        .build()
+        .expect("valid config");
+    let pipeline = Pipeline::new(config).expect("validated config");
+    let mut sink = MemorySink::new();
+    let mut model = pipeline.fit_traced(&dirty, &mut sink);
     let imputed = model.impute(&dirty);
 
-    let report = model.last_report().expect("model was trained");
+    let report = model.report();
     println!(
         "trained {} epochs ({} weights), early stop: {}",
         report.epochs_run, report.n_weights, report.early_stopped
+    );
+    println!(
+        "trace: {} events; graph build {:.1}ms, forward {:.1}ms, backward {:.1}ms",
+        sink.len(),
+        1e3 * sink.span_seconds("graph_build"),
+        1e3 * sink.span_seconds("forward"),
+        1e3 * sink.span_seconds("backward"),
+    );
+    println!(
+        "epoch durations: p50 {:.2}ms, p95 {:.2}ms (over {} epochs)",
+        sink.span_histogram("epoch").quantile(0.5) as f64 / 1e6,
+        sink.span_histogram("epoch").quantile(0.95) as f64 / 1e6,
+        sink.count_of(EventKind::SpanExit, "epoch"),
     );
     assert_eq!(imputed.n_missing(), 0, "every cell imputed");
 

@@ -24,7 +24,11 @@ cargo test -q --workspace
 echo "==> cargo test -q -p grimp-core --features fault-injection (fault-injection suite)"
 cargo test -q -p grimp-core --features fault-injection
 
-echo "==> hotpath probe (writes BENCH_hotpath.json)"
+echo "==> grimp-obs gate (clippy -D warnings + tests incl. zero-alloc NullSink)"
+cargo clippy -p grimp-obs --all-targets -- -D warnings
+cargo test -q -p grimp-obs
+
+echo "==> hotpath probe (writes BENCH_hotpath.json; asserts NullSink overhead < 2%)"
 cargo run --release -p grimp-bench --bin hotpath_probe
 
 echo "tier1: all green"

@@ -8,7 +8,11 @@
 //! use grimp_repro::prelude::*;
 //!
 //! let dirty = read_csv_str("a,b\nx,1\ny,\nx,1\n").unwrap();
-//! let mut model = Grimp::new(GrimpConfig::fast().with_seed(0));
+//! let config = GrimpConfigBuilder::from_config(GrimpConfig::fast())
+//!     .seed(0)
+//!     .build()
+//!     .unwrap();
+//! let mut model = Pipeline::new(config).unwrap().fit(&dirty);
 //! let imputed = model.impute(&dirty);
 //! assert_eq!(imputed.n_missing(), 0);
 //! ```
@@ -21,13 +25,18 @@ pub use grimp_datasets as datasets;
 pub use grimp_gnn as gnn;
 pub use grimp_graph as graph;
 pub use grimp_metrics as metrics;
+pub use grimp_obs as obs;
 pub use grimp_table as table;
 pub use grimp_tensor as tensor;
 
 /// The types most imputation programs need.
 pub mod prelude {
-    pub use grimp::{Grimp, GrimpConfig, KStrategy, TaskKind, TrainedGrimp};
+    pub use grimp::{
+        ConfigError, EpochStats, FittedModel, Grimp, GrimpConfig, GrimpConfigBuilder, KStrategy,
+        Pipeline, TaskKind, TrainReport, TrainedGrimp,
+    };
     pub use grimp_metrics::{dataset_stats, evaluate};
+    pub use grimp_obs::{EventKind, EventSink, JsonlSink, MemorySink, NullSink};
     pub use grimp_table::csv::{read_csv, read_csv_str, to_csv_string, write_csv};
     pub use grimp_table::{
         inject_mcar, inject_mnar, inject_typos, ColumnKind, FdSet, Imputer, Schema, Table, Value,
