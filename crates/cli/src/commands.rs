@@ -6,7 +6,7 @@ use std::io::{BufReader, BufWriter, Write};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use grimp::{GrimpConfig, GrimpConfigBuilder, Pipeline, TaskKind};
+use grimp::{ErrorCategory, GrimpConfig, GrimpConfigBuilder, GrimpError, Pipeline, TaskKind};
 use grimp_baselines::{
     AimNetConfig, AimNetLike, DataWigConfig, DataWigLike, EmbdiMc, EmbdiMcConfig, Gain, GainConfig,
     KnnImputer, MeanMode, Mice, MiceConfig, Mida, MidaConfig, MissForest, MissForestConfig,
@@ -21,13 +21,49 @@ use grimp_table::{inject_mcar, inject_mnar, CorruptionLog, Imputer, InjectedCell
 
 use crate::args::{ArgError, Args};
 
-/// Any CLI failure with a user-facing message.
+/// Any CLI failure: a single-line user-facing message plus its
+/// [`ErrorCategory`], which fixes the process exit code (config = 2,
+/// data = 3, io = 4, internal = 5).
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub struct CliError {
+    message: String,
+    category: ErrorCategory,
+}
+
+impl CliError {
+    /// A configuration/usage error (exit code 2).
+    pub fn config(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            category: ErrorCategory::Config,
+        }
+    }
+
+    /// A malformed-input-data error (exit code 3).
+    pub fn data(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            category: ErrorCategory::Data,
+        }
+    }
+
+    /// A filesystem/IO error (exit code 4).
+    pub fn io(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            category: ErrorCategory::Io,
+        }
+    }
+
+    /// The process exit code mandated by this error's category.
+    pub fn exit_code(&self) -> i32 {
+        self.category.exit_code()
+    }
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.message)
     }
 }
 
@@ -35,13 +71,22 @@ impl std::error::Error for CliError {}
 
 impl From<ArgError> for CliError {
     fn from(e: ArgError) -> Self {
-        CliError(e.0)
+        CliError::config(e.0)
     }
 }
 
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
-        CliError(e.to_string())
+        CliError::io(e.to_string())
+    }
+}
+
+impl From<GrimpError> for CliError {
+    fn from(e: GrimpError) -> Self {
+        CliError {
+            message: e.to_string(),
+            category: e.category(),
+        }
     }
 }
 
@@ -74,18 +119,37 @@ COMMANDS:
              rows, columns, distinct values, missingness, S/K/F+/N+ metrics
     generate <AD|AU|CO|CR|FL|IM|MM|TA|TH|TT> [--seed N] [-o out.csv]
              emit one of the paper's synthetic evaluation datasets
+    chaos    [--seed N]
+             run the adversarial-input chaos suite: fit + impute every
+             hostile table (all-missing columns, single rows, NaN/inf,
+             pathological strings, 10k-distinct domains) and verify the
+             never-panic/always-impute contract, then check that
+             malformed CSVs are rejected with typed errors
     help     show this text
+
+EXIT CODES:
+    0 success, 2 configuration/usage error, 3 malformed input data,
+    4 filesystem/IO error, 5 internal error
 ";
 
 fn load(path: &str) -> Result<Table, CliError> {
-    let file = File::open(path).map_err(|e| CliError(format!("{path}: {e}")))?;
-    read_csv(BufReader::new(file)).map_err(|e| CliError(format!("{path}: {e}")))
+    let file = File::open(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
+    // The reader reports malformed CSV (duplicate headers, ragged rows,
+    // empty input) as `InvalidData`; anything else is a real IO failure.
+    read_csv(BufReader::new(file)).map_err(|e| {
+        let msg = format!("{path}: {e}");
+        if e.kind() == std::io::ErrorKind::InvalidData {
+            CliError::data(msg)
+        } else {
+            CliError::io(msg)
+        }
+    })
 }
 
 fn save(table: &Table, path: Option<&str>, out: &mut dyn Write) -> Result<(), CliError> {
     match path {
         Some(path) => {
-            let file = File::create(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+            let file = File::create(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
             write_csv(table, BufWriter::new(file))?;
             writeln!(out, "wrote {path}")?;
         }
@@ -131,7 +195,7 @@ fn build_baseline(name: &str, seed: u64) -> Result<Box<dyn Imputer>, CliError> {
         "knn" => Box::new(KnnImputer::new(5)),
         "meanmode" => Box::new(MeanMode),
         other => {
-            return Err(CliError(format!(
+            return Err(CliError::config(format!(
                 "unknown algorithm {other:?} (see `grimp help`)"
             )))
         }
@@ -152,7 +216,7 @@ fn build_pipeline(name: &str, seed: u64, args: &Args) -> Result<Pipeline, CliErr
         "grimp-e" => builder.features(FeatureSource::Embdi),
         "grimp-linear" => builder.task_kind(TaskKind::Linear),
         other => {
-            return Err(CliError(format!(
+            return Err(CliError::config(format!(
                 "unknown algorithm {other:?} (see `grimp help`)"
             )))
         }
@@ -161,8 +225,10 @@ fn build_pipeline(name: &str, seed: u64, args: &Args) -> Result<Pipeline, CliErr
         builder = builder.checkpoint_dir(dir);
     }
     builder = builder.resume(args.flag("resume"));
-    let config = builder.build().map_err(|e| CliError(e.to_string()))?;
-    Pipeline::new(config).map_err(|e| CliError(e.to_string()))
+    let config = builder
+        .build()
+        .map_err(|e| CliError::config(e.to_string()))?;
+    Pipeline::new(config).map_err(|e| CliError::config(e.to_string()))
 }
 
 /// Print the `--metrics` summary derived from the recorded event stream.
@@ -214,7 +280,9 @@ fn impute_grimp(
     let pipeline = build_pipeline(name, seed, args)?;
     let mut memory = MemorySink::new();
     let mut jsonl = match args.opt("trace-out") {
-        Some(path) => Some(JsonlSink::create(path).map_err(|e| CliError(format!("{path}: {e}")))?),
+        Some(path) => {
+            Some(JsonlSink::create(path).map_err(|e| CliError::io(format!("{path}: {e}")))?)
+        }
         None => None,
     };
     let mut null = NullSink;
@@ -232,14 +300,14 @@ fn impute_grimp(
     } else {
         &mut null
     };
-    let mut fitted = pipeline.fit_traced(table, sink);
-    let imputed = fitted.impute_traced(table, sink);
+    let mut fitted = pipeline.fit_traced(table, sink)?;
+    let imputed = fitted.impute_traced(table, sink)?;
     drop(fan);
     if let Some(sink) = jsonl {
         let path = args.opt("trace-out").unwrap_or_default();
         let written = sink.events_written();
         sink.into_inner()
-            .map_err(|e| CliError(format!("{path}: {e}")))?;
+            .map_err(|e| CliError::io(format!("{path}: {e}")))?;
         writeln!(out, "wrote {written} trace events to {path}")?;
     }
     if want_metrics {
@@ -266,17 +334,17 @@ fn cmd_impute(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let is_grimp = algo_name.starts_with("grimp");
     if !is_grimp {
         if args.flag("resume") && args.opt("checkpoint-dir").is_none() {
-            return Err(CliError("--resume requires --checkpoint-dir DIR".into()));
+            return Err(CliError::config("--resume requires --checkpoint-dir DIR"));
         }
         for flag in ["checkpoint-dir", "trace-out"] {
             if args.opt(flag).is_some() {
-                return Err(CliError(format!(
+                return Err(CliError::config(format!(
                     "--{flag} is only supported by the grimp variants, not {algo_name:?}"
                 )));
             }
         }
         if args.flag("metrics") {
-            return Err(CliError(format!(
+            return Err(CliError::config(format!(
                 "--metrics is only supported by the grimp variants, not {algo_name:?}"
             )));
         }
@@ -320,7 +388,11 @@ fn cmd_corrupt(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let log = match args.opt("mechanism").unwrap_or("mcar") {
         "mcar" => inject_mcar(&mut table, rate, &mut rng),
         "mnar" => inject_mnar(&mut table, rate, &mut rng),
-        other => return Err(CliError(format!("unknown mechanism {other:?} (mcar|mnar)"))),
+        other => {
+            return Err(CliError::config(format!(
+                "unknown mechanism {other:?} (mcar|mnar)"
+            )))
+        }
     };
     writeln!(
         out,
@@ -330,7 +402,7 @@ fn cmd_corrupt(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     )?;
     if let Some(truth_path) = args.opt("truth") {
         let mut w = BufWriter::new(
-            File::create(truth_path).map_err(|e| CliError(format!("{truth_path}: {e}")))?,
+            File::create(truth_path).map_err(|e| CliError::io(format!("{truth_path}: {e}")))?,
         );
         writeln!(w, "row,col,value")?;
         for cell in &log.cells {
@@ -353,19 +425,19 @@ fn cmd_evaluate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     args.check_known(&["clean", "dirty", "imputed"])?;
     let clean = load(
         args.opt("clean")
-            .ok_or(CliError("--clean required".into()))?,
+            .ok_or_else(|| CliError::config("--clean required"))?,
     )?;
     let dirty = load(
         args.opt("dirty")
-            .ok_or(CliError("--dirty required".into()))?,
+            .ok_or_else(|| CliError::config("--dirty required"))?,
     )?;
     let imputed = load(
         args.opt("imputed")
-            .ok_or(CliError("--imputed required".into()))?,
+            .ok_or_else(|| CliError::config("--imputed required"))?,
     )?;
     if clean.n_rows() != dirty.n_rows() || clean.n_columns() != dirty.n_columns() {
-        return Err(CliError(
-            "clean and dirty tables have different shapes".into(),
+        return Err(CliError::data(
+            "clean and dirty tables have different shapes",
         ));
     }
     // reconstruct the corruption log: cells missing in dirty, present in clean
@@ -436,7 +508,7 @@ fn cmd_generate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         .into_iter()
         .find(|id| id.abbr().eq_ignore_ascii_case(abbr))
         .ok_or_else(|| {
-            CliError(format!(
+            CliError::config(format!(
                 "unknown dataset {abbr:?} (AD AU CO CR FL IM MM TA TH TT)"
             ))
         })?;
@@ -453,11 +525,64 @@ fn cmd_generate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     save(&d.table, args.opt("o"), out)
 }
 
+/// Run the adversarial-input chaos suite against the real pipeline.
+fn cmd_chaos(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    args.check_known(&["seed"])?;
+    let seed = args.opt_parse("seed", 0u64)?;
+    let config = GrimpConfigBuilder::from_config(GrimpConfig::fast())
+        .seed(seed)
+        .max_epochs(6)
+        .patience(6)
+        .build()
+        .map_err(|e| CliError::config(e.to_string()))?;
+    let pipeline = Pipeline::new(config).map_err(|e| CliError::config(e.to_string()))?;
+    let mut failures = 0usize;
+    for s in grimp_table::adversarial::scenarios() {
+        let verdict = match pipeline.fit(&s.table) {
+            Ok(mut fitted) => {
+                let left = fitted.impute(&s.table)?.n_missing();
+                let tiers: Vec<&str> = fitted.column_tiers().iter().map(|t| t.label()).collect();
+                if left == 0 {
+                    format!("ok (tiers: {})", tiers.join("/"))
+                } else {
+                    failures += 1;
+                    format!("FAILED: {left} cells left missing")
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                format!("FAILED: fit error: {e}")
+            }
+        };
+        writeln!(out, "chaos {:<26} {} — {}", s.name, verdict, s.detail)?;
+    }
+    for (name, text) in grimp_table::adversarial::malformed_csvs() {
+        match grimp_table::csv::read_csv_str(text) {
+            Err(e) => writeln!(out, "chaos csv:{name:<22} rejected ({e})")?,
+            Ok(_) => {
+                failures += 1;
+                writeln!(out, "chaos csv:{name:<22} FAILED: parsed without error")?;
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(CliError::data(format!(
+            "{failures} chaos scenario(s) violated the never-panic/always-impute contract"
+        )));
+    }
+    writeln!(out, "chaos: all scenarios upheld the contract")?;
+    Ok(())
+}
+
 /// Dispatch one CLI invocation; returns the process exit code.
-pub fn run(argv: &[String], out: &mut dyn Write) -> i32 {
+///
+/// Success prints to `out` and returns 0; any failure prints a single
+/// `error: …` line to `err` and returns the exit code of its
+/// [`ErrorCategory`]: 2 config, 3 data, 4 io, 5 internal.
+pub fn run(argv: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32 {
     let Some(command) = argv.first().map(String::as_str) else {
         let _ = write!(out, "{USAGE}");
-        return 2;
+        return ErrorCategory::Config.exit_code();
     };
     let rest = &argv[1..];
     let parse = |flags: &[&str]| Args::parse(rest, flags);
@@ -467,19 +592,20 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> i32 {
         "evaluate" => cmd_evaluate(&parse(&[])?, out),
         "stats" => cmd_stats(&parse(&[])?, out),
         "generate" => cmd_generate(&parse(&[])?, out),
+        "chaos" => cmd_chaos(&parse(&[])?, out),
         "help" | "--help" | "-h" => {
             write!(out, "{USAGE}")?;
             Ok(())
         }
-        other => Err(CliError(format!(
+        other => Err(CliError::config(format!(
             "unknown command {other:?} (see `grimp help`)"
         ))),
     })();
     match result {
         Ok(()) => 0,
         Err(e) => {
-            let _ = writeln!(out, "error: {e}");
-            1
+            let _ = writeln!(err, "error: {e}");
+            e.exit_code()
         }
     }
 }
@@ -491,7 +617,9 @@ mod tests {
     fn run_str(args: &[&str]) -> (i32, String) {
         let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
         let mut out = Vec::new();
-        let code = run(&argv, &mut out);
+        let mut err = Vec::new();
+        let code = run(&argv, &mut out, &mut err);
+        out.extend_from_slice(&err);
         (code, String::from_utf8(out).unwrap())
     }
 
@@ -518,7 +646,7 @@ mod tests {
     #[test]
     fn unknown_command_fails() {
         let (code, out) = run_str(&["frobnicate"]);
-        assert_eq!(code, 1);
+        assert_eq!(code, 2);
         assert!(out.contains("unknown command"));
     }
 
@@ -592,7 +720,7 @@ mod tests {
         let clean = dir.join("algo.csv");
         run_str(&["generate", "MM", "-o", clean.to_str().unwrap()]);
         let (code, out) = run_str(&["impute", clean.to_str().unwrap(), "--algo", "nope"]);
-        assert_eq!(code, 1);
+        assert_eq!(code, 2);
         assert!(out.contains("unknown algorithm"));
     }
 
@@ -616,9 +744,17 @@ mod tests {
     }
 
     #[test]
+    fn chaos_suite_passes_end_to_end() {
+        let (code, out) = run_str(&["chaos", "--seed", "1"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("all scenarios upheld the contract"), "{out}");
+        assert!(!out.contains("FAILED"), "{out}");
+    }
+
+    #[test]
     fn missing_files_produce_clean_errors() {
         let (code, out) = run_str(&["stats", "/nonexistent/nope.csv"]);
-        assert_eq!(code, 1);
+        assert_eq!(code, 4);
         assert!(out.contains("error:"));
     }
 
@@ -666,7 +802,7 @@ mod tests {
         let dirty = dir.join("resume-only.csv");
         std::fs::write(&dirty, "a,b\nx,1\ny,\n").unwrap();
         let (code, out) = run_str(&["impute", dirty.to_str().unwrap(), "--resume"]);
-        assert_eq!(code, 1);
+        assert_eq!(code, 2);
         assert!(out.contains("--resume requires --checkpoint-dir"), "{out}");
     }
 
@@ -721,7 +857,7 @@ mod tests {
             "--trace-out",
             "/tmp/never.jsonl",
         ]);
-        assert_eq!(code, 1);
+        assert_eq!(code, 2);
         assert!(
             out.contains("--trace-out is only supported by the grimp variants"),
             "{out}"
@@ -741,7 +877,7 @@ mod tests {
             "--checkpoint-dir",
             dir.to_str().unwrap(),
         ]);
-        assert_eq!(code, 1);
+        assert_eq!(code, 2);
         assert!(
             out.contains("only supported by the grimp variants"),
             "{out}"

@@ -8,10 +8,13 @@
 //! grimp evaluate --clean clean.csv --dirty dirty.csv --imputed imputed.csv
 //! grimp stats    table.csv
 //! grimp generate TA -o tax.csv
+//! grimp chaos
 //! ```
 //!
 //! The library half holds the testable command implementations; `main.rs`
-//! only dispatches.
+//! only dispatches. Failures follow a fixed exit-code contract (see
+//! [`commands::run`]): 2 configuration, 3 malformed data, 4 IO, 5 internal,
+//! each with a single-line `error: …` message on stderr.
 
 #![warn(missing_docs)]
 

@@ -4,6 +4,8 @@
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let stdout = std::io::stdout();
-    let mut lock = stdout.lock();
-    std::process::exit(grimp_cli::run(&argv, &mut lock));
+    let stderr = std::io::stderr();
+    let mut out = stdout.lock();
+    let mut err = stderr.lock();
+    std::process::exit(grimp_cli::run(&argv, &mut out, &mut err));
 }

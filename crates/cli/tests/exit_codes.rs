@@ -1,0 +1,93 @@
+//! Integration tests for the CLI exit-code contract, driving the real
+//! `grimp` binary: configuration errors exit 2, malformed input data 3,
+//! IO failures 4 — each with a single-line `error: …` message on stderr
+//! and nothing error-shaped on stdout.
+
+use std::process::Command;
+
+fn grimp(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_grimp"))
+        .args(args)
+        .output()
+        .expect("grimp binary runs")
+}
+
+fn tmpfile(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("grimp-exit-codes-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+fn stderr_line(out: &std::process::Output) -> String {
+    let stderr = String::from_utf8(out.stderr.clone()).unwrap();
+    assert_eq!(
+        stderr.lines().count(),
+        1,
+        "stderr must be a single line, got: {stderr:?}"
+    );
+    stderr.trim_end().to_string()
+}
+
+#[test]
+fn unknown_command_is_a_config_error() {
+    let out = grimp(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(line.starts_with("error: "), "{line}");
+    assert!(line.contains("unknown command"), "{line}");
+}
+
+#[test]
+fn bad_flag_combination_is_a_config_error() {
+    let dirty = tmpfile("resume-only.csv", "a,b\nx,1\ny,\n");
+    let out = grimp(&["impute", dirty.to_str().unwrap(), "--resume"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr_line(&out).contains("--resume requires --checkpoint-dir"),
+        "wrong message"
+    );
+}
+
+#[test]
+fn malformed_csv_is_a_data_error() {
+    let dup = tmpfile("dup-headers.csv", "a,a\n1,2\n");
+    let out = grimp(&["stats", dup.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3));
+    let line = stderr_line(&out);
+    assert!(line.starts_with("error: "), "{line}");
+    assert!(line.contains("duplicate column name"), "{line}");
+}
+
+#[test]
+fn ragged_csv_is_a_data_error() {
+    let ragged = tmpfile("ragged.csv", "a,b\n1\n");
+    let out = grimp(&["stats", ragged.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3));
+    assert!(stderr_line(&out).contains("fields"), "wrong message");
+}
+
+#[test]
+fn missing_input_file_is_an_io_error() {
+    let out = grimp(&["stats", "/nonexistent/never/nope.csv"]);
+    assert_eq!(out.status.code(), Some(4));
+    let line = stderr_line(&out);
+    assert!(line.starts_with("error: "), "{line}");
+    assert!(line.contains("nope.csv"), "{line}");
+}
+
+#[test]
+fn unwritable_output_path_is_an_io_error() {
+    let out = grimp(&["generate", "MM", "-o", "/nonexistent/never/out.csv"]);
+    assert_eq!(out.status.code(), Some(4));
+    assert!(stderr_line(&out).starts_with("error: "));
+}
+
+#[test]
+fn success_leaves_stderr_empty() {
+    let clean = tmpfile("ok.csv", "a,b\nx,1\ny,2\nx,1\n");
+    let out = grimp(&["stats", clean.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(out.stderr.is_empty(), "stderr not empty");
+}

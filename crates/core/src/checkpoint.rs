@@ -6,7 +6,7 @@
 //! trainable tape parameter, the Adam moments, and the best-validation
 //! parameter snapshot.
 //!
-//! ## On-disk format (version 1)
+//! ## On-disk format (version 2)
 //!
 //! All integers and floats are little-endian; floats are stored as raw bit
 //! patterns so non-finite sentinels (`best_val` starts at `+inf`) round-trip
@@ -15,7 +15,7 @@
 //! | field        | encoding                                     |
 //! |--------------|----------------------------------------------|
 //! | magic        | 8 raw bytes `"GRIMPCKP"`                     |
-//! | version      | `u32` (currently 1)                          |
+//! | version      | `u32` (currently 2)                          |
 //! | epoch        | `u64`                                        |
 //! | lr           | `f32` bits                                   |
 //! | recoveries   | `u32`                                        |
@@ -25,11 +25,16 @@
 //! | params       | tensor list (`u64` count, then tensors)      |
 //! | adam         | `u32` step counter + two tensor lists        |
 //! | best_params  | `u8` flag, then a tensor list when 1         |
+//! | crc32        | `u32` CRC-32 (IEEE) of every preceding byte  |
 //!
 //! A tensor is `u64` rows, `u64` cols, then row-major `f32` bits. Decoding
-//! never panics: wrong magic, unknown versions, truncation, and corrupt
-//! length prefixes all surface as a typed
+//! never panics: wrong magic, unknown versions, truncation, bit flips (the
+//! CRC-32 footer), and corrupt length prefixes all surface as a typed
 //! [`CheckpointError`](grimp_tensor::CheckpointError).
+//!
+//! [`TrainCheckpoint::save`] keeps the last *two* checkpoints: the previous
+//! good file survives as `grimp.ckpt.prev`, so a torn or bit-flipped write
+//! of the newest checkpoint never destroys the ability to resume.
 
 use std::path::Path;
 
@@ -39,9 +44,28 @@ use grimp_tensor::{AdamState, Tensor};
 /// Magic header identifying a GRIMP training checkpoint.
 pub const CHECKPOINT_MAGIC: &[u8; 8] = b"GRIMPCKP";
 /// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
 /// File name used inside a `--checkpoint-dir`.
 pub const CHECKPOINT_FILE: &str = "grimp.ckpt";
+/// Previous-generation checkpoint kept alongside [`CHECKPOINT_FILE`]; resume
+/// falls back to it when the newest file is truncated or bit-flipped.
+pub const CHECKPOINT_PREV_FILE: &str = "grimp.ckpt.prev";
+
+/// Hand-rolled CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) —
+/// the same checksum gzip and PNG use, computed bitwise so the codec stays
+/// dependency-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            // Branch-free: mask is all-ones when the low bit is set.
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 /// A complete, resumable snapshot of the training loop.
 #[derive(Clone, Debug, PartialEq)]
@@ -67,7 +91,7 @@ pub struct TrainCheckpoint {
 }
 
 impl TrainCheckpoint {
-    /// Serialize to the version-1 binary format.
+    /// Serialize to the version-2 binary format (CRC-32 footer included).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         w.raw(CHECKPOINT_MAGIC);
@@ -89,20 +113,45 @@ impl TrainCheckpoint {
             }
             None => w.u8(0),
         }
-        w.into_bytes()
+        let mut bytes = w.into_bytes();
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes
     }
 
     /// Decode a checkpoint previously produced by
     /// [`TrainCheckpoint::to_bytes`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
-        let mut r = ByteReader::new(bytes);
-        if r.raw(CHECKPOINT_MAGIC.len(), "magic header")? != &CHECKPOINT_MAGIC[..] {
-            return Err(CheckpointError::BadMagic);
+        // Magic and version are checked before the CRC so that a v1 file (no
+        // footer) reports "unsupported version", not a misleading CRC error.
+        {
+            let mut head = ByteReader::new(bytes);
+            if head.raw(CHECKPOINT_MAGIC.len(), "magic header")? != &CHECKPOINT_MAGIC[..] {
+                return Err(CheckpointError::BadMagic);
+            }
+            let version = head.u32("format version")?;
+            if version != CHECKPOINT_VERSION {
+                return Err(CheckpointError::UnsupportedVersion(version));
+            }
         }
-        let version = r.u32("format version")?;
-        if version != CHECKPOINT_VERSION {
-            return Err(CheckpointError::UnsupportedVersion(version));
+        let footer_at = bytes
+            .len()
+            .checked_sub(4)
+            .ok_or_else(|| CheckpointError::Corrupt("too short for a CRC-32 footer".into()))?;
+        let payload = &bytes[..footer_at];
+        let mut stored = [0u8; 4];
+        stored.copy_from_slice(&bytes[footer_at..]);
+        let stored = u32::from_le_bytes(stored);
+        let computed = crc32(payload);
+        if computed != stored {
+            return Err(CheckpointError::Corrupt(format!(
+                "CRC-32 mismatch (stored {stored:08x}, computed {computed:08x}) — \
+                 the file is truncated or bit-flipped"
+            )));
         }
+        let mut r = ByteReader::new(payload);
+        let _ = r.raw(CHECKPOINT_MAGIC.len(), "magic header")?;
+        let _ = r.u32("format version")?;
         let epoch = r.u64("epoch")?;
         let lr = r.f32("learning rate")?;
         let recoveries = r.u32("recovery count")?;
@@ -143,12 +192,17 @@ impl TrainCheckpoint {
     }
 
     /// Write atomically to `path` (via a sibling temp file + rename, so a
-    /// kill mid-write never leaves a truncated checkpoint behind). Returns
-    /// the number of bytes written.
+    /// kill mid-write never leaves a truncated checkpoint behind), keeping
+    /// the previous generation as `<path>.prev` so resume can fall back past
+    /// a corrupted newest file. Returns the number of bytes written.
     pub fn save(&self, path: &Path) -> Result<usize, CheckpointError> {
         let bytes = self.to_bytes();
         let tmp = path.with_extension("ckpt.tmp");
         std::fs::write(&tmp, &bytes)?;
+        if path.exists() {
+            let prev = path.with_extension("ckpt.prev");
+            std::fs::rename(path, &prev)?;
+        }
         std::fs::rename(&tmp, path)?;
         Ok(bytes.len())
     }
@@ -250,6 +304,63 @@ mod tests {
         let n = ck.save(&path).unwrap();
         assert_eq!(n, ck.to_bytes().len());
         assert_eq!(TrainCheckpoint::load(&path).unwrap(), ck);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC-32 test vector from the PNG/gzip specs.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn a_single_bit_flip_anywhere_is_detected() {
+        let bytes = sample().to_bytes();
+        // Flip one bit in a parameter float, far from any length prefix, so
+        // only the CRC can catch it.
+        let mid = bytes.len() / 2;
+        for &at in &[CHECKPOINT_MAGIC.len() + 4, mid, bytes.len() - 5] {
+            let mut flipped = bytes.clone();
+            flipped[at] ^= 0x10;
+            assert!(
+                matches!(
+                    TrainCheckpoint::from_bytes(&flipped),
+                    Err(CheckpointError::Corrupt(_))
+                ),
+                "bit flip at byte {at} was not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn save_keeps_the_previous_generation() {
+        let dir = std::env::temp_dir().join("grimp-ckpt-rotate-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(CHECKPOINT_FILE);
+        let prev = dir.join(CHECKPOINT_PREV_FILE);
+
+        let mut first = sample();
+        first.epoch = 1;
+        first.save(&path).unwrap();
+        assert!(!prev.exists(), "no previous generation after one save");
+
+        let mut second = sample();
+        second.epoch = 2;
+        second.save(&path).unwrap();
+        assert_eq!(TrainCheckpoint::load(&path).unwrap().epoch, 2);
+        assert_eq!(TrainCheckpoint::load(&prev).unwrap().epoch, 1);
+
+        let mut third = sample();
+        third.epoch = 3;
+        third.save(&path).unwrap();
+        assert_eq!(TrainCheckpoint::load(&path).unwrap().epoch, 3);
+        assert_eq!(
+            TrainCheckpoint::load(&prev).unwrap().epoch,
+            2,
+            "only the last two generations are kept"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

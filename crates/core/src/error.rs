@@ -1,0 +1,279 @@
+//! Unified error taxonomy for the GRIMP pipeline.
+//!
+//! Every fallible public entry point — [`crate::Pipeline::fit`],
+//! [`crate::FittedModel::impute`], checkpoint resume, CSV-fed CLI paths —
+//! surfaces a [`GrimpError`] instead of panicking. Each variant carries
+//! enough context (column name, epoch, file path, source error) to act on,
+//! and maps to one of four coarse [`ErrorCategory`] buckets that the CLI
+//! turns into stable process exit codes:
+//!
+//! | category   | exit code | meaning                                   |
+//! |------------|-----------|-------------------------------------------|
+//! | `Config`   | 2         | caller asked for something invalid        |
+//! | `Data`     | 3         | the input table/CSV is malformed          |
+//! | `Io`       | 4         | the filesystem failed us                  |
+//! | `Internal` | 5         | an invariant broke — a bug in GRIMP       |
+//!
+//! The taxonomy is deliberately shallow: callers that just want to report
+//! use `Display`; callers that want to branch use [`GrimpError::category`];
+//! callers that need the details match the variant.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use grimp_table::TableError;
+use grimp_tensor::CheckpointError;
+
+use crate::config::ConfigError;
+
+/// Coarse classification of a [`GrimpError`], used for CLI exit codes and
+/// retry decisions (I/O errors are transient, config errors are not).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ErrorCategory {
+    /// The caller's configuration or arguments are invalid.
+    Config,
+    /// The input data (table, CSV, schema) is malformed or unusable.
+    Data,
+    /// A filesystem or serialization operation failed.
+    Io,
+    /// A GRIMP invariant was violated — always a bug, never user error.
+    Internal,
+}
+
+impl ErrorCategory {
+    /// Stable process exit code for this category (config=2, data=3, io=4,
+    /// internal=5; 0 is success and 1 is reserved for uncategorized errors).
+    pub fn exit_code(self) -> i32 {
+        match self {
+            ErrorCategory::Config => 2,
+            ErrorCategory::Data => 3,
+            ErrorCategory::Io => 4,
+            ErrorCategory::Internal => 5,
+        }
+    }
+
+    /// Lowercase label used in error messages and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorCategory::Config => "config",
+            ErrorCategory::Data => "data",
+            ErrorCategory::Io => "io",
+            ErrorCategory::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Any error the GRIMP pipeline can surface to a caller.
+#[derive(Debug)]
+pub enum GrimpError {
+    /// The [`crate::GrimpConfig`] failed validation.
+    Config(ConfigError),
+    /// A table operation failed, optionally attributable to one column.
+    Table {
+        /// Name of the offending column, when known.
+        column: Option<String>,
+        /// The underlying table error.
+        source: TableError,
+    },
+    /// The training table has no columns — there is nothing to impute.
+    EmptySchema,
+    /// An unseen table's schema does not match the training schema.
+    SchemaMismatch {
+        /// Rendered training schema.
+        expected: String,
+        /// Rendered schema of the offending table.
+        got: String,
+    },
+    /// Imputing an unseen table requires deterministic per-value features
+    /// (`FeatureSource::FastText`); the model was trained with another
+    /// feature source.
+    InductiveUnsupported,
+    /// A checkpoint could not be written, read, or decoded.
+    Checkpoint {
+        /// Path of the offending checkpoint file.
+        path: PathBuf,
+        /// The underlying codec or I/O error.
+        source: CheckpointError,
+    },
+    /// A filesystem operation outside the checkpoint codec failed.
+    Io {
+        /// What was being attempted (e.g. a file path or operation name).
+        context: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// An internal invariant was violated. Seeing this is a GRIMP bug.
+    Internal {
+        /// What went wrong, for the bug report.
+        detail: String,
+    },
+}
+
+impl GrimpError {
+    /// Which coarse bucket (and therefore CLI exit code) this error is in.
+    pub fn category(&self) -> ErrorCategory {
+        match self {
+            GrimpError::Config(_) => ErrorCategory::Config,
+            GrimpError::Table { .. }
+            | GrimpError::EmptySchema
+            | GrimpError::SchemaMismatch { .. }
+            | GrimpError::InductiveUnsupported => ErrorCategory::Data,
+            GrimpError::Checkpoint { .. } | GrimpError::Io { .. } => ErrorCategory::Io,
+            GrimpError::Internal { .. } => ErrorCategory::Internal,
+        }
+    }
+
+    /// Attach a column name to a [`GrimpError::Table`] error.
+    pub fn in_column(self, column: &str) -> Self {
+        match self {
+            GrimpError::Table { source, .. } => GrimpError::Table {
+                column: Some(column.to_string()),
+                source,
+            },
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for GrimpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrimpError::Config(e) => write!(f, "invalid configuration: {e}"),
+            GrimpError::Table {
+                column: Some(c),
+                source,
+            } => write!(f, "column {c:?}: {source}"),
+            GrimpError::Table {
+                column: None,
+                source,
+            } => write!(f, "{source}"),
+            GrimpError::EmptySchema => {
+                write!(f, "the table has no columns; nothing to impute")
+            }
+            GrimpError::SchemaMismatch { expected, got } => write!(
+                f,
+                "schema mismatch: the model was trained on {expected}, got {got}"
+            ),
+            GrimpError::InductiveUnsupported => write!(
+                f,
+                "imputing an unseen table requires FeatureSource::FastText \
+                 (deterministic per-value features)"
+            ),
+            GrimpError::Checkpoint { path, source } => {
+                write!(f, "checkpoint {}: {source}", path.display())
+            }
+            GrimpError::Io { context, source } => write!(f, "{context}: {source}"),
+            GrimpError::Internal { detail } => {
+                write!(f, "internal invariant violated (GRIMP bug): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GrimpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GrimpError::Table { source, .. } => Some(source),
+            GrimpError::Checkpoint { source, .. } => Some(source),
+            GrimpError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for GrimpError {
+    fn from(e: ConfigError) -> Self {
+        GrimpError::Config(e)
+    }
+}
+
+impl From<TableError> for GrimpError {
+    fn from(e: TableError) -> Self {
+        GrimpError::Table {
+            column: None,
+            source: e,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_map_to_the_documented_exit_codes() {
+        assert_eq!(ErrorCategory::Config.exit_code(), 2);
+        assert_eq!(ErrorCategory::Data.exit_code(), 3);
+        assert_eq!(ErrorCategory::Io.exit_code(), 4);
+        assert_eq!(ErrorCategory::Internal.exit_code(), 5);
+    }
+
+    #[test]
+    fn every_variant_lands_in_the_right_category() {
+        assert_eq!(
+            GrimpError::Config(ConfigError::ZeroEpochs).category(),
+            ErrorCategory::Config
+        );
+        assert_eq!(GrimpError::EmptySchema.category(), ErrorCategory::Data);
+        assert_eq!(
+            GrimpError::SchemaMismatch {
+                expected: "a".into(),
+                got: "b".into()
+            }
+            .category(),
+            ErrorCategory::Data
+        );
+        assert_eq!(
+            GrimpError::InductiveUnsupported.category(),
+            ErrorCategory::Data
+        );
+        assert_eq!(
+            GrimpError::Checkpoint {
+                path: PathBuf::from("x.ckpt"),
+                source: CheckpointError::BadMagic,
+            }
+            .category(),
+            ErrorCategory::Io
+        );
+        assert_eq!(
+            GrimpError::Io {
+                context: "reading x".into(),
+                source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+            }
+            .category(),
+            ErrorCategory::Io
+        );
+        assert_eq!(
+            GrimpError::Internal { detail: "x".into() }.category(),
+            ErrorCategory::Internal
+        );
+    }
+
+    #[test]
+    fn display_carries_the_context() {
+        let e = GrimpError::Table {
+            column: None,
+            source: TableError::RaggedRow {
+                expected: 3,
+                got: 2,
+            },
+        }
+        .in_column("city");
+        let msg = e.to_string();
+        assert!(msg.contains("city"), "{msg}");
+        let c = GrimpError::Checkpoint {
+            path: PathBuf::from("/tmp/grimp.ckpt"),
+            source: CheckpointError::BadMagic,
+        };
+        assert!(c.to_string().contains("grimp.ckpt"));
+        assert!(GrimpError::InductiveUnsupported
+            .to_string()
+            .contains("FastText"));
+    }
+}

@@ -41,6 +41,15 @@ pub enum TrainAnomaly {
         /// Epoch index at which the check fired.
         epoch: usize,
     },
+    /// One attribute's task loss left the finite range while the others
+    /// stayed healthy. The per-column degradation ladder demotes only that
+    /// column to its baseline tier; no rollback is triggered.
+    NonFiniteTaskLoss {
+        /// Epoch index at which the check fired.
+        epoch: usize,
+        /// Index of the diverging column/task.
+        column: usize,
+    },
 }
 
 impl TrainAnomaly {
@@ -49,7 +58,8 @@ impl TrainAnomaly {
         match *self {
             TrainAnomaly::NonFiniteLoss { epoch, .. }
             | TrainAnomaly::NonFiniteGradient { epoch, .. }
-            | TrainAnomaly::NonFiniteParameter { epoch } => epoch,
+            | TrainAnomaly::NonFiniteParameter { epoch }
+            | TrainAnomaly::NonFiniteTaskLoss { epoch, .. } => epoch,
         }
     }
 }
@@ -70,6 +80,13 @@ impl fmt::Display for TrainAnomaly {
                     "epoch {epoch}: non-finite parameter after optimizer step"
                 )
             }
+            TrainAnomaly::NonFiniteTaskLoss { epoch, column } => {
+                write!(
+                    f,
+                    "epoch {epoch}: non-finite task loss for column {column} \
+                     (demoted to its baseline tier)"
+                )
+            }
         }
     }
 }
@@ -84,6 +101,13 @@ pub enum FaultKind {
     /// Overwrite one element of the first trainable parameter with `NaN`
     /// after the optimizer step.
     ParamNan,
+    /// Poison the task loss of column `.0` with `NaN` after the forward
+    /// pass, driving the per-column degradation ladder for exactly that
+    /// column while every other task stays healthy.
+    TaskLossNan(usize),
+    /// Fail the next checkpoint save with an injected I/O error, exercising
+    /// the save-time error path without touching the filesystem.
+    CheckpointWrite,
 }
 
 /// A deterministic fault to inject during training: at epoch `at_epoch`

@@ -36,6 +36,7 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod error;
 pub mod fault;
 pub mod federated;
 pub mod inductive;
@@ -48,10 +49,13 @@ pub mod tasks;
 pub mod tuner;
 pub mod vectors;
 
-pub use checkpoint::{TrainCheckpoint, CHECKPOINT_FILE, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
+pub use checkpoint::{
+    TrainCheckpoint, CHECKPOINT_FILE, CHECKPOINT_MAGIC, CHECKPOINT_PREV_FILE, CHECKPOINT_VERSION,
+};
 pub use config::{
     CategoricalLoss, ConfigError, GrimpConfig, GrimpConfigBuilder, KStrategy, TaskKind,
 };
+pub use error::{ErrorCategory, GrimpError};
 pub use fault::TrainAnomaly;
 #[cfg(any(test, feature = "fault-injection"))]
 pub use fault::{FaultKind, FaultPlan};
@@ -61,7 +65,7 @@ pub use mc::{GlobalDomain, GnnMc};
 pub use model::{FittedModel, Grimp, TrainState};
 pub use params::{ParamCounts, ParamFormula};
 pub use pipeline::Pipeline;
-pub use report::{EpochStats, TrainReport};
+pub use report::{ColumnTier, EpochStats, TrainReport};
 pub use tasks::{build_k_matrix, Task};
 pub use tuner::{default_candidates, select_config, ProbeResult, TunerConfig};
 pub use vectors::VectorBatch;

@@ -34,14 +34,21 @@ use grimp_obs::{names, EventSink, NullSink, Trace};
 use grimp_table::{ColumnKind, Corpus, FdSet, Imputer, Normalizer, Table, Value};
 use grimp_tensor::{Adam, AdamState, Mlp, Tape, Tensor, Var};
 
-use crate::checkpoint::{TrainCheckpoint, CHECKPOINT_FILE};
+use crate::checkpoint::{TrainCheckpoint, CHECKPOINT_FILE, CHECKPOINT_PREV_FILE};
 use crate::config::{CategoricalLoss, GrimpConfig};
+use crate::error::GrimpError;
 use crate::fault::TrainAnomaly;
 #[cfg(any(test, feature = "fault-injection"))]
 use crate::fault::{FaultKind, FaultPlan};
-use crate::report::{EpochStats, TrainReport};
+use crate::report::{ColumnTier, EpochStats, TrainReport};
 use crate::tasks::Task;
 use crate::vectors::VectorBatch;
+
+/// Categorical fill value of the [`ColumnTier::Constant`] ladder rung —
+/// deliberately non-empty, since the CSV layer treats `""` as null.
+pub const CONSTANT_FILL_CATEGORICAL: &str = "(unknown)";
+/// Numerical fill value of the [`ColumnTier::Constant`] ladder rung.
+pub const CONSTANT_FILL_NUMERICAL: f64 = 0.0;
 
 /// Resumable cursor of the training loop: everything a checkpoint must
 /// capture, beyond tensors, to continue bit-exactly.
@@ -143,9 +150,20 @@ impl Grimp {
     }
 
     /// [`Grimp::fit_impute`] with structured events streamed into `sink`.
+    ///
+    /// This entry point is infallible by contract: the only fit-time error
+    /// (a zero-column table) has nothing to impute, so the input comes back
+    /// unchanged, and the training-table impute path cannot fail.
     pub fn fit_impute_traced(&mut self, dirty: &Table, sink: &mut dyn EventSink) -> Table {
-        let mut fitted = fit_model(&self.config, &self.fds, dirty, sink);
-        let result = fitted.impute_traced(dirty, sink);
+        let mut fitted = match fit_model(&self.config, &self.fds, dirty, sink) {
+            Ok(f) => f,
+            Err(_) => return dirty.clone(),
+        };
+        let result = fitted
+            .impute_traced(dirty, sink)
+            // Unreachable for the training table; kept as a safety net so
+            // the Imputer contract survives even a future logic error.
+            .unwrap_or_else(|_| baseline_fill(dirty));
         self.last_report = Some(fitted.report().clone());
         result
     }
@@ -192,6 +210,8 @@ pub struct FittedModel {
     /// The GNN is currently bound to a foreign graph and must rebind
     /// before imputing the training table again.
     needs_rebind: bool,
+    /// Degradation-ladder tier of every column, in schema order.
+    tiers: Vec<ColumnTier>,
     report: TrainReport,
 }
 
@@ -213,6 +233,13 @@ impl FittedModel {
         self.degraded
     }
 
+    /// Degradation-ladder tier of every column, in schema order. Columns at
+    /// [`ColumnTier::Gnn`] impute from their trained head; demoted columns
+    /// impute from the mode/mean baseline or the global constant.
+    pub fn column_tiers(&self) -> &[ColumnTier] {
+        &self.tiers
+    }
+
     /// Impute all missing values of `table`.
     ///
     /// Passing the training table back runs the transductive path of the
@@ -221,25 +248,34 @@ impl FittedModel {
     /// the seed-deterministic FastText features are recomputed, and the
     /// trained weights are reused.
     ///
-    /// # Panics
-    /// Panics on an unseen table when the schema differs from the training
-    /// schema or the model was not fitted with
-    /// [`FeatureSource::FastText`] (EMBDI and random features are
-    /// transductive — they cannot embed unseen values).
-    pub fn impute(&mut self, table: &Table) -> Table {
+    /// Columns demoted down the degradation ladder (see
+    /// [`FittedModel::column_tiers`]) fill from their mode/mean or the
+    /// global constant instead of a task head; every missing cell is filled
+    /// either way.
+    ///
+    /// # Errors
+    /// On an unseen table, [`GrimpError::SchemaMismatch`] when the schema
+    /// differs from the training schema, and
+    /// [`GrimpError::InductiveUnsupported`] when GNN-tier columns exist but
+    /// the model was not fitted with [`FeatureSource::FastText`] (EMBDI and
+    /// random features are transductive — they cannot embed unseen values).
+    /// Imputing the training table never fails.
+    pub fn impute(&mut self, table: &Table) -> Result<Table, GrimpError> {
         let mut sink = NullSink;
         self.impute_traced(table, &mut sink)
     }
 
     /// [`FittedModel::impute`] with structured events streamed into `sink`.
-    pub fn impute_traced(&mut self, table: &Table, sink: &mut dyn EventSink) -> Table {
+    pub fn impute_traced(
+        &mut self,
+        table: &Table,
+        sink: &mut dyn EventSink,
+    ) -> Result<Table, GrimpError> {
         let mut trace = Trace::new(sink);
         let start = Instant::now();
         let span = trace.enter(names::IMPUTE, 0);
-        let result = if self.degraded {
-            baseline_fill(table)
-        } else if *table == self.train_dirty {
-            self.impute_training_table(&mut trace)
+        let outcome = if *table == self.train_dirty {
+            Ok(self.impute_training_table(&mut trace))
         } else {
             self.impute_unseen_table(table, &mut trace)
         };
@@ -247,32 +283,39 @@ impl FittedModel {
         self.report.seconds += dt;
         trace.exit_with(names::IMPUTE, 0, span, dt);
         let _ = trace.flush();
-        result
+        outcome
     }
 
     /// Transductive imputation (§3.7): one forward pass from the
     /// best-validation parameters over the fitted graph, per-column
-    /// argmax / de-normalized regression.
+    /// argmax / de-normalized regression. Demoted columns skip the GNN and
+    /// fill from their ladder tier; if no column is at the GNN tier the
+    /// forward pass is skipped entirely.
     fn impute_training_table(&mut self, trace: &mut Trace<'_>) -> Table {
-        if self.needs_rebind {
-            self.gnn.rebind(&self.graph);
-            self.needs_rebind = false;
-        }
-        if let Some(best) = &self.best_params {
-            self.tape.restore_param_values(best);
-        }
+        let use_gnn = self.tiers.contains(&ColumnTier::Gnn);
         let mut result = self.train_dirty.clone();
-        let x = match self.persistent_x {
-            Some(x) => x,
-            None => self.tape.input(
-                self.feature_tensor
-                    .as_ref()
-                    .expect("legacy path keeps features")
-                    .clone(),
-            ),
+        let h = if use_gnn {
+            if self.needs_rebind {
+                self.gnn.rebind(&self.graph);
+                self.needs_rebind = false;
+            }
+            if let Some(best) = &self.best_params {
+                self.tape.restore_param_values(best);
+            }
+            let x = match self.persistent_x {
+                Some(x) => x,
+                None => self.tape.input(
+                    self.feature_tensor
+                        .as_ref()
+                        .expect("legacy path keeps features")
+                        .clone(),
+                ),
+            };
+            let h0 = self.gnn.forward(&mut self.tape, x);
+            Some(self.merge.forward(&mut self.tape, h0))
+        } else {
+            None
         };
-        let h0 = self.gnn.forward(&mut self.tape, x);
-        let h = self.merge.forward(&mut self.tape, h0);
         for (j, task) in self.tasks.iter().enumerate() {
             let missing: Vec<(usize, usize)> = (0..self.norm.n_rows())
                 .filter(|&i| self.norm.is_missing(i, j))
@@ -281,111 +324,215 @@ impl FittedModel {
             if missing.is_empty() {
                 continue;
             }
-            let batch =
-                VectorBatch::build(&self.graph, &self.norm, &missing, self.config.embed_dim);
-            let out = task.forward(&mut self.tape, h, &batch);
-            let out_t = self.tape.value(out).clone();
-            match self.norm.schema().column(j).kind {
-                ColumnKind::Categorical => {
-                    if self.norm.dictionary(j).is_empty() {
-                        continue; // nothing to impute with
-                    }
-                    for (s, &(i, _)) in missing.iter().enumerate() {
-                        let row = out_t.row_slice(s);
-                        let best = row
-                            .iter()
-                            .enumerate()
-                            .max_by(|a, b| a.1.total_cmp(b.1))
-                            .map(|(k, _)| k as u32)
-                            .expect("non-empty logits row");
-                        result.set(i, j, Value::Cat(best));
+            match self.tiers[j] {
+                ColumnTier::Gnn => {
+                    let h = h.expect("invariant: forward pass ran for GNN-tier columns");
+                    let batch = VectorBatch::build(
+                        &self.graph,
+                        &self.norm,
+                        &missing,
+                        self.config.embed_dim,
+                    );
+                    let out = task.forward(&mut self.tape, h, &batch);
+                    let out_t = self.tape.value(out).clone();
+                    match self.norm.schema().column(j).kind {
+                        ColumnKind::Categorical => {
+                            // GNN-tier categoricals have ≥ 2 dictionary
+                            // entries (emptier columns were demoted).
+                            for (s, &(i, _)) in missing.iter().enumerate() {
+                                let row = out_t.row_slice(s);
+                                let best = row
+                                    .iter()
+                                    .enumerate()
+                                    .max_by(|a, b| a.1.total_cmp(b.1))
+                                    .map(|(k, _)| k as u32)
+                                    .expect("non-empty logits row");
+                                result.set(i, j, Value::Cat(best));
+                            }
+                        }
+                        ColumnKind::Numerical => {
+                            let fallback = self.train_dirty.mean(j);
+                            for (s, &(i, _)) in missing.iter().enumerate() {
+                                let z = f64::from(out_t.get(s, 0));
+                                let v = finite_or(self.normalizer.inverse(j, z), fallback);
+                                result.set(i, j, Value::Num(v));
+                            }
+                        }
                     }
                 }
-                ColumnKind::Numerical => {
-                    for (s, &(i, _)) in missing.iter().enumerate() {
-                        let z = f64::from(out_t.get(s, 0));
-                        result.set(i, j, Value::Num(self.normalizer.inverse(j, z)));
-                    }
-                }
+                tier => fill_column_from_ladder(&mut result, &self.train_dirty, j, tier),
             }
             trace.counter(names::IMPUTED_CELLS, j as u64, missing.len() as u64);
         }
-        self.tape.reset();
+        if use_gnn {
+            self.tape.reset();
+        }
         result
     }
 
     /// Inductive imputation: rebuild the graph for the unseen table,
     /// recompute the seed-deterministic FastText features, rebind the GNN
     /// adjacency, and map categorical predictions through the training
-    /// dictionaries into the new table's dictionaries.
-    fn impute_unseen_table(&mut self, table: &Table, trace: &mut Trace<'_>) -> Table {
-        assert_eq!(
-            table.schema(),
-            self.train_dirty.schema(),
-            "schema must match the training schema"
-        );
-        let ft_seed = self.ft_seed.expect(
-            "imputing an unseen table requires FeatureSource::FastText \
-             (EMBDI and random features are transductive)",
-        );
-        if let Some(best) = &self.best_params {
-            self.tape.restore_param_values(best);
+    /// dictionaries into the new table's dictionaries. Demoted columns fill
+    /// from their ladder tier using the unseen table's own statistics.
+    fn impute_unseen_table(
+        &mut self,
+        table: &Table,
+        trace: &mut Trace<'_>,
+    ) -> Result<Table, GrimpError> {
+        if table.schema() != self.train_dirty.schema() {
+            return Err(GrimpError::SchemaMismatch {
+                expected: format!("{:?}", self.train_dirty.schema()),
+                got: format!("{:?}", table.schema()),
+            });
         }
-        let mut norm = table.clone();
-        self.normalizer.apply(&mut norm);
-        let graph = TableGraph::build_traced(&norm, self.config.graph, &[], trace);
-        self.gnn.rebind(&graph);
-        self.needs_rebind = true;
-        let features = fasttext_features(&graph, self.config.feature_dim, ft_seed);
-        let feature_tensor = Tensor::from_vec(
-            graph.n_nodes(),
-            self.config.feature_dim,
-            features.node_matrix,
-        );
+        let use_gnn = self.tiers.contains(&ColumnTier::Gnn);
         let mut result = table.clone();
-        let x = self.tape.input(feature_tensor);
-        let h0 = self.gnn.forward(&mut self.tape, x);
-        let h = self.merge.forward(&mut self.tape, h0);
+        // Graph + features + shared forward pass, built only when at least
+        // one column still imputes from its trained head.
+        let prepared = if use_gnn {
+            let Some(ft_seed) = self.ft_seed else {
+                return Err(GrimpError::InductiveUnsupported);
+            };
+            if let Some(best) = &self.best_params {
+                self.tape.restore_param_values(best);
+            }
+            let mut norm = table.clone();
+            self.normalizer.apply(&mut norm);
+            let graph = TableGraph::build_traced(&norm, self.config.graph, &[], trace);
+            self.gnn.rebind(&graph);
+            self.needs_rebind = true;
+            let features = fasttext_features(&graph, self.config.feature_dim, ft_seed);
+            let feature_tensor = Tensor::from_vec(
+                graph.n_nodes(),
+                self.config.feature_dim,
+                features.node_matrix,
+            );
+            let x = self.tape.input(feature_tensor);
+            let h0 = self.gnn.forward(&mut self.tape, x);
+            let h = self.merge.forward(&mut self.tape, h0);
+            Some((norm, graph, h))
+        } else {
+            None
+        };
         for (j, task) in self.tasks.iter().enumerate() {
-            let missing: Vec<(usize, usize)> = (0..norm.n_rows())
-                .filter(|&i| norm.is_missing(i, j))
+            let missing: Vec<(usize, usize)> = (0..table.n_rows())
+                .filter(|&i| table.is_missing(i, j))
                 .map(|i| (i, j))
                 .collect();
             if missing.is_empty() {
                 continue;
             }
-            let batch = VectorBatch::build(&graph, &norm, &missing, self.config.embed_dim);
-            let out = task.forward(&mut self.tape, h, &batch);
-            let out_t = self.tape.value(out).clone();
-            match norm.schema().column(j).kind {
-                ColumnKind::Categorical => {
-                    if self.dictionaries[j].is_empty() {
-                        continue;
-                    }
-                    for (s, &(i, _)) in missing.iter().enumerate() {
-                        let best = out_t
-                            .row_slice(s)
-                            .iter()
-                            .enumerate()
-                            .max_by(|a, b| a.1.total_cmp(b.1))
-                            .map(|(k, _)| k)
-                            .expect("non-empty logits row");
-                        let label = &self.dictionaries[j][best];
-                        let code = result.intern(j, label);
-                        result.set(i, j, Value::Cat(code));
+            match self.tiers[j] {
+                ColumnTier::Gnn => {
+                    let (norm, graph, h) = prepared
+                        .as_ref()
+                        .expect("invariant: forward pass ran for GNN-tier columns");
+                    let batch = VectorBatch::build(graph, norm, &missing, self.config.embed_dim);
+                    let out = task.forward(&mut self.tape, *h, &batch);
+                    let out_t = self.tape.value(out).clone();
+                    match norm.schema().column(j).kind {
+                        ColumnKind::Categorical => {
+                            for (s, &(i, _)) in missing.iter().enumerate() {
+                                let best = out_t
+                                    .row_slice(s)
+                                    .iter()
+                                    .enumerate()
+                                    .max_by(|a, b| a.1.total_cmp(b.1))
+                                    .map(|(k, _)| k)
+                                    .expect("non-empty logits row");
+                                let label = &self.dictionaries[j][best];
+                                let code = result.intern(j, label);
+                                result.set(i, j, Value::Cat(code));
+                            }
+                        }
+                        ColumnKind::Numerical => {
+                            let fallback = table.mean(j);
+                            for (s, &(i, _)) in missing.iter().enumerate() {
+                                let z = f64::from(out_t.get(s, 0));
+                                let v = finite_or(self.normalizer.inverse(j, z), fallback);
+                                result.set(i, j, Value::Num(v));
+                            }
+                        }
                     }
                 }
-                ColumnKind::Numerical => {
-                    for (s, &(i, _)) in missing.iter().enumerate() {
-                        let z = f64::from(out_t.get(s, 0));
-                        result.set(i, j, Value::Num(self.normalizer.inverse(j, z)));
-                    }
-                }
+                tier => fill_column_from_ladder(&mut result, table, j, tier),
             }
             trace.counter(names::IMPUTED_CELLS, j as u64, missing.len() as u64);
         }
-        self.tape.reset();
-        result
+        if prepared.is_some() {
+            self.tape.reset();
+        }
+        Ok(result)
+    }
+}
+
+/// Fill every missing cell of column `j` of `result` from the ladder tier,
+/// with mode/mean statistics taken from `stats` (the table the missing
+/// cells came from — `result` starts as its clone, so categorical codes
+/// align). Falls through to the constant rung when the baseline statistic
+/// does not exist (no observed value at all).
+fn fill_column_from_ladder(result: &mut Table, stats: &Table, j: usize, tier: ColumnTier) {
+    let missing: Vec<usize> = (0..stats.n_rows())
+        .filter(|&i| stats.is_missing(i, j))
+        .collect();
+    match stats.schema().column(j).kind {
+        ColumnKind::Categorical => {
+            let code = match tier {
+                ColumnTier::Baseline => stats.mode(j),
+                _ => None,
+            };
+            let code = code.unwrap_or_else(|| result.intern(j, CONSTANT_FILL_CATEGORICAL));
+            for i in missing {
+                result.set(i, j, Value::Cat(code));
+            }
+        }
+        ColumnKind::Numerical => {
+            let v = match tier {
+                ColumnTier::Baseline => stats.mean(j).unwrap_or(CONSTANT_FILL_NUMERICAL),
+                _ => CONSTANT_FILL_NUMERICAL,
+            };
+            for i in missing {
+                result.set(i, j, Value::Num(v));
+            }
+        }
+    }
+}
+
+/// `v` when finite, otherwise the fallback statistic (or the global
+/// constant when even that does not exist). Guards the de-normalization of
+/// GNN regression outputs so an imputed cell is never `NaN`/`±inf`.
+fn finite_or(v: f64, fallback: Option<f64>) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        fallback.unwrap_or(CONSTANT_FILL_NUMERICAL)
+    }
+}
+
+/// Initial ladder tier of a column, from its observed values alone: zero
+/// observed (finite) values → [`ColumnTier::Constant`], exactly one
+/// distinct value → the mode/mean [`ColumnTier::Baseline`] (a single-class
+/// classifier or zero-variance regressor has nothing to learn), two or
+/// more → [`ColumnTier::Gnn`].
+fn detect_column_tier(table: &Table, j: usize) -> ColumnTier {
+    let distinct = match table.schema().column(j).kind {
+        ColumnKind::Categorical => table.column(j).n_distinct(),
+        ColumnKind::Numerical => {
+            let mut bits: Vec<u64> = (0..table.n_rows())
+                .filter_map(|i| table.get(i, j).as_num())
+                .filter(|v| v.is_finite())
+                .map(f64::to_bits)
+                .collect();
+            bits.sort_unstable();
+            bits.dedup();
+            bits.len()
+        }
+    };
+    match distinct {
+        0 => ColumnTier::Constant,
+        1 => ColumnTier::Baseline,
+        _ => ColumnTier::Gnn,
     }
 }
 
@@ -395,6 +542,7 @@ fn anomaly_code(a: &TrainAnomaly) -> u64 {
         TrainAnomaly::NonFiniteLoss { .. } => 0,
         TrainAnomaly::NonFiniteGradient { .. } => 1,
         TrainAnomaly::NonFiniteParameter { .. } => 2,
+        TrainAnomaly::NonFiniteTaskLoss { column, .. } => 3 + *column as u64,
     }
 }
 
@@ -403,12 +551,21 @@ fn anomaly_code(a: &TrainAnomaly) -> u64 {
 ///
 /// This is the engine behind both [`crate::Pipeline::fit`] and
 /// [`Grimp::fit_impute`].
+///
+/// # Errors
+/// [`GrimpError::EmptySchema`] when the table has no columns — there is
+/// nothing to impute and no graph to build. Every other pathology (empty
+/// columns, degenerate dictionaries, non-finite observations, diverging
+/// heads) is absorbed by the per-column degradation ladder instead.
 pub(crate) fn fit_model(
     config: &GrimpConfig,
     fds: &FdSet,
     dirty: &Table,
     sink: &mut dyn EventSink,
-) -> FittedModel {
+) -> Result<FittedModel, GrimpError> {
+    if dirty.n_columns() == 0 {
+        return Err(GrimpError::EmptySchema);
+    }
     let fit_start = Instant::now();
     let mut trace = Trace::new(sink);
     let fit_span = trace.enter(names::FIT, 0);
@@ -421,8 +578,23 @@ pub(crate) fn fit_model(
     let mut norm = dirty.clone();
     normalizer.apply(&mut norm);
 
-    // Training corpus and validation holdout (§3.3, §3.6).
-    let corpus = Corpus::build(&norm, cfg.validation_fraction, &mut rng);
+    // Per-column degradation ladder: columns that cannot possibly train a
+    // task head (no observed value, or a single distinct one) start below
+    // the GNN tier and never enter the shared objective.
+    let mut tiers: Vec<ColumnTier> = (0..dirty.n_columns())
+        .map(|j| detect_column_tier(dirty, j))
+        .collect();
+
+    // Training corpus and validation holdout (§3.3, §3.6). Demoted columns
+    // contribute no samples: their observed cells stay in the graph as
+    // context, but their (degenerate) loss is dropped from the objective.
+    let mut corpus = Corpus::build(&norm, cfg.validation_fraction, &mut rng);
+    for (j, tier) in tiers.iter().enumerate() {
+        if *tier != ColumnTier::Gnn {
+            corpus.train[j].clear();
+            corpus.validation[j].clear();
+        }
+    }
     let excluded: Vec<(usize, usize)> = corpus
         .validation_flat()
         .map(|s| (s.row, s.target_col))
@@ -520,6 +692,18 @@ pub(crate) fn fit_model(
     );
     trace.exit(names::BATCH_BUILD, 0, batch_span);
 
+    // A GNN-tier column can still end up with zero training samples (e.g.
+    // every observed cell landed in the validation split): it cannot learn
+    // a head either, so it steps down to the baseline tier.
+    for (j, tb) in train_batches.iter().enumerate() {
+        if tiers[j] == ColumnTier::Gnn && tb.is_none() {
+            tiers[j] = ColumnTier::Baseline;
+        }
+    }
+    // With no GNN-tier column left the epoch loop is skipped entirely —
+    // every column fills from its ladder tier at impute time.
+    let trainable = tiers.contains(&ColumnTier::Gnn);
+
     // Training loop with early stopping on validation loss, wrapped in
     // the divergence guard + rollback/recovery machinery.
     let mut report = TrainReport {
@@ -543,37 +727,45 @@ pub(crate) fn fit_model(
         }
     }
     if cfg.resume {
-        if let Some(path) = ckpt_path.as_ref().filter(|p| p.exists()) {
-            match TrainCheckpoint::load(path) {
-                Ok(ck) if snapshot_shapes_match(&tape, &ck.params) => {
-                    tape.restore_param_values(&ck.params);
-                    adam.import_state(&ck.adam);
-                    rng = StdRng::from_state(ck.rng);
-                    state = TrainState {
-                        epoch: ck.epoch as usize,
-                        lr: ck.lr,
-                        best_val: ck.best_val,
-                        since_best: ck.since_best as usize,
-                        recoveries: ck.recoveries as usize,
-                    };
-                    best_params = ck.best_params;
-                    report.resumed_from_epoch = Some(state.epoch);
-                    trace.counter(names::RESUME, state.epoch as u64, 1);
-                }
-                Ok(_) => {
-                    report.io_errors.push(format!(
-                        "checkpoint at {} does not match this model's parameter shapes; \
-                         restarting from scratch",
-                        path.display()
-                    ));
-                    trace.counter(names::IO_ERROR, report.io_errors.len() as u64, 1);
-                }
-                Err(e) => {
-                    report.io_errors.push(format!(
-                        "failed to resume from {}: {e}; restarting from scratch",
-                        path.display()
-                    ));
-                    trace.counter(names::IO_ERROR, report.io_errors.len() as u64, 1);
+        if let Some(dir) = &cfg.checkpoint_dir {
+            // Two-generation fallback: a truncated or bit-flipped current
+            // checkpoint (rejected by its CRC-32 footer) is reported, then
+            // the previous good generation is tried before giving up and
+            // restarting from scratch.
+            let candidates = [dir.join(CHECKPOINT_FILE), dir.join(CHECKPOINT_PREV_FILE)];
+            for path in candidates.iter().filter(|p| p.exists()) {
+                match TrainCheckpoint::load(path) {
+                    Ok(ck) if snapshot_shapes_match(&tape, &ck.params) => {
+                        tape.restore_param_values(&ck.params);
+                        adam.import_state(&ck.adam);
+                        rng = StdRng::from_state(ck.rng);
+                        state = TrainState {
+                            epoch: ck.epoch as usize,
+                            lr: ck.lr,
+                            best_val: ck.best_val,
+                            since_best: ck.since_best as usize,
+                            recoveries: ck.recoveries as usize,
+                        };
+                        best_params = ck.best_params;
+                        report.resumed_from_epoch = Some(state.epoch);
+                        trace.counter(names::RESUME, state.epoch as u64, 1);
+                        break;
+                    }
+                    Ok(_) => {
+                        report.io_errors.push(format!(
+                            "checkpoint at {} does not match this model's parameter shapes; \
+                             restarting from scratch",
+                            path.display()
+                        ));
+                        trace.counter(names::IO_ERROR, report.io_errors.len() as u64, 1);
+                    }
+                    Err(e) => {
+                        report.io_errors.push(format!(
+                            "failed to resume from {}: {e}; restarting from scratch",
+                            path.display()
+                        ));
+                        trace.counter(names::IO_ERROR, report.io_errors.len() as u64, 1);
+                    }
                 }
             }
         }
@@ -591,7 +783,7 @@ pub(crate) fn fit_model(
     let mut degraded = false;
     let checkpoint_every = cfg.checkpoint_every.max(1);
     let mut train_losses: Vec<Var> = Vec::new();
-    while state.epoch < cfg.max_epochs && state.since_best < cfg.patience {
+    while trainable && state.epoch < cfg.max_epochs && state.since_best < cfg.patience {
         let epoch_idx = state.epoch as u64;
         let misses_before = tape.workspace_stats().misses;
         let epoch_start = Instant::now();
@@ -612,20 +804,60 @@ pub(crate) fn fit_model(
 
         train_losses.clear();
         for (j, (task, tb)) in tasks.iter().zip(&train_batches).enumerate() {
-            if let Some(tb) = tb {
-                let l = task_loss(&mut tape, task, h, tb, cfg.categorical_loss);
-                if trace.is_enabled() {
-                    trace.metric(names::TASK_LOSS, j as u64, f64::from(tape.value(l).item()));
-                }
-                train_losses.push(l);
+            if tiers[j] != ColumnTier::Gnn {
+                continue;
             }
+            let Some(tb) = tb else { continue };
+            let l = task_loss(&mut tape, task, h, tb, cfg.categorical_loss);
+            #[cfg(any(test, feature = "fault-injection"))]
+            inject_task_loss_fault(
+                &mut tape,
+                l,
+                fault_plan.as_ref(),
+                j,
+                state.epoch,
+                &mut injected,
+            );
+            let lv = tape.value(l).item();
+            if !lv.is_finite() {
+                // Per-column divergence: demote just this column and keep
+                // training the others. The poisoned loss node is excluded
+                // from the summed objective, so backward never touches it.
+                let a = TrainAnomaly::NonFiniteTaskLoss {
+                    epoch: state.epoch,
+                    column: j,
+                };
+                trace.counter(names::ANOMALY, epoch_idx, anomaly_code(&a));
+                report.anomalies.push(a);
+                trace.counter(names::COLUMN_DEMOTED, j as u64, state.epoch as u64);
+                tiers[j] = ColumnTier::Baseline;
+                continue;
+            }
+            if trace.is_enabled() {
+                trace.metric(names::TASK_LOSS, j as u64, f64::from(lv));
+            }
+            train_losses.push(l);
         }
         let mut val_total = 0.0f32;
-        for (task, tb) in tasks.iter().zip(&val_batches) {
-            if let Some(tb) = tb {
-                let l = task_loss(&mut tape, task, h, tb, cfg.categorical_loss);
-                val_total += tape.value(l).item();
+        for (j, (task, tb)) in tasks.iter().zip(&val_batches).enumerate() {
+            if tiers[j] != ColumnTier::Gnn {
+                continue;
             }
+            let Some(tb) = tb else { continue };
+            let l = task_loss(&mut tape, task, h, tb, cfg.categorical_loss);
+            let lv = tape.value(l).item();
+            if !lv.is_finite() {
+                let a = TrainAnomaly::NonFiniteTaskLoss {
+                    epoch: state.epoch,
+                    column: j,
+                };
+                trace.counter(names::ANOMALY, epoch_idx, anomaly_code(&a));
+                report.anomalies.push(a);
+                trace.counter(names::COLUMN_DEMOTED, j as u64, state.epoch as u64);
+                tiers[j] = ColumnTier::Baseline;
+                continue;
+            }
+            val_total += lv;
         }
         if train_losses.is_empty() {
             tape.reset();
@@ -773,7 +1005,17 @@ pub(crate) fn fit_model(
         if let Some(path) = &ckpt_path {
             if state.epoch.is_multiple_of(checkpoint_every) {
                 let ck_span = trace.enter(names::CHECKPOINT_SAVE, epoch_idx);
-                match build_checkpoint(&tape, &adam, &state, &rng, &best_params).save(path) {
+                #[cfg(any(test, feature = "fault-injection"))]
+                let ckpt_fault = fault_due(
+                    fault_plan.as_ref(),
+                    FaultKind::CheckpointWrite,
+                    state.epoch,
+                    &mut injected,
+                );
+                #[cfg(not(any(test, feature = "fault-injection")))]
+                let ckpt_fault = false;
+                let ck = build_checkpoint(&tape, &adam, &state, &rng, &best_params);
+                match save_checkpoint(&ck, path, ckpt_fault) {
                     Ok(n) => {
                         report.checkpoint_bytes = n;
                         trace.counter(names::CHECKPOINT_BYTES, epoch_idx, n as u64);
@@ -803,6 +1045,19 @@ pub(crate) fn fit_model(
     }
     report.recoveries = state.recoveries;
     report.degraded_to_baseline = degraded;
+    // A run-level degradation is the bottom of the ladder for every column
+    // that was still training: each steps down to its mode/mean baseline.
+    if degraded {
+        for t in tiers.iter_mut() {
+            if *t == ColumnTier::Gnn {
+                *t = ColumnTier::Baseline;
+            }
+        }
+    }
+    for (j, t) in tiers.iter().enumerate() {
+        trace.counter(names::COLUMN_TIER, j as u64, t.code());
+    }
+    report.column_tiers = tiers.clone();
 
     // Final checkpoint, so resuming a finished run is a no-op. Skipped
     // when degraded: the surviving state is the rolled-back one and the
@@ -811,15 +1066,26 @@ pub(crate) fn fit_model(
         let ck_span = trace.enter(names::CHECKPOINT_SAVE, state.epoch as u64);
         let ck = build_checkpoint(&tape, &adam, &state, &rng, &best_params);
         match &ckpt_path {
-            Some(path) => match ck.save(path) {
-                Ok(n) => report.checkpoint_bytes = n,
-                Err(e) => {
-                    report
-                        .io_errors
-                        .push(format!("checkpoint write failed: {e}"));
-                    trace.counter(names::IO_ERROR, report.io_errors.len() as u64, 1);
+            Some(path) => {
+                #[cfg(any(test, feature = "fault-injection"))]
+                let ckpt_fault = fault_due(
+                    fault_plan.as_ref(),
+                    FaultKind::CheckpointWrite,
+                    state.epoch,
+                    &mut injected,
+                );
+                #[cfg(not(any(test, feature = "fault-injection")))]
+                let ckpt_fault = false;
+                match save_checkpoint(&ck, path, ckpt_fault) {
+                    Ok(n) => report.checkpoint_bytes = n,
+                    Err(e) => {
+                        report
+                            .io_errors
+                            .push(format!("checkpoint write failed: {e}"));
+                        trace.counter(names::IO_ERROR, report.io_errors.len() as u64, 1);
+                    }
                 }
-            },
+            }
             None => report.checkpoint_bytes = ck.to_bytes().len(),
         }
         if report.checkpoint_bytes > 0 {
@@ -843,7 +1109,7 @@ pub(crate) fn fit_model(
             ColumnKind::Numerical => Vec::new(),
         })
         .collect();
-    FittedModel {
+    Ok(FittedModel {
         config: cfg.clone(),
         normalizer,
         norm,
@@ -860,8 +1126,25 @@ pub(crate) fn fit_model(
         dictionaries,
         ft_seed,
         needs_rebind: false,
+        tiers,
         report,
+    })
+}
+
+/// Save a checkpoint, or fail with an injected IO error when the fault
+/// plan poisons checkpoint writes (chaos-harness hook; `inject_io_fault`
+/// is constant `false` outside fault-injection builds).
+fn save_checkpoint(
+    ck: &TrainCheckpoint,
+    path: &std::path::Path,
+    inject_io_fault: bool,
+) -> Result<usize, grimp_tensor::CheckpointError> {
+    if inject_io_fault {
+        return Err(grimp_tensor::CheckpointError::Io(std::io::Error::other(
+            "injected checkpoint write fault",
+        )));
     }
+    ck.save(path)
 }
 
 /// `true` when a checkpoint's parameter tensors line up one-to-one, shape
@@ -896,21 +1179,26 @@ fn build_checkpoint(
     }
 }
 
-/// Mode/mean fallback used when divergence recovery is exhausted: every
+/// Mode/mean fallback (safety net of [`Grimp::fit_impute_traced`]): every
 /// missing categorical gets its column mode, every missing numerical its
-/// column mean (0 when the whole column is missing). Categorical columns
-/// with an empty dictionary are skipped, exactly like the GNN path.
+/// column mean, and columns with no statistic at all fall to the global
+/// constants — every missing cell is filled, without exception.
 fn baseline_fill(dirty: &Table) -> Table {
     let mut result = dirty.clone();
     for (i, j) in dirty.missing_cells() {
         match dirty.schema().column(j).kind {
             ColumnKind::Categorical => {
-                if let Some(m) = dirty.mode(j) {
-                    result.set(i, j, Value::Cat(m));
-                }
+                let code = dirty
+                    .mode(j)
+                    .unwrap_or_else(|| result.intern(j, CONSTANT_FILL_CATEGORICAL));
+                result.set(i, j, Value::Cat(code));
             }
             ColumnKind::Numerical => {
-                result.set(i, j, Value::Num(dirty.mean(j).unwrap_or(0.0)));
+                result.set(
+                    i,
+                    j,
+                    Value::Num(dirty.mean(j).unwrap_or(CONSTANT_FILL_NUMERICAL)),
+                );
             }
         }
     }
@@ -961,6 +1249,26 @@ fn inject_parameter_fault(
             *first = f32::NAN;
             return;
         }
+    }
+}
+
+/// Poison task `column`'s loss value with `NaN` when the fault plan says
+/// so: a per-column divergence that must demote only that column down the
+/// degradation ladder.
+#[cfg(any(test, feature = "fault-injection"))]
+fn inject_task_loss_fault(
+    tape: &mut Tape,
+    loss: Var,
+    plan: Option<&FaultPlan>,
+    column: usize,
+    epoch: usize,
+    injected: &mut usize,
+) {
+    if !fault_due(plan, FaultKind::TaskLossNan(column), epoch, injected) {
+        return;
+    }
+    if let Some(first) = tape.value_mut(loss).as_mut_slice().first_mut() {
+        *first = f32::NAN;
     }
 }
 
@@ -1459,11 +1767,11 @@ mod tests {
         let cfg = tiny_config(TaskKind::Attention);
         let reference = Grimp::new(cfg.clone()).fit_impute(&dirty);
         let mut sink = NullSink;
-        let mut fitted = fit_model(&cfg, &FdSet::empty(), &dirty, &mut sink);
-        let via_pipeline = fitted.impute(&dirty);
+        let mut fitted = fit_model(&cfg, &FdSet::empty(), &dirty, &mut sink).unwrap();
+        let via_pipeline = fitted.impute(&dirty).unwrap();
         assert_tables_bit_identical(&reference, &via_pipeline);
         // a second impute of the same table is stable
-        let again = fitted.impute(&dirty);
+        let again = fitted.impute(&dirty).unwrap();
         assert_tables_bit_identical(&reference, &again);
     }
 
@@ -1474,19 +1782,19 @@ mod tests {
         inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(12));
         let cfg = tiny_config(TaskKind::Attention);
         let mut sink = NullSink;
-        let mut fitted = fit_model(&cfg, &FdSet::empty(), &dirty, &mut sink);
+        let mut fitted = fit_model(&cfg, &FdSet::empty(), &dirty, &mut sink).unwrap();
 
         // an unseen table over the same schema and value domain
         let unseen_clean = functional_table(40);
         let mut unseen = unseen_clean.clone();
         let log = inject_mcar(&mut unseen, 0.15, &mut StdRng::seed_from_u64(13));
-        let imputed = fitted.impute(&unseen);
+        let imputed = fitted.impute(&unseen).unwrap();
         check_imputation_contract(&unseen, &imputed).unwrap();
         let acc = cat_accuracy(&log, &imputed);
         assert!(acc > 0.5, "inductive accuracy too low: {acc}");
 
         // and the model can go back to its training table afterwards
-        let back = fitted.impute(&dirty);
+        let back = fitted.impute(&dirty).unwrap();
         check_imputation_contract(&dirty, &back).unwrap();
     }
 }

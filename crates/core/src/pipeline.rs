@@ -6,7 +6,9 @@
 //! [`ConfigError`] instead of panicking mid-training), and
 //! [`Pipeline::fit`] returns a [`FittedModel`] that can impute the
 //! training table (transductive, paper §3.7) or — with FastText features —
-//! schema-compatible unseen tables (inductive).
+//! schema-compatible unseen tables (inductive). Every fallible step
+//! surfaces as a typed [`GrimpError`] — the pipeline never panics on
+//! adversarial input.
 //!
 //! ```
 //! use grimp::{GrimpConfig, Pipeline};
@@ -22,8 +24,11 @@
 //!     .seed(1)
 //!     .build()
 //!     .expect("valid config");
-//! let mut fitted = Pipeline::new(config).expect("validated").fit(&dirty);
-//! let imputed = fitted.impute(&dirty);
+//! let mut fitted = Pipeline::new(config)
+//!     .expect("validated")
+//!     .fit(&dirty)
+//!     .expect("non-empty schema");
+//! let imputed = fitted.impute(&dirty).expect("training table");
 //! assert_eq!(imputed.n_missing(), 0);
 //! ```
 
@@ -31,6 +36,7 @@ use grimp_obs::{EventSink, NullSink};
 use grimp_table::{FdSet, Table};
 
 use crate::config::{ConfigError, GrimpConfig};
+use crate::error::GrimpError;
 use crate::model::{fit_model, variant_name, FittedModel};
 
 /// A validated, ready-to-fit GRIMP pipeline.
@@ -71,14 +77,27 @@ impl Pipeline {
 
     /// Train on the dirty table (self-supervised) and return the fitted
     /// inference handle.
-    pub fn fit(&self, dirty: &Table) -> FittedModel {
+    ///
+    /// # Errors
+    /// [`GrimpError::EmptySchema`] when the table has no columns. All other
+    /// degenerate inputs fit successfully, with pathological columns
+    /// stepped down the degradation ladder
+    /// (see [`FittedModel::column_tiers`]).
+    pub fn fit(&self, dirty: &Table) -> Result<FittedModel, GrimpError> {
         let mut sink = NullSink;
         self.fit_traced(dirty, &mut sink)
     }
 
     /// [`Pipeline::fit`] with structured events streamed into `sink` (see
     /// [`grimp_obs::names`] for the vocabulary).
-    pub fn fit_traced(&self, dirty: &Table, sink: &mut dyn EventSink) -> FittedModel {
+    ///
+    /// # Errors
+    /// Same contract as [`Pipeline::fit`].
+    pub fn fit_traced(
+        &self,
+        dirty: &Table,
+        sink: &mut dyn EventSink,
+    ) -> Result<FittedModel, GrimpError> {
         fit_model(&self.config, &self.fds, dirty, sink)
     }
 }
@@ -147,10 +166,10 @@ mod tests {
         let mut dirty = small_table(45);
         inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(2));
         let pipeline = Pipeline::new(quick_config()).unwrap();
-        let mut fitted = pipeline.fit(&dirty);
+        let mut fitted = pipeline.fit(&dirty).unwrap();
         assert!(!fitted.is_degraded());
         assert!(fitted.report().epochs_run > 0);
-        let imputed = fitted.impute(&dirty);
+        let imputed = fitted.impute(&dirty).unwrap();
         check_imputation_contract(&dirty, &imputed).unwrap();
         assert_eq!(imputed.n_missing(), 0);
     }
@@ -159,9 +178,19 @@ mod tests {
     fn report_seconds_accumulate_over_imputes() {
         let mut dirty = small_table(30);
         inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(3));
-        let mut fitted = Pipeline::new(quick_config()).unwrap().fit(&dirty);
+        let mut fitted = Pipeline::new(quick_config()).unwrap().fit(&dirty).unwrap();
         let after_fit = fitted.report().seconds;
         let _ = fitted.impute(&dirty);
         assert!(fitted.report().seconds > after_fit);
+    }
+
+    #[test]
+    fn fitting_a_zero_column_table_is_a_typed_error() {
+        let dirty = Table::empty(Schema::from_pairs(&[]));
+        match Pipeline::new(quick_config()).unwrap().fit(&dirty) {
+            Err(GrimpError::EmptySchema) => {}
+            Err(e) => panic!("wrong error: {e}"),
+            Ok(_) => panic!("a zero-column table must not fit"),
+        }
     }
 }

@@ -8,9 +8,67 @@
 //! `Vec<EpochStats>`, and the old names survive as accessor methods so
 //! benches and experiment code keep reading the same numbers.
 
+use std::fmt;
+
 use grimp_obs::{Event, EventKind};
 
 use crate::fault::TrainAnomaly;
+
+/// Which rung of the per-column degradation ladder imputes a column.
+///
+/// Every column starts at [`ColumnTier::Gnn`]. Pathological columns
+/// (all-missing, single distinct value) are demoted before training;
+/// a column whose task loss diverges mid-run is demoted without touching
+/// its healthy neighbours; exhausting the rollback budget demotes whatever
+/// is left. Demotion only ever steps *down* — a column never climbs back
+/// up within a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ColumnTier {
+    /// Imputed by the column's trained GNN task head.
+    #[default]
+    Gnn,
+    /// Imputed by the column's mode (categorical) or mean (numerical).
+    Baseline,
+    /// Imputed by a global constant — `"(unknown)"` / `0.0` — because the
+    /// column has no observed values to take a mode or mean from.
+    Constant,
+}
+
+impl ColumnTier {
+    /// Stable numeric code used in `column_tier` trace events.
+    pub fn code(self) -> u64 {
+        match self {
+            ColumnTier::Gnn => 0,
+            ColumnTier::Baseline => 1,
+            ColumnTier::Constant => 2,
+        }
+    }
+
+    /// Inverse of [`ColumnTier::code`]; unknown codes clamp to `Constant`
+    /// (the most conservative tier).
+    pub fn from_code(code: u64) -> Self {
+        match code {
+            0 => ColumnTier::Gnn,
+            1 => ColumnTier::Baseline,
+            _ => ColumnTier::Constant,
+        }
+    }
+
+    /// Lowercase label used in traces and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ColumnTier::Gnn => "gnn",
+            ColumnTier::Baseline => "baseline",
+            ColumnTier::Constant => "constant",
+        }
+    }
+}
+
+impl fmt::Display for ColumnTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Everything measured about one *completed* training epoch. Epoch
 /// attempts undone by the divergence guard's rollback are not recorded
@@ -76,6 +134,8 @@ pub struct TrainReport {
     /// Whether the run exhausted `max_recoveries` and fell back to the
     /// mode/mean baseline imputer.
     pub degraded_to_baseline: bool,
+    /// Final degradation-ladder tier of every column, in schema order.
+    pub column_tiers: Vec<ColumnTier>,
     /// Epoch count restored from a disk checkpoint, when resuming.
     pub resumed_from_epoch: Option<usize>,
     /// Non-fatal checkpoint I/O problems (failed resume or write). Training
@@ -174,7 +234,9 @@ impl TrainReport {
                 }
                 (EventKind::Counter, names::ANOMALY) => {
                     let epoch = e.index as usize;
-                    report.anomalies.push(match e.value as u32 {
+                    // Codes 0..=2 are the run-level anomalies; 3 + column
+                    // encodes a per-column task-loss divergence.
+                    report.anomalies.push(match e.value as u64 {
                         0 => TrainAnomaly::NonFiniteLoss {
                             epoch,
                             train: f32::NAN,
@@ -184,8 +246,19 @@ impl TrainReport {
                             epoch,
                             norm: f64::NAN,
                         },
-                        _ => TrainAnomaly::NonFiniteParameter { epoch },
+                        2 => TrainAnomaly::NonFiniteParameter { epoch },
+                        code => TrainAnomaly::NonFiniteTaskLoss {
+                            epoch,
+                            column: (code - 3) as usize,
+                        },
                     });
+                }
+                (EventKind::Counter, names::COLUMN_TIER) => {
+                    let column = e.index as usize;
+                    if report.column_tiers.len() <= column {
+                        report.column_tiers.resize(column + 1, ColumnTier::Gnn);
+                    }
+                    report.column_tiers[column] = ColumnTier::from_code(e.value as u64);
                 }
                 (EventKind::Counter, names::RECOVERY) => report.recoveries = e.value as usize,
                 (EventKind::Counter, names::GRAD_CLIP) => report.clip_activations += 1,

@@ -5,7 +5,7 @@
 //! feature gate actually exports everything needed.
 #![cfg(feature = "fault-injection")]
 
-use grimp::{FaultKind, FaultPlan, Grimp, GrimpConfig, TaskKind, TrainAnomaly};
+use grimp::{ColumnTier, FaultKind, FaultPlan, Grimp, GrimpConfig, TaskKind, TrainAnomaly};
 use grimp_graph::FeatureSource;
 use grimp_table::{inject_mcar, ColumnKind, Schema, Table};
 use rand::rngs::StdRng;
@@ -90,4 +90,90 @@ fn feature_gated_exhaustion_degrades_but_still_imputes() {
     assert!(report.degraded_to_baseline);
     assert_eq!(report.recoveries, 2);
     assert_eq!(imputed.n_missing(), 0, "degraded run must fill every cell");
+}
+
+#[test]
+fn task_loss_fault_demotes_only_the_poisoned_column() {
+    let mut dirty = training_table(40);
+    inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(7));
+
+    let mut cfg = tiny_config();
+    cfg.fault_injection = Some(FaultPlan {
+        at_epoch: 3,
+        times: 1,
+        kind: FaultKind::TaskLossNan(1),
+    });
+    let mut model = Grimp::new(cfg);
+    let imputed = model.fit_impute(&dirty);
+    let report = model.last_report().expect("fit_impute sets a report");
+
+    // Exactly column 1 steps down the ladder; its neighbours keep their
+    // trained heads and the run neither rolls back nor degrades globally.
+    assert_eq!(
+        report.column_tiers,
+        vec![ColumnTier::Gnn, ColumnTier::Baseline, ColumnTier::Gnn]
+    );
+    assert!(matches!(
+        report.anomalies.as_slice(),
+        [TrainAnomaly::NonFiniteTaskLoss {
+            epoch: 3,
+            column: 1
+        }]
+    ));
+    assert!(!report.degraded_to_baseline);
+    assert_eq!(
+        report.recoveries, 0,
+        "per-column demotion is not a rollback"
+    );
+    assert!(
+        report.epochs_run > 4,
+        "training continues after the demotion (ran {})",
+        report.epochs_run
+    );
+    assert_eq!(imputed.n_missing(), 0);
+}
+
+#[test]
+fn checkpoint_write_fault_is_reported_and_training_completes() {
+    let mut dirty = training_table(40);
+    inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(8));
+
+    let dir = std::env::temp_dir().join(format!("grimp-ckpt-fault-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut cfg = tiny_config();
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.checkpoint_every = 1;
+    cfg.fault_injection = Some(FaultPlan {
+        at_epoch: 2,
+        times: 1,
+        kind: FaultKind::CheckpointWrite,
+    });
+    let mut model = Grimp::new(cfg);
+    let imputed = model.fit_impute(&dirty);
+    let report = model.last_report().expect("fit_impute sets a report");
+
+    assert_eq!(
+        report.io_errors.len(),
+        1,
+        "io errors: {:?}",
+        report.io_errors
+    );
+    assert!(
+        report.io_errors[0].contains("checkpoint write failed"),
+        "{}",
+        report.io_errors[0]
+    );
+    assert!(
+        report.anomalies.is_empty(),
+        "an IO fault is not a divergence"
+    );
+    assert!(!report.degraded_to_baseline);
+    assert_eq!(imputed.n_missing(), 0);
+    assert!(
+        dir.join(grimp::CHECKPOINT_FILE).exists(),
+        "later saves still land on disk"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -52,7 +52,9 @@ fn quick_config() -> GrimpConfig {
 fn traced_run(seed_table: &Table) -> (TrainReport, Vec<Event>) {
     let mut sink = MemorySink::new();
     let pipeline = Pipeline::new(quick_config()).expect("validated");
-    let mut fitted = pipeline.fit_traced(seed_table, &mut sink);
+    let mut fitted = pipeline
+        .fit_traced(seed_table, &mut sink)
+        .expect("table has columns");
     let _ = fitted.impute_traced(seed_table, &mut sink);
     (fitted.report().clone(), sink.events().to_vec())
 }
@@ -104,6 +106,7 @@ fn report_from_events_matches_the_live_report_bit_for_bit() {
     assert_eq!(replayed.degraded_to_baseline, live.degraded_to_baseline);
     assert_eq!(replayed.resumed_from_epoch, live.resumed_from_epoch);
     assert_eq!(replayed.io_errors.len(), live.io_errors.len());
+    assert_eq!(replayed.column_tiers, live.column_tiers);
     // Per-epoch phase times line up with the run totals.
     let fwd: f64 = replayed.epochs.iter().map(|e| e.forward_s).sum();
     assert!(fwd <= replayed.forward_s + 1e-12);
@@ -163,7 +166,9 @@ fn jsonl_trace_round_trips_through_the_hand_rolled_parser() {
     {
         let mut sink = JsonlSink::create(&path).expect("create trace file");
         let pipeline = Pipeline::new(quick_config()).expect("validated");
-        let mut fitted = pipeline.fit_traced(&dirty, &mut sink);
+        let mut fitted = pipeline
+            .fit_traced(&dirty, &mut sink)
+            .expect("table has columns");
         let _ = fitted.impute_traced(&dirty, &mut sink);
     }
     let text = std::fs::read_to_string(&path).expect("trace written");

@@ -1,7 +1,7 @@
 //! Property-based tests of GRIMP's core machinery: training-vector batches,
 //! K-matrix construction, and the imputation contract on random tables.
 
-use grimp::{build_k_matrix, Grimp, GrimpConfig, KStrategy, VectorBatch};
+use grimp::{build_k_matrix, Grimp, GrimpConfig, KStrategy, Pipeline, VectorBatch};
 use grimp_graph::{GraphConfig, TableGraph};
 use grimp_table::{check_imputation_contract, ColumnKind, FdSet, Imputer, Schema, Table};
 use proptest::prelude::*;
@@ -21,6 +21,45 @@ fn arb_table() -> impl Strategy<Value = Table> {
             let a = a.map(|v| format!("a{v}"));
             let b = b.map(|v| format!("b{v}"));
             t.push_str_row(&[a.as_deref(), b.as_deref()]);
+        }
+        t
+    })
+}
+
+/// A hostile mixed-kind table: categorical cells may be empty strings or
+/// missing, numerical cells may be NaN/±inf or missing, and an entire
+/// column may be blanked out. Single-row tables are in range.
+fn arb_hostile_table() -> impl Strategy<Value = Table> {
+    let cat = prop_oneof![
+        3 => (0u32..3).prop_map(|v| Some(format!("c{v}"))),
+        1 => Just(Some(String::new())),
+        2 => Just(None),
+    ];
+    let num = prop_oneof![
+        3 => (-4i32..4).prop_map(|v| Some(format!("{}.5", v))),
+        1 => Just(Some("NaN".to_string())),
+        1 => Just(Some("inf".to_string())),
+        1 => Just(Some("-inf".to_string())),
+        2 => Just(None),
+    ];
+    let rows = proptest::collection::vec((cat.clone(), cat, num), 1..20);
+    (rows, 0usize..5).prop_map(|(rows, blank_col)| {
+        let schema = Schema::from_pairs(&[
+            ("a", ColumnKind::Categorical),
+            ("b", ColumnKind::Categorical),
+            ("x", ColumnKind::Numerical),
+        ]);
+        let mut t = Table::empty(schema);
+        for (a, b, x) in &rows {
+            let cell = |j: usize, v: &Option<String>| {
+                if j == blank_col {
+                    None
+                } else {
+                    v.clone()
+                }
+            };
+            let (a, b, x) = (cell(0, a), cell(1, b), cell(2, x));
+            t.push_str_row(&[a.as_deref(), b.as_deref(), x.as_deref()]);
         }
         t
     })
@@ -103,6 +142,53 @@ proptest! {
             let v = imputed.display(i, j);
             let prefix = if j == 0 { "a" } else { "b" };
             prop_assert!(v.starts_with(prefix), "leaked {v} into column {j}");
+        }
+    }
+
+    #[test]
+    fn hostile_tables_never_panic_and_always_fill(t in arb_hostile_table(), seed in 0u64..8) {
+        // The never-panic/always-impute contract with NO assumptions: any
+        // column may be all-missing, rows may number exactly one, strings
+        // may be empty, numerics may be NaN or ±inf. The degradation
+        // ladder must still fill every missing cell.
+        let cfg = GrimpConfig {
+            feature_dim: 8,
+            gnn: grimp_gnn::GnnConfig { layers: 1, hidden: 8, ..Default::default() },
+            merge_hidden: 16,
+            embed_dim: 8,
+            max_epochs: 3,
+            patience: 3,
+            ..GrimpConfig::fast()
+        }
+        .with_seed(seed);
+        let pipeline = Pipeline::new(cfg).expect("valid config");
+        let fit = pipeline.fit(&t);
+        prop_assert!(
+            fit.is_ok(),
+            "fit failed: {}",
+            fit.as_ref().err().map_or(String::new(), |e| e.to_string())
+        );
+        let Ok(mut fitted) = fit else { unreachable!() };
+        let imputation = fitted.impute(&t);
+        prop_assert!(
+            imputation.is_ok(),
+            "impute failed: {}",
+            imputation.as_ref().err().map_or(String::new(), |e| e.to_string())
+        );
+        let Ok(imputed) = imputation else { unreachable!() };
+        prop_assert_eq!(imputed.n_missing(), 0, "missing cells survived");
+        prop_assert_eq!(imputed.n_rows(), t.n_rows());
+        prop_assert_eq!(
+            fitted.report().column_tiers.len(),
+            t.n_columns(),
+            "one ladder tier per column"
+        );
+        // Imputed numerics are finite even when the observed ones are not.
+        for (i, j) in t.missing_cells() {
+            if j == 2 {
+                let v = imputed.get(i, j).as_num().expect("numeric cell");
+                prop_assert!(v.is_finite(), "imputed non-finite {v}");
+            }
         }
     }
 }

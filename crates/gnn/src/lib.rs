@@ -6,6 +6,7 @@
 //! through ReLU (`σ`). The `W_self` term realizes the paper's self-loops.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod sage;
 

@@ -14,6 +14,7 @@
 //!   §3.4 behind one API.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod embdi;
 pub mod fasttext;

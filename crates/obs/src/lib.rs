@@ -32,7 +32,7 @@
 //! used by the GRIMP pipeline live in [`names`].
 
 #![warn(missing_docs)]
-#![warn(clippy::unwrap_used)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod histogram;
 pub mod json;
@@ -298,7 +298,8 @@ pub mod names {
     /// Gradient clipping fired (counter, index = epoch, value = 1).
     pub const GRAD_CLIP: &str = "grad_clip";
     /// Divergence anomaly detected (counter, index = epoch, value =
-    /// anomaly kind code: 0 loss, 1 gradient, 2 parameter).
+    /// anomaly kind code: 0 loss, 1 gradient, 2 parameter, 3 + column for
+    /// a per-column task-loss divergence).
     pub const ANOMALY: &str = "anomaly";
     /// Rollback recovery consumed (counter, value = recoveries so far).
     pub const RECOVERY: &str = "recovery";
@@ -320,6 +321,13 @@ pub mod names {
     pub const IMPUTE: &str = "impute";
     /// Missing cells filled for one task (counter, index = task id).
     pub const IMPUTED_CELLS: &str = "imputed_cells";
+    /// One column demoted down the degradation ladder mid-training
+    /// (counter, index = column id, value = epoch of the demotion).
+    pub const COLUMN_DEMOTED: &str = "column_demoted";
+    /// Final degradation-ladder tier of one column, emitted at the end of
+    /// fit (counter, index = column id, value = tier code: 0 gnn,
+    /// 1 baseline, 2 constant).
+    pub const COLUMN_TIER: &str = "column_tier";
 }
 
 #[cfg(test)]

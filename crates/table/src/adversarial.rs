@@ -1,0 +1,300 @@
+//! Deterministic adversarial table generators for the chaos harness.
+//!
+//! Each generator produces a small table that is hostile in one specific
+//! way — all-missing columns, single rows, non-finite numerics, degenerate
+//! dictionaries, pathological strings, 10k-distinct categorical domains.
+//! The never-panic/always-impute contract says the pipeline must accept
+//! every one of them: no panic, every missing cell filled (possibly from a
+//! degraded ladder tier), typed errors for inputs that cannot even be
+//! constructed (see [`malformed_csvs`]).
+//!
+//! Everything here is deterministic — no RNG, no clocks — so chaos runs are
+//! bit-reproducible and failures replay exactly.
+
+use crate::schema::{ColumnKind, Schema};
+use crate::table::Table;
+
+/// One adversarial input: a name for reporting, the hostile table, and what
+/// makes it hostile.
+pub struct Scenario {
+    /// Short stable identifier (used in test output and `grimp chaos`).
+    pub name: &'static str,
+    /// What property of the input is adversarial.
+    pub detail: &'static str,
+    /// The table itself.
+    pub table: Table,
+}
+
+/// A mixed-kind table where one categorical column has no observed value at
+/// all — its dictionary is empty, so only the constant tier can fill it.
+pub fn all_missing_categorical() -> Table {
+    let schema = Schema::from_pairs(&[
+        ("k", ColumnKind::Categorical),
+        ("ghost", ColumnKind::Categorical),
+    ]);
+    let mut t = Table::empty(schema);
+    for i in 0..12 {
+        let k = format!("k{}", i % 3);
+        t.push_str_row(&[Some(&k), None]);
+    }
+    t
+}
+
+/// A numerical column with no observed value — no mean exists, so only the
+/// constant tier can fill it.
+pub fn all_missing_numerical() -> Table {
+    let schema = Schema::from_pairs(&[
+        ("k", ColumnKind::Categorical),
+        ("ghost_x", ColumnKind::Numerical),
+    ]);
+    let mut t = Table::empty(schema);
+    for i in 0..12 {
+        let k = format!("k{}", i % 3);
+        t.push_str_row(&[Some(&k), None]);
+    }
+    t
+}
+
+/// A single-row table with a missing cell: no validation split is possible
+/// and most columns have at most one observed value.
+pub fn single_row() -> Table {
+    let schema = Schema::from_pairs(&[
+        ("a", ColumnKind::Categorical),
+        ("b", ColumnKind::Categorical),
+        ("x", ColumnKind::Numerical),
+    ]);
+    let mut t = Table::empty(schema);
+    t.push_str_row(&[Some("only"), None, Some("1.5")]);
+    t
+}
+
+/// A table with no rows at all: nothing to train on, nothing to impute.
+pub fn zero_rows() -> Table {
+    let schema =
+        Schema::from_pairs(&[("a", ColumnKind::Categorical), ("x", ColumnKind::Numerical)]);
+    Table::empty(schema)
+}
+
+/// Observed `NaN`, `+inf`, and `-inf` cells sharing a numerical column with
+/// honest values and missing cells. The non-finite observations must not
+/// poison the column statistics or the training loss.
+pub fn nan_inf_numerics() -> Table {
+    let schema =
+        Schema::from_pairs(&[("k", ColumnKind::Categorical), ("x", ColumnKind::Numerical)]);
+    let mut t = Table::empty(schema);
+    let xs = [
+        Some("NaN"),
+        Some("inf"),
+        Some("-inf"),
+        Some("1.0"),
+        Some("2.0"),
+        None,
+        Some("3.0"),
+        None,
+        Some("4.0"),
+        Some("NaN"),
+        Some("5.0"),
+        None,
+    ];
+    for (i, x) in xs.iter().enumerate() {
+        let k = format!("k{}", i % 3);
+        t.push_str_row(&[Some(&k), *x]);
+    }
+    t
+}
+
+/// Unicode and control-character categorical values: NULs, newlines, tabs,
+/// combining marks, RTL text, emoji, and the empty string (which the CSV
+/// layer would treat as null, but the table layer must carry verbatim).
+pub fn hostile_strings() -> Table {
+    let schema = Schema::from_pairs(&[
+        ("s", ColumnKind::Categorical),
+        ("t", ColumnKind::Categorical),
+    ]);
+    let values: [&str; 8] = [
+        "plain",
+        "with\nnewline",
+        "with\ttab",
+        "nul\0byte",
+        "e\u{301}combining",
+        "\u{202e}rtl-override",
+        "🦀🧨",
+        "",
+    ];
+    let mut t = Table::empty(schema);
+    for (i, v) in values.iter().enumerate() {
+        let other = if i % 3 == 0 { None } else { Some("anchor") };
+        t.push_str_row(&[Some(v), other]);
+    }
+    // A second pass so every hostile value is observed at least twice.
+    for v in values.iter() {
+        t.push_str_row(&[Some(v), None]);
+    }
+    t
+}
+
+/// A categorical column with `n_distinct` unique observed values (a key in
+/// all but name) next to a low-cardinality column with missing cells.
+/// Stresses dictionary size, task-head width, and softmax batches.
+pub fn high_cardinality(n_distinct: usize) -> Table {
+    let schema = Schema::from_pairs(&[
+        ("id", ColumnKind::Categorical),
+        ("group", ColumnKind::Categorical),
+    ]);
+    let mut t = Table::empty(schema);
+    for i in 0..n_distinct {
+        let id = format!("v{i}");
+        let group = format!("g{}", i % 3);
+        let id_cell = if i % 101 == 0 {
+            None
+        } else {
+            Some(id.as_str())
+        };
+        let group_cell = if i % 7 == 0 {
+            None
+        } else {
+            Some(group.as_str())
+        };
+        t.push_str_row(&[id_cell, group_cell]);
+    }
+    t
+}
+
+/// A column where every observed value is identical (cardinality 1): the
+/// classifier has a single class, so the baseline tier is strictly better.
+pub fn single_distinct_column() -> Table {
+    let schema = Schema::from_pairs(&[
+        ("constant", ColumnKind::Categorical),
+        ("v", ColumnKind::Categorical),
+    ]);
+    let mut t = Table::empty(schema);
+    for i in 0..12 {
+        let c = if i % 4 == 0 { None } else { Some("const") };
+        let v = format!("v{}", i % 3);
+        t.push_str_row(&[c, Some(&v)]);
+    }
+    t
+}
+
+/// Every adversarial scenario, in a stable order. `high_cardinality` is
+/// instantiated at 2 000 distinct values here to keep the suite fast; the
+/// dedicated chaos test also runs the full 10 000.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "all_missing_categorical",
+            detail: "categorical column with zero observed values",
+            table: all_missing_categorical(),
+        },
+        Scenario {
+            name: "all_missing_numerical",
+            detail: "numerical column with zero observed values",
+            table: all_missing_numerical(),
+        },
+        Scenario {
+            name: "single_row",
+            detail: "one row, one missing cell, no validation split",
+            table: single_row(),
+        },
+        Scenario {
+            name: "zero_rows",
+            detail: "schema with no rows",
+            table: zero_rows(),
+        },
+        Scenario {
+            name: "nan_inf_numerics",
+            detail: "observed NaN/+inf/-inf cells in a numerical column",
+            table: nan_inf_numerics(),
+        },
+        Scenario {
+            name: "hostile_strings",
+            detail: "control chars, NULs, RTL overrides, emoji, empty string",
+            table: hostile_strings(),
+        },
+        Scenario {
+            name: "high_cardinality",
+            detail: "2000-distinct categorical column",
+            table: high_cardinality(2000),
+        },
+        Scenario {
+            name: "single_distinct_column",
+            detail: "cardinality-1 column (single observed value)",
+            table: single_distinct_column(),
+        },
+    ]
+}
+
+/// CSV inputs that must be *rejected* with a typed error — never a panic
+/// and never a silently mangled table.
+pub fn malformed_csvs() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("duplicate_headers", "a,a\n1,2\n"),
+        ("ragged_row", "a,b\n1\n"),
+        ("row_too_wide", "a,b\n1,2,3\n"),
+        ("empty_input", ""),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        // Cell-by-cell display comparison: `Table` equality uses `f64 ==`,
+        // which would report the (deliberate) NaN cells as unequal.
+        for (a, b) in scenarios().iter().zip(scenarios().iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.table.schema(), b.table.schema(), "{}", a.name);
+            assert_eq!(a.table.n_rows(), b.table.n_rows(), "{}", a.name);
+            for i in 0..a.table.n_rows() {
+                for j in 0..a.table.n_columns() {
+                    assert_eq!(
+                        a.table.is_missing(i, j),
+                        b.table.is_missing(i, j),
+                        "{} cell ({i},{j})",
+                        a.name
+                    );
+                    assert_eq!(
+                        a.table.display(i, j),
+                        b.table.display(i, j),
+                        "{} not deterministic at ({i},{j})",
+                        a.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scenarios_are_hostile_in_the_advertised_way() {
+        let t = all_missing_categorical();
+        assert!(t.dictionary(1).is_empty());
+        assert_eq!(t.column(1).n_missing(), t.n_rows());
+
+        let t = single_row();
+        assert_eq!(t.n_rows(), 1);
+        assert!(t.missing_cells().len() == 1);
+
+        let t = nan_inf_numerics();
+        let observed: Vec<f64> = (0..t.n_rows())
+            .filter_map(|i| t.get(i, 1).as_num())
+            .collect();
+        assert!(observed.iter().any(|v| v.is_nan()));
+        assert!(observed.iter().any(|v| v.is_infinite()));
+
+        let t = high_cardinality(500);
+        assert!(t.column(0).n_distinct() > 400);
+
+        let t = single_distinct_column();
+        assert_eq!(t.column(0).n_distinct(), 1);
+    }
+
+    #[test]
+    fn malformed_csvs_are_rejected_by_the_reader() {
+        for (name, text) in malformed_csvs() {
+            let r = crate::csv::read_csv_str(text);
+            assert!(r.is_err(), "{name} should not parse");
+        }
+    }
+}

@@ -47,7 +47,11 @@ impl Corpus {
         for i in 0..table.n_rows() {
             for j in 0..table.n_columns() {
                 let v = table.get(i, j);
-                if !v.is_null() {
+                // A NaN/±inf observation cannot serve as a regression label:
+                // its loss is non-finite from epoch 0 and would demote the
+                // whole column, so such cells yield no training sample.
+                let finite_label = v.as_num().is_none_or(f64::is_finite);
+                if !v.is_null() && finite_label {
                     all.push(TrainingSample {
                         row: i,
                         target_col: j,

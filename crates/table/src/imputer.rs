@@ -1,6 +1,7 @@
 //! The common interface every imputation algorithm implements.
 
 use crate::table::Table;
+use crate::value::Value;
 
 /// An imputation algorithm `A`: given a dirty table `D` it produces the
 /// imputed table `D̃` in which every `∅` cell is replaced by a value from the
@@ -30,7 +31,7 @@ pub fn check_imputation_contract(dirty: &Table, imputed: &Table) -> Result<(), S
                 if after.is_null() {
                     return Err(format!("cell ({i}, {j}) left missing"));
                 }
-            } else if before != after {
+            } else if !values_identical(&before, &after) {
                 return Err(format!(
                     "non-missing cell ({i}, {j}) changed from {before:?} to {after:?}"
                 ));
@@ -38,6 +39,16 @@ pub fn check_imputation_contract(dirty: &Table, imputed: &Table) -> Result<(), S
         }
     }
     Ok(())
+}
+
+/// Cell identity for the contract check: numericals compare by bit pattern
+/// so an untouched `NaN` observation counts as unchanged (`NaN != NaN`
+/// under `PartialEq` would misreport it as modified).
+fn values_identical(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Num(x), Value::Num(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
 }
 
 #[cfg(test)]

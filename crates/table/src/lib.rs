@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod adversarial;
 pub mod corpus;
 pub mod corrupt;
 pub mod csv;

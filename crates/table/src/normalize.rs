@@ -24,8 +24,12 @@ impl Normalizer {
             .map(|j| match table.schema().column(j).kind {
                 ColumnKind::Categorical => None,
                 ColumnKind::Numerical => {
+                    // Non-finite observations (a single NaN or ±inf cell)
+                    // would poison the mean/std for the whole column, so
+                    // they are excluded from the statistics.
                     let vals: Vec<f64> = (0..table.n_rows())
                         .filter_map(|i| table.get(i, j).as_num())
+                        .filter(|v| v.is_finite())
                         .collect();
                     if vals.is_empty() {
                         return Some((0.0, 1.0));
@@ -33,7 +37,15 @@ impl Normalizer {
                     let mean = vals.iter().sum::<f64>() / vals.len() as f64;
                     let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
                         / vals.len() as f64;
-                    let std = if var > 0.0 { var.sqrt() } else { 1.0 };
+                    let std = if var > 0.0 && var.is_finite() {
+                        var.sqrt()
+                    } else {
+                        1.0
+                    };
+                    if !mean.is_finite() {
+                        // Finite values whose *sum* overflows to inf.
+                        return Some((0.0, 1.0));
+                    }
                     Some((mean, std))
                 }
             })

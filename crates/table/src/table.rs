@@ -366,14 +366,15 @@ impl Table {
             .map(|(i, _)| i as u32)
     }
 
-    /// Mean of the non-null values of a numerical column, or `None` if all
-    /// values are null.
+    /// Mean of the non-null *finite* values of a numerical column, or
+    /// `None` if no such value exists (all null, or all NaN/±inf).
     pub fn mean(&self, j: usize) -> Option<f64> {
         match &self.columns[j] {
             Column::Numerical { values } => {
                 let (sum, n) = values
                     .iter()
                     .flatten()
+                    .filter(|v| v.is_finite())
                     .fold((0.0, 0usize), |(s, n), &v| (s + v, n + 1));
                 (n > 0).then(|| sum / n as f64)
             }

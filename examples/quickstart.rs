@@ -51,8 +51,10 @@ fn main() {
         .expect("valid config");
     let pipeline = Pipeline::new(config).expect("validated config");
     let mut sink = MemorySink::new();
-    let mut model = pipeline.fit_traced(&dirty, &mut sink);
-    let imputed = model.impute(&dirty);
+    let mut model = pipeline
+        .fit_traced(&dirty, &mut sink)
+        .expect("table has columns");
+    let imputed = model.impute(&dirty).expect("training table");
 
     let report = model.report();
     println!(

@@ -24,11 +24,16 @@ cargo test -q --workspace
 echo "==> cargo test -q -p grimp-core --features fault-injection (fault-injection suite)"
 cargo test -q -p grimp-core --features fault-injection
 
+echo "==> chaos harness (adversarial inputs + corrupted-checkpoint fallback + CLI exit codes)"
+cargo test -q -p grimp-core --test chaos
+cargo test -q -p grimp-cli --test exit_codes
+cargo run --release -p grimp-cli --bin grimp -- chaos --seed 1
+
 echo "==> grimp-obs gate (clippy -D warnings + tests incl. zero-alloc NullSink)"
 cargo clippy -p grimp-obs --all-targets -- -D warnings
 cargo test -q -p grimp-obs
 
-echo "==> hotpath probe (writes BENCH_hotpath.json; asserts NullSink overhead < 2%)"
+echo "==> hotpath probe (writes BENCH_hotpath.json; asserts NullSink + guard overhead < 2%)"
 cargo run --release -p grimp-bench --bin hotpath_probe
 
 echo "tier1: all green"

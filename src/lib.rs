@@ -12,8 +12,8 @@
 //!     .seed(0)
 //!     .build()
 //!     .unwrap();
-//! let mut model = Pipeline::new(config).unwrap().fit(&dirty);
-//! let imputed = model.impute(&dirty);
+//! let mut model = Pipeline::new(config).unwrap().fit(&dirty).unwrap();
+//! let imputed = model.impute(&dirty).unwrap();
 //! assert_eq!(imputed.n_missing(), 0);
 //! ```
 
@@ -32,8 +32,8 @@ pub use grimp_tensor as tensor;
 /// The types most imputation programs need.
 pub mod prelude {
     pub use grimp::{
-        ConfigError, EpochStats, FittedModel, Grimp, GrimpConfig, GrimpConfigBuilder, KStrategy,
-        Pipeline, TaskKind, TrainReport, TrainedGrimp,
+        ColumnTier, ConfigError, EpochStats, ErrorCategory, FittedModel, Grimp, GrimpConfig,
+        GrimpConfigBuilder, GrimpError, KStrategy, Pipeline, TaskKind, TrainReport, TrainedGrimp,
     };
     pub use grimp_metrics::{dataset_stats, evaluate};
     pub use grimp_obs::{EventKind, EventSink, JsonlSink, MemorySink, NullSink};
