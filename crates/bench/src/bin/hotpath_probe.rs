@@ -19,7 +19,7 @@
 use std::fmt::Write as _;
 use std::fs;
 
-use grimp::{Grimp, GrimpConfig, Pipeline, TaskKind, TrainReport};
+use grimp::{Grimp, GrimpConfig, Pipeline, ShutdownFlag, TaskKind, TrainReport};
 use grimp_bench::{corrupt, prepare, Profile};
 use grimp_datasets::DatasetId;
 use grimp_gnn::GnnConfig;
@@ -104,6 +104,33 @@ fn mode_result(report: &TrainReport) -> ModeResult {
         recoveries: report.recoveries,
         checkpoint_bytes: report.checkpoint_bytes,
     }
+}
+
+/// The probe config with every governance feature armed but never firing:
+/// an unreachable deadline, an unreachable memory budget, and an installed
+/// (never requested) shutdown flag. Measures what governed *checks* cost
+/// on the hot path when no limit is hit — the common production case.
+fn governed_config() -> GrimpConfig {
+    let mut cfg = probe_config(false);
+    cfg.deadline_secs = Some(1e9);
+    cfg.memory_budget_mb = Some(1 << 20);
+    cfg.shutdown = Some(ShutdownFlag::new());
+    cfg
+}
+
+fn run_config(dirty: &Table, cfg: &GrimpConfig) -> ModeResult {
+    let mut best: Option<ModeResult> = None;
+    for _ in 0..REPS {
+        let mut model = Grimp::new(cfg.clone());
+        let _ = model.fit_impute(dirty);
+        let report = model.last_report().expect("fit_impute sets a report");
+        assert!(!report.deadline_hit && !report.interrupted && report.downscales.is_empty());
+        let result = mode_result(report);
+        if best.as_ref().is_none_or(|b| result.seconds < b.seconds) {
+            best = Some(result);
+        }
+    }
+    best.expect("at least one rep")
 }
 
 fn run_mode(dirty: &Table, legacy: bool) -> ModeResult {
@@ -220,9 +247,23 @@ fn main() {
     }
     let legacy = run_mode(&instance.dirty, true);
     let (traced, trace_events) = run_traced(&instance.dirty);
+    // Governed mode (deadline + budget + shutdown flag armed, never firing)
+    // is compared against the fast run measured in this same process, with
+    // the same noise-retry policy as the cross-process baseline check.
+    let mut governed = run_config(&instance.dirty, &governed_config());
+    for _ in 0..2 {
+        if governed.seconds - fast.seconds < overhead_budget(fast.seconds, fast.epochs_run) {
+            break;
+        }
+        let retry = run_config(&instance.dirty, &governed_config());
+        if retry.seconds < governed.seconds {
+            governed = retry;
+        }
+    }
     let speedup = legacy.seconds / fast.seconds;
     let null_sink_overhead = baseline_fast_seconds.map(|b| (fast.seconds - b) / b);
     let trace_overhead = (traced.seconds - fast.seconds) / fast.seconds;
+    let governance_overhead = (governed.seconds - fast.seconds) / fast.seconds;
 
     let mut json = String::from("{\n");
     let _ = write!(
@@ -238,8 +279,14 @@ fn main() {
     mode_json(&mut json, "legacy", &legacy);
     json.push_str(",\n");
     mode_json(&mut json, "traced", &traced);
+    json.push_str(",\n");
+    mode_json(&mut json, "governed", &governed);
     let _ = write!(json, ",\n  \"trace_events\": {trace_events}");
     let _ = write!(json, ",\n  \"trace_overhead\": {trace_overhead:.4}");
+    let _ = write!(
+        json,
+        ",\n  \"governance_overhead\": {governance_overhead:.4}"
+    );
     match baseline_fast_seconds {
         Some(b) => {
             let _ = write!(json, ",\n  \"baseline_fast_seconds\": {b:.6}");
@@ -291,6 +338,20 @@ fn main() {
             fast.seconds
         );
     }
+    println!(
+        "governed: {:.3}s with deadline + budget + shutdown flag armed ({:+.1}% vs fast)",
+        governed.seconds,
+        100.0 * governance_overhead
+    );
+    let governance_budget = overhead_budget(fast.seconds, fast.epochs_run);
+    assert!(
+        governed.seconds - fast.seconds < governance_budget,
+        "resource-governance checks cost {:.2}% — over the {governance_budget:.3}s \
+         budget (fast {:.3}s, governed {:.3}s)",
+        100.0 * governance_overhead,
+        fast.seconds,
+        governed.seconds
+    );
     println!(
         "guards : grad norm final {:.3} / max {:.3}, {} clips, {} anomalies, {} recoveries",
         fast.grad_norm_final,

@@ -15,8 +15,11 @@ use grimp_baselines::{
 use grimp_datasets::{generate, DatasetId};
 use grimp_graph::FeatureSource;
 use grimp_metrics::{dataset_stats, evaluate};
-use grimp_obs::{EventKind, EventSink, FanoutSink, JsonlSink, MemorySink, NullSink};
-use grimp_table::csv::{read_csv, write_csv};
+use grimp_obs::{
+    EventKind, EventSink, FanoutSink, IoFaultKind, IoFaultPlan, JsonlSink, MemorySink, NullSink,
+    RealFs,
+};
+use grimp_table::csv::{read_csv, to_csv_bytes, write_csv};
 use grimp_table::{inject_mcar, inject_mnar, CorruptionLog, Imputer, InjectedCell, Table, Value};
 
 use crate::args::{ArgError, Args};
@@ -100,16 +103,27 @@ USAGE:
 COMMANDS:
     impute   <dirty.csv>  [--algo NAME] [--seed N] [--paper] [-o out.csv]
              [--checkpoint-dir DIR] [--resume] [--trace-out FILE]
-             [--metrics]
+             [--metrics] [--deadline SECS] [--memory-budget-mb N]
              impute every missing cell; algorithms: grimp (default),
              grimp-e, grimp-linear, missforest, aimnet, turl, embdi-mc,
              datawig, mice, mida, gain, knn, meanmode
              --checkpoint-dir writes a training checkpoint there every
              epoch (grimp variants only); --resume continues from it
-             after an interrupted run
+             after an interrupted run; the directory is locked while a
+             run owns it (a second concurrent run exits 7)
              --trace-out streams the structured training/imputation
              event trace as JSON Lines to FILE (grimp variants only);
              --metrics prints a per-phase timing and loss summary
+             --deadline stops training cleanly at the wall-clock budget
+             and imputes from whatever epochs completed (exit code 6);
+             --memory-budget-mb estimates the model footprint up front
+             and downscales deterministically (value-node cap, then
+             hidden dims) instead of OOM-ing
+             a first Ctrl-C checkpoints, imputes from the current state,
+             and exits 130; a second Ctrl-C aborts immediately
+             GRIMP_FAULT_FS=kind[:times[:from_op]] injects deterministic
+             faults (enospc|perm|torn|transient) into checkpoint-path IO
+             for testing; the run degrades instead of failing
     corrupt  <clean.csv>  [--rate R] [--mechanism mcar|mnar] [--seed N]
              [-o out.csv] [--truth truth.csv]
              inject missing values; --truth records the blanked cells
@@ -123,13 +137,18 @@ COMMANDS:
              run the adversarial-input chaos suite: fit + impute every
              hostile table (all-missing columns, single rows, NaN/inf,
              pathological strings, 10k-distinct domains) and verify the
-             never-panic/always-impute contract, then check that
-             malformed CSVs are rejected with typed errors
+             never-panic/always-impute contract, check that malformed
+             CSVs are rejected with typed errors, then train under every
+             injected IO-fault kind and under an already-expired
+             deadline and verify each run still fills every cell
     help     show this text
 
 EXIT CODES:
     0 success, 2 configuration/usage error, 3 malformed input data,
-    4 filesystem/IO error, 5 internal error
+    4 filesystem/IO error, 5 internal error, 6 deadline hit (success —
+    imputation written from the epochs completed), 7 checkpoint
+    directory locked by another run, 130 interrupted by Ctrl-C
+    (success — imputation written from the current state)
 ";
 
 fn load(path: &str) -> Result<Table, CliError> {
@@ -149,8 +168,15 @@ fn load(path: &str) -> Result<Table, CliError> {
 fn save(table: &Table, path: Option<&str>, out: &mut dyn Write) -> Result<(), CliError> {
     match path {
         Some(path) => {
-            let file = File::create(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
-            write_csv(table, BufWriter::new(file))?;
+            // Atomic: the whole CSV is rendered in memory, written to a
+            // sibling temp file, and renamed into place — a crash or full
+            // disk mid-write never leaves a truncated output behind.
+            grimp_obs::fs::atomic_write(
+                &mut RealFs,
+                std::path::Path::new(path),
+                &to_csv_bytes(table),
+            )
+            .map_err(|e| CliError::io(format!("{path}: {e}")))?;
             writeln!(out, "wrote {path}")?;
         }
         None => write_csv(table, out)?,
@@ -225,6 +251,34 @@ fn build_pipeline(name: &str, seed: u64, args: &Args) -> Result<Pipeline, CliErr
         builder = builder.checkpoint_dir(dir);
     }
     builder = builder.resume(args.flag("resume"));
+    if let Some(raw) = args.opt("deadline") {
+        let secs: f64 = raw
+            .parse()
+            .map_err(|_| CliError::config(format!("--deadline {raw}: cannot parse value")))?;
+        builder = builder.deadline_secs(Some(secs));
+    }
+    if let Some(raw) = args.opt("memory-budget-mb") {
+        let mb: usize = raw.parse().map_err(|_| {
+            CliError::config(format!("--memory-budget-mb {raw}: cannot parse value"))
+        })?;
+        builder = builder.memory_budget_mb(Some(mb));
+    }
+    // The process-wide SIGINT flag: a Ctrl-C stops training at the next
+    // epoch boundary and the run imputes from its current state.
+    builder = builder.shutdown(crate::signal::shutdown_flag());
+    // Deterministic IO faults on the checkpoint path, for testing the
+    // degradation behaviour of the real binary.
+    if let Ok(spec) = std::env::var("GRIMP_FAULT_FS") {
+        if !spec.is_empty() {
+            let plan = IoFaultPlan::parse(&spec).ok_or_else(|| {
+                CliError::config(format!(
+                    "GRIMP_FAULT_FS={spec:?}: expected kind[:times[:from_op]] with kind one of \
+                     enospc|perm|torn|transient"
+                ))
+            })?;
+            builder = builder.io_fault(Some(plan));
+        }
+    }
     let config = builder
         .build()
         .map_err(|e| CliError::config(e.to_string()))?;
@@ -269,20 +323,33 @@ fn write_metrics(sink: &MemorySink, out: &mut dyn Write) -> Result<(), CliError>
     Ok(())
 }
 
-/// The grimp-variant impute path: Pipeline + event sinks.
+/// The grimp-variant impute path: Pipeline + event sinks. Returns the
+/// imputed table and the process exit code for the run — 0 normally,
+/// [`crate::signal::EXIT_DEADLINE`] when `--deadline` stopped training,
+/// [`crate::signal::EXIT_INTERRUPTED`] when Ctrl-C did. Either way the
+/// imputation is complete.
 fn impute_grimp(
     name: &str,
     seed: u64,
     args: &Args,
     table: &Table,
     out: &mut dyn Write,
-) -> Result<Table, CliError> {
+) -> Result<(Table, i32), CliError> {
     let pipeline = build_pipeline(name, seed, args)?;
     let mut memory = MemorySink::new();
+    // An unopenable trace file degrades the sink, not the run: imputation
+    // is the contract, observability is best-effort.
     let mut jsonl = match args.opt("trace-out") {
-        Some(path) => {
-            Some(JsonlSink::create(path).map_err(|e| CliError::io(format!("{path}: {e}")))?)
-        }
+        Some(path) => match JsonlSink::create(path) {
+            Ok(sink) => Some(sink),
+            Err(e) => {
+                writeln!(
+                    out,
+                    "warning: cannot open trace file {path}: {e}; continuing without a trace"
+                )?;
+                None
+            }
+        },
         None => None,
     };
     let mut null = NullSink;
@@ -306,17 +373,53 @@ fn impute_grimp(
     if let Some(sink) = jsonl {
         let path = args.opt("trace-out").unwrap_or_default();
         let written = sink.events_written();
-        sink.into_inner()
-            .map_err(|e| CliError::io(format!("{path}: {e}")))?;
-        writeln!(out, "wrote {written} trace events to {path}")?;
+        match sink.into_inner() {
+            Ok(_) => writeln!(out, "wrote {written} trace events to {path}")?,
+            Err(e) => writeln!(
+                out,
+                "warning: trace file {path} is incomplete: {e}; imputation unaffected"
+            )?,
+        }
     }
     if want_metrics {
         write_metrics(&memory, out)?;
     }
-    Ok(imputed)
+    // Surface the run's governance decisions and non-fatal IO problems.
+    let report = fitted.report();
+    for d in &report.downscales {
+        writeln!(out, "memory budget: downscaled {d}")?;
+    }
+    for msg in &report.io_errors {
+        writeln!(out, "warning: {msg}")?;
+    }
+    if report.checkpoints_disabled {
+        writeln!(
+            out,
+            "warning: checkpointing disabled after repeated write failures; \
+             training continued without checkpoints"
+        )?;
+    }
+    let code = if report.interrupted {
+        let at = report.stopped_at_epoch.unwrap_or(0);
+        writeln!(
+            out,
+            "interrupted at epoch {at}; imputing from current state"
+        )?;
+        crate::signal::EXIT_INTERRUPTED
+    } else if report.deadline_hit {
+        let at = report.stopped_at_epoch.unwrap_or(0);
+        writeln!(
+            out,
+            "deadline hit at epoch {at}; imputing from current state"
+        )?;
+        crate::signal::EXIT_DEADLINE
+    } else {
+        0
+    };
+    Ok((imputed, code))
 }
 
-fn cmd_impute(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+fn cmd_impute(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
     args.check_known(&[
         "algo",
         "seed",
@@ -326,6 +429,8 @@ fn cmd_impute(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "resume",
         "trace-out",
         "metrics",
+        "deadline",
+        "memory-budget-mb",
     ])?;
     let input = args.require_positional(0, "input CSV path")?;
     let table = load(input)?;
@@ -336,7 +441,12 @@ fn cmd_impute(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         if args.flag("resume") && args.opt("checkpoint-dir").is_none() {
             return Err(CliError::config("--resume requires --checkpoint-dir DIR"));
         }
-        for flag in ["checkpoint-dir", "trace-out"] {
+        for flag in [
+            "checkpoint-dir",
+            "trace-out",
+            "deadline",
+            "memory-budget-mb",
+        ] {
             if args.opt(flag).is_some() {
                 return Err(CliError::config(format!(
                     "--{flag} is only supported by the grimp variants, not {algo_name:?}"
@@ -364,10 +474,10 @@ fn cmd_impute(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         display_name
     )?;
     let start = std::time::Instant::now();
-    let imputed = if is_grimp {
+    let (imputed, code) = if is_grimp {
         impute_grimp(algo_name, seed, args, &table, out)?
     } else {
-        build_baseline(algo_name, seed)?.impute(&table)
+        (build_baseline(algo_name, seed)?.impute(&table), 0)
     };
     writeln!(
         out,
@@ -375,7 +485,8 @@ fn cmd_impute(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         start.elapsed().as_secs_f64(),
         imputed.n_missing()
     )?;
-    save(&imputed, args.opt("o"), out)
+    save(&imputed, args.opt("o"), out)?;
+    Ok(code)
 }
 
 fn cmd_corrupt(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
@@ -565,6 +676,78 @@ fn cmd_chaos(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             }
         }
     }
+
+    // IO-fault matrix: train with every injected fault kind poisoning the
+    // checkpoint path. The run must absorb the faults (retry or degrade to
+    // checkpoint-less training) and still fill every cell.
+    let small = grimp_table::csv::read_csv_str(
+        "city,country\nParis,France\nRome,Italy\nParis,\nRome,\nParis,France\nMadrid,Spain\nMadrid,\nRome,Italy\n",
+    )
+    .map_err(|e| CliError::data(e.to_string()))?;
+    let chaos_dir = std::env::temp_dir().join(format!("grimp-chaos-{}-{seed}", std::process::id()));
+    for kind in IoFaultKind::all() {
+        let dir = chaos_dir.join(kind.label());
+        std::fs::create_dir_all(&dir)?;
+        let plan = match kind {
+            IoFaultKind::Transient => IoFaultPlan::transient(2),
+            other => IoFaultPlan::persistent(other),
+        };
+        let config = GrimpConfigBuilder::from_config(GrimpConfig::fast())
+            .seed(seed)
+            .max_epochs(3)
+            .patience(3)
+            .checkpoint_dir(&dir)
+            .io_fault(Some(plan))
+            .build()
+            .map_err(|e| CliError::config(e.to_string()))?;
+        let pipeline = Pipeline::new(config).map_err(|e| CliError::config(e.to_string()))?;
+        let verdict = match pipeline.fit(&small) {
+            Ok(mut fitted) => {
+                let left = fitted.impute(&small)?.n_missing();
+                let warnings = fitted.report().io_errors.len();
+                if left == 0 {
+                    format!("ok ({warnings} io warning(s))")
+                } else {
+                    failures += 1;
+                    format!("FAILED: {left} cells left missing")
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                format!("FAILED: fit error: {e}")
+            }
+        };
+        writeln!(out, "chaos io:{:<24} {verdict}", kind.label())?;
+    }
+    std::fs::remove_dir_all(&chaos_dir).ok();
+
+    // Deadline scenario: an already-expired wall-clock budget must stop
+    // training before the first epoch and still fill every cell from the
+    // degradation ladder.
+    let config = GrimpConfigBuilder::from_config(GrimpConfig::fast())
+        .seed(seed)
+        .deadline_secs(Some(1e-9))
+        .build()
+        .map_err(|e| CliError::config(e.to_string()))?;
+    let pipeline = Pipeline::new(config).map_err(|e| CliError::config(e.to_string()))?;
+    let verdict = match pipeline.fit(&small) {
+        Ok(mut fitted) => {
+            let left = fitted.impute(&small)?.n_missing();
+            let hit = fitted.report().deadline_hit;
+            if left == 0 && hit {
+                "ok (deadline hit, all cells filled)".to_string()
+            } else {
+                failures += 1;
+                format!("FAILED: {left} cells left, deadline_hit={hit}")
+            }
+        }
+        Err(e) => {
+            failures += 1;
+            format!("FAILED: fit error: {e}")
+        }
+    };
+    writeln!(out, "chaos {:<27} {verdict}", "deadline:expired")?;
+
     if failures > 0 {
         return Err(CliError::data(format!(
             "{failures} chaos scenario(s) violated the never-panic/always-impute contract"
@@ -576,9 +759,11 @@ fn cmd_chaos(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
 /// Dispatch one CLI invocation; returns the process exit code.
 ///
-/// Success prints to `out` and returns 0; any failure prints a single
-/// `error: …` line to `err` and returns the exit code of its
-/// [`ErrorCategory`]: 2 config, 3 data, 4 io, 5 internal.
+/// Success prints to `out` and returns 0 — or 6 when `--deadline` stopped
+/// training early, or 130 when Ctrl-C did (both with a complete
+/// imputation). Any failure prints a single `error: …` line to `err` and
+/// returns the exit code of its [`ErrorCategory`]: 2 config, 3 data, 4 io,
+/// 5 internal, 7 checkpoint directory locked.
 pub fn run(argv: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32 {
     let Some(command) = argv.first().map(String::as_str) else {
         let _ = write!(out, "{USAGE}");
@@ -586,23 +771,23 @@ pub fn run(argv: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32 {
     };
     let rest = &argv[1..];
     let parse = |flags: &[&str]| Args::parse(rest, flags);
-    let result: Result<(), CliError> = (|| match command {
+    let result: Result<i32, CliError> = (|| match command {
         "impute" => cmd_impute(&parse(&["paper", "resume", "metrics"])?, out),
-        "corrupt" => cmd_corrupt(&parse(&[])?, out),
-        "evaluate" => cmd_evaluate(&parse(&[])?, out),
-        "stats" => cmd_stats(&parse(&[])?, out),
-        "generate" => cmd_generate(&parse(&[])?, out),
-        "chaos" => cmd_chaos(&parse(&[])?, out),
+        "corrupt" => cmd_corrupt(&parse(&[])?, out).map(|()| 0),
+        "evaluate" => cmd_evaluate(&parse(&[])?, out).map(|()| 0),
+        "stats" => cmd_stats(&parse(&[])?, out).map(|()| 0),
+        "generate" => cmd_generate(&parse(&[])?, out).map(|()| 0),
+        "chaos" => cmd_chaos(&parse(&[])?, out).map(|()| 0),
         "help" | "--help" | "-h" => {
             write!(out, "{USAGE}")?;
-            Ok(())
+            Ok(0)
         }
         other => Err(CliError::config(format!(
             "unknown command {other:?} (see `grimp help`)"
         ))),
     })();
     match result {
-        Ok(()) => 0,
+        Ok(code) => code,
         Err(e) => {
             let _ = writeln!(err, "error: {e}");
             e.exit_code()

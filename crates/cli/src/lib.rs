@@ -14,12 +14,17 @@
 //! The library half holds the testable command implementations; `main.rs`
 //! only dispatches. Failures follow a fixed exit-code contract (see
 //! [`commands::run`]): 2 configuration, 3 malformed data, 4 IO, 5 internal,
-//! each with a single-line `error: …` message on stderr.
+//! 7 checkpoint-dir locked — plus two *success* codes for governed runs:
+//! 6 when `--deadline` stopped training early and 130 when Ctrl-C did,
+//! both with a fully imputed output. Each failure prints a single-line
+//! `error: …` message on stderr.
 
 #![warn(missing_docs)]
 
 pub mod args;
 pub mod commands;
+pub mod signal;
 
 pub use args::{ArgError, Args};
 pub use commands::{run, CliError};
+pub use signal::{EXIT_DEADLINE, EXIT_INTERRUPTED};

@@ -2,6 +2,7 @@
 //! half (`grimp_cli::run`) so it is unit-testable.
 
 fn main() {
+    grimp_cli::signal::install();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let stdout = std::io::stdout();
     let stderr = std::io::stderr();

@@ -1,0 +1,78 @@
+//! SIGINT-safe shutdown for the `grimp` binary.
+//!
+//! A hand-rolled `signal(2)` registration (std already links libc, so no
+//! new dependency) flips a process-wide [`ShutdownFlag`] that the training
+//! loop checks at every epoch boundary. The first Ctrl-C asks for a clean
+//! stop — checkpoint, impute from the current state, exit with
+//! [`EXIT_INTERRUPTED`]; a second Ctrl-C aborts immediately, because a
+//! user pressing it twice means *now*.
+//!
+//! The handler body is async-signal-safe: one atomic increment, and on the
+//! second request a raw `_exit` (no atexit handlers, no unwinding).
+
+use std::sync::OnceLock;
+
+use grimp::ShutdownFlag;
+
+/// POSIX-style exit code for a run interrupted by Ctrl-C that still wrote
+/// its imputation (128 + SIGINT).
+pub const EXIT_INTERRUPTED: i32 = 130;
+
+/// Exit code for a run that hit its `--deadline` but still wrote its
+/// imputation from the epochs that completed.
+pub const EXIT_DEADLINE: i32 = 6;
+
+static FLAG: OnceLock<ShutdownFlag> = OnceLock::new();
+
+/// The process-wide shutdown flag. Clones share one counter, so the copy
+/// installed into a [`grimp::GrimpConfig`] sees the handler's requests.
+pub fn shutdown_flag() -> ShutdownFlag {
+    FLAG.get_or_init(ShutdownFlag::new).clone()
+}
+
+#[cfg(unix)]
+mod sys {
+    /// `signal(2)` handler type.
+    pub type SigHandler = extern "C" fn(i32);
+
+    extern "C" {
+        pub fn signal(signum: i32, handler: SigHandler) -> usize;
+        pub fn _exit(code: i32) -> !;
+    }
+
+    pub const SIGINT: i32 = 2;
+}
+
+#[cfg(unix)]
+extern "C" fn on_sigint(_sig: i32) {
+    // `install` initializes FLAG before registering, so `get` (an atomic
+    // load) always finds it; `request` is a single fetch_add.
+    if let Some(flag) = FLAG.get() {
+        if flag.request() >= 2 {
+            unsafe { sys::_exit(EXIT_INTERRUPTED) }
+        }
+    }
+}
+
+/// Install the SIGINT handler. Call once from `main`, before any work.
+pub fn install() {
+    let _ = shutdown_flag(); // initialize FLAG before the handler can fire
+    #[cfg(unix)]
+    unsafe {
+        sys::signal(sys::SIGINT, on_sigint);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_flag_is_shared_across_clones() {
+        let a = shutdown_flag();
+        let b = shutdown_flag();
+        let before = a.requests();
+        b.request();
+        assert_eq!(a.requests(), before + 1);
+    }
+}

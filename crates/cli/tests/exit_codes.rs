@@ -85,6 +85,52 @@ fn unwritable_output_path_is_an_io_error() {
 }
 
 #[test]
+fn deadline_hit_is_a_distinct_success_code() {
+    let dirty = tmpfile("deadline.csv", "a,b\nx,1\ny,\nx,\nz,3\nx,1\ny,2\n");
+    let out_path = dirty.with_file_name("deadline-out.csv");
+    let out = grimp(&[
+        "impute",
+        dirty.to_str().unwrap(),
+        "--algo",
+        "grimp",
+        "--deadline",
+        "1e-9",
+        "-o",
+        out_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(6), "{out:?}");
+    assert!(out.stderr.is_empty(), "a governed stop is not an error");
+    let stdout = String::from_utf8(out.stdout.clone()).unwrap();
+    assert!(stdout.contains("deadline hit at epoch"), "{stdout}");
+    // The imputation is complete despite the early stop.
+    let written = std::fs::read_to_string(&out_path).unwrap();
+    assert!(!written.lines().any(|l| l.split(',').any(str::is_empty)));
+}
+
+#[test]
+fn held_checkpoint_lock_is_a_busy_error() {
+    let dirty = tmpfile("locked.csv", "a,b\nx,1\ny,\n");
+    let dir = std::env::temp_dir().join(format!("grimp-exit-lock-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("grimp.lock"), b"99999").unwrap();
+    let out = grimp(&[
+        "impute",
+        dirty.to_str().unwrap(),
+        "--algo",
+        "grimp",
+        "--checkpoint-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(7), "{out:?}");
+    let line = stderr_line(&out);
+    assert!(line.starts_with("error: "), "{line}");
+    assert!(line.contains("locked by another run"), "{line}");
+    assert!(line.contains("99999"), "owner pid surfaced: {line}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn success_leaves_stderr_empty() {
     let clean = tmpfile("ok.csv", "a,b\nx,1\ny,2\nx,1\n");
     let out = grimp(&["stats", clean.to_str().unwrap()]);

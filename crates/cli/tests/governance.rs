@@ -1,0 +1,197 @@
+//! Real-binary acceptance tests for resource-governed execution: a
+//! deadline-bounded run, a run under each injected IO-fault kind, and a
+//! SIGINT-at-epoch-boundary run must all exit with their documented codes,
+//! fill every missing cell, and leave a parseable JSONL trace.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("grimp-governance-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A k/v/x CSV with deterministic gaps (~1 in 7 cells missing).
+fn write_dirty_csv(path: &Path, rows: usize) {
+    let mut csv = String::from("k,v,x\n");
+    for i in 0..rows {
+        let k = if i % 7 == 3 {
+            String::new()
+        } else {
+            format!("k{}", i % 5)
+        };
+        let v = if i % 7 == 5 {
+            String::new()
+        } else {
+            format!("v{}", i % 5)
+        };
+        let x = if i % 7 == 1 {
+            String::new()
+        } else {
+            format!("{}", (i % 5) * 10)
+        };
+        csv.push_str(&format!("{k},{v},{x}\n"));
+    }
+    std::fs::write(path, csv).unwrap();
+}
+
+fn assert_fully_filled(path: &Path) {
+    let csv = std::fs::read_to_string(path).unwrap();
+    for (i, line) in csv.lines().enumerate() {
+        assert!(
+            !line.split(',').any(str::is_empty),
+            "row {i} has an empty cell: {line:?}"
+        );
+    }
+}
+
+fn assert_parseable_trace(path: &Path) -> String {
+    let trace = std::fs::read_to_string(path).unwrap();
+    assert!(!trace.is_empty(), "trace must not be empty");
+    for line in trace.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "trace line is not a JSON object: {line:?}"
+        );
+    }
+    trace
+}
+
+#[test]
+fn deadline_bounded_run_exits_6_with_full_imputation_and_trace() {
+    let dir = workdir("deadline");
+    let dirty = dir.join("dirty.csv");
+    let out_path = dir.join("imputed.csv");
+    let trace_path = dir.join("trace.jsonl");
+    write_dirty_csv(&dirty, 60);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_grimp"))
+        .args([
+            "impute",
+            dirty.to_str().unwrap(),
+            "--algo",
+            "grimp",
+            "--seed",
+            "7",
+            "--deadline",
+            "1e-9",
+            "-o",
+            out_path.to_str().unwrap(),
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("grimp binary runs");
+
+    assert_eq!(out.status.code(), Some(6), "{out:?}");
+    assert!(out.stderr.is_empty(), "governed stop is a success");
+    assert_fully_filled(&out_path);
+    let trace = assert_parseable_trace(&trace_path);
+    assert!(
+        trace.contains("deadline_hit"),
+        "trace must record the deadline event"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_injected_fault_kind_exits_0_and_fills_every_cell() {
+    for kind in ["enospc", "perm", "torn", "transient"] {
+        let dir = workdir(&format!("fault-{kind}"));
+        let dirty = dir.join("dirty.csv");
+        let out_path = dir.join("imputed.csv");
+        let trace_path = dir.join("trace.jsonl");
+        let ckpt_dir = dir.join("ckpt");
+        write_dirty_csv(&dirty, 40);
+
+        let out = Command::new(env!("CARGO_BIN_EXE_grimp"))
+            .env("GRIMP_FAULT_FS", kind)
+            .args([
+                "impute",
+                dirty.to_str().unwrap(),
+                "--algo",
+                "grimp",
+                "--seed",
+                "7",
+                "--checkpoint-dir",
+                ckpt_dir.to_str().unwrap(),
+                "-o",
+                out_path.to_str().unwrap(),
+                "--trace-out",
+                trace_path.to_str().unwrap(),
+            ])
+            .output()
+            .expect("grimp binary runs");
+
+        assert_eq!(out.status.code(), Some(0), "{kind}: {out:?}");
+        assert_fully_filled(&out_path);
+        assert_parseable_trace(&trace_path);
+        let stdout = String::from_utf8(out.stdout.clone()).unwrap();
+        if kind != "transient" {
+            assert!(
+                stdout.contains("warning:"),
+                "{kind}: persistent faults must surface a warning, got: {stdout}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// SIGINT at an epoch boundary: the run checkpoints what it has, imputes
+/// from the current state, and exits 130 with the output written. The
+/// table size escalates until the signal lands while training is still in
+/// flight (a too-fast run exits 0 and we retry bigger).
+#[test]
+#[cfg(unix)]
+fn sigint_at_epoch_boundary_exits_130_with_full_imputation() {
+    for (attempt, rows) in [400usize, 1600, 6400].into_iter().enumerate() {
+        let dir = workdir(&format!("sigint-{attempt}"));
+        let dirty = dir.join("dirty.csv");
+        let out_path = dir.join("imputed.csv");
+        write_dirty_csv(&dirty, rows);
+
+        let child = Command::new(env!("CARGO_BIN_EXE_grimp"))
+            .args([
+                "impute",
+                dirty.to_str().unwrap(),
+                "--algo",
+                "grimp",
+                "--seed",
+                "7",
+                "-o",
+                out_path.to_str().unwrap(),
+            ])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("grimp binary spawns");
+
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        let _ = Command::new("kill")
+            .args(["-INT", &child.id().to_string()])
+            .status()
+            .expect("kill runs");
+        let out = child.wait_with_output().expect("grimp exits");
+
+        match out.status.code() {
+            Some(130) => {
+                let stdout = String::from_utf8(out.stdout.clone()).unwrap();
+                assert!(
+                    stdout.contains("interrupted at epoch"),
+                    "stdout must explain the stop: {stdout}"
+                );
+                assert_fully_filled(&out_path);
+                let _ = std::fs::remove_dir_all(&dir);
+                return;
+            }
+            Some(0) => {
+                // The run beat the signal; retry with a bigger table.
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            other => panic!("unexpected exit code {other:?}: {out:?}"),
+        }
+    }
+    panic!("the run finished before SIGINT landed at every table size");
+}

@@ -196,14 +196,28 @@ impl TrainCheckpoint {
     /// the previous generation as `<path>.prev` so resume can fall back past
     /// a corrupted newest file. Returns the number of bytes written.
     pub fn save(&self, path: &Path) -> Result<usize, CheckpointError> {
+        self.save_with(&mut grimp_obs::RealFs, path)
+    }
+
+    /// [`TrainCheckpoint::save`] through an injectable filesystem, so
+    /// checkpoint IO can be fault-tested. Transient errors (interrupted,
+    /// timed-out) are retried with deterministic backoff; persistent ones
+    /// surface to the caller, which degrades to checkpoint-less training.
+    pub fn save_with(
+        &self,
+        fs: &mut dyn grimp_obs::GrimpFs,
+        path: &Path,
+    ) -> Result<usize, CheckpointError> {
+        use grimp_obs::fs::{with_retry, IO_RETRY_ATTEMPTS};
+
         let bytes = self.to_bytes();
         let tmp = path.with_extension("ckpt.tmp");
-        std::fs::write(&tmp, &bytes)?;
-        if path.exists() {
+        with_retry(IO_RETRY_ATTEMPTS, || fs.write(&tmp, &bytes))?;
+        if fs.exists(path) {
             let prev = path.with_extension("ckpt.prev");
-            std::fs::rename(path, &prev)?;
+            with_retry(IO_RETRY_ATTEMPTS, || fs.rename(path, &prev))?;
         }
-        std::fs::rename(&tmp, path)?;
+        with_retry(IO_RETRY_ATTEMPTS, || fs.rename(&tmp, path))?;
         Ok(bytes.len())
     }
 
@@ -304,6 +318,28 @@ mod tests {
         let n = ck.save(&path).unwrap();
         assert_eq!(n, ck.to_bytes().len());
         assert_eq!(TrainCheckpoint::load(&path).unwrap(), ck);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_with_rides_out_transient_faults_and_reports_persistent_ones() {
+        use grimp_obs::{FaultFs, IoFaultKind, IoFaultPlan};
+
+        let dir = std::env::temp_dir().join(format!("grimp-ckpt-fault-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(CHECKPOINT_FILE);
+        let ck = sample();
+
+        // Two transient (interrupted) faults are within the retry budget.
+        let mut fs = FaultFs::new(IoFaultPlan::transient(2));
+        ck.save_with(&mut fs, &path).expect("retried past faults");
+        assert_eq!(TrainCheckpoint::load(&path).unwrap(), ck);
+
+        // A persistent ENOSPC surfaces as an error without panicking.
+        let mut full = FaultFs::new(IoFaultPlan::persistent(IoFaultKind::Enospc));
+        let err = ck.save_with(&mut full, &dir.join("other.ckpt"));
+        assert!(err.is_err(), "persistent fault must surface");
         std::fs::remove_dir_all(&dir).ok();
     }
 

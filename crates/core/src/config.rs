@@ -99,6 +99,31 @@ pub struct GrimpConfig {
     /// one exists. An unreadable or corrupt checkpoint is reported in the
     /// [`crate::TrainReport`] and training restarts from scratch.
     pub resume: bool,
+    /// Wall-clock training budget in seconds, measured from the start of
+    /// `fit`. Checked at every epoch boundary: when it expires, training
+    /// checkpoints, stops cleanly, and imputes with whatever epochs
+    /// completed ([`crate::TrainReport::deadline_hit`] records the stop).
+    /// `None` disables the deadline.
+    pub deadline_secs: Option<f64>,
+    /// Memory budget in MiB for the graph + tape footprint, enforced at
+    /// admission time: the estimated footprint is computed from node /
+    /// edge / parameter counts before anything is allocated, and the model
+    /// is downscaled deterministically (value-node cap per attribute, then
+    /// hidden-dim halving) until it fits. Every decision is recorded in
+    /// [`crate::TrainReport::downscales`] and the event trace. `None`
+    /// disables the budget.
+    pub memory_budget_mb: Option<usize>,
+    /// Cooperative shutdown flag, checked at every epoch boundary. When
+    /// requested (e.g. from a SIGINT handler), training checkpoints, stops
+    /// cleanly, and imputes from the current state
+    /// ([`crate::TrainReport::interrupted`] records the stop). `None`
+    /// ignores shutdown requests.
+    pub shutdown: Option<crate::ShutdownFlag>,
+    /// Deterministic IO fault injection for the durable-write path
+    /// (checkpoint save/rotate, lock file). Intended for tests and the
+    /// chaos harness; also reachable through the `GRIMP_FAULT_FS`
+    /// environment variable in the CLI. `None` uses the real filesystem.
+    pub io_fault: Option<grimp_obs::IoFaultPlan>,
     /// Deterministic fault injection for robustness tests: corrupt a chosen
     /// gradient or parameter at a chosen epoch. Compiled only for unit tests
     /// and behind the `fault-injection` cargo feature.
@@ -144,6 +169,10 @@ impl GrimpConfig {
             checkpoint_every: 1,
             checkpoint_dir: None,
             resume: false,
+            deadline_secs: None,
+            memory_budget_mb: None,
+            shutdown: None,
+            io_fault: None,
             #[cfg(any(test, feature = "fault-injection"))]
             fault_injection: None,
         }
@@ -259,6 +288,14 @@ impl GrimpConfig {
         if self.max_train_samples_per_task == Some(0) {
             return Err(ConfigError::ZeroSampleCap);
         }
+        if let Some(deadline) = self.deadline_secs {
+            if !(deadline.is_finite() && deadline > 0.0) {
+                return Err(ConfigError::InvalidDeadline(deadline));
+            }
+        }
+        if self.memory_budget_mb == Some(0) {
+            return Err(ConfigError::ZeroMemoryBudget);
+        }
         Ok(())
     }
 }
@@ -283,6 +320,10 @@ pub enum ConfigError {
     InvalidGradClip(f32),
     /// The per-task sample cap is zero — every task batch would be empty.
     ZeroSampleCap,
+    /// The wall-clock deadline is zero, negative, or non-finite.
+    InvalidDeadline(f64),
+    /// The memory budget is zero MiB — nothing could ever be admitted.
+    ZeroMemoryBudget,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -305,6 +346,12 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroSampleCap => {
                 write!(f, "max_train_samples_per_task must be at least 1")
+            }
+            ConfigError::InvalidDeadline(v) => {
+                write!(f, "--deadline must be finite and positive, got {v}")
+            }
+            ConfigError::ZeroMemoryBudget => {
+                write!(f, "--memory-budget-mb must be at least 1")
             }
         }
     }
@@ -456,6 +503,31 @@ impl GrimpConfigBuilder {
         self
     }
 
+    /// Wall-clock training budget in seconds (`None` disables it).
+    pub fn deadline_secs(mut self, deadline: Option<f64>) -> Self {
+        self.config.deadline_secs = deadline;
+        self
+    }
+
+    /// Memory budget in MiB for admission-time downscaling (`None`
+    /// disables it).
+    pub fn memory_budget_mb(mut self, budget: Option<usize>) -> Self {
+        self.config.memory_budget_mb = budget;
+        self
+    }
+
+    /// Cooperative shutdown flag checked at epoch boundaries.
+    pub fn shutdown(mut self, flag: crate::ShutdownFlag) -> Self {
+        self.config.shutdown = Some(flag);
+        self
+    }
+
+    /// Deterministic IO fault plan for the durable-write path.
+    pub fn io_fault(mut self, plan: Option<grimp_obs::IoFaultPlan>) -> Self {
+        self.config.io_fault = plan;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<GrimpConfig, ConfigError> {
         self.config.validate()?;
@@ -569,6 +641,48 @@ mod tests {
                 .unwrap_err(),
             ConfigError::ZeroSampleCap
         );
+        assert!(matches!(
+            GrimpConfig::builder()
+                .deadline_secs(Some(0.0))
+                .build()
+                .unwrap_err(),
+            ConfigError::InvalidDeadline(_)
+        ));
+        assert!(matches!(
+            GrimpConfig::builder()
+                .deadline_secs(Some(f64::NAN))
+                .build()
+                .unwrap_err(),
+            ConfigError::InvalidDeadline(_)
+        ));
+        assert_eq!(
+            GrimpConfig::builder()
+                .memory_budget_mb(Some(0))
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroMemoryBudget
+        );
+    }
+
+    #[test]
+    fn governance_fields_default_off_and_compose() {
+        let c = GrimpConfig::paper();
+        assert!(c.deadline_secs.is_none());
+        assert!(c.memory_budget_mb.is_none());
+        assert!(c.shutdown.is_none());
+        assert!(c.io_fault.is_none());
+
+        let flag = crate::ShutdownFlag::new();
+        let c = GrimpConfig::builder()
+            .deadline_secs(Some(12.5))
+            .memory_budget_mb(Some(256))
+            .shutdown(flag.clone())
+            .build()
+            .unwrap();
+        assert_eq!(c.deadline_secs, Some(12.5));
+        assert_eq!(c.memory_budget_mb, Some(256));
+        flag.request();
+        assert!(c.shutdown.as_ref().unwrap().is_requested());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! [`crate::FittedModel::impute`], checkpoint resume, CSV-fed CLI paths —
 //! surfaces a [`GrimpError`] instead of panicking. Each variant carries
 //! enough context (column name, epoch, file path, source error) to act on,
-//! and maps to one of four coarse [`ErrorCategory`] buckets that the CLI
+//! and maps to one of five coarse [`ErrorCategory`] buckets that the CLI
 //! turns into stable process exit codes:
 //!
 //! | category   | exit code | meaning                                   |
@@ -13,6 +13,11 @@
 //! | `Data`     | 3         | the input table/CSV is malformed          |
 //! | `Io`       | 4         | the filesystem failed us                  |
 //! | `Internal` | 5         | an invariant broke — a bug in GRIMP       |
+//! | `Busy`     | 7         | another run holds a shared resource       |
+//!
+//! (Exit code 6 — deadline hit — is a *successful* run that stopped at its
+//! wall-clock budget, so it has no error variant; 130 is the POSIX-style
+//! interrupted-but-finished code. Both are produced by the CLI, not here.)
 //!
 //! The taxonomy is deliberately shallow: callers that just want to report
 //! use `Display`; callers that want to branch use [`GrimpError::category`];
@@ -38,17 +43,22 @@ pub enum ErrorCategory {
     Io,
     /// A GRIMP invariant was violated — always a bug, never user error.
     Internal,
+    /// A shared resource (the checkpoint-directory lock) is held by
+    /// another run; retry after it finishes.
+    Busy,
 }
 
 impl ErrorCategory {
     /// Stable process exit code for this category (config=2, data=3, io=4,
-    /// internal=5; 0 is success and 1 is reserved for uncategorized errors).
+    /// internal=5, busy=7; 0 is success, 1 is reserved for uncategorized
+    /// errors, and 6 is the CLI's deadline-hit success code).
     pub fn exit_code(self) -> i32 {
         match self {
             ErrorCategory::Config => 2,
             ErrorCategory::Data => 3,
             ErrorCategory::Io => 4,
             ErrorCategory::Internal => 5,
+            ErrorCategory::Busy => 7,
         }
     }
 
@@ -59,6 +69,7 @@ impl ErrorCategory {
             ErrorCategory::Data => "data",
             ErrorCategory::Io => "io",
             ErrorCategory::Internal => "internal",
+            ErrorCategory::Busy => "busy",
         }
     }
 }
@@ -108,6 +119,14 @@ pub enum GrimpError {
         /// The underlying I/O error.
         source: std::io::Error,
     },
+    /// The checkpoint directory is locked by another run, so starting
+    /// would corrupt its checkpoint rotation.
+    LockHeld {
+        /// Path of the lock file.
+        path: PathBuf,
+        /// PID recorded in the lock file, when readable.
+        owner_pid: Option<u32>,
+    },
     /// An internal invariant was violated. Seeing this is a GRIMP bug.
     Internal {
         /// What went wrong, for the bug report.
@@ -125,6 +144,7 @@ impl GrimpError {
             | GrimpError::SchemaMismatch { .. }
             | GrimpError::InductiveUnsupported => ErrorCategory::Data,
             GrimpError::Checkpoint { .. } | GrimpError::Io { .. } => ErrorCategory::Io,
+            GrimpError::LockHeld { .. } => ErrorCategory::Busy,
             GrimpError::Internal { .. } => ErrorCategory::Internal,
         }
     }
@@ -169,6 +189,17 @@ impl fmt::Display for GrimpError {
                 write!(f, "checkpoint {}: {source}", path.display())
             }
             GrimpError::Io { context, source } => write!(f, "{context}: {source}"),
+            GrimpError::LockHeld { path, owner_pid } => {
+                write!(f, "checkpoint directory is locked by another run")?;
+                if let Some(pid) = owner_pid {
+                    write!(f, " (pid {pid})")?;
+                }
+                write!(
+                    f,
+                    ": {} — remove the file if that run is gone",
+                    path.display()
+                )
+            }
             GrimpError::Internal { detail } => {
                 write!(f, "internal invariant violated (GRIMP bug): {detail}")
             }
@@ -212,6 +243,7 @@ mod tests {
         assert_eq!(ErrorCategory::Data.exit_code(), 3);
         assert_eq!(ErrorCategory::Io.exit_code(), 4);
         assert_eq!(ErrorCategory::Internal.exit_code(), 5);
+        assert_eq!(ErrorCategory::Busy.exit_code(), 7);
     }
 
     #[test]
@@ -253,6 +285,26 @@ mod tests {
             GrimpError::Internal { detail: "x".into() }.category(),
             ErrorCategory::Internal
         );
+        assert_eq!(
+            GrimpError::LockHeld {
+                path: PathBuf::from("/tmp/ck/grimp.lock"),
+                owner_pid: Some(41),
+            }
+            .category(),
+            ErrorCategory::Busy
+        );
+    }
+
+    #[test]
+    fn lock_held_display_names_the_owner_and_the_file() {
+        let msg = GrimpError::LockHeld {
+            path: PathBuf::from("/tmp/ck/grimp.lock"),
+            owner_pid: Some(41),
+        }
+        .to_string();
+        assert!(msg.contains("locked"), "{msg}");
+        assert!(msg.contains("pid 41"), "{msg}");
+        assert!(msg.contains("grimp.lock"), "{msg}");
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod config;
 pub mod error;
 pub mod fault;
 pub mod federated;
+pub mod governor;
 pub mod inductive;
 pub mod mc;
 pub mod model;
@@ -60,12 +61,15 @@ pub use fault::TrainAnomaly;
 #[cfg(any(test, feature = "fault-injection"))]
 pub use fault::{FaultKind, FaultPlan};
 pub use federated::{FederatedConfig, FederatedGrimp, FederatedReport};
+pub use governor::{
+    downscale_to_budget, estimate_footprint, DirLock, FootprintEstimate, ShutdownFlag, LOCK_FILE,
+};
 pub use inductive::TrainedGrimp;
 pub use mc::{GlobalDomain, GnnMc};
 pub use model::{FittedModel, Grimp, TrainState};
 pub use params::{ParamCounts, ParamFormula};
 pub use pipeline::Pipeline;
-pub use report::{ColumnTier, EpochStats, TrainReport};
+pub use report::{ColumnTier, DownscaleDecision, DownscaleRung, EpochStats, TrainReport};
 pub use tasks::{build_k_matrix, Task};
 pub use tuner::{default_candidates, select_config, ProbeResult, TunerConfig};
 pub use vectors::VectorBatch;

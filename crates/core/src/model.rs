@@ -30,7 +30,7 @@ use rand::{Rng, SeedableRng};
 
 use grimp_gnn::HeteroSage;
 use grimp_graph::{build_features, fasttext_features, FeatureSource, TableGraph};
-use grimp_obs::{names, EventSink, NullSink, Trace};
+use grimp_obs::{names, EventSink, FaultFs, GrimpFs, NullSink, RealFs, Trace};
 use grimp_table::{ColumnKind, Corpus, FdSet, Imputer, Normalizer, Table, Value};
 use grimp_tensor::{Adam, AdamState, Mlp, Tape, Tensor, Var};
 
@@ -40,6 +40,7 @@ use crate::error::GrimpError;
 use crate::fault::TrainAnomaly;
 #[cfg(any(test, feature = "fault-injection"))]
 use crate::fault::{FaultKind, FaultPlan};
+use crate::governor::{downscale_to_budget, estimate_footprint, DirLock};
 use crate::report::{ColumnTier, EpochStats, TrainReport};
 use crate::tasks::Task;
 use crate::vectors::VectorBatch;
@@ -569,8 +570,32 @@ pub(crate) fn fit_model(
     let fit_start = Instant::now();
     let mut trace = Trace::new(sink);
     let fit_span = trace.enter(names::FIT, 0);
-    let cfg = config;
+
+    // Admission-time memory governor: estimate the graph + tape footprint
+    // before anything is allocated, and when it exceeds the budget walk
+    // the downscale ladder (value-node cap, then hidden dims) instead of
+    // OOM-ing mid-fit. Every decision lands in the report and the trace.
+    let mut effective = config.clone();
+    let mut downscales = Vec::new();
+    if let Some(budget_mb) = config.memory_budget_mb {
+        let estimate = estimate_footprint(dirty, config);
+        trace.counter(names::MEM_ESTIMATE, 0, estimate.total_bytes());
+        let (downsized, decisions) = downscale_to_budget(config, dirty, budget_mb);
+        for d in &decisions {
+            trace.counter(names::DOWNSCALE, d.rung.code(), d.value);
+        }
+        effective = downsized;
+        downscales = decisions;
+    }
+    let cfg = &effective;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // All checkpoint-path IO goes through this handle so faults can be
+    // injected deterministically (`GrimpConfig::io_fault`).
+    let mut ckfs: Box<dyn GrimpFs> = match cfg.io_fault {
+        Some(plan) => Box::new(FaultFs::new(plan)),
+        None => Box::new(RealFs),
+    };
 
     // Normalize numericals (paper §3.2); labels and the graph use the
     // normalized copy, outputs are de-normalized at the end.
@@ -708,6 +733,7 @@ pub(crate) fn fit_model(
     // the divergence guard + rollback/recovery machinery.
     let mut report = TrainReport {
         n_weights,
+        downscales,
         ..Default::default()
     };
     let mut state = TrainState::new(cfg.lr);
@@ -716,14 +742,43 @@ pub(crate) fn fit_model(
     // Resume from a disk checkpoint when asked to. A missing file starts
     // a fresh run; an unreadable or mismatched one is reported and also
     // starts fresh — resume must never panic.
-    let ckpt_path = cfg.checkpoint_dir.as_ref().map(|d| d.join(CHECKPOINT_FILE));
+    let mut ckpt_path = cfg.checkpoint_dir.as_ref().map(|d| d.join(CHECKPOINT_FILE));
+    let mut _dir_lock: Option<DirLock> = None;
     if let Some(dir) = &cfg.checkpoint_dir {
-        if let Err(e) = std::fs::create_dir_all(dir) {
+        use grimp_obs::fs::{with_retry, IO_RETRY_ATTEMPTS};
+        if let Err(e) = with_retry(IO_RETRY_ATTEMPTS, || ckfs.create_dir_all(dir)) {
             report.io_errors.push(format!(
                 "cannot create checkpoint dir {}: {e}",
                 dir.display()
             ));
             trace.counter(names::IO_ERROR, report.io_errors.len() as u64, 1);
+        }
+        // Exclusive lock so two concurrent runs cannot corrupt each
+        // other's checkpoint rotation. A held lock is a hard error (the
+        // caller picked the directory); any other lock-file IO failure
+        // degrades to checkpoint-less training.
+        // Transient faults are retried (FaultFs injects them *before*
+        // creating the file, and a real EINTR mid-create leaves nothing
+        // behind either, so a retry cannot trip over its own lock file).
+        match with_retry(IO_RETRY_ATTEMPTS, || DirLock::acquire(ckfs.as_mut(), dir)) {
+            Ok(lock) => _dir_lock = Some(lock),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                return Err(GrimpError::LockHeld {
+                    path: dir.join(crate::governor::LOCK_FILE),
+                    owner_pid: DirLock::owner_pid(ckfs.as_mut(), dir),
+                });
+            }
+            Err(e) => {
+                report.io_errors.push(format!(
+                    "cannot lock checkpoint dir {}: {e}; continuing without checkpoints",
+                    dir.display()
+                ));
+                trace.counter(names::IO_ERROR, report.io_errors.len() as u64, 1);
+                ckpt_path = None;
+                // The failed create may have left a half-written lock file
+                // behind (torn write); it was ours, so clean it up.
+                let _ = std::fs::remove_file(dir.join(crate::governor::LOCK_FILE));
+            }
         }
     }
     if cfg.resume {
@@ -782,8 +837,33 @@ pub(crate) fn fit_model(
     };
     let mut degraded = false;
     let checkpoint_every = cfg.checkpoint_every.max(1);
+    // Persistent checkpoint-write failures disable checkpointing for the
+    // rest of the run (training continues checkpoint-less) instead of
+    // hammering a dead disk every epoch. Transient faults are already
+    // retried inside `save_with` and reset the strike counter on success.
+    let mut ckpt_strikes = 0usize;
     let mut train_losses: Vec<Var> = Vec::new();
     while trainable && state.epoch < cfg.max_epochs && state.since_best < cfg.patience {
+        // Resource governance, checked at every epoch boundary: a blown
+        // wall-clock budget or a shutdown request stops training cleanly —
+        // the final checkpoint below still runs, and imputation proceeds
+        // from whatever epochs completed.
+        if let Some(deadline) = cfg.deadline_secs {
+            if fit_start.elapsed().as_secs_f64() >= deadline {
+                report.deadline_hit = true;
+                report.stopped_at_epoch = Some(state.epoch);
+                trace.counter(names::DEADLINE_HIT, state.epoch as u64, 1);
+                break;
+            }
+        }
+        if let Some(flag) = &cfg.shutdown {
+            if flag.is_requested() {
+                report.interrupted = true;
+                report.stopped_at_epoch = Some(state.epoch);
+                trace.counter(names::INTERRUPTED, state.epoch as u64, 1);
+                break;
+            }
+        }
         let epoch_idx = state.epoch as u64;
         let misses_before = tape.workspace_stats().misses;
         let epoch_start = Instant::now();
@@ -1003,7 +1083,7 @@ pub(crate) fn fit_model(
         adam.export_state_into(&mut last_good.adam);
 
         if let Some(path) = &ckpt_path {
-            if state.epoch.is_multiple_of(checkpoint_every) {
+            if !report.checkpoints_disabled && state.epoch.is_multiple_of(checkpoint_every) {
                 let ck_span = trace.enter(names::CHECKPOINT_SAVE, epoch_idx);
                 #[cfg(any(test, feature = "fault-injection"))]
                 let ckpt_fault = fault_due(
@@ -1015,8 +1095,9 @@ pub(crate) fn fit_model(
                 #[cfg(not(any(test, feature = "fault-injection")))]
                 let ckpt_fault = false;
                 let ck = build_checkpoint(&tape, &adam, &state, &rng, &best_params);
-                match save_checkpoint(&ck, path, ckpt_fault) {
+                match save_checkpoint(&ck, ckfs.as_mut(), path, ckpt_fault) {
                     Ok(n) => {
+                        ckpt_strikes = 0;
                         report.checkpoint_bytes = n;
                         trace.counter(names::CHECKPOINT_BYTES, epoch_idx, n as u64);
                     }
@@ -1025,6 +1106,11 @@ pub(crate) fn fit_model(
                             .io_errors
                             .push(format!("checkpoint write failed: {e}"));
                         trace.counter(names::IO_ERROR, report.io_errors.len() as u64, 1);
+                        ckpt_strikes += 1;
+                        if ckpt_strikes >= CHECKPOINT_MAX_STRIKES {
+                            report.checkpoints_disabled = true;
+                            trace.counter(names::CHECKPOINT_DISABLED, epoch_idx, 1);
+                        }
                     }
                 }
                 trace.exit(names::CHECKPOINT_SAVE, epoch_idx, ck_span);
@@ -1054,6 +1140,17 @@ pub(crate) fn fit_model(
             }
         }
     }
+    // A deadline or interrupt that fired before a single epoch completed
+    // (and without a resumed checkpoint) leaves the task heads at their
+    // random init — imputing from them would be noise, so every GNN-tier
+    // column steps down to its mode/mean baseline instead.
+    if (report.deadline_hit || report.interrupted) && state.epoch == 0 {
+        for t in tiers.iter_mut() {
+            if *t == ColumnTier::Gnn {
+                *t = ColumnTier::Baseline;
+            }
+        }
+    }
     for (j, t) in tiers.iter().enumerate() {
         trace.counter(names::COLUMN_TIER, j as u64, t.code());
     }
@@ -1066,7 +1163,7 @@ pub(crate) fn fit_model(
         let ck_span = trace.enter(names::CHECKPOINT_SAVE, state.epoch as u64);
         let ck = build_checkpoint(&tape, &adam, &state, &rng, &best_params);
         match &ckpt_path {
-            Some(path) => {
+            Some(path) if !report.checkpoints_disabled => {
                 #[cfg(any(test, feature = "fault-injection"))]
                 let ckpt_fault = fault_due(
                     fault_plan.as_ref(),
@@ -1076,7 +1173,7 @@ pub(crate) fn fit_model(
                 );
                 #[cfg(not(any(test, feature = "fault-injection")))]
                 let ckpt_fault = false;
-                match save_checkpoint(&ck, path, ckpt_fault) {
+                match save_checkpoint(&ck, ckfs.as_mut(), path, ckpt_fault) {
                     Ok(n) => report.checkpoint_bytes = n,
                     Err(e) => {
                         report
@@ -1086,7 +1183,7 @@ pub(crate) fn fit_model(
                     }
                 }
             }
-            None => report.checkpoint_bytes = ck.to_bytes().len(),
+            _ => report.checkpoint_bytes = ck.to_bytes().len(),
         }
         if report.checkpoint_bytes > 0 {
             trace.counter(
@@ -1131,11 +1228,17 @@ pub(crate) fn fit_model(
     })
 }
 
-/// Save a checkpoint, or fail with an injected IO error when the fault
-/// plan poisons checkpoint writes (chaos-harness hook; `inject_io_fault`
-/// is constant `false` outside fault-injection builds).
+/// Consecutive checkpoint-write failures after which the run stops trying
+/// (training continues checkpoint-less, with a `checkpoint_disabled` event).
+const CHECKPOINT_MAX_STRIKES: usize = 2;
+
+/// Save a checkpoint through the run's (possibly fault-injected) IO layer,
+/// or fail with an injected IO error when the legacy fault plan poisons
+/// checkpoint writes (chaos-harness hook; `inject_io_fault` is constant
+/// `false` outside fault-injection builds).
 fn save_checkpoint(
     ck: &TrainCheckpoint,
+    fs: &mut dyn GrimpFs,
     path: &std::path::Path,
     inject_io_fault: bool,
 ) -> Result<usize, grimp_tensor::CheckpointError> {
@@ -1144,7 +1247,7 @@ fn save_checkpoint(
             "injected checkpoint write fault",
         )));
     }
-    ck.save(path)
+    ck.save_with(fs, path)
 }
 
 /// `true` when a checkpoint's parameter tensors line up one-to-one, shape

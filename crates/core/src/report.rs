@@ -70,6 +70,67 @@ impl fmt::Display for ColumnTier {
     }
 }
 
+/// Which knob the admission-time memory governor turned when the estimated
+/// footprint exceeded `memory_budget_mb` (see [`crate::downscale_to_budget`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DownscaleRung {
+    /// Capped (or further halved) the distinct-value nodes kept per
+    /// attribute column — the cheapest knob, tried first.
+    ValueNodeCap,
+    /// Halved the GNN hidden width, merge-layer width, and embedding dim
+    /// together — only after the value-node cap bottomed out.
+    HiddenDims,
+}
+
+impl DownscaleRung {
+    /// Stable numeric code used in `downscale` trace events.
+    pub fn code(self) -> u64 {
+        match self {
+            DownscaleRung::ValueNodeCap => 0,
+            DownscaleRung::HiddenDims => 1,
+        }
+    }
+
+    /// Inverse of [`DownscaleRung::code`]; unknown codes clamp to
+    /// `HiddenDims` (the more drastic rung).
+    pub fn from_code(code: u64) -> Self {
+        match code {
+            0 => DownscaleRung::ValueNodeCap,
+            _ => DownscaleRung::HiddenDims,
+        }
+    }
+
+    /// Lowercase label used in traces and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            DownscaleRung::ValueNodeCap => "value_node_cap",
+            DownscaleRung::HiddenDims => "hidden_dims",
+        }
+    }
+}
+
+impl fmt::Display for DownscaleRung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One admission-time downscale step taken to fit the memory budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DownscaleDecision {
+    /// Which knob was turned.
+    pub rung: DownscaleRung,
+    /// The value the knob was set to (the new per-column value-node cap,
+    /// or the new GNN hidden width).
+    pub value: u64,
+}
+
+impl fmt::Display for DownscaleDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.rung, self.value)
+    }
+}
+
 /// Everything measured about one *completed* training epoch. Epoch
 /// attempts undone by the divergence guard's rollback are not recorded
 /// here (their time still counts in the [`TrainReport`] phase totals).
@@ -141,6 +202,21 @@ pub struct TrainReport {
     /// Non-fatal checkpoint I/O problems (failed resume or write). Training
     /// continues; the messages are surfaced here for observability.
     pub io_errors: Vec<String>,
+    /// Whether training stopped because the wall-clock deadline
+    /// (`deadline_secs`) expired before `max_epochs`/`patience` did.
+    pub deadline_hit: bool,
+    /// Whether training stopped because a shutdown (Ctrl-C) was requested.
+    pub interrupted: bool,
+    /// The epoch count at which a deadline or interrupt stopped training
+    /// (equals the number of epochs whose results were kept).
+    pub stopped_at_epoch: Option<usize>,
+    /// Admission-time memory-governor decisions, in the order taken.
+    /// Empty when the estimated footprint fit `memory_budget_mb` (or no
+    /// budget was set).
+    pub downscales: Vec<DownscaleDecision>,
+    /// Whether checkpoint writing was disabled mid-run after repeated
+    /// persistent I/O failures (training continued checkpoint-less).
+    pub checkpoints_disabled: bool,
 }
 
 impl TrainReport {
@@ -274,6 +350,23 @@ impl TrainReport {
                     .push("io error (message in the live report only)".to_string()),
                 (EventKind::Counter, names::EARLY_STOP) => report.early_stopped = true,
                 (EventKind::Counter, names::DEGRADED) => report.degraded_to_baseline = true,
+                (EventKind::Counter, names::DEADLINE_HIT) => {
+                    report.deadline_hit = true;
+                    report.stopped_at_epoch = Some(e.index as usize);
+                }
+                (EventKind::Counter, names::INTERRUPTED) => {
+                    report.interrupted = true;
+                    report.stopped_at_epoch = Some(e.index as usize);
+                }
+                (EventKind::Counter, names::DOWNSCALE) => {
+                    report.downscales.push(DownscaleDecision {
+                        rung: DownscaleRung::from_code(e.index),
+                        value: e.value as u64,
+                    });
+                }
+                (EventKind::Counter, names::CHECKPOINT_DISABLED) => {
+                    report.checkpoints_disabled = true;
+                }
                 // `seconds` accumulates in encounter order — the fit span
                 // exits before any impute span, matching the live order of
                 // assignment (fit sets `seconds`, each imputation adds).
@@ -386,5 +479,63 @@ mod tests {
         assert_eq!(report.seconds, 0.25 + 2.0);
         assert!(!report.degraded_to_baseline);
         assert!(report.resumed_from_epoch.is_none());
+        assert!(!report.deadline_hit);
+        assert!(!report.interrupted);
+        assert!(report.stopped_at_epoch.is_none());
+        assert!(report.downscales.is_empty());
+        assert!(!report.checkpoints_disabled);
+    }
+
+    #[test]
+    fn from_events_replays_the_governance_counters() {
+        let mut sink = MemorySink::new();
+        {
+            let mut trace = Trace::new(&mut sink);
+            trace.counter(names::MEM_ESTIMATE, 0, 1 << 20);
+            trace.counter(names::DOWNSCALE, 0, 128); // cap -> 128
+            trace.counter(names::DOWNSCALE, 1, 16); // hidden -> 16
+            trace.counter(names::CHECKPOINT_DISABLED, 2, 1);
+            trace.counter(names::DEADLINE_HIT, 3, 1);
+        }
+        let report = TrainReport::from_events(sink.events());
+        assert!(report.deadline_hit);
+        assert!(!report.interrupted);
+        assert_eq!(report.stopped_at_epoch, Some(3));
+        assert!(report.checkpoints_disabled);
+        assert_eq!(
+            report.downscales,
+            vec![
+                DownscaleDecision {
+                    rung: DownscaleRung::ValueNodeCap,
+                    value: 128,
+                },
+                DownscaleDecision {
+                    rung: DownscaleRung::HiddenDims,
+                    value: 16,
+                },
+            ]
+        );
+        assert_eq!(report.downscales[0].to_string(), "value_node_cap -> 128");
+    }
+
+    #[test]
+    fn downscale_rung_codes_round_trip() {
+        for rung in [DownscaleRung::ValueNodeCap, DownscaleRung::HiddenDims] {
+            assert_eq!(DownscaleRung::from_code(rung.code()), rung);
+        }
+        assert_eq!(DownscaleRung::from_code(99), DownscaleRung::HiddenDims);
+    }
+
+    #[test]
+    fn interrupted_counter_records_the_stop_epoch() {
+        let mut sink = MemorySink::new();
+        {
+            let mut trace = Trace::new(&mut sink);
+            trace.counter(names::INTERRUPTED, 5, 1);
+        }
+        let report = TrainReport::from_events(sink.events());
+        assert!(report.interrupted);
+        assert!(!report.deadline_hit);
+        assert_eq!(report.stopped_at_epoch, Some(5));
     }
 }

@@ -34,12 +34,20 @@ pub struct GraphConfig {
     /// places (8 places by default)"; we default to 4 to keep distinct-node
     /// counts close to the published Table 1 scales (see DESIGN.md §8).
     pub numeric_decimals: usize,
+    /// Optional cap on distinct-value cell nodes per attribute, applied as
+    /// a frequency cutoff: only the most frequent values keep their nodes
+    /// (ties broken by first occurrence, so the result is deterministic).
+    /// Capped-out values contribute no edges and stop being imputation
+    /// candidates — the memory-budget downscaling ladder sets this under
+    /// pressure. `None` keeps every distinct value (the paper's graph).
+    pub max_cells_per_column: Option<usize>,
 }
 
 impl Default for GraphConfig {
     fn default() -> Self {
         GraphConfig {
             numeric_decimals: 4,
+            max_cells_per_column: None,
         }
     }
 }
@@ -92,30 +100,56 @@ impl TableGraph {
 
         // First, make sure every value in every attribute domain has a node,
         // even if all its occurrences are excluded — imputation candidates
-        // must exist as nodes so they can be scored.
+        // must exist as nodes so they can be scored. Under a cell-node cap
+        // only the most frequent values survive (frequency cutoff, ties by
+        // first occurrence); node ids still follow first-seen order, so an
+        // uncapped build is bit-identical to the historical layout.
         for (col, index) in cell_index.iter_mut().enumerate() {
+            let mut order: Vec<String> = Vec::new();
+            let mut counts: HashMap<String, usize> = HashMap::new();
             for row in 0..n_rows {
                 if let Some(key) = value_key(table, row, col, config.numeric_decimals) {
-                    index.entry(key.clone()).or_insert_with(|| {
-                        let id = labels.len() as u32;
-                        labels.push(NodeLabel::Cell {
-                            col: col as u32,
-                            text: key,
-                        });
-                        id
-                    });
+                    use std::collections::hash_map::Entry;
+                    match counts.entry(key) {
+                        Entry::Occupied(mut e) => *e.get_mut() += 1,
+                        Entry::Vacant(e) => {
+                            order.push(e.key().clone());
+                            e.insert(1);
+                        }
+                    }
                 }
             }
+            let kept: Vec<usize> = match config.max_cells_per_column {
+                Some(cap) if order.len() > cap => {
+                    let mut ranked: Vec<usize> = (0..order.len()).collect();
+                    ranked.sort_by_key(|&i| (std::cmp::Reverse(counts[order[i].as_str()]), i));
+                    ranked.truncate(cap);
+                    ranked.sort_unstable();
+                    ranked
+                }
+                _ => (0..order.len()).collect(),
+            };
+            for i in kept {
+                let key = order[i].clone();
+                let id = labels.len() as u32;
+                labels.push(NodeLabel::Cell {
+                    col: col as u32,
+                    text: key.clone(),
+                });
+                index.insert(key, id);
+            }
         }
-        // Then add the typed edges for non-excluded cells.
+        // Then add the typed edges for non-excluded cells. Values capped
+        // out of the node set simply contribute no edge.
         for row in 0..n_rows {
             for col in 0..n_cols {
                 if excluded.contains(&(row, col)) {
                     continue;
                 }
                 if let Some(key) = value_key(table, row, col, config.numeric_decimals) {
-                    let cell = cell_index[col][&key];
-                    edges[col].pairs.push((row as u32, cell));
+                    if let Some(&cell) = cell_index[col].get(&key) {
+                        edges[col].pairs.push((row as u32, cell));
+                    }
                 }
             }
         }
@@ -308,6 +342,7 @@ mod tests {
             &t,
             GraphConfig {
                 numeric_decimals: 4,
+                ..GraphConfig::default()
             },
             &[],
         );
@@ -317,10 +352,83 @@ mod tests {
             &t,
             GraphConfig {
                 numeric_decimals: 8,
+                ..GraphConfig::default()
             },
             &[],
         );
         assert_eq!(g8.n_column_cells(0), 2);
+    }
+
+    /// 12 rows of column "v": value "a" ×6, "b" ×4, "c" ×1, "d" ×1
+    /// (c before d), next to a low-cardinality anchor column.
+    fn skewed_table() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("v", ColumnKind::Categorical),
+            ("k", ColumnKind::Categorical),
+        ]);
+        let vs = ["a", "a", "b", "a", "c", "b", "a", "d", "b", "a", "b", "a"];
+        let mut t = Table::empty(schema);
+        for (i, v) in vs.iter().enumerate() {
+            let k = if i % 2 == 0 { "k0" } else { "k1" };
+            t.push_str_row(&[Some(v), Some(k)]);
+        }
+        t
+    }
+
+    #[test]
+    fn cell_node_cap_keeps_the_most_frequent_values() {
+        let t = skewed_table();
+        let cfg = GraphConfig {
+            max_cells_per_column: Some(2),
+            ..GraphConfig::default()
+        };
+        let g = TableGraph::build(&t, cfg, &[]);
+        assert_eq!(g.n_column_cells(0), 2);
+        assert!(g.cell_node(0, "a").is_some());
+        assert!(g.cell_node(0, "b").is_some());
+        assert!(g.cell_node(0, "c").is_none());
+        assert!(g.cell_node(0, "d").is_none());
+        // Columns under the cap are untouched.
+        assert_eq!(g.n_column_cells(1), 2);
+        // Capped-out cells resolve to no node and contribute no edges:
+        // 10 "a"/"b" edges survive in column 0, all 12 in column 1.
+        assert_eq!(g.cell_node_of(&t, 4, 0), None);
+        assert_eq!(g.edges_of(0).pairs.len(), 10);
+        assert_eq!(g.edges_of(1).pairs.len(), 12);
+    }
+
+    #[test]
+    fn cell_node_cap_breaks_frequency_ties_by_first_occurrence() {
+        let t = skewed_table();
+        let cfg = GraphConfig {
+            max_cells_per_column: Some(3),
+            ..GraphConfig::default()
+        };
+        let g = TableGraph::build(&t, cfg, &[]);
+        // "c" and "d" both appear once; "c" appears first and wins slot 3.
+        assert!(g.cell_node(0, "c").is_some());
+        assert!(g.cell_node(0, "d").is_none());
+    }
+
+    #[test]
+    fn uncapped_build_is_identical_to_a_generous_cap() {
+        let t = skewed_table();
+        let free = TableGraph::build(&t, GraphConfig::default(), &[]);
+        let capped = TableGraph::build(
+            &t,
+            GraphConfig {
+                max_cells_per_column: Some(100),
+                ..GraphConfig::default()
+            },
+            &[],
+        );
+        assert_eq!(free.n_nodes(), capped.n_nodes());
+        for n in 0..free.n_nodes() {
+            assert_eq!(free.label(n), capped.label(n), "node {n}");
+        }
+        for c in 0..2 {
+            assert_eq!(free.edges_of(c).pairs, capped.edges_of(c).pairs);
+        }
     }
 
     #[test]

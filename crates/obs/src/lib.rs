@@ -34,10 +34,12 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod fs;
 pub mod histogram;
 pub mod json;
 mod sink;
 
+pub use fs::{FaultFs, GrimpFs, IoFaultKind, IoFaultPlan, RealFs};
 pub use histogram::Histogram;
 pub use sink::{FanoutSink, JsonlSink, MemorySink};
 
@@ -328,6 +330,21 @@ pub mod names {
     /// fit (counter, index = column id, value = tier code: 0 gnn,
     /// 1 baseline, 2 constant).
     pub const COLUMN_TIER: &str = "column_tier";
+    /// The wall-clock deadline fired and training stopped cleanly
+    /// (counter, index = the epoch reached).
+    pub const DEADLINE_HIT: &str = "deadline_hit";
+    /// A cooperative shutdown request (SIGINT) stopped training at an
+    /// epoch boundary (counter, index = the epoch reached).
+    pub const INTERRUPTED: &str = "interrupted";
+    /// Estimated pre-allocation memory footprint in bytes (counter).
+    pub const MEM_ESTIMATE: &str = "mem_estimate";
+    /// One admission-time downscale decision taken to fit the memory
+    /// budget (counter, index = rung code: 0 value-node cap, 1 hidden
+    /// dims; value = the resulting cap / width).
+    pub const DOWNSCALE: &str = "downscale";
+    /// Checkpointing disabled for the rest of the run after persistent
+    /// IO faults (counter, index = epoch).
+    pub const CHECKPOINT_DISABLED: &str = "checkpoint_disabled";
 }
 
 #[cfg(test)]

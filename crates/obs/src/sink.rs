@@ -121,6 +121,19 @@ impl JsonlSink<BufWriter<File>> {
     }
 }
 
+impl JsonlSink<Box<dyn Write>> {
+    /// Create (truncate) a trace file at `path` through a [`crate::fs::GrimpFs`],
+    /// so IO faults injected by [`crate::fs::FaultFs`] reach the trace
+    /// stream. Faults after creation are deferred like any other write
+    /// error: the sink disables itself and `flush` reports the first one.
+    pub fn create_with(
+        fs: &mut dyn crate::fs::GrimpFs,
+        path: impl AsRef<Path>,
+    ) -> io::Result<Self> {
+        Ok(JsonlSink::new(fs.open_writer(path.as_ref())?))
+    }
+}
+
 impl<W: Write> JsonlSink<W> {
     /// Stream into an arbitrary writer.
     pub fn new(writer: W) -> Self {

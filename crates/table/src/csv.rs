@@ -184,9 +184,15 @@ pub fn write_csv(table: &Table, mut writer: impl Write) -> io::Result<()> {
 
 /// Render a table as a CSV string.
 pub fn to_csv_string(table: &Table) -> String {
+    String::from_utf8(to_csv_bytes(table)).expect("invariant: write_csv emits only UTF-8")
+}
+
+/// Render a table as in-memory CSV bytes, for callers that write the whole
+/// file in one atomic operation (temp file + rename) instead of streaming.
+pub fn to_csv_bytes(table: &Table) -> Vec<u8> {
     let mut buf = Vec::new();
     write_csv(table, &mut buf).expect("invariant: writing to a Vec<u8> cannot fail");
-    String::from_utf8(buf).expect("invariant: write_csv emits only UTF-8")
+    buf
 }
 
 #[cfg(test)]

@@ -29,6 +29,10 @@ cargo test -q -p grimp-core --test chaos
 cargo test -q -p grimp-cli --test exit_codes
 cargo run --release -p grimp-cli --bin grimp -- chaos --seed 1
 
+echo "==> resource governance (deadline/budget/shutdown/lock/IO-fault matrix, core + real binary)"
+cargo test -q -p grimp-core --test resource
+cargo test -q -p grimp-cli --test governance
+
 echo "==> grimp-obs gate (clippy -D warnings + tests incl. zero-alloc NullSink)"
 cargo clippy -p grimp-obs --all-targets -- -D warnings
 cargo test -q -p grimp-obs
