@@ -19,18 +19,25 @@
 use std::fmt::Write as _;
 use std::fs;
 
-use grimp::{Grimp, GrimpConfig, Pipeline, ShutdownFlag, TaskKind, TrainReport};
+use grimp::{BackendKind, Grimp, GrimpConfig, Pipeline, ShutdownFlag, TaskKind, TrainReport};
 use grimp_bench::{corrupt, prepare, Profile};
 use grimp_datasets::DatasetId;
 use grimp_gnn::GnnConfig;
 use grimp_graph::FeatureSource;
 use grimp_obs::{json, MemorySink};
-use grimp_table::{Schema, Table, Value};
+use grimp_table::{inject_mcar, ColumnKind, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 const ROWS: usize = 250;
 const RATE: f64 = 0.2;
 const REPS: usize = 5;
 const EPOCHS: usize = 60;
+/// The larger synthetic table for the serial-vs-parallel comparison: wide
+/// enough that kernel time dominates, short-epoch so the probe stays fast.
+const LARGE_ROWS: usize = 1000;
+const LARGE_EPOCHS: usize = 12;
+const LARGE_REPS: usize = 3;
 
 /// First `n` rows of a table, dictionaries re-interned to stay minimal.
 fn head(table: &Table, n: usize) -> Table {
@@ -46,6 +53,34 @@ fn head(table: &Table, n: usize) -> Table {
         out.push_value_row(&row);
     }
     out
+}
+
+/// A deterministic mixed-kind table with `rows` rows: three categorical
+/// columns of varied cardinality plus two numericals.
+fn large_synthetic(rows: usize) -> Table {
+    let schema = Schema::from_pairs(&[
+        ("site", ColumnKind::Categorical),
+        ("device", ColumnKind::Categorical),
+        ("status", ColumnKind::Categorical),
+        ("load", ColumnKind::Numerical),
+        ("temp", ColumnKind::Numerical),
+    ]);
+    let mut t = Table::empty(schema);
+    for i in 0..rows {
+        let site = format!("s{}", i % 23);
+        let device = format!("d{}", (i * 7 + i / 11) % 31);
+        let status = format!("st{}", i % 5);
+        let load = format!("{:.2}", ((i * 13) % 97) as f64 / 9.7);
+        let temp = format!("{:.2}", 15.0 + ((i * 29) % 53) as f64 / 5.3);
+        t.push_str_row(&[
+            Some(&site),
+            Some(&device),
+            Some(&status),
+            Some(&load),
+            Some(&temp),
+        ]);
+    }
+    t
 }
 
 fn probe_config(legacy: bool) -> GrimpConfig {
@@ -119,8 +154,12 @@ fn governed_config() -> GrimpConfig {
 }
 
 fn run_config(dirty: &Table, cfg: &GrimpConfig) -> ModeResult {
+    run_config_n(dirty, cfg, REPS)
+}
+
+fn run_config_n(dirty: &Table, cfg: &GrimpConfig, reps: usize) -> ModeResult {
     let mut best: Option<ModeResult> = None;
-    for _ in 0..REPS {
+    for _ in 0..reps {
         let mut model = Grimp::new(cfg.clone());
         let _ = model.fit_impute(dirty);
         let report = model.last_report().expect("fit_impute sets a report");
@@ -131,6 +170,38 @@ fn run_config(dirty: &Table, cfg: &GrimpConfig) -> ModeResult {
         }
     }
     best.expect("at least one rep")
+}
+
+/// One fit + impute; returns per-epoch loss bits and the imputed cells for
+/// bit-identity comparison across backends.
+fn run_once_for_bits(dirty: &Table, cfg: GrimpConfig) -> (Vec<u32>, Vec<u32>, Vec<String>) {
+    let mut model = Grimp::new(cfg);
+    let imputed = model.fit_impute(dirty);
+    let report = model.last_report().expect("fit_impute sets a report");
+    let bits = |v: Vec<f32>| v.into_iter().map(f32::to_bits).collect::<Vec<u32>>();
+    let mut cells = Vec::with_capacity(imputed.n_rows() * imputed.n_columns());
+    for i in 0..imputed.n_rows() {
+        for j in 0..imputed.n_columns() {
+            cells.push(imputed.display(i, j));
+        }
+    }
+    (
+        bits(report.train_losses()),
+        bits(report.val_losses()),
+        cells,
+    )
+}
+
+/// The parallel backend's core contract: its run must be **bit-identical**
+/// to the serial one — same per-epoch losses, same imputed table. Holds on
+/// any machine and any thread count; this is what makes the recorded
+/// speedup a pure win rather than a numerical trade.
+fn assert_backend_parity(dirty: &Table, label: &str, serial: GrimpConfig, parallel: GrimpConfig) {
+    let s = run_once_for_bits(dirty, serial);
+    let p = run_once_for_bits(dirty, parallel);
+    assert_eq!(s.0, p.0, "{label}: train losses diverged across backends");
+    assert_eq!(s.1, p.1, "{label}: val losses diverged across backends");
+    assert_eq!(s.2, p.2, "{label}: imputed cells diverged across backends");
 }
 
 fn run_mode(dirty: &Table, legacy: bool) -> ModeResult {
@@ -196,24 +267,35 @@ fn previous_fast_seconds() -> Option<f64> {
         .as_f64()
 }
 
+/// A JSON number literal for `v` — `null` when non-finite, because a
+/// diverged run's NaN loss or inf gradient norm must still produce a file
+/// any strict JSON parser (e.g. Python's) accepts.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
 fn mode_json(out: &mut String, label: &str, r: &ModeResult) {
     let _ = write!(
         out,
-        "  \"{label}\": {{\n    \"seconds\": {:.6},\n    \"forward_s\": {:.6},\n    \
-         \"backward_s\": {:.6},\n    \"optim_s\": {:.6},\n    \"epochs_run\": {},\n    \
+        "  \"{label}\": {{\n    \"seconds\": {},\n    \"forward_s\": {},\n    \
+         \"backward_s\": {},\n    \"optim_s\": {},\n    \"epochs_run\": {},\n    \
          \"first_epoch_allocs\": {},\n    \"allocs_after_epoch1\": {},\n    \
-         \"grad_norm_final\": {:.6},\n    \"grad_norm_max\": {:.6},\n    \
+         \"grad_norm_final\": {},\n    \"grad_norm_max\": {},\n    \
          \"clip_activations\": {},\n    \"anomalies_detected\": {},\n    \
          \"recoveries\": {},\n    \"checkpoint_bytes\": {}\n  }}",
-        r.seconds,
-        r.forward_s,
-        r.backward_s,
-        r.optim_s,
+        json_f64(r.seconds),
+        json_f64(r.forward_s),
+        json_f64(r.backward_s),
+        json_f64(r.optim_s),
         r.epochs_run,
         r.first_epoch_allocs,
         r.allocs_after_epoch1,
-        r.grad_norm_final,
-        r.grad_norm_max,
+        json_f64(r.grad_norm_final),
+        json_f64(r.grad_norm_max),
         r.clip_activations,
         r.anomalies_detected,
         r.recoveries,
@@ -221,7 +303,25 @@ fn mode_json(out: &mut String, label: &str, r: &ModeResult) {
     );
 }
 
+/// `--threads N` from argv; defaults to the machine's core count.
+fn threads_arg() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            let raw = args.next().unwrap_or_default();
+            return raw
+                .parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| panic!("--threads {raw}: expected a positive integer"));
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 fn main() {
+    let threads = threads_arg();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let prepared = prepare(DatasetId::Mammogram, Profile::Standard, 0);
     let clean = head(&prepared.clean, ROWS);
     let capped = grimp_bench::Prepared { clean, ..prepared };
@@ -260,7 +360,42 @@ fn main() {
             governed = retry;
         }
     }
+    // Parallel kernel backend: timed on Mammogram-250 and on the larger
+    // synthetic table, with bit-identity to serial asserted on both.
+    let mut par_cfg = probe_config(false);
+    par_cfg.backend = BackendKind::Parallel { threads };
+    let parallel = run_config(&instance.dirty, &par_cfg);
+    assert_backend_parity(
+        &instance.dirty,
+        "mammogram-250",
+        probe_config(false),
+        par_cfg.clone(),
+    );
+
+    let mut large_dirty = large_synthetic(LARGE_ROWS);
+    inject_mcar(&mut large_dirty, RATE, &mut StdRng::seed_from_u64(2));
+    let large_config = |backend: BackendKind| {
+        let mut cfg = probe_config(false);
+        cfg.max_epochs = LARGE_EPOCHS;
+        cfg.patience = LARGE_EPOCHS;
+        cfg.backend = backend;
+        cfg
+    };
+    let large_serial = run_config_n(&large_dirty, &large_config(BackendKind::Serial), LARGE_REPS);
+    let large_parallel = run_config_n(
+        &large_dirty,
+        &large_config(BackendKind::Parallel { threads }),
+        LARGE_REPS,
+    );
+    assert_backend_parity(
+        &large_dirty,
+        "large-synthetic",
+        large_config(BackendKind::Serial),
+        large_config(BackendKind::Parallel { threads }),
+    );
+
     let speedup = legacy.seconds / fast.seconds;
+    let parallel_speedup = large_serial.seconds / large_parallel.seconds;
     let null_sink_overhead = baseline_fast_seconds.map(|b| (fast.seconds - b) / b);
     let trace_overhead = (traced.seconds - fast.seconds) / fast.seconds;
     let governance_overhead = (governed.seconds - fast.seconds) / fast.seconds;
@@ -281,6 +416,22 @@ fn main() {
     mode_json(&mut json, "traced", &traced);
     json.push_str(",\n");
     mode_json(&mut json, "governed", &governed);
+    json.push_str(",\n");
+    mode_json(&mut json, "parallel", &parallel);
+    json.push_str(",\n");
+    mode_json(&mut json, "large_serial", &large_serial);
+    json.push_str(",\n");
+    mode_json(&mut json, "large_parallel", &large_parallel);
+    let _ = write!(json, ",\n  \"cores\": {cores}");
+    let _ = write!(json, ",\n  \"threads\": {threads}");
+    let _ = write!(json, ",\n  \"large_rows\": {LARGE_ROWS}");
+    let _ = write!(json, ",\n  \"large_epochs\": {LARGE_EPOCHS}");
+    let _ = write!(
+        json,
+        ",\n  \"parallel_speedup\": {}",
+        json_f64(parallel_speedup)
+    );
+    json.push_str(",\n  \"parallel_bit_identical\": true");
     let _ = write!(json, ",\n  \"trace_events\": {trace_events}");
     let _ = write!(json, ",\n  \"trace_overhead\": {trace_overhead:.4}");
     let _ = write!(
@@ -360,4 +511,44 @@ fn main() {
         fast.anomalies_detected,
         fast.recoveries
     );
+    println!(
+        "parallel: {:.3}s on mammogram with {threads} thread(s) ({cores} core(s)), \
+         bit-identical to serial",
+        parallel.seconds
+    );
+    println!(
+        "large  : serial {:.3}s vs parallel {:.3}s over {} rows x {} epochs \
+         ({parallel_speedup:.2}x), bit-identical",
+        large_serial.seconds, large_parallel.seconds, LARGE_ROWS, LARGE_EPOCHS
+    );
+    // The 0-allocs-after-epoch-1 invariant must survive the backend swap:
+    // the thread pool and its reduction scratch are allocated once at pool
+    // creation, never per epoch.
+    for (label, r) in [
+        ("fast", &fast),
+        ("parallel", &parallel),
+        ("large_serial", &large_serial),
+        ("large_parallel", &large_parallel),
+    ] {
+        assert_eq!(
+            r.allocs_after_epoch1, 0,
+            "{label}: workspace allocations after epoch 1 must stay at zero"
+        );
+    }
+    // The end-to-end speedup gate only means something with real cores to
+    // spread over; on narrow boxes the parity asserts above still ran.
+    if cores >= 4 && threads >= 2 {
+        assert!(
+            parallel_speedup > 1.0,
+            "parallel backend must beat serial end-to-end on {cores} cores \
+             (serial {:.3}s, parallel {:.3}s)",
+            large_serial.seconds,
+            large_parallel.seconds
+        );
+    } else {
+        println!(
+            "speedup gate skipped: {cores} core(s) available, {threads} thread(s) requested \
+             (needs >= 4 cores and >= 2 threads)"
+        );
+    }
 }

@@ -6,7 +6,9 @@ use std::io::{BufReader, BufWriter, Write};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use grimp::{ErrorCategory, GrimpConfig, GrimpConfigBuilder, GrimpError, Pipeline, TaskKind};
+use grimp::{
+    BackendKind, ErrorCategory, GrimpConfig, GrimpConfigBuilder, GrimpError, Pipeline, TaskKind,
+};
 use grimp_baselines::{
     AimNetConfig, AimNetLike, DataWigConfig, DataWigLike, EmbdiMc, EmbdiMcConfig, Gain, GainConfig,
     KnnImputer, MeanMode, Mice, MiceConfig, Mida, MidaConfig, MissForest, MissForestConfig,
@@ -104,6 +106,7 @@ COMMANDS:
     impute   <dirty.csv>  [--algo NAME] [--seed N] [--paper] [-o out.csv]
              [--checkpoint-dir DIR] [--resume] [--trace-out FILE]
              [--metrics] [--deadline SECS] [--memory-budget-mb N]
+             [--threads N]
              impute every missing cell; algorithms: grimp (default),
              grimp-e, grimp-linear, missforest, aimnet, turl, embdi-mc,
              datawig, mice, mida, gain, knn, meanmode
@@ -119,6 +122,10 @@ COMMANDS:
              --memory-budget-mb estimates the model footprint up front
              and downscales deterministically (value-node cap, then
              hidden dims) instead of OOM-ing
+             --threads N runs the hot kernels on the parallel backend
+             with N threads (grimp variants only); results are
+             bit-identical to the default serial backend, so
+             checkpoints and traces carry across backends
              a first Ctrl-C checkpoints, imputes from the current state,
              and exits 130; a second Ctrl-C aborts immediately
              GRIMP_FAULT_FS=kind[:times[:from_op]] injects deterministic
@@ -262,6 +269,14 @@ fn build_pipeline(name: &str, seed: u64, args: &Args) -> Result<Pipeline, CliErr
             CliError::config(format!("--memory-budget-mb {raw}: cannot parse value"))
         })?;
         builder = builder.memory_budget_mb(Some(mb));
+    }
+    if let Some(raw) = args.opt("threads") {
+        let threads: usize = raw
+            .parse()
+            .map_err(|_| CliError::config(format!("--threads {raw}: cannot parse value")))?;
+        // `--threads 1` still selects the parallel backend (pool of one);
+        // the builder rejects 0 with a typed ZeroThreads error.
+        builder = builder.backend(BackendKind::Parallel { threads });
     }
     // The process-wide SIGINT flag: a Ctrl-C stops training at the next
     // epoch boundary and the run imputes from its current state.
@@ -431,6 +446,7 @@ fn cmd_impute(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
         "metrics",
         "deadline",
         "memory-budget-mb",
+        "threads",
     ])?;
     let input = args.require_positional(0, "input CSV path")?;
     let table = load(input)?;
@@ -446,6 +462,7 @@ fn cmd_impute(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
             "trace-out",
             "deadline",
             "memory-budget-mb",
+            "threads",
         ] {
             if args.opt(flag).is_some() {
                 return Err(CliError::config(format!(
@@ -1045,6 +1062,62 @@ mod tests {
         assert_eq!(code, 2);
         assert!(
             out.contains("--trace-out is only supported by the grimp variants"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn threads_flag_selects_the_parallel_backend() {
+        let dir = tmpdir();
+        let dirty = dir.join("threads-dirty.csv");
+        std::fs::write(
+            &dirty,
+            "city,country\nParis,France\nRome,Italy\nParis,\nRome,\nParis,France\nRome,Italy\n",
+        )
+        .unwrap();
+        let (code, out) = run_str(&[
+            "impute",
+            dirty.to_str().unwrap(),
+            "--algo",
+            "grimp",
+            "--seed",
+            "3",
+            "--threads",
+            "2",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("0 cells remain missing"), "{out}");
+    }
+
+    #[test]
+    fn zero_or_garbage_threads_are_rejected() {
+        let dir = tmpdir();
+        let dirty = dir.join("threads-bad.csv");
+        std::fs::write(&dirty, "a,b\nx,1\ny,\n").unwrap();
+        let (code, out) = run_str(&["impute", dirty.to_str().unwrap(), "--threads", "0"]);
+        assert_eq!(code, 2);
+        assert!(out.contains("--threads must be at least 1"), "{out}");
+        let (code, out) = run_str(&["impute", dirty.to_str().unwrap(), "--threads", "many"]);
+        assert_eq!(code, 2);
+        assert!(out.contains("--threads many: cannot parse value"), "{out}");
+    }
+
+    #[test]
+    fn threads_is_rejected_for_non_grimp_algorithms() {
+        let dir = tmpdir();
+        let dirty = dir.join("threads-knn.csv");
+        std::fs::write(&dirty, "a,b\nx,1\ny,\n").unwrap();
+        let (code, out) = run_str(&[
+            "impute",
+            dirty.to_str().unwrap(),
+            "--algo",
+            "knn",
+            "--threads",
+            "2",
+        ]);
+        assert_eq!(code, 2);
+        assert!(
+            out.contains("--threads is only supported by the grimp variants"),
             "{out}"
         );
     }

@@ -113,7 +113,10 @@ fn held_checkpoint_lock_is_a_busy_error() {
     let dir = std::env::temp_dir().join(format!("grimp-exit-lock-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
-    std::fs::write(dir.join("grimp.lock"), b"99999").unwrap();
+    // The lock must name a *live* process — this very test — because a
+    // stale lock from a dead PID is reclaimed instead of erroring.
+    let live_pid = std::process::id().to_string();
+    std::fs::write(dir.join("grimp.lock"), &live_pid).unwrap();
     let out = grimp(&[
         "impute",
         dirty.to_str().unwrap(),
@@ -126,7 +129,33 @@ fn held_checkpoint_lock_is_a_busy_error() {
     let line = stderr_line(&out);
     assert!(line.starts_with("error: "), "{line}");
     assert!(line.contains("locked by another run"), "{line}");
-    assert!(line.contains("99999"), "owner pid surfaced: {line}");
+    assert!(line.contains(&live_pid), "owner pid surfaced: {line}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn stale_lock_from_a_dead_process_is_reclaimed_by_the_cli() {
+    let dirty = tmpfile("stale-locked.csv", "a,b\nx,1\ny,\nx,1\ny,2\n");
+    let dir = std::env::temp_dir().join(format!("grimp-exit-stale-lock-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    // u32::MAX exceeds the kernel's pid_max, so the recorded holder is
+    // provably dead and the run must reclaim the lock and succeed.
+    std::fs::write(dir.join("grimp.lock"), u32::MAX.to_string()).unwrap();
+    let out = grimp(&[
+        "impute",
+        dirty.to_str().unwrap(),
+        "--algo",
+        "grimp",
+        "--checkpoint-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(
+        !dir.join("grimp.lock").exists(),
+        "reclaimed lock released after the run"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

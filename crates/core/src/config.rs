@@ -2,6 +2,7 @@
 
 use grimp_gnn::GnnConfig;
 use grimp_graph::{EmbdiConfig, FeatureSource, GraphConfig};
+use grimp_tensor::BackendKind;
 
 /// Which task-specific head to use (paper §3.5, Table 2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -78,6 +79,11 @@ pub struct GrimpConfig {
     /// Only useful as a benchmarking baseline; results are numerically
     /// equivalent.
     pub legacy_hot_path: bool,
+    /// Kernel execution backend for the training hot path. The parallel
+    /// backend is bit-identical to the serial one for any thread count, so
+    /// this only changes wall-clock time. Ignored by the legacy hot path,
+    /// which always runs the reference kernels.
+    pub backend: BackendKind,
     /// Global gradient-norm clip threshold. When the L2 norm over all
     /// parameter gradients exceeds it, every gradient is scaled by
     /// `max / norm` before the optimizer step. `None` disables clipping
@@ -164,6 +170,7 @@ impl GrimpConfig {
             max_train_samples_per_task: None,
             seed: 0,
             legacy_hot_path: false,
+            backend: BackendKind::Serial,
             max_grad_norm: Some(1e4),
             max_recoveries: 2,
             checkpoint_every: 1,
@@ -296,6 +303,9 @@ impl GrimpConfig {
         if self.memory_budget_mb == Some(0) {
             return Err(ConfigError::ZeroMemoryBudget);
         }
+        if self.backend.threads() == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
         Ok(())
     }
 }
@@ -324,6 +334,8 @@ pub enum ConfigError {
     InvalidDeadline(f64),
     /// The memory budget is zero MiB — nothing could ever be admitted.
     ZeroMemoryBudget,
+    /// The parallel backend was requested with zero threads.
+    ZeroThreads,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -352,6 +364,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroMemoryBudget => {
                 write!(f, "--memory-budget-mb must be at least 1")
+            }
+            ConfigError::ZeroThreads => {
+                write!(f, "--threads must be at least 1")
             }
         }
     }
@@ -470,6 +485,13 @@ impl GrimpConfigBuilder {
     /// Run the pre-optimization (benchmark-baseline) training hot path.
     pub fn legacy_hot_path(mut self, legacy: bool) -> Self {
         self.config.legacy_hot_path = legacy;
+        self
+    }
+
+    /// Kernel execution backend for the training hot path (bit-identical
+    /// across backends; only wall-clock time changes).
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.config.backend = backend;
         self
     }
 
@@ -634,6 +656,17 @@ mod tests {
                 .unwrap_err(),
             ConfigError::InvalidGradClip(_)
         ));
+        assert_eq!(
+            GrimpConfig::builder()
+                .backend(BackendKind::Parallel { threads: 0 })
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroThreads
+        );
+        assert!(GrimpConfig::builder()
+            .backend(BackendKind::Parallel { threads: 2 })
+            .build()
+            .is_ok());
         assert_eq!(
             GrimpConfig::builder()
                 .max_train_samples_per_task(Some(0))

@@ -221,8 +221,11 @@ pub const LOCK_FILE: &str = "grimp.lock";
 /// Exclusive lock on a checkpoint directory, taken before any checkpoint
 /// IO so two concurrent runs cannot corrupt each other's two-generation
 /// rotation. The lock file holds the owner's PID for diagnostics; it is
-/// removed on drop. A lock left behind by a killed process must be removed
-/// manually (the PID in the error message says whose it was).
+/// removed on drop. A lock left behind by a killed process is reclaimed
+/// automatically at the next acquire: when the recorded PID no longer
+/// exists (or the file is unreadable — a torn write from a crashed run),
+/// `fit` removes the stale file, emits a `lock_reclaimed` trace counter,
+/// and retries once. A lock whose holder is alive stays a hard error.
 #[derive(Debug)]
 pub struct DirLock {
     path: PathBuf,
@@ -249,6 +252,22 @@ impl DirLock {
     pub fn path(&self) -> &Path {
         &self.path
     }
+}
+
+/// Whether a process with this PID is currently alive. On Linux this is a
+/// `/proc/<pid>` existence probe — no syscall wrapper crates, no signals
+/// sent. On other platforms it conservatively answers `true`, so a stale
+/// lock is never reclaimed automatically there (remove it manually; the
+/// PID in the `LockHeld` error says whose it was).
+#[cfg(target_os = "linux")]
+pub fn pid_alive(pid: u32) -> bool {
+    Path::new("/proc").join(pid.to_string()).exists()
+}
+
+/// Non-Linux fallback: assume the holder is alive (never auto-reclaim).
+#[cfg(not(target_os = "linux"))]
+pub fn pid_alive(_pid: u32) -> bool {
+    true
 }
 
 impl Drop for DirLock {
@@ -381,6 +400,15 @@ mod tests {
             estimate_footprint(&t, &eff).total_bytes() <= budget_mb as u64 * 1024 * 1024,
             "budget met"
         );
+    }
+
+    #[test]
+    fn pid_alive_distinguishes_this_process_from_an_impossible_pid() {
+        assert!(pid_alive(std::process::id()), "we are alive");
+        #[cfg(target_os = "linux")]
+        // u32::MAX far exceeds the kernel's pid_max (4194304), so no
+        // process can ever hold it.
+        assert!(!pid_alive(u32::MAX), "impossible pid must read as dead");
     }
 
     #[test]

@@ -62,8 +62,10 @@ pub use fault::TrainAnomaly;
 pub use fault::{FaultKind, FaultPlan};
 pub use federated::{FederatedConfig, FederatedGrimp, FederatedReport};
 pub use governor::{
-    downscale_to_budget, estimate_footprint, DirLock, FootprintEstimate, ShutdownFlag, LOCK_FILE,
+    downscale_to_budget, estimate_footprint, pid_alive, DirLock, FootprintEstimate, ShutdownFlag,
+    LOCK_FILE,
 };
+pub use grimp_tensor::BackendKind;
 pub use inductive::TrainedGrimp;
 pub use mc::{GlobalDomain, GnnMc};
 pub use model::{FittedModel, Grimp, TrainState};

@@ -651,6 +651,12 @@ pub(crate) fn fit_model(
     let model_span = trace.enter(names::MODEL_BUILD, 0);
     let mut tape = Tape::new();
     tape.set_legacy_mode(cfg.legacy_hot_path);
+    tape.set_backend(cfg.backend);
+    trace.counter(
+        names::BACKEND,
+        cfg.backend.code(),
+        cfg.backend.threads() as u64,
+    );
     let gnn = HeteroSage::new(&mut tape, &graph, cfg.feature_dim, cfg.gnn, &mut rng);
     let merge = Mlp::new(
         &mut tape,
@@ -734,6 +740,7 @@ pub(crate) fn fit_model(
     let mut report = TrainReport {
         n_weights,
         downscales,
+        backend_threads: cfg.backend.threads(),
         ..Default::default()
     };
     let mut state = TrainState::new(cfg.lr);
@@ -763,10 +770,42 @@ pub(crate) fn fit_model(
         match with_retry(IO_RETRY_ATTEMPTS, || DirLock::acquire(ckfs.as_mut(), dir)) {
             Ok(lock) => _dir_lock = Some(lock),
             Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                return Err(GrimpError::LockHeld {
-                    path: dir.join(crate::governor::LOCK_FILE),
-                    owner_pid: DirLock::owner_pid(ckfs.as_mut(), dir),
-                });
+                // Stale-lock reclaim: a lock whose recorded holder is no
+                // longer alive (or whose content is unreadable — a torn
+                // write from a crashed run) would otherwise livelock every
+                // future run on this directory. Remove it, trace the
+                // reclaim, and retry once. A live holder — including this
+                // very process — stays a hard error.
+                let owner = DirLock::owner_pid(ckfs.as_mut(), dir);
+                if owner.is_some_and(crate::governor::pid_alive) {
+                    return Err(GrimpError::LockHeld {
+                        path: dir.join(crate::governor::LOCK_FILE),
+                        owner_pid: owner,
+                    });
+                }
+                let _ = std::fs::remove_file(dir.join(crate::governor::LOCK_FILE));
+                trace.counter(names::LOCK_RECLAIMED, u64::from(owner.unwrap_or(0)), 1);
+                report.locks_reclaimed += 1;
+                match with_retry(IO_RETRY_ATTEMPTS, || DirLock::acquire(ckfs.as_mut(), dir)) {
+                    Ok(lock) => _dir_lock = Some(lock),
+                    Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                        // Lost the race to another run between the reclaim
+                        // and our retry; that holder is live by construction.
+                        return Err(GrimpError::LockHeld {
+                            path: dir.join(crate::governor::LOCK_FILE),
+                            owner_pid: DirLock::owner_pid(ckfs.as_mut(), dir),
+                        });
+                    }
+                    Err(e) => {
+                        report.io_errors.push(format!(
+                            "cannot lock checkpoint dir {}: {e}; continuing without checkpoints",
+                            dir.display()
+                        ));
+                        trace.counter(names::IO_ERROR, report.io_errors.len() as u64, 1);
+                        ckpt_path = None;
+                        let _ = std::fs::remove_file(dir.join(crate::governor::LOCK_FILE));
+                    }
+                }
             }
             Err(e) => {
                 report.io_errors.push(format!(

@@ -10,6 +10,13 @@
 //! surfaces as a typed [`GrimpError`] — the pipeline never panics on
 //! adversarial input.
 //!
+//! The kernel backend is part of the validated configuration:
+//! `GrimpConfig::builder().backend(BackendKind::Parallel { threads })`
+//! runs the hot kernels on the fixed-partition thread pool, with results
+//! bit-identical to the default serial backend (see
+//! [`grimp_tensor::TensorBackend`]), so checkpoints, traces, and reports
+//! carry across backends unchanged.
+//!
 //! ```
 //! use grimp::{GrimpConfig, Pipeline};
 //! use grimp_table::{ColumnKind, Schema, Table};
@@ -171,6 +178,25 @@ mod tests {
         assert!(fitted.report().epochs_run > 0);
         let imputed = fitted.impute(&dirty).unwrap();
         check_imputation_contract(&dirty, &imputed).unwrap();
+        assert_eq!(imputed.n_missing(), 0);
+    }
+
+    #[test]
+    fn parallel_backend_pipeline_validates_fits_and_reports_its_threads() {
+        let mut dirty = small_table(30);
+        inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(4));
+        let cfg = GrimpConfig::builder()
+            .feature_dim(8)
+            .merge_hidden(16)
+            .embed_dim(8)
+            .max_epochs(3)
+            .seed(5)
+            .backend(grimp_tensor::BackendKind::Parallel { threads: 2 })
+            .build()
+            .unwrap();
+        let mut fitted = Pipeline::new(cfg).unwrap().fit(&dirty).unwrap();
+        assert_eq!(fitted.report().backend_threads, 2);
+        let imputed = fitted.impute(&dirty).unwrap();
         assert_eq!(imputed.n_missing(), 0);
     }
 

@@ -217,6 +217,12 @@ pub struct TrainReport {
     /// Whether checkpoint writing was disabled mid-run after repeated
     /// persistent I/O failures (training continued checkpoint-less).
     pub checkpoints_disabled: bool,
+    /// Thread count of the kernel backend the fit ran on (1 for the serial
+    /// backend; results are bit-identical across backends by contract).
+    pub backend_threads: usize,
+    /// Stale checkpoint-directory locks (left by dead processes) reclaimed
+    /// while acquiring the directory for this fit.
+    pub locks_reclaimed: usize,
 }
 
 impl TrainReport {
@@ -367,6 +373,12 @@ impl TrainReport {
                 (EventKind::Counter, names::CHECKPOINT_DISABLED) => {
                     report.checkpoints_disabled = true;
                 }
+                (EventKind::Counter, names::BACKEND) => {
+                    report.backend_threads = e.value as usize;
+                }
+                (EventKind::Counter, names::LOCK_RECLAIMED) => {
+                    report.locks_reclaimed += 1;
+                }
                 // `seconds` accumulates in encounter order — the fit span
                 // exits before any impute span, matching the live order of
                 // assignment (fit sets `seconds`, each imputation adds).
@@ -516,6 +528,23 @@ mod tests {
             ]
         );
         assert_eq!(report.downscales[0].to_string(), "value_node_cap -> 128");
+    }
+
+    #[test]
+    fn from_events_replays_backend_and_lock_provenance() {
+        let mut sink = MemorySink::new();
+        {
+            let mut trace = Trace::new(&mut sink);
+            trace.counter(names::BACKEND, 1, 4); // parallel, 4 threads
+            trace.counter(names::LOCK_RECLAIMED, 12345, 1);
+        }
+        let report = TrainReport::from_events(sink.events());
+        assert_eq!(report.backend_threads, 4);
+        assert_eq!(report.locks_reclaimed, 1);
+
+        let fresh = TrainReport::default();
+        assert_eq!(fresh.backend_threads, 0);
+        assert_eq!(fresh.locks_reclaimed, 0);
     }
 
     #[test]

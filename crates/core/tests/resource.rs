@@ -241,9 +241,12 @@ fn generous_memory_budget_records_no_downscales() {
 
 #[test]
 fn held_lock_is_a_typed_busy_error() {
+    // Plant a lock owned by a *live* process (this one) so the stale-lock
+    // reclaim must not kick in: a live holder is a hard Busy error.
+    let live_pid = std::process::id();
     let dirty = dirty_table(30, 7);
     let dir = fresh_dir("lock-held");
-    std::fs::write(dir.join(LOCK_FILE), b"12345").expect("plant lock");
+    std::fs::write(dir.join(LOCK_FILE), live_pid.to_string()).expect("plant lock");
 
     let mut cfg = tiny_config();
     cfg.checkpoint_dir = Some(dir.clone());
@@ -254,13 +257,78 @@ fn held_lock_is_a_typed_busy_error() {
     };
     match &err {
         GrimpError::LockHeld { path, owner_pid } => {
-            assert_eq!(*owner_pid, Some(12345));
+            assert_eq!(*owner_pid, Some(live_pid));
             assert!(path.ends_with(LOCK_FILE), "{}", path.display());
         }
         other => panic!("expected LockHeld, got {other}"),
     }
     assert_eq!(err.category(), ErrorCategory::Busy);
     assert_eq!(err.category().exit_code(), 7);
+    assert!(
+        dir.join(LOCK_FILE).exists(),
+        "a live holder's lock must not be reclaimed"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn stale_lock_from_a_dead_process_is_reclaimed() {
+    // u32::MAX far exceeds the kernel's pid_max, so no process can hold it:
+    // the lock is provably stale and the run must reclaim it and proceed
+    // instead of livelocking every future run on this directory.
+    let dead_pid = u32::MAX;
+    let dirty = dirty_table(30, 7);
+    let dir = fresh_dir("lock-stale");
+    std::fs::write(dir.join(LOCK_FILE), dead_pid.to_string()).expect("plant stale lock");
+
+    let mut cfg = tiny_config();
+    cfg.max_epochs = 2;
+    cfg.checkpoint_dir = Some(dir.clone());
+    let pipeline = Pipeline::new(cfg).expect("valid config");
+    let mut sink = grimp_obs::MemorySink::new();
+    let fitted = pipeline
+        .fit_traced(&dirty, &mut sink)
+        .expect("stale lock must be reclaimed, not fatal");
+    assert_eq!(fitted.report().locks_reclaimed, 1);
+    assert!(
+        sink.events().iter().any(|e| {
+            e.kind == grimp_obs::EventKind::Counter
+                && e.name == grimp_obs::names::LOCK_RECLAIMED
+                && e.index == u64::from(dead_pid)
+        }),
+        "reclaim must be traced with the dead holder's pid"
+    );
+    assert!(
+        !dir.join(LOCK_FILE).exists(),
+        "the reclaimed lock is released again after fit"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn unparseable_lock_file_is_treated_as_stale() {
+    // A torn write from a crashed run leaves garbage in the lock file; with
+    // no PID to probe, the lock counts as stale (index 0 in the trace).
+    let dirty = dirty_table(30, 7);
+    let dir = fresh_dir("lock-garbage");
+    std::fs::write(dir.join(LOCK_FILE), b"not-a-pid").expect("plant torn lock");
+
+    let mut cfg = tiny_config();
+    cfg.max_epochs = 2;
+    cfg.checkpoint_dir = Some(dir.clone());
+    let pipeline = Pipeline::new(cfg).expect("valid config");
+    let mut sink = grimp_obs::MemorySink::new();
+    let fitted = pipeline
+        .fit_traced(&dirty, &mut sink)
+        .expect("unreadable lock must be reclaimed, not fatal");
+    assert_eq!(fitted.report().locks_reclaimed, 1);
+    assert!(sink.events().iter().any(|e| {
+        e.kind == grimp_obs::EventKind::Counter
+            && e.name == grimp_obs::names::LOCK_RECLAIMED
+            && e.index == 0
+    }));
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -409,6 +409,60 @@ mod tests {
     }
 
     #[test]
+    fn isolated_node_aggregation_is_bit_identical_across_backends() {
+        // The degree-0 path (scatter_mean zero rows) must agree bit-for-bit
+        // between the serial and parallel kernel backends, through the full
+        // hetero forward + backward — outputs and parameter gradients alike.
+        let schema = Schema::from_pairs(&[("a", ColumnKind::Categorical)]);
+        let t = Table::from_rows(schema, &[vec![Some("x")], vec![None], vec![Some("y")]]);
+        let g = TableGraph::build(&t, GraphConfig::default(), &[]);
+        let run = |kind: grimp_tensor::BackendKind| {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut tape = Tape::new();
+            tape.set_backend(kind);
+            let sage = HeteroSage::new(
+                &mut tape,
+                &g,
+                4,
+                GnnConfig {
+                    layers: 2,
+                    hidden: 8,
+                    ..Default::default()
+                },
+                &mut rng,
+            );
+            tape.freeze();
+            let x = tape.input(Tensor::full(g.n_nodes(), 4, 0.5));
+            let h = sage.forward(&mut tape, x);
+            let sq = tape.mul_elem(h, h);
+            let loss = tape.sum_all(sq);
+            tape.backward(loss);
+            let grads: Vec<u32> = (0..tape.param_count())
+                .filter_map(|i| tape.grad(Var::from_index(i)))
+                .flat_map(|gr| {
+                    gr.as_slice()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let out: Vec<u32> = tape
+                .value(h)
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            (out, grads)
+        };
+        let serial = run(grimp_tensor::BackendKind::Serial);
+        for threads in [1, 2, 8] {
+            let parallel = run(grimp_tensor::BackendKind::Parallel { threads });
+            assert_eq!(serial.0, parallel.0, "outputs, {threads} threads");
+            assert_eq!(serial.1, parallel.1, "gradients, {threads} threads");
+        }
+    }
+
+    #[test]
     fn neighbors_influence_each_other() {
         // Changing a neighbor's features must change a node's output.
         let (_, g) = graph();

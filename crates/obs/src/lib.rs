@@ -345,6 +345,13 @@ pub mod names {
     /// Checkpointing disabled for the rest of the run after persistent
     /// IO faults (counter, index = epoch).
     pub const CHECKPOINT_DISABLED: &str = "checkpoint_disabled";
+    /// Kernel backend selected for the fit (counter, index = backend code:
+    /// 0 serial, 1 parallel; value = thread count).
+    pub const BACKEND: &str = "backend";
+    /// A stale checkpoint-directory lock left by a dead process was
+    /// reclaimed (counter, index = the dead holder's PID, 0 when the lock
+    /// file was unreadable or unparseable).
+    pub const LOCK_RECLAIMED: &str = "lock_reclaimed";
 }
 
 #[cfg(test)]

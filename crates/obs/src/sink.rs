@@ -266,6 +266,30 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_metrics_round_trip_as_null() {
+        // A diverged loss (NaN) or an overflowed gradient norm (inf) must
+        // still produce lines any strict JSON reader accepts: the value
+        // serializes as `null`, never as bare `NaN`/`inf`.
+        let mut sink = JsonlSink::new(Vec::new());
+        {
+            let mut trace = Trace::new(&mut sink);
+            trace.metric(names::TRAIN_LOSS, 0, f64::NAN);
+            trace.metric(names::GRAD_NORM, 1, f64::INFINITY);
+            trace.metric(names::VAL_LOSS, 2, f64::NEG_INFINITY);
+        }
+        let buf = sink.into_inner().expect("no io errors");
+        let text = String::from_utf8(buf).expect("utf8");
+        for line in text.lines() {
+            assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+            let v = json::parse(line).expect("line parses");
+            assert!(
+                matches!(v.get("v"), Some(json::Json::Null)),
+                "non-finite value must read back as null: {line}"
+            );
+        }
+    }
+
+    #[test]
     fn memory_sink_aggregations() {
         let mut sink = MemorySink::new();
         {

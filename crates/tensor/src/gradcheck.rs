@@ -138,6 +138,40 @@ mod tests {
     }
 
     #[test]
+    fn gradcheck_softmax_ce_near_zero_probability() {
+        // Confidently wrong rows: the target probabilities sit around
+        // e⁻¹⁴ ≈ 8e-7 and e⁻¹² ≈ 6e-6 — far below healthy but well above
+        // the 1e-12 forward clamp, so the classic p - δ gradient must still
+        // agree with central differences. (The historical bug differentiated
+        // the *unclamped* probability, which this regime is sensitive to.)
+        let params = vec![t(2, 3, &[-7.0, 7.0, 0.0, 6.0, -6.0, 0.5])];
+        let targets = Rc::new(vec![0u32, 1]);
+        let rep = check_gradients(
+            &params,
+            move |tape, vars| tape.softmax_cross_entropy(vars[0], targets.clone()),
+            EPS,
+        );
+        assert!(rep.passes(TOL), "{rep:?}");
+    }
+
+    #[test]
+    fn gradcheck_softmax_ce_clamped_region_is_flat() {
+        // Deep underflow: p_t rounds to zero in f32, the forward loss is
+        // pinned at -ln(1e-12) on both sides of every nudge, and the
+        // analytic gradient must match the flat numeric one (zero) instead
+        // of the unclamped rule's ≈ -1 spike against a constant forward.
+        let params = vec![t(1, 2, &[-200.0, 200.0])];
+        let targets = Rc::new(vec![0u32]);
+        let rep = check_gradients(
+            &params,
+            move |tape, vars| tape.softmax_cross_entropy(vars[0], targets.clone()),
+            EPS,
+        );
+        assert!(rep.passes(TOL), "{rep:?}");
+        assert_eq!(rep.max_rel_err, 0.0, "clamped region must be exactly flat");
+    }
+
+    #[test]
     fn gradcheck_focal_loss() {
         let params = vec![t(2, 3, &[0.2, -0.4, 0.6, 0.1, 0.5, -0.3])];
         let targets = Rc::new(vec![1u32, 2]);

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod adjacency;
+pub mod backend;
 pub mod checkpoint;
 pub mod gradcheck;
 pub mod init;
@@ -47,6 +48,7 @@ mod tensor;
 mod workspace;
 
 pub use adjacency::Adjacency;
+pub use backend::{make_backend, BackendKind, ParallelBackend, SerialBackend, TensorBackend};
 pub use checkpoint::{ByteReader, ByteWriter, CheckpointError};
 pub use gradcheck::{check_gradients, GradCheckReport};
 pub use nn::{Dense, Mlp};

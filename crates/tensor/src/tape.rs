@@ -21,6 +21,10 @@
 use std::rc::Rc;
 
 use crate::adjacency::Adjacency;
+use crate::backend::{
+    make_backend, scatter_mean_rows, softmax_row_in_place, streamed_softmax_prob, BackendKind,
+    TensorBackend,
+};
 use crate::tensor::Tensor;
 use crate::workspace::{Workspace, WorkspaceStats};
 
@@ -141,6 +145,8 @@ pub struct Tape {
     /// Pre-optimization behavior: allocate fresh per op, reference GEMM
     /// kernels, no buffer recycling. Kept for honest speedup baselines.
     legacy: bool,
+    /// Execution backend for the hot-path kernels (serial by default).
+    backend: Box<dyn TensorBackend>,
     /// Counters of the most recent backward sweep.
     last_backward: BackwardStats,
 }
@@ -160,6 +166,7 @@ impl Tape {
             ws: Workspace::new(),
             var_lists: Vec::new(),
             legacy: false,
+            backend: make_backend(BackendKind::Serial),
             last_backward: BackwardStats::default(),
         }
     }
@@ -182,6 +189,24 @@ impl Tape {
         );
         self.legacy = on;
         self.ws.set_recycling(!on);
+    }
+
+    /// Select the execution backend for the hot-path kernels. Backends are
+    /// bit-identical to each other by contract (see [`crate::backend`]), so
+    /// this changes wall-clock time, never results. Must be called before
+    /// any node is pushed; the legacy mode ignores the backend and always
+    /// runs the reference kernels.
+    ///
+    /// # Panics
+    /// Panics if the tape already holds nodes.
+    pub fn set_backend(&mut self, kind: BackendKind) {
+        assert!(self.nodes.is_empty(), "set_backend requires an empty tape");
+        self.backend = make_backend(kind);
+    }
+
+    /// The kind of the active kernel backend.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
     }
 
     /// Allocation counters of the internal buffer workspace. After the first
@@ -470,7 +495,8 @@ impl Tape {
             let (m, _) = self.nodes[a.idx()].value.shape();
             let n = self.nodes[b.idx()].value.cols();
             let mut out = self.ws.raw(m, n);
-            self.value(a).matmul_into(self.value(b), &mut out);
+            self.backend
+                .matmul_into(self.value(a), self.value(b), &mut out);
             out
         };
         let ng = self.any_needs(&[a, b]);
@@ -606,7 +632,8 @@ impl Tape {
         );
         let cols = src.cols();
         let mut value = self.ws.raw(adj.n_rows(), cols);
-        scatter_mean_into(&self.nodes[a.idx()].value, &adj, &mut value);
+        self.backend
+            .scatter_mean_into(&self.nodes[a.idx()].value, &adj, &mut value);
         let ng = self.needs(a);
         self.push(value, Op::ScatterMean(a, adj), ng)
     }
@@ -724,15 +751,14 @@ impl Tape {
 
     /// Mean softmax cross-entropy of `logits` (`N × K`) against class
     /// indices `targets` (`len N`, each `< K`). The forward pass streams
-    /// per-row max/sum-exp and never materializes the probability matrix.
+    /// per-row max/sum-exp and never materializes the probability matrix;
+    /// the target probability is clamped to `CE_P_MIN` (with the backward
+    /// pass zeroing the gradient of rows the clamp flattens — see
+    /// [`crate::backend`]).
     pub fn softmax_cross_entropy(&mut self, logits: Var, targets: Rc<Vec<u32>>) -> Var {
         let lt = &self.nodes[logits.idx()].value;
         assert_eq!(lt.rows(), targets.len(), "one target per logits row");
-        let mut loss = 0.0f64;
-        for (i, &t) in targets.iter().enumerate() {
-            let p = streamed_softmax_prob(lt.row_slice(i), t as usize).max(1e-12);
-            loss -= f64::from(p.ln());
-        }
+        let loss = self.backend.softmax_ce_loss(lt, &targets);
         let value = self.ws_scalar((loss / targets.len() as f64) as f32);
         let ng = self.needs(logits);
         self.push(value, Op::SoftmaxCrossEntropy { logits, targets }, ng)
@@ -847,7 +873,8 @@ impl Tape {
                         grad.matmul_nt_ref(&self.nodes[b.idx()].value)
                     } else {
                         let mut da = self.ws.raw(grad.rows(), self.nodes[b.idx()].value.rows());
-                        grad.matmul_nt_into(&self.nodes[b.idx()].value, &mut da);
+                        self.backend
+                            .matmul_nt_into(grad, &self.nodes[b.idx()].value, &mut da);
                         da
                     };
                     self.accumulate(*a, da);
@@ -857,7 +884,8 @@ impl Tape {
                         self.nodes[a.idx()].value.matmul_tn_ref(grad)
                     } else {
                         let mut db = self.ws.raw(self.nodes[a.idx()].value.cols(), grad.cols());
-                        self.nodes[a.idx()].value.matmul_tn_into(grad, &mut db);
+                        self.backend
+                            .matmul_tn_into(&self.nodes[a.idx()].value, grad, &mut db);
                         db
                     };
                     self.accumulate(*b, db);
@@ -1159,16 +1187,12 @@ impl Tape {
             Op::SoftmaxCrossEntropy { logits, targets } => {
                 if self.needs(*logits) {
                     let mut dl = self.ws_copy(*logits);
-                    softmax_rows_in_place(&mut dl);
                     let n = targets.len() as f32;
                     let scale = grad.item() / n;
-                    for (i, &t) in targets.iter().enumerate() {
-                        let row = dl.row_slice_mut(i);
-                        row[t as usize] -= 1.0;
-                        for g in row.iter_mut() {
-                            *g *= scale;
-                        }
-                    }
+                    // The backend applies the softmax and the `p - δ` rule
+                    // row by row, zeroing rows whose target probability the
+                    // forward pass clamped (where the loss is flat).
+                    self.backend.softmax_ce_backward(&mut dl, targets, scale);
                     self.accumulate(*logits, dl);
                 }
             }
@@ -1215,33 +1239,10 @@ impl Tape {
     }
 }
 
-/// Softmax probability of class `t` for one logits row, streaming the
-/// max/sum-exp without materializing the probability vector. The summation
-/// order matches [`softmax_rows_in_place`] exactly, so the result is
-/// bit-identical to reading the materialized probability.
-fn streamed_softmax_prob(row: &[f32], t: usize) -> f32 {
-    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let mut sum = 0.0f32;
-    for &z in row {
-        sum += (z - max).exp();
-    }
-    (row[t] - max).exp() * (1.0 / sum)
-}
-
 /// Numerically stable row-wise softmax, in place.
 pub fn softmax_rows_in_place(t: &mut Tensor) {
     for r in 0..t.rows() {
-        let row = t.row_slice_mut(r);
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        let inv = 1.0 / sum;
-        for v in row.iter_mut() {
-            *v *= inv;
-        }
+        softmax_row_in_place(t.row_slice_mut(r));
     }
 }
 
@@ -1257,20 +1258,7 @@ pub fn softmax_rows(t: &Tensor) -> Tensor {
 /// overwritten; `out` must be `adj.n_rows() × a.cols()`.
 pub fn scatter_mean_into(a: &Tensor, adj: &Adjacency, out: &mut Tensor) {
     debug_assert_eq!(out.shape(), (adj.n_rows(), a.cols()));
-    for i in 0..adj.n_rows() {
-        let neigh = adj.neighbors(i);
-        let out_row = out.row_slice_mut(i);
-        out_row.fill(0.0);
-        if neigh.is_empty() {
-            continue;
-        }
-        let inv = 1.0 / neigh.len() as f32;
-        for &j in neigh {
-            for (o, &v) in out_row.iter_mut().zip(a.row_slice(j as usize)) {
-                *o += v * inv;
-            }
-        }
-    }
+    scatter_mean_rows(a, adj, 0, adj.n_rows(), out.as_mut_slice());
 }
 
 /// Weighted neighborhood sum into a preallocated output: `out[i] = Σ w[e] ·
@@ -1638,6 +1626,27 @@ mod tests {
     }
 
     #[test]
+    fn workspace_misses_stop_growing_after_first_epoch_on_the_parallel_backend() {
+        // The 0-allocs-after-epoch-1 invariant must survive the backend
+        // swap: pool threads and reduction scratch are created once.
+        let mut tape = Tape::new();
+        tape.set_backend(BackendKind::Parallel { threads: 2 });
+        let w = tape.param(Tensor::from_vec(2, 2, vec![0.1, -0.2, 0.3, 0.4]));
+        let x = tape.input(Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        tape.freeze();
+        train_epoch(&mut tape, w, x);
+        let after_first = tape.workspace_stats().misses;
+        for _ in 0..5 {
+            train_epoch(&mut tape, w, x);
+        }
+        assert_eq!(
+            tape.workspace_stats().misses,
+            after_first,
+            "later epochs must be allocation-free on the parallel backend"
+        );
+    }
+
+    #[test]
     fn legacy_mode_matches_fast_path_gradients() {
         let run = |legacy: bool| {
             let mut tape = Tape::new();
@@ -1654,6 +1663,39 @@ mod tests {
         let legacy = run(true);
         for (a, b) in fast.as_slice().iter().zip(legacy.as_slice()) {
             assert!((a - b).abs() < 1e-5, "fast {a} vs legacy {b}");
+        }
+    }
+
+    #[test]
+    fn parallel_backend_matches_serial_bitwise_through_a_training_step() {
+        // One full forward/backward over every dispatched kernel — matmul,
+        // scatter_mean (with a degree-0 row), softmax-CE — must produce
+        // bit-identical losses and gradients on every backend.
+        let run = |kind: BackendKind| {
+            let mut tape = Tape::new();
+            tape.set_backend(kind);
+            let w = tape.param(Tensor::from_vec(
+                2,
+                3,
+                vec![0.5, -0.25, 0.125, 1.0, -0.75, 0.375],
+            ));
+            let x = tape.input(Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+            tape.freeze();
+            let h = tape.matmul(x, w);
+            let adj = Rc::new(Adjacency::from_lists(&[vec![1, 2], vec![], vec![0]]));
+            let m = tape.scatter_mean(h, adj);
+            let loss = tape.softmax_cross_entropy(m, Rc::new(vec![0u32, 1, 2]));
+            tape.backward(loss);
+            (tape.value(loss).item(), tape.grad(w).unwrap().clone())
+        };
+        let (serial_loss, serial_grad) = run(BackendKind::Serial);
+        for threads in [1usize, 2, 8] {
+            let (loss, grad) = run(BackendKind::Parallel { threads });
+            assert_eq!(loss.to_bits(), serial_loss.to_bits(), "{threads} threads");
+            assert_eq!(grad.shape(), serial_grad.shape());
+            for (a, b) in grad.as_slice().iter().zip(serial_grad.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads: {a} vs {b}");
+            }
         }
     }
 }

@@ -415,10 +415,27 @@ fn gemm_blocked(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
+    gemm_rows(a, b, k, n, 0, m, out);
+}
+
+/// Output rows `r0..r1` of `a · b`, written to `out` (which holds exactly
+/// those rows). Each output row depends only on the matching row of `a`, so
+/// disjoint row ranges compose to the full product bit-for-bit regardless of
+/// how the range is partitioned — the parallel backend relies on this.
+pub(crate) fn gemm_rows(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    r0: usize,
+    r1: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), (r1 - r0) * n);
     out.fill(0.0);
-    for i in 0..m {
+    for i in r0..r1 {
         let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
+        let out_row = &mut out[(i - r0) * n..(i - r0 + 1) * n];
         let mut kk = 0;
         while kk + 4 <= k {
             let a0 = a_row[kk];
@@ -454,6 +471,26 @@ fn gemm_tn_blocked(a: &[f32], b: &[f32], r: usize, c: usize, n: usize, out: &mut
     debug_assert_eq!(a.len(), r * c);
     debug_assert_eq!(b.len(), r * n);
     debug_assert_eq!(out.len(), c * n);
+    gemm_tn_strip(a, b, r, c, n, 0, c, out);
+}
+
+/// Output rows `i0..i1` of `aᵀ · b`, written to `out` (which holds exactly
+/// those rows). The outer loop over the shared row dimension `r` is kept
+/// intact — only the inner sweep over output rows is restricted — so every
+/// output element sees the exact k-ascending accumulation order of the full
+/// kernel and disjoint strips compose to the full product bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_tn_strip(
+    a: &[f32],
+    b: &[f32],
+    r: usize,
+    c: usize,
+    n: usize,
+    i0: usize,
+    i1: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), (i1 - i0) * n);
     out.fill(0.0);
     let mut kk = 0;
     while kk + 4 <= r {
@@ -465,12 +502,12 @@ fn gemm_tn_blocked(a: &[f32], b: &[f32], r: usize, c: usize, n: usize, out: &mut
         let (b1, rest) = rest.split_at(n);
         let (b2, rest) = rest.split_at(n);
         let b3 = &rest[..n];
-        for i in 0..c {
+        for i in i0..i1 {
             let x0 = a0[i];
             let x1 = a1[i];
             let x2 = a2[i];
             let x3 = a3[i];
-            let out_row = &mut out[i * n..(i + 1) * n];
+            let out_row = &mut out[(i - i0) * n..(i - i0 + 1) * n];
             for ((((o, &y0), &y1), &y2), &y3) in out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
             {
                 *o += x0 * y0 + x1 * y1 + x2 * y2 + x3 * y3;
@@ -481,8 +518,9 @@ fn gemm_tn_blocked(a: &[f32], b: &[f32], r: usize, c: usize, n: usize, out: &mut
     for kr in kk..r {
         let a_row = &a[kr * c..(kr + 1) * c];
         let b_row = &b[kr * n..(kr + 1) * n];
-        for (i, &av) in a_row.iter().enumerate() {
-            let out_row = &mut out[i * n..(i + 1) * n];
+        for i in i0..i1 {
+            let av = a_row[i];
+            let out_row = &mut out[(i - i0) * n..(i - i0 + 1) * n];
             for (o, &y) in out_row.iter_mut().zip(b_row) {
                 *o += av * y;
             }
@@ -497,6 +535,24 @@ fn gemm_nt_blocked(a: &[f32], b: &[f32], m: usize, c: usize, p: usize, out: &mut
     debug_assert_eq!(a.len(), m * c);
     debug_assert_eq!(b.len(), p * c);
     debug_assert_eq!(out.len(), m * p);
+    gemm_nt_rows(a, b, c, p, 0, m, out);
+}
+
+/// Output rows `r0..r1` of `a · bᵀ`, written to `out` (which holds exactly
+/// those rows). Row-disjoint like [`gemm_rows`]; the stack-scratch transpose
+/// of `b` is rebuilt per call, so concurrent callers over disjoint ranges
+/// never share mutable state and each range reproduces the full kernel's
+/// per-element arithmetic exactly.
+pub(crate) fn gemm_nt_rows(
+    a: &[f32],
+    b: &[f32],
+    c: usize,
+    p: usize,
+    r0: usize,
+    r1: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), (r1 - r0) * p);
     // The training hot path calls this almost exclusively with a small
     // right-hand side (a layer's weight matrix, ≤ 64×64): transposing it
     // into a stack scratch once turns every inner loop into the same
@@ -511,12 +567,12 @@ fn gemm_nt_blocked(a: &[f32], b: &[f32], m: usize, c: usize, p: usize, out: &mut
                 bt[l * p + j] = v;
             }
         }
-        gemm_blocked(a, bt, m, c, p, out);
+        gemm_rows(a, bt, c, p, r0, r1, out);
         return;
     }
-    for i in 0..m {
+    for i in r0..r1 {
         let a_row = &a[i * c..(i + 1) * c];
-        let out_row = &mut out[i * p..(i + 1) * p];
+        let out_row = &mut out[(i - r0) * p..(i - r0 + 1) * p];
         // Four output columns per pass: each load of an `a` chunk feeds four
         // dot products, so the kernel is bound by multiply-adds rather than
         // reloads of `a_row`. Every dot keeps the same four-accumulator

@@ -7,6 +7,12 @@
 //! computation over the same shapes) acquires every buffer as a hit and the
 //! steady state performs no heap allocation at all. The hit/miss counters
 //! make that property observable and testable.
+//!
+//! The kernel backends (see [`crate::backend`]) follow the same grow-once
+//! discipline outside this workspace: the parallel backend's thread pool is
+//! spawned at backend creation and its per-chunk reduction scratch grows on
+//! first use to a table-determined size, so from epoch 2 onward neither the
+//! workspace nor the backend touches the allocator.
 
 use std::collections::HashMap;
 

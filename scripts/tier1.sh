@@ -37,7 +37,12 @@ echo "==> grimp-obs gate (clippy -D warnings + tests incl. zero-alloc NullSink)"
 cargo clippy -p grimp-obs --all-targets -- -D warnings
 cargo test -q -p grimp-obs
 
-echo "==> hotpath probe (writes BENCH_hotpath.json; asserts NullSink + guard overhead < 2%)"
-cargo run --release -p grimp-bench --bin hotpath_probe
+echo "==> parallel kernel backend (Serial vs Parallel bit-identity, kernel + end-to-end)"
+cargo test -q -p grimp-tensor --test backend_parity
+cargo test -q -p grimp-core --test backend_e2e
+
+echo "==> hotpath probe (writes BENCH_hotpath.json; asserts NullSink + guard overhead < 2%,"
+echo "    parallel-backend bit-identity, and 0 workspace allocs after epoch 1 on both backends)"
+cargo run --release -p grimp-bench --bin hotpath_probe -- --threads 2
 
 echo "tier1: all green"
