@@ -1,0 +1,206 @@
+//! Serving-throughput probe: fits a small model, binds an in-process
+//! `grimp serve` [`Server`] on a loopback port, and drives it with
+//! concurrent CSV impute requests over real sockets. Writes
+//! `BENCH_serve.json` in the working directory with throughput
+//! (requests/sec, imputed rows/sec) and latency percentiles (p50/p99).
+//!
+//! Deterministic load shape (fixed table, fixed request count, fixed
+//! client fan-out); wall-clock numbers vary with the machine, the
+//! contract checks (every response 200, nothing shed, clean drain) do
+//! not.
+//!
+//! ```bash
+//! cargo run --release -p grimp-bench --bin load_probe
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use grimp::{GrimpConfig, GrimpConfigBuilder, Pipeline, ShutdownFlag, TaskKind};
+use grimp_graph::FeatureSource;
+use grimp_obs::NullSink;
+use grimp_serve::{client, ModelSource, ServeConfig, Server};
+use grimp_table::{ColumnKind, Schema, Table};
+
+/// Requests fired at the server, split across [`CLIENTS`] threads.
+const REQUESTS: usize = 60;
+/// Concurrent client threads.
+const CLIENTS: usize = 3;
+/// Server worker threads (each holds its own restored model replica).
+const WORKERS: usize = 2;
+/// Rows per request body; a fifth arrive missing and must be imputed.
+const BATCH_ROWS: usize = 40;
+
+/// The deterministic training table: mixed categorical/numerical columns.
+fn train_table(rows: usize) -> Table {
+    let schema = Schema::from_pairs(&[
+        ("site", ColumnKind::Categorical),
+        ("status", ColumnKind::Categorical),
+        ("load", ColumnKind::Numerical),
+    ]);
+    let mut t = Table::empty(schema);
+    for i in 0..rows {
+        let site = format!("s{}", i % 7);
+        let status = format!("st{}", i % 3);
+        let load = format!("{:.2}", ((i * 13) % 97) as f64 / 9.7);
+        t.push_str_row(&[Some(&site), Some(&status), Some(&load)]);
+    }
+    t
+}
+
+/// One request body: `BATCH_ROWS` rows with every fifth cell missing.
+fn request_csv() -> String {
+    let mut csv = String::from("site,status,load\n");
+    for i in 0..BATCH_ROWS {
+        let site = if i % 5 == 0 {
+            String::new()
+        } else {
+            format!("s{}", i % 7)
+        };
+        let load = if i % 5 == 3 {
+            String::new()
+        } else {
+            format!("{:.2}", ((i * 13) % 97) as f64 / 9.7)
+        };
+        let _ = writeln!(csv, "{site},st{},{load}", i % 3);
+    }
+    csv
+}
+
+fn probe_config(ckpt: Option<&std::path::Path>) -> GrimpConfig {
+    let mut b = GrimpConfigBuilder::from_config(GrimpConfig::fast())
+        .seed(11)
+        .max_epochs(6)
+        .patience(6);
+    if let Some(dir) = ckpt {
+        b = b.checkpoint_dir(dir);
+    }
+    let mut cfg = b.build().expect("probe config is valid");
+    cfg.task_kind = TaskKind::Attention;
+    cfg.features = FeatureSource::FastText;
+    cfg
+}
+
+/// The percentile (0..=100) of a sorted latency slice, in milliseconds.
+fn percentile_ms(sorted: &[Duration], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)].as_secs_f64() * 1e3
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let train = train_table(120);
+    let ckpt_dir = std::env::temp_dir().join(format!("grimp-load-probe-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    std::fs::create_dir_all(&ckpt_dir).expect("create checkpoint dir");
+    let fit_start = Instant::now();
+    Pipeline::new(probe_config(Some(&ckpt_dir)))
+        .expect("probe config builds a pipeline")
+        .fit(&train)
+        .expect("probe fit succeeds");
+    let fit_seconds = fit_start.elapsed().as_secs_f64();
+
+    let cfg = ServeConfig {
+        workers: WORKERS,
+        queue_depth: REQUESTS, // nothing sheds: this probe measures latency
+        request_deadline: Some(Duration::from_secs(60)),
+        ..Default::default()
+    };
+    let source = ModelSource {
+        pipeline: Pipeline::new(probe_config(None)).expect("serving pipeline builds"),
+        train: train.clone(),
+        checkpoint_dir: ckpt_dir.clone(),
+    };
+    let flag = ShutdownFlag::new();
+    let server = Server::bind(cfg, source, flag.clone(), Box::new(NullSink))
+        .expect("server binds and restores the checkpoint");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let body = request_csv();
+    // Warm-up: every worker restores its replica on its first request.
+    for _ in 0..WORKERS {
+        let resp = client::impute(&addr, &body).expect("warm-up request");
+        assert_eq!(resp.status, 200, "warm-up must impute");
+    }
+
+    let start = Instant::now();
+    let mut clients = Vec::with_capacity(CLIENTS);
+    for _ in 0..CLIENTS {
+        let addr = addr.clone();
+        let body = body.clone();
+        // REQUESTS is a multiple of CLIENTS, so the split is exact.
+        let n = REQUESTS / CLIENTS;
+        clients.push(std::thread::spawn(move || {
+            let mut latencies = Vec::with_capacity(n);
+            for _ in 0..n {
+                let t0 = Instant::now();
+                let resp = client::impute(&addr, &body).expect("impute request");
+                latencies.push(t0.elapsed());
+                assert_eq!(resp.status, 200, "every probe request imputes");
+                let out = String::from_utf8(resp.body).expect("CSV response is UTF-8");
+                let imputed = grimp_table::csv::read_csv_str(&out).expect("response parses");
+                assert_eq!(imputed.n_missing(), 0, "response is fully imputed");
+            }
+            latencies
+        }));
+    }
+    let mut latencies: Vec<Duration> = Vec::with_capacity(REQUESTS);
+    for c in clients {
+        latencies.extend(c.join().expect("client thread finishes"));
+    }
+    let total_seconds = start.elapsed().as_secs_f64();
+
+    flag.request();
+    let report = handle.join().expect("server thread finishes");
+    assert!(report.clean, "probe load drains clean");
+    assert_eq!(report.shed, 0, "queue was sized to shed nothing");
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+
+    latencies.sort();
+    let p50 = percentile_ms(&latencies, 50.0);
+    let p99 = percentile_ms(&latencies, 99.0);
+    let requests_per_sec = REQUESTS as f64 / total_seconds;
+    let rows_per_sec = (REQUESTS * BATCH_ROWS) as f64 / total_seconds;
+
+    let mut json = String::from("{\n");
+    let _ = write!(
+        json,
+        "  \"requests\": {REQUESTS},\n  \"client_threads\": {CLIENTS},\n  \
+         \"workers\": {WORKERS},\n  \"batch_rows\": {BATCH_ROWS},\n  \
+         \"fit_seconds\": {},\n  \"total_seconds\": {},\n  \
+         \"requests_per_sec\": {},\n  \"rows_per_sec\": {},\n  \
+         \"p50_ms\": {},\n  \"p99_ms\": {},\n  \"served\": {},\n  \
+         \"shed\": {},\n  \"clean_drain\": true\n}}\n",
+        json_f64(fit_seconds),
+        json_f64(total_seconds),
+        json_f64(requests_per_sec),
+        json_f64(rows_per_sec),
+        json_f64(p50),
+        json_f64(p99),
+        report.served,
+        report.shed,
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+
+    println!(
+        "load   : {REQUESTS} requests x {BATCH_ROWS} rows from {CLIENTS} clients \
+         against {WORKERS} workers in {total_seconds:.3}s"
+    );
+    println!("through: {requests_per_sec:.1} req/s, {rows_per_sec:.0} rows/s");
+    println!("latency: p50 {p50:.1}ms, p99 {p99:.1}ms");
+    println!(
+        "drain  : clean, served {} (incl. warm-up), shed {}",
+        report.served, report.shed
+    );
+}

@@ -140,22 +140,57 @@ COMMANDS:
              rows, columns, distinct values, missingness, S/K/F+/N+ metrics
     generate <AD|AU|CO|CR|FL|IM|MM|TA|TH|TT> [--seed N] [-o out.csv]
              emit one of the paper's synthetic evaluation datasets
+    serve    <train.csv> --checkpoint-dir DIR [--addr HOST:PORT]
+             [--algo grimp|grimp-e|grimp-linear] [--seed N] [--paper]
+             [--threads N] [--workers N] [--queue N]
+             [--request-deadline SECS] [--memory-budget-mb N]
+             [--read-timeout-ms N] [--drain-deadline SECS]
+             [--reload-poll-ms N] [--max-body-mb N] [--trace-out FILE]
+             [--fault-socket SPEC]
+             serve the checkpointed model over HTTP: POST /impute takes
+             a CSV body and returns the imputed CSV; GET /healthz and
+             GET /stats report liveness and counters
+             the model is restored from DIR (written by a fit with the
+             same --algo/--seed/--paper/--threads); when a trainer
+             rotates a new checkpoint generation in, workers hot-reload
+             it between requests (a model_reloaded trace event records
+             the swap) — in-flight requests finish on the old model
+             overload never wedges the server: a full queue sheds with
+             503 + Retry-After, --request-deadline bounds each request's
+             wall clock (504 past it), --memory-budget-mb refuses
+             requests whose estimated footprint exceeds the budget (503,
+             never OOM), and --read-timeout-ms bounds slow clients (408)
+             the bound address is printed on startup (use --addr with
+             port 0 to pick a free port); SIGTERM drains within
+             --drain-deadline and exits 0, Ctrl-C drains and exits 130
+             GRIMP_FAULT_SOCKET=kind[:times[:from_conn]] (or
+             --fault-socket) injects deterministic socket faults
+             (torn-request|disconnect|malformed|stalled) for testing
     chaos    [--seed N]
              run the adversarial-input chaos suite: fit + impute every
              hostile table (all-missing columns, single rows, NaN/inf,
              pathological strings, 10k-distinct domains) and verify the
-             never-panic/always-impute contract, check that malformed
-             CSVs are rejected with typed errors, then train under every
+             never-panic/always-impute contract — serially and on the
+             parallel backend (--threads 2) — check that malformed
+             CSVs are rejected with typed errors, train under every
              injected IO-fault kind and under an already-expired
-             deadline and verify each run still fills every cell
+             deadline and verify each run still fills every cell, then
+             drive a live `serve` instance through the socket-fault,
+             overload, and admission scenarios and verify clean drains
     help     show this text
 
 EXIT CODES:
-    0 success, 2 configuration/usage error, 3 malformed input data,
-    4 filesystem/IO error, 5 internal error, 6 deadline hit (success —
-    imputation written from the epochs completed), 7 checkpoint
-    directory locked by another run, 130 interrupted by Ctrl-C
-    (success — imputation written from the current state)
+    0    success (including a SIGTERM-drained serve)
+    2    configuration/usage error
+    3    malformed input data
+    4    filesystem/IO error
+    5    internal error
+    6    deadline hit (success — imputation written from the epochs
+         completed)
+    7    checkpoint directory locked by another run
+    130  interrupted by Ctrl-C (success — imputation written from the
+         current state; serve: drained then exited)
+    143  aborted by a second SIGTERM before the drain finished
 ";
 
 fn load(path: &str) -> Result<Table, CliError> {
@@ -653,6 +688,194 @@ fn cmd_generate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     save(&d.table, args.opt("o"), out)
 }
 
+/// Build the pipeline whose configuration must match the fit that wrote
+/// the served checkpoint. Only options that determine the model's
+/// *structure* (variant, seed, paper preset, backend) are honored here —
+/// serve-level flags like `--memory-budget-mb` govern admission, and must
+/// never change the shapes the checkpoint was written with.
+fn build_serve_pipeline(args: &Args) -> Result<Pipeline, CliError> {
+    let seed = args.opt_parse("seed", 0u64)?;
+    let name = args.opt("algo").unwrap_or("grimp");
+    let base = if args.flag("paper") {
+        GrimpConfig::paper()
+    } else {
+        GrimpConfig::fast()
+    };
+    let mut builder = GrimpConfigBuilder::from_config(base).seed(seed);
+    builder = match name {
+        "grimp" => builder,
+        "grimp-e" => builder.features(FeatureSource::Embdi),
+        "grimp-linear" => builder.task_kind(TaskKind::Linear),
+        other => {
+            return Err(CliError::config(format!(
+                "unknown algorithm {other:?} (serve supports the grimp variants)"
+            )))
+        }
+    };
+    if let Some(raw) = args.opt("threads") {
+        let threads: usize = raw
+            .parse()
+            .map_err(|_| CliError::config(format!("--threads {raw}: cannot parse value")))?;
+        builder = builder.backend(BackendKind::Parallel { threads });
+    }
+    let config = builder
+        .build()
+        .map_err(|e| CliError::config(e.to_string()))?;
+    Pipeline::new(config).map_err(|e| CliError::config(e.to_string()))
+}
+
+/// Parse the serving bounds from the CLI flags, rejecting degenerate
+/// values (`0` deadlines, `0` budgets) with typed configuration errors.
+fn build_serve_config(args: &Args) -> Result<grimp_serve::ServeConfig, CliError> {
+    use std::time::Duration;
+    let mut cfg = grimp_serve::ServeConfig {
+        addr: args.opt("addr").unwrap_or("127.0.0.1:0").to_string(),
+        ..Default::default()
+    };
+    cfg.workers = args.opt_parse("workers", 2usize)?;
+    if cfg.workers == 0 {
+        return Err(CliError::config("--workers must be at least 1"));
+    }
+    cfg.queue_depth = args.opt_parse("queue", 32usize)?;
+    if let Some(raw) = args.opt("request-deadline") {
+        let secs: f64 = raw.parse().map_err(|_| {
+            CliError::config(format!("--request-deadline {raw}: cannot parse value"))
+        })?;
+        if !secs.is_finite() || secs <= 0.0 {
+            return Err(CliError::config(format!(
+                "--request-deadline must be finite and positive, got {raw}"
+            )));
+        }
+        cfg.request_deadline = Some(Duration::from_secs_f64(secs));
+    }
+    if let Some(raw) = args.opt("memory-budget-mb") {
+        let mb: u64 = raw.parse().map_err(|_| {
+            CliError::config(format!("--memory-budget-mb {raw}: cannot parse value"))
+        })?;
+        if mb == 0 {
+            return Err(CliError::config("--memory-budget-mb must be at least 1"));
+        }
+        cfg.memory_budget_bytes = Some(mb * 1024 * 1024);
+    }
+    let read_timeout_ms = args.opt_parse("read-timeout-ms", 5000u64)?;
+    if read_timeout_ms == 0 {
+        return Err(CliError::config("--read-timeout-ms must be at least 1"));
+    }
+    cfg.read_timeout = Duration::from_millis(read_timeout_ms);
+    if let Some(raw) = args.opt("drain-deadline") {
+        let secs: f64 = raw
+            .parse()
+            .map_err(|_| CliError::config(format!("--drain-deadline {raw}: cannot parse value")))?;
+        if !secs.is_finite() || secs <= 0.0 {
+            return Err(CliError::config(format!(
+                "--drain-deadline must be finite and positive, got {raw}"
+            )));
+        }
+        cfg.drain_deadline = Duration::from_secs_f64(secs);
+    }
+    cfg.reload_poll = Duration::from_millis(args.opt_parse("reload-poll-ms", 200u64)?.max(1));
+    let max_body_mb = args.opt_parse("max-body-mb", 8usize)?;
+    if max_body_mb == 0 {
+        return Err(CliError::config("--max-body-mb must be at least 1"));
+    }
+    cfg.max_body_bytes = max_body_mb * 1024 * 1024;
+    let fault_spec = match args.opt("fault-socket") {
+        Some(spec) => Some(spec.to_string()),
+        None => std::env::var(grimp_serve::FAULT_SOCKET_ENV)
+            .ok()
+            .filter(|s| !s.is_empty()),
+    };
+    if let Some(spec) = fault_spec {
+        cfg.fault = Some(grimp_serve::SocketFaultPlan::parse(&spec).ok_or_else(|| {
+            CliError::config(format!(
+                "socket fault {spec:?}: expected kind[:times[:from_conn]] with kind one of \
+                 torn-request|disconnect|malformed|stalled"
+            ))
+        })?);
+    }
+    Ok(cfg)
+}
+
+fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
+    args.check_known(&[
+        "algo",
+        "seed",
+        "paper",
+        "threads",
+        "checkpoint-dir",
+        "addr",
+        "workers",
+        "queue",
+        "request-deadline",
+        "memory-budget-mb",
+        "read-timeout-ms",
+        "drain-deadline",
+        "reload-poll-ms",
+        "max-body-mb",
+        "trace-out",
+        "fault-socket",
+    ])?;
+    let input = args.require_positional(0, "training CSV path")?;
+    let train = load(input)?;
+    let ckpt_dir = args.opt("checkpoint-dir").ok_or_else(|| {
+        CliError::config("serve requires --checkpoint-dir DIR (where a fit wrote its checkpoint)")
+    })?;
+    let pipeline = build_serve_pipeline(args)?;
+    let cfg = build_serve_config(args)?;
+    let workers = cfg.workers;
+
+    // An unopenable trace file degrades the sink, not the server.
+    let sink: Box<dyn EventSink + Send> = match args.opt("trace-out") {
+        Some(path) => match JsonlSink::create(path) {
+            Ok(sink) => Box::new(sink),
+            Err(e) => {
+                writeln!(
+                    out,
+                    "warning: cannot open trace file {path}: {e}; continuing without a trace"
+                )?;
+                Box::new(NullSink)
+            }
+        },
+        None => Box::new(NullSink),
+    };
+
+    // SIGTERM joins SIGINT on the graceful path: stop accepting, drain,
+    // exit 0 (TERM) or 130 (INT).
+    crate::signal::install_sigterm();
+    let source = grimp_serve::ModelSource {
+        pipeline,
+        train,
+        checkpoint_dir: std::path::PathBuf::from(ckpt_dir),
+    };
+    let server = grimp_serve::Server::bind(cfg, source, crate::signal::shutdown_flag(), sink)?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliError::io(format!("querying bound address: {e}")))?;
+    writeln!(out, "grimp serve listening on {addr} (workers={workers})")?;
+    out.flush()?;
+
+    let report = server.run();
+    writeln!(
+        out,
+        "drained {}; served {}, shed {}, over-budget {}, reloads {}",
+        if report.clean {
+            "clean"
+        } else {
+            "with stragglers (drain deadline expired)"
+        },
+        report.served,
+        report.shed,
+        report.over_budget,
+        report.reloads,
+    )?;
+    let code = if crate::signal::last_signal() == crate::signal::SIGINT {
+        crate::signal::EXIT_INTERRUPTED
+    } else {
+        0
+    };
+    Ok(code)
+}
+
 /// Run the adversarial-input chaos suite against the real pipeline.
 fn cmd_chaos(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     args.check_known(&["seed"])?;
@@ -765,6 +988,38 @@ fn cmd_chaos(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     };
     writeln!(out, "chaos {:<27} {verdict}", "deadline:expired")?;
 
+    // Parallel-backend crossing: the adversarial scenarios again, but on
+    // the fixed-partition thread pool. Chaos inputs must not depend on a
+    // backend — the contract holds for every reduction strategy.
+    let config = GrimpConfigBuilder::from_config(GrimpConfig::fast())
+        .seed(seed)
+        .max_epochs(3)
+        .patience(3)
+        .backend(BackendKind::Parallel { threads: 2 })
+        .build()
+        .map_err(|e| CliError::config(e.to_string()))?;
+    let pipeline = Pipeline::new(config).map_err(|e| CliError::config(e.to_string()))?;
+    for s in grimp_table::adversarial::scenarios() {
+        let verdict = match pipeline.fit(&s.table) {
+            Ok(mut fitted) => {
+                let left = fitted.impute(&s.table)?.n_missing();
+                if left == 0 {
+                    "ok".to_string()
+                } else {
+                    failures += 1;
+                    format!("FAILED: {left} cells left missing")
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                format!("FAILED: fit error: {e}")
+            }
+        };
+        writeln!(out, "chaos par2:{:<21} {verdict}", s.name)?;
+    }
+
+    failures += chaos_serve(out, &small, seed)?;
+
     if failures > 0 {
         return Err(CliError::data(format!(
             "{failures} chaos scenario(s) violated the never-panic/always-impute contract"
@@ -772,6 +1027,194 @@ fn cmd_chaos(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     }
     writeln!(out, "chaos: all scenarios upheld the contract")?;
     Ok(())
+}
+
+/// Live-server chaos: fit a model, then bind a real [`grimp_serve::Server`]
+/// per scenario and prove the injected socket faults, over-budget
+/// requests, and full-queue sheds each get their contracted status while
+/// the server survives to answer a healthy follow-up and drain clean.
+/// Returns the number of violated scenarios.
+fn chaos_serve(out: &mut dyn Write, small: &Table, seed: u64) -> Result<usize, CliError> {
+    use grimp_serve::{client, ServeConfig, SocketFaultKind, SocketFaultPlan};
+    use std::time::Duration;
+
+    let serve_dir =
+        std::env::temp_dir().join(format!("grimp-chaos-serve-{}-{seed}", std::process::id()));
+    std::fs::create_dir_all(&serve_dir)?;
+    let fit_config = GrimpConfigBuilder::from_config(GrimpConfig::fast())
+        .seed(seed)
+        .max_epochs(3)
+        .patience(3)
+        .checkpoint_dir(&serve_dir)
+        .build()
+        .map_err(|e| CliError::config(e.to_string()))?;
+    Pipeline::new(fit_config)
+        .map_err(|e| CliError::config(e.to_string()))?
+        .fit(small)?;
+
+    // The serving pipeline carries the same structure but no checkpoint
+    // directory of its own — replicas restore from the rotated file.
+    let serving = || -> Result<Pipeline, CliError> {
+        let config = GrimpConfigBuilder::from_config(GrimpConfig::fast())
+            .seed(seed)
+            .build()
+            .map_err(|e| CliError::config(e.to_string()))?;
+        Pipeline::new(config).map_err(|e| CliError::config(e.to_string()))
+    };
+    // Large enough that the head arrives in the first socket read but the
+    // body needs more — which is exactly when the read faults fire.
+    let big_csv = {
+        let mut csv = String::from("city,country\n");
+        while csv.len() <= 8 * 1024 {
+            csv.push_str("Paris,France\nRome,\n");
+        }
+        csv
+    };
+    let base_cfg = ServeConfig {
+        workers: 1,
+        queue_depth: 4,
+        read_timeout: Duration::from_millis(200),
+        reload_poll: Duration::from_millis(50),
+        drain_deadline: Duration::from_secs(5),
+        ..Default::default()
+    };
+    let mut failures = 0usize;
+
+    // One live server per fault kind: connection 0 is sabotaged, then the
+    // same server must answer a clean health check and drain.
+    for kind in SocketFaultKind::all() {
+        let cfg = ServeConfig {
+            fault: Some(SocketFaultPlan {
+                kind,
+                from_conn: 0,
+                times: 1,
+            }),
+            ..base_cfg.clone()
+        };
+        let verdict = run_serve_scenario(cfg, small, &serve_dir, serving()?, |addr| {
+            let faulted = client::impute(addr, &big_csv);
+            let survived = match kind {
+                // The server drops a torn connection without a response.
+                SocketFaultKind::TornRequest => faulted.is_err(),
+                // A stalled body hits the read timeout: 408.
+                SocketFaultKind::StalledBody => matches!(&faulted, Ok(r) if r.status == 408),
+                // Corrupted bytes fail to parse: 400.
+                SocketFaultKind::MalformedPayload => matches!(&faulted, Ok(r) if r.status == 400),
+                // The client reset mid-response; whatever it read back (or
+                // failed to) is its own problem — only survival matters.
+                SocketFaultKind::DisconnectMidResponse => true,
+            };
+            if !survived {
+                return Err(format!("unexpected outcome {faulted:?}"));
+            }
+            match client::request(addr, "GET", "/healthz", b"") {
+                Ok(r) if r.status == 200 => Ok(()),
+                other => Err(format!("health check after fault: {other:?}")),
+            }
+        });
+        if verdict_line(out, &format!("serve:{}", kind.label()), verdict)? {
+            failures += 1;
+        }
+    }
+
+    // Memory admission: a 1-byte budget refuses everything with 503 and a
+    // Retry-After hint, and never kills the server.
+    let cfg = ServeConfig {
+        memory_budget_bytes: Some(1),
+        ..base_cfg.clone()
+    };
+    let verdict = run_serve_scenario(
+        cfg,
+        small,
+        &serve_dir,
+        serving()?,
+        |addr| match client::impute(addr, "city,country\nParis,\n") {
+            Ok(r) if r.status == 503 && r.header("Retry-After").is_some() => Ok(()),
+            other => Err(format!("expected 503 + Retry-After, got {other:?}")),
+        },
+    );
+    if verdict_line(out, "serve:over-budget", verdict)? {
+        failures += 1;
+    }
+
+    // Load shedding: a zero-depth queue sheds every request with 503
+    // instead of queueing unboundedly.
+    let cfg = ServeConfig {
+        queue_depth: 0,
+        ..base_cfg
+    };
+    let verdict = run_serve_scenario(
+        cfg,
+        small,
+        &serve_dir,
+        serving()?,
+        |addr| match client::impute(addr, "city,country\nParis,\n") {
+            Ok(r) if r.status == 503 => Ok(()),
+            other => Err(format!("expected 503 shed, got {other:?}")),
+        },
+    );
+    if verdict_line(out, "serve:shed", verdict)? {
+        failures += 1;
+    }
+
+    std::fs::remove_dir_all(&serve_dir).ok();
+    Ok(failures)
+}
+
+/// Bind a server on a free port, run `drive` against it, then drain.
+/// `Err` from `drive`, a panicked server thread, or a dirty drain all
+/// come back as a failure message.
+fn run_serve_scenario(
+    cfg: grimp_serve::ServeConfig,
+    train: &Table,
+    checkpoint_dir: &std::path::Path,
+    pipeline: Pipeline,
+    drive: impl FnOnce(&str) -> Result<(), String>,
+) -> Result<(), String> {
+    use grimp_serve::{ModelSource, Server};
+
+    let source = ModelSource {
+        pipeline,
+        train: train.clone(),
+        checkpoint_dir: checkpoint_dir.to_path_buf(),
+    };
+    let flag = grimp::ShutdownFlag::new();
+    let server = Server::bind(cfg, source, flag.clone(), Box::new(NullSink))
+        .map_err(|e| format!("bind: {e}"))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?
+        .to_string();
+    let handle = std::thread::spawn(move || server.run());
+    let driven = drive(&addr);
+    flag.request();
+    let report = match handle.join() {
+        Ok(report) => report,
+        Err(_) => return Err("server thread panicked".to_string()),
+    };
+    driven?;
+    if !report.clean {
+        return Err("drain deadline expired with stragglers".to_string());
+    }
+    Ok(())
+}
+
+/// Print one `chaos <label> …` verdict; returns whether it failed.
+fn verdict_line(
+    out: &mut dyn Write,
+    label: &str,
+    verdict: Result<(), String>,
+) -> Result<bool, CliError> {
+    match verdict {
+        Ok(()) => {
+            writeln!(out, "chaos {label:<26} ok")?;
+            Ok(false)
+        }
+        Err(why) => {
+            writeln!(out, "chaos {label:<26} FAILED: {why}")?;
+            Ok(true)
+        }
+    }
 }
 
 /// Dispatch one CLI invocation; returns the process exit code.
@@ -795,6 +1238,7 @@ pub fn run(argv: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32 {
         "stats" => cmd_stats(&parse(&[])?, out).map(|()| 0),
         "generate" => cmd_generate(&parse(&[])?, out).map(|()| 0),
         "chaos" => cmd_chaos(&parse(&[])?, out).map(|()| 0),
+        "serve" => cmd_serve(&parse(&["paper"])?, out),
         "help" | "--help" | "-h" => {
             write!(out, "{USAGE}")?;
             Ok(0)

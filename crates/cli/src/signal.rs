@@ -1,15 +1,24 @@
-//! SIGINT-safe shutdown for the `grimp` binary.
+//! SIGINT/SIGTERM-safe shutdown for the `grimp` binary.
 //!
 //! A hand-rolled `signal(2)` registration (std already links libc, so no
 //! new dependency) flips a process-wide [`ShutdownFlag`] that the training
-//! loop checks at every epoch boundary. The first Ctrl-C asks for a clean
-//! stop — checkpoint, impute from the current state, exit with
-//! [`EXIT_INTERRUPTED`]; a second Ctrl-C aborts immediately, because a
-//! user pressing it twice means *now*.
+//! loop checks at every epoch boundary and the serve accept loop polls.
+//! The first Ctrl-C asks for a clean stop — checkpoint, impute from the
+//! current state (or drain the server), exit with [`EXIT_INTERRUPTED`]; a
+//! second signal aborts immediately, because a user pressing it twice
+//! means *now*.
 //!
-//! The handler body is async-signal-safe: one atomic increment, and on the
-//! second request a raw `_exit` (no atexit handlers, no unwinding).
+//! `grimp serve` additionally registers SIGTERM (the orchestrator's stop
+//! signal): the server drains and exits 0, per the usual service
+//! convention that a requested, clean termination is a success. The last
+//! signal delivered is recorded so the serve command can tell the two
+//! apart.
+//!
+//! The handler body is async-signal-safe: one atomic store, one atomic
+//! increment, and on the second request a raw `_exit` (no atexit
+//! handlers, no unwinding).
 
+use std::sync::atomic::{AtomicI32, Ordering};
 use std::sync::OnceLock;
 
 use grimp::ShutdownFlag;
@@ -22,12 +31,28 @@ pub const EXIT_INTERRUPTED: i32 = 130;
 /// imputation from the epochs that completed.
 pub const EXIT_DEADLINE: i32 = 6;
 
+/// Hard-abort exit code for a second SIGTERM (128 + SIGTERM).
+pub const EXIT_TERMINATED: i32 = 143;
+
+/// `SIGINT` signal number.
+pub const SIGINT: i32 = 2;
+
+/// `SIGTERM` signal number.
+pub const SIGTERM: i32 = 15;
+
 static FLAG: OnceLock<ShutdownFlag> = OnceLock::new();
+static LAST_SIGNAL: AtomicI32 = AtomicI32::new(0);
 
 /// The process-wide shutdown flag. Clones share one counter, so the copy
 /// installed into a [`grimp::GrimpConfig`] sees the handler's requests.
 pub fn shutdown_flag() -> ShutdownFlag {
     FLAG.get_or_init(ShutdownFlag::new).clone()
+}
+
+/// The signal number that most recently requested shutdown (0 when none
+/// has). `grimp serve` maps SIGTERM to exit 0 and SIGINT to exit 130.
+pub fn last_signal() -> i32 {
+    LAST_SIGNAL.load(Ordering::SeqCst)
 }
 
 #[cfg(unix)]
@@ -39,17 +64,21 @@ mod sys {
         pub fn signal(signum: i32, handler: SigHandler) -> usize;
         pub fn _exit(code: i32) -> !;
     }
-
-    pub const SIGINT: i32 = 2;
 }
 
 #[cfg(unix)]
-extern "C" fn on_sigint(_sig: i32) {
+extern "C" fn on_signal(sig: i32) {
+    LAST_SIGNAL.store(sig, Ordering::SeqCst);
     // `install` initializes FLAG before registering, so `get` (an atomic
     // load) always finds it; `request` is a single fetch_add.
     if let Some(flag) = FLAG.get() {
         if flag.request() >= 2 {
-            unsafe { sys::_exit(EXIT_INTERRUPTED) }
+            let code = if sig == SIGTERM {
+                EXIT_TERMINATED
+            } else {
+                EXIT_INTERRUPTED
+            };
+            unsafe { sys::_exit(code) }
         }
     }
 }
@@ -59,7 +88,18 @@ pub fn install() {
     let _ = shutdown_flag(); // initialize FLAG before the handler can fire
     #[cfg(unix)]
     unsafe {
-        sys::signal(sys::SIGINT, on_sigint);
+        sys::signal(SIGINT, on_signal);
+    }
+}
+
+/// Additionally route SIGTERM through the same graceful-shutdown path.
+/// `grimp serve` calls this so an orchestrator's stop signal drains the
+/// server instead of killing it mid-request.
+pub fn install_sigterm() {
+    let _ = shutdown_flag();
+    #[cfg(unix)]
+    unsafe {
+        sys::signal(SIGTERM, on_signal);
     }
 }
 

@@ -85,6 +85,46 @@ fn unwritable_output_path_is_an_io_error() {
 }
 
 #[test]
+fn zero_deadline_is_a_config_error() {
+    let dirty = tmpfile("zero-deadline.csv", "a,b\nx,1\ny,\n");
+    let out = grimp(&[
+        "impute",
+        dirty.to_str().unwrap(),
+        "--algo",
+        "grimp",
+        "--deadline",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let line = stderr_line(&out);
+    assert!(line.starts_with("error: "), "{line}");
+    assert!(
+        line.contains("--deadline must be finite and positive"),
+        "{line}"
+    );
+}
+
+#[test]
+fn zero_memory_budget_is_a_config_error() {
+    let dirty = tmpfile("zero-budget.csv", "a,b\nx,1\ny,\n");
+    let out = grimp(&[
+        "impute",
+        dirty.to_str().unwrap(),
+        "--algo",
+        "grimp",
+        "--memory-budget-mb",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let line = stderr_line(&out);
+    assert!(line.starts_with("error: "), "{line}");
+    assert!(
+        line.contains("--memory-budget-mb must be at least 1"),
+        "{line}"
+    );
+}
+
+#[test]
 fn deadline_hit_is_a_distinct_success_code() {
     let dirty = tmpfile("deadline.csv", "a,b\nx,1\ny,\nx,\nz,3\nx,1\ny,2\n");
     let out_path = dirty.with_file_name("deadline-out.csv");

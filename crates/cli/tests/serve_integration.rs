@@ -1,0 +1,300 @@
+//! Integration tests for `grimp serve`, driving the real binary over real
+//! sockets: a fitted checkpoint is served over HTTP, overload and socket
+//! faults get their contracted statuses, checkpoint rotation hot-reloads,
+//! and SIGTERM/SIGINT drain the server onto the right exit codes.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use grimp::{GrimpConfig, GrimpConfigBuilder, Pipeline};
+use grimp_serve::client;
+
+/// Fit a small model into a fresh temp dir; returns the training CSV path
+/// and the checkpoint directory the server will watch.
+fn fit_checkpoint(name: &str, seed: u64) -> (PathBuf, PathBuf) {
+    let root = std::env::temp_dir().join(format!("grimp-serve-it-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let csv = "city,country\nParis,France\nRome,Italy\nParis,\nRome,\nParis,France\nMadrid,Spain\nMadrid,\nRome,Italy\n";
+    let train_csv = root.join("train.csv");
+    std::fs::write(&train_csv, csv).unwrap();
+    let ckpt_dir = root.join("ckpt");
+    std::fs::create_dir_all(&ckpt_dir).unwrap();
+    fit_into(&train_csv, &ckpt_dir, seed);
+    (train_csv, ckpt_dir)
+}
+
+/// One quick in-process fit writing `grimp.ckpt` into `dir`.
+fn fit_into(train_csv: &PathBuf, dir: &PathBuf, seed: u64) {
+    let table =
+        grimp_table::csv::read_csv_str(&std::fs::read_to_string(train_csv).unwrap()).unwrap();
+    let config = GrimpConfigBuilder::from_config(GrimpConfig::fast())
+        .seed(seed)
+        .max_epochs(3)
+        .patience(3)
+        .checkpoint_dir(dir)
+        .build()
+        .unwrap();
+    Pipeline::new(config).unwrap().fit(&table).unwrap();
+}
+
+/// A running `grimp serve` child with its bound address parsed from the
+/// announcement line.
+struct ServeChild {
+    child: Child,
+    stdout: BufReader<ChildStdout>,
+    addr: String,
+}
+
+impl ServeChild {
+    fn spawn(
+        train_csv: &PathBuf,
+        ckpt_dir: &PathBuf,
+        extra: &[&str],
+        env: &[(&str, &str)],
+    ) -> ServeChild {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_grimp"));
+        cmd.arg("serve")
+            .arg(train_csv)
+            .arg("--checkpoint-dir")
+            .arg(ckpt_dir)
+            .args(["--addr", "127.0.0.1:0", "--reload-poll-ms", "50"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        for (k, v) in env {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().expect("grimp serve spawns");
+        let mut stdout = BufReader::new(child.stdout.take().unwrap());
+        let mut line = String::new();
+        stdout.read_line(&mut line).unwrap();
+        let addr = line
+            .strip_prefix("grimp serve listening on ")
+            .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .to_string();
+        ServeChild {
+            child,
+            stdout,
+            addr,
+        }
+    }
+
+    /// Send `sig` (e.g. "TERM"), then collect the exit code and the rest
+    /// of stdout.
+    fn stop(mut self, sig: &str) -> (i32, String) {
+        let pid = self.child.id().to_string();
+        Command::new("kill")
+            .args([format!("-{sig}"), pid])
+            .status()
+            .unwrap();
+        let mut rest = String::new();
+        let mut line = String::new();
+        while self.stdout.read_line(&mut line).unwrap_or(0) > 0 {
+            rest.push_str(&line);
+            line.clear();
+        }
+        let status = self.child.wait().unwrap();
+        (status.code().unwrap_or(-1), rest)
+    }
+}
+
+/// Poll `f` until it returns true or the deadline passes.
+fn wait_for(deadline: Duration, mut f: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if f() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}
+
+#[test]
+fn serves_http_imputation_and_drains_clean_on_sigterm() {
+    let (train_csv, ckpt_dir) = fit_checkpoint("sigterm", 3);
+    let trace = ckpt_dir.with_file_name("trace.jsonl");
+    let server = ServeChild::spawn(
+        &train_csv,
+        &ckpt_dir,
+        &["--workers", "2", "--trace-out", trace.to_str().unwrap()],
+        &[],
+    );
+
+    let resp = client::impute(&server.addr, "city,country\nParis,\nMadrid,\n").unwrap();
+    assert_eq!(resp.status, 200, "{resp:?}");
+    let body = String::from_utf8(resp.body).unwrap();
+    let imputed = grimp_table::csv::read_csv_str(&body).unwrap();
+    assert_eq!(imputed.n_missing(), 0, "response CSV fully imputed: {body}");
+
+    let health = client::request(&server.addr, "GET", "/healthz", b"").unwrap();
+    assert_eq!(health.status, 200);
+    let stats = client::request(&server.addr, "GET", "/stats", b"").unwrap();
+    assert_eq!(stats.status, 200);
+    // Both 200s so far (impute + healthz) count as served.
+    let stats_body = String::from_utf8(stats.body).unwrap();
+    assert!(stats_body.contains("\"served\":2"), "{stats_body}");
+
+    let (code, rest) = server.stop("TERM");
+    assert_eq!(code, 0, "SIGTERM drain is a success: {rest}");
+    assert!(rest.contains("drained clean"), "{rest}");
+
+    // The request-scoped trace is parseable JSONL with no torn lines.
+    let replay = grimp_obs::read_jsonl(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+    assert!(!replay.events.is_empty(), "trace recorded events");
+    assert_eq!(replay.torn_lines, 0, "no torn trace lines");
+    let names: Vec<&str> = replay.events.iter().map(|e| e.name).collect();
+    for expected in ["request", "request_outcome", "drain_begin", "drain_end"] {
+        assert!(names.contains(&expected), "missing {expected}: {names:?}");
+    }
+}
+
+#[test]
+fn sigint_drains_and_exits_130() {
+    let (train_csv, ckpt_dir) = fit_checkpoint("sigint", 4);
+    let server = ServeChild::spawn(&train_csv, &ckpt_dir, &[], &[]);
+    assert_eq!(
+        client::request(&server.addr, "GET", "/healthz", b"")
+            .unwrap()
+            .status,
+        200
+    );
+    let (code, _) = server.stop("INT");
+    assert_eq!(code, 130, "SIGINT keeps the interrupted-run exit code");
+}
+
+#[test]
+fn injected_socket_fault_via_env_yields_408_and_the_server_survives() {
+    let (train_csv, ckpt_dir) = fit_checkpoint("fault-env", 5);
+    let server = ServeChild::spawn(
+        &train_csv,
+        &ckpt_dir,
+        &[],
+        &[("GRIMP_FAULT_SOCKET", "stalled:1")],
+    );
+    // A body bigger than one socket read so the stall hits mid-request.
+    let mut big = String::from("city,country\n");
+    while big.len() <= 8 * 1024 {
+        big.push_str("Paris,\n");
+    }
+    let resp = client::impute(&server.addr, &big).unwrap();
+    assert_eq!(resp.status, 408, "stalled body times out: {resp:?}");
+    // Connection 1 is past the fault budget: the server still works.
+    let resp = client::impute(&server.addr, "city,country\nRome,\n").unwrap();
+    assert_eq!(resp.status, 200, "{resp:?}");
+    let (code, _) = server.stop("TERM");
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn checkpoint_rotation_hot_reloads_the_model() {
+    let (train_csv, ckpt_dir) = fit_checkpoint("reload", 6);
+    let server = ServeChild::spawn(&train_csv, &ckpt_dir, &[], &[]);
+    assert_eq!(
+        client::impute(&server.addr, "city,country\nParis,\n")
+            .unwrap()
+            .status,
+        200
+    );
+    // Rotate the checkpoint under the running server (a different seed
+    // changes the weights, so the bytes differ and the watcher swaps).
+    fit_into(&train_csv, &ckpt_dir, 7);
+    let reloaded = wait_for(Duration::from_secs(20), || {
+        let stats = client::request(&server.addr, "GET", "/stats", b"").unwrap();
+        let body = String::from_utf8(stats.body).unwrap();
+        !body.contains("\"reloads\":0")
+    });
+    assert!(reloaded, "watcher observed the rotated checkpoint");
+    // Requests keep working on the new generation.
+    assert_eq!(
+        client::impute(&server.addr, "city,country\nMadrid,\n")
+            .unwrap()
+            .status,
+        200
+    );
+    let (code, rest) = server.stop("TERM");
+    assert_eq!(code, 0);
+    assert!(
+        !rest.contains("reloads 0"),
+        "summary counts the reload: {rest}"
+    );
+}
+
+#[test]
+fn serve_flag_validation_exits_2() {
+    let (train_csv, ckpt_dir) = fit_checkpoint("flags", 8);
+    let run = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_grimp"))
+            .args(args)
+            .output()
+            .unwrap()
+    };
+    let train = train_csv.to_str().unwrap();
+    let ckpt = ckpt_dir.to_str().unwrap();
+
+    let out = run(&["serve", train]);
+    assert_eq!(out.status.code(), Some(2), "--checkpoint-dir is required");
+
+    let out = run(&[
+        "serve",
+        train,
+        "--checkpoint-dir",
+        ckpt,
+        "--fault-socket",
+        "bogus",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("torn-request|disconnect|malformed|stalled"));
+
+    let out = run(&[
+        "serve",
+        train,
+        "--checkpoint-dir",
+        ckpt,
+        "--memory-budget-mb",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    let out = run(&[
+        "serve",
+        train,
+        "--checkpoint-dir",
+        ckpt,
+        "--request-deadline",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn serving_an_empty_checkpoint_dir_is_a_startup_io_error() {
+    let (train_csv, ckpt_dir) = fit_checkpoint("no-ckpt", 9);
+    let empty = ckpt_dir.with_file_name("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_grimp"))
+        .args([
+            "serve",
+            train_csv.to_str().unwrap(),
+            "--checkpoint-dir",
+            empty.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("grimp.ckpt"),
+        "names the missing file: {stderr}"
+    );
+}

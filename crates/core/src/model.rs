@@ -241,6 +241,33 @@ impl FittedModel {
         &self.tiers
     }
 
+    /// Swap this model's weights for the ones in `ck` — the hot-reload
+    /// primitive behind `grimp serve`'s checkpoint-generation rotation.
+    ///
+    /// The checkpoint's parameter tensors must line up shape-for-shape
+    /// with this model's tape (i.e. it was written by a fit of the same
+    /// table and configuration). On success the imputation weights become
+    /// the checkpoint's best-validation parameters (falling back to its
+    /// last-epoch parameters for checkpoints taken before the first
+    /// validation improvement).
+    ///
+    /// # Errors
+    /// [`grimp_tensor::CheckpointError::Corrupt`] when the shapes do not
+    /// match; the model is left untouched.
+    pub fn restore_checkpoint(
+        &mut self,
+        ck: &TrainCheckpoint,
+    ) -> Result<(), grimp_tensor::CheckpointError> {
+        if !snapshot_shapes_match(&self.tape, &ck.params) {
+            return Err(grimp_tensor::CheckpointError::Corrupt(
+                "parameter shapes do not match this model".to_string(),
+            ));
+        }
+        self.tape.restore_param_values(&ck.params);
+        self.best_params = Some(ck.best_params.clone().unwrap_or_else(|| ck.params.clone()));
+        Ok(())
+    }
+
     /// Impute all missing values of `table`.
     ///
     /// Passing the training table back runs the transductive path of the
@@ -752,8 +779,18 @@ pub(crate) fn fit_model(
     let mut ckpt_path = cfg.checkpoint_dir.as_ref().map(|d| d.join(CHECKPOINT_FILE));
     let mut _dir_lock: Option<DirLock> = None;
     if let Some(dir) = &cfg.checkpoint_dir {
-        use grimp_obs::fs::{with_retry, IO_RETRY_ATTEMPTS};
-        if let Err(e) = with_retry(IO_RETRY_ATTEMPTS, || ckfs.create_dir_all(dir)) {
+        use grimp_obs::fs::{with_retry_capped, IO_RETRY_ATTEMPTS};
+        // Retry backoffs spend real wall-clock time; cap them at whatever
+        // is left of the governor deadline so a flaky disk cannot sleep a
+        // nearly-expired run past its budget.
+        let retry_cap = |deadline: Option<f64>| {
+            deadline.map(|d| {
+                std::time::Duration::from_secs_f64((d - fit_start.elapsed().as_secs_f64()).max(0.0))
+            })
+        };
+        if let Err(e) = with_retry_capped(IO_RETRY_ATTEMPTS, retry_cap(cfg.deadline_secs), || {
+            ckfs.create_dir_all(dir)
+        }) {
             report.io_errors.push(format!(
                 "cannot create checkpoint dir {}: {e}",
                 dir.display()
@@ -767,7 +804,9 @@ pub(crate) fn fit_model(
         // Transient faults are retried (FaultFs injects them *before*
         // creating the file, and a real EINTR mid-create leaves nothing
         // behind either, so a retry cannot trip over its own lock file).
-        match with_retry(IO_RETRY_ATTEMPTS, || DirLock::acquire(ckfs.as_mut(), dir)) {
+        match with_retry_capped(IO_RETRY_ATTEMPTS, retry_cap(cfg.deadline_secs), || {
+            DirLock::acquire(ckfs.as_mut(), dir)
+        }) {
             Ok(lock) => _dir_lock = Some(lock),
             Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
                 // Stale-lock reclaim: a lock whose recorded holder is no
@@ -786,7 +825,9 @@ pub(crate) fn fit_model(
                 let _ = std::fs::remove_file(dir.join(crate::governor::LOCK_FILE));
                 trace.counter(names::LOCK_RECLAIMED, u64::from(owner.unwrap_or(0)), 1);
                 report.locks_reclaimed += 1;
-                match with_retry(IO_RETRY_ATTEMPTS, || DirLock::acquire(ckfs.as_mut(), dir)) {
+                match with_retry_capped(IO_RETRY_ATTEMPTS, retry_cap(cfg.deadline_secs), || {
+                    DirLock::acquire(ckfs.as_mut(), dir)
+                }) {
                     Ok(lock) => _dir_lock = Some(lock),
                     Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
                         // Lost the race to another run between the reclaim
@@ -1265,6 +1306,47 @@ pub(crate) fn fit_model(
         tiers,
         report,
     })
+}
+
+/// Rebuild a [`FittedModel`] from a saved [`TrainCheckpoint`] without
+/// training: the model *structure* (graph, features, tape, task heads) is
+/// reconstructed deterministically from the table and configuration —
+/// exactly as `fit_model` would build it, including any admission-time
+/// memory downscale — and the checkpoint's weights are restored onto it.
+///
+/// No checkpoint-directory lock is taken and nothing is written: a serving
+/// process can restore from a directory a trainer is actively rotating.
+///
+/// # Errors
+/// [`GrimpError::EmptySchema`] for a zero-column table, or
+/// [`GrimpError::Checkpoint`]-shaped corruption when the checkpoint's
+/// parameter shapes do not match the rebuilt structure (a checkpoint from
+/// a different table or configuration).
+pub(crate) fn restore_model(
+    config: &GrimpConfig,
+    fds: &FdSet,
+    dirty: &Table,
+    ck: &TrainCheckpoint,
+    sink: &mut dyn EventSink,
+) -> Result<FittedModel, GrimpError> {
+    let mut structure = config.clone();
+    // Skip the training loop (the structure build before it draws from the
+    // RNG identically regardless of max_epochs, so shapes line up with the
+    // fit that wrote the checkpoint), and strip every side effect: no
+    // locking, no resume, no checkpoint writes, no fault injection.
+    structure.max_epochs = 0;
+    structure.checkpoint_dir = None;
+    structure.resume = false;
+    structure.io_fault = None;
+    let mut fitted = fit_model(&structure, fds, dirty, sink)?;
+    fitted
+        .restore_checkpoint(ck)
+        .map_err(|source| GrimpError::Checkpoint {
+            path: std::path::PathBuf::from("<in-memory checkpoint>"),
+            source,
+        })?;
+    fitted.config.max_epochs = config.max_epochs;
+    Ok(fitted)
 }
 
 /// Consecutive checkpoint-write failures after which the run stops trying

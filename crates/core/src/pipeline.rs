@@ -42,9 +42,10 @@
 use grimp_obs::{EventSink, NullSink};
 use grimp_table::{FdSet, Table};
 
+use crate::checkpoint::TrainCheckpoint;
 use crate::config::{ConfigError, GrimpConfig};
 use crate::error::GrimpError;
-use crate::model::{fit_model, variant_name, FittedModel};
+use crate::model::{fit_model, restore_model, variant_name, FittedModel};
 
 /// A validated, ready-to-fit GRIMP pipeline.
 #[derive(Clone, Debug)]
@@ -106,6 +107,39 @@ impl Pipeline {
         sink: &mut dyn EventSink,
     ) -> Result<FittedModel, GrimpError> {
         fit_model(&self.config, &self.fds, dirty, sink)
+    }
+
+    /// Rebuild a [`FittedModel`] from a saved [`TrainCheckpoint`] without
+    /// training — the load path of `grimp serve` and the hot-reload hook
+    /// behind its checkpoint-generation rotation.
+    ///
+    /// The model structure is reconstructed deterministically from `dirty`
+    /// and this pipeline's configuration (which must match the fit that
+    /// wrote the checkpoint), then the checkpoint's weights are restored
+    /// onto it. Unlike [`Pipeline::fit`] with `resume`, no
+    /// checkpoint-directory lock is taken and nothing is written, so a
+    /// server can restore from a directory a trainer is actively rotating.
+    ///
+    /// # Errors
+    /// [`GrimpError::EmptySchema`] for a zero-column table;
+    /// [`GrimpError::Checkpoint`] when the checkpoint's parameter shapes
+    /// do not match (it was written by a different table or config).
+    pub fn restore(&self, dirty: &Table, ck: &TrainCheckpoint) -> Result<FittedModel, GrimpError> {
+        let mut sink = NullSink;
+        self.restore_traced(dirty, ck, &mut sink)
+    }
+
+    /// [`Pipeline::restore`] with structured events streamed into `sink`.
+    ///
+    /// # Errors
+    /// Same contract as [`Pipeline::restore`].
+    pub fn restore_traced(
+        &self,
+        dirty: &Table,
+        ck: &TrainCheckpoint,
+        sink: &mut dyn EventSink,
+    ) -> Result<FittedModel, GrimpError> {
+        restore_model(&self.config, &self.fds, dirty, ck, sink)
     }
 }
 
@@ -208,6 +242,62 @@ mod tests {
         let after_fit = fitted.report().seconds;
         let _ = fitted.impute(&dirty);
         assert!(fitted.report().seconds > after_fit);
+    }
+
+    #[test]
+    fn restore_rebuilds_an_equivalent_model_from_a_checkpoint() {
+        let mut dirty = small_table(45);
+        inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(2));
+        let dir = std::env::temp_dir().join(format!("grimp-restore-{}", std::process::id()));
+        let cfg = GrimpConfig {
+            checkpoint_dir: Some(dir.clone()),
+            ..quick_config()
+        };
+        let pipeline = Pipeline::new(cfg).unwrap();
+        let mut fitted = pipeline.fit(&dirty).unwrap();
+        let want = fitted.impute(&dirty).unwrap();
+
+        let ck = TrainCheckpoint::load(&dir.join(crate::checkpoint::CHECKPOINT_FILE))
+            .expect("final checkpoint written");
+        let mut restored = pipeline.restore(&dirty, &ck).expect("restores");
+        assert_eq!(restored.report().epochs_run, 0, "restore never trains");
+        let got = restored.impute(&dirty).unwrap();
+        assert_eq!(got, want, "restored model must impute identically");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restoring_a_foreign_checkpoint_is_a_typed_error() {
+        let mut dirty = small_table(45);
+        inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(2));
+        let dir = std::env::temp_dir().join(format!("grimp-restore-alien-{}", std::process::id()));
+        let cfg = GrimpConfig {
+            checkpoint_dir: Some(dir.clone()),
+            ..quick_config()
+        };
+        Pipeline::new(cfg).unwrap().fit(&dirty).unwrap();
+        let ck = TrainCheckpoint::load(&dir.join(crate::checkpoint::CHECKPOINT_FILE)).unwrap();
+
+        // A table with wider dictionaries produces different task-head
+        // shapes: restore must reject the checkpoint instead of silently
+        // misloading it.
+        let schema = Schema::from_pairs(&[
+            ("a", ColumnKind::Categorical),
+            ("b", ColumnKind::Categorical),
+        ]);
+        let mut other = Table::empty(schema);
+        for i in 0..45 {
+            let a = format!("a{}", i % 5);
+            let b = format!("b{}", i % 5);
+            other.push_str_row(&[Some(&a), Some(&b)]);
+        }
+        let narrow = Pipeline::new(quick_config()).unwrap();
+        match narrow.restore(&other, &ck) {
+            Err(GrimpError::Checkpoint { .. }) => {}
+            Err(e) => panic!("wrong error: {e}"),
+            Ok(_) => panic!("shape-mismatched checkpoint must not restore"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -223,6 +223,10 @@ pub struct TrainReport {
     /// Stale checkpoint-directory locks (left by dead processes) reclaimed
     /// while acquiring the directory for this fit.
     pub locks_reclaimed: usize,
+    /// Torn (partial) trailing trace lines skipped while replaying a JSONL
+    /// trace (see [`TrainReport::from_jsonl`]) — a crash mid-write leaves
+    /// exactly one behind. Always 0 for live reports.
+    pub torn_trace_lines: usize,
 }
 
 impl TrainReport {
@@ -260,6 +264,22 @@ impl TrainReport {
     pub fn push_epoch(&mut self, stats: EpochStats) {
         self.epochs.push(stats);
         self.epochs_run += 1;
+    }
+
+    /// Reconstruct a report from a JSONL trace file's text, tolerating the
+    /// torn trailing line a crash mid-write leaves behind: the partial
+    /// record is skipped and counted in
+    /// [`torn_trace_lines`](TrainReport::torn_trace_lines) instead of
+    /// failing the replay.
+    ///
+    /// # Errors
+    /// [`grimp_obs::ReplayError`] on a malformed line *before* the trailing
+    /// one — that is corruption, not a torn write.
+    pub fn from_jsonl(text: &str) -> Result<TrainReport, grimp_obs::ReplayError> {
+        let replay = grimp_obs::read_jsonl(text)?;
+        let mut report = TrainReport::from_events(&replay.events);
+        report.torn_trace_lines = replay.torn_lines;
+        Ok(report)
     }
 
     /// Reconstruct a report from a recorded event stream (see
@@ -545,6 +565,43 @@ mod tests {
         let fresh = TrainReport::default();
         assert_eq!(fresh.backend_threads, 0);
         assert_eq!(fresh.locks_reclaimed, 0);
+    }
+
+    #[test]
+    fn from_jsonl_tolerates_a_torn_trailing_line() {
+        // Record a two-epoch trace, then simulate a crash mid-write by
+        // cutting the final line short: the committed epochs must replay
+        // and the partial record must be skipped with a warning counter,
+        // not an error.
+        let mut sink = grimp_obs::JsonlSink::new(Vec::new());
+        {
+            let mut trace = Trace::new(&mut sink);
+            for epoch in 0..2u64 {
+                let span = trace.enter(names::EPOCH, epoch);
+                trace.metric(names::TRAIN_LOSS, epoch, 1.0 / (epoch + 1) as f64);
+                trace.metric(names::VAL_LOSS, epoch, 2.0);
+                trace.exit_with(names::EPOCH, epoch, span, 0.25);
+            }
+            trace.counter(names::N_WEIGHTS, 0, 500);
+        }
+        let text = String::from_utf8(sink.into_inner().expect("no io errors")).expect("utf8 trace");
+
+        let clean = TrainReport::from_jsonl(&text).expect("clean trace replays");
+        assert_eq!(clean.epochs_run, 2);
+        assert_eq!(clean.torn_trace_lines, 0);
+        assert_eq!(clean.n_weights, 500);
+
+        let mut torn = text.clone();
+        torn.truncate(torn.len() - 15);
+        let report = TrainReport::from_jsonl(&torn).expect("torn tail tolerated");
+        assert_eq!(report.torn_trace_lines, 1);
+        assert_eq!(report.epochs_run, 2, "committed epochs survive the tear");
+        assert_eq!(report.n_weights, 0, "the torn record is skipped");
+
+        // Corruption *before* the tail stays a hard error.
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[1] = "{\"t\":9,\"kind\":\"metr";
+        assert!(TrainReport::from_jsonl(&lines.join("\n")).is_err());
     }
 
     #[test]

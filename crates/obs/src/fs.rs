@@ -412,8 +412,24 @@ pub const IO_RETRY_ATTEMPTS: usize = 3;
 /// Run `f`, retrying transient IO errors up to `attempts` times with a
 /// deterministic doubling backoff (1 ms, 2 ms, 4 ms, … capped at 64 ms).
 /// Non-transient errors return immediately.
-pub fn with_retry<T, F: FnMut() -> io::Result<T>>(attempts: usize, mut f: F) -> io::Result<T> {
+pub fn with_retry<T, F: FnMut() -> io::Result<T>>(attempts: usize, f: F) -> io::Result<T> {
+    with_retry_capped(attempts, None, f)
+}
+
+/// [`with_retry`] with a total-elapsed cap: once `cap` wall-clock time has
+/// passed (checked *between* attempts, before each backoff sleep), the
+/// last transient error is returned instead of sleeping again. This is how
+/// a governor deadline reaches the retry loop — a run whose budget is
+/// nearly spent must not burn the remainder sleeping on a flaky disk.
+/// `cap: None` never gives up early. The first attempt always runs, so an
+/// already-expired cap degrades to a single try, not to a synthetic error.
+pub fn with_retry_capped<T, F: FnMut() -> io::Result<T>>(
+    attempts: usize,
+    cap: Option<Duration>,
+    mut f: F,
+) -> io::Result<T> {
     let attempts = attempts.max(1);
+    let start = std::time::Instant::now();
     let mut delay_ms = 1u64;
     let mut attempt = 0;
     loop {
@@ -421,6 +437,9 @@ pub fn with_retry<T, F: FnMut() -> io::Result<T>>(attempts: usize, mut f: F) -> 
         match f() {
             Ok(v) => return Ok(v),
             Err(e) if is_transient(&e) && attempt < attempts => {
+                if cap.is_some_and(|cap| start.elapsed() >= cap) {
+                    return Err(e);
+                }
                 std::thread::sleep(Duration::from_millis(delay_ms));
                 delay_ms = (delay_ms * 2).min(64);
             }
@@ -532,6 +551,45 @@ mod tests {
         // Persistent errors are not retried: exactly one attempt consumed.
         assert_eq!(fs.ops(), 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn capped_retry_gives_up_once_the_budget_is_spent() {
+        // An expired cap (a governor deadline already blown) still runs the
+        // first attempt, but never sleeps into a second one.
+        let mut calls = 0;
+        let err = with_retry_capped(IO_RETRY_ATTEMPTS, Some(Duration::ZERO), || {
+            calls += 1;
+            Err::<(), _>(io::Error::new(io::ErrorKind::Interrupted, "flaky"))
+        })
+        .expect_err("budget spent");
+        assert!(is_transient(&err));
+        assert_eq!(calls, 1, "no retry after the cap expired");
+
+        // A generous cap behaves exactly like the uncapped retry loop.
+        let mut calls = 0;
+        with_retry_capped(IO_RETRY_ATTEMPTS, Some(Duration::from_secs(60)), || {
+            calls += 1;
+            if calls < 3 {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "flaky"))
+            } else {
+                Ok(())
+            }
+        })
+        .expect("retry wins under a roomy cap");
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn capped_retry_still_fails_fast_on_persistent_errors() {
+        let mut calls = 0;
+        let err = with_retry_capped(IO_RETRY_ATTEMPTS, Some(Duration::from_secs(60)), || {
+            calls += 1;
+            Err::<(), _>(io::Error::new(io::ErrorKind::PermissionDenied, "no"))
+        })
+        .expect_err("persistent error");
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        assert_eq!(calls, 1);
     }
 
     #[test]

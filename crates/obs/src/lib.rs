@@ -37,10 +37,12 @@
 pub mod fs;
 pub mod histogram;
 pub mod json;
+pub mod replay;
 mod sink;
 
 pub use fs::{FaultFs, GrimpFs, IoFaultKind, IoFaultPlan, RealFs};
 pub use histogram::Histogram;
+pub use replay::{read_jsonl, Replay, ReplayError};
 pub use sink::{FanoutSink, JsonlSink, MemorySink};
 
 use std::time::Instant;
@@ -352,6 +354,101 @@ pub mod names {
     /// reclaimed (counter, index = the dead holder's PID, 0 when the lock
     /// file was unreadable or unparseable).
     pub const LOCK_RECLAIMED: &str = "lock_reclaimed";
+    /// One HTTP request handled by `grimp serve`, accept to response
+    /// (span, index = request id).
+    pub const REQUEST: &str = "request";
+    /// Seconds one request spent queued before a worker picked it up
+    /// (metric, index = request id).
+    pub const QUEUE_WAIT: &str = "queue_wait";
+    /// Final status of one request (counter, index = request id,
+    /// value = HTTP status code; 0 when the client vanished before a
+    /// response could be written).
+    pub const REQUEST_OUTCOME: &str = "request_outcome";
+    /// A request was shed because the work queue was full (counter,
+    /// index = request id).
+    pub const REQUEST_SHED: &str = "request_shed";
+    /// A request was refused by the memory-admission governor (counter,
+    /// index = request id, value = estimated bytes).
+    pub const REQUEST_OVER_BUDGET: &str = "request_over_budget";
+    /// A deterministic socket fault fired on a connection (counter,
+    /// index = request id, value = fault code — see the serve crate).
+    pub const SOCKET_FAULT: &str = "socket_fault";
+    /// The serving model was hot-reloaded from a rotated checkpoint
+    /// (counter, index = generation, value = checkpoint CRC-32).
+    pub const MODEL_RELOADED: &str = "model_reloaded";
+    /// Graceful drain started: the listener stopped accepting and
+    /// in-flight requests are finishing (counter, value = signal number).
+    pub const DRAIN_BEGIN: &str = "drain_begin";
+    /// Graceful drain finished (counter, value = 1 clean, 0 when the
+    /// drain deadline expired with requests still in flight).
+    pub const DRAIN_END: &str = "drain_end";
+
+    /// Placeholder name a replayed trace event gets when its recorded name
+    /// is not in this vocabulary (a trace from a newer build): the event is
+    /// kept, counted in [`crate::replay::Replay::unknown_names`], and never
+    /// matches any aggregation.
+    pub const UNKNOWN: &str = "(unknown)";
+
+    /// Every name in the vocabulary, for interning replayed traces back
+    /// into [`crate::Event`]s (whose names are `&'static str`).
+    pub const ALL: &[&str] = &[
+        FIT,
+        GRAPH_BUILD,
+        GRAPH_NODES,
+        GRAPH_EDGES,
+        FEATURE_INIT,
+        FEATURE_DIM,
+        MODEL_BUILD,
+        N_WEIGHTS,
+        BATCH_BUILD,
+        EPOCH,
+        EPOCH_ROLLBACK,
+        FORWARD,
+        BACKWARD,
+        OPTIM,
+        TAPE_RESET,
+        TRAIN_LOSS,
+        VAL_LOSS,
+        TASK_LOSS,
+        GRAD_NORM,
+        TAPE_BACKWARD_NODES,
+        EPOCH_ALLOCS,
+        GRAD_CLIP,
+        ANOMALY,
+        RECOVERY,
+        LR,
+        CHECKPOINT_SAVE,
+        CHECKPOINT_BYTES,
+        RESUME,
+        IO_ERROR,
+        EARLY_STOP,
+        DEGRADED,
+        IMPUTE,
+        IMPUTED_CELLS,
+        COLUMN_DEMOTED,
+        COLUMN_TIER,
+        DEADLINE_HIT,
+        INTERRUPTED,
+        MEM_ESTIMATE,
+        DOWNSCALE,
+        CHECKPOINT_DISABLED,
+        BACKEND,
+        LOCK_RECLAIMED,
+        REQUEST,
+        QUEUE_WAIT,
+        REQUEST_OUTCOME,
+        REQUEST_SHED,
+        REQUEST_OVER_BUDGET,
+        SOCKET_FAULT,
+        MODEL_RELOADED,
+        DRAIN_BEGIN,
+        DRAIN_END,
+    ];
+
+    /// Intern a replayed name against the vocabulary; `None` when unknown.
+    pub fn lookup(name: &str) -> Option<&'static str> {
+        ALL.iter().find(|n| **n == name).copied()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,188 @@
+//! Replay a JSONL trace back into [`Event`]s.
+//!
+//! The inverse of [`crate::JsonlSink`]: each line parses back into one
+//! event, with names interned against [`crate::names`] (an [`Event`]'s
+//! name is `&'static str`). The parser is crash-tolerant by design — a
+//! process killed mid-write leaves a torn final line behind, and a trace
+//! that recorded a real run must still replay. A torn *trailing* line is
+//! skipped and counted in [`Replay::torn_lines`]; a malformed line
+//! anywhere else is genuine corruption and stays a hard error.
+
+use crate::{json, names, Event, EventKind};
+
+/// A replayed trace: the events plus what the parser had to tolerate.
+#[derive(Clone, Debug, Default)]
+pub struct Replay {
+    /// The replayed events, in file order.
+    pub events: Vec<Event>,
+    /// Torn (partial) trailing lines skipped — 0 on a clean trace, 1 after
+    /// a crash mid-write. A warning counter, never an error.
+    pub torn_lines: usize,
+    /// Events whose recorded name is not in the [`names`] vocabulary;
+    /// they replay under [`names::UNKNOWN`].
+    pub unknown_names: usize,
+}
+
+/// Why a trace failed to replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Parse one well-formed JSONL line into an event.
+fn event_from_line(line: &str) -> Result<Event, String> {
+    let v = json::parse(line).map_err(|e| e.to_string())?;
+    let kind = v
+        .get("kind")
+        .and_then(json::Json::as_str)
+        .and_then(EventKind::from_label)
+        .ok_or("missing or unknown \"kind\"")?;
+    let name = v
+        .get("name")
+        .and_then(json::Json::as_str)
+        .ok_or("missing \"name\"")?;
+    let t_ns = v
+        .get("t")
+        .and_then(json::Json::as_u64)
+        .ok_or("missing \"t\"")?;
+    let index = v
+        .get("i")
+        .and_then(json::Json::as_u64)
+        .ok_or("missing \"i\"")?;
+    // Non-finite metric values serialize as `null` (JSON has no NaN);
+    // they replay as NaN, which is what the writer saw.
+    let value = match v.get("v") {
+        Some(json::Json::Null) => f64::NAN,
+        Some(n) => n.as_f64().ok_or("\"v\" is not a number")?,
+        None => return Err("missing \"v\"".to_string()),
+    };
+    Ok(Event {
+        t_ns,
+        kind,
+        name: names::lookup(name).unwrap_or(names::UNKNOWN),
+        index,
+        value,
+    })
+}
+
+/// Replay a JSONL trace.
+///
+/// A line that fails to parse is tolerated — skipped, with
+/// [`Replay::torn_lines`] incremented — only when it is the *last*
+/// non-empty line of the text (the signature of a crash mid-write).
+///
+/// # Errors
+/// [`ReplayError`] on a malformed line that is not the trailing one:
+/// that is corruption, not a torn write.
+pub fn read_jsonl(text: &str) -> Result<Replay, ReplayError> {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .collect();
+    let mut replay = Replay::default();
+    let last = lines.len().saturating_sub(1);
+    for (pos, (line_no, line)) in lines.iter().enumerate() {
+        match event_from_line(line) {
+            Ok(e) => {
+                if e.name == names::UNKNOWN {
+                    replay.unknown_names += 1;
+                }
+                replay.events.push(e);
+            }
+            Err(_) if pos == last => replay.torn_lines += 1,
+            Err(message) => {
+                return Err(ReplayError {
+                    line: line_no + 1,
+                    message,
+                })
+            }
+        }
+    }
+    Ok(replay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JsonlSink, Trace};
+
+    fn trace_text() -> String {
+        let mut sink = JsonlSink::new(Vec::new());
+        {
+            let mut trace = Trace::new(&mut sink);
+            let fit = trace.enter(names::FIT, 0);
+            trace.metric(names::TRAIN_LOSS, 0, 1.25);
+            trace.counter(names::EPOCH_ALLOCS, 2, 7);
+            trace.exit_with(names::FIT, 0, fit, 0.5);
+        }
+        String::from_utf8(sink.into_inner().expect("no io errors")).expect("utf8")
+    }
+
+    #[test]
+    fn clean_traces_replay_exactly() {
+        let text = trace_text();
+        let replay = read_jsonl(&text).expect("clean trace");
+        assert_eq!(replay.torn_lines, 0);
+        assert_eq!(replay.unknown_names, 0);
+        assert_eq!(replay.events.len(), 4);
+        assert_eq!(replay.events[0].kind, EventKind::SpanEnter);
+        assert_eq!(replay.events[0].name, names::FIT);
+        assert_eq!(replay.events[1].value, 1.25);
+        assert_eq!(replay.events[2].index, 2);
+        assert_eq!(replay.events[3].value, 0.5);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_skipped_with_a_counter() {
+        let mut text = trace_text();
+        // Simulate a crash mid-write: the last line is cut short.
+        text.truncate(text.len() - 20);
+        let replay = read_jsonl(&text).expect("torn tail tolerated");
+        assert_eq!(replay.torn_lines, 1);
+        assert_eq!(replay.events.len(), 3);
+    }
+
+    #[test]
+    fn torn_middle_line_is_a_hard_error() {
+        let text = trace_text();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[1] = "{\"t\":12,\"kind\":\"met";
+        let corrupt = lines.join("\n");
+        let err = read_jsonl(&corrupt).expect_err("mid-file corruption");
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn null_values_replay_as_nan() {
+        let text = "{\"t\":1,\"kind\":\"metric\",\"name\":\"train_loss\",\"i\":0,\"v\":null}\n";
+        let replay = read_jsonl(text).expect("parses");
+        assert!(replay.events[0].value.is_nan());
+    }
+
+    #[test]
+    fn unknown_names_replay_under_the_placeholder() {
+        let text = "{\"t\":1,\"kind\":\"counter\",\"name\":\"from_the_future\",\"i\":0,\"v\":1}\n";
+        let replay = read_jsonl(text).expect("parses");
+        assert_eq!(replay.unknown_names, 1);
+        assert_eq!(replay.events[0].name, names::UNKNOWN);
+    }
+
+    #[test]
+    fn empty_text_replays_to_nothing() {
+        let replay = read_jsonl("").expect("empty ok");
+        assert!(replay.events.is_empty());
+        assert_eq!(replay.torn_lines, 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Deterministic socket-fault injection for the serve layer.
+//!
+//! The training pipeline's durable writes go through
+//! [`grimp_obs::fs::FaultFs`]; this module extends the same idea to the
+//! server's sockets. A [`SocketFaultPlan`] (parsed from the
+//! `GRIMP_FAULT_SOCKET` spec or `--fault-socket` flag) decides which
+//! connections misbehave, and [`FaultStream`] wraps the accepted
+//! [`TcpStream`] so the worker sees the injected failure through the
+//! ordinary `Read`/`Write` traits:
+//!
+//! - **torn request** — the client vanishes mid-request: reads return EOF
+//!   after the first chunk;
+//! - **disconnect mid-response** — the client resets the connection while
+//!   the response is being written;
+//! - **malformed payload** — the first chunk of request bytes arrives
+//!   corrupted (line noise, a proxy bug, a hostile client);
+//! - **stalled body** — the client sends the headers then goes silent:
+//!   reads after the first chunk time out (the slowloris shape).
+//!
+//! Decisions depend only on the plan and the accepted-connection index,
+//! never on a clock, so chaos runs are reproducible.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// The four deterministic socket faults the serve chaos matrix injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SocketFaultKind {
+    /// Reads return EOF after the first chunk: the request was torn.
+    TornRequest,
+    /// Writes fail with `ConnectionReset` after the first chunk: the
+    /// client disconnected while the response was in flight.
+    DisconnectMidResponse,
+    /// The first chunk of request bytes is corrupted before the parser
+    /// sees it.
+    MalformedPayload,
+    /// Reads after the first chunk fail with `TimedOut`: a slow client
+    /// holding the connection open (slowloris).
+    StalledBody,
+}
+
+impl SocketFaultKind {
+    /// Every kind, in a stable order (the chaos matrix iterates this).
+    pub fn all() -> [SocketFaultKind; 4] {
+        [
+            SocketFaultKind::TornRequest,
+            SocketFaultKind::DisconnectMidResponse,
+            SocketFaultKind::MalformedPayload,
+            SocketFaultKind::StalledBody,
+        ]
+    }
+
+    /// Stable lowercase label (used by `GRIMP_FAULT_SOCKET` and traces).
+    pub fn label(self) -> &'static str {
+        match self {
+            SocketFaultKind::TornRequest => "torn-request",
+            SocketFaultKind::DisconnectMidResponse => "disconnect",
+            SocketFaultKind::MalformedPayload => "malformed",
+            SocketFaultKind::StalledBody => "stalled",
+        }
+    }
+
+    /// Inverse of [`SocketFaultKind::label`].
+    pub fn from_label(label: &str) -> Option<SocketFaultKind> {
+        Some(match label {
+            "torn-request" => SocketFaultKind::TornRequest,
+            "disconnect" => SocketFaultKind::DisconnectMidResponse,
+            "malformed" => SocketFaultKind::MalformedPayload,
+            "stalled" => SocketFaultKind::StalledBody,
+            _ => return None,
+        })
+    }
+
+    /// Stable numeric code recorded in `socket_fault` trace events.
+    pub fn code(self) -> u64 {
+        match self {
+            SocketFaultKind::TornRequest => 0,
+            SocketFaultKind::DisconnectMidResponse => 1,
+            SocketFaultKind::MalformedPayload => 2,
+            SocketFaultKind::StalledBody => 3,
+        }
+    }
+}
+
+/// Which accepted connections get a [`SocketFaultKind`] injected.
+///
+/// Mirrors [`grimp_obs::fs::IoFaultPlan`]: the decision is a pure function
+/// of the plan and the 0-based accepted-connection index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SocketFaultPlan {
+    /// The fault to inject.
+    pub kind: SocketFaultKind,
+    /// First accepted-connection index (0-based) at which faults fire.
+    pub from_conn: usize,
+    /// How many connections to fault in total (`usize::MAX` = all).
+    pub times: usize,
+}
+
+impl SocketFaultPlan {
+    /// A fault injected into every accepted connection.
+    pub fn persistent(kind: SocketFaultKind) -> SocketFaultPlan {
+        SocketFaultPlan {
+            kind,
+            from_conn: 0,
+            times: usize::MAX,
+        }
+    }
+
+    /// Parse a `kind[:times[:from_conn]]` spec, the `GRIMP_FAULT_SOCKET`
+    /// format. `times` defaults to persistent.
+    pub fn parse(spec: &str) -> Option<SocketFaultPlan> {
+        let mut parts = spec.split(':');
+        let kind = SocketFaultKind::from_label(parts.next()?.trim())?;
+        let times = match parts.next() {
+            Some(t) => t.trim().parse().ok()?,
+            None => usize::MAX,
+        };
+        let from_conn = match parts.next() {
+            Some(f) => f.trim().parse().ok()?,
+            None => 0,
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(SocketFaultPlan {
+            kind,
+            from_conn,
+            times,
+        })
+    }
+
+    /// Whether the `conn`-th accepted connection (0-based) faults.
+    pub fn fires_on(&self, conn: usize) -> bool {
+        conn >= self.from_conn && conn - self.from_conn < self.times
+    }
+}
+
+/// A connection stream with an optional injected fault.
+///
+/// Workers read requests from and write responses to this wrapper; when
+/// `fault` is `None` it is a transparent passthrough.
+#[derive(Debug)]
+pub struct FaultStream {
+    inner: TcpStream,
+    fault: Option<SocketFaultKind>,
+    reads: usize,
+    writes: usize,
+}
+
+impl FaultStream {
+    /// Wrap `inner`, injecting `fault` if the plan fired for this
+    /// connection.
+    pub fn new(inner: TcpStream, fault: Option<SocketFaultKind>) -> FaultStream {
+        FaultStream {
+            inner,
+            fault,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// The injected fault, if any (recorded in the request trace).
+    pub fn fault(&self) -> Option<SocketFaultKind> {
+        self.fault
+    }
+
+    /// The underlying socket, for timeouts and shutdown.
+    pub fn socket(&self) -> &TcpStream {
+        &self.inner
+    }
+}
+
+impl Read for FaultStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let read_index = self.reads;
+        self.reads += 1;
+        match self.fault {
+            Some(SocketFaultKind::TornRequest) if read_index >= 1 => Ok(0),
+            Some(SocketFaultKind::StalledBody) if read_index >= 1 => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "injected stalled body: client went silent",
+            )),
+            Some(SocketFaultKind::MalformedPayload) if read_index == 0 => {
+                let n = self.inner.read(buf)?;
+                // Corrupt the content but keep the CRLF framing intact,
+                // so the parser sees a complete-but-garbage request
+                // instead of an unterminated head.
+                for b in buf[..n].iter_mut() {
+                    if b.is_ascii_alphanumeric() {
+                        *b ^= 0x5a;
+                    }
+                }
+                Ok(n)
+            }
+            _ => self.inner.read(buf),
+        }
+    }
+}
+
+impl Write for FaultStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let write_index = self.writes;
+        self.writes += 1;
+        match self.fault {
+            Some(SocketFaultKind::DisconnectMidResponse) if write_index >= 1 => {
+                Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "injected disconnect: client reset mid-response",
+                ))
+            }
+            _ => self.inner.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in SocketFaultKind::all() {
+            assert_eq!(SocketFaultKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(SocketFaultKind::from_label("nope"), None);
+    }
+
+    #[test]
+    fn parse_accepts_the_io_fault_spec_shape() {
+        assert_eq!(
+            SocketFaultPlan::parse("torn-request"),
+            Some(SocketFaultPlan::persistent(SocketFaultKind::TornRequest))
+        );
+        assert_eq!(
+            SocketFaultPlan::parse("stalled:3:2"),
+            Some(SocketFaultPlan {
+                kind: SocketFaultKind::StalledBody,
+                times: 3,
+                from_conn: 2,
+            })
+        );
+        assert_eq!(SocketFaultPlan::parse("disconnect: 1 : 0"), {
+            Some(SocketFaultPlan {
+                kind: SocketFaultKind::DisconnectMidResponse,
+                times: 1,
+                from_conn: 0,
+            })
+        });
+        assert_eq!(SocketFaultPlan::parse(""), None);
+        assert_eq!(SocketFaultPlan::parse("torn-request:x"), None);
+        assert_eq!(SocketFaultPlan::parse("torn-request:1:2:3"), None);
+    }
+
+    #[test]
+    fn fires_on_windows_the_connection_index() {
+        let plan = SocketFaultPlan {
+            kind: SocketFaultKind::TornRequest,
+            from_conn: 2,
+            times: 2,
+        };
+        assert!(!plan.fires_on(0));
+        assert!(!plan.fires_on(1));
+        assert!(plan.fires_on(2));
+        assert!(plan.fires_on(3));
+        assert!(!plan.fires_on(4));
+        assert!(SocketFaultPlan::persistent(SocketFaultKind::StalledBody).fires_on(usize::MAX - 1));
+    }
+}

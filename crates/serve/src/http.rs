@@ -1,0 +1,293 @@
+//! A minimal, bounded HTTP/1.1 implementation for `grimp serve`.
+//!
+//! Hand-rolled on purpose: the build environment is offline, so the server
+//! speaks just enough HTTP for CSV-in/CSV-out imputation — request line,
+//! `Content-Length`-framed bodies, `Connection: close` responses. Every
+//! read is bounded (header and body caps) so a hostile client can neither
+//! exhaust memory nor hold a worker forever; the socket read timeout is
+//! configured by the server and surfaces here as [`HttpError::Timeout`].
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Cap on the request head (request line + headers), in bytes.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed request: method, path, and the raw body bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// The request method, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target, e.g. `/impute`.
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// How reading a request can fail; each variant maps to a distinct
+/// response (or to silently dropping a vanished client).
+#[derive(Debug)]
+pub enum HttpError {
+    /// The socket read timed out: a slow or stalled client (408).
+    Timeout,
+    /// The connection ended before a full request arrived: nobody is
+    /// left to answer, so the worker just drops the socket.
+    Torn,
+    /// The bytes do not parse as an HTTP request (400).
+    Malformed(String),
+    /// The declared or actual size exceeds a bound (413 or 431).
+    TooLarge(&'static str),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Timeout => write!(f, "request read timed out"),
+            HttpError::Torn => write!(f, "connection closed mid-request"),
+            HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
+            HttpError::TooLarge(what) => write!(f, "request too large: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+fn read_error(e: io::Error) -> HttpError {
+    match e.kind() {
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => HttpError::Timeout,
+        _ => HttpError::Torn,
+    }
+}
+
+/// Read one request from `stream`, honouring the head cap and `max_body`.
+///
+/// # Errors
+/// [`HttpError`] as documented on each variant; `max_body` overruns are
+/// detected from `Content-Length` before the body is buffered, so an
+/// over-budget request never allocates its declared size.
+pub fn read_request(stream: &mut dyn Read, max_body: usize) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge("request head"));
+        }
+        let n = stream.read(&mut chunk).map_err(read_error)?;
+        if n == 0 {
+            return Err(if buf.is_empty() {
+                // A connection opened and closed without a byte: a
+                // health-checker probe, not a torn request.
+                HttpError::Malformed("empty connection".to_string())
+            } else {
+                HttpError::Torn
+            });
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("head is not UTF-8".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+        .ok_or_else(|| HttpError::Malformed(format!("bad request line {request_line:?}")))?;
+    let path = parts
+        .next()
+        .filter(|p| p.starts_with('/'))
+        .ok_or_else(|| HttpError::Malformed(format!("bad request line {request_line:?}")))?;
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length {value:?}")))?;
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::TooLarge("request body"));
+    }
+
+    let body_start = head_end + 4;
+    let mut body = buf[body_start.min(buf.len())..].to_vec();
+    if body.len() > content_length {
+        return Err(HttpError::Malformed(
+            "body longer than content-length".to_string(),
+        ));
+    }
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want]).map_err(read_error)?;
+        if n == 0 {
+            return Err(HttpError::Torn);
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The canonical reason phrase for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete `Connection: close` response.
+///
+/// # Errors
+/// Propagates socket write errors; the caller decides whether a failed
+/// write matters (a vanished client is not a server failure).
+pub fn write_response(
+    stream: &mut dyn Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len(),
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        let mut cursor = io::Cursor::new(bytes.to_vec());
+        read_request(&mut cursor, 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(b"POST /impute HTTP/1.1\r\nContent-Length: 7\r\n\r\na,b\r\n1,").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/impute");
+        assert_eq!(req.body, b"a,b\r\n1,");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn garbage_is_malformed_not_a_panic() {
+        for bytes in [
+            &b"\x00\xffnot http at all\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET nopath HTTP/1.1\r\n\r\n",
+            b"GET / SMTP/1.0\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        ] {
+            match parse(bytes) {
+                Err(HttpError::Malformed(_)) => {}
+                other => panic!("expected malformed for {bytes:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_requests_are_torn() {
+        for bytes in [
+            &b"POST /impute HTTP/1.1\r\nContent-Leng"[..],
+            b"POST /impute HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort",
+        ] {
+            match parse(bytes) {
+                Err(HttpError::Torn) => {}
+                other => panic!("expected torn for {bytes:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected_before_buffering() {
+        let req = b"POST /impute HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n";
+        match parse(req) {
+            Err(HttpError::TooLarge("request body")) => {}
+            other => panic!("expected too-large, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut req = b"GET /x HTTP/1.1\r\n".to_vec();
+        req.extend(std::iter::repeat_n(b'h', MAX_HEAD_BYTES + 10));
+        match parse(&req) {
+            Err(HttpError::TooLarge("request head")) => {}
+            other => panic!("expected too-large head, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_are_well_formed() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            503,
+            "text/plain",
+            &[("Retry-After", "1".to_string())],
+            b"busy",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Content-Length: 4\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nbusy"));
+    }
+}

@@ -1,0 +1,876 @@
+//! `grimp serve`: an overload-robust HTTP imputation service.
+//!
+//! The training pipeline fits once and writes a [`TrainCheckpoint`]; this
+//! crate turns that checkpoint into a long-running service that answers
+//! concurrent CSV-in/CSV-out imputation requests without ever panicking,
+//! OOMing, or wedging — the serving-side counterpart of the pipeline's
+//! never-panic/always-impute contract:
+//!
+//! - **Bounded everything.** A fixed worker pool pulls from a bounded
+//!   queue; when the queue is full the accept loop sheds load with
+//!   `503 + Retry-After` instead of buffering unboundedly. Request heads
+//!   and bodies are capped before they are buffered.
+//! - **Memory admission.** Each `/impute` body is sized with the PR 5
+//!   governor's [`estimate_footprint`] before any model work; requests
+//!   that would blow the budget get `503 + Retry-After`, never an OOM.
+//! - **Deadlines.** A per-request wall-clock deadline starts at accept
+//!   time; requests that exceed it (queue wait included) get `504`.
+//! - **Slowloris defense.** A socket read timeout bounds how long a slow
+//!   client can hold a worker; stalled requests get `408`.
+//! - **Fault injection.** [`SocketFaultPlan`] extends the `GrimpFs`-style
+//!   deterministic fault injection to the socket layer (torn request,
+//!   mid-response disconnect, malformed payload, stalled body), so the
+//!   chaos harness can drive the full failure matrix reproducibly.
+//! - **Graceful drain.** On shutdown the listener stops accepting,
+//!   queued and in-flight requests finish within a drain deadline, and
+//!   [`Server::run`] reports whether the drain was clean.
+//! - **Hot reload.** A watcher thread polls the checkpoint file; when the
+//!   trainer rotates a new generation in (CRC-validated), workers rebuild
+//!   their model between requests — in-flight requests always finish on
+//!   the model they started with.
+//!
+//! [`FittedModel`] is intentionally `!Send` (its tape shares `Rc` label
+//! buffers), so no model ever crosses a thread: each worker restores its
+//! own replica from the shared checkpoint bytes via [`Pipeline::restore`],
+//! and hot reload is just "the bytes changed, restore again".
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod fault;
+pub mod http;
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use grimp::checkpoint::{crc32, TrainCheckpoint, CHECKPOINT_FILE};
+use grimp::{estimate_footprint, FittedModel, GrimpError, Pipeline, ShutdownFlag};
+use grimp_obs::{names, Event, EventSink, Trace};
+use grimp_table::csv::{read_csv_str, to_csv_bytes};
+use grimp_table::Table;
+
+pub use fault::{FaultStream, SocketFaultKind, SocketFaultPlan};
+pub use http::{HttpError, Request};
+
+/// Environment variable carrying a [`SocketFaultPlan`] spec
+/// (`kind[:times[:from_conn]]`), the socket-layer sibling of
+/// `GRIMP_FAULT_FS`.
+pub const FAULT_SOCKET_ENV: &str = "GRIMP_FAULT_SOCKET";
+
+/// How the server behaves under load; every bound has a safe default.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Address to bind, e.g. `127.0.0.1:0` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads, each holding its own restored model replica.
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a worker; beyond this the
+    /// accept loop sheds with `503 + Retry-After`.
+    pub queue_depth: usize,
+    /// Per-request wall-clock deadline, measured from accept; `None`
+    /// disables the check.
+    pub request_deadline: Option<Duration>,
+    /// Memory admission budget in bytes for one request's estimated fit
+    /// footprint; `None` admits everything.
+    pub memory_budget_bytes: Option<u64>,
+    /// Socket read timeout: how long a slow client may stall a worker.
+    pub read_timeout: Duration,
+    /// Largest request body accepted, in bytes.
+    pub max_body_bytes: usize,
+    /// How long a drain may take before in-flight work is abandoned.
+    pub drain_deadline: Duration,
+    /// How often the watcher polls the checkpoint file for a new
+    /// generation.
+    pub reload_poll: Duration,
+    /// Deterministic socket-fault plan for chaos runs.
+    pub fault: Option<SocketFaultPlan>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 32,
+            request_deadline: Some(Duration::from_secs(30)),
+            memory_budget_bytes: None,
+            read_timeout: Duration::from_secs(5),
+            max_body_bytes: 8 * 1024 * 1024,
+            drain_deadline: Duration::from_secs(10),
+            reload_poll: Duration::from_millis(200),
+            fault: None,
+        }
+    }
+}
+
+/// Where the served model comes from: the pipeline and training table
+/// that reproduce its structure, plus the checkpoint directory a trainer
+/// rotates new generations into.
+#[derive(Clone, Debug)]
+pub struct ModelSource {
+    /// The validated pipeline whose configuration matches the fit that
+    /// wrote the checkpoint.
+    pub pipeline: Pipeline,
+    /// The training table the model structure is rebuilt from.
+    pub train: Table,
+    /// Directory holding `grimp.ckpt` (see
+    /// [`grimp::checkpoint::CHECKPOINT_FILE`]).
+    pub checkpoint_dir: PathBuf,
+}
+
+/// What [`Server::run`] hands back after the drain completes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Whether every queued and in-flight request finished within the
+    /// drain deadline.
+    pub clean: bool,
+    /// Requests answered with a `2xx` response over the server's life.
+    pub served: u64,
+    /// Connections shed with `503` because the queue was full.
+    pub shed: u64,
+    /// Requests refused with `503` by memory admission.
+    pub over_budget: u64,
+    /// Successful hot reloads (checkpoint generation swaps).
+    pub reloads: u64,
+}
+
+/// An [`EventSink`] shareable across the accept loop, workers, and the
+/// watcher: clones lock the same underlying sink per event. Lock
+/// poisoning is absorbed (a panicking thread must not mute the trace).
+#[derive(Clone)]
+pub struct SharedSink(Arc<Mutex<Box<dyn EventSink + Send>>>);
+
+impl SharedSink {
+    /// Share `sink` between threads.
+    pub fn new(sink: Box<dyn EventSink + Send>) -> Self {
+        SharedSink(Arc::new(Mutex::new(sink)))
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Box<dyn EventSink + Send>> {
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl EventSink for SharedSink {
+    fn enabled(&self) -> bool {
+        self.lock().enabled()
+    }
+
+    fn record(&mut self, event: Event) {
+        self.lock().record(event);
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.lock().flush()
+    }
+}
+
+/// One accepted connection waiting for a worker.
+struct Job {
+    stream: FaultStream,
+    accepted_at: Instant,
+    req_id: u64,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+}
+
+#[derive(Default)]
+struct Counters {
+    served: AtomicU64,
+    shed: AtomicU64,
+    over_budget: AtomicU64,
+    client_gone: AtomicU64,
+    reloads: AtomicU64,
+}
+
+/// State shared by the accept loop, workers, and the watcher thread.
+struct Shared {
+    cfg: ServeConfig,
+    source: ModelSource,
+    queue: Mutex<QueueState>,
+    job_ready: Condvar,
+    active_workers: Mutex<usize>,
+    worker_done: Condvar,
+    draining: AtomicBool,
+    /// Current checkpoint bytes (CRC-validated before the swap).
+    blob: Mutex<Arc<Vec<u8>>>,
+    /// Bumped on every successful hot reload.
+    generation: AtomicU64,
+    counters: Counters,
+    sink: SharedSink,
+    shutdown: ShutdownFlag,
+}
+
+impl Shared {
+    fn queue_lock(&self) -> MutexGuard<'_, QueueState> {
+        self.queue.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn blob_snapshot(&self) -> (u64, Arc<Vec<u8>>) {
+        let guard = self.blob.lock().unwrap_or_else(|p| p.into_inner());
+        (self.generation.load(Ordering::SeqCst), Arc::clone(&guard))
+    }
+}
+
+/// A bound-but-not-yet-running imputation server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind the listener, load and CRC-validate the current checkpoint,
+    /// and restore one throwaway model replica to fail fast on a
+    /// checkpoint that does not match the pipeline/table.
+    ///
+    /// # Errors
+    /// [`GrimpError::Checkpoint`] when the checkpoint is missing, corrupt,
+    /// or shape-mismatched; [`GrimpError::Io`] when the bind fails.
+    pub fn bind(
+        cfg: ServeConfig,
+        source: ModelSource,
+        shutdown: ShutdownFlag,
+        sink: Box<dyn EventSink + Send>,
+    ) -> Result<Server, GrimpError> {
+        let ckpt_path = source.checkpoint_dir.join(CHECKPOINT_FILE);
+        let bytes = std::fs::read(&ckpt_path).map_err(|e| GrimpError::Checkpoint {
+            path: ckpt_path.clone(),
+            source: e.into(),
+        })?;
+        let ck = TrainCheckpoint::from_bytes(&bytes).map_err(|source| GrimpError::Checkpoint {
+            path: ckpt_path.clone(),
+            source,
+        })?;
+        // Fail fast: a shape-mismatched checkpoint must be a startup
+        // error, not a 500 on the first request.
+        source.pipeline.restore(&source.train, &ck)?;
+
+        let bind_err = |source: std::io::Error| GrimpError::Io {
+            context: format!("binding {}", cfg.addr),
+            source,
+        };
+        let listener = TcpListener::bind(&cfg.addr).map_err(&bind_err)?;
+        listener.set_nonblocking(true).map_err(&bind_err)?;
+        let shared = Arc::new(Shared {
+            cfg,
+            source,
+            queue: Mutex::new(QueueState::default()),
+            job_ready: Condvar::new(),
+            active_workers: Mutex::new(0),
+            worker_done: Condvar::new(),
+            draining: AtomicBool::new(false),
+            blob: Mutex::new(Arc::new(bytes)),
+            generation: AtomicU64::new(0),
+            counters: Counters::default(),
+            sink: SharedSink::new(sink),
+            shutdown,
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    ///
+    /// # Errors
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Run until the shutdown flag is raised, then drain and return.
+    ///
+    /// Spawns the worker pool and the checkpoint watcher, then accepts
+    /// connections on the calling thread. On shutdown: stop accepting,
+    /// emit `drain_begin`, let workers finish queued and in-flight
+    /// requests within the drain deadline, emit `drain_end`
+    /// (value 1 = clean, 0 = deadline expired, stragglers abandoned).
+    pub fn run(self) -> DrainReport {
+        let workers = self.shared.cfg.workers.max(1);
+        {
+            let mut active = self
+                .shared
+                .active_workers
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            *active = workers;
+        }
+        let mut handles = Vec::with_capacity(workers);
+        for worker_id in 0..workers {
+            let shared = Arc::clone(&self.shared);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("grimp-serve-worker-{worker_id}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a worker thread"),
+            );
+        }
+        let watcher = {
+            let shared = Arc::clone(&self.shared);
+            thread::Builder::new()
+                .name("grimp-serve-watcher".to_string())
+                .spawn(move || watcher_loop(&shared))
+                .expect("spawning the watcher thread")
+        };
+
+        self.accept_loop();
+
+        // Drain: no new connections, wake every worker, wait for them to
+        // finish what is queued and in flight.
+        let shared = &self.shared;
+        let pending = shared.queue_lock().jobs.len() as u64;
+        {
+            let mut sink = shared.sink.clone();
+            let mut trace = Trace::new(&mut sink);
+            trace.counter(names::DRAIN_BEGIN, 0, pending);
+        }
+        shared.draining.store(true, Ordering::SeqCst);
+        shared.job_ready.notify_all();
+
+        let deadline = Instant::now() + shared.cfg.drain_deadline;
+        let mut active = shared
+            .active_workers
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        while *active > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _timeout) = shared
+                .worker_done
+                .wait_timeout(active, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            active = guard;
+        }
+        let clean = *active == 0;
+        drop(active);
+
+        {
+            let mut sink = shared.sink.clone();
+            let mut trace = Trace::new(&mut sink);
+            trace.counter(names::DRAIN_END, 0, u64::from(clean));
+            let _ = trace.flush();
+        }
+        let _ = watcher.join();
+        if clean {
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        // On an expired drain the handles are dropped (detached); the
+        // stragglers die with the process.
+        DrainReport {
+            clean,
+            served: shared.counters.served.load(Ordering::SeqCst),
+            shed: shared.counters.shed.load(Ordering::SeqCst),
+            over_budget: shared.counters.over_budget.load(Ordering::SeqCst),
+            reloads: shared.counters.reloads.load(Ordering::SeqCst),
+        }
+    }
+
+    fn accept_loop(&self) {
+        let shared = &self.shared;
+        let mut accepted: usize = 0;
+        let mut next_req_id: u64 = 0;
+        while !shared.shutdown.is_requested() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let conn = accepted;
+                    accepted += 1;
+                    let req_id = next_req_id;
+                    next_req_id += 1;
+                    let fault = shared
+                        .cfg
+                        .fault
+                        .filter(|plan| plan.fires_on(conn))
+                        .map(|plan| plan.kind);
+                    // Accepted sockets do not inherit the listener's
+                    // non-blocking mode on Linux, but make it explicit:
+                    // workers rely on blocking reads bounded by timeouts.
+                    let _ = stream.set_nonblocking(false);
+                    let mut job = Job {
+                        stream: FaultStream::new(stream, fault),
+                        accepted_at: Instant::now(),
+                        req_id,
+                    };
+                    if let Some(kind) = fault {
+                        let mut sink = shared.sink.clone();
+                        let mut trace = Trace::new(&mut sink);
+                        trace.counter(names::SOCKET_FAULT, req_id, kind.code());
+                    }
+                    let mut q = shared.queue_lock();
+                    if q.jobs.len() >= shared.cfg.queue_depth {
+                        drop(q);
+                        shared.counters.shed.fetch_add(1, Ordering::SeqCst);
+                        let mut sink = shared.sink.clone();
+                        let mut trace = Trace::new(&mut sink);
+                        trace.counter(names::REQUEST_SHED, req_id, 1);
+                        // Consume the request (briefly, bounded) so the
+                        // close sends a clean FIN instead of RST-ing the
+                        // 503 away before the client reads it.
+                        absorb_remaining(job.stream.socket(), Duration::from_millis(20));
+                        let _ = http::write_response(
+                            &mut job.stream,
+                            503,
+                            "text/plain",
+                            &[("Retry-After", "1".to_string())],
+                            b"queue full, retry shortly\n",
+                        );
+                    } else {
+                        q.jobs.push_back(job);
+                        drop(q);
+                        shared.job_ready.notify_one();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Transient accept failures (EMFILE, ECONNABORTED)
+                    // must not kill the server; back off briefly.
+                    thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+    }
+}
+
+/// Bounded best-effort drain of a socket's receive buffer (at most
+/// 64 KiB, at most `timeout` per read). Called before answering a
+/// request whose body was not fully read: closing a socket with unread
+/// bytes turns into a TCP RST that can race the error response off the
+/// wire before the client reads it.
+fn absorb_remaining(socket: &TcpStream, timeout: Duration) {
+    if socket.set_nonblocking(false).is_err() || socket.set_read_timeout(Some(timeout)).is_err() {
+        return;
+    }
+    let mut sunk = 0usize;
+    let mut buf = [0u8; 4096];
+    let mut reader = socket;
+    loop {
+        match reader.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                sunk += n;
+                if sunk >= 64 * 1024 {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn watcher_loop(shared: &Shared) {
+    let ckpt_path = shared.source.checkpoint_dir.join(CHECKPOINT_FILE);
+    while !shared.shutdown.is_requested() && !shared.draining.load(Ordering::SeqCst) {
+        // Sleep in small slices so shutdown is honored promptly even
+        // with a long poll interval.
+        let mut slept = Duration::ZERO;
+        while slept < shared.cfg.reload_poll {
+            if shared.shutdown.is_requested() || shared.draining.load(Ordering::SeqCst) {
+                return;
+            }
+            let slice = Duration::from_millis(10).min(shared.cfg.reload_poll - slept);
+            thread::sleep(slice);
+            slept += slice;
+        }
+        let Ok(bytes) = std::fs::read(&ckpt_path) else {
+            // Mid-rotation (tmp rename in flight) or deleted: keep the
+            // current generation and try again next poll.
+            continue;
+        };
+        let changed = {
+            let guard = shared.blob.lock().unwrap_or_else(|p| p.into_inner());
+            **guard != bytes
+        };
+        if !changed {
+            continue;
+        }
+        // CRC and structure validation happen before the swap: a torn or
+        // bit-flipped rotation never replaces a good generation.
+        if TrainCheckpoint::from_bytes(&bytes).is_err() {
+            continue;
+        }
+        let crc = crc32(&bytes);
+        let generation = {
+            let mut guard = shared.blob.lock().unwrap_or_else(|p| p.into_inner());
+            *guard = Arc::new(bytes);
+            shared.generation.fetch_add(1, Ordering::SeqCst) + 1
+        };
+        shared.counters.reloads.fetch_add(1, Ordering::SeqCst);
+        let mut sink = shared.sink.clone();
+        let mut trace = Trace::new(&mut sink);
+        trace.counter(names::MODEL_RELOADED, generation, u64::from(crc));
+    }
+}
+
+/// A worker's current model replica, tagged with the generation it was
+/// restored from.
+struct Replica {
+    generation: u64,
+    model: FittedModel,
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut replica: Option<Replica> = None;
+    // Remember a generation that failed to restore so a bad rotation
+    // does not trigger a rebuild attempt on every request.
+    let mut failed_generation: Option<u64> = None;
+    while let Some(job) = next_job(shared) {
+        serve_one(shared, job, &mut replica, &mut failed_generation);
+    }
+    let mut active = shared
+        .active_workers
+        .lock()
+        .unwrap_or_else(|p| p.into_inner());
+    *active = active.saturating_sub(1);
+    drop(active);
+    shared.worker_done.notify_all();
+}
+
+fn next_job(shared: &Shared) -> Option<Job> {
+    let mut q = shared.queue_lock();
+    loop {
+        if let Some(job) = q.jobs.pop_front() {
+            return Some(job);
+        }
+        if shared.draining.load(Ordering::SeqCst) {
+            return None;
+        }
+        let (guard, _timeout) = shared
+            .job_ready
+            .wait_timeout(q, Duration::from_millis(100))
+            .unwrap_or_else(|p| p.into_inner());
+        q = guard;
+    }
+}
+
+/// What one request resolved to; `status` 0 means the client vanished
+/// before a response could be written.
+struct Outcome {
+    status: u16,
+    content_type: &'static str,
+    extra: Vec<(&'static str, String)>,
+    body: Vec<u8>,
+}
+
+impl Outcome {
+    fn text(status: u16, msg: impl Into<String>) -> Outcome {
+        let mut body = msg.into().into_bytes();
+        body.push(b'\n');
+        Outcome {
+            status,
+            content_type: "text/plain",
+            extra: Vec::new(),
+            body,
+        }
+    }
+
+    fn busy(status: u16, msg: &str) -> Outcome {
+        let mut o = Outcome::text(status, msg);
+        o.extra.push(("Retry-After", "1".to_string()));
+        o
+    }
+}
+
+fn serve_one(
+    shared: &Shared,
+    mut job: Job,
+    replica: &mut Option<Replica>,
+    failed_generation: &mut Option<u64>,
+) {
+    let req_id = job.req_id;
+    let queue_wait = job.accepted_at.elapsed();
+    let mut sink = shared.sink.clone();
+    let mut trace = Trace::new(&mut sink);
+    let span = trace.enter(names::REQUEST, req_id);
+    trace.metric(names::QUEUE_WAIT, req_id, queue_wait.as_secs_f64());
+
+    let _ = job
+        .stream
+        .socket()
+        .set_read_timeout(Some(shared.cfg.read_timeout));
+
+    let deadline = shared
+        .cfg
+        .request_deadline
+        .map(|limit| job.accepted_at + limit);
+    let parsed = http::read_request(&mut job.stream, shared.cfg.max_body_bytes);
+    if matches!(parsed, Err(ref e) if !matches!(e, HttpError::Torn)) {
+        // The request was not fully read; drain what is left so the
+        // error response is not RST-raced off the wire (see
+        // `absorb_remaining`).
+        absorb_remaining(job.stream.socket(), Duration::from_millis(50));
+    }
+    let outcome = match parsed {
+        Ok(request) => Some(route(
+            shared,
+            &mut trace,
+            req_id,
+            &request,
+            deadline,
+            replica,
+            failed_generation,
+        )),
+        Err(HttpError::Timeout) => Some(Outcome::text(408, "request read timed out")),
+        Err(HttpError::Torn) => None,
+        Err(HttpError::Malformed(why)) => Some(Outcome::text(400, format!("bad request: {why}"))),
+        Err(HttpError::TooLarge("request head")) => {
+            Some(Outcome::text(431, "request head too large"))
+        }
+        Err(HttpError::TooLarge(_)) => Some(Outcome::text(413, "request body too large")),
+    };
+
+    let status = match outcome {
+        None => 0,
+        Some(outcome) => {
+            let wrote = http::write_response(
+                &mut job.stream,
+                outcome.status,
+                outcome.content_type,
+                &outcome.extra,
+                &outcome.body,
+            );
+            match wrote {
+                Ok(()) => {
+                    if (200..300).contains(&outcome.status) {
+                        shared.counters.served.fetch_add(1, Ordering::SeqCst);
+                    }
+                    outcome.status
+                }
+                Err(_) => 0,
+            }
+        }
+    };
+    if status == 0 {
+        shared.counters.client_gone.fetch_add(1, Ordering::SeqCst);
+    }
+    trace.counter(names::REQUEST_OUTCOME, req_id, u64::from(status));
+    trace.exit(names::REQUEST, req_id, span);
+}
+
+fn route(
+    shared: &Shared,
+    trace: &mut Trace<'_>,
+    req_id: u64,
+    request: &Request,
+    deadline: Option<Instant>,
+    replica: &mut Option<Replica>,
+    failed_generation: &mut Option<u64>,
+) -> Outcome {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Outcome::text(200, "ok"),
+        ("GET", "/stats") => stats(shared),
+        ("POST", "/impute") => impute(
+            shared,
+            trace,
+            req_id,
+            request,
+            deadline,
+            replica,
+            failed_generation,
+        ),
+        _ => Outcome::text(
+            404,
+            format!("no such endpoint: {} {}", request.method, request.path),
+        ),
+    }
+}
+
+fn stats(shared: &Shared) -> Outcome {
+    let c = &shared.counters;
+    let body = format!(
+        "{{\"served\":{},\"shed\":{},\"over_budget\":{},\"client_gone\":{},\"reloads\":{},\"generation\":{}}}\n",
+        c.served.load(Ordering::SeqCst),
+        c.shed.load(Ordering::SeqCst),
+        c.over_budget.load(Ordering::SeqCst),
+        c.client_gone.load(Ordering::SeqCst),
+        c.reloads.load(Ordering::SeqCst),
+        shared.generation.load(Ordering::SeqCst),
+    );
+    Outcome {
+        status: 200,
+        content_type: "application/json",
+        extra: Vec::new(),
+        body: body.into_bytes(),
+    }
+}
+
+fn impute(
+    shared: &Shared,
+    trace: &mut Trace<'_>,
+    req_id: u64,
+    request: &Request,
+    deadline: Option<Instant>,
+    replica: &mut Option<Replica>,
+    failed_generation: &mut Option<u64>,
+) -> Outcome {
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return Outcome::busy(504, "request deadline exceeded while queued");
+    }
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return Outcome::text(400, "body is not UTF-8");
+    };
+    let table = match read_csv_str(text) {
+        Ok(table) => table,
+        Err(e) => return Outcome::text(400, format!("body is not parseable CSV: {e}")),
+    };
+
+    // Memory admission happens before any model work, on the governor's
+    // fit-footprint estimate for this table.
+    if let Some(budget) = shared.cfg.memory_budget_bytes {
+        let need = estimate_footprint(&table, shared.source.pipeline.config()).total_bytes();
+        if need > budget {
+            shared.counters.over_budget.fetch_add(1, Ordering::SeqCst);
+            trace.counter(names::REQUEST_OVER_BUDGET, req_id, need);
+            return Outcome::busy(
+                503,
+                &format!("request needs ~{need} bytes, budget is {budget}"),
+            );
+        }
+    }
+
+    refresh_replica(shared, replica, failed_generation);
+    let Some(replica) = replica.as_mut() else {
+        return Outcome::text(500, "no usable model generation");
+    };
+
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return Outcome::busy(504, "request deadline exceeded");
+    }
+    match replica.model.impute(&table) {
+        Ok(imputed) => Outcome {
+            status: 200,
+            content_type: "text/csv",
+            extra: Vec::new(),
+            body: to_csv_bytes(&imputed),
+        },
+        Err(
+            e @ (GrimpError::SchemaMismatch { .. }
+            | GrimpError::Table { .. }
+            | GrimpError::InductiveUnsupported),
+        ) => Outcome::text(400, format!("cannot impute this table: {e}")),
+        Err(e) => Outcome::text(500, format!("imputation failed: {e}")),
+    }
+}
+
+/// Rebuild this worker's model replica when the checkpoint generation
+/// moved. In-flight requests never see a swap: the rebuild happens
+/// between requests, and a generation that fails to restore is skipped
+/// (the worker keeps serving its current replica).
+fn refresh_replica(
+    shared: &Shared,
+    replica: &mut Option<Replica>,
+    failed_generation: &mut Option<u64>,
+) {
+    let (generation, blob) = shared.blob_snapshot();
+    let stale = match replica {
+        Some(r) => r.generation != generation,
+        None => true,
+    };
+    if !stale || *failed_generation == Some(generation) {
+        return;
+    }
+    let restored = TrainCheckpoint::from_bytes(&blob)
+        .map_err(|source| GrimpError::Checkpoint {
+            path: shared.source.checkpoint_dir.join(CHECKPOINT_FILE),
+            source,
+        })
+        .and_then(|ck| shared.source.pipeline.restore(&shared.source.train, &ck));
+    match restored {
+        Ok(model) => {
+            *replica = Some(Replica { generation, model });
+            *failed_generation = None;
+        }
+        Err(_) => {
+            *failed_generation = Some(generation);
+        }
+    }
+}
+
+/// A minimal blocking HTTP client for tests, benches, and the chaos
+/// harness: one request, `Connection: close`, whole response buffered.
+pub mod client {
+    use super::*;
+
+    /// A buffered response: status code plus raw body bytes.
+    #[derive(Clone, Debug)]
+    pub struct Response {
+        /// The HTTP status code.
+        pub status: u16,
+        /// The response body.
+        pub body: Vec<u8>,
+        /// Raw header lines (request line excluded).
+        pub headers: Vec<String>,
+    }
+
+    impl Response {
+        /// The value of `name` (case-insensitive), when present.
+        pub fn header(&self, name: &str) -> Option<&str> {
+            self.headers.iter().find_map(|line| {
+                let (key, value) = line.split_once(':')?;
+                key.trim().eq_ignore_ascii_case(name).then(|| value.trim())
+            })
+        }
+    }
+
+    /// Send one request and read the full response.
+    ///
+    /// # Errors
+    /// IO errors from the socket, or `InvalidData` when the response
+    /// does not parse as HTTP.
+    pub fn request(addr: &str, method: &str, path: &str, body: &[u8]) -> std::io::Result<Response> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: grimp\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
+        parse_response(&raw)
+    }
+
+    /// POST a CSV body to `/impute`.
+    ///
+    /// # Errors
+    /// Same contract as [`request`].
+    pub fn impute(addr: &str, csv: &str) -> std::io::Result<Response> {
+        request(addr, "POST", "/impute", csv.as_bytes())
+    }
+
+    fn parse_response(raw: &[u8]) -> std::io::Result<Response> {
+        let bad = |why: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, why.to_string());
+        let head_end = raw
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .ok_or_else(|| bad("no header terminator"))?;
+        let head =
+            std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("response head not UTF-8"))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("bad status line"))?;
+        Ok(Response {
+            status,
+            body: raw[head_end + 4..].to_vec(),
+            headers: lines.map(str::to_string).collect(),
+        })
+    }
+}

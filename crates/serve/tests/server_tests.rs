@@ -1,0 +1,390 @@
+//! End-to-end tests against a real listening server: health, imputation,
+//! load shedding, memory admission, the injected socket-fault matrix,
+//! hot reload, and graceful drain.
+
+use std::path::{Path, PathBuf};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use grimp::{GrimpConfig, GrimpError, Pipeline, ShutdownFlag};
+use grimp_obs::JsonlSink;
+use grimp_serve::{client, ModelSource, ServeConfig, Server, SocketFaultKind, SocketFaultPlan};
+use grimp_table::csv::{read_csv_str, to_csv_string};
+use grimp_table::{inject_mcar, ColumnKind, Schema, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_table(n: usize) -> Table {
+    let schema = Schema::from_pairs(&[
+        ("a", ColumnKind::Categorical),
+        ("b", ColumnKind::Categorical),
+    ]);
+    let mut t = Table::empty(schema);
+    for i in 0..n {
+        let a = format!("a{}", i % 3);
+        let b = format!("b{}", i % 3);
+        t.push_str_row(&[Some(&a), Some(&b)]);
+    }
+    t
+}
+
+fn quick_config(seed: u64, dir: &Path) -> GrimpConfig {
+    GrimpConfig {
+        checkpoint_dir: Some(dir.to_path_buf()),
+        ..GrimpConfig::builder()
+            .feature_dim(8)
+            .gnn(grimp_gnn::GnnConfig {
+                layers: 2,
+                hidden: 8,
+                ..Default::default()
+            })
+            .merge_hidden(16)
+            .embed_dim(8)
+            .max_epochs(8)
+            .patience(8)
+            .learning_rate(2e-2)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+}
+
+/// Fit a model into `dir` and return the serving-ready pieces.
+fn fitted_source(name: &str, seed: u64) -> (ModelSource, Table, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("grimp-serve-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut dirty = small_table(45);
+    inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(2));
+    let pipeline = Pipeline::new(quick_config(seed, &dir)).unwrap();
+    pipeline.fit(&dirty).unwrap();
+    // The served pipeline must not itself write checkpoints.
+    let serving = Pipeline::new(GrimpConfig {
+        checkpoint_dir: None,
+        ..quick_config(seed, &dir)
+    })
+    .unwrap();
+    (
+        ModelSource {
+            pipeline: serving,
+            train: dirty.clone(),
+            checkpoint_dir: dir.clone(),
+        },
+        dirty,
+        dir,
+    )
+}
+
+struct Running {
+    addr: String,
+    shutdown: ShutdownFlag,
+    handle: thread::JoinHandle<grimp_serve::DrainReport>,
+    trace_path: PathBuf,
+}
+
+impl Running {
+    fn start(name: &str, cfg: ServeConfig, source: ModelSource) -> Running {
+        let trace_path = std::env::temp_dir().join(format!(
+            "grimp-serve-trace-{name}-{}.jsonl",
+            std::process::id()
+        ));
+        let sink = JsonlSink::create(&trace_path).unwrap();
+        let shutdown = ShutdownFlag::new();
+        let server = Server::bind(cfg, source, shutdown.clone(), Box::new(sink)).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = thread::spawn(move || server.run());
+        Running {
+            addr,
+            shutdown,
+            handle,
+            trace_path,
+        }
+    }
+
+    fn stop(self) -> (grimp_serve::DrainReport, String) {
+        self.shutdown.request();
+        let report = self.handle.join().expect("server thread must not panic");
+        let trace = std::fs::read_to_string(&self.trace_path).unwrap();
+        let _ = std::fs::remove_file(&self.trace_path);
+        (report, trace)
+    }
+}
+
+#[test]
+fn serves_impute_health_and_stats_then_drains_clean() {
+    let (source, dirty, dir) = fitted_source("basic", 5);
+    let running = Running::start("basic", ServeConfig::default(), source);
+
+    let health = client::request(&running.addr, "GET", "/healthz", b"").unwrap();
+    assert_eq!((health.status, health.body.as_slice()), (200, &b"ok\n"[..]));
+
+    let res = client::impute(&running.addr, &to_csv_string(&dirty)).unwrap();
+    assert_eq!(res.status, 200, "{:?}", String::from_utf8_lossy(&res.body));
+    let imputed = read_csv_str(std::str::from_utf8(&res.body).unwrap()).unwrap();
+    assert_eq!(imputed.n_missing(), 0, "every hole must be filled");
+    assert_eq!(imputed.n_rows(), dirty.n_rows());
+
+    let stats = client::request(&running.addr, "GET", "/stats", b"").unwrap();
+    assert_eq!(stats.status, 200);
+    let body = String::from_utf8(stats.body).unwrap();
+    assert!(body.contains("\"generation\":0"), "{body}");
+
+    let missing = client::request(&running.addr, "GET", "/nope", b"").unwrap();
+    assert_eq!(missing.status, 404);
+
+    let (report, trace) = running.stop();
+    assert!(report.clean, "drain must finish within the deadline");
+    assert!(report.served >= 3, "impute + healthz + stats are all 2xx");
+    assert_eq!(report.shed, 0);
+
+    // The trace must parse with the replay reader and carry the serve
+    // vocabulary: request spans, outcomes, and the drain bracket.
+    let replay = grimp_obs::read_jsonl(&trace).unwrap();
+    let has = |name: &str| replay.events.iter().any(|e| e.name == name);
+    assert!(has(grimp_obs::names::REQUEST), "request spans");
+    assert!(has(grimp_obs::names::QUEUE_WAIT), "queue-wait metrics");
+    assert!(has(grimp_obs::names::REQUEST_OUTCOME), "outcome counters");
+    assert!(has(grimp_obs::names::DRAIN_BEGIN), "drain_begin");
+    assert!(has(grimp_obs::names::DRAIN_END), "drain_end");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sheds_load_with_503_when_the_queue_is_full() {
+    let (source, dirty, dir) = fitted_source("shed", 5);
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_depth: 0,
+        ..ServeConfig::default()
+    };
+    let running = Running::start("shed", cfg, source);
+
+    let res = client::impute(&running.addr, &to_csv_string(&dirty)).unwrap();
+    assert_eq!(res.status, 503);
+    assert_eq!(res.header("Retry-After"), Some("1"));
+
+    let (report, trace) = running.stop();
+    assert!(report.clean);
+    assert_eq!(report.shed, 1);
+    let replay = grimp_obs::read_jsonl(&trace).unwrap();
+    assert!(replay
+        .events
+        .iter()
+        .any(|e| e.name == grimp_obs::names::REQUEST_SHED));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn memory_admission_refuses_over_budget_requests() {
+    let (source, dirty, dir) = fitted_source("budget", 5);
+    let cfg = ServeConfig {
+        memory_budget_bytes: Some(1),
+        ..ServeConfig::default()
+    };
+    let running = Running::start("budget", cfg, source);
+
+    let res = client::impute(&running.addr, &to_csv_string(&dirty)).unwrap();
+    assert_eq!(res.status, 503);
+    assert_eq!(res.header("Retry-After"), Some("1"));
+    let body = String::from_utf8(res.body).unwrap();
+    assert!(body.contains("budget"), "{body}");
+
+    let (report, trace) = running.stop();
+    assert!(report.clean);
+    assert_eq!(report.over_budget, 1);
+    let replay = grimp_obs::read_jsonl(&trace).unwrap();
+    assert!(replay
+        .events
+        .iter()
+        .any(|e| e.name == grimp_obs::names::REQUEST_OVER_BUDGET));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_payloads_get_400_not_a_panic() {
+    let (source, _dirty, dir) = fitted_source("malformed", 5);
+    let running = Running::start("malformed", ServeConfig::default(), source);
+
+    let res = client::impute(&running.addr, "a,b\n\"unterminated").unwrap();
+    assert_eq!(res.status, 400);
+    let res = client::request(&running.addr, "POST", "/impute", &[0xff, 0xfe, 0x00]).unwrap();
+    assert_eq!(res.status, 400, "non-UTF-8 body");
+
+    let (report, _) = running.stop();
+    assert!(report.clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A request big enough to need more than one socket read, so read-side
+/// faults (torn, stalled) trigger on the second read.
+fn big_body() -> String {
+    let mut csv = "a,b\n".to_string();
+    for i in 0..700 {
+        csv.push_str(&format!("a{},b{}\n", i % 3, i % 3));
+    }
+    assert!(csv.len() > 4096);
+    csv
+}
+
+#[test]
+fn injected_socket_faults_never_kill_the_server() {
+    for kind in SocketFaultKind::all() {
+        let name = format!("fault-{}", kind.label());
+        let (source, _dirty, dir) = fitted_source(&name, 5);
+        let cfg = ServeConfig {
+            fault: Some(SocketFaultPlan {
+                kind,
+                times: 1,
+                from_conn: 0,
+            }),
+            read_timeout: Duration::from_millis(200),
+            ..ServeConfig::default()
+        };
+        let running = Running::start(&name, cfg, source);
+
+        // Connection 0 gets the fault; the server must absorb it.
+        let faulted = client::request(&running.addr, "POST", "/impute", big_body().as_bytes());
+        match kind {
+            SocketFaultKind::TornRequest => {
+                // The server saw EOF mid-request and dropped the socket.
+                assert!(faulted.is_err(), "torn request must get no response");
+            }
+            SocketFaultKind::StalledBody => {
+                let res = faulted.expect("stalled body gets a timeout response");
+                assert_eq!(res.status, 408);
+            }
+            SocketFaultKind::MalformedPayload => {
+                let res = faulted.expect("corrupted head gets a response");
+                assert_eq!(res.status, 400);
+            }
+            SocketFaultKind::DisconnectMidResponse => {
+                // The response write was cut; anything but a server
+                // panic is acceptable here.
+                let _ = faulted;
+            }
+        }
+
+        // Connection 1 is past the fault window: normal service resumes.
+        let health = client::request(&running.addr, "GET", "/healthz", b"").unwrap();
+        assert_eq!(health.status, 200, "{}", kind.label());
+
+        let (report, trace) = running.stop();
+        assert!(report.clean, "{}", kind.label());
+        let replay = grimp_obs::read_jsonl(&trace).unwrap();
+        assert!(
+            replay
+                .events
+                .iter()
+                .any(|e| e.name == grimp_obs::names::SOCKET_FAULT && e.value == kind.code() as f64),
+            "{} must be recorded in the trace",
+            kind.label()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn checkpoint_rotation_hot_reloads_between_requests() {
+    let (source, dirty, dir) = fitted_source("reload", 5);
+    let cfg = ServeConfig {
+        reload_poll: Duration::from_millis(20),
+        ..ServeConfig::default()
+    };
+    let running = Running::start("reload", cfg, source);
+
+    let res = client::impute(&running.addr, &to_csv_string(&dirty)).unwrap();
+    assert_eq!(res.status, 200);
+
+    // A trainer rotates a new generation into the same directory (a
+    // different seed produces different weights, same shapes).
+    Pipeline::new(quick_config(6, &dir))
+        .unwrap()
+        .fit(&dirty)
+        .unwrap();
+
+    // The trainer checkpoints every epoch, so the watcher may observe
+    // several intermediate generations — at least one reload must land.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = client::request(&running.addr, "GET", "/stats", b"").unwrap();
+        let body = String::from_utf8(stats.body).unwrap();
+        if !body.contains("\"reloads\":0") && !body.contains("\"generation\":0") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "reload never observed: {body}");
+        thread::sleep(Duration::from_millis(20));
+    }
+
+    let res = client::impute(&running.addr, &to_csv_string(&dirty)).unwrap();
+    assert_eq!(res.status, 200, "the reloaded generation serves");
+
+    let (report, trace) = running.stop();
+    assert!(report.clean);
+    assert!(report.reloads >= 1);
+    let replay = grimp_obs::read_jsonl(&trace).unwrap();
+    assert!(replay
+        .events
+        .iter()
+        .any(|e| e.name == grimp_obs::names::MODEL_RELOADED && e.index >= 1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn binding_without_a_checkpoint_is_a_typed_startup_error() {
+    let dir = std::env::temp_dir().join(format!("grimp-serve-nockpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dirty = small_table(20);
+    let source = ModelSource {
+        pipeline: Pipeline::new(GrimpConfig {
+            checkpoint_dir: None,
+            ..quick_config(5, &dir)
+        })
+        .unwrap(),
+        train: dirty,
+        checkpoint_dir: dir.clone(),
+    };
+    match Server::bind(
+        ServeConfig::default(),
+        source,
+        ShutdownFlag::new(),
+        Box::new(grimp_obs::NullSink),
+    ) {
+        Err(GrimpError::Checkpoint { .. }) => {}
+        Err(e) => panic!("wrong error: {e}"),
+        Ok(_) => panic!("bind must fail without a checkpoint"),
+    }
+}
+
+#[test]
+fn drain_finishes_queued_work_before_exiting() {
+    let (source, dirty, dir) = fitted_source("drain", 5);
+    let cfg = ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let running = Running::start("drain", cfg, source);
+    let csv = to_csv_string(&dirty);
+
+    // Launch a few concurrent imputes and immediately request shutdown:
+    // accepted requests must still be answered during the drain.
+    let addr = running.addr.clone();
+    let clients: Vec<_> = (0..3)
+        .map(|_| {
+            let addr = addr.clone();
+            let csv = csv.clone();
+            thread::spawn(move || client::impute(&addr, &csv))
+        })
+        .collect();
+    thread::sleep(Duration::from_millis(50));
+    let (report, _) = running.stop();
+    assert!(report.clean, "drain must complete");
+    for c in clients {
+        if let Ok(res) = c.join().unwrap() {
+            assert!(
+                res.status == 200 || res.status == 503,
+                "drained request got {}",
+                res.status
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

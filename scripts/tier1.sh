@@ -45,4 +45,46 @@ echo "==> hotpath probe (writes BENCH_hotpath.json; asserts NullSink + guard ove
 echo "    parallel-backend bit-identity, and 0 workspace allocs after epoch 1 on both backends)"
 cargo run --release -p grimp-bench --bin hotpath_probe -- --threads 2
 
+echo "==> serve suite (fault matrix against a live server + real-binary drain/reload tests)"
+cargo test -q -p grimp-serve
+cargo test -q -p grimp-cli --test serve_integration
+
+echo "==> serve smoke (real binary: fit, serve over HTTP, impute, SIGTERM drain, exit 0)"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+printf 'city,country\nParis,France\nRome,Italy\nParis,\nRome,\nParis,France\nMadrid,Spain\nMadrid,\nRome,Italy\n' \
+    > "$SMOKE_DIR/train.csv"
+./target/release/grimp impute "$SMOKE_DIR/train.csv" --algo grimp \
+    --checkpoint-dir "$SMOKE_DIR/ckpt" -o "$SMOKE_DIR/imputed.csv" > /dev/null
+./target/release/grimp serve "$SMOKE_DIR/train.csv" --checkpoint-dir "$SMOKE_DIR/ckpt" \
+    --addr 127.0.0.1:0 --trace-out "$SMOKE_DIR/trace.jsonl" > "$SMOKE_DIR/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$SMOKE_DIR/serve.log" 2>/dev/null && break
+    sleep 0.1
+done
+SERVE_ADDR="$(sed -n 's/^grimp serve listening on \([^ ]*\).*/\1/p' "$SMOKE_DIR/serve.log")"
+test -n "$SERVE_ADDR" || { echo "serve smoke: no announcement line"; exit 1; }
+SERVE_HOST="${SERVE_ADDR%:*}"; SERVE_PORT="${SERVE_ADDR##*:}"
+BODY='city,country
+Paris,
+Madrid,'
+REQUEST="$(printf 'POST /impute HTTP/1.1\r\nHost: grimp\r\nContent-Length: %s\r\nConnection: close\r\n\r\n%s' \
+    "${#BODY}" "$BODY")"
+RESPONSE="$(printf '%s' "$REQUEST" | timeout 30 bash -c \
+    "exec 3<>/dev/tcp/$SERVE_HOST/$SERVE_PORT; cat >&3; cat <&3")"
+printf '%s' "$RESPONSE" | head -1 | grep -q "200" \
+    || { echo "serve smoke: impute did not return 200"; echo "$RESPONSE"; exit 1; }
+printf '%s' "$RESPONSE" | grep -q "Paris," \
+    || { echo "serve smoke: response body is not the imputed CSV"; echo "$RESPONSE"; exit 1; }
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "serve smoke: SIGTERM drain exited non-zero"; exit 1; }
+grep -q "drained clean" "$SMOKE_DIR/serve.log" \
+    || { echo "serve smoke: no clean-drain summary"; cat "$SMOKE_DIR/serve.log"; exit 1; }
+grep -q '"name":"drain_end"' "$SMOKE_DIR/trace.jsonl" \
+    || { echo "serve smoke: trace missing drain_end"; exit 1; }
+
+echo "==> load probe (writes BENCH_serve.json; asserts 200s, zero shed, clean drain)"
+cargo run --release -p grimp-bench --bin load_probe
+
 echo "tier1: all green"
