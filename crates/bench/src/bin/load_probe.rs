@@ -16,7 +16,7 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use grimp::{GrimpConfig, GrimpConfigBuilder, Pipeline, ShutdownFlag, TaskKind};
+use grimp::{CheckpointPolicy, GrimpConfig, GrimpConfigBuilder, Pipeline, ShutdownFlag, TaskKind};
 use grimp_graph::FeatureSource;
 use grimp_obs::NullSink;
 use grimp_serve::{client, ModelSource, ServeConfig, Server};
@@ -73,7 +73,10 @@ fn probe_config(ckpt: Option<&std::path::Path>) -> GrimpConfig {
         .max_epochs(6)
         .patience(6);
     if let Some(dir) = ckpt {
-        b = b.checkpoint_dir(dir);
+        b = b.checkpointing(CheckpointPolicy {
+            dir: Some(dir.to_path_buf()),
+            ..Default::default()
+        });
     }
     let mut cfg = b.build().expect("probe config is valid");
     cfg.task_kind = TaskKind::Attention;

@@ -7,14 +7,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use grimp::{
-    BackendKind, ErrorCategory, GrimpConfig, GrimpConfigBuilder, GrimpError, Pipeline, TaskKind,
+    BackendKind, CheckpointPolicy, ErrorCategory, GrimpConfig, GrimpConfigBuilder, GrimpError,
+    Pipeline, ResourceLimits, SamplerConfig, TaskKind,
 };
 use grimp_baselines::{
     AimNetConfig, AimNetLike, DataWigConfig, DataWigLike, EmbdiMc, EmbdiMcConfig, Gain, GainConfig,
     KnnImputer, MeanMode, Mice, MiceConfig, Mida, MidaConfig, MissForest, MissForestConfig,
     TurlConfig, TurlSub,
 };
-use grimp_datasets::{generate, DatasetId};
+use grimp_datasets::{generate, generate_large, DatasetId};
 use grimp_graph::FeatureSource;
 use grimp_metrics::{dataset_stats, evaluate};
 use grimp_obs::{
@@ -106,7 +107,7 @@ COMMANDS:
     impute   <dirty.csv>  [--algo NAME] [--seed N] [--paper] [-o out.csv]
              [--checkpoint-dir DIR] [--resume] [--trace-out FILE]
              [--metrics] [--deadline SECS] [--memory-budget-mb N]
-             [--threads N]
+             [--threads N] [--batch-rows N] [--fanout N]
              impute every missing cell; algorithms: grimp (default),
              grimp-e, grimp-linear, missforest, aimnet, turl, embdi-mc,
              datawig, mice, mida, gain, knn, meanmode
@@ -121,11 +122,22 @@ COMMANDS:
              and imputes from whatever epochs completed (exit code 6);
              --memory-budget-mb estimates the model footprint up front
              and downscales deterministically (value-node cap, then
-             hidden dims) instead of OOM-ing
+             hidden dims, then sampled mini-batches) instead of OOM-ing
              --threads N runs the hot kernels on the parallel backend
              with N threads (grimp variants only); results are
              bit-identical to the default serial backend, so
              checkpoints and traces carry across backends
+             --batch-rows N trains on neighbor-sampled mini-batches of
+             N rows per task per epoch instead of the full table, and
+             --fanout N caps sampled neighbors per node (default 8) —
+             peak memory then scales with the batch, not the table
+             (grimp variants only; defaults: full-batch training;
+             --batch-rows alone implies the default fanout); sampling
+             is deterministic per (seed, epoch); combining it with
+             --resume is rejected
+             when --memory-budget-mb cannot admit a table even at the
+             smallest cap and hidden dims, the run degrades to sampled
+             training automatically instead of rejecting the table
              a first Ctrl-C checkpoints, imputes from the current state,
              and exits 130; a second Ctrl-C aborts immediately
              GRIMP_FAULT_FS=kind[:times[:from_op]] injects deterministic
@@ -138,8 +150,10 @@ COMMANDS:
              categorical accuracy + normalized RMSE over the blanked cells
     stats    <table.csv>
              rows, columns, distinct values, missingness, S/K/F+/N+ metrics
-    generate <AD|AU|CO|CR|FL|IM|MM|TA|TH|TT> [--seed N] [-o out.csv]
-             emit one of the paper's synthetic evaluation datasets
+    generate <AD|AU|CO|CR|FL|IM|MM|TA|TH|TT|XL> [--seed N] [-o out.csv]
+             emit one of the paper's synthetic evaluation datasets;
+             XL is the scaling synthetic — row count set by --rows
+             (default 50000), vocabulary fixed regardless of size
     serve    <train.csv> --checkpoint-dir DIR [--addr HOST:PORT]
              [--algo grimp|grimp-e|grimp-linear] [--seed N] [--paper]
              [--threads N] [--workers N] [--queue N]
@@ -278,6 +292,10 @@ fn build_pipeline(name: &str, seed: u64, args: &Args) -> Result<Pipeline, CliErr
     } else {
         GrimpConfig::fast()
     };
+    // Start the grouped sub-configs from the preset's values so only the
+    // flags the user actually passed are overridden.
+    let mut ckpt = base.checkpointing();
+    let mut limits = base.limits();
     let mut builder = GrimpConfigBuilder::from_config(base).seed(seed);
     builder = match name {
         "grimp" => builder,
@@ -290,20 +308,36 @@ fn build_pipeline(name: &str, seed: u64, args: &Args) -> Result<Pipeline, CliErr
         }
     };
     if let Some(dir) = args.opt("checkpoint-dir") {
-        builder = builder.checkpoint_dir(dir);
+        ckpt.dir = Some(std::path::PathBuf::from(dir));
     }
-    builder = builder.resume(args.flag("resume"));
+    ckpt.resume = args.flag("resume");
+    builder = builder.checkpointing(ckpt);
     if let Some(raw) = args.opt("deadline") {
         let secs: f64 = raw
             .parse()
             .map_err(|_| CliError::config(format!("--deadline {raw}: cannot parse value")))?;
-        builder = builder.deadline_secs(Some(secs));
+        limits.deadline_secs = Some(secs);
     }
     if let Some(raw) = args.opt("memory-budget-mb") {
         let mb: usize = raw.parse().map_err(|_| {
             CliError::config(format!("--memory-budget-mb {raw}: cannot parse value"))
         })?;
-        builder = builder.memory_budget_mb(Some(mb));
+        limits.memory_budget_mb = Some(mb);
+    }
+    builder = builder.limits(limits);
+    if args.opt("batch-rows").is_some() || args.opt("fanout").is_some() {
+        let mut sampler = SamplerConfig::default();
+        if let Some(raw) = args.opt("batch-rows") {
+            sampler.batch_rows = raw
+                .parse()
+                .map_err(|_| CliError::config(format!("--batch-rows {raw}: cannot parse value")))?;
+        }
+        if let Some(raw) = args.opt("fanout") {
+            sampler.fanout = raw
+                .parse()
+                .map_err(|_| CliError::config(format!("--fanout {raw}: cannot parse value")))?;
+        }
+        builder = builder.sampler(sampler);
     }
     if let Some(raw) = args.opt("threads") {
         let threads: usize = raw
@@ -482,6 +516,8 @@ fn cmd_impute(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
         "deadline",
         "memory-budget-mb",
         "threads",
+        "batch-rows",
+        "fanout",
     ])?;
     let input = args.require_positional(0, "input CSV path")?;
     let table = load(input)?;
@@ -498,6 +534,8 @@ fn cmd_impute(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
             "deadline",
             "memory-budget-mb",
             "threads",
+            "batch-rows",
+            "fanout",
         ] {
             if args.opt(flag).is_some() {
                 return Err(CliError::config(format!(
@@ -665,18 +703,31 @@ fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 fn cmd_generate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
-    args.check_known(&["seed", "o"])?;
+    args.check_known(&["seed", "o", "rows"])?;
     let abbr = args.require_positional(0, "dataset abbreviation")?;
-    let id = DatasetId::ALL
-        .into_iter()
-        .find(|id| id.abbr().eq_ignore_ascii_case(abbr))
-        .ok_or_else(|| {
-            CliError::config(format!(
-                "unknown dataset {abbr:?} (AD AU CO CR FL IM MM TA TH TT)"
-            ))
-        })?;
     let seed = args.opt_parse("seed", 0u64)?;
-    let d = generate(id, seed);
+    let d = if abbr.eq_ignore_ascii_case("XL") {
+        let rows = args.opt_parse("rows", 50_000usize)?;
+        if rows == 0 {
+            return Err(CliError::config("--rows must be at least 1".to_string()));
+        }
+        generate_large(rows, seed)
+    } else {
+        if args.opt("rows").is_some() {
+            return Err(CliError::config(
+                "--rows only applies to the XL scaling synthetic".to_string(),
+            ));
+        }
+        let id = DatasetId::ALL
+            .into_iter()
+            .find(|id| id.abbr().eq_ignore_ascii_case(abbr))
+            .ok_or_else(|| {
+                CliError::config(format!(
+                    "unknown dataset {abbr:?} (AD AU CO CR FL IM MM TA TH TT XL)"
+                ))
+            })?;
+        generate(id, seed)
+    };
     writeln!(
         out,
         "{}: {} rows, {} columns, {} FDs",
@@ -797,6 +848,17 @@ fn build_serve_config(args: &Args) -> Result<grimp_serve::ServeConfig, CliError>
 }
 
 fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
+    // Sampling shapes *training*; serve restores an already-fitted
+    // checkpoint, so these flags can only mean a misunderstanding — reject
+    // them up front instead of silently ignoring them.
+    for flag in ["batch-rows", "fanout"] {
+        if args.opt(flag).is_some() {
+            return Err(CliError::config(format!(
+                "--{flag} is a training-time option; serve restores an already-fitted checkpoint \
+                 (pass it to `grimp impute` instead)"
+            )));
+        }
+    }
     args.check_known(&[
         "algo",
         "seed",
@@ -936,7 +998,10 @@ fn cmd_chaos(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             .seed(seed)
             .max_epochs(3)
             .patience(3)
-            .checkpoint_dir(&dir)
+            .checkpointing(CheckpointPolicy {
+                dir: Some(dir.clone()),
+                ..Default::default()
+            })
             .io_fault(Some(plan))
             .build()
             .map_err(|e| CliError::config(e.to_string()))?;
@@ -966,7 +1031,10 @@ fn cmd_chaos(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     // degradation ladder.
     let config = GrimpConfigBuilder::from_config(GrimpConfig::fast())
         .seed(seed)
-        .deadline_secs(Some(1e-9))
+        .limits(ResourceLimits {
+            deadline_secs: Some(1e-9),
+            memory_budget_mb: None,
+        })
         .build()
         .map_err(|e| CliError::config(e.to_string()))?;
     let pipeline = Pipeline::new(config).map_err(|e| CliError::config(e.to_string()))?;
@@ -1018,6 +1086,39 @@ fn cmd_chaos(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         writeln!(out, "chaos par2:{:<21} {verdict}", s.name)?;
     }
 
+    // Sampled-training crossing: the adversarial scenarios once more with
+    // neighbor-sampled mini-batches. Degenerate tables (single rows,
+    // all-missing columns, huge domains) must survive sampling too.
+    let config = GrimpConfigBuilder::from_config(GrimpConfig::fast())
+        .seed(seed)
+        .max_epochs(3)
+        .patience(3)
+        .sampler(SamplerConfig {
+            batch_rows: 4,
+            fanout: 2,
+        })
+        .build()
+        .map_err(|e| CliError::config(e.to_string()))?;
+    let pipeline = Pipeline::new(config).map_err(|e| CliError::config(e.to_string()))?;
+    for s in grimp_table::adversarial::scenarios() {
+        let verdict = match pipeline.fit(&s.table) {
+            Ok(mut fitted) => {
+                let left = fitted.impute(&s.table)?.n_missing();
+                if left == 0 {
+                    "ok".to_string()
+                } else {
+                    failures += 1;
+                    format!("FAILED: {left} cells left missing")
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                format!("FAILED: fit error: {e}")
+            }
+        };
+        writeln!(out, "chaos smpl:{:<21} {verdict}", s.name)?;
+    }
+
     failures += chaos_serve(out, &small, seed)?;
 
     if failures > 0 {
@@ -1045,7 +1146,10 @@ fn chaos_serve(out: &mut dyn Write, small: &Table, seed: u64) -> Result<usize, C
         .seed(seed)
         .max_epochs(3)
         .patience(3)
-        .checkpoint_dir(&serve_dir)
+        .checkpointing(CheckpointPolicy {
+            dir: Some(serve_dir.clone()),
+            ..Default::default()
+        })
         .build()
         .map_err(|e| CliError::config(e.to_string()))?;
     Pipeline::new(fit_config)
@@ -1358,6 +1462,30 @@ mod tests {
         assert_eq!(code, 0);
         assert!(out.contains("rows:              958"), "{out}");
         assert!(out.contains("distinct values:   5"), "{out}");
+    }
+
+    #[test]
+    fn generate_xl_scales_rows_and_gates_the_rows_flag() {
+        let dir = tmpdir();
+        let clean = dir.join("xl.csv");
+        let (code, out) = run_str(&[
+            "generate",
+            "XL",
+            "--rows",
+            "500",
+            "-o",
+            clean.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("500 rows, 5 columns"), "{out}");
+        let written = std::fs::read_to_string(&clean).unwrap();
+        assert_eq!(written.lines().count(), 501, "header + 500 rows");
+        let (code, out) = run_str(&["generate", "TT", "--rows", "500"]);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("only applies to the XL"), "{out}");
+        let (code, out) = run_str(&["generate", "XL", "--rows", "0"]);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("--rows must be at least 1"), "{out}");
     }
 
     #[test]

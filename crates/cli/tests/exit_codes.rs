@@ -200,6 +200,103 @@ fn stale_lock_from_a_dead_process_is_reclaimed_by_the_cli() {
 }
 
 #[test]
+fn zero_batch_rows_is_a_config_error() {
+    let dirty = tmpfile("zero-batch.csv", "a,b\nx,1\ny,\n");
+    let out = grimp(&[
+        "impute",
+        dirty.to_str().unwrap(),
+        "--algo",
+        "grimp",
+        "--batch-rows",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let line = stderr_line(&out);
+    assert!(line.starts_with("error: "), "{line}");
+    assert!(line.contains("batch"), "{line}");
+}
+
+#[test]
+fn zero_fanout_is_a_config_error() {
+    let dirty = tmpfile("zero-fanout.csv", "a,b\nx,1\ny,\n");
+    let out = grimp(&[
+        "impute",
+        dirty.to_str().unwrap(),
+        "--algo",
+        "grimp",
+        "--fanout",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let line = stderr_line(&out);
+    assert!(line.starts_with("error: "), "{line}");
+    assert!(line.contains("fanout"), "{line}");
+}
+
+#[test]
+fn sampler_combined_with_resume_is_a_config_error() {
+    let dirty = tmpfile("sampler-resume.csv", "a,b\nx,1\ny,\n");
+    let dir = std::env::temp_dir().join(format!("grimp-exit-sampler-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = grimp(&[
+        "impute",
+        dirty.to_str().unwrap(),
+        "--algo",
+        "grimp",
+        "--batch-rows",
+        "64",
+        "--checkpoint-dir",
+        dir.to_str().unwrap(),
+        "--resume",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let line = stderr_line(&out);
+    assert!(line.starts_with("error: "), "{line}");
+    assert!(line.contains("--resume"), "{line}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sampler_flags_are_rejected_for_non_grimp_algorithms() {
+    let dirty = tmpfile("sampler-knn.csv", "a,b\nx,1\ny,\n");
+    let out = grimp(&[
+        "impute",
+        dirty.to_str().unwrap(),
+        "--algo",
+        "knn",
+        "--batch-rows",
+        "64",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        stderr_line(&out).contains("only supported by the grimp variants"),
+        "wrong message"
+    );
+}
+
+#[test]
+fn serve_rejects_sampler_flags_at_startup() {
+    let train = tmpfile("serve-sampler.csv", "a,b\nx,1\ny,2\n");
+    let dir = std::env::temp_dir().join(format!("grimp-exit-serve-smpl-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for flag in ["--batch-rows", "--fanout"] {
+        let out = grimp(&[
+            "serve",
+            train.to_str().unwrap(),
+            "--checkpoint-dir",
+            dir.to_str().unwrap(),
+            flag,
+            "64",
+        ]);
+        assert_eq!(out.status.code(), Some(2), "{flag}: {out:?}");
+        let line = stderr_line(&out);
+        assert!(line.starts_with("error: "), "{line}");
+        assert!(line.contains("training-time option"), "{line}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn success_leaves_stderr_empty() {
     let clean = tmpfile("ok.csv", "a,b\nx,1\ny,2\nx,1\n");
     let out = grimp(&["stats", clean.to_str().unwrap()]);

@@ -6,11 +6,11 @@
 #![cfg(unix)]
 
 use std::io::{BufRead, BufReader};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdout, Command, Stdio};
 use std::time::{Duration, Instant};
 
-use grimp::{GrimpConfig, GrimpConfigBuilder, Pipeline};
+use grimp::{CheckpointPolicy, GrimpConfig, GrimpConfigBuilder, Pipeline};
 use grimp_serve::client;
 
 /// Fit a small model into a fresh temp dir; returns the training CSV path
@@ -29,14 +29,17 @@ fn fit_checkpoint(name: &str, seed: u64) -> (PathBuf, PathBuf) {
 }
 
 /// One quick in-process fit writing `grimp.ckpt` into `dir`.
-fn fit_into(train_csv: &PathBuf, dir: &PathBuf, seed: u64) {
+fn fit_into(train_csv: &Path, dir: &Path, seed: u64) {
     let table =
         grimp_table::csv::read_csv_str(&std::fs::read_to_string(train_csv).unwrap()).unwrap();
     let config = GrimpConfigBuilder::from_config(GrimpConfig::fast())
         .seed(seed)
         .max_epochs(3)
         .patience(3)
-        .checkpoint_dir(dir)
+        .checkpointing(CheckpointPolicy {
+            dir: Some(dir.to_path_buf()),
+            ..Default::default()
+        })
         .build()
         .unwrap();
     Pipeline::new(config).unwrap().fit(&table).unwrap();

@@ -37,6 +37,116 @@ pub enum CategoricalLoss {
     Focal(f32),
 }
 
+/// Neighbor-sampled mini-batch training (the scale path for 100k+-row
+/// tables). When set, each epoch trains on one deterministic mini-batch —
+/// `batch_rows` samples per task, drawn epoch-indexed from the seed — over
+/// a graph whose per-node neighbor lists are capped at `fanout`, so peak
+/// task-activation memory scales with the batch instead of the table.
+/// `None` (the default) keeps full-batch training, bit-identical to
+/// earlier releases.
+///
+/// The first grouped sub-config of the builder redesign:
+/// `GrimpConfig::builder().sampler(SamplerConfig { batch_rows, fanout })`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SamplerConfig {
+    /// Training samples drawn per task per epoch (CLI `--batch-rows`).
+    /// Tasks with fewer samples use all of them.
+    pub batch_rows: usize,
+    /// Neighbors kept per node per edge type in the sampled adjacency
+    /// (CLI `--fanout`). Nodes with degree at or below the fanout keep
+    /// every neighbor.
+    pub fanout: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            batch_rows: 4096,
+            fanout: 8,
+        }
+    }
+}
+
+impl SamplerConfig {
+    /// Field-range checks owned by this sub-config (cross-field checks
+    /// against the rest of the configuration live in
+    /// [`GrimpConfig::validate`]).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.batch_rows == 0 {
+            return Err(ConfigError::ZeroBatchRows);
+        }
+        if self.fanout == 0 {
+            return Err(ConfigError::ZeroFanout);
+        }
+        Ok(())
+    }
+}
+
+/// Resource-governance bounds, grouped for the builder:
+/// `GrimpConfig::builder().limits(ResourceLimits { .. })`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ResourceLimits {
+    /// Wall-clock training budget in seconds (`None` disables it); see
+    /// [`GrimpConfig::deadline_secs`].
+    pub deadline_secs: Option<f64>,
+    /// Memory budget in MiB for admission-time downscaling (`None`
+    /// disables it); see [`GrimpConfig::memory_budget_mb`].
+    pub memory_budget_mb: Option<usize>,
+}
+
+impl ResourceLimits {
+    /// Field-range checks owned by this sub-config.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let Some(deadline) = self.deadline_secs {
+            if !(deadline.is_finite() && deadline > 0.0) {
+                return Err(ConfigError::InvalidDeadline(deadline));
+            }
+        }
+        if self.memory_budget_mb == Some(0) {
+            return Err(ConfigError::ZeroMemoryBudget);
+        }
+        Ok(())
+    }
+}
+
+/// Checkpointing and recovery policy, grouped for the builder:
+/// `GrimpConfig::builder().checkpointing(CheckpointPolicy { .. })`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointPolicy {
+    /// Directory for the training checkpoint file; see
+    /// [`GrimpConfig::checkpoint_dir`].
+    pub dir: Option<std::path::PathBuf>,
+    /// Write a checkpoint every this many completed epochs; see
+    /// [`GrimpConfig::checkpoint_every`].
+    pub every: usize,
+    /// Resume from an existing checkpoint in `dir`; see
+    /// [`GrimpConfig::resume`].
+    pub resume: bool,
+    /// Divergence-recovery budget; see [`GrimpConfig::max_recoveries`].
+    pub max_recoveries: usize,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            dir: None,
+            every: 1,
+            resume: false,
+            max_recoveries: 2,
+        }
+    }
+}
+
+impl CheckpointPolicy {
+    /// Cross-field checks owned by this sub-config.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.resume && self.dir.is_none() {
+            return Err(ConfigError::ResumeWithoutCheckpointDir);
+        }
+        Ok(())
+    }
+}
+
 /// Full configuration of a GRIMP model.
 #[derive(Clone, Debug)]
 pub struct GrimpConfig {
@@ -72,6 +182,16 @@ pub struct GrimpConfig {
     /// Optional cap on training samples per task per epoch, to bound
     /// runtime on large tables. `None` uses everything.
     pub max_train_samples_per_task: Option<usize>,
+    /// Neighbor-sampled mini-batch training. `None` (the default) keeps
+    /// the full-batch path, bit-identical to earlier releases; `Some`
+    /// trains each epoch on one deterministic mini-batch with
+    /// fanout-capped adjacencies, bounding peak memory by the batch shape.
+    /// The governor's third downscale rung sets this automatically when a
+    /// memory budget cannot be met by capping value nodes or shrinking
+    /// dims. Incompatible with [`GrimpConfig::resume`] (a sampled run
+    /// cannot continue a full-batch checkpoint without silent divergence;
+    /// [`GrimpConfig::validate`] rejects the combination).
+    pub sampler: Option<SamplerConfig>,
     /// Seed for every stochastic component.
     pub seed: u64,
     /// Run the pre-optimization training hot path (reference GEMM kernels,
@@ -168,6 +288,7 @@ impl GrimpConfig {
             lr: 5e-3,
             validation_fraction: 0.2,
             max_train_samples_per_task: None,
+            sampler: None,
             seed: 0,
             legacy_hot_path: false,
             backend: BackendKind::Serial,
@@ -254,13 +375,34 @@ impl GrimpConfig {
         }
     }
 
+    /// The grouped view of this configuration's resource bounds (the
+    /// fields `.limits(..)` writes).
+    pub fn limits(&self) -> ResourceLimits {
+        ResourceLimits {
+            deadline_secs: self.deadline_secs,
+            memory_budget_mb: self.memory_budget_mb,
+        }
+    }
+
+    /// The grouped view of this configuration's checkpointing policy (the
+    /// fields `.checkpointing(..)` writes).
+    pub fn checkpointing(&self) -> CheckpointPolicy {
+        CheckpointPolicy {
+            dir: self.checkpoint_dir.clone(),
+            every: self.checkpoint_every,
+            resume: self.resume,
+            max_recoveries: self.max_recoveries,
+        }
+    }
+
     /// Check the configuration for values that would make training panic,
     /// loop forever, or silently do nothing. [`crate::Pipeline::new`] and
-    /// [`GrimpConfigBuilder::build`] run this for you.
+    /// [`GrimpConfigBuilder::build`] run this for you. Sub-config checks
+    /// live on the sub-configs themselves ([`SamplerConfig::validate`],
+    /// [`ResourceLimits::validate`], [`CheckpointPolicy::validate`]); this
+    /// method runs them all plus the cross-section checks.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if self.resume && self.checkpoint_dir.is_none() {
-            return Err(ConfigError::ResumeWithoutCheckpointDir);
-        }
+        self.checkpointing().validate()?;
         for (name, dim) in [
             ("feature_dim", self.feature_dim),
             ("gnn.hidden", self.gnn.hidden),
@@ -295,16 +437,19 @@ impl GrimpConfig {
         if self.max_train_samples_per_task == Some(0) {
             return Err(ConfigError::ZeroSampleCap);
         }
-        if let Some(deadline) = self.deadline_secs {
-            if !(deadline.is_finite() && deadline > 0.0) {
-                return Err(ConfigError::InvalidDeadline(deadline));
-            }
-        }
-        if self.memory_budget_mb == Some(0) {
-            return Err(ConfigError::ZeroMemoryBudget);
-        }
+        self.limits().validate()?;
         if self.backend.threads() == 0 {
             return Err(ConfigError::ZeroThreads);
+        }
+        if let Some(sampler) = self.sampler {
+            sampler.validate()?;
+            // Cross-section: a sampled run draws different batches and a
+            // different validation layout than a full-batch run, so
+            // resuming a full-batch checkpoint under sampling would
+            // silently diverge. Reject the combination up front.
+            if self.resume {
+                return Err(ConfigError::SamplerWithResume);
+            }
         }
         Ok(())
     }
@@ -336,6 +481,15 @@ pub enum ConfigError {
     ZeroMemoryBudget,
     /// The parallel backend was requested with zero threads.
     ZeroThreads,
+    /// The sampler's per-task mini-batch size is zero — every batch would
+    /// be empty.
+    ZeroBatchRows,
+    /// The sampler's neighbor fanout is zero — every sampled adjacency
+    /// would be edgeless.
+    ZeroFanout,
+    /// Sampling was combined with `resume`: a sampled run cannot continue
+    /// a full-batch checkpoint without silently diverging from it.
+    SamplerWithResume,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -368,6 +522,19 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroThreads => {
                 write!(f, "--threads must be at least 1")
             }
+            ConfigError::ZeroBatchRows => {
+                write!(f, "--batch-rows must be at least 1")
+            }
+            ConfigError::ZeroFanout => {
+                write!(f, "--fanout must be at least 1")
+            }
+            ConfigError::SamplerWithResume => {
+                write!(
+                    f,
+                    "--batch-rows/--fanout cannot be combined with --resume: \
+                     a sampled run cannot continue a full-batch checkpoint"
+                )
+            }
         }
     }
 }
@@ -377,15 +544,29 @@ impl std::error::Error for ConfigError {}
 /// Typed, validating builder for [`GrimpConfig`] (start from
 /// [`GrimpConfig::builder`]).
 ///
+/// Governance and persistence options are set through grouped
+/// sub-configs — [`SamplerConfig`], [`ResourceLimits`],
+/// [`CheckpointPolicy`] — rather than one flat setter per field. The old
+/// flat setters remain as deprecated delegating shims.
+///
 /// ```
-/// use grimp::GrimpConfig;
+/// use grimp::{GrimpConfig, ResourceLimits, SamplerConfig};
 /// let config = GrimpConfig::builder()
 ///     .seed(7)
 ///     .max_epochs(50)
 ///     .learning_rate(1e-2)
+///     .sampler(SamplerConfig {
+///         batch_rows: 2048,
+///         fanout: 8,
+///     })
+///     .limits(ResourceLimits {
+///         memory_budget_mb: Some(512),
+///         ..Default::default()
+///     })
 ///     .build()
 ///     .expect("valid config");
 /// assert_eq!(config.seed, 7);
+/// assert_eq!(config.sampler.unwrap().batch_rows, 2048);
 /// ```
 #[derive(Clone, Debug)]
 pub struct GrimpConfigBuilder {
@@ -476,6 +657,32 @@ impl GrimpConfigBuilder {
         self
     }
 
+    /// Neighbor-sampled mini-batch training (grouped sub-config). The
+    /// default configuration trains full-batch; setting a sampler bounds
+    /// peak memory by `batch_rows`/`fanout` instead of the table size.
+    pub fn sampler(mut self, sampler: SamplerConfig) -> Self {
+        self.config.sampler = Some(sampler);
+        self
+    }
+
+    /// Resource-governance bounds (grouped sub-config): wall-clock
+    /// deadline and admission-time memory budget.
+    pub fn limits(mut self, limits: ResourceLimits) -> Self {
+        self.config.deadline_secs = limits.deadline_secs;
+        self.config.memory_budget_mb = limits.memory_budget_mb;
+        self
+    }
+
+    /// Checkpointing and recovery policy (grouped sub-config): directory,
+    /// cadence, resume, and the divergence-recovery budget.
+    pub fn checkpointing(mut self, policy: CheckpointPolicy) -> Self {
+        self.config.checkpoint_dir = policy.dir;
+        self.config.checkpoint_every = policy.every;
+        self.config.resume = policy.resume;
+        self.config.max_recoveries = policy.max_recoveries;
+        self
+    }
+
     /// Seed for every stochastic component.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
@@ -502,30 +709,35 @@ impl GrimpConfigBuilder {
     }
 
     /// Divergence-recovery budget.
+    #[deprecated(note = "use .checkpointing(CheckpointPolicy { max_recoveries, .. })")]
     pub fn max_recoveries(mut self, budget: usize) -> Self {
         self.config.max_recoveries = budget;
         self
     }
 
     /// Disk-checkpoint cadence in completed epochs.
+    #[deprecated(note = "use .checkpointing(CheckpointPolicy { every, .. })")]
     pub fn checkpoint_every(mut self, every: usize) -> Self {
         self.config.checkpoint_every = every;
         self
     }
 
     /// Directory for the training checkpoint file.
+    #[deprecated(note = "use .checkpointing(CheckpointPolicy { dir, .. })")]
     pub fn checkpoint_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
         self.config.checkpoint_dir = Some(dir.into());
         self
     }
 
     /// Resume from an existing checkpoint in the checkpoint dir.
+    #[deprecated(note = "use .checkpointing(CheckpointPolicy { resume, .. })")]
     pub fn resume(mut self, resume: bool) -> Self {
         self.config.resume = resume;
         self
     }
 
     /// Wall-clock training budget in seconds (`None` disables it).
+    #[deprecated(note = "use .limits(ResourceLimits { deadline_secs, .. })")]
     pub fn deadline_secs(mut self, deadline: Option<f64>) -> Self {
         self.config.deadline_secs = deadline;
         self
@@ -533,6 +745,7 @@ impl GrimpConfigBuilder {
 
     /// Memory budget in MiB for admission-time downscaling (`None`
     /// disables it).
+    #[deprecated(note = "use .limits(ResourceLimits { memory_budget_mb, .. })")]
     pub fn memory_budget_mb(mut self, budget: Option<usize>) -> Self {
         self.config.memory_budget_mb = budget;
         self
@@ -605,8 +818,11 @@ mod tests {
             .k_strategy(KStrategy::Diagonal)
             .max_epochs(40)
             .learning_rate(1e-2)
-            .checkpoint_dir("/tmp/ck")
-            .resume(true)
+            .checkpointing(CheckpointPolicy {
+                dir: Some("/tmp/ck".into()),
+                resume: true,
+                ..Default::default()
+            })
             .build()
             .unwrap();
         assert_eq!(c.seed, 9);
@@ -618,7 +834,13 @@ mod tests {
 
     #[test]
     fn builder_rejects_resume_without_checkpoint_dir() {
-        let err = GrimpConfig::builder().resume(true).build().unwrap_err();
+        let err = GrimpConfig::builder()
+            .checkpointing(CheckpointPolicy {
+                resume: true,
+                ..Default::default()
+            })
+            .build()
+            .unwrap_err();
         assert_eq!(err, ConfigError::ResumeWithoutCheckpointDir);
         assert!(err.to_string().contains("--checkpoint-dir"));
     }
@@ -676,21 +898,30 @@ mod tests {
         );
         assert!(matches!(
             GrimpConfig::builder()
-                .deadline_secs(Some(0.0))
+                .limits(ResourceLimits {
+                    deadline_secs: Some(0.0),
+                    ..Default::default()
+                })
                 .build()
                 .unwrap_err(),
             ConfigError::InvalidDeadline(_)
         ));
         assert!(matches!(
             GrimpConfig::builder()
-                .deadline_secs(Some(f64::NAN))
+                .limits(ResourceLimits {
+                    deadline_secs: Some(f64::NAN),
+                    ..Default::default()
+                })
                 .build()
                 .unwrap_err(),
             ConfigError::InvalidDeadline(_)
         ));
         assert_eq!(
             GrimpConfig::builder()
-                .memory_budget_mb(Some(0))
+                .limits(ResourceLimits {
+                    memory_budget_mb: Some(0),
+                    ..Default::default()
+                })
                 .build()
                 .unwrap_err(),
             ConfigError::ZeroMemoryBudget
@@ -707,8 +938,10 @@ mod tests {
 
         let flag = crate::ShutdownFlag::new();
         let c = GrimpConfig::builder()
-            .deadline_secs(Some(12.5))
-            .memory_budget_mb(Some(256))
+            .limits(ResourceLimits {
+                deadline_secs: Some(12.5),
+                memory_budget_mb: Some(256),
+            })
             .shutdown(flag.clone())
             .build()
             .unwrap();
@@ -716,6 +949,134 @@ mod tests {
         assert_eq!(c.memory_budget_mb, Some(256));
         flag.request();
         assert!(c.shutdown.as_ref().unwrap().is_requested());
+    }
+
+    #[test]
+    fn sampler_defaults_off_and_validates() {
+        assert!(GrimpConfig::paper().sampler.is_none());
+        assert!(GrimpConfig::fast().sampler.is_none());
+
+        let d = SamplerConfig::default();
+        assert_eq!(d.batch_rows, 4096);
+        assert_eq!(d.fanout, 8);
+        d.validate().unwrap();
+
+        let c = GrimpConfig::builder()
+            .sampler(SamplerConfig {
+                batch_rows: 512,
+                fanout: 4,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(
+            c.sampler,
+            Some(SamplerConfig {
+                batch_rows: 512,
+                fanout: 4
+            })
+        );
+    }
+
+    #[test]
+    fn sampler_rejects_zero_batch_rows_and_fanout() {
+        assert_eq!(
+            GrimpConfig::builder()
+                .sampler(SamplerConfig {
+                    batch_rows: 0,
+                    fanout: 8
+                })
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroBatchRows
+        );
+        assert_eq!(
+            GrimpConfig::builder()
+                .sampler(SamplerConfig {
+                    batch_rows: 64,
+                    fanout: 0
+                })
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroFanout
+        );
+    }
+
+    #[test]
+    fn sampler_combined_with_resume_is_a_typed_error() {
+        let err = GrimpConfig::builder()
+            .sampler(SamplerConfig::default())
+            .checkpointing(CheckpointPolicy {
+                dir: Some("/tmp/ck".into()),
+                resume: true,
+                ..Default::default()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::SamplerWithResume);
+        assert!(err.to_string().contains("--resume"), "{err}");
+    }
+
+    #[test]
+    fn grouped_views_round_trip_the_flat_fields() {
+        let c = GrimpConfig::builder()
+            .limits(ResourceLimits {
+                deadline_secs: Some(2.0),
+                memory_budget_mb: Some(128),
+            })
+            .checkpointing(CheckpointPolicy {
+                dir: Some("/tmp/rt".into()),
+                every: 3,
+                resume: false,
+                max_recoveries: 5,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(
+            c.limits(),
+            ResourceLimits {
+                deadline_secs: Some(2.0),
+                memory_budget_mb: Some(128),
+            }
+        );
+        assert_eq!(
+            c.checkpointing(),
+            CheckpointPolicy {
+                dir: Some("/tmp/rt".into()),
+                every: 3,
+                resume: false,
+                max_recoveries: 5,
+            }
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_flat_setters_still_delegate() {
+        let c = GrimpConfig::builder()
+            .checkpoint_dir("/tmp/shim")
+            .resume(true)
+            .checkpoint_every(2)
+            .max_recoveries(4)
+            .deadline_secs(Some(9.0))
+            .memory_budget_mb(Some(64))
+            .build()
+            .unwrap();
+        assert_eq!(
+            c.checkpointing(),
+            CheckpointPolicy {
+                dir: Some("/tmp/shim".into()),
+                every: 2,
+                resume: true,
+                max_recoveries: 4,
+            }
+        );
+        assert_eq!(
+            c.limits(),
+            ResourceLimits {
+                deadline_secs: Some(9.0),
+                memory_budget_mb: Some(64),
+            }
+        );
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //!
 //! Everything here is deterministic. The footprint estimate is pure
 //! arithmetic over table statistics and config dims; the downscale ladder
-//! walks two fixed rungs (cap distinct-value cell nodes per attribute,
-//! then halve the hidden dims) until the estimate fits the budget or the
+//! walks three fixed rungs (cap distinct-value cell nodes per attribute,
+//! then halve the hidden dims, then switch to neighbor-sampled mini-batch
+//! training and halve its batch) until the estimate fits the budget or the
 //! floors are reached — it never errors, because a model that is *smaller*
 //! than requested still fills every cell, while an OOM kill fills none.
 
@@ -110,10 +111,17 @@ pub fn estimate_footprint(table: &Table, cfg: &GrimpConfig) -> FootprintEstimate
         } else {
             observed
         };
-        let samples = match cfg.max_train_samples_per_task {
+        let mut samples = match cfg.max_train_samples_per_task {
             Some(max) => observed.min(max as u64),
             None => observed,
         };
+        // Under neighbor-sampled training only `batch_rows` samples per
+        // task are materialized as training vectors at any moment (the
+        // per-epoch mini-batch; validation batches are capped the same
+        // way), so the dominant activation term scales with the batch.
+        if let Some(sampler) = cfg.sampler {
+            samples = samples.min(sampler.batch_rows as u64);
+        }
         task_samples += samples;
         task_out += match table.schema().column(j).kind {
             ColumnKind::Categorical => distinct.max(1),
@@ -164,13 +172,23 @@ pub fn estimate_footprint(table: &Table, cfg: &GrimpConfig) -> FootprintEstimate
 const CAP_FLOOR: usize = 16;
 /// Smallest hidden width the ladder will shrink to.
 const DIM_FLOOR: usize = 4;
+/// `batch_rows` the sampling rung starts from (clamped to the table).
+const SAMPLE_BATCH_DEFAULT: usize = 4096;
+/// Smallest `batch_rows` the sampling rung will halve down to.
+const SAMPLE_BATCH_FLOOR: usize = 256;
+/// Neighbor fanout the sampling rung configures.
+const SAMPLE_FANOUT: usize = 8;
 
 /// Downscale `cfg` deterministically until [`estimate_footprint`] fits
 /// `budget_mb`, recording every decision. Rung 1 halves the per-attribute
 /// value-node cap (frequency cutoff, floor 16); rung 2 halves
-/// `gnn.hidden` / `merge_hidden` / `embed_dim` together (floor 4). If the
-/// floors still exceed the budget, the smallest shape proceeds anyway —
-/// degrading further is the ladder's job, failing is not.
+/// `gnn.hidden` / `merge_hidden` / `embed_dim` together (floor 4); rung 3
+/// switches training to deterministic neighbor-sampled mini-batches
+/// (`batch_rows` 4096 clamped to the table, fanout 8) and keeps halving
+/// `batch_rows` down to 256 — so tables the full-graph path cannot admit
+/// degrade to sampling instead of being rejected. If the floors still
+/// exceed the budget, the smallest shape proceeds anyway — degrading
+/// further is the ladder's job, failing is not.
 pub fn downscale_to_budget(
     cfg: &GrimpConfig,
     table: &Table,
@@ -210,6 +228,31 @@ pub fn downscale_to_budget(
         decisions.push(DownscaleDecision {
             rung: DownscaleRung::HiddenDims,
             value: eff.gnn.hidden as u64,
+        });
+    }
+
+    if estimate_footprint(table, &eff).total_bytes() > budget && eff.sampler.is_none() {
+        let batch = SAMPLE_BATCH_DEFAULT.min(table.n_rows().max(1));
+        eff.sampler = Some(crate::config::SamplerConfig {
+            batch_rows: batch,
+            fanout: SAMPLE_FANOUT,
+        });
+        decisions.push(DownscaleDecision {
+            rung: DownscaleRung::Sample,
+            value: batch as u64,
+        });
+    }
+    while estimate_footprint(table, &eff).total_bytes() > budget {
+        let Some(sampler) = eff.sampler.as_mut() else {
+            break;
+        };
+        if sampler.batch_rows <= SAMPLE_BATCH_FLOOR {
+            break;
+        }
+        sampler.batch_rows = (sampler.batch_rows / 2).max(SAMPLE_BATCH_FLOOR);
+        decisions.push(DownscaleDecision {
+            rung: DownscaleRung::Sample,
+            value: sampler.batch_rows as u64,
         });
     }
     (eff, decisions)
@@ -400,6 +443,74 @@ mod tests {
             estimate_footprint(&t, &eff).total_bytes() <= budget_mb as u64 * 1024 * 1024,
             "budget met"
         );
+    }
+
+    #[test]
+    fn estimate_shrinks_with_sampler_batch_rows() {
+        let t = wide_table(5000, 50);
+        let full = GrimpConfig::paper();
+        let free = estimate_footprint(&t, &full).total_bytes();
+        let mut sampled = full.clone();
+        sampled.sampler = Some(crate::config::SamplerConfig {
+            batch_rows: 512,
+            fanout: 8,
+        });
+        let with_sampler = estimate_footprint(&t, &sampled).total_bytes();
+        assert!(with_sampler < free, "{with_sampler} !< {free}");
+        let mut smaller = sampled.clone();
+        smaller.sampler.as_mut().unwrap().batch_rows = 256;
+        assert!(estimate_footprint(&t, &smaller).total_bytes() <= with_sampler);
+    }
+
+    #[test]
+    fn impossible_budget_falls_through_to_the_sampling_rung() {
+        let t = wide_table(20_000, 1500);
+        let cfg = GrimpConfig::paper();
+        // A budget below the dims floor but above the sampled floor: only
+        // the third rung can admit this table.
+        let dims_floor = {
+            let mut f = cfg.clone();
+            f.graph.max_cells_per_column = Some(CAP_FLOOR);
+            f.gnn.hidden = DIM_FLOOR;
+            f.merge_hidden = DIM_FLOOR;
+            f.embed_dim = DIM_FLOOR;
+            estimate_footprint(&t, &f).total_bytes()
+        };
+        let budget_mb = ((dims_floor / (1024 * 1024)) / 2).max(1) as usize;
+        let (eff, decisions) = downscale_to_budget(&cfg, &t, budget_mb);
+        let sampler = eff.sampler.expect("sampling rung must fire");
+        assert_eq!(sampler.fanout, SAMPLE_FANOUT);
+        assert!(sampler.batch_rows >= SAMPLE_BATCH_FLOOR);
+        assert!(sampler.batch_rows <= SAMPLE_BATCH_DEFAULT);
+        // Sample decisions come last, after every cap / dims decision.
+        let first_sample = decisions
+            .iter()
+            .position(|d| d.rung == DownscaleRung::Sample)
+            .expect("a sample decision is recorded");
+        assert!(decisions[first_sample..]
+            .iter()
+            .all(|d| d.rung == DownscaleRung::Sample));
+        assert!(decisions[..first_sample]
+            .iter()
+            .all(|d| d.rung != DownscaleRung::Sample));
+        eff.validate().expect("sampled downscale is a valid config");
+    }
+
+    #[test]
+    fn sampling_rung_respects_a_user_configured_sampler() {
+        let t = wide_table(20_000, 1500);
+        let mut cfg = GrimpConfig::paper();
+        cfg.sampler = Some(crate::config::SamplerConfig {
+            batch_rows: 2048,
+            fanout: 4,
+        });
+        let (eff, _) = downscale_to_budget(&cfg, &t, 1);
+        let sampler = eff.sampler.expect("sampler stays configured");
+        // the ladder may halve the batch but never touches the fanout and
+        // never grows the batch past what the user asked for
+        assert_eq!(sampler.fanout, 4);
+        assert!(sampler.batch_rows <= 2048);
+        assert!(sampler.batch_rows >= SAMPLE_BATCH_FLOOR);
     }
 
     #[test]

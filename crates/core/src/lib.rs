@@ -54,7 +54,8 @@ pub use checkpoint::{
     TrainCheckpoint, CHECKPOINT_FILE, CHECKPOINT_MAGIC, CHECKPOINT_PREV_FILE, CHECKPOINT_VERSION,
 };
 pub use config::{
-    CategoricalLoss, ConfigError, GrimpConfig, GrimpConfigBuilder, KStrategy, TaskKind,
+    CategoricalLoss, CheckpointPolicy, ConfigError, GrimpConfig, GrimpConfigBuilder, KStrategy,
+    ResourceLimits, SamplerConfig, TaskKind,
 };
 pub use error::{ErrorCategory, GrimpError};
 pub use fault::TrainAnomaly;

@@ -29,7 +29,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use grimp_gnn::HeteroSage;
-use grimp_graph::{build_features, fasttext_features, FeatureSource, TableGraph};
+use grimp_graph::{build_features, fasttext_features, FeatureSource, NeighborSampler, TableGraph};
 use grimp_obs::{names, EventSink, FaultFs, GrimpFs, NullSink, RealFs, Trace};
 use grimp_table::{ColumnKind, Corpus, FdSet, Imputer, Normalizer, Table, Value};
 use grimp_tensor::{Adam, AdamState, Mlp, Tape, Tensor, Var};
@@ -653,7 +653,15 @@ pub(crate) fn fit_model(
         .collect();
 
     // Graph without validation edges (§3.6) — test cells are already ∅.
-    let graph = TableGraph::build_traced(&norm, cfg.graph, &excluded, &mut trace);
+    // Sampled mode builds it in row chunks of `batch_rows` so the peak
+    // transient footprint scales with the batch, not the table; the result
+    // is bit-identical to the monolithic build.
+    let graph = match &cfg.sampler {
+        Some(s) => {
+            TableGraph::build_chunked_traced(&norm, cfg.graph, &excluded, s.batch_rows, &mut trace)
+        }
+        None => TableGraph::build_traced(&norm, cfg.graph, &excluded, &mut trace),
+    };
 
     // Feature init. The FastText arm captures its seed so the fitted model
     // can recompute identical features on unseen tables; drawing exactly
@@ -684,7 +692,7 @@ pub(crate) fn fit_model(
         cfg.backend.code(),
         cfg.backend.threads() as u64,
     );
-    let gnn = HeteroSage::new(&mut tape, &graph, cfg.feature_dim, cfg.gnn, &mut rng);
+    let mut gnn = HeteroSage::new(&mut tape, &graph, cfg.feature_dim, cfg.gnn, &mut rng);
     let merge = Mlp::new(
         &mut tape,
         &[cfg.gnn.hidden, cfg.merge_hidden, cfg.embed_dim],
@@ -730,22 +738,47 @@ pub(crate) fn fit_model(
     trace.exit(names::MODEL_BUILD, 0, model_span);
     let mut adam = Adam::new(cfg.lr);
 
-    // Pre-build the per-task batches (they are fixed across epochs).
+    // Pre-build the per-task batches. Full-batch mode fixes them for the
+    // whole run; sampled mode carves a fixed-shape mini-batch per task
+    // (refilled in place every epoch) and keeps the full pool around.
     let batch_span = trace.enter(names::BATCH_BUILD, 0);
-    let train_batches = build_task_batches(
-        &graph,
-        &norm,
-        &corpus.train,
-        cfg.embed_dim,
-        cfg.max_train_samples_per_task,
-        &mut rng,
-    );
+    let (mut train_batches, mut sampled) = match &cfg.sampler {
+        Some(s) => {
+            let (batches, pools) = build_sampled_task_batches(
+                &graph,
+                &norm,
+                &corpus.train,
+                cfg.embed_dim,
+                s.batch_rows,
+            );
+            let st = SampledTraining {
+                sampler: NeighborSampler::new(&graph, cfg.seed, s.fanout),
+                batch_rows: s.batch_rows,
+                pools,
+                scratch: Vec::new(),
+            };
+            trace.counter(names::BATCH_ROWS, 0, s.batch_rows as u64);
+            trace.counter(names::FANOUT, 0, s.fanout as u64);
+            (batches, Some(st))
+        }
+        None => (
+            build_task_batches(
+                &graph,
+                &norm,
+                &corpus.train,
+                cfg.embed_dim,
+                cfg.max_train_samples_per_task,
+                &mut rng,
+            ),
+            None,
+        ),
+    };
     let val_batches = build_task_batches(
         &graph,
         &norm,
         &corpus.validation,
         cfg.embed_dim,
-        None,
+        cfg.sampler.as_ref().map(|s| s.batch_rows),
         &mut rng,
     );
     trace.exit(names::BATCH_BUILD, 0, batch_span);
@@ -768,6 +801,8 @@ pub(crate) fn fit_model(
         n_weights,
         downscales,
         backend_threads: cfg.backend.threads(),
+        sampler_batch_rows: cfg.sampler.as_ref().map(|s| s.batch_rows),
+        sampler_fanout: cfg.sampler.as_ref().map(|s| s.fanout),
         ..Default::default()
     };
     let mut state = TrainState::new(cfg.lr);
@@ -916,6 +951,9 @@ pub(crate) fn fit_model(
         adam: adam.export_state(),
     };
     let mut degraded = false;
+    // Whether the GNN is still bound to a per-epoch sampled adjacency when
+    // training ends; imputation then lazily rebinds to the full graph.
+    let mut adjacency_sampled = false;
     let checkpoint_every = cfg.checkpoint_every.max(1);
     // Persistent checkpoint-write failures disable checkpointing for the
     // rest of the run (training continues checkpoint-less) instead of
@@ -948,6 +986,38 @@ pub(crate) fn fit_model(
         let misses_before = tape.workspace_stats().misses;
         let epoch_start = Instant::now();
         let epoch_span = trace.enter(names::EPOCH, epoch_idx);
+
+        // Neighbor-sampled mode: re-draw this epoch's sampled adjacency and
+        // mini-batches before the forward pass. Every draw is a pure
+        // function of (seed, epoch, task) — independent of the training RNG
+        // stream — so resumed and rolled-back epochs re-draw identically.
+        let mut sampled_edges = 0u64;
+        if let Some(st) = sampled.as_mut() {
+            sampled_edges = st.sampler.sample_epoch(epoch_idx);
+            gnn.rebind_lists(st.sampler.lists());
+            adjacency_sampled = true;
+            for (j, pool) in st.pools.iter_mut().enumerate() {
+                let Some(pool) = pool else { continue };
+                if tiers[j] != ColumnTier::Gnn {
+                    continue;
+                }
+                let Some(tb) = train_batches[j].as_mut() else {
+                    continue;
+                };
+                pool.refill_epoch(
+                    cfg.seed,
+                    epoch_idx,
+                    j as u64,
+                    st.batch_rows,
+                    &graph,
+                    &norm,
+                    &mut st.scratch,
+                    tb,
+                );
+            }
+            trace.counter(names::SAMPLED_EDGES, epoch_idx, sampled_edges);
+        }
+
         let forward_start = Instant::now();
         let fwd_span = trace.enter(names::FORWARD, epoch_idx);
         let x = match persistent_x {
@@ -1147,6 +1217,7 @@ pub(crate) fn fit_model(
             forward_s: fwd_dt,
             backward_s: bwd_dt,
             optim_s: opt_dt + reset_dt,
+            sampled_edges,
         };
         state.epoch += 1;
         if val_total + 1e-5 < state.best_val {
@@ -1302,7 +1373,7 @@ pub(crate) fn fit_model(
         degraded,
         dictionaries,
         ft_seed,
-        needs_rebind: false,
+        needs_rebind: adjacency_sampled,
         tiers,
         report,
     })
@@ -1538,6 +1609,169 @@ fn attribute_q_init(
         }
     }
     q
+}
+
+/// Stream tag separating the mini-batch row draws from the neighbor
+/// sampler's streams (which chain from the bare `seed ^ epoch`).
+const BATCH_STREAM_TAG: u64 = 0x4241_5443_4852_5753; // "BATCHRWS"
+
+/// SplitMix64 mixer — same finalizer the neighbor sampler uses, so every
+/// per-epoch draw in sampled mode is a pure function of its key.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Label storage of a full sample pool (sampled training mode).
+enum PoolLabels {
+    Cat(Vec<u32>),
+    Num(Vec<f32>),
+}
+
+/// One task's full training pool in sampled mode: every sample the task
+/// owns, kept so each epoch can re-draw a fixed-size mini-batch from it.
+/// Only tasks whose pool exceeds `batch_rows` get one — smaller tasks keep
+/// their (full) fixed batch and never refill.
+struct TaskPool {
+    /// `(row, target_col)` of every training sample of this task.
+    positions: Vec<(usize, usize)>,
+    labels: PoolLabels,
+    /// Scratch permutation for the per-epoch partial Fisher–Yates draw.
+    perm: Vec<u32>,
+}
+
+impl TaskPool {
+    /// Draw `k` distinct pool rows for `epoch` and rewrite the task's
+    /// fixed-shape batch (gather indices, masks, labels) in place.
+    ///
+    /// The draw is a partial Fisher–Yates over a *fresh* identity
+    /// permutation keyed on `(seed, epoch, task)`: uniform without
+    /// replacement, allocation-free after the first epoch, and — because it
+    /// never carries state across epochs — bit-identical whether the epoch
+    /// is reached by straight training, a divergence rollback, or a resume.
+    #[allow(clippy::too_many_arguments)]
+    fn refill_epoch(
+        &mut self,
+        seed: u64,
+        epoch: u64,
+        task: u64,
+        k: usize,
+        graph: &TableGraph,
+        table: &Table,
+        scratch: &mut Vec<(usize, usize)>,
+        tb: &mut TaskBatch,
+    ) {
+        let n = self.positions.len();
+        debug_assert!(k <= n);
+        for (i, p) in self.perm.iter_mut().enumerate() {
+            *p = i as u32;
+        }
+        let mut state = splitmix64(seed ^ BATCH_STREAM_TAG ^ epoch);
+        state = splitmix64(state ^ task);
+        for i in 0..k {
+            state = splitmix64(state);
+            let j = i + (state % (n - i) as u64) as usize;
+            self.perm.swap(i, j);
+        }
+        scratch.clear();
+        scratch.extend(self.perm[..k].iter().map(|&i| self.positions[i as usize]));
+        tb.batch.refill(graph, table, scratch);
+        match (&mut tb.labels, &self.labels) {
+            (Labels::Cat(dst), PoolLabels::Cat(src)) => {
+                let dst = Rc::get_mut(dst)
+                    .expect("refill requires the previous epoch's labels to be released");
+                for (slot, &i) in self.perm[..k].iter().enumerate() {
+                    dst[slot] = src[i as usize];
+                }
+            }
+            (Labels::Num(dst), PoolLabels::Num(src)) => {
+                let dst = Rc::get_mut(dst)
+                    .expect("refill requires the previous epoch's labels to be released");
+                for (slot, &i) in self.perm[..k].iter().enumerate() {
+                    dst[slot] = src[i as usize];
+                }
+            }
+            _ => unreachable!("a column's label kind is fixed"),
+        }
+    }
+}
+
+/// Runtime state of the neighbor-sampled training mode.
+struct SampledTraining {
+    sampler: NeighborSampler,
+    batch_rows: usize,
+    /// Parallel to the task list; `None` for tasks that never refill.
+    pools: Vec<Option<TaskPool>>,
+    /// Reused buffer of the epoch's selected `(row, target_col)` pairs.
+    scratch: Vec<(usize, usize)>,
+}
+
+/// Sampled-mode counterpart of [`build_task_batches`]: tasks with at most
+/// `batch_rows` samples get the same full fixed batch they would get in
+/// full-batch mode; larger tasks get a fixed `batch_rows`-sized batch
+/// (contents are overwritten by the epoch-0 refill before first use) plus a
+/// [`TaskPool`] holding the complete sample pool.
+fn build_sampled_task_batches(
+    graph: &TableGraph,
+    table: &Table,
+    per_task: &[Vec<grimp_table::TrainingSample>],
+    dim: usize,
+    batch_rows: usize,
+) -> (Vec<Option<TaskBatch>>, Vec<Option<TaskPool>>) {
+    let mut batches = Vec::with_capacity(per_task.len());
+    let mut pools = Vec::with_capacity(per_task.len());
+    for (j, samples) in per_task.iter().enumerate() {
+        if samples.is_empty() {
+            batches.push(None);
+            pools.push(None);
+            continue;
+        }
+        let positions: Vec<(usize, usize)> =
+            samples.iter().map(|s| (s.row, s.target_col)).collect();
+        let cat = |n: usize| -> Vec<u32> {
+            samples[..n]
+                .iter()
+                .map(|s| s.label.as_cat().expect("categorical label"))
+                .collect()
+        };
+        let num = |n: usize| -> Vec<f32> {
+            samples[..n]
+                .iter()
+                .map(|s| s.label.as_num().expect("numerical label") as f32)
+                .collect()
+        };
+        let kind = table.schema().column(j).kind;
+        if samples.len() <= batch_rows {
+            let batch = VectorBatch::build(graph, table, &positions, dim);
+            let labels = match kind {
+                ColumnKind::Categorical => Labels::Cat(Rc::new(cat(samples.len()))),
+                ColumnKind::Numerical => Labels::Num(Rc::new(num(samples.len()))),
+            };
+            batches.push(Some(TaskBatch { batch, labels }));
+            pools.push(None);
+            continue;
+        }
+        let batch = VectorBatch::build(graph, table, &positions[..batch_rows], dim);
+        let (labels, pool_labels) = match kind {
+            ColumnKind::Categorical => (
+                Labels::Cat(Rc::new(cat(batch_rows))),
+                PoolLabels::Cat(cat(samples.len())),
+            ),
+            ColumnKind::Numerical => (
+                Labels::Num(Rc::new(num(batch_rows))),
+                PoolLabels::Num(num(samples.len())),
+            ),
+        };
+        batches.push(Some(TaskBatch { batch, labels }));
+        pools.push(Some(TaskPool {
+            perm: (0..positions.len() as u32).collect(),
+            positions,
+            labels: pool_labels,
+        }));
+    }
+    (batches, pools)
 }
 
 fn build_task_batches(
@@ -1965,6 +2199,112 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn sampled_training_fills_every_cell_and_is_deterministic() {
+        let clean = functional_table(200);
+        let mut dirty = clean.clone();
+        let log = inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(21));
+        let mut cfg = tiny_config(TaskKind::Attention);
+        cfg.sampler = Some(crate::config::SamplerConfig {
+            batch_rows: 32,
+            fanout: 4,
+        });
+        let mut model = Grimp::new(cfg.clone());
+        let imputed = model.fit_impute(&dirty);
+        check_imputation_contract(&dirty, &imputed).unwrap();
+        assert_eq!(imputed.n_missing(), 0, "sampled mode must fill every cell");
+        let report = model.last_report().unwrap();
+        assert_eq!(report.sampler_batch_rows, Some(32));
+        assert_eq!(report.sampler_fanout, Some(4));
+        assert!(report.epochs.iter().all(|e| e.sampled_edges > 0));
+        // the sampled batches still learn the functional dependency
+        let acc = cat_accuracy(&log, &imputed);
+        assert!(acc > 0.5, "sampled-mode accuracy too low: {acc}");
+        // bit-identical across runs with the same seed
+        let again = Grimp::new(cfg).fit_impute(&dirty);
+        assert_tables_bit_identical(&imputed, &again);
+    }
+
+    #[test]
+    fn sampled_training_allocates_nothing_after_the_first_epoch() {
+        let clean = functional_table(160);
+        let mut dirty = clean.clone();
+        inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(22));
+        let mut cfg = tiny_config(TaskKind::Attention);
+        cfg.max_epochs = 12;
+        cfg.sampler = Some(crate::config::SamplerConfig {
+            batch_rows: 24,
+            fanout: 3,
+        });
+        let mut model = Grimp::new(cfg);
+        let _ = model.fit_impute(&dirty);
+        let report = model.last_report().unwrap();
+        assert!(report.epochs_run > 2, "need steady-state epochs to measure");
+        for e in &report.epochs[1..] {
+            assert_eq!(
+                e.allocs, 0,
+                "epoch {} missed the tape workspace {} times",
+                e.epoch, e.allocs
+            );
+        }
+    }
+
+    #[test]
+    fn full_batch_runs_are_unchanged_by_the_sampler_machinery() {
+        // cfg.sampler = None must keep the exact pre-sampler behavior:
+        // no sampler provenance in the report, zero sampled edges.
+        let clean = functional_table(60);
+        let mut dirty = clean.clone();
+        inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(23));
+        let mut model = Grimp::new(tiny_config(TaskKind::Attention));
+        let _ = model.fit_impute(&dirty);
+        let report = model.last_report().unwrap();
+        assert_eq!(report.sampler_batch_rows, None);
+        assert_eq!(report.sampler_fanout, None);
+        assert!(report.epochs.iter().all(|e| e.sampled_edges == 0));
+    }
+
+    #[test]
+    fn sampled_run_resumes_bit_identically() {
+        let clean = functional_table(150);
+        let mut dirty = clean.clone();
+        inject_mcar(&mut dirty, 0.1, &mut StdRng::seed_from_u64(24));
+        let dir = std::env::temp_dir().join("grimp-sampled-resume-unit");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut cfg = tiny_config(TaskKind::Attention);
+        cfg.max_epochs = 20;
+        cfg.patience = 20;
+        cfg.sampler = Some(crate::config::SamplerConfig {
+            batch_rows: 32,
+            fanout: 4,
+        });
+
+        let reference = Grimp::new(cfg.clone()).fit_impute(&dirty);
+
+        // the per-epoch draws are keyed on (seed, epoch), so a run killed
+        // mid-way and resumed must re-draw the remaining epochs identically
+        let mut phase1 = cfg.clone();
+        phase1.max_epochs = 7;
+        phase1.checkpoint_dir = Some(dir.clone());
+        let _ = Grimp::new(phase1).fit_impute(&dirty);
+
+        // resume is only rejected for *user* configs (validate()); the
+        // structure config here mimics the governor-applied path by
+        // setting the fields directly
+        let mut phase2 = cfg.clone();
+        phase2.checkpoint_dir = Some(dir.clone());
+        phase2.resume = true;
+        let mut model = Grimp::new(phase2);
+        let resumed = model.fit_impute(&dirty);
+        let report = model.last_report().unwrap();
+        assert_eq!(report.resumed_from_epoch, Some(7));
+
+        assert_tables_bit_identical(&reference, &resumed);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

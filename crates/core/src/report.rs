@@ -80,6 +80,12 @@ pub enum DownscaleRung {
     /// Halved the GNN hidden width, merge-layer width, and embedding dim
     /// together — only after the value-node cap bottomed out.
     HiddenDims,
+    /// Switched training to neighbor-sampled mini-batches (or further
+    /// halved `batch_rows`) — the last rung, taken only when the smallest
+    /// full-batch shape still exceeds the budget. The run stays exact at
+    /// imputation time; only the per-epoch gradient is estimated from a
+    /// sample.
+    Sample,
 }
 
 impl DownscaleRung {
@@ -88,15 +94,17 @@ impl DownscaleRung {
         match self {
             DownscaleRung::ValueNodeCap => 0,
             DownscaleRung::HiddenDims => 1,
+            DownscaleRung::Sample => 2,
         }
     }
 
     /// Inverse of [`DownscaleRung::code`]; unknown codes clamp to
-    /// `HiddenDims` (the more drastic rung).
+    /// `Sample` (the most drastic rung).
     pub fn from_code(code: u64) -> Self {
         match code {
             0 => DownscaleRung::ValueNodeCap,
-            _ => DownscaleRung::HiddenDims,
+            1 => DownscaleRung::HiddenDims,
+            _ => DownscaleRung::Sample,
         }
     }
 
@@ -105,6 +113,7 @@ impl DownscaleRung {
         match self {
             DownscaleRung::ValueNodeCap => "value_node_cap",
             DownscaleRung::HiddenDims => "hidden_dims",
+            DownscaleRung::Sample => "sample",
         }
     }
 }
@@ -121,7 +130,7 @@ pub struct DownscaleDecision {
     /// Which knob was turned.
     pub rung: DownscaleRung,
     /// The value the knob was set to (the new per-column value-node cap,
-    /// or the new GNN hidden width).
+    /// the new GNN hidden width, or the new sampler `batch_rows`).
     pub value: u64,
 }
 
@@ -155,6 +164,9 @@ pub struct EpochStats {
     pub backward_s: f64,
     /// Seconds in the optimizer step plus tape reset.
     pub optim_s: f64,
+    /// Directed edges kept by the epoch's neighbor sample (0 when training
+    /// full-batch — the sampler is off and every edge participates).
+    pub sampled_edges: u64,
 }
 
 /// Outcome of one training run: a run summary plus per-epoch stats.
@@ -227,6 +239,12 @@ pub struct TrainReport {
     /// trace (see [`TrainReport::from_jsonl`]) — a crash mid-write leaves
     /// exactly one behind. Always 0 for live reports.
     pub torn_trace_lines: usize,
+    /// `batch_rows` of the neighbor sampler the run trained with, whether
+    /// user-configured or applied by the memory governor's sampling rung.
+    /// `None` for full-batch runs.
+    pub sampler_batch_rows: Option<usize>,
+    /// `fanout` of the neighbor sampler, when sampling was active.
+    pub sampler_fanout: Option<usize>,
 }
 
 impl TrainReport {
@@ -320,6 +338,15 @@ impl TrainReport {
                 (EventKind::Metric, names::VAL_LOSS) => pending.val_loss = e.value as f32,
                 (EventKind::Metric, names::GRAD_NORM) => pending.grad_norm = e.value,
                 (EventKind::Counter, names::EPOCH_ALLOCS) => pending.allocs = e.value as u64,
+                (EventKind::Counter, names::SAMPLED_EDGES) => {
+                    pending.sampled_edges = e.value as u64
+                }
+                (EventKind::Counter, names::BATCH_ROWS) => {
+                    report.sampler_batch_rows = Some(e.value as usize)
+                }
+                (EventKind::Counter, names::FANOUT) => {
+                    report.sampler_fanout = Some(e.value as usize)
+                }
                 (EventKind::SpanExit, names::EPOCH) => {
                     pending.epoch = e.index as usize;
                     pending.seconds = e.value;
@@ -606,10 +633,47 @@ mod tests {
 
     #[test]
     fn downscale_rung_codes_round_trip() {
-        for rung in [DownscaleRung::ValueNodeCap, DownscaleRung::HiddenDims] {
+        for rung in [
+            DownscaleRung::ValueNodeCap,
+            DownscaleRung::HiddenDims,
+            DownscaleRung::Sample,
+        ] {
             assert_eq!(DownscaleRung::from_code(rung.code()), rung);
         }
-        assert_eq!(DownscaleRung::from_code(99), DownscaleRung::HiddenDims);
+        assert_eq!(DownscaleRung::from_code(99), DownscaleRung::Sample);
+    }
+
+    #[test]
+    fn from_events_replays_the_sampler_counters() {
+        let mut sink = MemorySink::new();
+        {
+            let mut trace = Trace::new(&mut sink);
+            trace.counter(names::BATCH_ROWS, 0, 2048);
+            trace.counter(names::FANOUT, 0, 8);
+            trace.counter(names::DOWNSCALE, 2, 2048); // sample -> 2048
+            for epoch in 0..2u64 {
+                let span = trace.enter(names::EPOCH, epoch);
+                trace.counter(names::SAMPLED_EDGES, epoch, 100 + epoch);
+                trace.exit_with(names::EPOCH, epoch, span, 0.25);
+            }
+        }
+        let report = TrainReport::from_events(sink.events());
+        assert_eq!(report.sampler_batch_rows, Some(2048));
+        assert_eq!(report.sampler_fanout, Some(8));
+        assert_eq!(report.epochs[0].sampled_edges, 100);
+        assert_eq!(report.epochs[1].sampled_edges, 101);
+        assert_eq!(
+            report.downscales,
+            vec![DownscaleDecision {
+                rung: DownscaleRung::Sample,
+                value: 2048,
+            }]
+        );
+        assert_eq!(report.downscales[0].to_string(), "sample -> 2048");
+
+        let fresh = TrainReport::default();
+        assert!(fresh.sampler_batch_rows.is_none());
+        assert!(fresh.sampler_fanout.is_none());
     }
 
     #[test]

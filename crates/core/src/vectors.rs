@@ -85,6 +85,46 @@ impl VectorBatch {
     pub fn is_empty(&self) -> bool {
         self.n == 0
     }
+
+    /// Rewrite the batch in place for a new sample set of the **same size**
+    /// — the sampled training path refills each task's fixed-shape batch
+    /// every epoch so tensor shapes (and the tape workspace keyed on them)
+    /// never change. No allocation happens: the gather indices are mutated
+    /// through [`Rc::get_mut`], which requires that every tape-held clone of
+    /// the previous epoch's `idx` has been dropped (`tape.reset()` does
+    /// that). Panics if the batch is still aliased or `samples.len() != n`.
+    pub fn refill(&mut self, graph: &TableGraph, table: &Table, samples: &[(usize, usize)]) {
+        assert_eq!(
+            samples.len(),
+            self.n,
+            "refill must keep the batch size fixed"
+        );
+        let idx = Rc::get_mut(&mut self.idx)
+            .expect("refill requires the previous epoch's gather indices to be released");
+        let n_cols = self.n_cols;
+        for (s, &(row, target_col)) in samples.iter().enumerate() {
+            for c in 0..n_cols {
+                let slot = s * n_cols + c;
+                let node = if c == target_col {
+                    None
+                } else {
+                    graph.cell_node_of(table, row, c)
+                };
+                match node {
+                    Some(node) => {
+                        idx[slot] = node;
+                        self.mask.row_slice_mut(slot).fill(1.0);
+                        self.score_bias.set(s, c, 0.0);
+                    }
+                    None => {
+                        idx[slot] = 0;
+                        self.mask.row_slice_mut(slot).fill(0.0);
+                        self.score_bias.set(s, c, MASKED_SCORE_BIAS);
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +181,31 @@ mod tests {
         let m_node = g.cell_node(2, "m").unwrap();
         assert_eq!(b.idx[1], p_node);
         assert_eq!(b.idx[2], m_node);
+    }
+
+    #[test]
+    fn refill_matches_a_fresh_build_bit_for_bit() {
+        let (t, g) = setup();
+        let mut b = VectorBatch::build(&g, &t, &[(0, 1), (1, 0)], 4);
+        b.refill(&g, &t, &[(1, 2), (0, 0)]);
+        let fresh = VectorBatch::build(&g, &t, &[(1, 2), (0, 0)], 4);
+        assert_eq!(*b.idx, *fresh.idx);
+        assert_eq!(b.mask.as_slice(), fresh.mask.as_slice());
+        assert_eq!(b.score_bias.as_slice(), fresh.score_bias.as_slice());
+        // and back again: stale mask/bias state must not leak across refills
+        b.refill(&g, &t, &[(0, 1), (1, 0)]);
+        let original = VectorBatch::build(&g, &t, &[(0, 1), (1, 0)], 4);
+        assert_eq!(*b.idx, *original.idx);
+        assert_eq!(b.mask.as_slice(), original.mask.as_slice());
+        assert_eq!(b.score_bias.as_slice(), original.score_bias.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed")]
+    fn refill_rejects_a_different_batch_size() {
+        let (t, g) = setup();
+        let mut b = VectorBatch::build(&g, &t, &[(0, 1)], 4);
+        b.refill(&g, &t, &[(0, 1), (1, 0)]);
     }
 
     #[test]

@@ -51,23 +51,27 @@ fn dirty_table(rows: usize, seed: u64) -> Table {
 }
 
 /// One full run on `kind`: (train losses, val losses, grad norms, imputed
-/// cells, final checkpoint bytes).
+/// cells, final checkpoint bytes). With `sampler` set the run trains on
+/// neighbor-sampled mini-batches instead of the full graph.
 #[allow(clippy::type_complexity)]
-fn run(
+fn run_sampled(
     dirty: &Table,
     seed: u64,
     kind: BackendKind,
+    sampler: Option<grimp::SamplerConfig>,
 ) -> (Vec<u32>, Vec<u32>, Vec<u64>, Vec<String>, Vec<u8>) {
     let dir = std::env::temp_dir().join(format!(
-        "grimp-backend-e2e-{}-{}-{}",
+        "grimp-backend-e2e-{}-{}-{}-{}",
         std::process::id(),
         seed,
-        kind.threads()
+        kind.threads(),
+        sampler.as_ref().map_or(0, |s| s.batch_rows),
     ));
     let _ = std::fs::remove_dir_all(&dir);
     let mut cfg = small_config(seed);
     cfg.backend = kind;
     cfg.checkpoint_dir = Some(dir.clone());
+    cfg.sampler = sampler;
     let pipeline = Pipeline::new(cfg).expect("valid config");
     let mut fitted = pipeline.fit(dirty).expect("fit");
     let imputed = fitted.impute(dirty).expect("impute");
@@ -91,6 +95,15 @@ fn run(
     out
 }
 
+#[allow(clippy::type_complexity)]
+fn run(
+    dirty: &Table,
+    seed: u64,
+    kind: BackendKind,
+) -> (Vec<u32>, Vec<u32>, Vec<u64>, Vec<String>, Vec<u8>) {
+    run_sampled(dirty, seed, kind, None)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
@@ -100,6 +113,29 @@ proptest! {
         let want = run(&dirty, seed, BackendKind::Serial);
         for threads in THREAD_COUNTS {
             let got = run(&dirty, seed, BackendKind::Parallel { threads });
+            prop_assert_eq!(&got.0, &want.0, "train losses, {} threads", threads);
+            prop_assert_eq!(&got.1, &want.1, "val losses, {} threads", threads);
+            prop_assert_eq!(&got.2, &want.2, "grad norms, {} threads", threads);
+            prop_assert_eq!(&got.3, &want.3, "imputed cells, {} threads", threads);
+            prop_assert_eq!(&got.4, &want.4, "checkpoint bytes, {} threads", threads);
+        }
+    }
+
+    #[test]
+    fn sampled_training_is_bit_identical_across_backends_and_runs(
+        rows in 30usize..60,
+        seed in 0u64..100,
+    ) {
+        // Mini-batch draws and neighbor sampling are keyed on (seed, epoch,
+        // task/node), never on backend or thread count, so the serial run
+        // pins the reference for every thread count — and for a repeat run.
+        let dirty = dirty_table(rows, seed);
+        let sampler = grimp::SamplerConfig { batch_rows: 8, fanout: 3 };
+        let want = run_sampled(&dirty, seed, BackendKind::Serial, Some(sampler));
+        let again = run_sampled(&dirty, seed, BackendKind::Serial, Some(sampler));
+        prop_assert_eq!(&again, &want, "same-seed rerun diverged");
+        for threads in THREAD_COUNTS {
+            let got = run_sampled(&dirty, seed, BackendKind::Parallel { threads }, Some(sampler));
             prop_assert_eq!(&got.0, &want.0, "train losses, {} threads", threads);
             prop_assert_eq!(&got.1, &want.1, "val losses, {} threads", threads);
             prop_assert_eq!(&got.2, &want.2, "grad norms, {} threads", threads);

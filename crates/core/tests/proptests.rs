@@ -1,7 +1,7 @@
 //! Property-based tests of GRIMP's core machinery: training-vector batches,
 //! K-matrix construction, and the imputation contract on random tables.
 
-use grimp::{build_k_matrix, Grimp, GrimpConfig, KStrategy, Pipeline, VectorBatch};
+use grimp::{build_k_matrix, Grimp, GrimpConfig, KStrategy, Pipeline, SamplerConfig, VectorBatch};
 use grimp_graph::{GraphConfig, TableGraph};
 use grimp_table::{check_imputation_contract, ColumnKind, FdSet, Imputer, Schema, Table};
 use proptest::prelude::*;
@@ -184,6 +184,51 @@ proptest! {
             "one ladder tier per column"
         );
         // Imputed numerics are finite even when the observed ones are not.
+        for (i, j) in t.missing_cells() {
+            if j == 2 {
+                let v = imputed.get(i, j).as_num().expect("numeric cell");
+                prop_assert!(v.is_finite(), "imputed non-finite {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_training_on_hostile_tables_still_fills_every_cell(
+        t in arb_hostile_table(),
+        seed in 0u64..8,
+    ) {
+        // The same no-assumptions contract, but trained on neighbor-sampled
+        // mini-batches with a batch smaller than most tables: degenerate
+        // columns, single-row tables and non-finite numerics must not break
+        // the sampler, and every missing cell is still filled.
+        let cfg = GrimpConfig {
+            feature_dim: 8,
+            gnn: grimp_gnn::GnnConfig { layers: 1, hidden: 8, ..Default::default() },
+            merge_hidden: 16,
+            embed_dim: 8,
+            max_epochs: 3,
+            patience: 3,
+            sampler: Some(SamplerConfig { batch_rows: 4, fanout: 2 }),
+            ..GrimpConfig::fast()
+        }
+        .with_seed(seed);
+        let pipeline = Pipeline::new(cfg).expect("valid config");
+        let fit = pipeline.fit(&t);
+        prop_assert!(
+            fit.is_ok(),
+            "fit failed: {}",
+            fit.as_ref().err().map_or(String::new(), |e| e.to_string())
+        );
+        let Ok(mut fitted) = fit else { unreachable!() };
+        let imputation = fitted.impute(&t);
+        prop_assert!(
+            imputation.is_ok(),
+            "impute failed: {}",
+            imputation.as_ref().err().map_or(String::new(), |e| e.to_string())
+        );
+        let Ok(imputed) = imputation else { unreachable!() };
+        prop_assert_eq!(imputed.n_missing(), 0, "missing cells survived");
+        prop_assert!(check_imputation_contract(&t, &imputed).is_ok());
         for (i, j) in t.missing_cells() {
             if j == 2 {
                 let v = imputed.get(i, j).as_num().expect("numeric cell");

@@ -91,6 +91,82 @@ pub fn generate(id: DatasetId, seed: u64) -> Dataset {
     }
 }
 
+/// Generate a scaling-benchmark table: `rows` rows over a fixed 5-column
+/// schema — three low-cardinality clustered categoricals (one the FD
+/// conclusion of the first) and two numericals. Deterministic in
+/// `(rows, seed)`.
+///
+/// Unlike the paper datasets, the row count is a free parameter: the
+/// bounded vocabularies keep the value-node count (and therefore the GNN
+/// parameter count) fixed while rows — and with them the RID-node and edge
+/// counts — grow without bound. That makes it the right probe for the
+/// neighbor-sampled training path, whose promise is exactly that peak
+/// memory stops scaling with rows.
+pub fn generate_large(rows: usize, seed: u64) -> Dataset {
+    const CLUSTERS: usize = 6;
+    const DOM0: usize = 12;
+    const DOM1: usize = 8;
+    const DOM2: usize = 6; // FD conclusion of cat0
+    const AFFINITY: f64 = 0.6;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1a_b6_e5_7d);
+    let schema = Schema::new(vec![
+        ColumnMeta {
+            name: "cat0".into(),
+            kind: ColumnKind::Categorical,
+        },
+        ColumnMeta {
+            name: "cat1".into(),
+            kind: ColumnKind::Categorical,
+        },
+        ColumnMeta {
+            name: "cat2".into(),
+            kind: ColumnKind::Categorical,
+        },
+        ColumnMeta {
+            name: "num0".into(),
+            kind: ColumnKind::Numerical,
+        },
+        ColumnMeta {
+            name: "num1".into(),
+            kind: ColumnKind::Numerical,
+        },
+    ]);
+    let mut table = Table::empty(schema);
+    for _ in 0..rows {
+        let cluster = rng.gen_range(0..CLUSTERS);
+        let v0 = if rng.gen::<f64>() < AFFINITY {
+            cluster % DOM0
+        } else {
+            zipf_sample(DOM0, 1.2, &mut rng)
+        };
+        let v1 = if rng.gen::<f64>() < AFFINITY {
+            cluster % DOM1
+        } else {
+            zipf_sample(DOM1, 1.2, &mut rng)
+        };
+        let v2 = fd_map(v0, DOM2);
+        let base = (cluster as f64 - (CLUSTERS - 1) as f64 / 2.0) * 3.0;
+        let n0 = ((base + gaussian(&mut rng)) * 4.0).round() / 4.0;
+        let n1 = ((v0 as f64 + gaussian(&mut rng) * 0.5) * 4.0).round() / 4.0;
+        let row = vec![
+            Value::Cat(table.intern(0, &format!("c0_v{v0}"))),
+            Value::Cat(table.intern(1, &format!("c1_v{v1}"))),
+            Value::Cat(table.intern(2, &format!("c2_v{v2}"))),
+            Value::Num(n0),
+            Value::Num(n1),
+        ];
+        table.push_value_row(&row);
+    }
+    Dataset {
+        name: "Scaling synthetic",
+        abbr: "XL",
+        table,
+        fds: FdSet {
+            fds: vec![FunctionalDependency::new(vec![0], 2)],
+        },
+    }
+}
+
 fn generate_table(spec: &DatasetSpec, rng: &mut StdRng) -> Table {
     let mut columns: Vec<ColumnMeta> = Vec::with_capacity(spec.n_columns());
     for (j, _) in spec.cat.iter().enumerate() {
@@ -236,6 +312,23 @@ mod tests {
             "IMDB titles should be mostly unique: {distinct}/{}",
             d.table.n_rows()
         );
+    }
+
+    #[test]
+    fn large_generator_is_deterministic_and_scales_rows_not_vocabulary() {
+        let a = generate_large(2_000, 5);
+        let b = generate_large(2_000, 5);
+        assert_eq!(a.table, b.table);
+        assert_eq!(a.table.n_rows(), 2_000);
+        assert_eq!(a.table.n_columns(), 5);
+        assert_eq!(a.table.n_missing(), 0);
+        for fd in &a.fds.fds {
+            assert!(fd.holds_on(&a.table), "declared FD must hold");
+        }
+        // the point of the generator: 10x the rows, same vocabulary
+        let big = generate_large(20_000, 5);
+        let vocab = |t: &Table| (0..3).map(|j| t.column(j).n_distinct()).sum::<usize>();
+        assert_eq!(vocab(&a.table), vocab(&big.table));
     }
 
     #[test]

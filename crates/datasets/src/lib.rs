@@ -21,5 +21,5 @@
 pub mod generate;
 pub mod spec;
 
-pub use generate::{generate, Dataset};
+pub use generate::{generate, generate_large, Dataset};
 pub use spec::{CatSpec, DatasetId, DatasetSpec, NumSpec};

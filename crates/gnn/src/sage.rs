@@ -253,6 +253,32 @@ impl HeteroSage {
         self.adj = build_adjacencies(graph, self.config.neighbor_cap, &mut rng);
     }
 
+    /// Rebind the GNN to explicit per-type neighbor lists (shaped like
+    /// [`TableGraph::neighbor_lists`]) instead of a graph — the sampled
+    /// training path hands in each epoch's fanout-capped lists from the
+    /// deterministic neighbor sampler. The node count must stay fixed so
+    /// tensor shapes (and hence the training workspace) are unchanged; the
+    /// configured `neighbor_cap` is **not** re-applied on top, the lists are
+    /// used verbatim.
+    pub fn rebind_lists(&mut self, per_type: &[Vec<Vec<u32>>]) {
+        assert_eq!(
+            per_type.len(),
+            self.modules[0].len(),
+            "lists cover a different number of edge types"
+        );
+        self.adj = per_type
+            .iter()
+            .map(|lists| {
+                let (gcn, gcn_weights) = gcn_normalize(lists);
+                TypeAdjacency {
+                    mean: Rc::new(Adjacency::from_lists(lists)),
+                    gcn: Rc::new(gcn),
+                    gcn_weights: Rc::new(gcn_weights),
+                }
+            })
+            .collect();
+    }
+
     /// Message passing over all layers. `features` must be
     /// `n_nodes × in_dim`; the result is `n_nodes × hidden`.
     pub fn forward(&self, tape: &mut Tape, features: Var) -> Var {
@@ -620,6 +646,52 @@ mod tests {
         assert_eq!(adj.n_edges(), 4); // 2 edges + 2 self-loops
                                       // all degrees are 1 (+1 self) → every weight = 1/2
         assert!(w.iter().all(|&x| (x - 0.5).abs() < 1e-6), "{w:?}");
+    }
+
+    #[test]
+    fn rebind_lists_swaps_the_adjacency_and_back() {
+        let (_, g) = graph();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut tape = Tape::new();
+        let mut sage = HeteroSage::new(
+            &mut tape,
+            &g,
+            4,
+            GnnConfig {
+                layers: 1,
+                hidden: 8,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        tape.freeze();
+        let full = g.neighbor_lists();
+        let run = |tape: &mut Tape, sage: &HeteroSage| -> Vec<u32> {
+            let x = tape.input(Tensor::full(g.n_nodes(), 4, 0.5));
+            let h = sage.forward(tape, x);
+            let bits = tape
+                .value(h)
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            tape.reset();
+            bits
+        };
+        let h_full = run(&mut tape, &sage);
+
+        // empty column-0 neighborhoods → different aggregation result
+        let mut stripped = full.clone();
+        for list in &mut stripped[0] {
+            list.clear();
+        }
+        sage.rebind_lists(&stripped);
+        let h_stripped = run(&mut tape, &sage);
+        assert_ne!(h_full, h_stripped, "stripped adjacency must change output");
+
+        // rebinding the verbatim full lists restores the original bits
+        sage.rebind_lists(&full);
+        assert_eq!(run(&mut tape, &sage), h_full);
     }
 
     #[test]

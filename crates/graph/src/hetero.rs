@@ -180,6 +180,124 @@ impl TableGraph {
         graph
     }
 
+    /// Chunked variant of [`TableGraph::build`]: rows are processed in
+    /// blocks of `chunk_rows`, so the transient per-pass state touched at
+    /// any moment is bounded by the chunk instead of the whole table. The
+    /// output is **bit-identical** to `build` — per-column first-seen order
+    /// only depends on row order, which chunk iteration preserves — so the
+    /// sampled training path can use it without perturbing node ids.
+    pub fn build_chunked(
+        table: &Table,
+        config: GraphConfig,
+        excluded: &[(usize, usize)],
+        chunk_rows: usize,
+    ) -> Self {
+        assert!(chunk_rows > 0, "chunk_rows must be positive");
+        let n_rows = table.n_rows();
+        let n_cols = table.n_columns();
+        let excluded: std::collections::HashSet<(usize, usize)> =
+            excluded.iter().copied().collect();
+        let mut labels: Vec<NodeLabel> = (0..n_rows).map(|i| NodeLabel::Rid(i as u32)).collect();
+        let mut cell_index: Vec<HashMap<String, u32>> = vec![HashMap::new(); n_cols];
+        let mut edges: Vec<TypedEdges> = vec![TypedEdges::default(); n_cols];
+
+        // Pass 1 — domain discovery, one chunk of rows at a time. Counts are
+        // order-independent and first-seen order per column follows row
+        // order, exactly as in the monolithic pass.
+        let mut order: Vec<Vec<String>> = vec![Vec::new(); n_cols];
+        let mut counts: Vec<HashMap<String, usize>> = vec![HashMap::new(); n_cols];
+        let mut start = 0;
+        while start < n_rows {
+            let end = (start + chunk_rows).min(n_rows);
+            for row in start..end {
+                for col in 0..n_cols {
+                    if let Some(key) = value_key(table, row, col, config.numeric_decimals) {
+                        use std::collections::hash_map::Entry;
+                        match counts[col].entry(key) {
+                            Entry::Occupied(mut e) => *e.get_mut() += 1,
+                            Entry::Vacant(e) => {
+                                order[col].push(e.key().clone());
+                                e.insert(1);
+                            }
+                        }
+                    }
+                }
+            }
+            start = end;
+        }
+        // Node assignment — same frequency-cutoff and first-seen tie-break
+        // as `build`, column by column so ids interleave identically.
+        for (col, index) in cell_index.iter_mut().enumerate() {
+            let order = &order[col];
+            let counts = &counts[col];
+            let kept: Vec<usize> = match config.max_cells_per_column {
+                Some(cap) if order.len() > cap => {
+                    let mut ranked: Vec<usize> = (0..order.len()).collect();
+                    ranked.sort_by_key(|&i| (std::cmp::Reverse(counts[order[i].as_str()]), i));
+                    ranked.truncate(cap);
+                    ranked.sort_unstable();
+                    ranked
+                }
+                _ => (0..order.len()).collect(),
+            };
+            for i in kept {
+                let key = order[i].clone();
+                let id = labels.len() as u32;
+                labels.push(NodeLabel::Cell {
+                    col: col as u32,
+                    text: key.clone(),
+                });
+                index.insert(key, id);
+            }
+        }
+        // Pass 2 — edges, chunk by chunk, in the same row-major order as
+        // the monolithic edge pass.
+        let mut start = 0;
+        while start < n_rows {
+            let end = (start + chunk_rows).min(n_rows);
+            for row in start..end {
+                for col in 0..n_cols {
+                    if excluded.contains(&(row, col)) {
+                        continue;
+                    }
+                    if let Some(key) = value_key(table, row, col, config.numeric_decimals) {
+                        if let Some(&cell) = cell_index[col].get(&key) {
+                            edges[col].pairs.push((row as u32, cell));
+                        }
+                    }
+                }
+            }
+            start = end;
+        }
+        TableGraph {
+            n_rows,
+            n_cols,
+            labels,
+            cell_index,
+            edges,
+            config,
+        }
+    }
+
+    /// [`TableGraph::build_chunked`] wrapped in a
+    /// [`grimp_obs::names::GRAPH_BUILD`] span, mirroring
+    /// [`TableGraph::build_traced`].
+    pub fn build_chunked_traced(
+        table: &Table,
+        config: GraphConfig,
+        excluded: &[(usize, usize)],
+        chunk_rows: usize,
+        trace: &mut grimp_obs::Trace<'_>,
+    ) -> Self {
+        use grimp_obs::names;
+        let span = trace.enter(names::GRAPH_BUILD, 0);
+        let graph = Self::build_chunked(table, config, excluded, chunk_rows);
+        trace.counter(names::GRAPH_NODES, 0, graph.n_nodes() as u64);
+        trace.counter(names::GRAPH_EDGES, 0, graph.n_edges() as u64);
+        trace.exit(names::GRAPH_BUILD, 0, span);
+        graph
+    }
+
     /// Total node count (RID + cell nodes).
     pub fn n_nodes(&self) -> usize {
         self.labels.len()
@@ -269,6 +387,175 @@ impl TableGraph {
             .flat_map(|e| e.pairs.iter())
             .filter(|&&(r, c)| r == node || c == node)
             .count()
+    }
+
+    /// Per-type CSR adjacencies over all nodes — the packed form of
+    /// [`TableGraph::neighbor_lists`] (same symmetric edges, same
+    /// deterministic per-node neighbor order). The neighbor sampler reads
+    /// these instead of the nested lists so each epoch's resampling is a
+    /// cache-friendly linear scan.
+    pub fn csr_adjacency(&self) -> Vec<TypeCsr> {
+        let n = self.n_nodes();
+        self.edges
+            .iter()
+            .map(|e| {
+                let mut offsets = vec![0u32; n + 1];
+                for &(rid, cell) in &e.pairs {
+                    offsets[rid as usize + 1] += 1;
+                    offsets[cell as usize + 1] += 1;
+                }
+                for i in 0..n {
+                    offsets[i + 1] += offsets[i];
+                }
+                let mut neighbors = vec![0u32; offsets[n] as usize];
+                let mut cursor = offsets.clone();
+                for &(rid, cell) in &e.pairs {
+                    neighbors[cursor[rid as usize] as usize] = cell;
+                    cursor[rid as usize] += 1;
+                    neighbors[cursor[cell as usize] as usize] = rid;
+                    cursor[cell as usize] += 1;
+                }
+                TypeCsr { offsets, neighbors }
+            })
+            .collect()
+    }
+}
+
+/// Compressed-sparse-row adjacency of one edge type, symmetric like
+/// [`TableGraph::neighbor_lists`]: RID nodes point at the column's cell
+/// nodes and vice versa.
+#[derive(Clone, Debug)]
+pub struct TypeCsr {
+    /// `offsets[v]..offsets[v + 1]` indexes `neighbors` for node `v`.
+    offsets: Vec<u32>,
+    /// Concatenated neighbor ids, per-node order matching the edge list.
+    neighbors: Vec<u32>,
+}
+
+impl TypeCsr {
+    /// Number of nodes covered.
+    pub fn n_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Degree of `node` through this edge type.
+    pub fn degree(&self, node: usize) -> usize {
+        (self.offsets[node + 1] - self.offsets[node]) as usize
+    }
+
+    /// The neighbors of `node` through this edge type.
+    pub fn neighbors_of(&self, node: usize) -> &[u32] {
+        &self.neighbors[self.offsets[node] as usize..self.offsets[node + 1] as usize]
+    }
+}
+
+/// SplitMix64 — the statelessly seedable mixer the sampler derives its
+/// per-(epoch, type, node) streams from. Deliberately independent of the
+/// training RNG so enabling sampling cannot shift the main draw order.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic per-epoch neighbor sampler over [`TypeCsr`] edge sets.
+///
+/// For every epoch it produces per-type neighbor lists shaped exactly like
+/// [`TableGraph::neighbor_lists`], but with every node's neighborhood capped
+/// at `fanout` via reservoir sampling (uniform without replacement). The
+/// random stream of a node is derived purely from `(seed, epoch, type,
+/// node)` with SplitMix64, so the sample is:
+///
+/// - **reproducible** — same seed + epoch ⇒ bit-identical lists, on any
+///   backend and at any thread count;
+/// - **epoch-indexed** — consecutive epochs see different neighborhoods,
+///   which is what makes the expectation over epochs cover every edge;
+/// - **isolated** — no draws are taken from the training RNG, so full-batch
+///   runs are unaffected by the sampler's existence.
+///
+/// Output buffers are allocated once in [`NeighborSampler::new`] (capacity
+/// `min(degree, fanout)` per node, which is invariant across epochs) and
+/// refilled in place: after the first call to
+/// [`NeighborSampler::sample_epoch`] no further allocation happens — the
+/// grow-once contract the training loop's 0-allocs invariant relies on.
+#[derive(Clone, Debug)]
+pub struct NeighborSampler {
+    seed: u64,
+    fanout: usize,
+    csr: Vec<TypeCsr>,
+    lists: Vec<Vec<Vec<u32>>>,
+}
+
+impl NeighborSampler {
+    /// Snapshot the graph's CSR edge sets and pre-size the per-epoch output
+    /// buffers. `fanout` must be positive.
+    pub fn new(graph: &TableGraph, seed: u64, fanout: usize) -> Self {
+        assert!(fanout > 0, "fanout must be positive");
+        let csr = graph.csr_adjacency();
+        let n = graph.n_nodes();
+        let lists = csr
+            .iter()
+            .map(|t| {
+                (0..n)
+                    .map(|v| Vec::with_capacity(t.degree(v).min(fanout)))
+                    .collect()
+            })
+            .collect();
+        NeighborSampler {
+            seed,
+            fanout,
+            csr,
+            lists,
+        }
+    }
+
+    /// The fanout cap the sampler was built with.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Resample every node's neighborhood for `epoch`, refilling the
+    /// internal buffers. Returns the total number of directed sampled
+    /// edges (the sum of all list lengths).
+    pub fn sample_epoch(&mut self, epoch: u64) -> u64 {
+        let mut total = 0u64;
+        for (t, csr) in self.csr.iter().enumerate() {
+            let out = &mut self.lists[t];
+            for (v, list) in out.iter_mut().enumerate() {
+                let neigh = csr.neighbors_of(v);
+                list.clear();
+                if neigh.len() <= self.fanout {
+                    list.extend_from_slice(neigh);
+                } else {
+                    // Reservoir sampling with a per-(seed, epoch, type,
+                    // node) stream: uniform without replacement, O(degree),
+                    // and entirely within the preallocated capacity.
+                    let mut state = self.seed;
+                    state = splitmix64(state ^ epoch);
+                    state = splitmix64(state ^ t as u64);
+                    state = splitmix64(state ^ v as u64);
+                    list.extend_from_slice(&neigh[..self.fanout]);
+                    for (i, &cand) in neigh.iter().enumerate().skip(self.fanout) {
+                        state = splitmix64(state);
+                        let j = (state % (i as u64 + 1)) as usize;
+                        if j < self.fanout {
+                            list[j] = cand;
+                        }
+                    }
+                }
+                total += list.len() as u64;
+            }
+        }
+        total
+    }
+
+    /// The sampled per-type neighbor lists of the last
+    /// [`NeighborSampler::sample_epoch`] call, shaped like
+    /// [`TableGraph::neighbor_lists`].
+    pub fn lists(&self) -> &[Vec<Vec<u32>>] {
+        &self.lists
     }
 }
 
@@ -452,5 +739,123 @@ mod tests {
         let g = TableGraph::build(&t, GraphConfig::default(), &[]);
         assert_eq!(g.cell_node_of(&t, 0, 0), g.cell_node(0, "FR"));
         assert_eq!(g.cell_node_of(&t, 2, 0), None);
+    }
+
+    fn assert_graphs_identical(a: &TableGraph, b: &TableGraph) {
+        assert_eq!(a.n_nodes(), b.n_nodes());
+        for n in 0..a.n_nodes() {
+            assert_eq!(a.label(n), b.label(n), "node {n}");
+        }
+        assert_eq!(a.n_edge_types(), b.n_edge_types());
+        for c in 0..a.n_edge_types() {
+            assert_eq!(a.edges_of(c).pairs, b.edges_of(c).pairs, "column {c}");
+        }
+    }
+
+    #[test]
+    fn chunked_build_is_bit_identical_to_monolithic() {
+        let t = skewed_table();
+        let mono = TableGraph::build(&t, GraphConfig::default(), &[]);
+        for chunk in [1, 2, 5, 12, 100] {
+            let chunked = TableGraph::build_chunked(&t, GraphConfig::default(), &[], chunk);
+            assert_graphs_identical(&mono, &chunked);
+        }
+    }
+
+    #[test]
+    fn chunked_build_matches_under_cap_and_exclusions() {
+        let t = skewed_table();
+        let cfg = GraphConfig {
+            max_cells_per_column: Some(2),
+            ..GraphConfig::default()
+        };
+        let excluded = [(0, 0), (3, 1), (7, 0)];
+        let mono = TableGraph::build(&t, cfg, &excluded);
+        let chunked = TableGraph::build_chunked(&t, cfg, &excluded, 3);
+        assert_graphs_identical(&mono, &chunked);
+    }
+
+    #[test]
+    fn csr_adjacency_matches_neighbor_lists() {
+        let g = TableGraph::build(&skewed_table(), GraphConfig::default(), &[]);
+        let lists = g.neighbor_lists();
+        let csr = g.csr_adjacency();
+        assert_eq!(lists.len(), csr.len());
+        for (t, type_csr) in csr.iter().enumerate() {
+            assert_eq!(type_csr.n_nodes(), g.n_nodes());
+            for (v, list) in lists[t].iter().enumerate() {
+                assert_eq!(
+                    type_csr.neighbors_of(v),
+                    list.as_slice(),
+                    "type {t} node {v}"
+                );
+                assert_eq!(type_csr.degree(v), list.len());
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_caps_fanout_and_subsets_the_true_neighborhood() {
+        let g = TableGraph::build(&skewed_table(), GraphConfig::default(), &[]);
+        let full = g.neighbor_lists();
+        let fanout = 2;
+        let mut s = NeighborSampler::new(&g, 7, fanout);
+        let total = s.sample_epoch(0);
+        let mut seen = 0u64;
+        for (t, lists) in s.lists().iter().enumerate() {
+            for (v, list) in lists.iter().enumerate() {
+                assert!(list.len() <= fanout, "type {t} node {v} exceeds fanout");
+                assert_eq!(list.len(), full[t][v].len().min(fanout));
+                for &m in list {
+                    assert!(full[t][v].contains(&m), "sampled edge not in graph");
+                }
+                // sampling without replacement: no duplicate neighbors
+                // beyond what the true multiset already contains
+                let mut sorted = list.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), list.len(), "duplicate sampled neighbor");
+                seen += list.len() as u64;
+            }
+        }
+        assert_eq!(total, seen);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_epoch_and_varies_across_epochs() {
+        let g = TableGraph::build(&skewed_table(), GraphConfig::default(), &[]);
+        let mut a = NeighborSampler::new(&g, 42, 2);
+        let mut b = NeighborSampler::new(&g, 42, 2);
+        a.sample_epoch(3);
+        b.sample_epoch(3);
+        assert_eq!(a.lists(), b.lists(), "same seed + epoch must agree");
+
+        // replaying an epoch after sampling others reproduces it exactly
+        let third: Vec<Vec<Vec<u32>>> = a.lists().to_vec();
+        a.sample_epoch(4);
+        a.sample_epoch(9);
+        a.sample_epoch(3);
+        assert_eq!(a.lists(), third.as_slice(), "epoch replay must be stable");
+
+        // different epochs (or seeds) must not all collapse to one sample
+        b.sample_epoch(4);
+        assert_ne!(a.lists(), b.lists(), "epochs 3 and 4 sampled identically");
+        let mut c = NeighborSampler::new(&g, 43, 2);
+        c.sample_epoch(3);
+        assert_ne!(a.lists(), c.lists(), "seeds 42 and 43 sampled identically");
+    }
+
+    #[test]
+    fn sampler_keeps_small_neighborhoods_whole() {
+        let g = TableGraph::build(&table(), GraphConfig::default(), &[]);
+        let full = g.neighbor_lists();
+        // fanout larger than any degree: the sample is the full graph
+        let mut s = NeighborSampler::new(&g, 0, 64);
+        let total = s.sample_epoch(0);
+        assert_eq!(s.lists(), full.as_slice());
+        assert_eq!(
+            total,
+            full.iter().flatten().map(|l| l.len() as u64).sum::<u64>()
+        );
     }
 }

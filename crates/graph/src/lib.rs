@@ -26,4 +26,7 @@ pub use fasttext::FastTextLike;
 pub use features::{
     build_features, build_features_traced, fasttext_features, FeatureSource, NodeFeatures,
 };
-pub use hetero::{format_rounded, value_key, GraphConfig, NodeLabel, TableGraph, TypedEdges};
+pub use hetero::{
+    format_rounded, value_key, GraphConfig, NeighborSampler, NodeLabel, TableGraph, TypeCsr,
+    TypedEdges,
+};

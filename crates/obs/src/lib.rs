@@ -342,8 +342,18 @@ pub mod names {
     pub const MEM_ESTIMATE: &str = "mem_estimate";
     /// One admission-time downscale decision taken to fit the memory
     /// budget (counter, index = rung code: 0 value-node cap, 1 hidden
-    /// dims; value = the resulting cap / width).
+    /// dims, 2 neighbor-sampled mini-batches; value = the resulting cap /
+    /// width / batch_rows).
     pub const DOWNSCALE: &str = "downscale";
+    /// Mini-batch size of the neighbor-sampled training path, emitted once
+    /// at fit setup when sampling is active (counter, value = batch_rows).
+    pub const BATCH_ROWS: &str = "batch_rows";
+    /// Per-node neighbor fanout cap of the sampled training path, emitted
+    /// once at fit setup when sampling is active (counter, value = fanout).
+    pub const FANOUT: &str = "fanout";
+    /// Directed edges kept by one epoch's neighbor sample (counter,
+    /// index = epoch, value = edge count).
+    pub const SAMPLED_EDGES: &str = "sampled_edges";
     /// Checkpointing disabled for the rest of the run after persistent
     /// IO faults (counter, index = epoch).
     pub const CHECKPOINT_DISABLED: &str = "checkpoint_disabled";
@@ -431,6 +441,9 @@ pub mod names {
         INTERRUPTED,
         MEM_ESTIMATE,
         DOWNSCALE,
+        BATCH_ROWS,
+        FANOUT,
+        SAMPLED_EDGES,
         CHECKPOINT_DISABLED,
         BACKEND,
         LOCK_RECLAIMED,

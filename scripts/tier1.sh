@@ -45,6 +45,25 @@ echo "==> hotpath probe (writes BENCH_hotpath.json; asserts NullSink + guard ove
 echo "    parallel-backend bit-identity, and 0 workspace allocs after epoch 1 on both backends)"
 cargo run --release -p grimp-bench --bin hotpath_probe -- --threads 2
 
+echo "==> sampled training gate (50k-row XL synthetic under a 24 MB budget must take"
+echo "    the sampling rung and still fill every cell)"
+SCALE_DIR="$(mktemp -d)"
+./target/release/grimp generate XL --rows 50000 -o "$SCALE_DIR/xl.csv" > /dev/null
+./target/release/grimp corrupt "$SCALE_DIR/xl.csv" --rate 0.1 --seed 3 \
+    -o "$SCALE_DIR/xl-dirty.csv" > /dev/null
+./target/release/grimp impute "$SCALE_DIR/xl-dirty.csv" --algo grimp \
+    --memory-budget-mb 24 --threads 2 -o "$SCALE_DIR/xl-imputed.csv" \
+    > "$SCALE_DIR/impute.log"
+grep -q "downscaled sample ->" "$SCALE_DIR/impute.log" \
+    || { echo "sampled gate: budget run never took the sampling rung"; cat "$SCALE_DIR/impute.log"; exit 1; }
+grep -q "; 0 cells remain missing" "$SCALE_DIR/impute.log" \
+    || { echo "sampled gate: imputation incomplete"; cat "$SCALE_DIR/impute.log"; exit 1; }
+rm -rf "$SCALE_DIR"
+
+echo "==> scaling probe (writes BENCH_scaling.json; rows/sec + footprint at 5k/50k/250k rows,"
+echo "    250k-row governed run under a budget the full-graph path cannot admit)"
+cargo run --release -p grimp-bench --bin scaling_probe
+
 echo "==> serve suite (fault matrix against a live server + real-binary drain/reload tests)"
 cargo test -q -p grimp-serve
 cargo test -q -p grimp-cli --test serve_integration

@@ -32,8 +32,9 @@ pub use grimp_tensor as tensor;
 /// The types most imputation programs need.
 pub mod prelude {
     pub use grimp::{
-        ColumnTier, ConfigError, EpochStats, ErrorCategory, FittedModel, Grimp, GrimpConfig,
-        GrimpConfigBuilder, GrimpError, KStrategy, Pipeline, TaskKind, TrainReport, TrainedGrimp,
+        CheckpointPolicy, ColumnTier, ConfigError, EpochStats, ErrorCategory, FittedModel, Grimp,
+        GrimpConfig, GrimpConfigBuilder, GrimpError, KStrategy, Pipeline, ResourceLimits,
+        SamplerConfig, TaskKind, TrainReport, TrainedGrimp,
     };
     pub use grimp_metrics::{dataset_stats, evaluate};
     pub use grimp_obs::{EventKind, EventSink, JsonlSink, MemorySink, NullSink};
