@@ -22,7 +22,8 @@ use std::fs;
 use std::time::Instant;
 
 use grimp::{
-    estimate_footprint, BackendKind, DownscaleRung, Grimp, GrimpConfig, SamplerConfig, TaskKind,
+    estimate_footprint, table_to_wal_rows, BackendKind, DownscaleRung, FinetuneConfig, Grimp,
+    GrimpConfig, Pipeline, SamplerConfig, TaskKind,
 };
 use grimp_datasets::generate_large;
 use grimp_gnn::GnnConfig;
@@ -184,6 +185,71 @@ fn run_governed(rows: usize) -> GovernedResult {
     }
 }
 
+struct AppendResult {
+    base_rows: usize,
+    base_fit_seconds: f64,
+    appended_rows: usize,
+    finetune_seconds: f64,
+    rows_per_sec: f64,
+    finetune_epochs: usize,
+    path: String,
+}
+
+const APPEND_BASE_ROWS: usize = 20_000;
+const APPEND_DELTA_ROWS: usize = 64;
+
+/// Append throughput: fit a base model once, then measure the warm-start
+/// fine-tune path for a small delta. The delta reuses rows from the base
+/// table so no dictionary grows and the append must stay on the fine-tune
+/// path — the whole point of incremental imputation is that this is far
+/// cheaper than the base fit.
+fn run_append() -> AppendResult {
+    let dirty = dirty_large(APPEND_BASE_ROWS);
+    let dir = std::env::temp_dir().join(format!("grimp-scaling-append-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("append probe dir");
+
+    let mut cfg = probe_config();
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.checkpoint_every = 1;
+    cfg.finetune = FinetuneConfig {
+        epochs: 2,
+        drift_band: 0.25,
+    };
+    let pipeline = Pipeline::new(cfg).expect("append probe config");
+
+    let fit_start = Instant::now();
+    pipeline.fit(&dirty).expect("append probe base fit");
+    let base_fit_seconds = fit_start.elapsed().as_secs_f64();
+
+    let mut rows = table_to_wal_rows(&dirty);
+    rows.truncate(APPEND_DELTA_ROWS);
+
+    let start = Instant::now();
+    let outcome = pipeline.append(&dirty, &rows).expect("append probe append");
+    let finetune_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(
+        outcome.imputed.n_missing(),
+        0,
+        "append probe: missing cells survived"
+    );
+    assert_eq!(
+        outcome.path.label(),
+        "finetune",
+        "append probe: delta with no dictionary growth must fine-tune"
+    );
+    let _ = fs::remove_dir_all(&dir);
+    AppendResult {
+        base_rows: APPEND_BASE_ROWS,
+        base_fit_seconds,
+        appended_rows: outcome.appended_rows,
+        finetune_seconds,
+        rows_per_sec: outcome.appended_rows as f64 / finetune_seconds,
+        finetune_epochs: outcome.report.epochs_run,
+        path: outcome.path.label().to_string(),
+    }
+}
+
 fn main() {
     let mut results = Vec::new();
     for rows in SIZES {
@@ -225,6 +291,26 @@ fn main() {
         large.rows
     );
 
+    let append = run_append();
+    println!(
+        "append: {} rows onto {} in {:.2}s ({:.0} rows/sec, {} fine-tune epoch(s)) \
+         vs {:.2}s base fit",
+        append.appended_rows,
+        append.base_rows,
+        append.finetune_seconds,
+        append.rows_per_sec,
+        append.finetune_epochs,
+        append.base_fit_seconds
+    );
+    // The warm-start path must actually be incremental: appending a small
+    // delta cannot cost as much as refitting the base from scratch.
+    assert!(
+        append.finetune_seconds < append.base_fit_seconds,
+        "append probe: fine-tune ({:.2}s) is not cheaper than the base fit ({:.2}s)",
+        append.finetune_seconds,
+        append.base_fit_seconds
+    );
+
     let governed = run_governed(SIZES[SIZES.len() - 1]);
     println!(
         "governed: 250k rows under {BUDGET_MB} MB in {:.2}s via ladder [{}] \
@@ -262,6 +348,20 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"append\": {{\"base_rows\": {}, \"base_fit_seconds\": {:.3}, \
+         \"appended_rows\": {}, \"finetune_epochs\": {}, \
+         \"finetune_seconds\": {:.3}, \"rows_per_sec\": {:.1}, \
+         \"path\": \"{}\"}},",
+        append.base_rows,
+        append.base_fit_seconds,
+        append.appended_rows,
+        append.finetune_epochs,
+        append.finetune_seconds,
+        append.rows_per_sec,
+        append.path
+    );
     let ladder = governed
         .ladder
         .iter()

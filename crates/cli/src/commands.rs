@@ -143,6 +143,32 @@ COMMANDS:
              GRIMP_FAULT_FS=kind[:times[:from_op]] injects deterministic
              faults (enospc|perm|torn|transient) into checkpoint-path IO
              for testing; the run degrades instead of failing
+             --append-from rows.csv appends those rows to the input table
+             instead of refitting it from scratch (see `grimp append`)
+    append   <base.csv> --rows rows.csv --checkpoint-dir DIR
+             [--algo grimp|grimp-e|grimp-linear] [--seed N] [--paper]
+             [--finetune-epochs N] [--drift-band R] [-o out.csv]
+             [--threads N] [--deadline SECS] [--memory-budget-mb N]
+             [--trace-out FILE] [--metrics]
+             append rows to an already-fitted table and impute the grown
+             table: the rows are made durable in a write-ahead log
+             (DIR/grimp.wal) before any model work, then the base
+             checkpoint is warm-started for --finetune-epochs more
+             epochs (default 8) on the delta only — or fully refitted
+             when the rows introduce new categorical values or no usable
+             checkpoint generation exists
+             a crash, Ctrl-C, or --deadline at any point leaves the log
+             pending; re-running the same append (or with no --rows
+             change) replays it and converges bit-identically to the
+             uninterrupted run, then rotates the log to
+             DIR/grimp.wal.applied
+             a pending log holding different rows than requested is a
+             conflict (exit 3): re-run with the original rows or delete
+             DIR/grimp.wal to abandon that delta
+             after the fine-tune, a validation-loss regression beyond
+             --drift-band (default 0.25, relative to the base model's
+             best) prints a refit recommendation and records it in the
+             trace (drift metric, refit_scheduled counter)
     corrupt  <clean.csv>  [--rate R] [--mechanism mcar|mnar] [--seed N]
              [-o out.csv] [--truth truth.csv]
              inject missing values; --truth records the blanked cells
@@ -162,8 +188,10 @@ COMMANDS:
              [--reload-poll-ms N] [--max-body-mb N] [--trace-out FILE]
              [--fault-socket SPEC]
              serve the checkpointed model over HTTP: POST /impute takes
-             a CSV body and returns the imputed CSV; GET /healthz and
-             GET /stats report liveness and counters
+             a CSV body and returns the imputed CSV; POST /append takes
+             CSV rows, fine-tunes the checkpoint, and swaps the served
+             model to the grown table; GET /healthz and GET /stats
+             report liveness and counters
              the model is restored from DIR (written by a fit with the
              same --algo/--seed/--paper/--threads); when a trainer
              rotates a new checkpoint generation in, workers hot-reload
@@ -188,22 +216,26 @@ COMMANDS:
              parallel backend (--threads 2) — check that malformed
              CSVs are rejected with typed errors, train under every
              injected IO-fault kind and under an already-expired
-             deadline and verify each run still fills every cell, then
-             drive a live `serve` instance through the socket-fault,
+             deadline and verify each run still fills every cell, cross
+             incremental appends with every fs-fault kind, a kill
+             mid-fine-tune, a torn append log, and the parallel backend,
+             then drive a live `serve` instance through the socket-fault,
              overload, and admission scenarios and verify clean drains
     help     show this text
 
 EXIT CODES:
     0    success (including a SIGTERM-drained serve)
     2    configuration/usage error
-    3    malformed input data
+    3    malformed input data (including a pending append log that
+         conflicts with the requested rows)
     4    filesystem/IO error
     5    internal error
     6    deadline hit (success — imputation written from the epochs
-         completed)
+         completed; append: log kept pending, re-run to finish)
     7    checkpoint directory locked by another run
     130  interrupted by Ctrl-C (success — imputation written from the
-         current state; serve: drained then exited)
+         current state; serve: drained then exited; append: log kept
+         pending, re-run to finish)
     143  aborted by a second SIGTERM before the drain finished
 ";
 
@@ -346,6 +378,20 @@ fn build_pipeline(name: &str, seed: u64, args: &Args) -> Result<Pipeline, CliErr
         // `--threads 1` still selects the parallel backend (pool of one);
         // the builder rejects 0 with a typed ZeroThreads error.
         builder = builder.backend(BackendKind::Parallel { threads });
+    }
+    if args.opt("finetune-epochs").is_some() || args.opt("drift-band").is_some() {
+        let mut ft = grimp::FinetuneConfig::default();
+        if let Some(raw) = args.opt("finetune-epochs") {
+            ft.epochs = raw.parse().map_err(|_| {
+                CliError::config(format!("--finetune-epochs {raw}: cannot parse value"))
+            })?;
+        }
+        if let Some(raw) = args.opt("drift-band") {
+            ft.drift_band = raw
+                .parse()
+                .map_err(|_| CliError::config(format!("--drift-band {raw}: cannot parse value")))?;
+        }
+        builder = builder.finetune(ft);
     }
     // The process-wide SIGINT flag: a Ctrl-C stops training at the next
     // epoch boundary and the run imputes from its current state.
@@ -518,6 +564,9 @@ fn cmd_impute(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
         "threads",
         "batch-rows",
         "fanout",
+        "append-from",
+        "finetune-epochs",
+        "drift-band",
     ])?;
     let input = args.require_positional(0, "input CSV path")?;
     let table = load(input)?;
@@ -536,6 +585,9 @@ fn cmd_impute(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
             "threads",
             "batch-rows",
             "fanout",
+            "append-from",
+            "finetune-epochs",
+            "drift-band",
         ] {
             if args.opt(flag).is_some() {
                 return Err(CliError::config(format!(
@@ -564,11 +616,190 @@ fn cmd_impute(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
         display_name
     )?;
     let start = std::time::Instant::now();
-    let (imputed, code) = if is_grimp {
+    let (imputed, code) = if let Some(rows_path) = args.opt("append-from") {
+        if args.opt("batch-rows").is_some() || args.opt("fanout").is_some() {
+            return Err(CliError::config(
+                "--append-from cannot be combined with sampled training \
+                 (--batch-rows/--fanout)",
+            ));
+        }
+        append_grimp(algo_name, seed, args, &table, rows_path, out)?
+    } else if is_grimp {
         impute_grimp(algo_name, seed, args, &table, out)?
     } else {
         (build_baseline(algo_name, seed)?.impute(&table), 0)
     };
+    writeln!(
+        out,
+        "done in {:.2}s; {} cells remain missing",
+        start.elapsed().as_secs_f64(),
+        imputed.n_missing()
+    )?;
+    save(&imputed, args.opt("o"), out)?;
+    Ok(code)
+}
+
+/// The append path shared by `grimp append` and `grimp impute
+/// --append-from`: log the delta rows to the WAL, fine-tune or refit, and
+/// write the imputed concatenated table. Returns the process exit code —
+/// 0 normally, 130/6 when Ctrl-C or `--deadline` stopped the fine-tune
+/// early (the WAL then stays pending so a re-run resumes it).
+fn append_grimp(
+    name: &str,
+    seed: u64,
+    args: &Args,
+    base: &Table,
+    rows_path: &str,
+    out: &mut dyn Write,
+) -> Result<(Table, i32), CliError> {
+    let rows_table = load(rows_path)?;
+    let names_match = rows_table.n_columns() == base.n_columns()
+        && (0..base.n_columns())
+            .all(|j| rows_table.schema().column(j).name == base.schema().column(j).name);
+    if !names_match {
+        return Err(CliError::data(format!(
+            "{rows_path}: columns do not match the base table's header"
+        )));
+    }
+    let rows = grimp::table_to_wal_rows(&rows_table);
+    let pipeline = build_pipeline(name, seed, args)?;
+
+    let mut memory = MemorySink::new();
+    let mut jsonl = match args.opt("trace-out") {
+        Some(path) => match JsonlSink::create(path) {
+            Ok(sink) => Some(sink),
+            Err(e) => {
+                writeln!(
+                    out,
+                    "warning: cannot open trace file {path}: {e}; continuing without a trace"
+                )?;
+                None
+            }
+        },
+        None => None,
+    };
+    let mut null = NullSink;
+    let want_metrics = args.flag("metrics");
+    let want_trace = jsonl.is_some();
+    let mut fan = FanoutSink::new();
+    if want_metrics {
+        fan.add(&mut memory);
+    }
+    if let Some(sink) = jsonl.as_mut() {
+        fan.add(sink);
+    }
+    let sink: &mut dyn EventSink = if want_metrics || want_trace {
+        &mut fan
+    } else {
+        &mut null
+    };
+    let outcome = pipeline.append_traced(base, &rows, sink)?;
+    drop(fan);
+    if let Some(sink) = jsonl {
+        let path = args.opt("trace-out").unwrap_or_default();
+        let written = sink.events_written();
+        match sink.into_inner() {
+            Ok(_) => writeln!(out, "wrote {written} trace events to {path}")?,
+            Err(e) => writeln!(
+                out,
+                "warning: trace file {path} is incomplete: {e}; imputation unaffected"
+            )?,
+        }
+    }
+    if want_metrics {
+        write_metrics(&memory, out)?;
+    }
+
+    let mut how = outcome.path.label().to_string();
+    if outcome.replayed {
+        how.push_str(", replayed a pending append log");
+    }
+    if outcome.torn_tail {
+        how.push_str(", dropped a torn tail");
+    }
+    writeln!(
+        out,
+        "appended {} row(s) via {how}; table is now {} rows",
+        outcome.appended_rows,
+        outcome.table.n_rows()
+    )?;
+    let report = &outcome.report;
+    if let Some(drift) = report.drift {
+        writeln!(
+            out,
+            "drift check: validation regressed {:.1}% vs the base model{}",
+            100.0 * drift,
+            if report.refit_scheduled {
+                " — beyond the band, schedule a full refit"
+            } else {
+                " (within the band)"
+            }
+        )?;
+    }
+    for d in &report.downscales {
+        writeln!(out, "memory budget: downscaled {d}")?;
+    }
+    for msg in &report.io_errors {
+        writeln!(out, "warning: {msg}")?;
+    }
+    let code = if report.interrupted {
+        writeln!(
+            out,
+            "interrupted at epoch {}; append log kept pending — re-run to finish the fine-tune",
+            report.stopped_at_epoch.unwrap_or(0)
+        )?;
+        crate::signal::EXIT_INTERRUPTED
+    } else if report.deadline_hit {
+        writeln!(
+            out,
+            "deadline hit at epoch {}; append log kept pending — re-run to finish the fine-tune",
+            report.stopped_at_epoch.unwrap_or(0)
+        )?;
+        crate::signal::EXIT_DEADLINE
+    } else {
+        0
+    };
+    Ok((outcome.imputed, code))
+}
+
+fn cmd_append(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
+    args.check_known(&[
+        "rows",
+        "algo",
+        "seed",
+        "paper",
+        "o",
+        "checkpoint-dir",
+        "trace-out",
+        "metrics",
+        "deadline",
+        "memory-budget-mb",
+        "threads",
+        "finetune-epochs",
+        "drift-band",
+    ])?;
+    let input = args.require_positional(0, "base CSV path")?;
+    let base = load(input)?;
+    let rows_path = args
+        .opt("rows")
+        .ok_or_else(|| CliError::config("append requires --rows FILE (the rows to add)"))?;
+    let algo_name = args.opt("algo").unwrap_or("grimp");
+    if !algo_name.starts_with("grimp") {
+        return Err(CliError::config(format!(
+            "append is only supported by the grimp variants, not {algo_name:?}"
+        )));
+    }
+    let seed = args.opt_parse("seed", 0u64)?;
+    writeln!(
+        out,
+        "{}: {} rows x {} cols — appending rows from {}",
+        input,
+        base.n_rows(),
+        base.n_columns(),
+        rows_path
+    )?;
+    let start = std::time::Instant::now();
+    let (imputed, code) = append_grimp(algo_name, seed, args, &base, rows_path, out)?;
     writeln!(
         out,
         "done in {:.2}s; {} cells remain missing",
@@ -781,6 +1012,7 @@ fn build_serve_config(args: &Args) -> Result<grimp_serve::ServeConfig, CliError>
     use std::time::Duration;
     let mut cfg = grimp_serve::ServeConfig {
         addr: args.opt("addr").unwrap_or("127.0.0.1:0").to_string(),
+        seed: args.opt_parse("seed", 0u64)?,
         ..Default::default()
     };
     cfg.workers = args.opt_parse("workers", 2usize)?;
@@ -919,7 +1151,7 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
     let report = server.run();
     writeln!(
         out,
-        "drained {}; served {}, shed {}, over-budget {}, reloads {}",
+        "drained {}; served {}, shed {}, over-budget {}, reloads {}, appends {}",
         if report.clean {
             "clean"
         } else {
@@ -929,6 +1161,7 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
         report.shed,
         report.over_budget,
         report.reloads,
+        report.appends,
     )?;
     let code = if crate::signal::last_signal() == crate::signal::SIGINT {
         crate::signal::EXIT_INTERRUPTED
@@ -1119,6 +1352,7 @@ fn cmd_chaos(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         writeln!(out, "chaos smpl:{:<21} {verdict}", s.name)?;
     }
 
+    failures += chaos_append(out, &small, seed)?;
     failures += chaos_serve(out, &small, seed)?;
 
     if failures > 0 {
@@ -1128,6 +1362,251 @@ fn cmd_chaos(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     }
     writeln!(out, "chaos: all scenarios upheld the contract")?;
     Ok(())
+}
+
+/// Incremental-append chaos: interleave fit → append → crash/replay while
+/// every injected fs-fault kind poisons the checkpoint directory, then
+/// cross the interleaving onto the two-thread parallel backend. The
+/// contract: an append either completes with every cell filled or fails
+/// with a typed error — never a panic, never a half-applied table — and a
+/// pending or torn log always replays to a full imputation.
+fn chaos_append(out: &mut dyn Write, small: &Table, seed: u64) -> Result<usize, CliError> {
+    use grimp::{FinetuneConfig, ShutdownFlag, WAL_APPLIED_FILE, WAL_FILE};
+    use std::path::Path;
+
+    let mut failures = 0usize;
+    let root =
+        std::env::temp_dir().join(format!("grimp-chaos-append-{}-{seed}", std::process::id()));
+
+    // Two delta rows in the base schema, one hole each, no new dictionary
+    // values — the fine-tune path.
+    let delta = grimp_table::csv::read_csv_str("city,country\nParis,\n,Italy\n")
+        .map_err(|e| CliError::data(e.to_string()))?;
+    let rows = grimp::table_to_wal_rows(&delta);
+
+    let build = |dir: &Path,
+                 fault: Option<IoFaultPlan>,
+                 backend: Option<BackendKind>,
+                 shutdown: Option<ShutdownFlag>|
+     -> Result<Pipeline, CliError> {
+        let mut builder = GrimpConfigBuilder::from_config(GrimpConfig::fast())
+            .seed(seed)
+            .max_epochs(3)
+            .patience(3)
+            .checkpointing(CheckpointPolicy {
+                dir: Some(dir.to_path_buf()),
+                every: 1,
+                ..Default::default()
+            })
+            .finetune(FinetuneConfig {
+                epochs: 2,
+                drift_band: 0.25,
+            })
+            .io_fault(fault);
+        if let Some(backend) = backend {
+            builder = builder.backend(backend);
+        }
+        if let Some(flag) = shutdown {
+            builder = builder.shutdown(flag);
+        }
+        let config = builder
+            .build()
+            .map_err(|e| CliError::config(e.to_string()))?;
+        Pipeline::new(config).map_err(|e| CliError::config(e.to_string()))
+    };
+
+    // Fault matrix: fit clean, then append under the poisoned fs. The
+    // append must absorb the fault (io warnings) or refuse with a typed
+    // error that leaves the log replayable on a healthy fs.
+    for kind in IoFaultKind::all() {
+        let dir = root.join(format!("io-{}", kind.label()));
+        std::fs::create_dir_all(&dir)?;
+        build(&dir, None, None, None)?
+            .fit(small)
+            .map_err(|e| CliError::data(format!("chaos append base fit: {e}")))?;
+        let plan = match kind {
+            IoFaultKind::Transient => IoFaultPlan::transient(2),
+            other => IoFaultPlan::persistent(other),
+        };
+        let verdict = match build(&dir, Some(plan), None, None)?.append(small, &rows) {
+            Ok(outcome) if outcome.imputed.n_missing() == 0 => format!(
+                "ok via {} ({} io warning(s))",
+                outcome.path.label(),
+                outcome.report.io_errors.len()
+            ),
+            Ok(outcome) => {
+                failures += 1;
+                format!("FAILED: {} cells left missing", outcome.imputed.n_missing())
+            }
+            Err(e) if e.category() == ErrorCategory::Internal => {
+                failures += 1;
+                format!("FAILED: internal error: {e}")
+            }
+            Err(e) => {
+                // A typed refusal is within contract as long as replaying
+                // the same append on a healthy fs converges.
+                match build(&dir, None, None, None)?.append(small, &rows) {
+                    Ok(outcome) if outcome.imputed.n_missing() == 0 => {
+                        format!("ok (typed {:?} error, replay recovered)", e.category())
+                    }
+                    Ok(outcome) => {
+                        failures += 1;
+                        format!(
+                            "FAILED: replay left {} cells missing",
+                            outcome.imputed.n_missing()
+                        )
+                    }
+                    Err(replay_err) => {
+                        failures += 1;
+                        format!("FAILED: replay error: {replay_err}")
+                    }
+                }
+            }
+        };
+        writeln!(out, "chaos app:{:<23} {verdict}", kind.label())?;
+    }
+
+    // Kill mid-fine-tune: a pre-requested shutdown flag stops the append
+    // at the first epoch boundary. The log must stay pending, and a rerun
+    // of the identical append must finish, fill every cell, and rotate.
+    {
+        let dir = root.join("killed");
+        std::fs::create_dir_all(&dir)?;
+        build(&dir, None, None, None)?
+            .fit(small)
+            .map_err(|e| CliError::data(format!("chaos append base fit: {e}")))?;
+        let flag = ShutdownFlag::new();
+        flag.request();
+        let verdict = match build(&dir, None, None, Some(flag))?.append(small, &rows) {
+            Ok(first) if first.report.interrupted && dir.join(WAL_FILE).exists() => {
+                match build(&dir, None, None, None)?.append(small, &rows) {
+                    Ok(second)
+                        if second.imputed.n_missing() == 0
+                            && !dir.join(WAL_FILE).exists()
+                            && dir.join(WAL_APPLIED_FILE).exists() =>
+                    {
+                        format!("ok (pending log resumed via {})", second.path.label())
+                    }
+                    Ok(second) => {
+                        failures += 1;
+                        format!(
+                            "FAILED: rerun left {} cells missing or the log unrotated",
+                            second.imputed.n_missing()
+                        )
+                    }
+                    Err(e) => {
+                        failures += 1;
+                        format!("FAILED: rerun error: {e}")
+                    }
+                }
+            }
+            Ok(_) => {
+                failures += 1;
+                "FAILED: interrupted append rotated its log early".to_string()
+            }
+            Err(e) => {
+                failures += 1;
+                format!("FAILED: interrupted append error: {e}")
+            }
+        };
+        writeln!(out, "chaos app:{:<23} {verdict}", "kill-mid-finetune")?;
+    }
+
+    // Torn log: complete an append, un-rotate the applied segment back to
+    // pending, truncate its tail mid-record, and append again. The intact
+    // prefix is a prefix of the request, so the log is rewritten whole and
+    // the replay must still fill everything.
+    {
+        let dir = root.join("torn");
+        std::fs::create_dir_all(&dir)?;
+        build(&dir, None, None, None)?
+            .fit(small)
+            .map_err(|e| CliError::data(format!("chaos append base fit: {e}")))?;
+        let pipeline = build(&dir, None, None, None)?;
+        let verdict = match pipeline.append(small, &rows) {
+            Ok(_) => {
+                std::fs::rename(dir.join(WAL_APPLIED_FILE), dir.join(WAL_FILE))?;
+                let whole = std::fs::read(dir.join(WAL_FILE))?;
+                std::fs::write(dir.join(WAL_FILE), &whole[..whole.len() - 5])?;
+                match pipeline.append(small, &rows) {
+                    Ok(outcome) if outcome.imputed.n_missing() == 0 && outcome.torn_tail => {
+                        "ok (torn tail dropped, replay converged)".to_string()
+                    }
+                    Ok(outcome) => {
+                        failures += 1;
+                        format!(
+                            "FAILED: {} cells missing, torn_tail={}",
+                            outcome.imputed.n_missing(),
+                            outcome.torn_tail
+                        )
+                    }
+                    Err(e) => {
+                        failures += 1;
+                        format!("FAILED: torn replay error: {e}")
+                    }
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                format!("FAILED: initial append error: {e}")
+            }
+        };
+        writeln!(out, "chaos app:{:<23} {verdict}", "torn-log-replay")?;
+    }
+
+    // Parallel-backend interleaving: fit on two threads, append, impute
+    // the grown table mid-stream, then append a second delta that grows
+    // the dictionary and must take the refit path.
+    {
+        let dir = root.join("par2");
+        std::fs::create_dir_all(&dir)?;
+        let backend = BackendKind::Parallel { threads: 2 };
+        build(&dir, None, Some(backend), None)?
+            .fit(small)
+            .map_err(|e| CliError::data(format!("chaos append base fit: {e}")))?;
+        let pipeline = build(&dir, None, Some(backend), None)?;
+        let verdict = (|| -> Result<String, String> {
+            let first = pipeline.append(small, &rows).map_err(|e| e.to_string())?;
+            let mut model = first.model;
+            let mid = model.impute(&first.table).map_err(|e| e.to_string())?;
+            if mid.n_missing() != 0 {
+                return Err(format!("{} cells missing mid-stream", mid.n_missing()));
+            }
+            let growth = grimp_table::csv::read_csv_str("city,country\nBerlin,\n")
+                .map_err(|e| e.to_string())?;
+            let second = pipeline
+                .append(&first.table, &grimp::table_to_wal_rows(&growth))
+                .map_err(|e| e.to_string())?;
+            if second.imputed.n_missing() != 0 {
+                return Err(format!(
+                    "{} cells missing after refit",
+                    second.imputed.n_missing()
+                ));
+            }
+            if second.path.label() != "refit" {
+                return Err(format!(
+                    "dictionary growth took {} instead of refit",
+                    second.path.label()
+                ));
+            }
+            Ok(format!(
+                "ok ({} then {})",
+                first.path.label(),
+                second.path.label()
+            ))
+        })();
+        let verdict = match verdict {
+            Ok(line) => line,
+            Err(why) => {
+                failures += 1;
+                format!("FAILED: {why}")
+            }
+        };
+        writeln!(out, "chaos app:{:<23} {verdict}", "par2-interleaved")?;
+    }
+
+    std::fs::remove_dir_all(&root).ok();
+    Ok(failures)
 }
 
 /// Live-server chaos: fit a model, then bind a real [`grimp_serve::Server`]
@@ -1337,6 +1816,7 @@ pub fn run(argv: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32 {
     let parse = |flags: &[&str]| Args::parse(rest, flags);
     let result: Result<i32, CliError> = (|| match command {
         "impute" => cmd_impute(&parse(&["paper", "resume", "metrics"])?, out),
+        "append" => cmd_append(&parse(&["paper", "metrics"])?, out),
         "corrupt" => cmd_corrupt(&parse(&[])?, out).map(|()| 0),
         "evaluate" => cmd_evaluate(&parse(&[])?, out).map(|()| 0),
         "stats" => cmd_stats(&parse(&[])?, out).map(|()| 0),

@@ -82,6 +82,50 @@ impl SamplerConfig {
     }
 }
 
+/// Warm-start fine-tuning policy for appended rows, grouped for the
+/// builder: `GrimpConfig::builder().finetune(FinetuneConfig { .. })`.
+///
+/// An append replays the WAL delta onto the existing checkpoint and trains
+/// at most `epochs` additional epochs (training batches restricted to the
+/// appended rows; LR, optimizer moments, and RNG resume from the
+/// checkpoint, with the divergence guard and rollback-retry machinery
+/// armed exactly as in a full fit). After the fine-tune, a validation-loss
+/// regression beyond `drift_band` (relative to the best validation loss)
+/// schedules a full refit, recorded in
+/// [`crate::TrainReport::refit_scheduled`] and the event trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FinetuneConfig {
+    /// Maximum extra epochs a fine-tune may train past the checkpoint it
+    /// warm-starts from (CLI `--finetune-epochs`).
+    pub epochs: usize,
+    /// Relative validation-loss regression band that triggers a scheduled
+    /// full refit: drift is flagged when the post-fine-tune validation
+    /// loss exceeds `best_val * (1 + drift_band)` (CLI `--drift-band`).
+    pub drift_band: f32,
+}
+
+impl Default for FinetuneConfig {
+    fn default() -> Self {
+        FinetuneConfig {
+            epochs: 8,
+            drift_band: 0.25,
+        }
+    }
+}
+
+impl FinetuneConfig {
+    /// Field-range checks owned by this sub-config.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.epochs == 0 {
+            return Err(ConfigError::ZeroFinetuneEpochs);
+        }
+        if !(self.drift_band.is_finite() && self.drift_band >= 0.0) {
+            return Err(ConfigError::InvalidDriftBand(self.drift_band));
+        }
+        Ok(())
+    }
+}
+
 /// Resource-governance bounds, grouped for the builder:
 /// `GrimpConfig::builder().limits(ResourceLimits { .. })`.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -192,6 +236,10 @@ pub struct GrimpConfig {
     /// cannot continue a full-batch checkpoint without silent divergence;
     /// [`GrimpConfig::validate`] rejects the combination).
     pub sampler: Option<SamplerConfig>,
+    /// Warm-start fine-tuning policy for appended rows (extra-epoch bound
+    /// and the drift band that schedules a full refit). Only consulted by
+    /// the append/incremental path; plain fits ignore it.
+    pub finetune: FinetuneConfig,
     /// Seed for every stochastic component.
     pub seed: u64,
     /// Run the pre-optimization training hot path (reference GEMM kernels,
@@ -289,6 +337,7 @@ impl GrimpConfig {
             validation_fraction: 0.2,
             max_train_samples_per_task: None,
             sampler: None,
+            finetune: FinetuneConfig::default(),
             seed: 0,
             legacy_hot_path: false,
             backend: BackendKind::Serial,
@@ -438,6 +487,7 @@ impl GrimpConfig {
             return Err(ConfigError::ZeroSampleCap);
         }
         self.limits().validate()?;
+        self.finetune.validate()?;
         if self.backend.threads() == 0 {
             return Err(ConfigError::ZeroThreads);
         }
@@ -490,6 +540,13 @@ pub enum ConfigError {
     /// Sampling was combined with `resume`: a sampled run cannot continue
     /// a full-batch checkpoint without silently diverging from it.
     SamplerWithResume,
+    /// The fine-tune epoch bound is zero — an append could never train.
+    ZeroFinetuneEpochs,
+    /// The drift band is negative or non-finite.
+    InvalidDriftBand(f32),
+    /// An append path needs a checkpoint directory to log the WAL into and
+    /// resume the fine-tune from.
+    AppendWithoutCheckpointDir,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -534,6 +591,15 @@ impl std::fmt::Display for ConfigError {
                     "--batch-rows/--fanout cannot be combined with --resume: \
                      a sampled run cannot continue a full-batch checkpoint"
                 )
+            }
+            ConfigError::ZeroFinetuneEpochs => {
+                write!(f, "--finetune-epochs must be at least 1")
+            }
+            ConfigError::InvalidDriftBand(v) => {
+                write!(f, "--drift-band must be finite and non-negative, got {v}")
+            }
+            ConfigError::AppendWithoutCheckpointDir => {
+                write!(f, "appending rows requires --checkpoint-dir DIR")
             }
         }
     }
@@ -662,6 +728,13 @@ impl GrimpConfigBuilder {
     /// peak memory by `batch_rows`/`fanout` instead of the table size.
     pub fn sampler(mut self, sampler: SamplerConfig) -> Self {
         self.config.sampler = Some(sampler);
+        self
+    }
+
+    /// Warm-start fine-tuning policy for appended rows (grouped
+    /// sub-config): extra-epoch bound and drift band.
+    pub fn finetune(mut self, finetune: FinetuneConfig) -> Self {
+        self.config.finetune = finetune;
         self
     }
 

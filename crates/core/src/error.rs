@@ -119,6 +119,16 @@ pub enum GrimpError {
         /// The underlying I/O error.
         source: std::io::Error,
     },
+    /// A pending append log (`grimp.wal`) holds rows that differ from the
+    /// requested append. Applying both blindly could double-apply or drop
+    /// the interrupted delta, so the caller must either re-run the
+    /// interrupted append with its original rows or remove the log.
+    PendingAppend {
+        /// Path of the pending append log.
+        path: PathBuf,
+        /// Why it conflicts with the requested append.
+        detail: String,
+    },
     /// The checkpoint directory is locked by another run, so starting
     /// would corrupt its checkpoint rotation.
     LockHeld {
@@ -142,7 +152,8 @@ impl GrimpError {
             GrimpError::Table { .. }
             | GrimpError::EmptySchema
             | GrimpError::SchemaMismatch { .. }
-            | GrimpError::InductiveUnsupported => ErrorCategory::Data,
+            | GrimpError::InductiveUnsupported
+            | GrimpError::PendingAppend { .. } => ErrorCategory::Data,
             GrimpError::Checkpoint { .. } | GrimpError::Io { .. } => ErrorCategory::Io,
             GrimpError::LockHeld { .. } => ErrorCategory::Busy,
             GrimpError::Internal { .. } => ErrorCategory::Internal,
@@ -188,6 +199,13 @@ impl fmt::Display for GrimpError {
             GrimpError::Checkpoint { path, source } => {
                 write!(f, "checkpoint {}: {source}", path.display())
             }
+            GrimpError::PendingAppend { path, detail } => write!(
+                f,
+                "pending append log {}: {detail} — re-run the interrupted \
+                 append with its original rows, or remove the file to \
+                 abandon that delta",
+                path.display()
+            ),
             GrimpError::Io { context, source } => write!(f, "{context}: {source}"),
             GrimpError::LockHeld { path, owner_pid } => {
                 write!(f, "checkpoint directory is locked by another run")?;
@@ -263,6 +281,14 @@ mod tests {
         );
         assert_eq!(
             GrimpError::InductiveUnsupported.category(),
+            ErrorCategory::Data
+        );
+        assert_eq!(
+            GrimpError::PendingAppend {
+                path: PathBuf::from("/tmp/ck/grimp.wal"),
+                detail: "holds 2 different rows".into(),
+            }
+            .category(),
             ErrorCategory::Data
         );
         assert_eq!(

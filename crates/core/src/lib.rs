@@ -40,6 +40,7 @@ pub mod error;
 pub mod fault;
 pub mod federated;
 pub mod governor;
+pub mod incremental;
 pub mod inductive;
 pub mod mc;
 pub mod model;
@@ -49,10 +50,12 @@ pub mod report;
 pub mod tasks;
 pub mod tuner;
 pub mod vectors;
+pub mod wal;
 
 pub use checkpoint::{
     TrainCheckpoint, CHECKPOINT_FILE, CHECKPOINT_MAGIC, CHECKPOINT_PREV_FILE, CHECKPOINT_VERSION,
 };
+pub use config::FinetuneConfig;
 pub use config::{
     CategoricalLoss, CheckpointPolicy, ConfigError, GrimpConfig, GrimpConfigBuilder, KStrategy,
     ResourceLimits, SamplerConfig, TaskKind,
@@ -67,6 +70,7 @@ pub use governor::{
     LOCK_FILE,
 };
 pub use grimp_tensor::BackendKind;
+pub use incremental::{table_to_wal_rows, AppendOutcome, AppendPath};
 pub use inductive::TrainedGrimp;
 pub use mc::{GlobalDomain, GnnMc};
 pub use model::{FittedModel, Grimp, TrainState};
@@ -76,3 +80,4 @@ pub use report::{ColumnTier, DownscaleDecision, DownscaleRung, EpochStats, Train
 pub use tasks::{build_k_matrix, Task};
 pub use tuner::{default_candidates, select_config, ProbeResult, TunerConfig};
 pub use vectors::VectorBatch;
+pub use wal::{WalBase, WalRead, WalRow, WalSegment, WAL_APPLIED_FILE, WAL_FILE};

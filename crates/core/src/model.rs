@@ -283,11 +283,12 @@ impl FittedModel {
     ///
     /// # Errors
     /// On an unseen table, [`GrimpError::SchemaMismatch`] when the schema
-    /// differs from the training schema, and
-    /// [`GrimpError::InductiveUnsupported`] when GNN-tier columns exist but
-    /// the model was not fitted with [`FeatureSource::FastText`] (EMBDI and
-    /// random features are transductive — they cannot embed unseen values).
-    /// Imputing the training table never fails.
+    /// differs from the training schema. A model fitted without
+    /// [`FeatureSource::FastText`] (EMBDI and random features are
+    /// transductive — they cannot embed unseen values) does not error on an
+    /// unseen table: its GNN-tier columns step down the degradation ladder
+    /// to the mode/mean baseline of the new table, so every missing cell is
+    /// still filled. Imputing the training table never fails.
     pub fn impute(&mut self, table: &Table) -> Result<Table, GrimpError> {
         let mut sink = NullSink;
         self.impute_traced(table, &mut sink)
@@ -417,11 +418,11 @@ impl FittedModel {
         let use_gnn = self.tiers.contains(&ColumnTier::Gnn);
         let mut result = table.clone();
         // Graph + features + shared forward pass, built only when at least
-        // one column still imputes from its trained head.
-        let prepared = if use_gnn {
-            let Some(ft_seed) = self.ft_seed else {
-                return Err(GrimpError::InductiveUnsupported);
-            };
+        // one column still imputes from its trained head AND the features
+        // are inductive (FastText). A transductive-feature model cannot
+        // embed unseen values — its GNN-tier columns fall down the ladder
+        // to the new table's mode/mean baseline instead of erroring.
+        let prepared = if let (true, Some(ft_seed)) = (use_gnn, self.ft_seed) {
             if let Some(best) = &self.best_params {
                 self.tape.restore_param_values(best);
             }
@@ -453,9 +454,13 @@ impl FittedModel {
             }
             match self.tiers[j] {
                 ColumnTier::Gnn => {
-                    let (norm, graph, h) = prepared
-                        .as_ref()
-                        .expect("invariant: forward pass ran for GNN-tier columns");
+                    let Some((norm, graph, h)) = prepared.as_ref() else {
+                        // Transductive features: GNN-tier columns degrade to
+                        // the unseen table's own mode/mean baseline.
+                        fill_column_from_ladder(&mut result, table, j, ColumnTier::Baseline);
+                        trace.counter(names::IMPUTED_CELLS, j as u64, missing.len() as u64);
+                        continue;
+                    };
                     let batch = VectorBatch::build(graph, norm, &missing, self.config.embed_dim);
                     let out = task.forward(&mut self.tape, *h, &batch);
                     let out_t = self.tape.value(out).clone();
@@ -591,6 +596,27 @@ pub(crate) fn fit_model(
     dirty: &Table,
     sink: &mut dyn EventSink,
 ) -> Result<FittedModel, GrimpError> {
+    fit_model_delta(config, fds, dirty, None, sink)
+}
+
+/// [`fit_model`] with an optional append-delta boundary: when `delta_from`
+/// is `Some(base_rows)`, the first `base_rows` rows of `dirty` are the
+/// already-trained base table and only the appended tail contributes
+/// training samples — a warm-start fine-tune. The model structure (graph,
+/// features, tape shapes) is still that of the whole concatenated table:
+/// the graph is grown from the base build via
+/// [`TableGraph::append_rows`] (bit-identical to a from-scratch build),
+/// validation spans the whole table, and a post-loop drift check compares
+/// the last validation loss against the run's best, scheduling a full
+/// refit in the report when the regression exceeds
+/// [`crate::FinetuneConfig::drift_band`].
+pub(crate) fn fit_model_delta(
+    config: &GrimpConfig,
+    fds: &FdSet,
+    dirty: &Table,
+    delta_from: Option<usize>,
+    sink: &mut dyn EventSink,
+) -> Result<FittedModel, GrimpError> {
     if dirty.n_columns() == 0 {
         return Err(GrimpError::EmptySchema);
     }
@@ -647,6 +673,15 @@ pub(crate) fn fit_model(
             corpus.validation[j].clear();
         }
     }
+    // Append-delta fine-tune: only the appended tail contributes training
+    // samples (the base rows are already learned), but validation spans the
+    // whole table so early stopping and the drift check measure quality on
+    // everything the model serves.
+    if let Some(base_rows) = delta_from {
+        for samples in corpus.train.iter_mut() {
+            samples.retain(|s| s.row >= base_rows);
+        }
+    }
     let excluded: Vec<(usize, usize)> = corpus
         .validation_flat()
         .map(|s| (s.row, s.target_col))
@@ -660,7 +695,27 @@ pub(crate) fn fit_model(
         Some(s) => {
             TableGraph::build_chunked_traced(&norm, cfg.graph, &excluded, s.batch_rows, &mut trace)
         }
-        None => TableGraph::build_traced(&norm, cfg.graph, &excluded, &mut trace),
+        None => match delta_from {
+            // Append-delta path: grow the base graph by the appended rows
+            // (CSR segment append + value-node dictionary growth) instead
+            // of rebuilding from scratch. `append_rows` is proptest-proven
+            // bit-identical to the monolithic build, so a capped graph (or
+            // any other rejection) can just fall back to scratch.
+            Some(base_rows) if base_rows <= norm.n_rows() => {
+                let base_excluded: Vec<(usize, usize)> = excluded
+                    .iter()
+                    .copied()
+                    .filter(|&(i, _)| i < base_rows)
+                    .collect();
+                let base = norm.head(base_rows);
+                let mut g = TableGraph::build_traced(&base, cfg.graph, &base_excluded, &mut trace);
+                match g.append_rows(&norm, &excluded) {
+                    Ok(()) => g,
+                    Err(_) => TableGraph::build_traced(&norm, cfg.graph, &excluded, &mut trace),
+                }
+            }
+            _ => TableGraph::build_traced(&norm, cfg.graph, &excluded, &mut trace),
+        },
     };
 
     // Feature init. The FastText arm captures its seed so the fitted model
@@ -785,10 +840,15 @@ pub(crate) fn fit_model(
 
     // A GNN-tier column can still end up with zero training samples (e.g.
     // every observed cell landed in the validation split): it cannot learn
-    // a head either, so it steps down to the baseline tier.
-    for (j, tb) in train_batches.iter().enumerate() {
-        if tiers[j] == ColumnTier::Gnn && tb.is_none() {
-            tiers[j] = ColumnTier::Baseline;
+    // a head either, so it steps down to the baseline tier. Not in delta
+    // mode — there an empty batch just means the appended rows brought no
+    // new observations for a column whose head is already trained (the
+    // resumed checkpoint carries its weights), so it stays on the GNN tier.
+    if delta_from.is_none() {
+        for (j, tb) in train_batches.iter().enumerate() {
+            if tiers[j] == ColumnTier::Gnn && tb.is_none() {
+                tiers[j] = ColumnTier::Baseline;
+            }
         }
     }
     // With no GNN-tier column left the epoch loop is skipped entirely —
@@ -1279,6 +1339,23 @@ pub(crate) fn fit_model(
     report.early_stopped = state.since_best >= cfg.patience;
     if report.early_stopped {
         trace.counter(names::EARLY_STOP, state.epoch as u64, 1);
+    }
+    // Drift trigger (delta mode): when the fine-tuned model's final
+    // validation loss regressed beyond the configured band relative to the
+    // run's best, the delta has drifted from the base distribution and a
+    // full refit is scheduled (recorded here; the incremental driver acts
+    // on it at the next append).
+    if delta_from.is_some() && !degraded {
+        if let Some(last) = report.epochs.last() {
+            let best = f64::from(state.best_val);
+            let drift = (f64::from(last.val_loss) - best) / best.max(1e-6);
+            report.drift = Some(drift);
+            trace.metric(names::DRIFT, state.epoch as u64, drift);
+            if drift > f64::from(cfg.finetune.drift_band) {
+                report.refit_scheduled = true;
+                trace.counter(names::REFIT_SCHEDULED, state.epoch as u64, 1);
+            }
+        }
     }
     report.recoveries = state.recoveries;
     report.degraded_to_baseline = degraded;

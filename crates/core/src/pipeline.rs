@@ -141,6 +141,46 @@ impl Pipeline {
     ) -> Result<FittedModel, GrimpError> {
         restore_model(&self.config, &self.fds, dirty, ck, sink)
     }
+
+    /// Append `rows` to an already-fitted `base` table crash-safely: the
+    /// rows are made durable in a write-ahead log (`grimp.wal` inside the
+    /// checkpoint directory) before any model work, then applied by a
+    /// warm-start fine-tune of the base checkpoint (or a full refit when
+    /// the rows introduce new dictionary values), the grown table is
+    /// imputed, and the log is rotated to `grimp.wal.applied`. Killed at
+    /// any point, re-running the same append replays the log and converges
+    /// to the bit-identical outcome (see [`crate::incremental`]).
+    ///
+    /// Calling with empty `rows` replays a pending log, if any — the
+    /// recovery entry point after a crash.
+    ///
+    /// # Errors
+    /// [`crate::ConfigError::AppendWithoutCheckpointDir`] (as a config
+    /// error) when the pipeline has no checkpoint directory;
+    /// [`GrimpError::PendingAppend`] when a pending log holds different
+    /// rows than requested; [`GrimpError::Table`] for malformed rows;
+    /// [`GrimpError::Io`] when the log cannot be written or rotated.
+    pub fn append(
+        &self,
+        base: &Table,
+        rows: &[crate::WalRow],
+    ) -> Result<crate::AppendOutcome, GrimpError> {
+        let mut sink = NullSink;
+        self.append_traced(base, rows, &mut sink)
+    }
+
+    /// [`Pipeline::append`] with structured events streamed into `sink`.
+    ///
+    /// # Errors
+    /// Same contract as [`Pipeline::append`].
+    pub fn append_traced(
+        &self,
+        base: &Table,
+        rows: &[crate::WalRow],
+        sink: &mut dyn EventSink,
+    ) -> Result<crate::AppendOutcome, GrimpError> {
+        crate::incremental::append_model(&self.config, &self.fds, base, rows, sink)
+    }
 }
 
 #[cfg(test)]

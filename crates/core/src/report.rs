@@ -245,6 +245,13 @@ pub struct TrainReport {
     pub sampler_batch_rows: Option<usize>,
     /// `fanout` of the neighbor sampler, when sampling was active.
     pub sampler_fanout: Option<usize>,
+    /// Relative validation-loss regression measured by the post-fine-tune
+    /// drift check (`(last - best) / best`). `None` when no drift check
+    /// ran (plain fits, refits).
+    pub drift: Option<f64>,
+    /// Whether the drift check found the regression beyond the configured
+    /// `drift_band`, scheduling a full refit for the next append.
+    pub refit_scheduled: bool,
 }
 
 impl TrainReport {
@@ -425,6 +432,10 @@ impl TrainReport {
                 }
                 (EventKind::Counter, names::LOCK_RECLAIMED) => {
                     report.locks_reclaimed += 1;
+                }
+                (EventKind::Metric, names::DRIFT) => report.drift = Some(e.value),
+                (EventKind::Counter, names::REFIT_SCHEDULED) => {
+                    report.refit_scheduled = true;
                 }
                 // `seconds` accumulates in encounter order — the fit span
                 // exits before any impute span, matching the live order of
@@ -674,6 +685,23 @@ mod tests {
         let fresh = TrainReport::default();
         assert!(fresh.sampler_batch_rows.is_none());
         assert!(fresh.sampler_fanout.is_none());
+    }
+
+    #[test]
+    fn from_events_replays_the_drift_check() {
+        let mut sink = MemorySink::new();
+        {
+            let mut trace = Trace::new(&mut sink);
+            trace.metric(names::DRIFT, 4, 0.5);
+            trace.counter(names::REFIT_SCHEDULED, 4, 1);
+        }
+        let report = TrainReport::from_events(sink.events());
+        assert_eq!(report.drift, Some(0.5));
+        assert!(report.refit_scheduled);
+
+        let fresh = TrainReport::default();
+        assert!(fresh.drift.is_none());
+        assert!(!fresh.refit_scheduled);
     }
 
     #[test]

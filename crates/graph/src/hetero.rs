@@ -52,6 +52,50 @@ impl Default for GraphConfig {
     }
 }
 
+/// Why [`TableGraph::append_rows`] refused to apply a delta. Both cases
+/// mean "rebuild from scratch instead"; neither leaves the graph modified.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphAppendError {
+    /// The graph was built with a `max_cells_per_column` frequency cutoff;
+    /// appended rows shift the cutoff, so delta/scratch identity cannot be
+    /// guaranteed.
+    CappedGraph,
+    /// The concatenated table does not extend this graph's table (fewer
+    /// rows, or a different column count).
+    ShapeMismatch {
+        /// Rows the graph was built over.
+        graph_rows: usize,
+        /// Columns the graph was built over.
+        graph_cols: usize,
+        /// Rows of the offered table.
+        table_rows: usize,
+        /// Columns of the offered table.
+        table_cols: usize,
+    },
+}
+
+impl std::fmt::Display for GraphAppendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphAppendError::CappedGraph => {
+                write!(f, "cannot append rows to a value-node-capped graph")
+            }
+            GraphAppendError::ShapeMismatch {
+                graph_rows,
+                graph_cols,
+                table_rows,
+                table_cols,
+            } => write!(
+                f,
+                "table {table_rows}x{table_cols} does not extend the \
+                 graph's {graph_rows}x{graph_cols} table"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphAppendError {}
+
 /// One typed edge list: pairs `(rid_node, cell_node)` of one attribute.
 #[derive(Clone, Debug, Default)]
 pub struct TypedEdges {
@@ -296,6 +340,147 @@ impl TableGraph {
         trace.counter(names::GRAPH_EDGES, 0, graph.n_edges() as u64);
         trace.exit(names::GRAPH_BUILD, 0, span);
         graph
+    }
+
+    /// Append the trailing rows of `concat` (everything past this graph's
+    /// current row count) as a graph delta: new RID nodes, value-node
+    /// dictionary growth for first-seen values, and CSR segment append of
+    /// the new rows' edges — without rescanning the base rows.
+    ///
+    /// `concat` must be the base table this graph was built from with the
+    /// new rows pushed after it (same columns, same leading rows). The
+    /// result is **bit-identical** to a from-scratch [`TableGraph::build`]
+    /// of `concat`: a from-scratch build numbers all `n + k` RIDs first and
+    /// then every column's cells in first-seen order, so the delta renumbers
+    /// the existing cell nodes (RID ids are unchanged) — old cell node `v`
+    /// of column `c` shifts by `k + Σ_{c' < c} new_count[c']` — and slots
+    /// each column's newly seen values behind its old ones. Edge lists keep
+    /// their per-column row-major order with remapped cell ids, then the
+    /// appended rows' edges follow.
+    ///
+    /// `excluded` lists `(row, col)` cells (in `concat` coordinates) that
+    /// must not contribute edges; entries for base rows are ignored (the
+    /// base build already handled its own exclusions).
+    ///
+    /// # Errors
+    /// [`GraphAppendError::CappedGraph`] when the graph was built with a
+    /// `max_cells_per_column` cap — appended rows change the frequency
+    /// cutoff, so a capped graph cannot guarantee delta/scratch identity
+    /// and the caller must rebuild instead.
+    /// [`GraphAppendError::ShapeMismatch`] when `concat` has fewer rows or
+    /// a different column count than the graph.
+    pub fn append_rows(
+        &mut self,
+        concat: &Table,
+        excluded: &[(usize, usize)],
+    ) -> Result<(), GraphAppendError> {
+        if self.config.max_cells_per_column.is_some() {
+            return Err(GraphAppendError::CappedGraph);
+        }
+        if concat.n_rows() < self.n_rows || concat.n_columns() != self.n_cols {
+            return Err(GraphAppendError::ShapeMismatch {
+                graph_rows: self.n_rows,
+                graph_cols: self.n_cols,
+                table_rows: concat.n_rows(),
+                table_cols: concat.n_columns(),
+            });
+        }
+        let base_rows = self.n_rows;
+        let k = concat.n_rows() - base_rows;
+        if k == 0 {
+            return Ok(());
+        }
+        let excluded: std::collections::HashSet<(usize, usize)> = excluded
+            .iter()
+            .copied()
+            .filter(|&(row, _)| row >= base_rows)
+            .collect();
+
+        // Discover each column's newly seen values in appended-row scan
+        // order — the order a from-scratch build would first see them in.
+        let mut new_keys: Vec<Vec<String>> = vec![Vec::new(); self.n_cols];
+        for row in base_rows..concat.n_rows() {
+            for (col, keys) in new_keys.iter_mut().enumerate() {
+                if let Some(key) = value_key(concat, row, col, self.config.numeric_decimals) {
+                    if !self.cell_index[col].contains_key(&key) && !keys.contains(&key) {
+                        keys.push(key);
+                    }
+                }
+            }
+        }
+
+        // Per-column shift of the existing cell ids: the k new RIDs push
+        // every cell node back, and each earlier column's new values push
+        // later columns back further.
+        let mut shifts: Vec<u32> = Vec::with_capacity(self.n_cols);
+        let mut acc = k as u32;
+        for keys in &new_keys {
+            shifts.push(acc);
+            acc += keys.len() as u32;
+        }
+
+        // Rebuild the label vector in from-scratch order: all RIDs, then
+        // per column its old cells followed by its new ones.
+        let old_labels = std::mem::take(&mut self.labels);
+        let total = old_labels.len() + k + new_keys.iter().map(Vec::len).sum::<usize>();
+        self.labels = Vec::with_capacity(total);
+        self.labels
+            .extend((0..concat.n_rows()).map(|i| NodeLabel::Rid(i as u32)));
+        let mut old_cells = old_labels.into_iter().skip(base_rows);
+        for (col, keys) in new_keys.iter().enumerate() {
+            for _ in 0..self.cell_index[col].len() {
+                self.labels
+                    .push(old_cells.next().expect("old cell label present"));
+            }
+            for key in keys {
+                self.labels.push(NodeLabel::Cell {
+                    col: col as u32,
+                    text: key.clone(),
+                });
+            }
+        }
+
+        // Remap the value index and the existing edges (RID ids are
+        // unchanged; only cell ids shift), then register the new values.
+        let mut next_new_id: Vec<u32> = Vec::with_capacity(self.n_cols);
+        {
+            let mut base = concat.n_rows() as u32;
+            for (col, keys) in new_keys.iter().enumerate() {
+                base += self.cell_index[col].len() as u32;
+                next_new_id.push(base);
+                base += keys.len() as u32;
+            }
+        }
+        for (col, index) in self.cell_index.iter_mut().enumerate() {
+            for id in index.values_mut() {
+                *id += shifts[col];
+            }
+            for (j, key) in new_keys[col].iter().enumerate() {
+                index.insert(key.clone(), next_new_id[col] + j as u32);
+            }
+        }
+        for (col, e) in self.edges.iter_mut().enumerate() {
+            for (_, cell) in e.pairs.iter_mut() {
+                *cell += shifts[col];
+            }
+        }
+
+        // CSR segment append: the new rows' edges, in the same row-major
+        // order the from-scratch edge pass would emit them.
+        for row in base_rows..concat.n_rows() {
+            for col in 0..self.n_cols {
+                if excluded.contains(&(row, col)) {
+                    continue;
+                }
+                if let Some(key) = value_key(concat, row, col, self.config.numeric_decimals) {
+                    if let Some(&cell) = self.cell_index[col].get(&key) {
+                        self.edges[col].pairs.push((row as u32, cell));
+                    }
+                }
+            }
+        }
+        self.n_rows = concat.n_rows();
+        Ok(())
     }
 
     /// Total node count (RID + cell nodes).
@@ -773,6 +958,103 @@ mod tests {
         let mono = TableGraph::build(&t, cfg, &excluded);
         let chunked = TableGraph::build_chunked(&t, cfg, &excluded, 3);
         assert_graphs_identical(&mono, &chunked);
+    }
+
+    /// Push `rows` onto a clone of `base` and return the concatenation.
+    fn concat(base: &Table, rows: &[Vec<Option<&str>>]) -> Table {
+        let mut t = base.clone();
+        for row in rows {
+            t.push_str_row(row);
+        }
+        t
+    }
+
+    #[test]
+    fn append_rows_matches_from_scratch_build() {
+        let base = table();
+        let cat = concat(
+            &base,
+            &[
+                vec![Some("IT"), Some("2015")], // new country, old year
+                vec![Some("FR"), None],         // old country, null
+                vec![Some("IT"), Some("1999")], // both new in their columns
+            ],
+        );
+        let mut delta = TableGraph::build(&base, GraphConfig::default(), &[]);
+        delta.append_rows(&cat, &[]).unwrap();
+        let scratch = TableGraph::build(&cat, GraphConfig::default(), &[]);
+        assert_graphs_identical(&scratch, &delta);
+        assert_eq!(delta.n_rids(), 6);
+        assert_eq!(delta.cell_node(0, "IT"), scratch.cell_node(0, "IT"));
+    }
+
+    #[test]
+    fn append_rows_respects_appended_row_exclusions() {
+        let base = table();
+        let cat = concat(&base, &[vec![Some("IT"), Some("2015")]]);
+        // Excluding a base cell is a no-op (already handled at base build);
+        // excluding an appended cell drops its edge but keeps the node.
+        let excluded = [(0, 0), (3, 0)];
+        let mut delta = TableGraph::build(&base, GraphConfig::default(), &[]);
+        delta.append_rows(&cat, &excluded).unwrap();
+        let scratch = TableGraph::build(&cat, GraphConfig::default(), &[(3, 0)]);
+        assert_graphs_identical(&scratch, &delta);
+        assert!(delta.cell_node(0, "IT").is_some());
+        assert!(!delta.edges_of(0).pairs.iter().any(|&(r, _)| r == 3));
+    }
+
+    #[test]
+    fn append_rows_of_zero_rows_is_a_no_op() {
+        let base = table();
+        let mut delta = TableGraph::build(&base, GraphConfig::default(), &[]);
+        delta.append_rows(&base, &[]).unwrap();
+        let scratch = TableGraph::build(&base, GraphConfig::default(), &[]);
+        assert_graphs_identical(&scratch, &delta);
+    }
+
+    #[test]
+    fn append_rows_rejects_capped_and_mismatched_graphs() {
+        let base = table();
+        let cat = concat(&base, &[vec![Some("IT"), Some("2015")]]);
+        let cfg = GraphConfig {
+            max_cells_per_column: Some(2),
+            ..GraphConfig::default()
+        };
+        let mut capped = TableGraph::build(&base, cfg, &[]);
+        assert_eq!(
+            capped.append_rows(&cat, &[]),
+            Err(GraphAppendError::CappedGraph)
+        );
+        let mut g = TableGraph::build(&cat, GraphConfig::default(), &[]);
+        assert!(matches!(
+            g.append_rows(&base, &[]),
+            Err(GraphAppendError::ShapeMismatch { .. })
+        ));
+        // A rejected append leaves the graph untouched.
+        let scratch = TableGraph::build(&cat, GraphConfig::default(), &[]);
+        assert_graphs_identical(&scratch, &g);
+    }
+
+    #[test]
+    fn chained_appends_match_one_from_scratch_build() {
+        let base = skewed_table();
+        let step1 = {
+            let mut t = base.clone();
+            t.push_str_row(&[Some("e"), Some("k0")]);
+            t.push_str_row(&[Some("a"), Some("k2")]);
+            t
+        };
+        let step2 = {
+            let mut t = step1.clone();
+            t.push_str_row(&[None, Some("k2")]);
+            t.push_str_row(&[Some("f"), None]);
+            t
+        };
+        let mut delta = TableGraph::build(&base, GraphConfig::default(), &[]);
+        delta.append_rows(&step1, &[]).unwrap();
+        delta.append_rows(&step2, &[]).unwrap();
+        let scratch = TableGraph::build(&step2, GraphConfig::default(), &[]);
+        assert_graphs_identical(&scratch, &delta);
     }
 
     #[test]

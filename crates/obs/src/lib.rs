@@ -392,6 +392,30 @@ pub mod names {
     /// Graceful drain finished (counter, value = 1 clean, 0 when the
     /// drain deadline expired with requests still in flight).
     pub const DRAIN_END: &str = "drain_end";
+    /// An append WAL segment was published atomically (counter,
+    /// index = rows in the segment, value = serialized bytes).
+    pub const WAL_WRITE: &str = "wal_write";
+    /// A pending WAL segment was replayed on startup/append (counter,
+    /// index = rows recovered, value = 1 intact, 0 torn tail dropped).
+    pub const WAL_REPLAY: &str = "wal_replay";
+    /// The applied WAL segment was rotated to `grimp.wal.applied`
+    /// (counter, value = 1).
+    pub const WAL_ROTATE: &str = "wal_rotate";
+    /// One append-rows operation end to end: WAL write, fine-tune or
+    /// refit, impute, rotation (span, index = rows appended).
+    pub const APPEND: &str = "append";
+    /// A warm-start fine-tune began on the appended delta (counter,
+    /// index = base epoch resumed from, value = target epoch).
+    pub const FINETUNE: &str = "finetune";
+    /// Post-fine-tune drift check: relative validation-loss regression
+    /// against the run's best (metric, value = relative regression).
+    pub const DRIFT: &str = "drift";
+    /// Drift exceeded the configured band; a full refit was scheduled
+    /// (counter, index = epoch, value = 1).
+    pub const REFIT_SCHEDULED: &str = "refit_scheduled";
+    /// One hot-reload watcher poll tick (counter, index = poll count,
+    /// value = jittered sleep in milliseconds).
+    pub const RELOAD_POLL: &str = "reload_poll";
 
     /// Placeholder name a replayed trace event gets when its recorded name
     /// is not in this vocabulary (a trace from a newer build): the event is
@@ -456,6 +480,14 @@ pub mod names {
         MODEL_RELOADED,
         DRAIN_BEGIN,
         DRAIN_END,
+        WAL_WRITE,
+        WAL_REPLAY,
+        WAL_ROTATE,
+        APPEND,
+        FINETUNE,
+        DRIFT,
+        REFIT_SCHEDULED,
+        RELOAD_POLL,
     ];
 
     /// Intern a replayed name against the vocabulary; `None` when unknown.

@@ -24,10 +24,17 @@
 //! - **Graceful drain.** On shutdown the listener stops accepting,
 //!   queued and in-flight requests finish within a drain deadline, and
 //!   [`Server::run`] reports whether the drain was clean.
-//! - **Hot reload.** A watcher thread polls the checkpoint file; when the
-//!   trainer rotates a new generation in (CRC-validated), workers rebuild
-//!   their model between requests — in-flight requests always finish on
-//!   the model they started with.
+//! - **Hot reload.** A watcher thread polls the checkpoint file (with a
+//!   deterministic per-seed jitter so replica fleets do not poll in
+//!   lockstep); when the trainer rotates a new generation in
+//!   (CRC-validated), workers rebuild their model between requests —
+//!   in-flight requests always finish on the model they started with.
+//! - **Incremental append.** `POST /append` pushes CSV rows through the
+//!   WAL-backed incremental pipeline ([`Pipeline::append`]): the rows are
+//!   durable before any model work, the base checkpoint is fine-tuned (or
+//!   refitted on dictionary growth), and the served generation swaps to
+//!   the grown table atomically. Concurrent appends are serialized; a
+//!   conflicting pending append log from a crashed run is `409`.
 //!
 //! [`FittedModel`] is intentionally `!Send` (its tape shares `Rc` label
 //! buffers), so no model ever crosses a thread: each worker restores its
@@ -86,8 +93,14 @@ pub struct ServeConfig {
     /// How long a drain may take before in-flight work is abandoned.
     pub drain_deadline: Duration,
     /// How often the watcher polls the checkpoint file for a new
-    /// generation.
+    /// generation. Each poll adds a deterministic jitter of up to a
+    /// quarter of this interval, derived from `seed` and the poll count,
+    /// so a fleet of replicas started together does not stampede the
+    /// filesystem in lockstep — yet every run is reproducible.
     pub reload_poll: Duration,
+    /// Seed for the watcher's poll jitter (and any future randomized
+    /// serving decision): same seed, same jitter sequence.
+    pub seed: u64,
     /// Deterministic socket-fault plan for chaos runs.
     pub fault: Option<SocketFaultPlan>,
 }
@@ -104,6 +117,7 @@ impl Default for ServeConfig {
             max_body_bytes: 8 * 1024 * 1024,
             drain_deadline: Duration::from_secs(10),
             reload_poll: Duration::from_millis(200),
+            seed: 0,
             fault: None,
         }
     }
@@ -138,6 +152,9 @@ pub struct DrainReport {
     pub over_budget: u64,
     /// Successful hot reloads (checkpoint generation swaps).
     pub reloads: u64,
+    /// Successful `POST /append` requests (rows appended and fine-tuned
+    /// or refitted, served table swapped to the grown one).
+    pub appends: u64,
 }
 
 /// An [`EventSink`] shareable across the accept loop, workers, and the
@@ -192,6 +209,17 @@ struct Counters {
     over_budget: AtomicU64,
     client_gone: AtomicU64,
     reloads: AtomicU64,
+    appends: AtomicU64,
+}
+
+/// The served model generation: checkpoint bytes plus the table the
+/// replicas restore against. Swapped together — after an append, the
+/// fine-tuned checkpoint only matches the *grown* table.
+struct Current {
+    /// Current checkpoint bytes (CRC-validated before the swap).
+    blob: Arc<Vec<u8>>,
+    /// The table the served model was fitted on.
+    train: Arc<Table>,
 }
 
 /// State shared by the accept loop, workers, and the watcher thread.
@@ -203,10 +231,13 @@ struct Shared {
     active_workers: Mutex<usize>,
     worker_done: Condvar,
     draining: AtomicBool,
-    /// Current checkpoint bytes (CRC-validated before the swap).
-    blob: Mutex<Arc<Vec<u8>>>,
-    /// Bumped on every successful hot reload.
+    current: Mutex<Current>,
+    /// Bumped on every successful hot reload or applied append.
     generation: AtomicU64,
+    /// Serializes `POST /append` runs: the WAL/checkpoint directory is
+    /// one shared resource, and a second concurrent append is answered
+    /// `503` instead of racing the first for it.
+    append_gate: Mutex<()>,
     counters: Counters,
     sink: SharedSink,
     shutdown: ShutdownFlag,
@@ -217,9 +248,13 @@ impl Shared {
         self.queue.lock().unwrap_or_else(|p| p.into_inner())
     }
 
-    fn blob_snapshot(&self) -> (u64, Arc<Vec<u8>>) {
-        let guard = self.blob.lock().unwrap_or_else(|p| p.into_inner());
-        (self.generation.load(Ordering::SeqCst), Arc::clone(&guard))
+    fn current_snapshot(&self) -> (u64, Arc<Vec<u8>>, Arc<Table>) {
+        let guard = self.current.lock().unwrap_or_else(|p| p.into_inner());
+        (
+            self.generation.load(Ordering::SeqCst),
+            Arc::clone(&guard.blob),
+            Arc::clone(&guard.train),
+        )
     }
 }
 
@@ -262,6 +297,10 @@ impl Server {
         };
         let listener = TcpListener::bind(&cfg.addr).map_err(&bind_err)?;
         listener.set_nonblocking(true).map_err(&bind_err)?;
+        let current = Current {
+            blob: Arc::new(bytes),
+            train: Arc::new(source.train.clone()),
+        };
         let shared = Arc::new(Shared {
             cfg,
             source,
@@ -270,8 +309,9 @@ impl Server {
             active_workers: Mutex::new(0),
             worker_done: Condvar::new(),
             draining: AtomicBool::new(false),
-            blob: Mutex::new(Arc::new(bytes)),
+            current: Mutex::new(current),
             generation: AtomicU64::new(0),
+            append_gate: Mutex::new(()),
             counters: Counters::default(),
             sink: SharedSink::new(sink),
             shutdown,
@@ -375,6 +415,7 @@ impl Server {
             shed: shared.counters.shed.load(Ordering::SeqCst),
             over_budget: shared.counters.over_budget.load(Ordering::SeqCst),
             reloads: shared.counters.reloads.load(Ordering::SeqCst),
+            appends: shared.counters.appends.load(Ordering::SeqCst),
         }
     }
 
@@ -471,19 +512,48 @@ fn absorb_remaining(socket: &TcpStream, timeout: Duration) {
     }
 }
 
+/// SplitMix64: the jitter's deterministic bit mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The deterministic extra wait added to poll number `polls`: a pure
+/// function of `(seed, polls)` in `[0, reload_poll / 4]`, so replicas
+/// with different seeds drift apart while any single run replays its
+/// exact poll schedule.
+fn poll_jitter(seed: u64, polls: u64, reload_poll: Duration) -> Duration {
+    let quarter = (reload_poll.as_millis() as u64) / 4;
+    if quarter == 0 {
+        return Duration::ZERO;
+    }
+    Duration::from_millis(splitmix64(seed ^ polls.wrapping_mul(0x9E37_79B9)) % (quarter + 1))
+}
+
 fn watcher_loop(shared: &Shared) {
     let ckpt_path = shared.source.checkpoint_dir.join(CHECKPOINT_FILE);
+    let mut polls: u64 = 0;
     while !shared.shutdown.is_requested() && !shared.draining.load(Ordering::SeqCst) {
         // Sleep in small slices so shutdown is honored promptly even
         // with a long poll interval.
+        let jitter = poll_jitter(shared.cfg.seed, polls, shared.cfg.reload_poll);
+        let wait = shared.cfg.reload_poll + jitter;
         let mut slept = Duration::ZERO;
-        while slept < shared.cfg.reload_poll {
+        while slept < wait {
             if shared.shutdown.is_requested() || shared.draining.load(Ordering::SeqCst) {
                 return;
             }
-            let slice = Duration::from_millis(10).min(shared.cfg.reload_poll - slept);
+            let slice = Duration::from_millis(10).min(wait - slept);
             thread::sleep(slice);
             slept += slice;
+        }
+        polls += 1;
+        {
+            let mut sink = shared.sink.clone();
+            let mut trace = Trace::new(&mut sink);
+            trace.counter(names::RELOAD_POLL, polls, jitter.as_millis() as u64);
         }
         let Ok(bytes) = std::fs::read(&ckpt_path) else {
             // Mid-rotation (tmp rename in flight) or deleted: keep the
@@ -491,8 +561,8 @@ fn watcher_loop(shared: &Shared) {
             continue;
         };
         let changed = {
-            let guard = shared.blob.lock().unwrap_or_else(|p| p.into_inner());
-            **guard != bytes
+            let guard = shared.current.lock().unwrap_or_else(|p| p.into_inner());
+            *guard.blob != bytes
         };
         if !changed {
             continue;
@@ -504,8 +574,8 @@ fn watcher_loop(shared: &Shared) {
         }
         let crc = crc32(&bytes);
         let generation = {
-            let mut guard = shared.blob.lock().unwrap_or_else(|p| p.into_inner());
-            *guard = Arc::new(bytes);
+            let mut guard = shared.current.lock().unwrap_or_else(|p| p.into_inner());
+            guard.blob = Arc::new(bytes);
             shared.generation.fetch_add(1, Ordering::SeqCst) + 1
         };
         shared.counters.reloads.fetch_add(1, Ordering::SeqCst);
@@ -681,6 +751,7 @@ fn route(
             replica,
             failed_generation,
         ),
+        ("POST", "/append") => append(shared, trace, req_id, request, deadline),
         _ => Outcome::text(
             404,
             format!("no such endpoint: {} {}", request.method, request.path),
@@ -691,12 +762,13 @@ fn route(
 fn stats(shared: &Shared) -> Outcome {
     let c = &shared.counters;
     let body = format!(
-        "{{\"served\":{},\"shed\":{},\"over_budget\":{},\"client_gone\":{},\"reloads\":{},\"generation\":{}}}\n",
+        "{{\"served\":{},\"shed\":{},\"over_budget\":{},\"client_gone\":{},\"reloads\":{},\"appends\":{},\"generation\":{}}}\n",
         c.served.load(Ordering::SeqCst),
         c.shed.load(Ordering::SeqCst),
         c.over_budget.load(Ordering::SeqCst),
         c.client_gone.load(Ordering::SeqCst),
         c.reloads.load(Ordering::SeqCst),
+        c.appends.load(Ordering::SeqCst),
         shared.generation.load(Ordering::SeqCst),
     );
     Outcome {
@@ -765,6 +837,116 @@ fn impute(
     }
 }
 
+/// `POST /append`: durably append the body's CSV rows to the served
+/// table through the WAL-backed incremental pipeline, then swap the
+/// served generation to the grown table and its fine-tuned (or refitted)
+/// checkpoint. The response body is the imputed grown table.
+///
+/// Appends are serialized through `append_gate` (a second concurrent one
+/// gets `503 + Retry-After`), and a pending append log from a crashed
+/// earlier run that conflicts with this request is `409`.
+fn append(
+    shared: &Shared,
+    trace: &mut Trace<'_>,
+    req_id: u64,
+    request: &Request,
+    deadline: Option<Instant>,
+) -> Outcome {
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return Outcome::busy(504, "request deadline exceeded while queued");
+    }
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return Outcome::text(400, "body is not UTF-8");
+    };
+    let rows_table = match read_csv_str(text) {
+        Ok(table) => table,
+        Err(e) => return Outcome::text(400, format!("body is not parseable CSV: {e}")),
+    };
+    let (_, _, train) = shared.current_snapshot();
+    let names_match = rows_table.n_columns() == train.n_columns()
+        && (0..train.n_columns())
+            .all(|j| rows_table.schema().column(j).name == train.schema().column(j).name);
+    if !names_match {
+        return Outcome::text(
+            400,
+            "appended columns do not match the served table's header",
+        );
+    }
+
+    // Memory admission on the *grown* table: the append fine-tunes (or
+    // refits) over base + delta, so that concatenation is what must fit.
+    if let Some(budget) = shared.cfg.memory_budget_bytes {
+        let mut concat = (*train).clone();
+        for i in 0..rows_table.n_rows() {
+            let row: Vec<Option<String>> = (0..rows_table.n_columns())
+                .map(|j| (!rows_table.is_missing(i, j)).then(|| rows_table.display(i, j)))
+                .collect();
+            let r: Vec<Option<&str>> = row.iter().map(|c| c.as_deref()).collect();
+            if let Err(e) = concat.try_push_str_row(&r) {
+                return Outcome::text(400, format!("cannot append row {i}: {e}"));
+            }
+        }
+        let need = estimate_footprint(&concat, shared.source.pipeline.config()).total_bytes();
+        if need > budget {
+            shared.counters.over_budget.fetch_add(1, Ordering::SeqCst);
+            trace.counter(names::REQUEST_OVER_BUDGET, req_id, need);
+            return Outcome::busy(
+                503,
+                &format!("grown table needs ~{need} bytes, budget is {budget}"),
+            );
+        }
+    }
+
+    let Ok(_gate) = shared.append_gate.try_lock() else {
+        return Outcome::busy(503, "another append is in progress, retry shortly");
+    };
+    // The serving pipeline is structure-only; give the append run the
+    // checkpoint directory so its WAL and fine-tuned generation land
+    // where the watcher and the replicas look.
+    let mut cfg = shared.source.pipeline.config().clone();
+    cfg.checkpoint_dir = Some(shared.source.checkpoint_dir.clone());
+    let pipeline = match Pipeline::new(cfg) {
+        Ok(p) => p,
+        Err(e) => return Outcome::text(500, format!("append pipeline: {e}")),
+    };
+    let rows = grimp::table_to_wal_rows(&rows_table);
+    match pipeline.append(&train, &rows) {
+        Ok(outcome) => {
+            // Swap the served generation: grown table plus whatever
+            // checkpoint the append left on disk. An unreadable file is
+            // not fatal — the watcher retries — but table and blob must
+            // move together, so read it here under the same lock.
+            let ckpt_path = shared.source.checkpoint_dir.join(CHECKPOINT_FILE);
+            let generation = {
+                let mut guard = shared.current.lock().unwrap_or_else(|p| p.into_inner());
+                if let Ok(bytes) = std::fs::read(&ckpt_path) {
+                    if TrainCheckpoint::from_bytes(&bytes).is_ok() {
+                        guard.blob = Arc::new(bytes);
+                    }
+                }
+                guard.train = Arc::new(outcome.table);
+                shared.generation.fetch_add(1, Ordering::SeqCst) + 1
+            };
+            shared.counters.appends.fetch_add(1, Ordering::SeqCst);
+            trace.counter(names::APPEND, generation, outcome.appended_rows as u64);
+            Outcome {
+                status: 200,
+                content_type: "text/csv",
+                extra: Vec::new(),
+                body: to_csv_bytes(&outcome.imputed),
+            }
+        }
+        Err(e @ GrimpError::PendingAppend { .. }) => {
+            Outcome::text(409, format!("conflicting pending append: {e}"))
+        }
+        Err(e) => match e.category() {
+            grimp::ErrorCategory::Data => Outcome::text(400, format!("cannot append: {e}")),
+            grimp::ErrorCategory::Busy => Outcome::busy(503, &format!("busy: {e}")),
+            _ => Outcome::text(500, format!("append failed: {e}")),
+        },
+    }
+}
+
 /// Rebuild this worker's model replica when the checkpoint generation
 /// moved. In-flight requests never see a swap: the rebuild happens
 /// between requests, and a generation that fails to restore is skipped
@@ -774,7 +956,7 @@ fn refresh_replica(
     replica: &mut Option<Replica>,
     failed_generation: &mut Option<u64>,
 ) {
-    let (generation, blob) = shared.blob_snapshot();
+    let (generation, blob, train) = shared.current_snapshot();
     let stale = match replica {
         Some(r) => r.generation != generation,
         None => true,
@@ -787,7 +969,7 @@ fn refresh_replica(
             path: shared.source.checkpoint_dir.join(CHECKPOINT_FILE),
             source,
         })
-        .and_then(|ck| shared.source.pipeline.restore(&shared.source.train, &ck));
+        .and_then(|ck| shared.source.pipeline.restore(&train, &ck));
     match restored {
         Ok(model) => {
             *replica = Some(Replica { generation, model });
@@ -872,5 +1054,30 @@ pub mod client {
             body: raw[head_end + 4..].to_vec(),
             headers: lines.map(str::to_string).collect(),
         })
+    }
+}
+
+#[cfg(test)]
+mod jitter_tests {
+    use super::*;
+
+    #[test]
+    fn poll_jitter_is_deterministic_and_bounded() {
+        let poll = Duration::from_millis(200);
+        for polls in 0..64u64 {
+            let a = poll_jitter(9, polls, poll);
+            let b = poll_jitter(9, polls, poll);
+            assert_eq!(a, b, "same seed and poll count must jitter identically");
+            assert!(a <= poll / 4, "jitter stays within a quarter interval");
+        }
+        // Different seeds decorrelate the fleet: at least one poll differs.
+        assert!((0..64u64).any(|p| poll_jitter(9, p, poll) != poll_jitter(10, p, poll)));
+    }
+
+    #[test]
+    fn poll_jitter_degrades_to_zero_for_tiny_intervals() {
+        for ms in 0..4u64 {
+            assert_eq!(poll_jitter(1, 7, Duration::from_millis(ms)), Duration::ZERO);
+        }
     }
 }

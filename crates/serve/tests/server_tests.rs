@@ -388,3 +388,53 @@ fn drain_finishes_queued_work_before_exiting() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn post_append_grows_the_served_table_and_swaps_the_generation() {
+    let (source, dirty, dir) = fitted_source("append", 5);
+    let cfg = ServeConfig {
+        reload_poll: Duration::from_millis(20),
+        ..ServeConfig::default()
+    };
+    let running = Running::start("append", cfg, source);
+
+    // Mismatched header: rejected before any model work.
+    let bad = client::request(&running.addr, "POST", "/append", b"x,y\n1,2\n").unwrap();
+    assert_eq!(bad.status, 400, "{:?}", String::from_utf8_lossy(&bad.body));
+
+    // Two rows in the served schema, one hole each.
+    let res = client::request(&running.addr, "POST", "/append", b"a,b\na1,\n,b2\n").unwrap();
+    assert_eq!(res.status, 200, "{:?}", String::from_utf8_lossy(&res.body));
+    let grown = read_csv_str(std::str::from_utf8(&res.body).unwrap()).unwrap();
+    assert_eq!(grown.n_rows(), dirty.n_rows() + 2);
+    assert_eq!(grown.n_missing(), 0, "the appended holes are filled");
+
+    // The served generation moved to the grown table and its checkpoint.
+    let stats = client::request(&running.addr, "GET", "/stats", b"").unwrap();
+    let body = String::from_utf8(stats.body).unwrap();
+    assert!(body.contains("\"appends\":1"), "{body}");
+    assert!(!body.contains("\"generation\":0"), "{body}");
+
+    // The grown table round-trips through the swapped replica.
+    let res = client::impute(&running.addr, &to_csv_string(&grown)).unwrap();
+    assert_eq!(res.status, 200, "{:?}", String::from_utf8_lossy(&res.body));
+
+    let (report, trace) = running.stop();
+    assert!(report.clean);
+    assert_eq!(report.appends, 1);
+    assert!(
+        dir.join(grimp::WAL_APPLIED_FILE).exists(),
+        "the append rotated its WAL"
+    );
+    let replay = grimp_obs::read_jsonl(&trace).unwrap();
+    assert!(replay
+        .events
+        .iter()
+        .any(|e| e.name == grimp_obs::names::APPEND));
+    // Satellite: the watcher's jittered polls are visible in the trace.
+    assert!(replay
+        .events
+        .iter()
+        .any(|e| e.name == grimp_obs::names::RELOAD_POLL));
+    let _ = std::fs::remove_dir_all(&dir);
+}

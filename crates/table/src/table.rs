@@ -265,6 +265,32 @@ impl Table {
         self.get(i, j).is_null()
     }
 
+    /// A copy of the first `n` rows (all of them when `n >= n_rows`).
+    /// Categorical dictionaries are kept whole — codes referencing values
+    /// only seen in dropped rows simply go unused — so the prefix of a
+    /// concatenated table has dictionaries compatible with the original.
+    pub fn head(&self, n: usize) -> Table {
+        let n = n.min(self.n_rows);
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| match col {
+                Column::Categorical { dict, codes } => Column::Categorical {
+                    dict: dict.clone(),
+                    codes: codes[..n].to_vec(),
+                },
+                Column::Numerical { values } => Column::Numerical {
+                    values: values[..n].to_vec(),
+                },
+            })
+            .collect();
+        Table {
+            schema: self.schema.clone(),
+            columns,
+            n_rows: n,
+        }
+    }
+
     /// Human-readable rendering of a cell (dictionary-decoded).
     pub fn display(&self, i: usize, j: usize) -> String {
         match self.get(i, j) {
