@@ -165,9 +165,13 @@ fn main() {
     let total_seconds = start.elapsed().as_secs_f64();
 
     flag.request();
-    let report = handle.join().expect("server thread finishes");
+    let report = handle
+        .join()
+        .expect("server thread finishes")
+        .expect("server ran to a drain report");
     assert!(report.clean, "probe load drains clean");
     assert_eq!(report.shed, 0, "queue was sized to shed nothing");
+    assert_eq!(report.panics, 0, "probe load panics no handler");
     let _ = std::fs::remove_dir_all(&ckpt_dir);
 
     latencies.sort();
@@ -184,7 +188,8 @@ fn main() {
          \"fit_seconds\": {},\n  \"total_seconds\": {},\n  \
          \"requests_per_sec\": {},\n  \"rows_per_sec\": {},\n  \
          \"p50_ms\": {},\n  \"p99_ms\": {},\n  \"served\": {},\n  \
-         \"shed\": {},\n  \"clean_drain\": true\n}}\n",
+         \"shed\": {},\n  \"panics\": {},\n  \"workers_replaced\": {},\n  \
+         \"respawns\": 0,\n  \"clean_drain\": true\n}}\n",
         json_f64(fit_seconds),
         json_f64(total_seconds),
         json_f64(requests_per_sec),
@@ -193,6 +198,8 @@ fn main() {
         json_f64(p99),
         report.served,
         report.shed,
+        report.panics,
+        report.workers_replaced,
     );
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
 

@@ -34,6 +34,7 @@ use crate::args::{ArgError, Args};
 pub struct CliError {
     message: String,
     category: ErrorCategory,
+    exit_override: Option<i32>,
 }
 
 impl CliError {
@@ -42,6 +43,7 @@ impl CliError {
         CliError {
             message: message.into(),
             category: ErrorCategory::Config,
+            exit_override: None,
         }
     }
 
@@ -50,6 +52,7 @@ impl CliError {
         CliError {
             message: message.into(),
             category: ErrorCategory::Data,
+            exit_override: None,
         }
     }
 
@@ -58,12 +61,28 @@ impl CliError {
         CliError {
             message: message.into(),
             category: ErrorCategory::Io,
+            exit_override: None,
         }
     }
 
-    /// The process exit code mandated by this error's category.
+    /// The supervisor's crash-loop breaker tripped (exit code
+    /// [`crate::supervise::EXIT_CRASH_LOOP`]): the serving child kept dying
+    /// faster than the restart budget allows, so respawning it again would
+    /// only loop. Internal by category, but with a distinct exit code so
+    /// orchestrators can tell "stop restarting me" from a one-off crash.
+    pub fn crash_loop(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            category: ErrorCategory::Internal,
+            exit_override: Some(crate::supervise::EXIT_CRASH_LOOP),
+        }
+    }
+
+    /// The process exit code mandated by this error's category (or the
+    /// explicit override carried by breaker-style errors).
     pub fn exit_code(&self) -> i32 {
-        self.category.exit_code()
+        self.exit_override
+            .unwrap_or_else(|| self.category.exit_code())
     }
 }
 
@@ -92,6 +111,7 @@ impl From<GrimpError> for CliError {
         CliError {
             message: e.to_string(),
             category: e.category(),
+            exit_override: None,
         }
     }
 }
@@ -186,12 +206,29 @@ COMMANDS:
              [--request-deadline SECS] [--memory-budget-mb N]
              [--read-timeout-ms N] [--drain-deadline SECS]
              [--reload-poll-ms N] [--max-body-mb N] [--trace-out FILE]
-             [--fault-socket SPEC]
+             [--fault-socket SPEC] [--supervise] [--restart-limit N]
+             [--restart-window SECS] [--backoff-base-ms N]
              serve the checkpointed model over HTTP: POST /impute takes
              a CSV body and returns the imputed CSV; POST /append takes
              CSV rows, fine-tunes the checkpoint, and swaps the served
-             model to the grown table; GET /healthz and GET /stats
-             report liveness and counters
+             model to the grown table (rows with new categorical values
+             are refused 409 — a refit cannot be recovered across a
+             restart; use grimp append offline); GET /healthz reports liveness,
+             GET /readyz reports readiness (generation, pending append
+             log, failed-reload memoization; 503 while draining or an
+             append holds the gate), GET /stats reports counters
+             POST /append honours an Idempotency-Key header (1-255
+             visible ASCII chars): the outcome is journaled durably in
+             DIR/grimp.idem before the served table grows, so retrying
+             the same key + body after a crash or timeout returns the
+             recorded response (Idempotency-Replay: true) instead of
+             appending twice; the same key with a different body is
+             refused with 422
+             a handler panic answers that request 500, quarantines the
+             worker's model replica, and rebuilds it — panics and
+             workers_replaced are counted in /stats and the drain
+             summary (GRIMP_FAULT_PANIC=1 enables a POST /panic fault
+             route for testing this isolation)
              the model is restored from DIR (written by a fit with the
              same --algo/--seed/--paper/--threads); when a trainer
              rotates a new checkpoint generation in, workers hot-reload
@@ -208,6 +245,23 @@ COMMANDS:
              GRIMP_FAULT_SOCKET=kind[:times[:from_conn]] (or
              --fault-socket) injects deterministic socket faults
              (torn-request|disconnect|malformed|stalled) for testing
+             --supervise runs the server as a supervised child process
+             (crash-only serving): the child's stdout — including the
+             listening-address announcement — is echoed through, and a
+             crashed child is respawned with deterministic exponential
+             backoff from --backoff-base-ms (default 100, capped at 5s);
+             more than --restart-limit crashes (default 5) within
+             --restart-window seconds (default 30) trip the crash-loop
+             breaker (exit 8) instead of looping; a child that fails
+             before announcing readiness propagates its exit code
+             unretried; SIGTERM/SIGINT are forwarded to the child, which
+             drains as usual — a second signal SIGKILLs it and exits 143
+             GRIMP_CRASHPOINT=name[@armfile] aborts the process at a
+             named state-mutating boundary (idem-journal | wal-publish |
+             checkpoint-rotate | applied-rotate | generation-swap) for
+             crash testing; with @armfile the abort fires only once —
+             whoever consumes (deletes) the file crashes, so a respawned
+             child runs clean
     chaos    [--seed N]
              run the adversarial-input chaos suite: fit + impute every
              hostile table (all-missing columns, single rows, NaN/inf,
@@ -220,7 +274,13 @@ COMMANDS:
              incremental appends with every fs-fault kind, a kill
              mid-fine-tune, a torn append log, and the parallel backend,
              then drive a live `serve` instance through the socket-fault,
-             overload, and admission scenarios and verify clean drains
+             overload, admission, and worker-panic scenarios and verify
+             clean drains
+             --crashpoints runs the crashpoint sweep instead: for every
+             registered boundary, a supervised server is aborted exactly
+             there mid-append and must recover — respawn, /readyz 200,
+             idempotent replay to exactly one application, a decodable
+             checkpoint, a rotated log, and a clean SIGTERM drain
     help     show this text
 
 EXIT CODES:
@@ -233,6 +293,8 @@ EXIT CODES:
     6    deadline hit (success — imputation written from the epochs
          completed; append: log kept pending, re-run to finish)
     7    checkpoint directory locked by another run
+    8    crash-loop breaker tripped (serve --supervise: the child kept
+         crashing faster than the restart budget; not respawning)
     130  interrupted by Ctrl-C (success — imputation written from the
          current state; serve: drained then exited; append: log kept
          pending, re-run to finish)
@@ -1076,6 +1138,10 @@ fn build_serve_config(args: &Args) -> Result<grimp_serve::ServeConfig, CliError>
             ))
         })?);
     }
+    // Fault hook, not a flag: the panic route exists only so harnesses can
+    // prove panic isolation against a real process.
+    cfg.panic_route =
+        std::env::var(grimp_serve::FAULT_PANIC_ENV).is_ok_and(|v| !v.is_empty() && v != "0");
     Ok(cfg)
 }
 
@@ -1148,10 +1214,11 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
     writeln!(out, "grimp serve listening on {addr} (workers={workers})")?;
     out.flush()?;
 
-    let report = server.run();
+    let report = server.run()?;
     writeln!(
         out,
-        "drained {}; served {}, shed {}, over-budget {}, reloads {}, appends {}",
+        "drained {}; served {}, shed {}, over-budget {}, reloads {}, appends {}, panics {}, \
+         workers-replaced {}",
         if report.clean {
             "clean"
         } else {
@@ -1162,6 +1229,8 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
         report.over_budget,
         report.reloads,
         report.appends,
+        report.panics,
+        report.workers_replaced,
     )?;
     let code = if crate::signal::last_signal() == crate::signal::SIGINT {
         crate::signal::EXIT_INTERRUPTED
@@ -1173,8 +1242,21 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
 
 /// Run the adversarial-input chaos suite against the real pipeline.
 fn cmd_chaos(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
-    args.check_known(&["seed"])?;
+    args.check_known(&["seed", "crashpoints"])?;
     let seed = args.opt_parse("seed", 0u64)?;
+    if args.flag("crashpoints") {
+        // The sweep re-execs this binary as a supervised server, so it only
+        // runs under the real `grimp` CLI (never in-process from a test
+        // harness, whose current_exe is the test binary).
+        let failures = chaos_crashpoints(out, seed)?;
+        if failures > 0 {
+            return Err(CliError::data(format!(
+                "{failures} crashpoint(s) violated the recovery contract"
+            )));
+        }
+        writeln!(out, "chaos: every crashpoint recovered")?;
+        return Ok(());
+    }
     let config = GrimpConfigBuilder::from_config(GrimpConfig::fast())
         .seed(seed)
         .max_epochs(6)
@@ -1720,6 +1802,37 @@ fn chaos_serve(out: &mut dyn Write, small: &Table, seed: u64) -> Result<usize, C
         failures += 1;
     }
 
+    // Panic isolation: an injected handler panic answers that request 500,
+    // quarantines the worker's replica, and leaves the server healthy —
+    // the very next request restores a fresh replica and succeeds.
+    let cfg = ServeConfig {
+        panic_route: true,
+        ..base_cfg.clone()
+    };
+    let verdict = run_serve_scenario(cfg, small, &serve_dir, serving()?, |addr| {
+        match client::request(addr, "POST", "/panic", b"") {
+            Ok(r) if r.status == 500 => {}
+            other => return Err(format!("expected 500 from injected panic, got {other:?}")),
+        }
+        match client::impute(addr, "city,country\nParis,\n") {
+            Ok(r) if r.status == 200 => {}
+            other => return Err(format!("impute after panic: {other:?}")),
+        }
+        match client::request(addr, "GET", "/stats", b"") {
+            Ok(r) if r.status == 200 => {
+                let body = String::from_utf8_lossy(&r.body).to_string();
+                if body.contains("\"panics\":0") || body.contains("\"workers_replaced\":0") {
+                    return Err(format!("stats did not count the panic: {body}"));
+                }
+                Ok(())
+            }
+            other => Err(format!("stats after panic: {other:?}")),
+        }
+    });
+    if verdict_line(out, "serve:worker-panic", verdict)? {
+        failures += 1;
+    }
+
     // Load shedding: a zero-depth queue sheds every request with 503
     // instead of queueing unboundedly.
     let cfg = ServeConfig {
@@ -1742,6 +1855,207 @@ fn chaos_serve(out: &mut dyn Write, small: &Table, seed: u64) -> Result<usize, C
 
     std::fs::remove_dir_all(&serve_dir).ok();
     Ok(failures)
+}
+
+/// Crashpoint sweep: for every registered state-mutating boundary
+/// ([`grimp_obs::crashpoint::ALL`]), arm a one-shot abort at that boundary
+/// inside a *supervised* child server, drive a keyed `/append` into the
+/// crash, and prove recovery end to end: the supervisor respawns the
+/// server, `/readyz` returns 200, replaying the same `Idempotency-Key`
+/// converges to exactly one application of the rows (no doubling, no
+/// loss), the checkpoint on disk decodes, the append log is rotated, and
+/// a SIGTERM still drains the whole tree onto exit 0. Runs the real
+/// binary over real sockets with a real `abort(2)` at the boundary.
+fn chaos_crashpoints(out: &mut dyn Write, seed: u64) -> Result<usize, CliError> {
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError::io(format!("resolving the grimp binary: {e}")))?;
+    let mut failures = 0usize;
+    for point in grimp_obs::crashpoint::ALL {
+        let verdict = run_crashpoint_scenario(&exe, point, seed);
+        if verdict_line(out, &format!("cp:{point}"), verdict)? {
+            failures += 1;
+        }
+    }
+    Ok(failures)
+}
+
+/// One armed crash + recovery proof; see [`chaos_crashpoints`].
+fn run_crashpoint_scenario(exe: &std::path::Path, point: &str, seed: u64) -> Result<(), String> {
+    use grimp::checkpoint::{TrainCheckpoint, CHECKPOINT_FILE};
+    use grimp::{WAL_APPLIED_FILE, WAL_FILE};
+    use grimp_serve::client;
+    use std::io::BufRead;
+    use std::time::{Duration, Instant};
+
+    let csv = "city,country\nParis,France\nRome,Italy\nParis,\nRome,\nParis,France\nMadrid,Spain\nMadrid,\nRome,Italy\n";
+    // The delta reuses dictionary values the base table already has, so
+    // the fine-tuned checkpoint a killed append leaves behind still
+    // restores against the base table when the server respawns.
+    let delta = "city,country\nParis,\n,Italy\n";
+    let want_rows = 8 + 2;
+
+    let root = std::env::temp_dir().join(format!("grimp-chaos-cp-{}-{point}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).map_err(|e| e.to_string())?;
+    let train_csv = root.join("train.csv");
+    std::fs::write(&train_csv, csv).map_err(|e| e.to_string())?;
+    let ckpt_dir = root.join("ckpt");
+    std::fs::create_dir_all(&ckpt_dir).map_err(|e| e.to_string())?;
+    let table = grimp_table::csv::read_csv_str(csv).map_err(|e| e.to_string())?;
+    let config = GrimpConfigBuilder::from_config(GrimpConfig::fast())
+        .seed(seed)
+        .max_epochs(3)
+        .patience(3)
+        .checkpointing(CheckpointPolicy {
+            dir: Some(ckpt_dir.clone()),
+            ..Default::default()
+        })
+        .build()
+        .map_err(|e| e.to_string())?;
+    Pipeline::new(config)
+        .map_err(|e| e.to_string())?
+        .fit(&table)
+        .map_err(|e| format!("base fit: {e}"))?;
+
+    // The arm file makes the abort one-shot: the armed process consumes it
+    // at the boundary, so the respawned child (same env) runs clean.
+    let arm = root.join("arm");
+    std::fs::write(&arm, b"armed").map_err(|e| e.to_string())?;
+
+    let mut child = std::process::Command::new(exe)
+        .arg("serve")
+        .arg(&train_csv)
+        .arg("--checkpoint-dir")
+        .arg(&ckpt_dir)
+        .args(["--addr", "127.0.0.1:0", "--workers", "1"])
+        .args(["--reload-poll-ms", "50", "--seed", &seed.to_string()])
+        .args([
+            "--supervise",
+            "--restart-limit",
+            "3",
+            "--backoff-base-ms",
+            "50",
+        ])
+        .env(
+            grimp_obs::crashpoint::CRASHPOINT_ENV,
+            format!("{point}@{}", arm.display()),
+        )
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawning supervised serve: {e}"))?;
+
+    // One reader thread surfaces every `grimp serve listening on …`
+    // announcement (initial and respawn) and keeps the full log for
+    // failure diagnostics.
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
+    let reader = std::thread::spawn(move || {
+        let mut log = String::new();
+        let mut reader = std::io::BufReader::new(stdout);
+        let mut line = String::new();
+        while matches!(reader.read_line(&mut line), Ok(n) if n > 0) {
+            if let Some(rest) = line.strip_prefix("grimp serve listening on ") {
+                if let Some(addr) = rest.split_whitespace().next() {
+                    let _ = tx.send(addr.to_string());
+                }
+            }
+            log.push_str(&line);
+            line.clear();
+        }
+        log
+    });
+
+    let verdict = (|| -> Result<(), String> {
+        let addr = rx
+            .recv_timeout(Duration::from_secs(120))
+            .map_err(|_| "no readiness announcement".to_string())?;
+        // Drive the keyed append into the armed abort. The connection dies
+        // without a response — the client error is expected; the recovery
+        // assertions below are the contract.
+        let key = format!("cp-{point}");
+        let _ = client::request_with_headers(
+            &addr,
+            "POST",
+            "/append",
+            &[("Idempotency-Key", &key)],
+            delta.as_bytes(),
+        );
+        let addr2 = rx
+            .recv_timeout(Duration::from_secs(120))
+            .map_err(|_| "no respawn announcement after the crash".to_string())?;
+        if arm.exists() {
+            return Err("crashpoint never fired (arm file not consumed)".into());
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match client::request(&addr2, "GET", "/readyz", b"") {
+                Ok(r) if r.status == 200 => break,
+                _ if Instant::now() >= deadline => {
+                    return Err("respawned server never reported /readyz 200".into())
+                }
+                _ => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+        // The idempotent replay: same key, same body. Exactly-once either
+        // via the journal's recorded response or via WAL reconciliation.
+        let replay = client::request_with_headers(
+            &addr2,
+            "POST",
+            "/append",
+            &[("Idempotency-Key", &key)],
+            delta.as_bytes(),
+        )
+        .map_err(|e| format!("replayed append: {e}"))?;
+        if replay.status != 200 {
+            return Err(format!(
+                "replayed append: status {} body {:?}",
+                replay.status,
+                String::from_utf8_lossy(&replay.body)
+            ));
+        }
+        let grown = grimp_table::csv::read_csv_str(
+            std::str::from_utf8(&replay.body).map_err(|e| e.to_string())?,
+        )
+        .map_err(|e| format!("replay body: {e}"))?;
+        if grown.n_rows() != want_rows {
+            return Err(format!(
+                "rows doubled or lost: {} != {want_rows}",
+                grown.n_rows()
+            ));
+        }
+        if grown.n_missing() != 0 {
+            return Err(format!(
+                "{} cells left missing after recovery",
+                grown.n_missing()
+            ));
+        }
+        // On-disk invariants: a decodable checkpoint, no pending log.
+        TrainCheckpoint::load(&ckpt_dir.join(CHECKPOINT_FILE))
+            .map_err(|e| format!("checkpoint does not decode after recovery: {e}"))?;
+        if ckpt_dir.join(WAL_FILE).exists() {
+            return Err("append log still pending after a completed replay".into());
+        }
+        if !ckpt_dir.join(WAL_APPLIED_FILE).exists() {
+            return Err("applied append log missing after recovery".into());
+        }
+        Ok(())
+    })();
+
+    // Drain the whole tree: the supervisor forwards the TERM to its child,
+    // waits out the drain, and exits 0.
+    crate::signal::send_signal(child.id() as i32, crate::signal::SIGTERM);
+    let status = child.wait().map_err(|e| e.to_string())?;
+    let log = reader.join().unwrap_or_default();
+    let _ = std::fs::remove_dir_all(&root);
+    verdict.map_err(|why| format!("{why}\n--- supervisor log ---\n{log}"))?;
+    if status.code() != Some(0) {
+        return Err(format!(
+            "supervisor exited {:?} after SIGTERM, wanted 0\n--- supervisor log ---\n{log}",
+            status.code()
+        ));
+    }
+    Ok(())
 }
 
 /// Bind a server on a free port, run `drive` against it, then drain.
@@ -1772,7 +2086,8 @@ fn run_serve_scenario(
     let driven = drive(&addr);
     flag.request();
     let report = match handle.join() {
-        Ok(report) => report,
+        Ok(Ok(report)) => report,
+        Ok(Err(e)) => return Err(format!("server run: {e}")),
         Err(_) => return Err("server thread panicked".to_string()),
     };
     driven?;
@@ -1806,7 +2121,8 @@ fn verdict_line(
 /// training early, or 130 when Ctrl-C did (both with a complete
 /// imputation). Any failure prints a single `error: …` line to `err` and
 /// returns the exit code of its [`ErrorCategory`]: 2 config, 3 data, 4 io,
-/// 5 internal, 7 checkpoint directory locked.
+/// 5 internal, 7 checkpoint directory locked — or 8 when the supervisor's
+/// crash-loop breaker trips.
 pub fn run(argv: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32 {
     let Some(command) = argv.first().map(String::as_str) else {
         let _ = write!(out, "{USAGE}");
@@ -1821,7 +2137,10 @@ pub fn run(argv: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32 {
         "evaluate" => cmd_evaluate(&parse(&[])?, out).map(|()| 0),
         "stats" => cmd_stats(&parse(&[])?, out).map(|()| 0),
         "generate" => cmd_generate(&parse(&[])?, out).map(|()| 0),
-        "chaos" => cmd_chaos(&parse(&[])?, out).map(|()| 0),
+        "chaos" => cmd_chaos(&parse(&["crashpoints"])?, out).map(|()| 0),
+        "serve" if rest.iter().any(|a| a == "--supervise") => {
+            crate::supervise::cmd_supervise(rest, out)
+        }
         "serve" => cmd_serve(&parse(&["paper"])?, out),
         "help" | "--help" | "-h" => {
             write!(out, "{USAGE}")?;

@@ -14,7 +14,8 @@
 //! The library half holds the testable command implementations; `main.rs`
 //! only dispatches. Failures follow a fixed exit-code contract (see
 //! [`commands::run`]): 2 configuration, 3 malformed data, 4 IO, 5 internal,
-//! 7 checkpoint-dir locked — plus two *success* codes for governed runs:
+//! 7 checkpoint-dir locked, 8 crash-loop breaker (`serve --supervise`) —
+//! plus two *success* codes for governed runs:
 //! 6 when `--deadline` stopped training early and 130 when Ctrl-C did,
 //! both with a fully imputed output. Each failure prints a single-line
 //! `error: …` message on stderr.
@@ -24,6 +25,7 @@
 pub mod args;
 pub mod commands;
 pub mod signal;
+pub mod supervise;
 
 pub use args::{ArgError, Args};
 pub use commands::{run, CliError};

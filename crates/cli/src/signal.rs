@@ -37,11 +37,20 @@ pub const EXIT_TERMINATED: i32 = 143;
 /// `SIGINT` signal number.
 pub const SIGINT: i32 = 2;
 
+/// `SIGKILL` signal number (escalation target for a second signal while
+/// supervising: the child is beyond graceful drain at that point).
+pub const SIGKILL: i32 = 9;
+
 /// `SIGTERM` signal number.
 pub const SIGTERM: i32 = 15;
 
 static FLAG: OnceLock<ShutdownFlag> = OnceLock::new();
 static LAST_SIGNAL: AtomicI32 = AtomicI32::new(0);
+/// Child pid that shutdown signals are forwarded to (0 = none). The
+/// supervisor sets this so SIGTERM/SIGINT reach the serving child — which
+/// owns the actual drain — from inside the handler, where the supervisor's
+/// main thread may be blocked reading the child's stdout.
+static FORWARD_PID: AtomicI32 = AtomicI32::new(0);
 
 /// The process-wide shutdown flag. Clones share one counter, so the copy
 /// installed into a [`grimp::GrimpConfig`] sees the handler's requests.
@@ -62,6 +71,7 @@ mod sys {
 
     extern "C" {
         pub fn signal(signum: i32, handler: SigHandler) -> usize;
+        pub fn kill(pid: i32, sig: i32) -> i32;
         pub fn _exit(code: i32) -> !;
     }
 }
@@ -70,15 +80,26 @@ mod sys {
 extern "C" fn on_signal(sig: i32) {
     LAST_SIGNAL.store(sig, Ordering::SeqCst);
     // `install` initializes FLAG before registering, so `get` (an atomic
-    // load) always finds it; `request` is a single fetch_add.
+    // load) always finds it; `request` is a single fetch_add. `kill(2)` and
+    // `_exit(2)` are both async-signal-safe.
     if let Some(flag) = FLAG.get() {
-        if flag.request() >= 2 {
+        let requests = flag.request();
+        let pid = FORWARD_PID.load(Ordering::SeqCst);
+        if requests >= 2 {
+            if pid > 0 {
+                // Escalation: the supervised child failed to drain in time
+                // (or the operator means *now*); take it down with us.
+                unsafe { sys::kill(pid, SIGKILL) };
+            }
             let code = if sig == SIGTERM {
                 EXIT_TERMINATED
             } else {
                 EXIT_INTERRUPTED
             };
             unsafe { sys::_exit(code) }
+        }
+        if pid > 0 {
+            unsafe { sys::kill(pid, sig) };
         }
     }
 }
@@ -100,6 +121,26 @@ pub fn install_sigterm() {
     #[cfg(unix)]
     unsafe {
         sys::signal(SIGTERM, on_signal);
+    }
+}
+
+/// Forward subsequent shutdown signals to child `pid` (the supervisor's
+/// serving child, which owns the drain). Pass 0 to stop forwarding — do so
+/// as soon as the child exits, before its pid can be reused.
+pub fn forward_signals_to(pid: i32) {
+    FORWARD_PID.store(pid, Ordering::SeqCst);
+}
+
+/// Send `sig` to `pid`: a thin `kill(2)` wrapper for the chaos crashpoint
+/// sweep, which stops the supervised servers it spawns. No-op off unix.
+pub fn send_signal(pid: i32, sig: i32) {
+    #[cfg(unix)]
+    unsafe {
+        sys::kill(pid, sig);
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = (pid, sig);
     }
 }
 

@@ -1,0 +1,312 @@
+//! `grimp serve --supervise`: crash-only process supervision.
+//!
+//! The supervisor re-execs its own binary as a plain `grimp serve` child
+//! (supervisor-only flags stripped), echoes the child's stdout — including
+//! the `grimp serve listening on …` readiness line, so anything that
+//! parses the unsupervised announcement keeps working — and respawns the
+//! child when it dies abnormally. The serving process itself stays
+//! crash-only: it never traps its own faults beyond per-request panic
+//! isolation; a hard crash is recovered by respawn + WAL/idempotency
+//! replay, not by in-process heroics.
+//!
+//! Three behaviours make this safe rather than a crash *loop*:
+//!
+//! - **Deterministic backoff**: consecutive crashes double the respawn
+//!   delay from `--backoff-base-ms` (default 100ms), capped at 5s. No
+//!   jitter — restart timing stays reproducible under test.
+//! - **Crash-loop breaker**: more than `--restart-limit` crashes (default
+//!   5) within `--restart-window` seconds (default 30) stop the respawning
+//!   and exit with [`EXIT_CRASH_LOOP`], a code no other grimp failure
+//!   uses, so an orchestrator can distinguish "this will not heal" from a
+//!   one-off crash.
+//! - **Startup failures propagate**: a child that exits nonzero *before*
+//!   announcing readiness (bad flags, unreadable checkpoint dir) was never
+//!   going to serve; its exit code passes straight through instead of
+//!   being retried into the breaker.
+//!
+//! Signals: SIGTERM/SIGINT are forwarded to the child from inside the
+//! handler (see [`crate::signal::forward_signals_to`]) — the child owns
+//! the graceful drain; the supervisor just waits for it and propagates the
+//! child's exit code. A second signal SIGKILLs the child and hard-exits.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
+
+use crate::args::Args;
+use crate::commands::CliError;
+
+/// Exit code when the crash-loop breaker trips: the child kept crashing
+/// faster than the restart budget allows. Distinct from every
+/// [`grimp::ErrorCategory`] code and from the signal-derived 130/143.
+pub const EXIT_CRASH_LOOP: i32 = 8;
+
+/// Cap on the doubling respawn backoff.
+const BACKOFF_CAP: Duration = Duration::from_secs(5);
+
+/// Supervisor-only flags, stripped from the child's argument vector.
+/// `true` marks flags that take a value.
+const SUPERVISOR_FLAGS: &[(&str, bool)] = &[
+    ("--supervise", false),
+    ("--restart-limit", true),
+    ("--restart-window", true),
+    ("--backoff-base-ms", true),
+];
+
+/// Run `grimp serve --supervise …`: spawn, watch, respawn, break.
+///
+/// `rest` is the raw argument vector after `serve` (still containing the
+/// supervisor flags).
+///
+/// # Errors
+/// Configuration errors from the supervisor flags themselves, IO errors
+/// spawning the child, and [`CliError::crash_loop`] when the breaker
+/// trips.
+pub fn cmd_supervise(rest: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
+    // Parse only to read the supervisor flags; the child validates the
+    // serve flags itself (and a bad flag propagates as its exit 2).
+    let args = Args::parse(rest, &["paper", "supervise"])?;
+    let restart_limit = args.opt_parse("restart-limit", 5u32)?;
+    let restart_window = Duration::from_secs(args.opt_parse("restart-window", 30u64)?.max(1));
+    let backoff_base = Duration::from_millis(args.opt_parse("backoff-base-ms", 100u64)?.max(1));
+    let child_args = strip_supervisor_flags(rest);
+
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError::io(format!("resolving the grimp binary for respawn: {e}")))?;
+
+    crate::signal::install();
+    crate::signal::install_sigterm();
+    let shutdown = crate::signal::shutdown_flag();
+
+    let mut crashes: VecDeque<Instant> = VecDeque::new();
+    let mut consecutive: u32 = 0;
+    loop {
+        let mut child = Command::new(&exe)
+            .arg("serve")
+            .args(&child_args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| CliError::io(format!("spawning serve child: {e}")))?;
+        let pid = child.id() as i32;
+        crate::signal::forward_signals_to(pid);
+        writeln!(out, "grimp supervise: child pid {pid} up")?;
+        out.flush()?;
+
+        let announced = echo_child_stdout(&mut child, out)?;
+        let status = child
+            .wait()
+            .map_err(|e| CliError::io(format!("waiting for serve child: {e}")))?;
+        // Clear before the pid can be reused by an unrelated process.
+        crate::signal::forward_signals_to(0);
+
+        if shutdown.requests() > 0 {
+            // The child was handed our shutdown signal and has finished its
+            // drain; its exit code is the verdict (0 on a TERM drain, 130
+            // on INT, per the serve contract).
+            writeln!(out, "grimp supervise: child drained, exiting")?;
+            return Ok(exit_code_of(status));
+        }
+        if status.success() {
+            // The server stopped cleanly without us asking (e.g. someone
+            // signalled the child directly). A clean stop is not a crash.
+            writeln!(out, "grimp supervise: child exited cleanly, exiting")?;
+            return Ok(0);
+        }
+        if !announced && !was_signal_killed(status) {
+            // Startup failure: respawning a bad configuration only loops.
+            writeln!(
+                out,
+                "grimp supervise: child failed before readiness ({}), exiting",
+                describe(status)
+            )?;
+            return Ok(exit_code_of(status));
+        }
+
+        let now = Instant::now();
+        while let Some(&front) = crashes.front() {
+            if now.duration_since(front) > restart_window {
+                crashes.pop_front();
+            } else {
+                break;
+            }
+        }
+        crashes.push_back(now);
+        consecutive += 1;
+        if crashes.len() as u32 > restart_limit {
+            return Err(CliError::crash_loop(format!(
+                "crash-loop breaker: {} crashes within {}s (restart limit {}); not respawning",
+                crashes.len(),
+                restart_window.as_secs(),
+                restart_limit
+            )));
+        }
+
+        let delay = backoff_delay(backoff_base, consecutive);
+        writeln!(
+            out,
+            "grimp supervise: child crashed ({}); respawn {}/{} in {}ms",
+            describe(status),
+            crashes.len(),
+            restart_limit,
+            delay.as_millis()
+        )?;
+        out.flush()?;
+        interruptible_sleep(delay);
+        if shutdown.requests() > 0 {
+            return Ok(if crate::signal::last_signal() == crate::signal::SIGINT {
+                crate::signal::EXIT_INTERRUPTED
+            } else {
+                0
+            });
+        }
+    }
+}
+
+/// Echo the child's stdout to `out` line by line until EOF (child exit).
+/// Returns whether the child announced readiness.
+fn echo_child_stdout(child: &mut Child, out: &mut dyn Write) -> Result<bool, CliError> {
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| CliError::io("serve child stdout was not piped"))?;
+    let mut announced = false;
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if line.starts_with("grimp serve listening on ") {
+                    announced = true;
+                }
+                out.write_all(line.as_bytes())?;
+                out.flush()?;
+            }
+            // EINTR from our own signal handler, or the pipe tearing as
+            // the child dies: either way the wait() decides what happened.
+            Err(_) => break,
+        }
+    }
+    Ok(announced)
+}
+
+/// Drop the supervisor-only flags (and their values) from `rest`.
+fn strip_supervisor_flags(rest: &[String]) -> Vec<String> {
+    let mut kept = Vec::with_capacity(rest.len());
+    let mut skip_value = false;
+    for arg in rest {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        match SUPERVISOR_FLAGS.iter().find(|(name, _)| name == arg) {
+            Some((_, takes_value)) => skip_value = *takes_value,
+            None => kept.push(arg.clone()),
+        }
+    }
+    kept
+}
+
+/// `base * 2^(consecutive-1)`, capped — deterministic by design.
+fn backoff_delay(base: Duration, consecutive: u32) -> Duration {
+    let factor = 1u32 << (consecutive.saturating_sub(1)).min(10);
+    (base * factor).min(BACKOFF_CAP)
+}
+
+/// Sleep in small slices so a shutdown signal cuts the backoff short.
+fn interruptible_sleep(total: Duration) {
+    let shutdown = crate::signal::shutdown_flag();
+    let start = Instant::now();
+    while start.elapsed() < total {
+        if shutdown.requests() > 0 {
+            return;
+        }
+        let left = total - start.elapsed();
+        std::thread::sleep(left.min(Duration::from_millis(20)));
+    }
+}
+
+fn was_signal_killed(status: ExitStatus) -> bool {
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        status.signal().is_some()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = status;
+        false
+    }
+}
+
+fn exit_code_of(status: ExitStatus) -> i32 {
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        if let Some(sig) = status.signal() {
+            return 128 + sig;
+        }
+    }
+    status.code().unwrap_or(1)
+}
+
+fn describe(status: ExitStatus) -> String {
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        if let Some(sig) = status.signal() {
+            return format!("killed by signal {sig}");
+        }
+    }
+    match status.code() {
+        Some(code) => format!("exit code {code}"),
+        None => "unknown exit".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supervisor_flags_are_stripped_with_their_values() {
+        let rest: Vec<String> = [
+            "train.csv",
+            "--supervise",
+            "--checkpoint-dir",
+            "/tmp/ck",
+            "--restart-limit",
+            "2",
+            "--backoff-base-ms",
+            "50",
+            "--workers",
+            "1",
+            "--restart-window",
+            "10",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert_eq!(
+            strip_supervisor_flags(&rest),
+            ["train.csv", "--checkpoint-dir", "/tmp/ck", "--workers", "1"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_deterministically_and_caps() {
+        let base = Duration::from_millis(100);
+        assert_eq!(backoff_delay(base, 1), Duration::from_millis(100));
+        assert_eq!(backoff_delay(base, 2), Duration::from_millis(200));
+        assert_eq!(backoff_delay(base, 3), Duration::from_millis(400));
+        assert_eq!(backoff_delay(base, 30), BACKOFF_CAP);
+        // The same inputs always give the same delay: no jitter.
+        assert_eq!(backoff_delay(base, 3), backoff_delay(base, 3));
+    }
+}

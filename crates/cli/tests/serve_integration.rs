@@ -121,6 +121,241 @@ fn wait_for(deadline: Duration, mut f: impl FnMut() -> bool) -> bool {
     false
 }
 
+/// A running `grimp serve --supervise` tree. Unlike [`ServeChild`], the
+/// supervisor interleaves its own `grimp supervise: …` lines with the
+/// child's echoed output, so callers scan for what they need.
+struct Supervised {
+    child: Child,
+    stdout: BufReader<ChildStdout>,
+    log: String,
+}
+
+impl Supervised {
+    fn spawn(
+        train_csv: &PathBuf,
+        ckpt_dir: &PathBuf,
+        extra: &[&str],
+        env: &[(&str, &str)],
+    ) -> Supervised {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_grimp"));
+        cmd.arg("serve")
+            .arg(train_csv)
+            .arg("--checkpoint-dir")
+            .arg(ckpt_dir)
+            .args(["--addr", "127.0.0.1:0", "--reload-poll-ms", "50"])
+            .args(["--supervise", "--backoff-base-ms", "50"])
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        for (k, v) in env {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().expect("grimp serve --supervise spawns");
+        let stdout = BufReader::new(child.stdout.take().unwrap());
+        Supervised {
+            child,
+            stdout,
+            log: String::new(),
+        }
+    }
+
+    /// Read (and record) lines until one starts with `prefix`; returns the
+    /// remainder of that line. Panics with the log so far on EOF.
+    fn scan_for(&mut self, prefix: &str) -> String {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.stdout.read_line(&mut line).unwrap_or(0);
+            assert!(
+                n > 0,
+                "stdout closed while scanning for {prefix:?}; log so far:\n{}",
+                self.log
+            );
+            self.log.push_str(&line);
+            if let Some(rest) = line.strip_prefix(prefix) {
+                return rest.trim().to_string();
+            }
+        }
+    }
+
+    /// The serve child's pid, from the next supervisor spawn line.
+    fn next_child_pid(&mut self) -> i32 {
+        let rest = self.scan_for("grimp supervise: child pid ");
+        rest.split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .expect("pid parses")
+    }
+
+    /// The bound address from the next readiness announcement.
+    fn next_addr(&mut self) -> String {
+        let rest = self.scan_for("grimp serve listening on ");
+        rest.split_whitespace().next().unwrap().to_string()
+    }
+
+    /// Send `sig` to the *supervisor*, drain stdout, and collect the exit
+    /// code plus the full log.
+    fn stop(mut self, sig: &str) -> (i32, String) {
+        kill(self.child.id() as i32, sig);
+        let mut line = String::new();
+        while self.stdout.read_line(&mut line).unwrap_or(0) > 0 {
+            self.log.push_str(&line);
+            line.clear();
+        }
+        let status = self.child.wait().unwrap();
+        (status.code().unwrap_or(-1), self.log)
+    }
+}
+
+fn kill(pid: i32, sig: &str) {
+    Command::new("kill")
+        .args([format!("-{sig}"), pid.to_string()])
+        .status()
+        .unwrap();
+}
+
+#[test]
+fn supervised_sigterm_drains_the_child_and_exits_0() {
+    let (train_csv, ckpt_dir) = fit_checkpoint("sup-term", 11);
+    let mut sup = Supervised::spawn(&train_csv, &ckpt_dir, &[], &[]);
+    let _pid = sup.next_child_pid();
+    let addr = sup.next_addr();
+
+    let resp = client::impute(&addr, "city,country\nParis,\n").unwrap();
+    assert_eq!(resp.status, 200, "{resp:?}");
+
+    let (code, log) = sup.stop("TERM");
+    assert_eq!(
+        code, 0,
+        "TERM through the supervisor is a clean stop:\n{log}"
+    );
+    assert!(log.contains("drained clean"), "child drain echoed:\n{log}");
+    assert!(log.contains("child drained"), "supervisor verdict:\n{log}");
+}
+
+#[test]
+fn supervised_respawn_after_kill9_then_crash_loop_breaker_exits_8() {
+    let (train_csv, ckpt_dir) = fit_checkpoint("sup-loop", 12);
+    let mut sup = Supervised::spawn(&train_csv, &ckpt_dir, &["--restart-limit", "2"], &[]);
+
+    // First life, then two respawns: each SIGKILLed child is replaced and
+    // the replacement actually serves.
+    for round in 0..3 {
+        let pid = sup.next_child_pid();
+        let addr = sup.next_addr();
+        let healthy = wait_for(
+            Duration::from_secs(10),
+            || matches!(client::request(&addr, "GET", "/readyz", b""), Ok(r) if r.status == 200),
+        );
+        assert!(healthy, "life {round} never became ready:\n{}", sup.log);
+        kill(pid, "KILL");
+    }
+
+    // The third kill is the third crash inside the window: limit 2 trips
+    // the breaker instead of a fourth respawn.
+    let mut line = String::new();
+    while sup.stdout.read_line(&mut line).unwrap_or(0) > 0 {
+        sup.log.push_str(&line);
+        line.clear();
+    }
+    let status = sup.child.wait().unwrap();
+    assert_eq!(
+        status.code(),
+        Some(8),
+        "crash-loop breaker has its own exit code:\n{}",
+        sup.log
+    );
+    assert!(
+        sup.log.contains("respawn 1/2") && sup.log.contains("respawn 2/2"),
+        "both respawns announced:\n{}",
+        sup.log
+    );
+}
+
+#[test]
+fn supervised_second_sigterm_escalates_to_143() {
+    let (train_csv, ckpt_dir) = fit_checkpoint("sup-esc", 13);
+    let mut sup = Supervised::spawn(
+        &train_csv,
+        &ckpt_dir,
+        &["--workers", "1", "--read-timeout-ms", "8000"],
+        &[],
+    );
+    let _pid = sup.next_child_pid();
+    let addr = sup.next_addr();
+
+    // Wedge the only worker with a half-sent request so the drain cannot
+    // finish before the second signal lands.
+    use std::io::Write as _;
+    let mut held = std::net::TcpStream::connect(&addr).unwrap();
+    held.write_all(b"POST /impute HTTP/1.1\r\nContent-Length: 500\r\n\r\nstuck")
+        .unwrap();
+    held.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+
+    kill(sup.child.id() as i32, "TERM");
+    std::thread::sleep(Duration::from_millis(300));
+    let (code, log) = sup.stop("TERM");
+    assert_eq!(code, 143, "second TERM hard-exits 143:\n{log}");
+}
+
+#[test]
+fn supervised_crashpoint_kill_between_wal_publish_and_response_is_idempotent() {
+    let (train_csv, ckpt_dir) = fit_checkpoint("sup-cp", 14);
+    // Arm a one-shot abort after the append's outcome is journaled but
+    // before the served generation swaps — the classic "applied but never
+    // acknowledged" crash. The arm file is consumed by the abort, so the
+    // respawned child (same environment) runs clean.
+    let arm = ckpt_dir.with_file_name("arm");
+    std::fs::write(&arm, b"armed").unwrap();
+    let mut sup = Supervised::spawn(
+        &train_csv,
+        &ckpt_dir,
+        &["--workers", "1", "--restart-limit", "3"],
+        &[(
+            "GRIMP_CRASHPOINT",
+            &format!("generation-swap@{}", arm.display()),
+        )],
+    );
+    let _pid = sup.next_child_pid();
+    let addr = sup.next_addr();
+    let delta = b"city,country\nParis,\n,Italy\n";
+    let headers: &[(&str, &str)] = &[("Idempotency-Key", "sup-cp-1")];
+
+    // The armed append dies without a response.
+    let first = client::request_with_headers(&addr, "POST", "/append", headers, delta);
+    assert!(
+        first.is_err(),
+        "the abort must cut the connection: {first:?}"
+    );
+
+    // Supervisor respawns; the same key converges to exactly one
+    // application of the rows, answered from the idempotency journal.
+    let addr2 = sup.next_addr();
+    assert!(!arm.exists(), "the crashpoint consumed its arm file");
+    let ready = wait_for(
+        Duration::from_secs(20),
+        || matches!(client::request(&addr2, "GET", "/readyz", b""), Ok(r) if r.status == 200),
+    );
+    assert!(ready, "respawned server is ready:\n{}", sup.log);
+    let replay = client::request_with_headers(&addr2, "POST", "/append", headers, delta).unwrap();
+    assert_eq!(
+        replay.status,
+        200,
+        "{:?}",
+        String::from_utf8_lossy(&replay.body)
+    );
+    assert_eq!(replay.header("Idempotency-Replay"), Some("true"));
+    let grown = grimp_table::csv::read_csv_str(std::str::from_utf8(&replay.body).unwrap()).unwrap();
+    assert_eq!(grown.n_rows(), 10, "8 base + 2 delta, applied exactly once");
+    assert_eq!(grown.n_missing(), 0);
+
+    let (code, log) = sup.stop("TERM");
+    assert_eq!(code, 0, "{log}");
+}
+
 #[test]
 fn serves_http_imputation_and_drains_clean_on_sigterm() {
     let (train_csv, ckpt_dir) = fit_checkpoint("sigterm", 3);

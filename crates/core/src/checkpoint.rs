@@ -218,6 +218,9 @@ impl TrainCheckpoint {
             with_retry(IO_RETRY_ATTEMPTS, || fs.rename(path, &prev))?;
         }
         with_retry(IO_RETRY_ATTEMPTS, || fs.rename(&tmp, path))?;
+        // The new generation just became the checkpoint; `.prev` still holds
+        // the old one. A kill here must resume from one or the other intact.
+        grimp_obs::crashpoint::hit(grimp_obs::crashpoint::CHECKPOINT_ROTATE);
         Ok(bytes.len())
     }
 

@@ -40,7 +40,7 @@ use std::path::Path;
 use std::time::Instant;
 
 use grimp_obs::fs::{with_retry, IO_RETRY_ATTEMPTS};
-use grimp_obs::{names, EventSink, FaultFs, GrimpFs, RealFs, Trace};
+use grimp_obs::{crashpoint, names, EventSink, FaultFs, GrimpFs, RealFs, Trace};
 use grimp_table::{ColumnKind, FdSet, Table};
 
 use crate::checkpoint::{crc32, TrainCheckpoint, CHECKPOINT_FILE};
@@ -238,6 +238,9 @@ pub(crate) fn append_model(
                 context: format!("writing append log {}", wal_path.display()),
                 source,
             })?;
+        // The rows just became durable; nothing has trained or been
+        // acknowledged. A kill here must replay to the identical outcome.
+        crashpoint::hit(crashpoint::WAL_PUBLISH);
         let mut trace = Trace::new(sink);
         trace.counter(names::WAL_WRITE, segment.rows.len() as u64, bytes as u64);
         let _ = trace.flush();
@@ -339,6 +342,9 @@ pub(crate) fn append_model(
                 source,
             },
         )?;
+        // The log is gone; only the idempotency journal (when the caller
+        // keeps one) now guards a retry of these rows from re-appending.
+        crashpoint::hit(crashpoint::APPLIED_ROTATE);
     }
     {
         let mut trace = Trace::new(sink);

@@ -1,0 +1,121 @@
+//! Named crashpoints: deterministic kill -9 at state-mutating boundaries.
+//!
+//! The crash-only serving contract ("every failure is absorbed, restarted,
+//! or provably idempotent") is only testable if a harness can kill the
+//! process at *exactly* the boundary it wants to probe. This module names
+//! every state-mutating boundary in the serve/append path and lets the
+//! chaos harness arm one of them through the environment, the same way
+//! `GRIMP_FAULT_FS` and `GRIMP_FAULT_SOCKET` drive the other two fault
+//! layers — compiled into release builds, zero-cost when unarmed.
+//!
+//! A fired crashpoint calls [`std::process::abort`]: no unwinding, no
+//! `Drop`, no atexit — the closest in-process stand-in for `kill -9`.
+//!
+//! Spec grammar for [`CRASHPOINT_ENV`]:
+//!
+//! - `NAME` — abort every time `NAME` is reached (single-shot processes,
+//!   unit tests);
+//! - `NAME@ARMFILE` — abort the first time `NAME` is reached *while
+//!   `ARMFILE` exists*, consuming the file atomically first. A supervisor
+//!   that respawns the crashed child inherits the same environment, but
+//!   the arm file is gone, so the respawned process runs clean — this is
+//!   how the crashpoint sweep kills a supervised server exactly once per
+//!   point.
+
+use std::path::Path;
+
+/// Environment variable carrying a crashpoint spec (`name[@armfile]`).
+pub const CRASHPOINT_ENV: &str = "GRIMP_CRASHPOINT";
+
+/// The append WAL segment became durable (`grimp.wal` published); the
+/// rows exist on disk but nothing has trained or acknowledged yet.
+pub const WAL_PUBLISH: &str = "wal-publish";
+
+/// An `Idempotency-Key` was journaled durably, before any model work.
+pub const IDEM_JOURNAL: &str = "idem-journal";
+
+/// A training checkpoint rotation (`grimp.ckpt` atomic replace) landed.
+pub const CHECKPOINT_ROTATE: &str = "checkpoint-rotate";
+
+/// An append finished on disk and is about to swap the served
+/// blob + table + generation — the response has not been written.
+pub const GENERATION_SWAP: &str = "generation-swap";
+
+/// The applied WAL rotation (`grimp.wal` → `grimp.wal.applied`) landed;
+/// a replay of the same rows now starts from a blank log.
+pub const APPLIED_ROTATE: &str = "applied-rotate";
+
+/// Every registered crashpoint, in serve/append execution order. The
+/// chaos sweep iterates this list; adding a boundary here adds it to the
+/// sweep automatically.
+pub const ALL: &[&str] = &[
+    IDEM_JOURNAL,
+    WAL_PUBLISH,
+    CHECKPOINT_ROTATE,
+    APPLIED_ROTATE,
+    GENERATION_SWAP,
+];
+
+/// Split a spec into its crashpoint name and optional arm-file path.
+pub fn parse_spec(spec: &str) -> (&str, Option<&Path>) {
+    match spec.split_once('@') {
+        Some((name, armfile)) if !armfile.is_empty() => (name, Some(Path::new(armfile))),
+        _ => (spec, None),
+    }
+}
+
+/// Declare that execution reached the crashpoint `name`; aborts the
+/// process when [`CRASHPOINT_ENV`] arms that name (see the module docs
+/// for the spec grammar). The environment is consulted on every call —
+/// these sit on cold, state-mutating paths, never in a hot loop.
+pub fn hit(name: &str) {
+    let Ok(spec) = std::env::var(CRASHPOINT_ENV) else {
+        return;
+    };
+    let (armed, armfile) = parse_spec(&spec);
+    if armed != name {
+        return;
+    }
+    if let Some(armfile) = armfile {
+        // Atomic consume: of all processes racing to this point, exactly
+        // the one whose remove succeeds aborts; respawns run clean.
+        if std::fs::remove_file(armfile).is_err() {
+            return;
+        }
+    }
+    std::process::abort();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_into_name_and_arm_file() {
+        assert_eq!(parse_spec("wal-publish"), ("wal-publish", None));
+        let (name, armfile) = parse_spec("generation-swap@/tmp/arm");
+        assert_eq!(name, "generation-swap");
+        assert_eq!(armfile, Some(Path::new("/tmp/arm")));
+        // A trailing '@' is not an arm file.
+        assert_eq!(parse_spec("x@"), ("x@", None));
+    }
+
+    #[test]
+    fn the_registry_is_deduplicated_and_nonempty() {
+        assert!(!ALL.is_empty());
+        for (i, a) in ALL.iter().enumerate() {
+            for b in &ALL[i + 1..] {
+                assert_ne!(a, b, "duplicate crashpoint name");
+            }
+        }
+    }
+
+    #[test]
+    fn an_unarmed_hit_is_a_no_op() {
+        // CRASHPOINT_ENV is not set under `cargo test`; reaching any
+        // registered point must be free.
+        for name in ALL {
+            hit(name);
+        }
+    }
+}

@@ -409,9 +409,32 @@ pub fn is_transient(e: &io::Error) -> bool {
 /// Default attempt count for [`with_retry`].
 pub const IO_RETRY_ATTEMPTS: usize = 3;
 
+/// SplitMix64: the retry jitter's deterministic bit mixer (the same
+/// construction the serve watcher uses for its reload-poll jitter).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The deterministic extra wait added to retry number `attempt` when the
+/// base backoff is `delay_ms`: a pure function of `(seed, attempt)` in
+/// `[0, delay_ms / 4]` milliseconds. A fleet of replicas hammering the
+/// same flaky filesystem decorrelates by seed instead of doubling in
+/// lockstep, yet any single run replays its exact sleep schedule.
+pub fn retry_jitter(seed: u64, attempt: u64, delay_ms: u64) -> Duration {
+    let quarter = delay_ms / 4;
+    if quarter == 0 {
+        return Duration::ZERO;
+    }
+    Duration::from_millis(splitmix64(seed ^ attempt.wrapping_mul(0x9E37_79B9)) % (quarter + 1))
+}
+
 /// Run `f`, retrying transient IO errors up to `attempts` times with a
-/// deterministic doubling backoff (1 ms, 2 ms, 4 ms, … capped at 64 ms).
-/// Non-transient errors return immediately.
+/// deterministic doubling backoff (1 ms, 2 ms, 4 ms, … capped at 64 ms)
+/// plus the seed-0 [`retry_jitter`]. Non-transient errors return
+/// immediately.
 pub fn with_retry<T, F: FnMut() -> io::Result<T>>(attempts: usize, f: F) -> io::Result<T> {
     with_retry_capped(attempts, None, f)
 }
@@ -426,6 +449,20 @@ pub fn with_retry<T, F: FnMut() -> io::Result<T>>(attempts: usize, f: F) -> io::
 pub fn with_retry_capped<T, F: FnMut() -> io::Result<T>>(
     attempts: usize,
     cap: Option<Duration>,
+    f: F,
+) -> io::Result<T> {
+    with_retry_seeded(attempts, cap, 0, f)
+}
+
+/// [`with_retry_capped`] with an explicit jitter seed: each backoff sleep
+/// is the doubling base delay plus [`retry_jitter`]`(seed, attempt, base)`.
+/// The same seed replays the same sleep schedule bit for bit, so
+/// fault-injection tests stay deterministic while differently-seeded
+/// replicas spread their retries apart.
+pub fn with_retry_seeded<T, F: FnMut() -> io::Result<T>>(
+    attempts: usize,
+    cap: Option<Duration>,
+    seed: u64,
     mut f: F,
 ) -> io::Result<T> {
     let attempts = attempts.max(1);
@@ -440,7 +477,8 @@ pub fn with_retry_capped<T, F: FnMut() -> io::Result<T>>(
                 if cap.is_some_and(|cap| start.elapsed() >= cap) {
                     return Err(e);
                 }
-                std::thread::sleep(Duration::from_millis(delay_ms));
+                let jitter = retry_jitter(seed, attempt as u64, delay_ms);
+                std::thread::sleep(Duration::from_millis(delay_ms) + jitter);
                 delay_ms = (delay_ms * 2).min(64);
             }
             Err(e) => return Err(e),
@@ -535,6 +573,22 @@ mod tests {
         fs.write(&p, b"a").expect("third attempt succeeds");
         assert_eq!(fs.injected(), 2);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_jitter_is_deterministic_bounded_and_seed_sensitive() {
+        for attempt in 0..64u64 {
+            let a = retry_jitter(9, attempt, 64);
+            let b = retry_jitter(9, attempt, 64);
+            assert_eq!(a, b, "same seed and attempt must jitter identically");
+            assert!(a <= Duration::from_millis(16), "jitter stays in delay/4");
+        }
+        // Different seeds decorrelate the fleet: at least one attempt differs.
+        assert!((0..64u64).any(|a| retry_jitter(9, a, 64) != retry_jitter(10, a, 64)));
+        // Tiny delays degrade to zero jitter, keeping 1–2 ms backoffs tight.
+        for delay in 0..4u64 {
+            assert_eq!(retry_jitter(1, 7, delay), Duration::ZERO);
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod crashpoint;
 pub mod fs;
 pub mod histogram;
 pub mod json;
@@ -416,6 +417,13 @@ pub mod names {
     /// One hot-reload watcher poll tick (counter, index = poll count,
     /// value = jittered sleep in milliseconds).
     pub const RELOAD_POLL: &str = "reload_poll";
+    /// A worker caught a handler panic: the request was answered `500`
+    /// and the worker's replica was quarantined and rebuilt (counter,
+    /// index = request id, value = 1).
+    pub const WORKER_PANIC: &str = "worker_panic";
+    /// A replayed `Idempotency-Key` was answered from the journal instead
+    /// of re-appending (counter, index = request id, value = 1).
+    pub const IDEM_REPLAY: &str = "idem_replay";
 
     /// Placeholder name a replayed trace event gets when its recorded name
     /// is not in this vocabulary (a trace from a newer build): the event is
@@ -488,6 +496,8 @@ pub mod names {
         DRIFT,
         REFIT_SCHEDULED,
         RELOAD_POLL,
+        WORKER_PANIC,
+        IDEM_REPLAY,
     ];
 
     /// Intern a replayed name against the vocabulary; `None` when unknown.

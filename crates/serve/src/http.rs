@@ -13,15 +13,28 @@ use std::io::{self, Read, Write};
 /// Cap on the request head (request line + headers), in bytes.
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
 
-/// A parsed request: method, path, and the raw body bytes.
+/// A parsed request: method, path, headers, and the raw body bytes.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Request {
     /// The request method, uppercased by the client (`GET`, `POST`, ...).
     pub method: String,
     /// The request target, e.g. `/impute`.
     pub path: String,
+    /// Header name/value pairs in arrival order, values trimmed. Bounded
+    /// by [`MAX_HEAD_BYTES`] like the rest of the head.
+    pub headers: Vec<(String, String)>,
     /// The request body (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of header `name` (case-insensitive), when present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(key, _)| key.eq_ignore_ascii_case(name))
+            .map(|(_, value)| value.as_str())
+    }
 }
 
 /// How reading a request can fail; each variant maps to a distinct
@@ -111,6 +124,7 @@ pub fn read_request(stream: &mut dyn Read, max_body: usize) -> Result<Request, H
     }
 
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -121,6 +135,7 @@ pub fn read_request(stream: &mut dyn Read, max_body: usize) -> Result<Request, H
                 .parse()
                 .map_err(|_| HttpError::Malformed(format!("bad content-length {value:?}")))?;
         }
+        headers.push((name.trim().to_string(), value.trim().to_string()));
     }
     if content_length > max_body {
         return Err(HttpError::TooLarge("request body"));
@@ -145,6 +160,7 @@ pub fn read_request(stream: &mut dyn Read, max_body: usize) -> Result<Request, H
     Ok(Request {
         method: method.to_string(),
         path: path.to_string(),
+        headers,
         body,
     })
 }
@@ -160,7 +176,9 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -213,6 +231,18 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/impute");
         assert_eq!(req.body, b"a,b\r\n1,");
+    }
+
+    #[test]
+    fn headers_are_captured_and_looked_up_case_insensitively() {
+        let req = parse(
+            b"POST /append HTTP/1.1\r\nIdempotency-Key: k-1\r\nContent-Length: 4\r\n\r\na,b\n",
+        )
+        .unwrap();
+        assert_eq!(req.header("idempotency-key"), Some("k-1"));
+        assert_eq!(req.header("IDEMPOTENCY-KEY"), Some("k-1"));
+        assert_eq!(req.header("content-length"), Some("4"));
+        assert_eq!(req.header("absent"), None);
     }
 
     #[test]

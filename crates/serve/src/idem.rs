@@ -1,0 +1,329 @@
+//! The durable `Idempotency-Key` journal for `POST /append`.
+//!
+//! A client that retries an append after a crash (its own, or the
+//! server's) must not double-apply its rows. The journal records, next to
+//! the append WAL in the checkpoint directory, two facts per key — both
+//! durable *before* the step they guard:
+//!
+//! 1. a **pending** record (key + CRC of the request body) before any
+//!    model work, so a replayed key is recognized across a server restart;
+//! 2. a **done** record (key + the exact response body) before the served
+//!    generation swaps, so a replayed key after success is answered from
+//!    the journal instead of re-appending.
+//!
+//! The file format mirrors `grimp.wal`: an 8-byte magic + version header,
+//! then CRC-framed records (`[len][crc][payload]`). Every write goes
+//! through [`atomic_write`] (tmp + rename), so a crash leaves either the
+//! old journal or the new one — never a torn file; the decoder still
+//! tolerates a torn tail by keeping the intact prefix, like the WAL
+//! reader. The ordering guarantee against double-apply is:
+//!
+//! - **crash before the done record** → the server restarts serving the
+//!   *base* table, so rerunning the append (reconciled through
+//!   `Pipeline::append`'s pending-WAL state machine) converges to
+//!   base + delta exactly once;
+//! - **done record durable** → any replay of the key, live or after a
+//!   restart, returns the recorded response and touches nothing.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use grimp::checkpoint::crc32;
+use grimp_obs::fs::atomic_write;
+use grimp_obs::GrimpFs;
+
+/// Journal file name, a sibling of `grimp.wal` in the checkpoint dir.
+pub const IDEM_FILE: &str = "grimp.idem";
+
+/// Journal magic: 8 bytes, like the WAL's `GRIMPWAL`.
+const MAGIC: &[u8; 8] = b"GRIMPIDM";
+
+/// Format version.
+const VERSION: u32 = 1;
+
+const STATE_PENDING: u8 = 0;
+const STATE_DONE: u8 = 1;
+
+/// The longest `Idempotency-Key` accepted (journal records are bounded).
+pub const MAX_KEY_BYTES: usize = 255;
+
+/// What the journal knows about one key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// CRC-32 of the request body the key was first seen with; a replay
+    /// with different bytes is a client bug, answered `422`.
+    pub rows_crc: u32,
+    /// Present once the append completed and its response was recorded.
+    pub done: Option<DoneRecord>,
+}
+
+/// The recorded outcome of a completed keyed append.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DoneRecord {
+    /// Rows the append applied.
+    pub appended_rows: u32,
+    /// The exact response body (the imputed grown table as CSV).
+    pub body: Vec<u8>,
+}
+
+/// The journal: the durable byte image plus a key → latest-entry index.
+pub struct Journal {
+    path: PathBuf,
+    bytes: Vec<u8>,
+    entries: HashMap<String, Entry>,
+}
+
+impl Journal {
+    /// Load the journal from `dir`, tolerating a missing file (empty
+    /// journal) and a torn record tail (intact prefix kept). A journal
+    /// whose header does not validate is treated as absent — serving
+    /// must not wedge on a corrupted sidecar — and is rewritten whole on
+    /// the next record.
+    ///
+    /// # Errors
+    /// Propagates read errors other than "not found".
+    pub fn load(dir: &Path) -> io::Result<Journal> {
+        let path = dir.join(IDEM_FILE);
+        let raw = match std::fs::read(&path) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let mut journal = Journal {
+            path,
+            bytes: header_bytes(),
+            entries: HashMap::new(),
+        };
+        if raw.len() < journal.bytes.len() || raw[..8] != MAGIC[..] || raw[..16] != journal.bytes {
+            // Missing, truncated-below-header, or foreign: start fresh.
+            return Ok(journal);
+        }
+        let mut offset = journal.bytes.len();
+        while raw.len() - offset >= 8 {
+            let len = read_u32(&raw, offset) as usize;
+            let crc = read_u32(&raw, offset + 4);
+            let Some(payload) = raw.get(offset + 8..offset + 8 + len) else {
+                break; // torn tail: keep the intact prefix
+            };
+            if crc32(payload) != crc {
+                break;
+            }
+            let Some((key, entry_delta)) = decode_payload(payload) else {
+                break;
+            };
+            apply(&mut journal.entries, key, entry_delta);
+            offset += 8 + len;
+        }
+        journal.bytes.extend_from_slice(&raw[16..offset]);
+        Ok(journal)
+    }
+
+    /// What the journal knows about `key`.
+    pub fn lookup(&self, key: &str) -> Option<&Entry> {
+        self.entries.get(key)
+    }
+
+    /// Durably record that `key` (request-body CRC `rows_crc`) has been
+    /// accepted and is about to run.
+    ///
+    /// # Errors
+    /// Propagates the journal write failure; the caller must not ack.
+    pub fn record_pending(
+        &mut self,
+        fs: &mut dyn GrimpFs,
+        key: &str,
+        rows_crc: u32,
+    ) -> io::Result<()> {
+        self.push_record(fs, key, STATE_PENDING, rows_crc, 0, &[])
+    }
+
+    /// Durably record that `key`'s append completed with `body` as its
+    /// response, so any replay is answered without re-appending.
+    ///
+    /// # Errors
+    /// Propagates the journal write failure.
+    pub fn record_done(
+        &mut self,
+        fs: &mut dyn GrimpFs,
+        key: &str,
+        rows_crc: u32,
+        appended_rows: u32,
+        body: &[u8],
+    ) -> io::Result<()> {
+        self.push_record(fs, key, STATE_DONE, rows_crc, appended_rows, body)
+    }
+
+    fn push_record(
+        &mut self,
+        fs: &mut dyn GrimpFs,
+        key: &str,
+        state: u8,
+        rows_crc: u32,
+        appended_rows: u32,
+        body: &[u8],
+    ) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(17 + key.len() + body.len());
+        payload.push(state);
+        payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        payload.extend_from_slice(key.as_bytes());
+        payload.extend_from_slice(&rows_crc.to_le_bytes());
+        payload.extend_from_slice(&appended_rows.to_le_bytes());
+        payload.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        payload.extend_from_slice(body);
+
+        let mut next = self.bytes.clone();
+        next.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        next.extend_from_slice(&crc32(&payload).to_le_bytes());
+        next.extend_from_slice(&payload);
+        atomic_write(fs, &self.path, &next)?;
+        self.bytes = next;
+
+        let done = (state == STATE_DONE).then(|| DoneRecord {
+            appended_rows,
+            body: body.to_vec(),
+        });
+        apply(&mut self.entries, key.to_string(), Entry { rows_crc, done });
+        Ok(())
+    }
+}
+
+/// A valid `Idempotency-Key`: non-empty, bounded, visible ASCII (so it
+/// survives HTTP framing and journal round-trips byte-identically).
+pub fn valid_key(key: &str) -> bool {
+    !key.is_empty() && key.len() <= MAX_KEY_BYTES && key.bytes().all(|b| (0x21..=0x7e).contains(&b))
+}
+
+/// Merge a decoded record into the index: a done record completes the
+/// entry; a pending record never downgrades an existing done one (replay
+/// of an old journal must keep the strongest fact per key).
+fn apply(entries: &mut HashMap<String, Entry>, key: String, entry: Entry) {
+    match entries.get_mut(&key) {
+        Some(existing) => {
+            if entry.done.is_some() {
+                *existing = entry;
+            }
+        }
+        None => {
+            entries.insert(key, entry);
+        }
+    }
+}
+
+fn header_bytes() -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(16);
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&VERSION.to_le_bytes());
+    let crc = crc32(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    bytes
+}
+
+fn read_u32(raw: &[u8], offset: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&raw[offset..offset + 4]);
+    u32::from_le_bytes(b)
+}
+
+fn take_u32(payload: &[u8], at: &mut usize) -> Option<u32> {
+    let bytes = payload.get(*at..*at + 4)?;
+    *at += 4;
+    let mut b = [0u8; 4];
+    b.copy_from_slice(bytes);
+    Some(u32::from_le_bytes(b))
+}
+
+fn decode_payload(payload: &[u8]) -> Option<(String, Entry)> {
+    let state = *payload.first()?;
+    let mut at = 1;
+    let key_len = take_u32(payload, &mut at)? as usize;
+    let key = std::str::from_utf8(payload.get(at..at + key_len)?).ok()?;
+    at += key_len;
+    let rows_crc = take_u32(payload, &mut at)?;
+    let appended_rows = take_u32(payload, &mut at)?;
+    let body_len = take_u32(payload, &mut at)? as usize;
+    let body = payload.get(at..at + body_len)?;
+    let done = (state == STATE_DONE).then(|| DoneRecord {
+        appended_rows,
+        body: body.to_vec(),
+    });
+    Some((key.to_string(), Entry { rows_crc, done }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grimp_obs::RealFs;
+
+    fn dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("grimp-idem-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn pending_then_done_round_trips_through_disk() {
+        let d = dir("roundtrip");
+        let mut fs = RealFs;
+        let mut j = Journal::load(&d).unwrap();
+        assert!(j.lookup("k").is_none());
+        j.record_pending(&mut fs, "k", 7).unwrap();
+
+        let j2 = Journal::load(&d).unwrap();
+        let e = j2.lookup("k").unwrap();
+        assert_eq!((e.rows_crc, e.done.clone()), (7, None));
+
+        j.record_done(&mut fs, "k", 7, 2, b"a,b\nx,y\n").unwrap();
+        let j3 = Journal::load(&d).unwrap();
+        let e = j3.lookup("k").unwrap();
+        assert_eq!(e.rows_crc, 7);
+        let done = e.done.as_ref().unwrap();
+        assert_eq!(done.appended_rows, 2);
+        assert_eq!(done.body, b"a,b\nx,y\n");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn a_torn_tail_keeps_the_intact_prefix() {
+        let d = dir("torn");
+        let mut fs = RealFs;
+        let mut j = Journal::load(&d).unwrap();
+        j.record_pending(&mut fs, "first", 1).unwrap();
+        j.record_done(&mut fs, "first", 1, 1, b"body").unwrap();
+        let path = d.join(IDEM_FILE);
+        let mut raw = std::fs::read(&path).unwrap();
+        let intact = raw.len();
+        raw.extend_from_slice(&[9, 0, 0, 0, 1, 2, 3, 4, 0xff]); // torn frame
+        std::fs::write(&path, &raw).unwrap();
+
+        let j2 = Journal::load(&d).unwrap();
+        assert!(j2.lookup("first").unwrap().done.is_some());
+        // A new record rewrites the file without the torn bytes.
+        let mut j2 = j2;
+        j2.record_pending(&mut fs, "second", 2).unwrap();
+        assert!(std::fs::read(&path).unwrap().len() > intact);
+        let j3 = Journal::load(&d).unwrap();
+        assert!(j3.lookup("first").unwrap().done.is_some());
+        assert!(j3.lookup("second").is_some());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn a_corrupt_header_degrades_to_an_empty_journal() {
+        let d = dir("corrupt");
+        std::fs::write(d.join(IDEM_FILE), b"not a journal at all").unwrap();
+        let j = Journal::load(&d).unwrap();
+        assert!(j.lookup("k").is_none());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn key_validation_bounds_length_and_charset() {
+        assert!(valid_key("retry-2026-08-09_42"));
+        assert!(!valid_key(""));
+        assert!(!valid_key(&"k".repeat(MAX_KEY_BYTES + 1)));
+        assert!(!valid_key("has space"));
+        assert!(!valid_key("ctrl\u{7}"));
+    }
+}

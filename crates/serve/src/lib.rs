@@ -31,10 +31,26 @@
 //!   in-flight requests always finish on the model they started with.
 //! - **Incremental append.** `POST /append` pushes CSV rows through the
 //!   WAL-backed incremental pipeline ([`Pipeline::append`]): the rows are
-//!   durable before any model work, the base checkpoint is fine-tuned (or
-//!   refitted on dictionary growth), and the served generation swaps to
-//!   the grown table atomically. Concurrent appends are serialized; a
-//!   conflicting pending append log from a crashed run is `409`.
+//!   durable before any model work, the base checkpoint is fine-tuned,
+//!   and the served generation swaps to the grown table atomically.
+//!   Concurrent appends are serialized; a conflicting pending append log
+//!   from a crashed run is `409`, as is a delta with new categorical
+//!   values (a refit cannot be recovered after a crash — that flow
+//!   belongs to the offline `grimp append`).
+//! - **Panic isolation.** Every handler runs under `catch_unwind`: a
+//!   panicking request is answered `500`, the worker's replica is
+//!   quarantined and rebuilt from the shared snapshot (never reused
+//!   half-mutated — that is what makes the handler unwind-safe), and the
+//!   pool keeps its size. Counted as `panics`/`workers_replaced` in
+//!   `/stats` and the [`DrainReport`], traced as `worker_panic`.
+//! - **Idempotent append.** An `Idempotency-Key` request header is
+//!   journaled durably next to the WAL ([`idem`]) before any model work;
+//!   a replayed key returns the recorded outcome instead of re-appending,
+//!   so client-retry-after-crash can never double rows.
+//! - **Liveness vs readiness.** `GET /healthz` answers `ok` while the
+//!   process lives; `GET /readyz` reports generation, pending-WAL and
+//!   append state, and failed-reload memoization, going `503` while an
+//!   append holds the gate or a drain is underway.
 //!
 //! [`FittedModel`] is intentionally `!Send` (its tape shares `Rc` label
 //! buffers), so no model ever crosses a thread: each worker restores its
@@ -46,6 +62,7 @@
 
 pub mod fault;
 pub mod http;
+pub mod idem;
 
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -58,9 +75,9 @@ use std::time::{Duration, Instant};
 
 use grimp::checkpoint::{crc32, TrainCheckpoint, CHECKPOINT_FILE};
 use grimp::{estimate_footprint, FittedModel, GrimpError, Pipeline, ShutdownFlag};
-use grimp_obs::{names, Event, EventSink, Trace};
+use grimp_obs::{crashpoint, names, Event, EventSink, RealFs, Trace};
 use grimp_table::csv::{read_csv_str, to_csv_bytes};
-use grimp_table::Table;
+use grimp_table::{ColumnKind, Table};
 
 pub use fault::{FaultStream, SocketFaultKind, SocketFaultPlan};
 pub use http::{HttpError, Request};
@@ -69,6 +86,11 @@ pub use http::{HttpError, Request};
 /// (`kind[:times[:from_conn]]`), the socket-layer sibling of
 /// `GRIMP_FAULT_FS`.
 pub const FAULT_SOCKET_ENV: &str = "GRIMP_FAULT_SOCKET";
+
+/// Environment variable that, when set to `1`, enables the
+/// `POST /panic` injection endpoint (see [`ServeConfig::panic_route`]) —
+/// the panic-isolation sibling of [`FAULT_SOCKET_ENV`].
+pub const FAULT_PANIC_ENV: &str = "GRIMP_FAULT_PANIC";
 
 /// How the server behaves under load; every bound has a safe default.
 #[derive(Clone, Debug)]
@@ -103,6 +125,11 @@ pub struct ServeConfig {
     pub seed: u64,
     /// Deterministic socket-fault plan for chaos runs.
     pub fault: Option<SocketFaultPlan>,
+    /// Expose `POST /panic`, which panics inside the handler — the chaos
+    /// harness's deterministic probe that panic isolation answers `500`,
+    /// rebuilds the replica, and never kills the worker. Off by default;
+    /// the CLI enables it only under [`FAULT_PANIC_ENV`].
+    pub panic_route: bool,
 }
 
 impl Default for ServeConfig {
@@ -119,6 +146,7 @@ impl Default for ServeConfig {
             reload_poll: Duration::from_millis(200),
             seed: 0,
             fault: None,
+            panic_route: false,
         }
     }
 }
@@ -155,6 +183,11 @@ pub struct DrainReport {
     /// Successful `POST /append` requests (rows appended and fine-tuned
     /// or refitted, served table swapped to the grown one).
     pub appends: u64,
+    /// Handler panics caught and answered `500` (the process survived
+    /// every one of them).
+    pub panics: u64,
+    /// Worker replicas quarantined and rebuilt after a caught panic.
+    pub workers_replaced: u64,
 }
 
 /// An [`EventSink`] shareable across the accept loop, workers, and the
@@ -210,6 +243,8 @@ struct Counters {
     client_gone: AtomicU64,
     reloads: AtomicU64,
     appends: AtomicU64,
+    panics: AtomicU64,
+    workers_replaced: AtomicU64,
 }
 
 /// The served model generation: checkpoint bytes plus the table the
@@ -238,6 +273,10 @@ struct Shared {
     /// one shared resource, and a second concurrent append is answered
     /// `503` instead of racing the first for it.
     append_gate: Mutex<()>,
+    /// Readiness memoization of the last reload that failed to restore:
+    /// `generation + 1` of the bad rotation, `0` when the latest
+    /// generation restored fine. Reported by `GET /readyz`.
+    failed_reload: AtomicU64,
     counters: Counters,
     sink: SharedSink,
     shutdown: ShutdownFlag,
@@ -312,6 +351,7 @@ impl Server {
             current: Mutex::new(current),
             generation: AtomicU64::new(0),
             append_gate: Mutex::new(()),
+            failed_reload: AtomicU64::new(0),
             counters: Counters::default(),
             sink: SharedSink::new(sink),
             shutdown,
@@ -334,7 +374,12 @@ impl Server {
     /// emit `drain_begin`, let workers finish queued and in-flight
     /// requests within the drain deadline, emit `drain_end`
     /// (value 1 = clean, 0 = deadline expired, stragglers abandoned).
-    pub fn run(self) -> DrainReport {
+    ///
+    /// # Errors
+    /// [`GrimpError::Io`] when a worker or watcher thread cannot be
+    /// spawned; any workers that did start are drained first, so the
+    /// error path leaks neither threads nor sockets.
+    pub fn run(self) -> Result<DrainReport, GrimpError> {
         let workers = self.shared.cfg.workers.max(1);
         {
             let mut active = self
@@ -344,22 +389,46 @@ impl Server {
                 .unwrap_or_else(|p| p.into_inner());
             *active = workers;
         }
+        let abort_spawn =
+            |handles: Vec<thread::JoinHandle<()>>, what: &str, source: std::io::Error| {
+                {
+                    let mut active = self
+                        .shared
+                        .active_workers
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner());
+                    *active = handles.len();
+                }
+                self.shared.draining.store(true, Ordering::SeqCst);
+                self.shared.job_ready.notify_all();
+                for h in handles {
+                    let _ = h.join();
+                }
+                GrimpError::Io {
+                    context: format!("spawning the {what} thread"),
+                    source,
+                }
+            };
         let mut handles = Vec::with_capacity(workers);
         for worker_id in 0..workers {
             let shared = Arc::clone(&self.shared);
-            handles.push(
-                thread::Builder::new()
-                    .name(format!("grimp-serve-worker-{worker_id}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawning a worker thread"),
-            );
+            match thread::Builder::new()
+                .name(format!("grimp-serve-worker-{worker_id}"))
+                .spawn(move || worker_loop(&shared))
+            {
+                Ok(handle) => handles.push(handle),
+                Err(e) => return Err(abort_spawn(handles, "worker", e)),
+            }
         }
         let watcher = {
             let shared = Arc::clone(&self.shared);
-            thread::Builder::new()
+            match thread::Builder::new()
                 .name("grimp-serve-watcher".to_string())
                 .spawn(move || watcher_loop(&shared))
-                .expect("spawning the watcher thread")
+            {
+                Ok(handle) => handle,
+                Err(e) => return Err(abort_spawn(handles, "watcher", e)),
+            }
         };
 
         self.accept_loop();
@@ -409,14 +478,16 @@ impl Server {
         }
         // On an expired drain the handles are dropped (detached); the
         // stragglers die with the process.
-        DrainReport {
+        Ok(DrainReport {
             clean,
             served: shared.counters.served.load(Ordering::SeqCst),
             shed: shared.counters.shed.load(Ordering::SeqCst),
             over_budget: shared.counters.over_budget.load(Ordering::SeqCst),
             reloads: shared.counters.reloads.load(Ordering::SeqCst),
             appends: shared.counters.appends.load(Ordering::SeqCst),
-        }
+            panics: shared.counters.panics.load(Ordering::SeqCst),
+            workers_replaced: shared.counters.workers_replaced.load(Ordering::SeqCst),
+        })
     }
 
     fn accept_loop(&self) {
@@ -598,7 +669,20 @@ fn worker_loop(shared: &Shared) {
     // does not trigger a rebuild attempt on every request.
     let mut failed_generation: Option<u64> = None;
     while let Some(job) = next_job(shared) {
-        serve_one(shared, job, &mut replica, &mut failed_generation);
+        let req_id = job.req_id;
+        // Last-resort panic isolation: `serve_one` already catches
+        // handler panics and answers 500; this outer belt catches a
+        // panic anywhere else on the request path (parsing, response
+        // IO), so one poisoned request can never shrink the worker pool
+        // or hang the drain waiting on a dead worker.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve_one(shared, job, &mut replica, &mut failed_generation);
+        }));
+        if caught.is_err() {
+            replica = None;
+            failed_generation = None;
+            note_panic(shared, req_id);
+        }
     }
     let mut active = shared
         .active_workers
@@ -607,6 +691,19 @@ fn worker_loop(shared: &Shared) {
     *active = active.saturating_sub(1);
     drop(active);
     shared.worker_done.notify_all();
+}
+
+/// Count a caught panic (the replica was already dropped for rebuild)
+/// and put a `worker_panic` event in the trace.
+fn note_panic(shared: &Shared, req_id: u64) {
+    shared.counters.panics.fetch_add(1, Ordering::SeqCst);
+    shared
+        .counters
+        .workers_replaced
+        .fetch_add(1, Ordering::SeqCst);
+    let mut sink = shared.sink.clone();
+    let mut trace = Trace::new(&mut sink);
+    trace.counter(names::WORKER_PANIC, req_id, 1);
 }
 
 fn next_job(shared: &Shared) -> Option<Job> {
@@ -684,15 +781,37 @@ fn serve_one(
         absorb_remaining(job.stream.socket(), Duration::from_millis(50));
     }
     let outcome = match parsed {
-        Ok(request) => Some(route(
-            shared,
-            &mut trace,
-            req_id,
-            &request,
-            deadline,
-            replica,
-            failed_generation,
-        )),
+        Ok(request) => {
+            // Panic isolation: any panic out of the handler (replica
+            // restore, imputation, append) unwinds to here. The worker's
+            // replica is the only state the handler mutates; it is
+            // dropped and rebuilt from the shared snapshot — never
+            // reused half-mutated — which is what makes the closure
+            // sound under `AssertUnwindSafe`.
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                route(
+                    shared,
+                    &mut trace,
+                    req_id,
+                    &request,
+                    deadline,
+                    replica,
+                    failed_generation,
+                )
+            }));
+            Some(match caught {
+                Ok(outcome) => outcome,
+                Err(_panic) => {
+                    *replica = None;
+                    *failed_generation = None;
+                    note_panic(shared, req_id);
+                    Outcome::text(
+                        500,
+                        "handler panicked; worker replica quarantined and rebuilt",
+                    )
+                }
+            })
+        }
         Err(HttpError::Timeout) => Some(Outcome::text(408, "request read timed out")),
         Err(HttpError::Torn) => None,
         Err(HttpError::Malformed(why)) => Some(Outcome::text(400, format!("bad request: {why}"))),
@@ -741,7 +860,11 @@ fn route(
 ) -> Outcome {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Outcome::text(200, "ok"),
+        ("GET", "/readyz") => readyz(shared),
         ("GET", "/stats") => stats(shared),
+        ("POST", "/panic") if shared.cfg.panic_route => {
+            panic!("injected handler panic (panic route enabled)")
+        }
         ("POST", "/impute") => impute(
             shared,
             trace,
@@ -762,13 +885,15 @@ fn route(
 fn stats(shared: &Shared) -> Outcome {
     let c = &shared.counters;
     let body = format!(
-        "{{\"served\":{},\"shed\":{},\"over_budget\":{},\"client_gone\":{},\"reloads\":{},\"appends\":{},\"generation\":{}}}\n",
+        "{{\"served\":{},\"shed\":{},\"over_budget\":{},\"client_gone\":{},\"reloads\":{},\"appends\":{},\"panics\":{},\"workers_replaced\":{},\"generation\":{}}}\n",
         c.served.load(Ordering::SeqCst),
         c.shed.load(Ordering::SeqCst),
         c.over_budget.load(Ordering::SeqCst),
         c.client_gone.load(Ordering::SeqCst),
         c.reloads.load(Ordering::SeqCst),
         c.appends.load(Ordering::SeqCst),
+        c.panics.load(Ordering::SeqCst),
+        c.workers_replaced.load(Ordering::SeqCst),
         shared.generation.load(Ordering::SeqCst),
     );
     Outcome {
@@ -777,6 +902,38 @@ fn stats(shared: &Shared) -> Outcome {
         extra: Vec::new(),
         body: body.into_bytes(),
     }
+}
+
+/// `GET /readyz`: readiness, as opposed to `/healthz` liveness. Reports
+/// the served generation, whether an append WAL is pending on disk,
+/// whether the append gate is held right now, and the failed-reload
+/// memoization; answers `503 + Retry-After` while an append is running
+/// or a drain is underway (the process is alive but should not receive
+/// new traffic from a balancer).
+fn readyz(shared: &Shared) -> Outcome {
+    let draining = shared.draining.load(Ordering::SeqCst);
+    let append_in_progress = shared.append_gate.try_lock().is_err();
+    let pending_wal = shared.source.checkpoint_dir.join(grimp::WAL_FILE).exists();
+    let generation = shared.generation.load(Ordering::SeqCst);
+    let failed = shared.failed_reload.load(Ordering::SeqCst);
+    let failed_json = match failed {
+        0 => "null".to_string(),
+        g => (g - 1).to_string(),
+    };
+    let ready = !draining && !append_in_progress;
+    let body = format!(
+        "{{\"ready\":{ready},\"generation\":{generation},\"pending_wal\":{pending_wal},\"append_in_progress\":{append_in_progress},\"draining\":{draining},\"failed_reload_generation\":{failed_json}}}\n",
+    );
+    let mut outcome = Outcome {
+        status: if ready { 200 } else { 503 },
+        content_type: "application/json",
+        extra: Vec::new(),
+        body: body.into_bytes(),
+    };
+    if !ready {
+        outcome.extra.push(("Retry-After", "1".to_string()));
+    }
+    outcome
 }
 
 fn impute(
@@ -839,12 +996,22 @@ fn impute(
 
 /// `POST /append`: durably append the body's CSV rows to the served
 /// table through the WAL-backed incremental pipeline, then swap the
-/// served generation to the grown table and its fine-tuned (or refitted)
-/// checkpoint. The response body is the imputed grown table.
+/// served generation to the grown table and its fine-tuned checkpoint.
+/// The response body is the imputed grown table.
 ///
 /// Appends are serialized through `append_gate` (a second concurrent one
 /// gets `503 + Retry-After`), and a pending append log from a crashed
-/// earlier run that conflicts with this request is `409`.
+/// earlier run that conflicts with this request is `409`. A delta that
+/// introduces new categorical values is `409` too: it would force a full
+/// refit whose checkpoint cannot be restored against the base table
+/// after a restart — that flow belongs to the offline `grimp append`.
+///
+/// An `Idempotency-Key` request header makes the append safe to retry
+/// across crashes (see [`idem`]): the key is journaled durably before
+/// any model work, the response is journaled before the generation
+/// swaps, and a replayed key is answered from the journal (marked with
+/// an `Idempotency-Replay: true` response header) instead of
+/// re-appending. A replayed key with a *different* body is `422`.
 fn append(
     shared: &Shared,
     trace: &mut Trace<'_>,
@@ -873,19 +1040,42 @@ fn append(
         );
     }
 
-    // Memory admission on the *grown* table: the append fine-tunes (or
-    // refits) over base + delta, so that concatenation is what must fit.
-    if let Some(budget) = shared.cfg.memory_budget_bytes {
-        let mut concat = (*train).clone();
-        for i in 0..rows_table.n_rows() {
-            let row: Vec<Option<String>> = (0..rows_table.n_columns())
-                .map(|j| (!rows_table.is_missing(i, j)).then(|| rows_table.display(i, j)))
-                .collect();
-            let r: Vec<Option<&str>> = row.iter().map(|c| c.as_deref()).collect();
-            if let Err(e) = concat.try_push_str_row(&r) {
-                return Outcome::text(400, format!("cannot append row {i}: {e}"));
-            }
+    // Build the concatenation once: the dictionary-growth check and the
+    // memory admission both need base + delta.
+    let mut concat = (*train).clone();
+    for i in 0..rows_table.n_rows() {
+        let row: Vec<Option<String>> = (0..rows_table.n_columns())
+            .map(|j| (!rows_table.is_missing(i, j)).then(|| rows_table.display(i, j)))
+            .collect();
+        let r: Vec<Option<&str>> = row.iter().map(|c| c.as_deref()).collect();
+        if let Err(e) = concat.try_push_str_row(&r) {
+            return Outcome::text(400, format!("cannot append row {i}: {e}"));
         }
+    }
+
+    // The serve surface only accepts appends it can recover from. A delta
+    // that grows a categorical dictionary forces a full refit (same test
+    // as the incremental pipeline's decide step), and a refitted
+    // checkpoint no longer restores against the base table a respawned
+    // server starts from — a crash after the rotation would turn into a
+    // startup failure, not a replay. Those deltas belong to the offline
+    // `grimp append` flow.
+    let grows_dictionary = (0..train.n_columns()).any(|j| {
+        train.schema().column(j).kind == ColumnKind::Categorical
+            && concat.dictionary(j).len() != train.dictionary(j).len()
+    });
+    if grows_dictionary {
+        return Outcome::text(
+            409,
+            "append introduces new categorical values, which would force a full refit \
+             that cannot be recovered after a crash; run `grimp append` offline and \
+             restart the server with the grown table",
+        );
+    }
+
+    // Memory admission on the *grown* table: the append fine-tunes over
+    // base + delta, so that concatenation is what must fit.
+    if let Some(budget) = shared.cfg.memory_budget_bytes {
         let need = estimate_footprint(&concat, shared.source.pipeline.config()).total_bytes();
         if need > budget {
             shared.counters.over_budget.fetch_add(1, Ordering::SeqCst);
@@ -896,10 +1086,68 @@ fn append(
             );
         }
     }
+    drop(concat);
+
+    // Idempotency-Key intake happens before the gate so an invalid key
+    // never consumes it; the journal itself is only touched under the
+    // gate (appends are serialized, so journal access is too).
+    let idem_key = match request.header("idempotency-key") {
+        None => None,
+        Some(key) if idem::valid_key(key) => Some(key.to_string()),
+        Some(_) => {
+            return Outcome::text(
+                400,
+                "invalid Idempotency-Key: need 1-255 visible ASCII characters",
+            )
+        }
+    };
 
     let Ok(_gate) = shared.append_gate.try_lock() else {
         return Outcome::busy(503, "another append is in progress, retry shortly");
     };
+
+    let rows_crc = crc32(&request.body);
+    let mut journal = None;
+    if let Some(key) = &idem_key {
+        let mut j = match idem::Journal::load(&shared.source.checkpoint_dir) {
+            Ok(j) => j,
+            Err(e) => return Outcome::text(500, format!("idempotency journal: {e}")),
+        };
+        match j.lookup(key) {
+            Some(entry) if entry.rows_crc != rows_crc => {
+                return Outcome::text(
+                    422,
+                    "Idempotency-Key was already used with a different body",
+                );
+            }
+            Some(entry) => {
+                if let Some(done) = &entry.done {
+                    // The append already completed (possibly in a previous
+                    // process life): answer from the journal, touch nothing.
+                    trace.counter(names::IDEM_REPLAY, req_id, 1);
+                    return Outcome {
+                        status: 200,
+                        content_type: "text/csv",
+                        extra: vec![("Idempotency-Replay", "true".to_string())],
+                        body: done.body.clone(),
+                    };
+                }
+                // Pending from an interrupted earlier attempt: fall
+                // through — `Pipeline::append` reconciles whatever the
+                // crash left (pending WAL resumed, rotated WAL restarted
+                // against the recovered base table).
+            }
+            None => {
+                // Durable before ack *and* before any model work.
+                if let Err(e) = j.record_pending(&mut RealFs, key, rows_crc) {
+                    return Outcome::text(500, format!("idempotency journal: {e}"));
+                }
+            }
+        }
+        crashpoint::hit(crashpoint::IDEM_JOURNAL);
+        journal = Some(j);
+    }
+
     // The serving pipeline is structure-only; give the append run the
     // checkpoint directory so its WAL and fine-tuned generation land
     // where the watcher and the replicas look.
@@ -912,6 +1160,29 @@ fn append(
     let rows = grimp::table_to_wal_rows(&rows_table);
     match pipeline.append(&train, &rows) {
         Ok(outcome) => {
+            let body = to_csv_bytes(&outcome.imputed);
+            if let (Some(key), Some(j)) = (&idem_key, journal.as_mut()) {
+                // The done record must be durable before the generation
+                // swaps: once the served table has grown, a replayed key
+                // that fell through here would append onto the grown
+                // table and double the rows. If this write fails the
+                // swap is abandoned too — the server keeps serving the
+                // base table, so a retry still converges to exactly one
+                // application of the rows.
+                if let Err(e) = j.record_done(
+                    &mut RealFs,
+                    key,
+                    rows_crc,
+                    outcome.appended_rows as u32,
+                    &body,
+                ) {
+                    return Outcome::text(
+                        500,
+                        format!("append applied, journal write failed: {e}"),
+                    );
+                }
+            }
+            crashpoint::hit(crashpoint::GENERATION_SWAP);
             // Swap the served generation: grown table plus whatever
             // checkpoint the append left on disk. An unreadable file is
             // not fatal — the watcher retries — but table and blob must
@@ -933,7 +1204,7 @@ fn append(
                 status: 200,
                 content_type: "text/csv",
                 extra: Vec::new(),
-                body: to_csv_bytes(&outcome.imputed),
+                body,
             }
         }
         Err(e @ GrimpError::PendingAppend { .. }) => {
@@ -974,9 +1245,14 @@ fn refresh_replica(
         Ok(model) => {
             *replica = Some(Replica { generation, model });
             *failed_generation = None;
+            shared.failed_reload.store(0, Ordering::SeqCst);
         }
         Err(_) => {
             *failed_generation = Some(generation);
+            // Memoized for `/readyz` (stored as generation + 1 so 0 can
+            // mean "none"): the process serves an older replica, and
+            // operators can see which rotation went bad.
+            shared.failed_reload.store(generation + 1, Ordering::SeqCst);
         }
     }
 }
@@ -1013,12 +1289,33 @@ pub mod client {
     /// IO errors from the socket, or `InvalidData` when the response
     /// does not parse as HTTP.
     pub fn request(addr: &str, method: &str, path: &str, body: &[u8]) -> std::io::Result<Response> {
+        request_with_headers(addr, method, path, &[], body)
+    }
+
+    /// [`request`] with extra request headers (e.g. `Idempotency-Key`).
+    ///
+    /// # Errors
+    /// Same contract as [`request`].
+    pub fn request_with_headers(
+        addr: &str,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<Response> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: grimp\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: grimp\r\nContent-Length: {}\r\n",
             body.len()
         );
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("Connection: close\r\n\r\n");
         stream.write_all(head.as_bytes())?;
         stream.write_all(body)?;
         let mut raw = Vec::new();

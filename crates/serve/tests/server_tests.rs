@@ -77,7 +77,7 @@ fn fitted_source(name: &str, seed: u64) -> (ModelSource, Table, PathBuf) {
 struct Running {
     addr: String,
     shutdown: ShutdownFlag,
-    handle: thread::JoinHandle<grimp_serve::DrainReport>,
+    handle: thread::JoinHandle<Result<grimp_serve::DrainReport, grimp::GrimpError>>,
     trace_path: PathBuf,
 }
 
@@ -102,7 +102,11 @@ impl Running {
 
     fn stop(self) -> (grimp_serve::DrainReport, String) {
         self.shutdown.request();
-        let report = self.handle.join().expect("server thread must not panic");
+        let report = self
+            .handle
+            .join()
+            .expect("server thread must not panic")
+            .expect("server ran to a drain report");
         let trace = std::fs::read_to_string(&self.trace_path).unwrap();
         let _ = std::fs::remove_file(&self.trace_path);
         (report, trace)
@@ -436,5 +440,178 @@ fn post_append_grows_the_served_table_and_swaps_the_generation() {
         .events
         .iter()
         .any(|e| e.name == grimp_obs::names::RELOAD_POLL));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_panicking_handler_gets_500_and_the_worker_is_replaced() {
+    let (source, dirty, dir) = fitted_source("panic", 5);
+    let cfg = ServeConfig {
+        panic_route: true,
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let running = Running::start("panic", cfg, source);
+
+    // The injected panic answers *that* request with a 500 instead of
+    // killing the worker thread or the server.
+    let res = client::request(&running.addr, "POST", "/panic", b"").unwrap();
+    assert_eq!(res.status, 500, "{:?}", String::from_utf8_lossy(&res.body));
+    let body = String::from_utf8(res.body).unwrap();
+    assert!(body.contains("quarantined"), "{body}");
+
+    // Service continues: the quarantined replica is rebuilt on demand.
+    let res = client::impute(&running.addr, &to_csv_string(&dirty)).unwrap();
+    assert_eq!(res.status, 200, "{:?}", String::from_utf8_lossy(&res.body));
+
+    let stats = client::request(&running.addr, "GET", "/stats", b"").unwrap();
+    let stats_body = String::from_utf8(stats.body).unwrap();
+    assert!(stats_body.contains("\"panics\":1"), "{stats_body}");
+    assert!(
+        stats_body.contains("\"workers_replaced\":1"),
+        "{stats_body}"
+    );
+
+    let (report, trace) = running.stop();
+    assert!(report.clean, "a panic must not wedge the drain");
+    assert_eq!(report.panics, 1);
+    assert_eq!(report.workers_replaced, 1);
+    let replay = grimp_obs::read_jsonl(&trace).unwrap();
+    assert!(replay
+        .events
+        .iter()
+        .any(|e| e.name == grimp_obs::names::WORKER_PANIC));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn readyz_reports_generation_and_pending_wal() {
+    let (source, _dirty, dir) = fitted_source("readyz", 5);
+    let running = Running::start("readyz", ServeConfig::default(), source);
+
+    let res = client::request(&running.addr, "GET", "/readyz", b"").unwrap();
+    assert_eq!(res.status, 200);
+    let body = String::from_utf8(res.body).unwrap();
+    assert!(body.contains("\"ready\":true"), "{body}");
+    assert!(body.contains("\"generation\":0"), "{body}");
+    assert!(body.contains("\"pending_wal\":false"), "{body}");
+    assert!(body.contains("\"failed_reload_generation\":null"), "{body}");
+
+    // A pending append log left by a crash is visible to orchestrators
+    // (informational: readiness itself keys on drain/append state).
+    std::fs::write(dir.join(grimp::WAL_FILE), b"GRIMPWAL").unwrap();
+    let res = client::request(&running.addr, "GET", "/readyz", b"").unwrap();
+    let body = String::from_utf8(res.body).unwrap();
+    assert!(body.contains("\"pending_wal\":true"), "{body}");
+    std::fs::remove_file(dir.join(grimp::WAL_FILE)).unwrap();
+
+    let (report, _) = running.stop();
+    assert!(report.clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn keyed_append_replays_from_the_journal_not_the_model() {
+    let (source, dirty, dir) = fitted_source("idem", 5);
+    let running = Running::start("idem", ServeConfig::default(), source);
+    let delta = b"a,b\na1,\n,b2\n";
+    let headers: &[(&str, &str)] = &[("Idempotency-Key", "append-42")];
+
+    // Invalid keys are rejected before anything is journaled.
+    let bad = client::request_with_headers(
+        &running.addr,
+        "POST",
+        "/append",
+        &[("Idempotency-Key", "has space")],
+        delta,
+    )
+    .unwrap();
+    assert_eq!(bad.status, 400, "{:?}", String::from_utf8_lossy(&bad.body));
+
+    let first =
+        client::request_with_headers(&running.addr, "POST", "/append", headers, delta).unwrap();
+    assert_eq!(
+        first.status,
+        200,
+        "{:?}",
+        String::from_utf8_lossy(&first.body)
+    );
+    let grown = read_csv_str(std::str::from_utf8(&first.body).unwrap()).unwrap();
+    assert_eq!(grown.n_rows(), dirty.n_rows() + 2);
+
+    // Same key, same body: answered byte-for-byte from the journal,
+    // flagged as a replay, and the model is not touched again.
+    let second =
+        client::request_with_headers(&running.addr, "POST", "/append", headers, delta).unwrap();
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("Idempotency-Replay"), Some("true"));
+    assert_eq!(second.body, first.body, "recorded response replays");
+
+    // Same key, different body: a client bug, refused loudly.
+    let conflict =
+        client::request_with_headers(&running.addr, "POST", "/append", headers, b"a,b\na2,\n")
+            .unwrap();
+    assert_eq!(conflict.status, 422);
+
+    let (report, trace) = running.stop();
+    assert!(report.clean);
+    assert_eq!(report.appends, 1, "the replay applied nothing");
+    let replay = grimp_obs::read_jsonl(&trace).unwrap();
+    assert!(replay
+        .events
+        .iter()
+        .any(|e| e.name == grimp_obs::names::IDEM_REPLAY));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_dictionary_growing_append_is_refused_before_any_model_work() {
+    let (source, dirty, dir) = fitted_source("dictgrow", 5);
+    let running = Running::start("dictgrow", ServeConfig::default(), source);
+
+    // "zebra" is not in column a's dictionary: appending it would force a
+    // full refit, whose checkpoint a respawned server (which restores
+    // against the base table) could never start from. Refused up front —
+    // nothing journaled, nothing rotated, no generation bump.
+    let refused = client::request_with_headers(
+        &running.addr,
+        "POST",
+        "/append",
+        &[("Idempotency-Key", "grow-1")],
+        b"a,b\nzebra,b0\n",
+    )
+    .unwrap();
+    assert_eq!(
+        refused.status,
+        409,
+        "{:?}",
+        String::from_utf8_lossy(&refused.body)
+    );
+    assert!(
+        String::from_utf8_lossy(&refused.body).contains("grimp append"),
+        "the rejection points at the offline flow"
+    );
+    assert!(
+        !dir.join("grimp.idem").exists(),
+        "a refused append must not journal its key"
+    );
+
+    // The same key is free to retry with a recoverable delta: the 409
+    // happened before the idempotency intake, so this is a first use.
+    let ok = client::request_with_headers(
+        &running.addr,
+        "POST",
+        "/append",
+        &[("Idempotency-Key", "grow-1")],
+        b"a,b\na1,b0\n",
+    )
+    .unwrap();
+    assert_eq!(ok.status, 200, "{:?}", String::from_utf8_lossy(&ok.body));
+    let grown = read_csv_str(std::str::from_utf8(&ok.body).unwrap()).unwrap();
+    assert_eq!(grown.n_rows(), dirty.n_rows() + 1);
+
+    let (report, _) = running.stop();
+    assert!(report.clean);
+    assert_eq!(report.appends, 1, "only the recoverable delta applied");
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -151,6 +151,60 @@ grep -q "drained clean" "$SMOKE_DIR/serve.log" \
 grep -q '"name":"drain_end"' "$SMOKE_DIR/trace.jsonl" \
     || { echo "serve smoke: trace missing drain_end"; exit 1; }
 
+echo "==> supervised serve gate (real binary: kill -9 the serving child mid-traffic;"
+echo "    the supervisor respawns it and a keyed append replays idempotently)"
+SUP_DIR="$(mktemp -d)"
+printf 'city,country\nParis,France\nRome,Italy\nParis,\nRome,\nParis,France\nMadrid,Spain\nMadrid,\nRome,Italy\n' \
+    > "$SUP_DIR/train.csv"
+./target/release/grimp impute "$SUP_DIR/train.csv" --algo grimp \
+    --checkpoint-dir "$SUP_DIR/ckpt" -o "$SUP_DIR/imputed.csv" > /dev/null
+./target/release/grimp serve "$SUP_DIR/train.csv" --checkpoint-dir "$SUP_DIR/ckpt" \
+    --addr 127.0.0.1:0 --workers 1 --supervise --restart-limit 3 --backoff-base-ms 50 \
+    > "$SUP_DIR/sup.log" &
+SUP_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$SUP_DIR/sup.log" 2>/dev/null && break
+    sleep 0.1
+done
+CHILD_PID="$(sed -n 's/^grimp supervise: child pid \([0-9]*\) up$/\1/p' "$SUP_DIR/sup.log" | head -1)"
+SUP_ADDR="$(sed -n 's/^grimp serve listening on \([^ ]*\).*/\1/p' "$SUP_DIR/sup.log" | head -1)"
+test -n "$CHILD_PID" && test -n "$SUP_ADDR" \
+    || { echo "supervised gate: no child/announcement"; cat "$SUP_DIR/sup.log"; exit 1; }
+sup_append() { # $1 = host:port; prints the HTTP response
+    local BODY=$'city,country\nParis,\n,Italy' HOST PORT
+    HOST="${1%:*}"; PORT="${1##*:}"
+    printf 'POST /append HTTP/1.1\r\nHost: grimp\r\nIdempotency-Key: tier1-sup\r\nContent-Length: %s\r\nConnection: close\r\n\r\n%s' \
+        "${#BODY}" "$BODY" | timeout 60 bash -c \
+        "exec 3<>/dev/tcp/$HOST/$PORT; cat >&3; cat <&3" || true
+}
+FIRST="$(sup_append "$SUP_ADDR")"
+printf '%s' "$FIRST" | head -1 | grep -q " 200 " \
+    || { echo "supervised gate: keyed append did not return 200"; echo "$FIRST"; exit 1; }
+kill -9 "$CHILD_PID"
+for _ in $(seq 1 200); do
+    NEW_ADDR="$(sed -n 's/^grimp serve listening on \([^ ]*\).*/\1/p' "$SUP_DIR/sup.log" | sed -n 2p)"
+    test -n "$NEW_ADDR" && break
+    sleep 0.1
+done
+test -n "$NEW_ADDR" || { echo "supervised gate: no respawn after kill -9"; cat "$SUP_DIR/sup.log"; exit 1; }
+grep -q "killed by signal 9" "$SUP_DIR/sup.log" \
+    || { echo "supervised gate: crash not reported"; cat "$SUP_DIR/sup.log"; exit 1; }
+REPLAY="$(sup_append "$NEW_ADDR")"
+printf '%s' "$REPLAY" | head -1 | grep -q " 200 " \
+    || { echo "supervised gate: replayed append did not return 200"; echo "$REPLAY"; exit 1; }
+printf '%s' "$REPLAY" | grep -qi "Idempotency-Replay: true" \
+    || { echo "supervised gate: replay was not answered from the journal"; echo "$REPLAY"; exit 1; }
+REPLAY_ROWS="$(printf '%s\n' "$REPLAY" | sed -n '/^city,country/,$p' | grep -c ',')"
+test "$REPLAY_ROWS" -eq 11 \
+    || { echo "supervised gate: replay rows $REPLAY_ROWS != 11 (header + 8 base + 2 delta)"; echo "$REPLAY"; exit 1; }
+kill -TERM "$SUP_PID"
+wait "$SUP_PID" || { echo "supervised gate: SIGTERM exit non-zero"; cat "$SUP_DIR/sup.log"; exit 1; }
+rm -rf "$SUP_DIR"
+
+echo "==> crashpoint sweep (abort the server at every state-mutating boundary;"
+echo "    supervisor + idempotent replay must recover each one)"
+./target/release/grimp chaos --crashpoints
+
 echo "==> load probe (writes BENCH_serve.json; asserts 200s, zero shed, clean drain)"
 cargo run --release -p grimp-bench --bin load_probe
 
