@@ -13,7 +13,10 @@
 //!
 //! - **Deterministic backoff**: consecutive crashes double the respawn
 //!   delay from `--backoff-base-ms` (default 100ms), capped at 5s. No
-//!   jitter — restart timing stays reproducible under test.
+//!   jitter — restart timing stays reproducible under test. A quiet
+//!   period long enough to empty the restart window resets the doubling,
+//!   so an isolated crash after hours of healthy serving respawns at the
+//!   base delay again instead of inheriting stale backoff.
 //! - **Crash-loop breaker**: more than `--restart-limit` crashes (default
 //!   5) within `--restart-window` seconds (default 30) stop the respawning
 //!   and exit with [`EXIT_CRASH_LOOP`], a code no other grimp failure
@@ -79,8 +82,7 @@ pub fn cmd_supervise(rest: &[String], out: &mut dyn Write) -> Result<i32, CliErr
     crate::signal::install_sigterm();
     let shutdown = crate::signal::shutdown_flag();
 
-    let mut crashes: VecDeque<Instant> = VecDeque::new();
-    let mut consecutive: u32 = 0;
+    let mut tracker = CrashTracker::new(restart_window);
     loop {
         let mut child = Command::new(&exe)
             .arg("serve")
@@ -91,6 +93,13 @@ pub fn cmd_supervise(rest: &[String], out: &mut dyn Write) -> Result<i32, CliErr
             .map_err(|e| CliError::io(format!("spawning serve child: {e}")))?;
         let pid = child.id() as i32;
         crate::signal::forward_signals_to(pid);
+        if shutdown.requests() > 0 {
+            // A signal that landed between spawn and the forwarding
+            // registration was recorded in the flag but never reached the
+            // child (FORWARD_PID was still 0); deliver it now so the
+            // child drains instead of serving on while we wait for it.
+            crate::signal::send_signal(pid, crate::signal::last_signal());
+        }
         writeln!(out, "grimp supervise: child pid {pid} up")?;
         out.flush()?;
 
@@ -124,31 +133,20 @@ pub fn cmd_supervise(rest: &[String], out: &mut dyn Write) -> Result<i32, CliErr
             return Ok(exit_code_of(status));
         }
 
-        let now = Instant::now();
-        while let Some(&front) = crashes.front() {
-            if now.duration_since(front) > restart_window {
-                crashes.pop_front();
-            } else {
-                break;
-            }
-        }
-        crashes.push_back(now);
-        consecutive += 1;
-        if crashes.len() as u32 > restart_limit {
+        let in_window = tracker.record(Instant::now());
+        if in_window as u32 > restart_limit {
             return Err(CliError::crash_loop(format!(
-                "crash-loop breaker: {} crashes within {}s (restart limit {}); not respawning",
-                crashes.len(),
+                "crash-loop breaker: {in_window} crashes within {}s (restart limit {}); not respawning",
                 restart_window.as_secs(),
                 restart_limit
             )));
         }
 
-        let delay = backoff_delay(backoff_base, consecutive);
+        let delay = backoff_delay(backoff_base, tracker.consecutive);
         writeln!(
             out,
-            "grimp supervise: child crashed ({}); respawn {}/{} in {}ms",
+            "grimp supervise: child crashed ({}); respawn {in_window}/{} in {}ms",
             describe(status),
-            crashes.len(),
             restart_limit,
             delay.as_millis()
         )?;
@@ -191,6 +189,46 @@ fn echo_child_stdout(child: &mut Child, out: &mut dyn Write) -> Result<bool, Cli
         }
     }
     Ok(announced)
+}
+
+/// Crash bookkeeping: the sliding restart window drives the crash-loop
+/// breaker, and `consecutive` drives the doubling backoff. The two decay
+/// together — when the window empties (the child ran healthily long
+/// enough that every recorded crash aged out), `consecutive` resets to 0
+/// so the next one-off crash respawns at the base delay, not the cap.
+struct CrashTracker {
+    window: Duration,
+    crashes: VecDeque<Instant>,
+    /// Crashes since the window last emptied; feeds [`backoff_delay`].
+    consecutive: u32,
+}
+
+impl CrashTracker {
+    fn new(window: Duration) -> CrashTracker {
+        CrashTracker {
+            window,
+            crashes: VecDeque::new(),
+            consecutive: 0,
+        }
+    }
+
+    /// Record a crash at `now`; returns how many crashes (this one
+    /// included) fall inside the restart window.
+    fn record(&mut self, now: Instant) -> usize {
+        while let Some(&front) = self.crashes.front() {
+            if now.duration_since(front) > self.window {
+                self.crashes.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.crashes.is_empty() {
+            self.consecutive = 0;
+        }
+        self.crashes.push_back(now);
+        self.consecutive += 1;
+        self.crashes.len()
+    }
 }
 
 /// Drop the supervisor-only flags (and their values) from `rest`.
@@ -308,5 +346,25 @@ mod tests {
         assert_eq!(backoff_delay(base, 30), BACKOFF_CAP);
         // The same inputs always give the same delay: no jitter.
         assert_eq!(backoff_delay(base, 3), backoff_delay(base, 3));
+    }
+
+    #[test]
+    fn a_quiet_period_resets_the_backoff_but_not_inside_the_window() {
+        let window = Duration::from_secs(10);
+        let mut tracker = CrashTracker::new(window);
+        let t0 = Instant::now();
+        assert_eq!(tracker.record(t0), 1);
+        assert_eq!(tracker.record(t0 + Duration::from_secs(1)), 2);
+        assert_eq!(tracker.record(t0 + Duration::from_secs(2)), 3);
+        assert_eq!(tracker.consecutive, 3);
+
+        // The child then runs healthily past the window: the next crash
+        // is a fresh incident — breaker count 1 and base backoff again.
+        assert_eq!(tracker.record(t0 + Duration::from_secs(60)), 1);
+        assert_eq!(tracker.consecutive, 1);
+
+        // A follow-up crash inside the window resumes doubling.
+        assert_eq!(tracker.record(t0 + Duration::from_secs(61)), 2);
+        assert_eq!(tracker.consecutive, 2);
     }
 }

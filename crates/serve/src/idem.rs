@@ -24,6 +24,16 @@
 //!   base + delta exactly once;
 //! - **done record durable** → any replay of the key, live or after a
 //!   restart, returns the recorded response and touches nothing.
+//!
+//! The journal is **bounded** on a long-lived server: it is compacted to
+//! one record per key (the strongest fact wins) on load and on every
+//! write, and only the newest [`MAX_DONE_BODIES`] done records keep their
+//! full response body — each body is the entire grown table as CSV, so
+//! retaining all of them would grow roughly quadratically with appends.
+//! An evicted body never weakens the exactly-once guarantee: the done
+//! record itself (key, body CRC, applied row count) is kept forever, so a
+//! late replay is still recognized and refused re-application — it just
+//! gets `410` with the row count instead of the recorded bytes.
 
 use std::collections::HashMap;
 use std::io;
@@ -44,9 +54,16 @@ const VERSION: u32 = 1;
 
 const STATE_PENDING: u8 = 0;
 const STATE_DONE: u8 = 1;
+/// A done record whose response body has been compacted away.
+const STATE_DONE_EVICTED: u8 = 2;
 
 /// The longest `Idempotency-Key` accepted (journal records are bounded).
 pub const MAX_KEY_BYTES: usize = 255;
+
+/// How many done records keep their full response body. Beyond this the
+/// oldest bodies are evicted (the done fact itself is kept), bounding the
+/// journal's disk and memory footprint on a long-lived server.
+pub const MAX_DONE_BODIES: usize = 64;
 
 /// What the journal knows about one key.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -63,15 +80,22 @@ pub struct Entry {
 pub struct DoneRecord {
     /// Rows the append applied.
     pub appended_rows: u32,
-    /// The exact response body (the imputed grown table as CSV).
-    pub body: Vec<u8>,
+    /// The exact response body (the imputed grown table as CSV), or
+    /// `None` once compaction evicted it (older than the newest
+    /// [`MAX_DONE_BODIES`] done records).
+    pub body: Option<Vec<u8>>,
 }
 
-/// The journal: the durable byte image plus a key → latest-entry index.
+/// The journal: a key → latest-entry index plus the key order (oldest
+/// first) that compaction evicts bodies in. The durable image is
+/// re-encoded from the compacted index on every write, so the file holds
+/// exactly one record per key.
 pub struct Journal {
     path: PathBuf,
-    bytes: Vec<u8>,
     entries: HashMap<String, Entry>,
+    /// Keys oldest-first; a done record moves its key to the back, so
+    /// body eviction is by recency of completion.
+    order: Vec<String>,
 }
 
 impl Journal {
@@ -92,14 +116,15 @@ impl Journal {
         };
         let mut journal = Journal {
             path,
-            bytes: header_bytes(),
             entries: HashMap::new(),
+            order: Vec::new(),
         };
-        if raw.len() < journal.bytes.len() || raw[..8] != MAGIC[..] || raw[..16] != journal.bytes {
+        let header = header_bytes();
+        if raw.len() < header.len() || raw[..8] != MAGIC[..] || raw[..16] != header {
             // Missing, truncated-below-header, or foreign: start fresh.
             return Ok(journal);
         }
-        let mut offset = journal.bytes.len();
+        let mut offset = header.len();
         while raw.len() - offset >= 8 {
             let len = read_u32(&raw, offset) as usize;
             let crc = read_u32(&raw, offset + 4);
@@ -112,10 +137,12 @@ impl Journal {
             let Some((key, entry_delta)) = decode_payload(payload) else {
                 break;
             };
-            apply(&mut journal.entries, key, entry_delta);
+            journal.apply(key, entry_delta);
             offset += 8 + len;
         }
-        journal.bytes.extend_from_slice(&raw[16..offset]);
+        // Compact on load: duplicate records from an old-format journal
+        // collapsed into `entries` above; bound the in-memory bodies too.
+        journal.evict_bodies();
         Ok(journal)
     }
 
@@ -163,28 +190,105 @@ impl Journal {
         appended_rows: u32,
         body: &[u8],
     ) -> io::Result<()> {
-        let mut payload = Vec::with_capacity(17 + key.len() + body.len());
-        payload.push(state);
-        payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
-        payload.extend_from_slice(key.as_bytes());
-        payload.extend_from_slice(&rows_crc.to_le_bytes());
-        payload.extend_from_slice(&appended_rows.to_le_bytes());
-        payload.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        payload.extend_from_slice(body);
-
-        let mut next = self.bytes.clone();
-        next.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        next.extend_from_slice(&crc32(&payload).to_le_bytes());
-        next.extend_from_slice(&payload);
-        atomic_write(fs, &self.path, &next)?;
-        self.bytes = next;
-
         let done = (state == STATE_DONE).then(|| DoneRecord {
             appended_rows,
-            body: body.to_vec(),
+            body: Some(body.to_vec()),
         });
-        apply(&mut self.entries, key.to_string(), Entry { rows_crc, done });
+        // Update the index first, then persist the compacted image; on a
+        // write failure roll the index back so memory matches disk.
+        let before = (self.entries.get(key).cloned(), self.order.clone());
+        self.apply(key.to_string(), Entry { rows_crc, done });
+        self.evict_bodies();
+        if let Err(e) = atomic_write(fs, &self.path, &self.encode()) {
+            let (entry, order) = before;
+            match entry {
+                Some(entry) => {
+                    self.entries.insert(key.to_string(), entry);
+                }
+                None => {
+                    self.entries.remove(key);
+                }
+            }
+            self.order = order;
+            return Err(e);
+        }
         Ok(())
+    }
+
+    /// Merge a record into the index: a done record completes the entry
+    /// and moves its key to the back (newest); a pending record never
+    /// downgrades an existing done one (replay of an old journal must
+    /// keep the strongest fact per key).
+    fn apply(&mut self, key: String, entry: Entry) {
+        match self.entries.get_mut(&key) {
+            Some(existing) => {
+                if entry.done.is_some() {
+                    *existing = entry;
+                    self.order.retain(|k| *k != key);
+                    self.order.push(key);
+                }
+            }
+            None => {
+                self.order.push(key.clone());
+                self.entries.insert(key, entry);
+            }
+        }
+    }
+
+    /// Drop response bodies beyond the newest [`MAX_DONE_BODIES`] done
+    /// records. The done facts themselves are never evicted — that is
+    /// what keeps a late replay from double-applying.
+    fn evict_bodies(&mut self) {
+        let with_body = self
+            .order
+            .iter()
+            .filter(|k| {
+                self.entries
+                    .get(*k)
+                    .is_some_and(|e| e.done.as_ref().is_some_and(|d| d.body.is_some()))
+            })
+            .count();
+        let mut excess = with_body.saturating_sub(MAX_DONE_BODIES);
+        for key in &self.order {
+            if excess == 0 {
+                break;
+            }
+            if let Some(done) = self.entries.get_mut(key).and_then(|e| e.done.as_mut()) {
+                if done.body.take().is_some() {
+                    excess -= 1;
+                }
+            }
+        }
+    }
+
+    /// Encode the compacted journal: header + exactly one CRC-framed
+    /// record per key, oldest first.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = header_bytes();
+        for key in &self.order {
+            let Some(entry) = self.entries.get(key) else {
+                continue;
+            };
+            let (state, appended_rows, body): (u8, u32, &[u8]) = match &entry.done {
+                None => (STATE_PENDING, 0, &[]),
+                Some(done) => match &done.body {
+                    Some(body) => (STATE_DONE, done.appended_rows, body),
+                    None => (STATE_DONE_EVICTED, done.appended_rows, &[]),
+                },
+            };
+            let mut payload = Vec::with_capacity(17 + key.len() + body.len());
+            payload.push(state);
+            payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            payload.extend_from_slice(key.as_bytes());
+            payload.extend_from_slice(&entry.rows_crc.to_le_bytes());
+            payload.extend_from_slice(&appended_rows.to_le_bytes());
+            payload.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            payload.extend_from_slice(body);
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(&crc32(&payload).to_le_bytes());
+            out.extend_from_slice(&payload);
+        }
+        out
     }
 }
 
@@ -192,22 +296,6 @@ impl Journal {
 /// survives HTTP framing and journal round-trips byte-identically).
 pub fn valid_key(key: &str) -> bool {
     !key.is_empty() && key.len() <= MAX_KEY_BYTES && key.bytes().all(|b| (0x21..=0x7e).contains(&b))
-}
-
-/// Merge a decoded record into the index: a done record completes the
-/// entry; a pending record never downgrades an existing done one (replay
-/// of an old journal must keep the strongest fact per key).
-fn apply(entries: &mut HashMap<String, Entry>, key: String, entry: Entry) {
-    match entries.get_mut(&key) {
-        Some(existing) => {
-            if entry.done.is_some() {
-                *existing = entry;
-            }
-        }
-        None => {
-            entries.insert(key, entry);
-        }
-    }
 }
 
 fn header_bytes() -> Vec<u8> {
@@ -243,10 +331,17 @@ fn decode_payload(payload: &[u8]) -> Option<(String, Entry)> {
     let appended_rows = take_u32(payload, &mut at)?;
     let body_len = take_u32(payload, &mut at)? as usize;
     let body = payload.get(at..at + body_len)?;
-    let done = (state == STATE_DONE).then(|| DoneRecord {
-        appended_rows,
-        body: body.to_vec(),
-    });
+    let done = match state {
+        STATE_DONE => Some(DoneRecord {
+            appended_rows,
+            body: Some(body.to_vec()),
+        }),
+        STATE_DONE_EVICTED => Some(DoneRecord {
+            appended_rows,
+            body: None,
+        }),
+        _ => None,
+    };
     Some((key.to_string(), Entry { rows_crc, done }))
 }
 
@@ -280,7 +375,73 @@ mod tests {
         assert_eq!(e.rows_crc, 7);
         let done = e.done.as_ref().unwrap();
         assert_eq!(done.appended_rows, 2);
-        assert_eq!(done.body, b"a,b\nx,y\n");
+        assert_eq!(done.body.as_deref(), Some(b"a,b\nx,y\n".as_slice()));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn the_file_holds_one_record_per_key_after_compaction() {
+        let d = dir("compact");
+        let mut fs = RealFs;
+        let mut j = Journal::load(&d).unwrap();
+        j.record_pending(&mut fs, "k", 7).unwrap();
+        let pending_len = std::fs::read(d.join(IDEM_FILE)).unwrap().len();
+        j.record_done(&mut fs, "k", 7, 1, b"body").unwrap();
+        let done_len = std::fs::read(d.join(IDEM_FILE)).unwrap().len();
+        // The done record replaced the pending one instead of appending
+        // after it: the file grew only by the body, not by a whole frame.
+        assert!(done_len < pending_len + b"body".len() + 8 + 8);
+        let j2 = Journal::load(&d).unwrap();
+        assert!(j2.lookup("k").unwrap().done.is_some());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn old_bodies_are_evicted_but_done_facts_are_kept() {
+        let d = dir("evict");
+        let mut fs = RealFs;
+        let mut j = Journal::load(&d).unwrap();
+        let n = MAX_DONE_BODIES + 3;
+        for i in 0..n {
+            let key = format!("k{i}");
+            j.record_pending(&mut fs, &key, i as u32).unwrap();
+            j.record_done(&mut fs, &key, i as u32, 1, format!("body{i}").as_bytes())
+                .unwrap();
+        }
+        // The oldest 3 bodies are gone; their done facts (and row counts)
+        // survive, so a late replay is still refused re-application.
+        for i in 0..3 {
+            let e = j.lookup(&format!("k{i}")).unwrap();
+            let done = e.done.as_ref().unwrap();
+            assert_eq!((done.appended_rows, done.body.as_deref()), (1, None));
+        }
+        for i in 3..n {
+            let e = j.lookup(&format!("k{i}")).unwrap();
+            let body = format!("body{i}");
+            assert_eq!(
+                e.done.as_ref().unwrap().body.as_deref(),
+                Some(body.as_bytes())
+            );
+        }
+        // The bound holds through a reload, and the file stays bounded:
+        // one frame per key, bodies only on the newest MAX_DONE_BODIES.
+        let j2 = Journal::load(&d).unwrap();
+        assert!(j2
+            .lookup("k0")
+            .unwrap()
+            .done
+            .as_ref()
+            .unwrap()
+            .body
+            .is_none());
+        assert!(j2
+            .lookup(&format!("k{}", n - 1))
+            .unwrap()
+            .done
+            .as_ref()
+            .unwrap()
+            .body
+            .is_some());
         let _ = std::fs::remove_dir_all(&d);
     }
 

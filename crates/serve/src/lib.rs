@@ -69,7 +69,7 @@ use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, TryLockError};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -271,8 +271,13 @@ struct Shared {
     generation: AtomicU64,
     /// Serializes `POST /append` runs: the WAL/checkpoint directory is
     /// one shared resource, and a second concurrent append is answered
-    /// `503` instead of racing the first for it.
-    append_gate: Mutex<()>,
+    /// `503` instead of racing the first for it. The gate also caches the
+    /// idempotency journal (loaded lazily on the first keyed append) so
+    /// the file is not re-read per request; a panic that poisons the
+    /// mutex is absorbed — the journal's disk image is always consistent
+    /// (atomic whole-file writes), so the cached copy is dropped and
+    /// reloaded rather than trusted after a poisoning.
+    append_gate: Mutex<Option<idem::Journal>>,
     /// Readiness memoization of the last reload that failed to restore:
     /// `generation + 1` of the bad rotation, `0` when the latest
     /// generation restored fine. Reported by `GET /readyz`.
@@ -350,7 +355,7 @@ impl Server {
             draining: AtomicBool::new(false),
             current: Mutex::new(current),
             generation: AtomicU64::new(0),
-            append_gate: Mutex::new(()),
+            append_gate: Mutex::new(None),
             failed_reload: AtomicU64::new(0),
             counters: Counters::default(),
             sink: SharedSink::new(sink),
@@ -863,6 +868,14 @@ fn route(
         ("GET", "/readyz") => readyz(shared),
         ("GET", "/stats") => stats(shared),
         ("POST", "/panic") if shared.cfg.panic_route => {
+            // A body of `append-gate` unwinds while HOLDING the append
+            // gate — the deterministic probe that a panic anywhere inside
+            // the gated append region (which poisons the mutex) does not
+            // wedge later appends or readiness.
+            if request.body == b"append-gate" {
+                let _gate = shared.append_gate.lock();
+                panic!("injected handler panic while holding the append gate")
+            }
             panic!("injected handler panic (panic route enabled)")
         }
         ("POST", "/impute") => impute(
@@ -912,7 +925,10 @@ fn stats(shared: &Shared) -> Outcome {
 /// new traffic from a balancer).
 fn readyz(shared: &Shared) -> Outcome {
     let draining = shared.draining.load(Ordering::SeqCst);
-    let append_in_progress = shared.append_gate.try_lock().is_err();
+    // Only WouldBlock means an append is actually running; a poisoned
+    // gate (a worker panicked mid-append and was rebuilt) must not leave
+    // readiness stuck at 503 forever.
+    let append_in_progress = matches!(shared.append_gate.try_lock(), Err(TryLockError::WouldBlock));
     let pending_wal = shared.source.checkpoint_dir.join(grimp::WAL_FILE).exists();
     let generation = shared.generation.load(Ordering::SeqCst);
     let failed = shared.failed_reload.load(Ordering::SeqCst);
@@ -1011,7 +1027,10 @@ fn impute(
 /// any model work, the response is journaled before the generation
 /// swaps, and a replayed key is answered from the journal (marked with
 /// an `Idempotency-Replay: true` response header) instead of
-/// re-appending. A replayed key with a *different* body is `422`.
+/// re-appending. A replayed key with a *different* body is `422`; one
+/// whose recorded response was compacted away (see
+/// [`idem::MAX_DONE_BODIES`]) is `410` — applied exactly once, but the
+/// bytes are gone.
 fn append(
     shared: &Shared,
     trace: &mut Trace<'_>,
@@ -1029,6 +1048,40 @@ fn append(
         Ok(table) => table,
         Err(e) => return Outcome::text(400, format!("body is not parseable CSV: {e}")),
     };
+
+    // Idempotency-Key validation is pure, so it happens before the gate —
+    // an invalid key must never consume it.
+    let idem_key = match request.header("idempotency-key") {
+        None => None,
+        Some(key) if idem::valid_key(key) => Some(key.to_string()),
+        Some(_) => {
+            return Outcome::text(
+                400,
+                "invalid Idempotency-Key: need 1-255 visible ASCII characters",
+            )
+        }
+    };
+
+    // The gate comes BEFORE the base-table snapshot: a concurrent append
+    // that swapped the generation between a snapshot and the gate would
+    // make this request validate against — and fine-tune from — a stale
+    // base, silently dropping the earlier append's rows. Only WouldBlock
+    // means busy; a poisoned gate (a worker panicked mid-append) is
+    // recovered by dropping the cached journal and reloading it from its
+    // crash-consistent disk image.
+    let mut gate = match shared.append_gate.try_lock() {
+        Ok(gate) => gate,
+        Err(TryLockError::Poisoned(p)) => {
+            let mut gate = p.into_inner();
+            *gate = None;
+            shared.append_gate.clear_poison();
+            gate
+        }
+        Err(TryLockError::WouldBlock) => {
+            return Outcome::busy(503, "another append is in progress, retry shortly")
+        }
+    };
+
     let (_, _, train) = shared.current_snapshot();
     let names_match = rows_table.n_columns() == train.n_columns()
         && (0..train.n_columns())
@@ -1088,32 +1141,21 @@ fn append(
     }
     drop(concat);
 
-    // Idempotency-Key intake happens before the gate so an invalid key
-    // never consumes it; the journal itself is only touched under the
-    // gate (appends are serialized, so journal access is too).
-    let idem_key = match request.header("idempotency-key") {
-        None => None,
-        Some(key) if idem::valid_key(key) => Some(key.to_string()),
-        Some(_) => {
-            return Outcome::text(
-                400,
-                "invalid Idempotency-Key: need 1-255 visible ASCII characters",
-            )
-        }
-    };
-
-    let Ok(_gate) = shared.append_gate.try_lock() else {
-        return Outcome::busy(503, "another append is in progress, retry shortly");
-    };
-
     let rows_crc = crc32(&request.body);
-    let mut journal = None;
     if let Some(key) = &idem_key {
-        let mut j = match idem::Journal::load(&shared.source.checkpoint_dir) {
-            Ok(j) => j,
-            Err(e) => return Outcome::text(500, format!("idempotency journal: {e}")),
+        // The journal is cached under the gate (appends are serialized,
+        // so journal access is too); the file is only read when the cache
+        // is cold — process start or post-panic recovery.
+        if gate.is_none() {
+            match idem::Journal::load(&shared.source.checkpoint_dir) {
+                Ok(journal) => *gate = Some(journal),
+                Err(e) => return Outcome::text(500, format!("idempotency journal: {e}")),
+            }
+        }
+        let Some(journal) = gate.as_mut() else {
+            return Outcome::text(500, "idempotency journal cache unavailable");
         };
-        match j.lookup(key) {
+        match journal.lookup(key) {
             Some(entry) if entry.rows_crc != rows_crc => {
                 return Outcome::text(
                     422,
@@ -1125,11 +1167,30 @@ fn append(
                     // The append already completed (possibly in a previous
                     // process life): answer from the journal, touch nothing.
                     trace.counter(names::IDEM_REPLAY, req_id, 1);
-                    return Outcome {
-                        status: 200,
-                        content_type: "text/csv",
-                        extra: vec![("Idempotency-Replay", "true".to_string())],
-                        body: done.body.clone(),
+                    return match &done.body {
+                        Some(body) => Outcome {
+                            status: 200,
+                            content_type: "text/csv",
+                            extra: vec![("Idempotency-Replay", "true".to_string())],
+                            body: body.clone(),
+                        },
+                        // The recorded response outlived the journal's
+                        // body cap: the rows were applied exactly once
+                        // and must not be re-applied, but the bytes are
+                        // gone — `410` tells the client its append
+                        // succeeded without pretending to replay it.
+                        None => {
+                            let mut gone = Outcome::text(
+                                410,
+                                format!(
+                                    "append already applied ({} rows); its recorded \
+                                     response has been compacted away — do not retry",
+                                    done.appended_rows
+                                ),
+                            );
+                            gone.extra.push(("Idempotency-Replay", "true".to_string()));
+                            gone
+                        }
                     };
                 }
                 // Pending from an interrupted earlier attempt: fall
@@ -1139,13 +1200,12 @@ fn append(
             }
             None => {
                 // Durable before ack *and* before any model work.
-                if let Err(e) = j.record_pending(&mut RealFs, key, rows_crc) {
+                if let Err(e) = journal.record_pending(&mut RealFs, key, rows_crc) {
                     return Outcome::text(500, format!("idempotency journal: {e}"));
                 }
             }
         }
         crashpoint::hit(crashpoint::IDEM_JOURNAL);
-        journal = Some(j);
     }
 
     // The serving pipeline is structure-only; give the append run the
@@ -1161,7 +1221,7 @@ fn append(
     match pipeline.append(&train, &rows) {
         Ok(outcome) => {
             let body = to_csv_bytes(&outcome.imputed);
-            if let (Some(key), Some(j)) = (&idem_key, journal.as_mut()) {
+            if let (Some(key), Some(j)) = (&idem_key, gate.as_mut()) {
                 // The done record must be durable before the generation
                 // swaps: once the served table has grown, a replayed key
                 // that fell through here would append onto the grown

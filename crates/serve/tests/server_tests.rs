@@ -485,6 +485,56 @@ fn a_panicking_handler_gets_500_and_the_worker_is_replaced() {
 }
 
 #[test]
+fn a_panic_holding_the_append_gate_does_not_wedge_append_or_readyz() {
+    let (source, dirty, dir) = fitted_source("gatepoison", 5);
+    let cfg = ServeConfig {
+        panic_route: true,
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let running = Running::start("gatepoison", cfg, source);
+
+    // Panic while the handler HOLDS the append gate: the unwind poisons
+    // the mutex. That request is a 500 like any caught panic…
+    let res = client::request(&running.addr, "POST", "/panic", b"append-gate").unwrap();
+    assert_eq!(res.status, 500, "{:?}", String::from_utf8_lossy(&res.body));
+
+    // …but the poisoning must not read as "append in progress" forever:
+    // readiness recovers, and the next append takes the gate and runs.
+    let ready = client::request(&running.addr, "GET", "/readyz", b"").unwrap();
+    assert_eq!(
+        ready.status,
+        200,
+        "{:?}",
+        String::from_utf8_lossy(&ready.body)
+    );
+    let body = String::from_utf8(ready.body).unwrap();
+    assert!(body.contains("\"append_in_progress\":false"), "{body}");
+
+    let appended = client::request_with_headers(
+        &running.addr,
+        "POST",
+        "/append",
+        &[("Idempotency-Key", "after-poison")],
+        b"a,b\na1,\n",
+    )
+    .unwrap();
+    assert_eq!(
+        appended.status,
+        200,
+        "{:?}",
+        String::from_utf8_lossy(&appended.body)
+    );
+    let grown = read_csv_str(std::str::from_utf8(&appended.body).unwrap()).unwrap();
+    assert_eq!(grown.n_rows(), dirty.n_rows() + 1);
+
+    let (report, _) = running.stop();
+    assert!(report.clean);
+    assert_eq!(report.appends, 1, "the append ran despite the poisoning");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn readyz_reports_generation_and_pending_wal() {
     let (source, _dirty, dir) = fitted_source("readyz", 5);
     let running = Running::start("readyz", ServeConfig::default(), source);
